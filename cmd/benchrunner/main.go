@@ -1,0 +1,240 @@
+// Command benchrunner regenerates the paper's evaluation artifacts:
+//
+//	benchrunner -exp table3              # print the Table 3 parameters
+//	benchrunner -exp fig6a               # CDF: direct query vs eXACML+ (unique sequence)
+//	benchrunner -exp fig6b               # CDF: Zipf sequence, direct vs cache off/on
+//	benchrunner -exp fig7a               # per-request breakdown, 100 requests / 50 policies
+//	benchrunner -exp fig7b               # per-request breakdown, 1500 requests / 1000 policies
+//	benchrunner -exp policyload          # policy loading time statistics
+//	benchrunner -exp all                 # everything
+//
+// -scale N shrinks the workload by N for quick runs. Output is textual:
+// the same series the paper plots, as aligned columns.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table3|fig6a|fig6b|fig7a|fig7b|policyload|all")
+	scale := flag.Int("scale", 1, "shrink the Table 3 workload by this factor")
+	points := flag.Int("points", 20, "CDF sample points")
+	noNet := flag.Bool("no-netsim", false, "disable simulated intranet latency")
+	csvDir := flag.String("csv", "", "also write each figure's raw series as CSV into this directory")
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatalf("create csv dir: %v", err)
+		}
+	}
+
+	cfg := experiments.DefaultConfig()
+	if *scale > 1 {
+		cfg = experiments.QuickConfig(*scale)
+	}
+	if *noNet {
+		cfg.NetworkSeed = 0
+		cfg.ConnectDelay = 0
+	}
+
+	run := func(name string, fn func() error) {
+		fmt.Printf("=== %s ===\n", name)
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("table3") {
+		run("Table 3: workload parameters", func() error {
+			printTable3(cfg.Params)
+			return nil
+		})
+	}
+	if want("fig6a") {
+		run("Fig 6(a): overall performance, unique query & request sequence", func() error {
+			res, err := experiments.RunFig6a(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(metrics.RenderCDFTable(*points, res.Direct, res.EXACML))
+			writeCSV(*csvDir, "fig6a.csv", res.Direct, res.EXACML)
+			dm := metrics.FromSeries(res.Direct)
+			em := metrics.FromSeries(res.EXACML)
+			fmt.Printf("\nmedians: direct=%v eXACML+=%v (overhead %.2fx)\n",
+				dm.Median().Round(time.Microsecond), em.Median().Round(time.Microsecond),
+				float64(em.Median())/float64(dm.Median()))
+			return nil
+		})
+	}
+	if want("fig6b") {
+		run("Fig 6(b): Zipf-distributed sequence, cache off/on", func() error {
+			res, err := experiments.RunFig6b(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(metrics.RenderCDFTable(*points, res.CacheOff, res.CacheOn, res.Direct))
+			writeCSV(*csvDir, "fig6b.csv", res.CacheOff, res.CacheOn, res.Direct)
+			over100, over10, under10 := metrics.ImprovementHistogram(res.CacheOff, res.CacheOn)
+			fmt.Printf("\ncache hits=%d misses=%d\n", res.CacheHits, res.CacheMisses)
+			fmt.Printf("improvement from caching: >=100%% for %.0f%% of requests, >=10%% for %.0f%%, <10%% for %.0f%%\n",
+				over100*100, over10*100, under10*100)
+			return nil
+		})
+	}
+	if want("fig7a") {
+		run("Fig 7(a): detailed processing time, 100 requests / 50 policies", func() error {
+			n, p := scaleDown(100, 50, *scale)
+			res, err := experiments.RunFig7(cfg, n, p)
+			if err != nil {
+				return err
+			}
+			printBreakdown(res.Series, 10)
+			writeCSV(*csvDir, "fig7a.csv", res.Series)
+			return nil
+		})
+	}
+	if want("fig7b") {
+		run("Fig 7(b): detailed processing time, 1500 requests / 1000 policies", func() error {
+			n, p := scaleDown(1500, 1000, *scale)
+			res, err := experiments.RunFig7(cfg, n, p)
+			if err != nil {
+				return err
+			}
+			printBreakdown(res.Series, 50)
+			writeCSV(*csvDir, "fig7b.csv", res.Series)
+			return nil
+		})
+	}
+	if want("ablation") {
+		run("Ablation: §3.1 graph merging vs naive concatenation", func() error {
+			res, err := experiments.RunAblationMerge(cfg.Params, 2000)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			return nil
+		})
+	}
+	if want("policyload") {
+		run("Policy loading time", func() error {
+			stats, err := experiments.RunPolicyLoad(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("per-policy load time over %d policies: %s\n", stats.N, stats)
+			fmt.Println("(paper: 0.25 s ± 0.06 s on their Java/4-machine testbed; the shape to check is constancy w.r.t. the number of already-loaded policies)")
+			return nil
+		})
+	}
+	if *exp != "all" && !wantKnown(*exp) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func wantKnown(e string) bool {
+	switch e {
+	case "table3", "fig6a", "fig6b", "fig7a", "fig7b", "policyload", "ablation", "all":
+		return true
+	}
+	return false
+}
+
+func scaleDown(n, p, scale int) (int, int) {
+	if scale <= 1 {
+		return n, p
+	}
+	n /= scale
+	p /= scale
+	if n < 1 {
+		n = 1
+	}
+	if p < 1 {
+		p = 1
+	}
+	return n, p
+}
+
+func printTable3(p workload.Params) {
+	fmt.Printf("%-18s %-38s %s\n", "Variable", "Value", "Description")
+	fmt.Printf("%-18s %-38d %s\n", "nDirectQueries", p.NDirectQueries, "number of direct queries")
+	fmt.Printf("%-18s %d:%d:%d:%d:%d:%d:%d%*s %s\n", "directQueryDist",
+		p.Dist[0], p.Dist[1], p.Dist[2], p.Dist[3], p.Dist[4], p.Dist[5], p.Dist[6], 11, "",
+		"query graph composition (FB : MB : AB : FB+MB : FB+AB : MB+AB : FB+MB+AB)")
+	fmt.Printf("%-18s %-38d %s\n", "nPolicies", p.NPolicies, "number of unique policies")
+	fmt.Printf("%-18s %-38d %s\n", "nRequests", p.NRequests, "number of matching requests")
+	fmt.Printf("%-18s %-38.3f %s\n", "alpha", p.Alpha, "skew parameter for Zipf distribution")
+	fmt.Printf("%-18s %-38d %s\n", "maxRank", p.MaxRank, "maximum rank of unique requests for Zipf")
+}
+
+// writeCSV dumps raw per-request samples (seq, total and phase times in
+// seconds, cache-hit flag) for external plotting. A no-op when dir is
+// empty.
+func writeCSV(dir, name string, series ...*metrics.Series) {
+	if dir == "" {
+		return
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		log.Fatalf("csv %s: %v", name, err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	_ = w.Write([]string{"series", "seq", "total_s", "pdp_s", "graph_s", "engine_s", "cache_hit"})
+	for _, s := range series {
+		for _, sm := range s.Samples {
+			_ = w.Write([]string{
+				s.Name,
+				strconv.Itoa(sm.Seq),
+				strconv.FormatFloat(sm.Total.Seconds(), 'g', -1, 64),
+				strconv.FormatFloat(sm.PDP.Seconds(), 'g', -1, 64),
+				strconv.FormatFloat(sm.Graph.Seconds(), 'g', -1, 64),
+				strconv.FormatFloat(sm.Engine.Seconds(), 'g', -1, 64),
+				strconv.FormatBool(sm.CacheHit),
+			})
+		}
+	}
+	fmt.Printf("(wrote %s)\n", filepath.Join(dir, name))
+}
+
+// printBreakdown renders the Fig 7 per-request component view: total,
+// PDP, query-graph and engine times, one row every stride requests,
+// plus phase summaries.
+func printBreakdown(s *metrics.Series, stride int) {
+	fmt.Printf("%-8s %-14s %-14s %-14s %-14s\n", "req#", "total", "PDP", "QueryGraph", "StreamBase")
+	for i, sm := range s.Samples {
+		if i%stride != 0 && i != len(s.Samples)-1 {
+			continue
+		}
+		fmt.Printf("%-8d %-14v %-14v %-14v %-14v\n", sm.Seq,
+			sm.Total.Round(time.Microsecond), sm.PDP.Round(time.Microsecond),
+			sm.Graph.Round(time.Microsecond), sm.Engine.Round(time.Microsecond))
+	}
+	var pdp, graph, engine, total []time.Duration
+	for _, sm := range s.Samples {
+		pdp = append(pdp, sm.PDP)
+		graph = append(graph, sm.Graph)
+		engine = append(engine, sm.Engine)
+		total = append(total, sm.Total)
+	}
+	fmt.Printf("\nsummaries:\n  total:      %s\n  PDP:        %s\n  QueryGraph: %s\n  StreamBase: %s\n",
+		metrics.Summarize(total), metrics.Summarize(pdp), metrics.Summarize(graph), metrics.Summarize(engine))
+}

@@ -1,0 +1,72 @@
+// Command dsmsd runs the stand-alone Aurora-style stream engine server
+// (the reproduction's StreamBase process). It pre-registers the
+// synthetic weather and GPS streams and, with -feed, publishes live
+// synthetic data into them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/dsms"
+	"repro/internal/dsmsd"
+	"repro/internal/netsim"
+	"repro/internal/source"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7420", "listen address")
+	name := flag.String("name", "cloud", "engine name used in stream handle URIs")
+	feed := flag.Bool("feed", false, "publish synthetic weather/GPS data continuously")
+	interval := flag.Duration("interval", time.Second, "synthetic feed interval")
+	simnet := flag.Bool("simnet", false, "simulate 100 Mbps intranet latency per request")
+	flag.Parse()
+
+	engine := dsms.NewEngine(*name)
+	defer engine.Close()
+	if err := engine.CreateStream("weather", source.WeatherSchema()); err != nil {
+		log.Fatalf("create weather stream: %v", err)
+	}
+	if err := engine.CreateStream("gps", source.GPSSchema()); err != nil {
+		log.Fatalf("create gps stream: %v", err)
+	}
+
+	var profile *netsim.Profile
+	if *simnet {
+		profile = netsim.Intranet100Mbps(1)
+	}
+	srv := dsmsd.NewServer(engine, profile)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	defer srv.Close()
+	fmt.Printf("dsmsd: engine %q listening on %s (streams: weather, gps)\n", *name, bound)
+
+	if *feed {
+		go func() {
+			ws := source.NewWeatherStation(time.Now().UnixMilli(), interval.Milliseconds(), 1)
+			gt := source.NewGPSTracker("dev1", 1.35, 103.82, time.Now().UnixMilli(), interval.Milliseconds(), 2)
+			tick := time.NewTicker(*interval)
+			defer tick.Stop()
+			for range tick.C {
+				if err := engine.Ingest("weather", ws.Next()); err != nil {
+					log.Printf("feed weather: %v", err)
+				}
+				if err := engine.Ingest("gps", gt.Next()); err != nil {
+					log.Printf("feed gps: %v", err)
+				}
+			}
+		}()
+		fmt.Printf("dsmsd: feeding synthetic data every %v\n", *interval)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("dsmsd: shutting down")
+}

@@ -1,0 +1,45 @@
+// Command exacml-proxy runs the caching proxy between clients and the
+// eXACML+ data server.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"repro/internal/netsim"
+	"repro/internal/proxy"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7422", "listen address")
+	upstream := flag.String("server", "127.0.0.1:7421", "exacmld data server address")
+	cache := flag.Bool("cache", true, "enable the stream-handle cache")
+	simnet := flag.Bool("simnet", false, "simulate 100 Mbps intranet latency per request")
+	flag.Parse()
+
+	var profile *netsim.Profile
+	if *simnet {
+		profile = netsim.Intranet100Mbps(3)
+	}
+	px, err := proxy.New(*upstream, profile)
+	if err != nil {
+		log.Fatalf("connect upstream %s: %v", *upstream, err)
+	}
+	defer px.Close()
+	px.SetCaching(*cache)
+
+	bound, err := px.Listen(*addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	fmt.Printf("exacml-proxy: listening on %s (upstream %s, cache=%v)\n", bound, *upstream, *cache)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	hits, misses := px.Stats()
+	fmt.Printf("exacml-proxy: shutting down (cache hits=%d misses=%d)\n", hits, misses)
+}

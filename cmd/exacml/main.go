@@ -1,0 +1,122 @@
+// Command exacml is the user-facing client CLI of the eXACML+
+// framework. Subcommands:
+//
+//	exacml load-policy  -addr HOST:PORT -file policy.xml
+//	exacml remove-policy -addr HOST:PORT -id POLICY_ID
+//	exacml request      -addr HOST:PORT -subject S -resource R [-action read] [-query query.xml]
+//	exacml release      -addr HOST:PORT -subject S -resource R
+//	exacml stats        -addr HOST:PORT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/client"
+	"repro/internal/xacmlplus"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7422", "proxy or data server address")
+	file := fs.String("file", "", "policy XML file (load-policy)")
+	id := fs.String("id", "", "policy id (remove-policy)")
+	subject := fs.String("subject", "", "requesting subject")
+	resource := fs.String("resource", "", "stream resource")
+	action := fs.String("action", "read", "requested action")
+	query := fs.String("query", "", "user query XML file (request)")
+	_ = fs.Parse(os.Args[2:])
+
+	cli, err := client.Dial(*addr)
+	if err != nil {
+		log.Fatalf("connect %s: %v", *addr, err)
+	}
+	defer cli.Close()
+
+	switch cmd {
+	case "load-policy":
+		if *file == "" {
+			log.Fatal("load-policy requires -file")
+		}
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pid, err := cli.LoadPolicy(data)
+		if err != nil {
+			log.Fatalf("load policy: %v", err)
+		}
+		fmt.Printf("loaded policy %q\n", pid)
+	case "remove-policy":
+		if *id == "" {
+			log.Fatal("remove-policy requires -id")
+		}
+		withdrawn, err := cli.RemovePolicy(*id)
+		if err != nil {
+			log.Fatalf("remove policy: %v", err)
+		}
+		fmt.Printf("removed policy %q, withdrew %d query graph(s): %v\n", *id, len(withdrawn), withdrawn)
+	case "request":
+		if *subject == "" || *resource == "" {
+			log.Fatal("request requires -subject and -resource")
+		}
+		var uq *xacmlplus.UserQuery
+		if *query != "" {
+			data, err := os.ReadFile(*query)
+			if err != nil {
+				log.Fatal(err)
+			}
+			uq, err = xacmlplus.ParseUserQuery(data)
+			if err != nil {
+				log.Fatalf("parse user query: %v", err)
+			}
+		}
+		resp, err := cli.RequestAccess(*subject, *resource, *action, uq)
+		if err != nil {
+			log.Fatalf("request: %v", err)
+		}
+		fmt.Printf("decision: %s\nverdict:  %s\n", resp.Decision, resp.Verdict)
+		for _, w := range resp.Warnings {
+			fmt.Printf("warning:  %s\n", w)
+		}
+		if resp.Granted() {
+			fmt.Printf("handle:   %s\nquery id: %s\nreused:   %v\n", resp.Handle, resp.QueryID, resp.Reused)
+			fmt.Printf("timings:  pdp=%dus graph=%dus engine=%dus\n",
+				resp.PDPNanos/1000, resp.GraphNanos/1000, resp.EngineNanos/1000)
+		}
+	case "release":
+		if *subject == "" || *resource == "" {
+			log.Fatal("release requires -subject and -resource")
+		}
+		if err := cli.Release(*subject, *resource); err != nil {
+			log.Fatalf("release: %v", err)
+		}
+		fmt.Println("released")
+	case "stats":
+		st, err := cli.Stats()
+		if err != nil {
+			log.Fatalf("stats: %v", err)
+		}
+		fmt.Printf("policies: %d\nactive grants: %d\n", st.Policies, st.ActiveGrants)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: exacml <command> [flags]
+
+commands:
+  load-policy   -addr HOST:PORT -file policy.xml
+  remove-policy -addr HOST:PORT -id POLICY_ID
+  request       -addr HOST:PORT -subject S -resource R [-action read] [-query query.xml]
+  release       -addr HOST:PORT -subject S -resource R
+  stats         -addr HOST:PORT`)
+	os.Exit(2)
+}

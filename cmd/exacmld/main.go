@@ -1,0 +1,87 @@
+// Command exacmld runs the eXACML+ data server: PDP, PEP and query
+// graph manager, fronting a dsmsd stream engine. Policies can be
+// preloaded from a directory of XML files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+
+	"repro/internal/audit"
+	"repro/internal/dsmsd"
+	"repro/internal/netsim"
+	"repro/internal/server"
+	"repro/internal/xacml"
+	"repro/internal/xacmlplus"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7421", "listen address")
+	dsmsAddr := flag.String("dsms", "127.0.0.1:7420", "dsmsd engine address")
+	policyDir := flag.String("policies", "", "directory of policy XML files to preload")
+	simnet := flag.Bool("simnet", false, "simulate 100 Mbps intranet latency per request")
+	deployOnPR := flag.Bool("deploy-on-pr", false, "deploy streams despite PR warnings")
+	auditPath := flag.String("audit", "", "append-only audit log file (accountability extension)")
+	flag.Parse()
+
+	engine, err := dsmsd.Dial(*dsmsAddr)
+	if err != nil {
+		log.Fatalf("connect to dsmsd at %s: %v", *dsmsAddr, err)
+	}
+	defer engine.Close()
+
+	pep := xacmlplus.NewPEP(xacml.NewPDP(), engine)
+	pep.DeployOnPR = *deployOnPR
+	if *auditPath != "" {
+		f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("open audit log: %v", err)
+		}
+		defer f.Close()
+		pep.Audit = audit.NewLog(f)
+		fmt.Printf("exacmld: auditing decisions to %s\n", *auditPath)
+	}
+
+	if *policyDir != "" {
+		files, err := filepath.Glob(filepath.Join(*policyDir, "*.xml"))
+		if err != nil {
+			log.Fatalf("scan policies: %v", err)
+		}
+		for _, f := range files {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				log.Fatalf("read %s: %v", f, err)
+			}
+			pol, err := xacml.ParsePolicy(data)
+			if err != nil {
+				log.Fatalf("parse %s: %v", f, err)
+			}
+			if _, err := pep.UpdatePolicy(pol); err != nil {
+				log.Fatalf("load %s: %v", f, err)
+			}
+			fmt.Printf("exacmld: loaded policy %q from %s\n", pol.PolicyID, f)
+		}
+	}
+
+	var profile *netsim.Profile
+	if *simnet {
+		profile = netsim.Intranet100Mbps(2)
+	}
+	srv := server.New(pep, profile)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	defer srv.Close()
+	fmt.Printf("exacmld: data server listening on %s (engine %s, %d policies)\n",
+		bound, *dsmsAddr, pep.PDP.Count())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("exacmld: shutting down")
+}

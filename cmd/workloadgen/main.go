@@ -1,0 +1,91 @@
+// Command workloadgen materialises the §4.2 workload on disk in the
+// paper's format: "Each continuous query corresponds to three files in
+// the experiment: (1) a StreamSQL script as the input to the
+// direct-query system; (2) a XACML policy file whose obligations form
+// the query graph exactly as that in the above StreamSQL script;
+// (3) a XACML request file for requesting data streams, which may also
+// have a user query embedded inside."
+//
+//	workloadgen -out ./workload [-scale 10] [-seed 2012]
+//
+// writes policies/policyNNNN.xml, queries/queryNNNN.sql,
+// requests/requestNNNN.xml (+ userqueryNNNN.xml when present) and
+// sequence files for the unique and Zipf orders.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", "workload", "output directory")
+	scale := flag.Int("scale", 1, "shrink the Table 3 workload by this factor")
+	seed := flag.Int64("seed", 2012, "workload seed")
+	flag.Parse()
+
+	p := workload.TableThree()
+	if *scale > 1 {
+		p = workload.Scaled(*scale)
+	}
+	p.Seed = *seed
+	w, err := workload.Generate(p)
+	if err != nil {
+		log.Fatalf("generate: %v", err)
+	}
+
+	dirs := []string{"policies", "queries", "requests"}
+	for _, d := range dirs {
+		if err := os.MkdirAll(filepath.Join(*out, d), 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for i, xmlDoc := range w.PolicyXML {
+		path := filepath.Join(*out, "policies", fmt.Sprintf("policy%04d.xml", i))
+		if err := os.WriteFile(path, []byte(xmlDoc), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	withUQ := 0
+	for _, item := range w.Items {
+		sqlPath := filepath.Join(*out, "queries", fmt.Sprintf("query%04d.sql", item.Index))
+		if err := os.WriteFile(sqlPath, []byte(item.Script+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		reqPath := filepath.Join(*out, "requests", fmt.Sprintf("request%04d.xml", item.Index))
+		if err := os.WriteFile(reqPath, []byte(item.RequestXML), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		if item.UserQueryXML != "" {
+			withUQ++
+			uqPath := filepath.Join(*out, "requests", fmt.Sprintf("userquery%04d.xml", item.Index))
+			if err := os.WriteFile(uqPath, []byte(item.UserQueryXML), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	writeSeq := func(name string, seq []int) {
+		lines := make([]string, len(seq))
+		for i, idx := range seq {
+			lines[i] = strconv.Itoa(idx)
+		}
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	writeSeq("sequence-unique.txt", w.UniqueSequence())
+	writeSeq("sequence-zipf.txt", w.ZipfSequence(p.NRequests, p.Seed+1))
+
+	fmt.Printf("workloadgen: wrote %d policies, %d queries, %d requests (%d with user queries) to %s\n",
+		len(w.PolicyXML), len(w.Items), len(w.Items), withUQ, *out)
+}

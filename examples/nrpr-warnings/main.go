@@ -1,0 +1,101 @@
+// NR/PR conflict detection (§3.5): when a user's customised query
+// contradicts the access-control policy, the framework warns about
+// empty (NR) or partial (PR) results instead of silently serving a
+// stream that can never match the user's expectation. This example
+// walks Example 3, Example 4 and the per-operator rules.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/source"
+	"repro/internal/xacml"
+	"repro/internal/xacmlplus"
+)
+
+func main() {
+	fw := core.New("nrpr")
+	defer fw.Close()
+	if err := fw.RegisterStream("weather", source.WeatherSchema()); err != nil {
+		log.Fatal(err)
+	}
+	// Policy: rainrate > 8 visible, attributes (samplingtime, rainrate).
+	pol := xacml.NewPermitPolicy("owner:weather",
+		xacml.NewTarget("", "weather", "read"),
+		xacml.Obligation{
+			ObligationID: xacmlplus.ObligationFilter,
+			FulfillOn:    xacml.EffectPermit,
+			Assignments: []xacml.AttributeAssignment{
+				xacml.NewStringAssignment(xacmlplus.AttrFilterCondition, "rainrate > 8"),
+			},
+		},
+		xacml.Obligation{
+			ObligationID: xacmlplus.ObligationMap,
+			FulfillOn:    xacml.EffectPermit,
+			Assignments: []xacml.AttributeAssignment{
+				xacml.NewStringAssignment(xacmlplus.AttrMapAttribute, "samplingtime"),
+				xacml.NewStringAssignment(xacmlplus.AttrMapAttribute, "rainrate"),
+			},
+		},
+	)
+	if err := fw.AddPolicy(pol); err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(who string, uq *xacmlplus.UserQuery) {
+		resp, err := fw.Request(who, "weather", "read", uq)
+		if err != nil {
+			fmt.Printf("%-28s -> error: %v\n", who, err)
+			return
+		}
+		fmt.Printf("%-28s -> verdict %s, granted=%v\n", who, resp.Verdict, resp.Granted())
+		for _, w := range resp.Warnings {
+			fmt.Printf("%-28s    %s\n", "", w)
+		}
+	}
+
+	// Example 3: user wants rainrate > 5, policy cuts at > 8: PR.
+	show("example3-pr (rain > 5)", &xacmlplus.UserQuery{
+		Stream: xacmlplus.StreamRef{Name: "weather"},
+		Filter: &xacmlplus.FilterClause{Condition: "rainrate > 5"},
+	})
+	// Example 3 variant: user wants rainrate < 4 against policy > 8: NR.
+	show("example3-nr (rain < 4)", &xacmlplus.UserQuery{
+		Stream: xacmlplus.StreamRef{Name: "weather"},
+		Filter: &xacmlplus.FilterClause{Condition: "rainrate < 4"},
+	})
+	// Compatible refinement: rainrate > 50: OK, granted.
+	show("compatible (rain > 50)", &xacmlplus.UserQuery{
+		Stream: xacmlplus.StreamRef{Name: "weather"},
+		Filter: &xacmlplus.FilterClause{Condition: "rainrate > 50"},
+	})
+	// Map conflict: barometer is withheld: NR (nothing requested is allowed).
+	show("map-nr (barometer only)", &xacmlplus.UserQuery{
+		Stream: xacmlplus.StreamRef{Name: "weather"},
+		Map:    &xacmlplus.MapClause{Attributes: []string{"barometer"}},
+	})
+	// Map partial: one allowed + one withheld attribute: PR.
+	show("map-pr (rainrate+windspeed)", &xacmlplus.UserQuery{
+		Stream: xacmlplus.StreamRef{Name: "weather"},
+		Map:    &xacmlplus.MapClause{Attributes: []string{"rainrate", "windspeed"}},
+	})
+
+	// Example 4, verbatim: C1 = (a>20 AND a<30) OR NOT(a != 40),
+	// C2 = NOT(a >= 10) AND b = 20. Every DNF clause of C1 AND C2 is
+	// contradictory, so the verdict is NR.
+	c1 := expr.MustParse("(a > 20 AND a < 30) OR NOT (a != 40)")
+	c2 := expr.MustParse("NOT (a >= 10) AND b = 20")
+	dnf, err := expr.ToDNF(&expr.And{L: c1, R: c2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nExample 4: P2 (DNF of C1 AND C2) = %s\n", dnf)
+	v, err := expr.CheckConditions(c1, c2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Example 4 verdict: %s (the paper's expected NR)\n", v)
+}

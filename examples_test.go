@@ -1,0 +1,62 @@
+package repro_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example main and sanity-checks its
+// output, so the documented examples cannot rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs example binaries")
+	}
+	cases := []struct {
+		dir   string
+		wants []string
+	}{
+		{"./examples/quickstart", []string{
+			"granted: handle=dsms://",
+			"tuples delivered to alice",
+			"decision=NotApplicable granted=false",
+		}},
+		{"./examples/weather-lta", []string{
+			"Fig 1: Aurora query graph",
+			"Filter(rainrate > 5)",
+			"avg(rainrate) AS avgrainrate",
+			"windows total",
+		}},
+		{"./examples/gps-geofence", []string{
+			"granted, handle dsms://",
+			"NotApplicable",
+			"avg speed",
+		}},
+		{"./examples/reconstruction", []string{
+			"Privacy lost",
+			"REFUSED",
+			"single access per stream",
+		}},
+		{"./examples/nrpr-warnings", []string{
+			"verdict PR",
+			"verdict NR",
+			"verdict OK, granted=true",
+			"Example 4 verdict: NR",
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", c.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", c.dir, err, out)
+			}
+			for _, want := range c.wants {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("%s output missing %q:\n%s", c.dir, want, out)
+				}
+			}
+		})
+	}
+}

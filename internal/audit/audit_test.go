@@ -1,0 +1,108 @@
+package audit
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestAppendChains(t *testing.T) {
+	l := NewLog(nil)
+	l.SetClock(func() int64 { return 42 })
+	e1, err := l.Append(Event{Kind: "access", Subject: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := l.Append(Event{Kind: "release", Subject: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Seq != 1 || e2.Seq != 2 {
+		t.Errorf("seqs = %d, %d", e1.Seq, e2.Seq)
+	}
+	if e1.Prev != "" || e2.Prev != e1.Hash {
+		t.Error("chain linkage broken")
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d", l.Len())
+	}
+	if idx := l.Verify(); idx != -1 {
+		t.Errorf("Verify = %d on intact log", idx)
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	l := NewLog(nil)
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(Event{Kind: "access", Subject: "s"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events := l.Events()
+	// Tamper with record 2's subject.
+	events[2].Subject = "mallory"
+	if idx := VerifyEvents(events); idx != 2 {
+		t.Errorf("tampered body: Verify = %d, want 2", idx)
+	}
+	// Tamper with record 3's hash chain.
+	events = l.Events()
+	events[3].Prev = "bogus"
+	if idx := VerifyEvents(events); idx != 3 {
+		t.Errorf("tampered chain: Verify = %d, want 3", idx)
+	}
+	// Intact export verifies.
+	if idx := VerifyEvents(l.Events()); idx != -1 {
+		t.Errorf("intact export: %d", idx)
+	}
+}
+
+func TestWriterReceivesJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLog(&buf)
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(Event{Kind: "access"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var read []Event
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line: %v", err)
+		}
+		read = append(read, e)
+	}
+	if len(read) != 3 {
+		t.Fatalf("read %d events", len(read))
+	}
+	if idx := VerifyEvents(read); idx != -1 {
+		t.Errorf("persisted chain broken at %d", idx)
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	l := NewLog(nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := l.Append(Event{Kind: "access"}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 400 {
+		t.Errorf("Len = %d", l.Len())
+	}
+	if idx := l.Verify(); idx != -1 {
+		t.Errorf("chain broken at %d after concurrent appends", idx)
+	}
+}

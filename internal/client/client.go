@@ -1,0 +1,112 @@
+// Package client is the user-facing client interface of the eXACML+
+// framework (Fig 3(a)): it loads policies, requests data streams with
+// optional customised queries, and receives back stream handles or
+// NR/PR warnings. It talks to either the proxy or the data server —
+// both speak the same protocol.
+package client
+
+import (
+	"fmt"
+
+	"repro/internal/protocol"
+	"repro/internal/server"
+	"repro/internal/xacml"
+	"repro/internal/xacmlplus"
+)
+
+// Client is a connected eXACML+ client.
+type Client struct {
+	rpc *protocol.Client
+}
+
+// Dial connects to a data server or proxy address.
+func Dial(addr string) (*Client, error) {
+	rpc, err := protocol.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{rpc: rpc}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.rpc.Close() }
+
+// LoadPolicy uploads a policy document (data-owner operation).
+func (c *Client) LoadPolicy(policyXML []byte) (string, error) {
+	resp, err := protocol.CallDecode[server.LoadPolicyResp](c.rpc, server.MsgLoadPolicy,
+		server.LoadPolicyReq{PolicyXML: string(policyXML)})
+	if err != nil {
+		return "", err
+	}
+	return resp.PolicyID, nil
+}
+
+// LoadPolicyObject marshals and uploads a policy.
+func (c *Client) LoadPolicyObject(p *xacml.Policy) (string, error) {
+	data, err := p.Marshal()
+	if err != nil {
+		return "", err
+	}
+	return c.LoadPolicy(data)
+}
+
+// RemovePolicy removes a policy; the server withdraws all query graphs
+// it spawned and returns their ids.
+func (c *Client) RemovePolicy(policyID string) ([]string, error) {
+	resp, err := protocol.CallDecode[server.RemovePolicyResp](c.rpc, server.MsgRemovePolicy,
+		server.RemovePolicyReq{PolicyID: policyID})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Withdrawn, nil
+}
+
+// RequestAccess asks for a data stream as subject/resource/action with
+// an optional customised query, returning the wire response (handle,
+// warnings, timings).
+func (c *Client) RequestAccess(subject, resource, action string, uq *xacmlplus.UserQuery) (server.AccessResp, error) {
+	req := xacml.NewRequest(subject, resource, action)
+	reqXML, err := req.Marshal()
+	if err != nil {
+		return server.AccessResp{}, err
+	}
+	wire := server.AccessReq{RequestXML: string(reqXML)}
+	if uq != nil {
+		uqXML, err := uq.Marshal()
+		if err != nil {
+			return server.AccessResp{}, err
+		}
+		wire.UserQueryXML = string(uqXML)
+	}
+	return protocol.CallDecode[server.AccessResp](c.rpc, server.MsgAccess, wire)
+}
+
+// RequestAccessXML sends pre-marshalled request and user-query
+// documents (the workload driver uses this to replay generated files).
+func (c *Client) RequestAccessXML(requestXML, userQueryXML string) (server.AccessResp, error) {
+	return protocol.CallDecode[server.AccessResp](c.rpc, server.MsgAccess,
+		server.AccessReq{RequestXML: requestXML, UserQueryXML: userQueryXML})
+}
+
+// Release gives up the caller's grant on a stream.
+func (c *Client) Release(user, streamName string) error {
+	_, err := c.rpc.Call(server.MsgRelease, server.ReleaseReq{User: user, Stream: streamName})
+	return err
+}
+
+// Stats fetches server counters.
+func (c *Client) Stats() (server.StatsResp, error) {
+	return protocol.CallDecode[server.StatsResp](c.rpc, server.MsgStats, struct{}{})
+}
+
+// ExpectGranted is a convenience that fails unless a handle was issued.
+func ExpectGranted(resp server.AccessResp, err error) (server.AccessResp, error) {
+	if err != nil {
+		return resp, err
+	}
+	if !resp.Granted() {
+		return resp, fmt.Errorf("client: access not granted (decision=%s verdict=%s warnings=%v)",
+			resp.Decision, resp.Verdict, resp.Warnings)
+	}
+	return resp, nil
+}

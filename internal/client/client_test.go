@@ -1,0 +1,48 @@
+package client
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/xacml"
+)
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dialing a closed port must fail")
+	}
+}
+
+func TestExpectGranted(t *testing.T) {
+	ok := server.AccessResp{Decision: "Permit", Handle: "dsms://x/streams/q1"}
+	if _, err := ExpectGranted(ok, nil); err != nil {
+		t.Errorf("granted response: %v", err)
+	}
+	denied := server.AccessResp{Decision: "NotApplicable", Verdict: "OK"}
+	if _, err := ExpectGranted(denied, nil); err == nil || !strings.Contains(err.Error(), "not granted") {
+		t.Errorf("denied response: %v", err)
+	}
+	warned := server.AccessResp{Decision: "Permit", Verdict: "PR", Warnings: []string{"PR(filter): ..."}}
+	_, err := ExpectGranted(warned, nil)
+	if err == nil || !strings.Contains(err.Error(), "PR") {
+		t.Errorf("PR response should surface warnings: %v", err)
+	}
+	// An explicit error passes through.
+	if _, err := ExpectGranted(ok, errWrap("boom")); err == nil || err.Error() != "boom" {
+		t.Errorf("error passthrough: %v", err)
+	}
+}
+
+type errWrap string
+
+func (e errWrap) Error() string { return string(e) }
+
+func TestPolicyMarshalsForUpload(t *testing.T) {
+	// LoadPolicyObject marshals locally before sending; a minimal valid
+	// policy must marshal cleanly.
+	pol := xacml.NewPermitPolicy("p", nil)
+	if _, err := pol.Marshal(); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}

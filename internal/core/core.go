@@ -1,0 +1,115 @@
+// Package core is the top-level facade of the eXACML+ reproduction: it
+// wires the Aurora-style stream engine, the XACML PDP and the XACML+
+// PEP into a single in-process Framework with a small, documented API.
+// The networked deployment (data server, proxy, client over TCP) lives
+// in internal/server, internal/proxy and internal/client; this package
+// is the embedded form that examples, tools and downstream users start
+// from.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dsms"
+	"repro/internal/stream"
+	"repro/internal/xacml"
+	"repro/internal/xacmlplus"
+)
+
+// Framework is an embedded eXACML+ instance: a stream engine plus the
+// access-control plane over it.
+type Framework struct {
+	// Engine is the Aurora-model DSMS.
+	Engine *dsms.Engine
+	// PDP stores and evaluates XACML policies.
+	PDP *xacml.PDP
+	// PEP enforces decisions: obligations → query graphs, merging,
+	// NR/PR analysis, single-access guard, graph management.
+	PEP *xacmlplus.PEP
+}
+
+// New creates a framework with a fresh engine.
+func New(name string) *Framework {
+	engine := dsms.NewEngine(name)
+	pdp := xacml.NewPDP()
+	return &Framework{
+		Engine: engine,
+		PDP:    pdp,
+		PEP:    xacmlplus.NewPEP(pdp, xacmlplus.LocalEngine{E: engine}),
+	}
+}
+
+// Close shuts down the engine and all continuous queries.
+func (f *Framework) Close() { f.Engine.Close() }
+
+// RegisterStream declares a data-owner's stream.
+func (f *Framework) RegisterStream(name string, schema *stream.Schema) error {
+	return f.Engine.CreateStream(name, schema)
+}
+
+// LoadPolicy parses and activates a policy document; reloading an
+// existing id withdraws the old version's query graphs first (§3.3).
+func (f *Framework) LoadPolicy(policyXML []byte) (string, error) {
+	pol, err := xacml.ParsePolicy(policyXML)
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.PEP.UpdatePolicy(pol); err != nil {
+		return "", err
+	}
+	return pol.PolicyID, nil
+}
+
+// AddPolicy activates an already-built policy object.
+func (f *Framework) AddPolicy(pol *xacml.Policy) error {
+	if err := pol.Validate(); err != nil {
+		return err
+	}
+	_, err := f.PEP.UpdatePolicy(pol)
+	return err
+}
+
+// RemovePolicy removes a policy and withdraws every query graph it
+// spawned, returning the withdrawn query ids.
+func (f *Framework) RemovePolicy(policyID string) ([]string, error) {
+	return f.PEP.RemovePolicy(policyID)
+}
+
+// Request asks for a stream as (subject, stream, action) with an
+// optional customised query. On Permit with no NR/PR conflict, the
+// response carries the live stream handle.
+func (f *Framework) Request(subject, streamName, action string, userQuery *xacmlplus.UserQuery) (*xacmlplus.AccessResponse, error) {
+	return f.PEP.HandleRequest(xacml.NewRequest(subject, streamName, action), userQuery)
+}
+
+// Subscribe attaches a consumer to a granted stream handle.
+func (f *Framework) Subscribe(handle string) (*dsms.Subscription, error) {
+	return f.Engine.Subscribe(handle)
+}
+
+// Publish appends a tuple to a registered stream; all continuous
+// queries over it are applied immediately.
+func (f *Framework) Publish(streamName string, t stream.Tuple) error {
+	return f.Engine.Ingest(streamName, t)
+}
+
+// Flush blocks until all published tuples have been processed.
+func (f *Framework) Flush() { f.Engine.Flush() }
+
+// Release gives up a user's grant on a stream.
+func (f *Framework) Release(subject, streamName string) error {
+	return f.PEP.Release(subject, streamName)
+}
+
+// RequireHandle is a convenience that fails unless the response issued
+// a handle, formatting warnings into the error.
+func RequireHandle(resp *xacmlplus.AccessResponse, err error) (*xacmlplus.AccessResponse, error) {
+	if err != nil {
+		return resp, err
+	}
+	if !resp.Granted() {
+		return resp, fmt.Errorf("core: access not granted (decision=%s verdict=%s warnings=%v)",
+			resp.Decision, resp.Verdict, resp.Warnings)
+	}
+	return resp, nil
+}

@@ -1,0 +1,199 @@
+package dsms
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stream"
+)
+
+// AggFunc enumerates the window aggregate functions from §2.2:
+// {Avg, Max, Min, Count, Sum, LastValue, FirstValue}.
+type AggFunc int
+
+const (
+	// AggInvalid is the zero AggFunc.
+	AggInvalid AggFunc = iota
+	// AggAvg is the arithmetic mean of the attribute over the window.
+	AggAvg
+	// AggMax is the maximum.
+	AggMax
+	// AggMin is the minimum.
+	AggMin
+	// AggCount is the number of tuples in the window.
+	AggCount
+	// AggSum is the sum.
+	AggSum
+	// AggFirstVal is the attribute of the first tuple in the window.
+	AggFirstVal
+	// AggLastVal is the attribute of the last tuple in the window.
+	AggLastVal
+)
+
+// String returns the StreamSQL spelling of the function.
+func (f AggFunc) String() string {
+	switch f {
+	case AggAvg:
+		return "avg"
+	case AggMax:
+		return "max"
+	case AggMin:
+		return "min"
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggFirstVal:
+		return "firstval"
+	case AggLastVal:
+		return "lastval"
+	default:
+		return "invalid"
+	}
+}
+
+// ParseAggFunc accepts the spellings used in obligations ("avg",
+// "lastval", "lastvalue", ...).
+func ParseAggFunc(s string) (AggFunc, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "avg", "average", "mean":
+		return AggAvg, nil
+	case "max", "maximum":
+		return AggMax, nil
+	case "min", "minimum":
+		return AggMin, nil
+	case "count":
+		return AggCount, nil
+	case "sum":
+		return AggSum, nil
+	case "firstval", "firstvalue", "first":
+		return AggFirstVal, nil
+	case "lastval", "lastvalue", "last":
+		return AggLastVal, nil
+	default:
+		return AggInvalid, fmt.Errorf("dsms: unknown aggregate function %q", s)
+	}
+}
+
+// AggSpec binds an aggregate function to an attribute: the paper's
+// obligation value form "attribute:function" (e.g. "rainrate:avg").
+type AggSpec struct {
+	Attr string
+	Func AggFunc
+}
+
+// String renders "attr:func" (the obligation attribute form).
+func (a AggSpec) String() string { return a.Attr + ":" + a.Func.String() }
+
+// OutputName is the name of the produced column, matching the paper's
+// generated StreamSQL ("avg(rainrate) AS avgrainrate").
+func (a AggSpec) OutputName() string {
+	return a.Func.String() + strings.ToLower(a.Attr)
+}
+
+// ParseAggSpec parses "attr:func".
+func ParseAggSpec(s string) (AggSpec, error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 || strings.TrimSpace(parts[0]) == "" {
+		return AggSpec{}, fmt.Errorf("dsms: bad aggregation attribute %q (want attr:func)", s)
+	}
+	f, err := ParseAggFunc(parts[1])
+	if err != nil {
+		return AggSpec{}, err
+	}
+	return AggSpec{Attr: strings.TrimSpace(parts[0]), Func: f}, nil
+}
+
+// OutputType computes the type of the aggregate output column given the
+// input attribute type.
+func (a AggSpec) OutputType(in stream.FieldType) (stream.FieldType, error) {
+	switch a.Func {
+	case AggCount:
+		return stream.TypeInt, nil
+	case AggAvg:
+		if !in.IsNumeric() {
+			return stream.TypeInvalid, fmt.Errorf("dsms: avg requires numeric attribute, %q is %s", a.Attr, in)
+		}
+		return stream.TypeDouble, nil
+	case AggSum:
+		if !in.IsNumeric() {
+			return stream.TypeInvalid, fmt.Errorf("dsms: sum requires numeric attribute, %q is %s", a.Attr, in)
+		}
+		if in == stream.TypeInt {
+			return stream.TypeInt, nil
+		}
+		return stream.TypeDouble, nil
+	case AggMax, AggMin:
+		if !in.IsNumeric() && in != stream.TypeString {
+			return stream.TypeInvalid, fmt.Errorf("dsms: %s requires orderable attribute, %q is %s", a.Func, a.Attr, in)
+		}
+		return in, nil
+	case AggFirstVal, AggLastVal:
+		return in, nil
+	default:
+		return stream.TypeInvalid, fmt.Errorf("dsms: invalid aggregate function")
+	}
+}
+
+// computeAggregate evaluates the aggregate over the window's tuples.
+// pos is the attribute position in the window's input schema.
+func computeAggregate(f AggFunc, tuples []stream.Tuple, pos int, inType stream.FieldType) (stream.Value, error) {
+	if len(tuples) == 0 {
+		return stream.Null, nil
+	}
+	switch f {
+	case AggCount:
+		return stream.IntValue(int64(len(tuples))), nil
+	case AggFirstVal:
+		return tuples[0].Values[pos], nil
+	case AggLastVal:
+		return tuples[len(tuples)-1].Values[pos], nil
+	case AggAvg, AggSum:
+		var sum float64
+		n := 0
+		for _, t := range tuples {
+			v := t.Values[pos]
+			if v.IsNull() {
+				continue
+			}
+			fv, ok := v.AsFloat()
+			if !ok {
+				return stream.Null, fmt.Errorf("dsms: non-numeric value in %s", f)
+			}
+			sum += fv
+			n++
+		}
+		if n == 0 {
+			return stream.Null, nil
+		}
+		if f == AggAvg {
+			return stream.DoubleValue(sum / float64(n)), nil
+		}
+		if inType == stream.TypeInt {
+			return stream.IntValue(int64(sum)), nil
+		}
+		return stream.DoubleValue(sum), nil
+	case AggMax, AggMin:
+		var best stream.Value
+		for _, t := range tuples {
+			v := t.Values[pos]
+			if v.IsNull() {
+				continue
+			}
+			if best.IsNull() {
+				best = v
+				continue
+			}
+			cmp, err := v.Compare(best)
+			if err != nil {
+				return stream.Null, err
+			}
+			if (f == AggMax && cmp > 0) || (f == AggMin && cmp < 0) {
+				best = v
+			}
+		}
+		return best, nil
+	default:
+		return stream.Null, fmt.Errorf("dsms: invalid aggregate function")
+	}
+}

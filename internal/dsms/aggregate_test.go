@@ -1,0 +1,188 @@
+package dsms
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestParseAggFunc(t *testing.T) {
+	cases := map[string]AggFunc{
+		"avg": AggAvg, "Average": AggAvg, "MAX": AggMax, "min": AggMin,
+		"count": AggCount, "sum": AggSum, "lastval": AggLastVal,
+		"lastvalue": AggLastVal, "firstval": AggFirstVal, "first": AggFirstVal,
+	}
+	for in, want := range cases {
+		got, err := ParseAggFunc(in)
+		if err != nil || got != want {
+			t.Errorf("ParseAggFunc(%q) = (%v,%v), want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseAggFunc("median"); err == nil {
+		t.Error("unknown func must fail")
+	}
+}
+
+func TestParseAggSpec(t *testing.T) {
+	s, err := ParseAggSpec("rainrate:avg")
+	if err != nil || s.Attr != "rainrate" || s.Func != AggAvg {
+		t.Errorf("ParseAggSpec = (%+v,%v)", s, err)
+	}
+	if s.OutputName() != "avgrainrate" {
+		t.Errorf("OutputName = %q", s.OutputName())
+	}
+	if s.String() != "rainrate:avg" {
+		t.Errorf("String = %q", s.String())
+	}
+	for _, bad := range []string{"", "noclon", ":avg", "a:nope"} {
+		if _, err := ParseAggSpec(bad); err == nil {
+			t.Errorf("ParseAggSpec(%q) should fail", bad)
+		}
+	}
+}
+
+func TestAggSpecOutputType(t *testing.T) {
+	cases := []struct {
+		f    AggFunc
+		in   stream.FieldType
+		want stream.FieldType
+		err  bool
+	}{
+		{AggCount, stream.TypeString, stream.TypeInt, false},
+		{AggAvg, stream.TypeInt, stream.TypeDouble, false},
+		{AggAvg, stream.TypeDouble, stream.TypeDouble, false},
+		{AggAvg, stream.TypeString, stream.TypeInvalid, true},
+		{AggSum, stream.TypeInt, stream.TypeInt, false},
+		{AggSum, stream.TypeDouble, stream.TypeDouble, false},
+		{AggMax, stream.TypeDouble, stream.TypeDouble, false},
+		{AggMax, stream.TypeString, stream.TypeString, false},
+		{AggMax, stream.TypeBool, stream.TypeInvalid, true},
+		{AggLastVal, stream.TypeTimestamp, stream.TypeTimestamp, false},
+		{AggFirstVal, stream.TypeBool, stream.TypeBool, false},
+	}
+	for _, c := range cases {
+		got, err := AggSpec{Attr: "a", Func: c.f}.OutputType(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("%v(%v): err=%v, want err=%v", c.f, c.in, err, c.err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("%v(%v) = %v, want %v", c.f, c.in, got, c.want)
+		}
+	}
+}
+
+func intTuples(vals ...int64) []stream.Tuple {
+	out := make([]stream.Tuple, len(vals))
+	for i, v := range vals {
+		out[i] = stream.NewTuple(stream.IntValue(v))
+	}
+	return out
+}
+
+func TestComputeAggregates(t *testing.T) {
+	w := intTuples(3, 1, 4, 1, 5)
+	cases := []struct {
+		f    AggFunc
+		want stream.Value
+	}{
+		{AggCount, stream.IntValue(5)},
+		{AggSum, stream.IntValue(14)},
+		{AggAvg, stream.DoubleValue(2.8)},
+		{AggMax, stream.IntValue(5)},
+		{AggMin, stream.IntValue(1)},
+		{AggFirstVal, stream.IntValue(3)},
+		{AggLastVal, stream.IntValue(5)},
+	}
+	for _, c := range cases {
+		got, err := computeAggregate(c.f, w, 0, stream.TypeInt)
+		if err != nil {
+			t.Fatalf("%v: %v", c.f, err)
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("%v = %v, want %v", c.f, got, c.want)
+		}
+	}
+}
+
+func TestComputeAggregateEmptyAndNulls(t *testing.T) {
+	if v, err := computeAggregate(AggSum, nil, 0, stream.TypeInt); err != nil || !v.IsNull() {
+		t.Errorf("empty window: (%v,%v)", v, err)
+	}
+	w := []stream.Tuple{
+		stream.NewTuple(stream.Null),
+		stream.NewTuple(stream.IntValue(10)),
+		stream.NewTuple(stream.Null),
+	}
+	v, err := computeAggregate(AggAvg, w, 0, stream.TypeInt)
+	if err != nil || v.Double() != 10 {
+		t.Errorf("avg skipping nulls = (%v,%v)", v, err)
+	}
+	v, err = computeAggregate(AggCount, w, 0, stream.TypeInt)
+	if err != nil || v.Int() != 3 {
+		t.Errorf("count includes nulls = (%v,%v)", v, err)
+	}
+	allNull := []stream.Tuple{stream.NewTuple(stream.Null)}
+	v, err = computeAggregate(AggMax, allNull, 0, stream.TypeInt)
+	if err != nil || !v.IsNull() {
+		t.Errorf("max of nulls = (%v,%v)", v, err)
+	}
+}
+
+func TestComputeAggregateStrings(t *testing.T) {
+	w := []stream.Tuple{
+		stream.NewTuple(stream.StringValue("b")),
+		stream.NewTuple(stream.StringValue("a")),
+		stream.NewTuple(stream.StringValue("c")),
+	}
+	v, err := computeAggregate(AggMax, w, 0, stream.TypeString)
+	if err != nil || v.Str() != "c" {
+		t.Errorf("max string = (%v,%v)", v, err)
+	}
+	v, err = computeAggregate(AggMin, w, 0, stream.TypeString)
+	if err != nil || v.Str() != "a" {
+		t.Errorf("min string = (%v,%v)", v, err)
+	}
+	if _, err = computeAggregate(AggSum, w, 0, stream.TypeString); err == nil {
+		t.Error("sum of strings must fail")
+	}
+}
+
+func TestWindowSpec(t *testing.T) {
+	good := WindowSpec{Type: WindowTuple, Size: 5, Step: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec: %v", err)
+	}
+	bad := []WindowSpec{
+		{Type: WindowInvalid, Size: 5, Step: 2},
+		{Type: WindowTuple, Size: 0, Step: 2},
+		{Type: WindowTuple, Size: 5, Step: 0},
+		{Type: WindowTime, Size: -1, Step: 1},
+	}
+	for _, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("spec %v should be invalid", w)
+		}
+	}
+	if good.String() != "tuple[size=5 step=2]" {
+		t.Errorf("String = %q", good.String())
+	}
+	if !good.Equal(WindowSpec{Type: WindowTuple, Size: 5, Step: 2}) {
+		t.Error("Equal")
+	}
+}
+
+func TestParseWindowType(t *testing.T) {
+	if wt, err := ParseWindowType("tuple"); err != nil || wt != WindowTuple {
+		t.Error("tuple")
+	}
+	if wt, err := ParseWindowType("TUPLES"); err != nil || wt != WindowTuple {
+		t.Error("tuples")
+	}
+	if wt, err := ParseWindowType("time"); err != nil || wt != WindowTime {
+		t.Error("time")
+	}
+	if _, err := ParseWindowType("session"); err == nil {
+		t.Error("unknown type must fail")
+	}
+}

@@ -1,0 +1,165 @@
+package dsms
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// TestSubscriptionOverflowDrops: a consumer that never drains its
+// channel loses tuples beyond the buffer, counted in Dropped, without
+// blocking the engine.
+func TestSubscriptionOverflowDrops(t *testing.T) {
+	e := NewEngine("overflow")
+	defer e.Close()
+	if err := e.CreateStream("s", singleAttrSchema()); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := e.Deploy(NewQueryGraph("s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := e.Subscribe(dep.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := DefaultSubscriptionBuffer + 500
+	for i := 0; i < n; i++ {
+		if err := e.Ingest("s", stream.NewTuple(stream.IntValue(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Flush()
+	if got := len(sub.C); got != DefaultSubscriptionBuffer {
+		t.Errorf("buffered = %d, want %d", got, DefaultSubscriptionBuffer)
+	}
+	if got := sub.Dropped(); got != 500 {
+		t.Errorf("Dropped = %d, want 500", got)
+	}
+	// The delivered prefix is in order.
+	first := <-sub.C
+	if first.Values[0].Int() != 0 {
+		t.Errorf("first tuple = %v", first)
+	}
+}
+
+// TestHoppingTimeWindow: step > size skips data between windows.
+func TestHoppingTimeWindow(t *testing.T) {
+	op, err := newOperator(NewAggregateBox(
+		WindowSpec{Type: WindowTime, Size: 100, Step: 300},
+		AggSpec{Attr: "a", Func: AggSum},
+	), singleAttrSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sums []int64
+	// Tuples at t=0..550 every 50ms, value 1. Windows [0,100) then
+	// [300,400): sums 2 and 2; tuples in (100,300) are skipped.
+	for ts := int64(0); ts <= 700; ts += 50 {
+		tu := stream.NewTuple(stream.IntValue(1))
+		tu.ArrivalMillis = ts
+		out, err := op.process(tu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range out {
+			sums = append(sums, o.Values[0].Int())
+		}
+	}
+	if len(sums) < 2 {
+		t.Fatalf("windows emitted = %v", sums)
+	}
+	if sums[0] != 2 || sums[1] != 2 {
+		t.Errorf("sums = %v, want leading 2,2", sums)
+	}
+}
+
+// TestHoppingTupleWindow: tuple windows with step > size drop tuples
+// between windows.
+func TestHoppingTupleWindow(t *testing.T) {
+	op, err := newOperator(NewAggregateBox(
+		WindowSpec{Type: WindowTuple, Size: 2, Step: 3},
+		AggSpec{Attr: "a", Func: AggSum},
+	), singleAttrSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sums []int64
+	for i := int64(0); i < 9; i++ {
+		out, err := op.process(stream.NewTuple(stream.IntValue(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range out {
+			sums = append(sums, o.Values[0].Int())
+		}
+	}
+	// Windows: (0,1)=1, (3,4)=7, (6,7)=13.
+	want := []int64{1, 7, 13}
+	if len(sums) != len(want) {
+		t.Fatalf("sums = %v, want %v", sums, want)
+	}
+	for i := range want {
+		if sums[i] != want[i] {
+			t.Fatalf("sums = %v, want %v", sums, want)
+		}
+	}
+}
+
+// TestAggregateOutputCoercion: avg over an int column yields a double
+// column end to end.
+func TestAggregateOutputCoercion(t *testing.T) {
+	g := NewQueryGraph("s", NewAggregateBox(
+		WindowSpec{Type: WindowTuple, Size: 2, Step: 2},
+		AggSpec{Attr: "a", Func: AggAvg},
+	))
+	in := intTuples(1, 2, 3, 4)
+	out, schema, err := RunGraphOnSlice(g, singleAttrSchema(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Field(0).Type != stream.TypeDouble {
+		t.Errorf("avg output type = %v", schema.Field(0).Type)
+	}
+	if len(out) != 2 || out[0].Values[0].Double() != 1.5 || out[1].Values[0].Double() != 3.5 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+// TestWindowOutputCarriesProvenance: aggregate outputs inherit the
+// closing tuple's arrival time and sequence number.
+func TestWindowOutputCarriesProvenance(t *testing.T) {
+	e := NewEngine("prov")
+	defer e.Close()
+	if err := e.CreateStream("s", singleAttrSchema()); err != nil {
+		t.Fatal(err)
+	}
+	e.SetClock(func() int64 { return 12345 })
+	dep, err := e.Deploy(NewQueryGraph("s", NewAggregateBox(
+		WindowSpec{Type: WindowTuple, Size: 2, Step: 2},
+		AggSpec{Attr: "a", Func: AggSum})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := e.Subscribe(dep.ID)
+	_ = e.Ingest("s", stream.NewTuple(stream.IntValue(1)))
+	_ = e.Ingest("s", stream.NewTuple(stream.IntValue(2)))
+	e.Flush()
+	out := <-sub.C
+	if out.Seq != 2 || out.ArrivalMillis != 12345 {
+		t.Errorf("provenance: seq=%d arrival=%d", out.Seq, out.ArrivalMillis)
+	}
+}
+
+// TestEmptyGraphIdentity: a graph with no boxes passes tuples through
+// unchanged.
+func TestEmptyGraphIdentity(t *testing.T) {
+	in := intTuples(5, 6)
+	out, schema, err := RunGraphOnSlice(NewQueryGraph("s"), singleAttrSchema(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !schema.Equal(singleAttrSchema()) || len(out) != 2 || !out[0].Equal(in[0]) {
+		t.Errorf("identity failed: %v", out)
+	}
+}

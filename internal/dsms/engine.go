@@ -1,0 +1,481 @@
+package dsms
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// DefaultSubscriptionBuffer is the per-subscription channel capacity.
+const DefaultSubscriptionBuffer = 1024
+
+// Engine is the DSMS runtime: it owns named input streams, executes
+// deployed query graphs continuously against arriving tuples, and serves
+// each query's output under a stream handle (URI), mirroring how the
+// paper's prototype obtains handles from StreamBase.
+type Engine struct {
+	name  string
+	clock func() int64 // arrival clock in Unix millis; injectable for tests
+
+	mu      sync.Mutex
+	streams map[string]*inputStream
+	queries map[string]*deployedQuery
+	byURI   map[string]string // handle URI -> query id
+	nextID  int
+	closed  bool
+
+	// inflight tracks tuples handed to query goroutines but not yet
+	// fully processed, enabling the deterministic Flush used by tests
+	// and benchmarks.
+	inflightMu sync.Mutex
+	inflight   int
+	idle       *sync.Cond
+}
+
+// NewEngine creates an engine with the given name (the authority part of
+// issued handle URIs).
+func NewEngine(name string) *Engine {
+	e := &Engine{
+		name:    name,
+		clock:   func() int64 { return time.Now().UnixMilli() },
+		streams: map[string]*inputStream{},
+		queries: map[string]*deployedQuery{},
+		byURI:   map[string]string{},
+	}
+	e.idle = sync.NewCond(&e.inflightMu)
+	return e
+}
+
+// SetClock replaces the arrival-time clock (tests use a logical clock).
+func (e *Engine) SetClock(clock func() int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.clock = clock
+}
+
+type inputStream struct {
+	name    string
+	schema  *stream.Schema
+	seq     uint64
+	queries map[string]*deployedQuery
+}
+
+// Deployment describes a running continuous query.
+type Deployment struct {
+	// ID is the engine-unique query identifier.
+	ID string
+	// Handle is the URI under which the output stream is served.
+	Handle string
+	// Input is the source stream name.
+	Input string
+	// OutputSchema is the schema of emitted tuples.
+	OutputSchema *stream.Schema
+}
+
+type deployedQuery struct {
+	dep    Deployment
+	graph  *QueryGraph
+	ops    []operator
+	in     chan stream.Tuple
+	done   chan struct{}
+	subMu  sync.Mutex
+	subs   map[*Subscription]struct{}
+	engine *Engine
+
+	// sendMu guards in against the close in Withdraw: senders hold the
+	// read lock, the closer the write lock. The consumer goroutine
+	// never takes it, so blocked senders always drain.
+	sendMu sync.RWMutex
+	closed bool
+}
+
+// send enqueues a tuple unless the query has been withdrawn, reporting
+// whether the tuple was accepted.
+func (q *deployedQuery) send(t stream.Tuple) bool {
+	q.sendMu.RLock()
+	defer q.sendMu.RUnlock()
+	if q.closed {
+		return false
+	}
+	q.in <- t
+	return true
+}
+
+// Subscription delivers a query's output tuples. Tuples are dropped
+// (counted in Dropped) if the consumer falls more than the buffer size
+// behind.
+type Subscription struct {
+	C <-chan stream.Tuple
+
+	c       chan stream.Tuple
+	mu      sync.Mutex
+	dropped uint64
+	closed  bool
+}
+
+// Dropped reports how many tuples were discarded because the consumer
+// lagged.
+func (s *Subscription) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+func (s *Subscription) push(t stream.Tuple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	select {
+	case s.c <- t:
+	default:
+		s.dropped++
+	}
+}
+
+func (s *Subscription) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.c)
+	}
+}
+
+// CreateStream registers a named input stream with its schema.
+func (e *Engine) CreateStream(name string, schema *stream.Schema) error {
+	if name == "" || schema == nil {
+		return fmt.Errorf("dsms: stream needs a name and a schema")
+	}
+	key := strings.ToLower(name)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("dsms: engine closed")
+	}
+	if _, dup := e.streams[key]; dup {
+		return fmt.Errorf("dsms: stream %q already exists", name)
+	}
+	e.streams[key] = &inputStream{name: name, schema: schema, queries: map[string]*deployedQuery{}}
+	return nil
+}
+
+// DropStream removes an input stream and withdraws every query reading
+// from it.
+func (e *Engine) DropStream(name string) error {
+	key := strings.ToLower(name)
+	e.mu.Lock()
+	is, ok := e.streams[key]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("dsms: unknown stream %q", name)
+	}
+	var ids []string
+	for id := range is.queries {
+		ids = append(ids, id)
+	}
+	delete(e.streams, key)
+	e.mu.Unlock()
+	for _, id := range ids {
+		_ = e.Withdraw(id)
+	}
+	return nil
+}
+
+// StreamSchema returns the schema of a registered stream.
+func (e *Engine) StreamSchema(name string) (*stream.Schema, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	is, ok := e.streams[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("dsms: unknown stream %q", name)
+	}
+	return is.schema, nil
+}
+
+// Streams lists registered stream names, sorted.
+func (e *Engine) Streams() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.streams))
+	for _, is := range e.streams {
+		out = append(out, is.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Deploy validates a query graph against its input stream, starts its
+// continuous execution and returns the deployment with the output
+// handle.
+func (e *Engine) Deploy(g *QueryGraph) (Deployment, error) {
+	if g == nil {
+		return Deployment{}, fmt.Errorf("dsms: nil query graph")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return Deployment{}, fmt.Errorf("dsms: engine closed")
+	}
+	is, ok := e.streams[strings.ToLower(g.Input)]
+	if !ok {
+		return Deployment{}, fmt.Errorf("dsms: unknown input stream %q", g.Input)
+	}
+	gg := g.Clone()
+	ops, outSchema, err := buildPipeline(gg, is.schema)
+	if err != nil {
+		return Deployment{}, err
+	}
+	e.nextID++
+	id := fmt.Sprintf("q%05d", e.nextID)
+	dep := Deployment{
+		ID:           id,
+		Handle:       fmt.Sprintf("dsms://%s/streams/%s", e.name, id),
+		Input:        is.name,
+		OutputSchema: outSchema,
+	}
+	q := &deployedQuery{
+		dep:    dep,
+		graph:  gg,
+		ops:    ops,
+		in:     make(chan stream.Tuple, 4096),
+		done:   make(chan struct{}),
+		subs:   map[*Subscription]struct{}{},
+		engine: e,
+	}
+	e.queries[id] = q
+	e.byURI[dep.Handle] = id
+	is.queries[id] = q
+	go q.run()
+	return dep, nil
+}
+
+// run is the query's mailbox loop.
+func (q *deployedQuery) run() {
+	for t := range q.in {
+		outs, err := runPipeline(q.ops, t)
+		if err == nil {
+			q.subMu.Lock()
+			for s := range q.subs {
+				for _, o := range outs {
+					s.push(o)
+				}
+			}
+			q.subMu.Unlock()
+		}
+		q.engine.taskDone()
+	}
+	close(q.done)
+}
+
+// Withdraw stops a deployed query, identified by ID or handle URI, and
+// closes its subscriptions. It is the mechanism behind §3.3: when a
+// policy is removed, every query graph spawned from it is withdrawn.
+func (e *Engine) Withdraw(idOrHandle string) error {
+	e.mu.Lock()
+	id := idOrHandle
+	if mapped, ok := e.byURI[idOrHandle]; ok {
+		id = mapped
+	}
+	q, ok := e.queries[id]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("dsms: unknown query %q", idOrHandle)
+	}
+	delete(e.queries, id)
+	delete(e.byURI, q.dep.Handle)
+	if is, ok := e.streams[strings.ToLower(q.dep.Input)]; ok {
+		delete(is.queries, id)
+	}
+	e.mu.Unlock()
+
+	q.sendMu.Lock()
+	q.closed = true
+	close(q.in)
+	q.sendMu.Unlock()
+	<-q.done
+	q.subMu.Lock()
+	for s := range q.subs {
+		s.close()
+	}
+	q.subs = map[*Subscription]struct{}{}
+	q.subMu.Unlock()
+	return nil
+}
+
+// Query returns the deployment for an ID or handle.
+func (e *Engine) Query(idOrHandle string) (Deployment, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := idOrHandle
+	if mapped, ok := e.byURI[idOrHandle]; ok {
+		id = mapped
+	}
+	q, ok := e.queries[id]
+	if !ok {
+		return Deployment{}, false
+	}
+	return q.dep, true
+}
+
+// QueryCount reports the number of running queries.
+func (e *Engine) QueryCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queries)
+}
+
+// Subscribe attaches a consumer to a query's output stream.
+func (e *Engine) Subscribe(idOrHandle string) (*Subscription, error) {
+	e.mu.Lock()
+	id := idOrHandle
+	if mapped, ok := e.byURI[idOrHandle]; ok {
+		id = mapped
+	}
+	q, ok := e.queries[id]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("dsms: unknown query %q", idOrHandle)
+	}
+	c := make(chan stream.Tuple, DefaultSubscriptionBuffer)
+	s := &Subscription{C: c, c: c}
+	q.subMu.Lock()
+	q.subs[s] = struct{}{}
+	q.subMu.Unlock()
+	return s, nil
+}
+
+// Unsubscribe detaches a consumer.
+func (e *Engine) Unsubscribe(idOrHandle string, s *Subscription) {
+	e.mu.Lock()
+	id := idOrHandle
+	if mapped, ok := e.byURI[idOrHandle]; ok {
+		id = mapped
+	}
+	q, ok := e.queries[id]
+	e.mu.Unlock()
+	if !ok {
+		s.close()
+		return
+	}
+	q.subMu.Lock()
+	delete(q.subs, s)
+	q.subMu.Unlock()
+	s.close()
+}
+
+// Ingest appends a tuple to a named input stream, assigning its sequence
+// number and arrival timestamp, and dispatches it to every deployed
+// query on that stream.
+func (e *Engine) Ingest(streamName string, t stream.Tuple) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("dsms: engine closed")
+	}
+	is, ok := e.streams[strings.ToLower(streamName)]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("dsms: unknown stream %q", streamName)
+	}
+	nt, err := t.Normalize(is.schema)
+	if err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	is.seq++
+	nt.Seq = is.seq
+	if nt.ArrivalMillis == 0 {
+		nt.ArrivalMillis = e.clock()
+	}
+	targets := make([]*deployedQuery, 0, len(is.queries))
+	for _, q := range is.queries {
+		targets = append(targets, q)
+	}
+	e.mu.Unlock()
+
+	for _, q := range targets {
+		e.taskAdd()
+		if !q.send(nt) {
+			// The query was withdrawn between the registry snapshot and
+			// the send; nothing to do.
+			e.taskDone()
+		}
+	}
+	return nil
+}
+
+func (e *Engine) taskAdd() {
+	e.inflightMu.Lock()
+	e.inflight++
+	e.inflightMu.Unlock()
+}
+
+func (e *Engine) taskDone() {
+	e.inflightMu.Lock()
+	e.inflight--
+	if e.inflight == 0 {
+		e.idle.Broadcast()
+	}
+	e.inflightMu.Unlock()
+}
+
+// Flush blocks until every ingested tuple has been fully processed by
+// all query pipelines. It makes tests and benchmarks deterministic.
+func (e *Engine) Flush() {
+	e.inflightMu.Lock()
+	for e.inflight != 0 {
+		e.idle.Wait()
+	}
+	e.inflightMu.Unlock()
+}
+
+// Close stops all queries and rejects further use.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	ids := make([]string, 0, len(e.queries))
+	for id := range e.queries {
+		ids = append(ids, id)
+	}
+	e.mu.Unlock()
+	for _, id := range ids {
+		_ = e.Withdraw(id)
+	}
+}
+
+// RunGraphOnSlice applies a query graph to a finite tuple slice
+// synchronously, returning all outputs. Offline helper used by tests,
+// the reconstruction-attack demo and examples; it does not touch the
+// engine registry.
+func RunGraphOnSlice(g *QueryGraph, schema *stream.Schema, in []stream.Tuple) ([]stream.Tuple, *stream.Schema, error) {
+	ops, out, err := buildPipeline(g.Clone(), schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	var outs []stream.Tuple
+	for i, t := range in {
+		nt, err := t.Normalize(schema)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dsms: tuple %d: %w", i, err)
+		}
+		if nt.Seq == 0 {
+			nt.Seq = uint64(i + 1)
+		}
+		res, err := runPipeline(ops, nt)
+		if err != nil {
+			return nil, nil, err
+		}
+		outs = append(outs, res...)
+	}
+	return outs, out, nil
+}

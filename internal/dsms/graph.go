@@ -1,0 +1,222 @@
+package dsms
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/stream"
+)
+
+// BoxKind enumerates the operator kinds used by the paper (§2.1): the
+// Aurora model supports more boxes, but eXACML+ restricts itself to
+// filter, map and window-based aggregation.
+type BoxKind int
+
+const (
+	// BoxInvalid is the zero BoxKind.
+	BoxInvalid BoxKind = iota
+	// BoxFilter is selection: tuples not satisfying the condition are
+	// dropped.
+	BoxFilter
+	// BoxMap is projection onto a set of attributes.
+	BoxMap
+	// BoxAggregate applies aggregate functions over a sliding window.
+	BoxAggregate
+)
+
+// String names the kind.
+func (k BoxKind) String() string {
+	switch k {
+	case BoxFilter:
+		return "filter"
+	case BoxMap:
+		return "map"
+	case BoxAggregate:
+		return "aggregate"
+	default:
+		return "invalid"
+	}
+}
+
+// Box is one operator of a query graph. Exactly the fields relevant to
+// its Kind are set:
+//
+//   - BoxFilter: Condition
+//   - BoxMap: Attrs (projected attribute names, in output order)
+//   - BoxAggregate: Window and Aggs
+type Box struct {
+	Kind      BoxKind
+	Condition expr.Node
+	Attrs     []string
+	Window    WindowSpec
+	Aggs      []AggSpec
+}
+
+// NewFilterBox builds a filter operator.
+func NewFilterBox(cond expr.Node) *Box {
+	return &Box{Kind: BoxFilter, Condition: cond}
+}
+
+// NewMapBox builds a map (projection) operator.
+func NewMapBox(attrs ...string) *Box {
+	return &Box{Kind: BoxMap, Attrs: attrs}
+}
+
+// NewAggregateBox builds a window aggregation operator.
+func NewAggregateBox(w WindowSpec, aggs ...AggSpec) *Box {
+	return &Box{Kind: BoxAggregate, Window: w, Aggs: aggs}
+}
+
+// Clone deep-copies the box.
+func (b *Box) Clone() *Box {
+	if b == nil {
+		return nil
+	}
+	c := &Box{Kind: b.Kind, Window: b.Window}
+	if b.Condition != nil {
+		c.Condition = expr.Clone(b.Condition)
+	}
+	c.Attrs = append([]string(nil), b.Attrs...)
+	c.Aggs = append([]AggSpec(nil), b.Aggs...)
+	return c
+}
+
+// String renders a readable operator description.
+func (b *Box) String() string {
+	switch b.Kind {
+	case BoxFilter:
+		return fmt.Sprintf("Filter(%s)", b.Condition)
+	case BoxMap:
+		return fmt.Sprintf("Map(%s)", strings.Join(b.Attrs, ", "))
+	case BoxAggregate:
+		specs := make([]string, len(b.Aggs))
+		for i, a := range b.Aggs {
+			specs[i] = a.String()
+		}
+		return fmt.Sprintf("Aggregate(%s; %s)", b.Window, strings.Join(specs, ", "))
+	default:
+		return "InvalidBox"
+	}
+}
+
+// OutputSchema computes the schema produced by the box from its input
+// schema, validating attribute references and types.
+func (b *Box) OutputSchema(in *stream.Schema) (*stream.Schema, error) {
+	switch b.Kind {
+	case BoxFilter:
+		if b.Condition != nil {
+			if err := expr.Validate(b.Condition, in); err != nil {
+				return nil, fmt.Errorf("dsms: filter: %w", err)
+			}
+		}
+		return in, nil
+	case BoxMap:
+		if len(b.Attrs) == 0 {
+			return nil, fmt.Errorf("dsms: map with empty attribute set")
+		}
+		out, err := in.Project(b.Attrs)
+		if err != nil {
+			return nil, fmt.Errorf("dsms: map: %w", err)
+		}
+		return out, nil
+	case BoxAggregate:
+		if err := b.Window.Validate(); err != nil {
+			return nil, err
+		}
+		if len(b.Aggs) == 0 {
+			return nil, fmt.Errorf("dsms: aggregate with no aggregation attributes")
+		}
+		fields := make([]stream.Field, 0, len(b.Aggs))
+		for _, a := range b.Aggs {
+			_, ft, ok := in.Lookup(a.Attr)
+			if !ok {
+				return nil, fmt.Errorf("dsms: aggregate references unknown attribute %q", a.Attr)
+			}
+			ot, err := a.OutputType(ft)
+			if err != nil {
+				return nil, err
+			}
+			fields = append(fields, stream.Field{Name: a.OutputName(), Type: ot})
+		}
+		out, err := stream.NewSchema(fields...)
+		if err != nil {
+			return nil, fmt.Errorf("dsms: aggregate output schema: %w", err)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("dsms: invalid box kind")
+	}
+}
+
+// QueryGraph is a continuous query over one input stream: an ordered
+// chain of boxes applied to every arriving tuple (the paper's graphs are
+// linear chains filter→map→aggregate; the type supports any chain).
+type QueryGraph struct {
+	// Input is the name of the source stream.
+	Input string
+	// Boxes are applied in order.
+	Boxes []*Box
+}
+
+// NewQueryGraph builds a graph over the named input stream.
+func NewQueryGraph(input string, boxes ...*Box) *QueryGraph {
+	return &QueryGraph{Input: input, Boxes: boxes}
+}
+
+// Clone deep-copies the graph.
+func (g *QueryGraph) Clone() *QueryGraph {
+	if g == nil {
+		return nil
+	}
+	c := &QueryGraph{Input: g.Input, Boxes: make([]*Box, len(g.Boxes))}
+	for i, b := range g.Boxes {
+		c.Boxes[i] = b.Clone()
+	}
+	return c
+}
+
+// Validate type-checks the whole chain against the input schema and
+// returns the final output schema.
+func (g *QueryGraph) Validate(in *stream.Schema) (*stream.Schema, error) {
+	if g.Input == "" {
+		return nil, fmt.Errorf("dsms: query graph has no input stream")
+	}
+	cur := in
+	for i, b := range g.Boxes {
+		out, err := b.OutputSchema(cur)
+		if err != nil {
+			return nil, fmt.Errorf("dsms: box %d (%s): %w", i, b.Kind, err)
+		}
+		cur = out
+	}
+	return cur, nil
+}
+
+// Filter returns the first filter box, or nil.
+func (g *QueryGraph) Filter() *Box { return g.firstOf(BoxFilter) }
+
+// Map returns the first map box, or nil.
+func (g *QueryGraph) Map() *Box { return g.firstOf(BoxMap) }
+
+// Aggregate returns the first aggregate box, or nil.
+func (g *QueryGraph) Aggregate() *Box { return g.firstOf(BoxAggregate) }
+
+func (g *QueryGraph) firstOf(k BoxKind) *Box {
+	for _, b := range g.Boxes {
+		if b.Kind == k {
+			return b
+		}
+	}
+	return nil
+}
+
+// String renders "input -> box -> box -> ...".
+func (g *QueryGraph) String() string {
+	parts := make([]string, 0, len(g.Boxes)+1)
+	parts = append(parts, g.Input)
+	for _, b := range g.Boxes {
+		parts = append(parts, b.String())
+	}
+	return strings.Join(parts, " -> ")
+}

@@ -1,0 +1,235 @@
+package dsms
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/stream"
+)
+
+// operator is a runtime instance of a Box bound to a concrete input
+// schema. Operators are single-goroutine state machines: the engine
+// guarantees process is never called concurrently for one operator.
+type operator interface {
+	// process consumes one input tuple and returns zero or more output
+	// tuples.
+	process(t stream.Tuple) ([]stream.Tuple, error)
+	// outSchema is the operator's output schema.
+	outSchema() *stream.Schema
+}
+
+// newOperator instantiates the runtime for a box.
+func newOperator(b *Box, in *stream.Schema) (operator, error) {
+	out, err := b.OutputSchema(in)
+	if err != nil {
+		return nil, err
+	}
+	switch b.Kind {
+	case BoxFilter:
+		return &filterOp{cond: b.Condition, schema: in}, nil
+	case BoxMap:
+		return &mapOp{attrs: b.Attrs, in: in, out: out}, nil
+	case BoxAggregate:
+		return newAggregateOp(b, in, out)
+	default:
+		return nil, fmt.Errorf("dsms: invalid box kind")
+	}
+}
+
+// buildPipeline instantiates the whole chain for a graph.
+func buildPipeline(g *QueryGraph, in *stream.Schema) ([]operator, *stream.Schema, error) {
+	ops := make([]operator, 0, len(g.Boxes))
+	cur := in
+	for _, b := range g.Boxes {
+		op, err := newOperator(b, cur)
+		if err != nil {
+			return nil, nil, err
+		}
+		ops = append(ops, op)
+		cur = op.outSchema()
+	}
+	return ops, cur, nil
+}
+
+// runPipeline pushes one tuple through a chain of operators.
+func runPipeline(ops []operator, t stream.Tuple) ([]stream.Tuple, error) {
+	batch := []stream.Tuple{t}
+	for _, op := range ops {
+		var next []stream.Tuple
+		for _, tu := range batch {
+			out, err := op.process(tu)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, out...)
+		}
+		if len(next) == 0 {
+			return nil, nil
+		}
+		batch = next
+	}
+	return batch, nil
+}
+
+// filterOp drops tuples that do not satisfy the condition.
+type filterOp struct {
+	cond   expr.Node
+	schema *stream.Schema
+}
+
+func (f *filterOp) process(t stream.Tuple) ([]stream.Tuple, error) {
+	if f.cond == nil {
+		return []stream.Tuple{t}, nil
+	}
+	ok, err := expr.Eval(f.cond, f.schema, t)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return []stream.Tuple{t}, nil
+}
+
+func (f *filterOp) outSchema() *stream.Schema { return f.schema }
+
+// mapOp projects tuples onto a subset of attributes.
+type mapOp struct {
+	attrs []string
+	in    *stream.Schema
+	out   *stream.Schema
+}
+
+func (m *mapOp) process(t stream.Tuple) ([]stream.Tuple, error) {
+	p, err := t.Project(m.in, m.attrs)
+	if err != nil {
+		return nil, err
+	}
+	return []stream.Tuple{p}, nil
+}
+
+func (m *mapOp) outSchema() *stream.Schema { return m.out }
+
+// aggregateOp maintains the sliding window and emits one output tuple
+// per window close.
+type aggregateOp struct {
+	win    WindowSpec
+	aggs   []AggSpec
+	poss   []int // attribute positions in input schema
+	types  []stream.FieldType
+	in     *stream.Schema
+	out    *stream.Schema
+	buf    []stream.Tuple
+	tstart int64 // start of current time window (millis); -1 = unset
+	skip   int64 // tuples still to discard after a hop (step > size)
+}
+
+func newAggregateOp(b *Box, in, out *stream.Schema) (*aggregateOp, error) {
+	op := &aggregateOp{win: b.Window, aggs: b.Aggs, in: in, out: out, tstart: -1}
+	for _, a := range b.Aggs {
+		pos, ft, ok := in.Lookup(a.Attr)
+		if !ok {
+			return nil, fmt.Errorf("dsms: aggregate references unknown attribute %q", a.Attr)
+		}
+		op.poss = append(op.poss, pos)
+		op.types = append(op.types, ft)
+	}
+	return op, nil
+}
+
+func (a *aggregateOp) outSchema() *stream.Schema { return a.out }
+
+func (a *aggregateOp) process(t stream.Tuple) ([]stream.Tuple, error) {
+	if a.win.Type == WindowTuple {
+		return a.processTupleWindow(t)
+	}
+	return a.processTimeWindow(t)
+}
+
+// processTupleWindow: emit when the buffer holds Size tuples, then
+// slide by Step. When Step exceeds Size (hopping windows) the tuples
+// between consecutive windows are discarded via the skip counter.
+func (a *aggregateOp) processTupleWindow(t stream.Tuple) ([]stream.Tuple, error) {
+	if a.skip > 0 {
+		a.skip--
+		return nil, nil
+	}
+	a.buf = append(a.buf, t)
+	if int64(len(a.buf)) < a.win.Size {
+		return nil, nil
+	}
+	ot, err := a.emit(a.buf[:a.win.Size])
+	if err != nil {
+		return nil, err
+	}
+	if a.win.Step >= int64(len(a.buf)) {
+		a.skip = a.win.Step - int64(len(a.buf))
+		a.buf = a.buf[:0]
+	} else {
+		a.buf = append(a.buf[:0:0], a.buf[a.win.Step:]...)
+	}
+	return []stream.Tuple{ot}, nil
+}
+
+// processTimeWindow: windows cover [tstart, tstart+Size) of arrival
+// time; a window closes when a tuple at or past its end arrives.
+func (a *aggregateOp) processTimeWindow(t stream.Tuple) ([]stream.Tuple, error) {
+	ts := t.ArrivalMillis
+	if a.tstart < 0 {
+		a.tstart = ts
+	}
+	var out []stream.Tuple
+	for ts >= a.tstart+a.win.Size {
+		// Close the current window.
+		var window []stream.Tuple
+		for _, bt := range a.buf {
+			if bt.ArrivalMillis >= a.tstart && bt.ArrivalMillis < a.tstart+a.win.Size {
+				window = append(window, bt)
+			}
+		}
+		if len(window) > 0 {
+			ot, err := a.emit(window)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ot)
+		}
+		a.tstart += a.win.Step
+		// Evict tuples that can no longer participate in any window.
+		keep := a.buf[:0]
+		for _, bt := range a.buf {
+			if bt.ArrivalMillis >= a.tstart {
+				keep = append(keep, bt)
+			}
+		}
+		a.buf = keep
+	}
+	a.buf = append(a.buf, t)
+	return out, nil
+}
+
+// emit computes one output tuple over the window contents.
+func (a *aggregateOp) emit(window []stream.Tuple) (stream.Tuple, error) {
+	vals := make([]stream.Value, len(a.aggs))
+	for i, spec := range a.aggs {
+		v, err := computeAggregate(spec.Func, window, a.poss[i], a.types[i])
+		if err != nil {
+			return stream.Tuple{}, err
+		}
+		// Coerce to declared output type (e.g. avg of ints -> double).
+		want := a.out.Field(i).Type
+		if !v.IsNull() && v.Type() != want {
+			cv, err := v.CoerceTo(want)
+			if err == nil {
+				v = cv
+			}
+		}
+		vals[i] = v
+	}
+	out := stream.NewTuple(vals...)
+	if n := len(window); n > 0 {
+		out.ArrivalMillis = window[n-1].ArrivalMillis
+		out.Seq = window[n-1].Seq
+	}
+	return out, nil
+}

@@ -1,0 +1,296 @@
+package dsms
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/stream"
+)
+
+func singleAttrSchema() *stream.Schema {
+	return stream.MustSchema(stream.Field{Name: "a", Type: stream.TypeInt})
+}
+
+func weatherSchema() *stream.Schema {
+	return stream.MustSchema(
+		stream.Field{Name: "samplingtime", Type: stream.TypeTimestamp},
+		stream.Field{Name: "temperature", Type: stream.TypeDouble},
+		stream.Field{Name: "humidity", Type: stream.TypeDouble},
+		stream.Field{Name: "rainrate", Type: stream.TypeDouble},
+		stream.Field{Name: "windspeed", Type: stream.TypeDouble},
+		stream.Field{Name: "winddirection", Type: stream.TypeInt},
+		stream.Field{Name: "barometer", Type: stream.TypeDouble},
+	)
+}
+
+func TestFilterOperator(t *testing.T) {
+	s := singleAttrSchema()
+	op, err := newOperator(NewFilterBox(expr.MustParse("a > 5")), s)
+	if err != nil {
+		t.Fatalf("newOperator: %v", err)
+	}
+	var kept []int64
+	for _, v := range []int64{9, 3, 6, 5, 13} {
+		out, err := op.process(stream.NewTuple(stream.IntValue(v)))
+		if err != nil {
+			t.Fatalf("process: %v", err)
+		}
+		for _, o := range out {
+			kept = append(kept, o.Values[0].Int())
+		}
+	}
+	want := []int64{9, 6, 13}
+	if len(kept) != len(want) {
+		t.Fatalf("kept = %v, want %v", kept, want)
+	}
+	for i := range want {
+		if kept[i] != want[i] {
+			t.Fatalf("kept = %v, want %v", kept, want)
+		}
+	}
+}
+
+func TestFilterNilConditionPassesAll(t *testing.T) {
+	op, err := newOperator(NewFilterBox(nil), singleAttrSchema())
+	if err != nil {
+		t.Fatalf("newOperator: %v", err)
+	}
+	out, err := op.process(stream.NewTuple(stream.IntValue(1)))
+	if err != nil || len(out) != 1 {
+		t.Fatalf("nil condition: (%v,%v)", out, err)
+	}
+}
+
+func TestMapOperator(t *testing.T) {
+	s := weatherSchema()
+	op, err := newOperator(NewMapBox("samplingtime", "rainrate", "windspeed"), s)
+	if err != nil {
+		t.Fatalf("newOperator: %v", err)
+	}
+	if op.outSchema().Len() != 3 {
+		t.Fatalf("out schema = %v", op.outSchema())
+	}
+	tu := stream.NewTuple(
+		stream.TimestampMillis(1000), stream.DoubleValue(30), stream.DoubleValue(80),
+		stream.DoubleValue(7.5), stream.DoubleValue(12), stream.IntValue(270),
+		stream.DoubleValue(1013),
+	)
+	out, err := op.process(tu)
+	if err != nil || len(out) != 1 {
+		t.Fatalf("process: (%v,%v)", out, err)
+	}
+	got := out[0]
+	if got.Values[0].Millis() != 1000 || got.Values[1].Double() != 7.5 || got.Values[2].Double() != 12 {
+		t.Errorf("projected = %v", got)
+	}
+}
+
+func TestMapUnknownAttribute(t *testing.T) {
+	if _, err := newOperator(NewMapBox("nosuch"), singleAttrSchema()); err == nil {
+		t.Error("unknown attribute must fail")
+	}
+	if _, err := newOperator(NewMapBox(), singleAttrSchema()); err == nil {
+		t.Error("empty projection must fail")
+	}
+}
+
+// TestTupleWindowAggregation mirrors §3.4's example: window size 3,
+// advance 2, sum over a0..a8 gives (a0+a1+a2), (a2+a3+a4), (a4+a5+a6), ...
+func TestTupleWindowAggregation(t *testing.T) {
+	s := singleAttrSchema()
+	box := NewAggregateBox(
+		WindowSpec{Type: WindowTuple, Size: 3, Step: 2},
+		AggSpec{Attr: "a", Func: AggSum},
+	)
+	op, err := newOperator(box, s)
+	if err != nil {
+		t.Fatalf("newOperator: %v", err)
+	}
+	var sums []int64
+	for i := int64(0); i < 9; i++ {
+		out, err := op.process(stream.NewTuple(stream.IntValue(i)))
+		if err != nil {
+			t.Fatalf("process: %v", err)
+		}
+		for _, o := range out {
+			sums = append(sums, o.Values[0].Int())
+		}
+	}
+	// windows: (0,1,2)=3, (2,3,4)=9, (4,5,6)=15, (6,7,8)=21
+	want := []int64{3, 9, 15, 21}
+	if len(sums) != len(want) {
+		t.Fatalf("sums = %v, want %v", sums, want)
+	}
+	for i := range want {
+		if sums[i] != want[i] {
+			t.Fatalf("sums = %v, want %v", sums, want)
+		}
+	}
+}
+
+// TestTupleWindowPaperExample is the §2.2 NEA policy: windows of size 5
+// advance 2 with lastval(samplingtime), avg(rainrate), max(windspeed).
+func TestTupleWindowPaperExample(t *testing.T) {
+	s := weatherSchema()
+	box := NewAggregateBox(
+		WindowSpec{Type: WindowTuple, Size: 5, Step: 2},
+		AggSpec{Attr: "samplingtime", Func: AggLastVal},
+		AggSpec{Attr: "rainrate", Func: AggAvg},
+		AggSpec{Attr: "windspeed", Func: AggMax},
+	)
+	op, err := newOperator(box, s)
+	if err != nil {
+		t.Fatalf("newOperator: %v", err)
+	}
+	outSchema := op.outSchema()
+	wantNames := []string{"lastvalsamplingtime", "avgrainrate", "maxwindspeed"}
+	for i, n := range wantNames {
+		if outSchema.Field(i).Name != n {
+			t.Errorf("out field %d = %q, want %q", i, outSchema.Field(i).Name, n)
+		}
+	}
+	var emitted []stream.Tuple
+	for i := 0; i < 7; i++ {
+		tu := stream.NewTuple(
+			stream.TimestampMillis(int64(i)*30000),
+			stream.DoubleValue(25), stream.DoubleValue(80),
+			stream.DoubleValue(float64(i)),    // rainrate = i
+			stream.DoubleValue(float64(10+i)), // windspeed
+			stream.IntValue(180), stream.DoubleValue(1000),
+		)
+		out, err := op.process(tu)
+		if err != nil {
+			t.Fatalf("process: %v", err)
+		}
+		emitted = append(emitted, out...)
+	}
+	if len(emitted) != 2 {
+		t.Fatalf("emitted %d tuples, want 2", len(emitted))
+	}
+	// First window: tuples 0..4: lastval ts = 4*30000, avg rain = 2, max wind = 14.
+	if emitted[0].Values[0].Millis() != 120000 {
+		t.Errorf("lastval = %v", emitted[0].Values[0])
+	}
+	if emitted[0].Values[1].Double() != 2 {
+		t.Errorf("avg = %v", emitted[0].Values[1])
+	}
+	if emitted[0].Values[2].Double() != 14 {
+		t.Errorf("max = %v", emitted[0].Values[2])
+	}
+	// Second window: tuples 2..6: avg rain = 4, max wind = 16.
+	if emitted[1].Values[1].Double() != 4 || emitted[1].Values[2].Double() != 16 {
+		t.Errorf("window 2 = %v", emitted[1])
+	}
+}
+
+func TestTimeWindowAggregation(t *testing.T) {
+	s := singleAttrSchema()
+	box := NewAggregateBox(
+		WindowSpec{Type: WindowTime, Size: 1000, Step: 500},
+		AggSpec{Attr: "a", Func: AggSum},
+	)
+	op, err := newOperator(box, s)
+	if err != nil {
+		t.Fatalf("newOperator: %v", err)
+	}
+	var outs []stream.Tuple
+	// tuples at t=0,250,500,750 value 1 each; then t=1500 closes windows.
+	for _, ts := range []int64{0, 250, 500, 750, 1500} {
+		tu := stream.NewTuple(stream.IntValue(1))
+		tu.ArrivalMillis = ts
+		res, err := op.process(tu)
+		if err != nil {
+			t.Fatalf("process: %v", err)
+		}
+		outs = append(outs, res...)
+	}
+	// Window [0,1000): sum 4. Window [500,1500): sum 2 (t=500,750).
+	if len(outs) != 2 {
+		t.Fatalf("emitted %d windows, want 2 (%v)", len(outs), outs)
+	}
+	if outs[0].Values[0].Int() != 4 || outs[1].Values[0].Int() != 2 {
+		t.Errorf("window sums = %v, %v", outs[0].Values[0], outs[1].Values[0])
+	}
+}
+
+func TestPipelineFilterMapAggregate(t *testing.T) {
+	// Fig 1's graph: filter rainrate>5, map to 3 attrs, window 5/2 aggs.
+	s := weatherSchema()
+	g := NewQueryGraph("weather",
+		NewFilterBox(expr.MustParse("rainrate > 5")),
+		NewMapBox("samplingtime", "rainrate", "windspeed"),
+		NewAggregateBox(WindowSpec{Type: WindowTuple, Size: 5, Step: 2},
+			AggSpec{Attr: "samplingtime", Func: AggLastVal},
+			AggSpec{Attr: "rainrate", Func: AggAvg},
+			AggSpec{Attr: "windspeed", Func: AggMax}),
+	)
+	var input []stream.Tuple
+	for i := 0; i < 20; i++ {
+		rain := float64(i % 10) // 0..9; >5 passes: 6,7,8,9 per decade
+		input = append(input, stream.NewTuple(
+			stream.TimestampMillis(int64(i)*30000),
+			stream.DoubleValue(25), stream.DoubleValue(80),
+			stream.DoubleValue(rain), stream.DoubleValue(rain*2),
+			stream.IntValue(0), stream.DoubleValue(1000),
+		))
+	}
+	out, outSchema, err := RunGraphOnSlice(g, s, input)
+	if err != nil {
+		t.Fatalf("RunGraphOnSlice: %v", err)
+	}
+	if outSchema.Len() != 3 {
+		t.Fatalf("out schema = %v", outSchema)
+	}
+	// 8 tuples pass the filter (rain 6..9 twice); windows of 5 step 2
+	// produce emissions at the 5th and 7th passing tuples: 2 windows.
+	if len(out) != 2 {
+		t.Fatalf("out = %d tuples, want 2", len(out))
+	}
+	// All aggregated rain rates are > 5 by construction.
+	for _, o := range out {
+		if o.Values[1].Double() <= 5 {
+			t.Errorf("avg rainrate %v should exceed 5", o.Values[1])
+		}
+	}
+}
+
+func TestGraphValidate(t *testing.T) {
+	s := weatherSchema()
+	good := NewQueryGraph("weather",
+		NewFilterBox(expr.MustParse("rainrate > 5")),
+		NewMapBox("rainrate"),
+	)
+	out, err := good.Validate(s)
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if out.Len() != 1 || out.Field(0).Name != "rainrate" {
+		t.Errorf("out schema = %v", out)
+	}
+	bad := NewQueryGraph("weather", NewMapBox("rainrate"), NewFilterBox(expr.MustParse("windspeed > 1")))
+	if _, err := bad.Validate(s); err == nil {
+		t.Error("filter after narrowing map must fail validation")
+	}
+	if _, err := NewQueryGraph("", NewMapBox("a")).Validate(s); err == nil {
+		t.Error("empty input name must fail")
+	}
+}
+
+func TestGraphAccessorsAndClone(t *testing.T) {
+	g := NewQueryGraph("w",
+		NewFilterBox(expr.MustParse("a > 1")),
+		NewMapBox("a"),
+		NewAggregateBox(WindowSpec{Type: WindowTuple, Size: 2, Step: 1}, AggSpec{Attr: "a", Func: AggSum}),
+	)
+	if g.Filter() == nil || g.Map() == nil || g.Aggregate() == nil {
+		t.Fatal("accessors should find boxes")
+	}
+	c := g.Clone()
+	c.Boxes[1].Attrs[0] = "zzz"
+	if g.Boxes[1].Attrs[0] != "a" {
+		t.Error("Clone must deep copy")
+	}
+	if g.String() == "" || g.Boxes[0].String() == "" {
+		t.Error("String renderings")
+	}
+}

@@ -1,0 +1,90 @@
+// Package dsms implements an Aurora-model data stream management system:
+// append-only tuple streams, continuous queries expressed as directed
+// acyclic graphs of operators (boxes), and a runtime engine that applies
+// deployed query graphs to every arriving tuple and exposes the output
+// under a stream handle (URI).
+//
+// It is the reproduction's stand-in for the commercial StreamBase engine
+// used by the paper's prototype; only the Aurora features the paper
+// relies on are implemented — filter (selection), map (projection) and
+// window-based aggregation over sliding windows — but those are
+// implemented fully: tuple- and time-based windows with arbitrary size
+// and advance step, and the aggregate functions Avg, Max, Min, Count,
+// Sum, FirstVal and LastVal.
+package dsms
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WindowType distinguishes tuple-count windows from time-based windows.
+type WindowType int
+
+const (
+	// WindowInvalid is the zero WindowType.
+	WindowInvalid WindowType = iota
+	// WindowTuple windows contain a fixed number of tuples.
+	WindowTuple
+	// WindowTime windows cover a fixed span of arrival time
+	// (milliseconds).
+	WindowTime
+)
+
+// String returns "tuple" or "time".
+func (w WindowType) String() string {
+	switch w {
+	case WindowTuple:
+		return "tuple"
+	case WindowTime:
+		return "time"
+	default:
+		return "invalid"
+	}
+}
+
+// ParseWindowType parses "tuple"/"time" (the values used in obligation
+// attributes and user queries).
+func ParseWindowType(s string) (WindowType, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "tuple", "tuples":
+		return WindowTuple, nil
+	case "time", "seconds", "millis", "milliseconds":
+		return WindowTime, nil
+	default:
+		return WindowInvalid, fmt.Errorf("dsms: unknown window type %q", s)
+	}
+}
+
+// WindowSpec describes a sliding window: its type, its size and its
+// advance step. For tuple windows size/step count tuples; for time
+// windows they are in milliseconds of tuple arrival time.
+type WindowSpec struct {
+	Type WindowType
+	Size int64
+	Step int64
+}
+
+// Validate checks the window parameters.
+func (w WindowSpec) Validate() error {
+	if w.Type != WindowTuple && w.Type != WindowTime {
+		return fmt.Errorf("dsms: invalid window type")
+	}
+	if w.Size <= 0 {
+		return fmt.Errorf("dsms: window size must be positive (got %d)", w.Size)
+	}
+	if w.Step <= 0 {
+		return fmt.Errorf("dsms: window advance step must be positive (got %d)", w.Step)
+	}
+	return nil
+}
+
+// String renders e.g. "tuple[size=5 step=2]".
+func (w WindowSpec) String() string {
+	return fmt.Sprintf("%s[size=%d step=%d]", w.Type, w.Size, w.Step)
+}
+
+// Equal compares two specs.
+func (w WindowSpec) Equal(o WindowSpec) bool {
+	return w.Type == o.Type && w.Size == o.Size && w.Step == o.Step
+}

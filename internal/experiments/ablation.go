@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dsms"
+	"repro/internal/stream"
+	"repro/internal/workload"
+	"repro/internal/xacmlplus"
+)
+
+// AblationResult quantifies the §3.1 design choice of properly merging
+// the policy graph with the user graph instead of simply concatenating
+// them: "properly merging them together gains advantages such as
+// reducing the number of operators in the query graph and therefore
+// improving efficiency. It also allows for detection of empty/partial
+// result."
+type AblationResult struct {
+	// Queries is the number of (policy, user query) pairs analysed.
+	Queries int
+	// MergedBoxes / ConcatBoxes are total operator counts across all
+	// pairs under each strategy.
+	MergedBoxes int
+	ConcatBoxes int
+	// MergedNs / ConcatNs are total engine processing times for pushing
+	// TuplesPerQuery tuples through each deployment, per strategy.
+	TuplesPerQuery int
+	MergedNs       int64
+	ConcatNs       int64
+	// NRPRDetected counts conflicts that the merge-time analysis
+	// caught; the concatenation strategy would silently deploy these
+	// and serve empty/partial results.
+	NRPRDetected int
+}
+
+// String summarises the ablation.
+func (a AblationResult) String() string {
+	return fmt.Sprintf(
+		"queries=%d  operators: merged=%d concat=%d (%.1f%% fewer)  "+
+			"engine time per %d tuples: merged=%v concat=%v (%.2fx)  conflicts caught=%d",
+		a.Queries, a.MergedBoxes, a.ConcatBoxes,
+		100*(1-float64(a.MergedBoxes)/float64(max64(1, int64(a.ConcatBoxes)))),
+		a.TuplesPerQuery,
+		time.Duration(a.MergedNs).Round(time.Microsecond),
+		time.Duration(a.ConcatNs).Round(time.Microsecond),
+		float64(a.ConcatNs)/float64(max64(1, a.MergedNs)),
+		a.NRPRDetected)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RunAblationMerge builds the workload's (policy graph, user graph)
+// pairs and compares the merged deployment against the naive
+// concatenation: policy boxes followed by user boxes as two chained
+// stages.
+func RunAblationMerge(p workload.Params, tuplesPerQuery int) (*AblationResult, error) {
+	w, err := workload.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{TuplesPerQuery: tuplesPerQuery}
+	tuples := makeWeatherTuples(tuplesPerQuery)
+	for _, item := range w.Items {
+		if item.UserQueryXML == "" {
+			continue
+		}
+		uq, err := xacmlplus.ParseUserQuery([]byte(item.UserQueryXML))
+		if err != nil {
+			return nil, err
+		}
+		userGraph, err := uq.ToGraph()
+		if err != nil {
+			return nil, err
+		}
+		userGraph.Input = item.Resource
+		policyGraph, err := xacmlplus.ObligationsToGraph(item.Resource,
+			w.Policies[item.PolicyIndex].Obligations.Obligations)
+		if err != nil {
+			return nil, err
+		}
+		check, err := xacmlplus.CheckGraphs(policyGraph, userGraph)
+		if err != nil {
+			return nil, err
+		}
+		if check.Verdict.String() != "OK" {
+			res.NRPRDetected++
+			continue
+		}
+		merged, err := xacmlplus.MergeGraphs(policyGraph, userGraph)
+		if err != nil {
+			return nil, err
+		}
+		// Concatenation: policy chain then user chain.
+		concat := dsms.NewQueryGraph(item.Resource)
+		concat.Boxes = append(concat.Boxes, policyGraph.Clone().Boxes...)
+		// The user chain runs over the policy's output schema; its map
+		// and aggregation may reference attributes the policy already
+		// dropped or aggregated away — exactly the fragility merging
+		// avoids. Skip concatenations that do not validate.
+		concat.Boxes = append(concat.Boxes, userGraph.Clone().Boxes...)
+		if _, err := concat.Validate(w.Schema); err != nil {
+			continue
+		}
+		if _, err := merged.Validate(w.Schema); err != nil {
+			return nil, fmt.Errorf("merged graph invalid: %w", err)
+		}
+		res.Queries++
+		res.MergedBoxes += len(merged.Boxes)
+		res.ConcatBoxes += len(concat.Boxes)
+
+		t0 := time.Now()
+		if _, _, err := dsms.RunGraphOnSlice(merged, w.Schema, tuples); err != nil {
+			return nil, err
+		}
+		res.MergedNs += time.Since(t0).Nanoseconds()
+		t1 := time.Now()
+		if _, _, err := dsms.RunGraphOnSlice(concat, w.Schema, tuples); err != nil {
+			return nil, err
+		}
+		res.ConcatNs += time.Since(t1).Nanoseconds()
+	}
+	if res.Queries == 0 {
+		return nil, fmt.Errorf("experiments: ablation found no comparable queries")
+	}
+	return res, nil
+}
+
+// makeWeatherTuples builds deterministic tuples matching the workload
+// schema (samplingtime, temperature, humidity, solarradiation,
+// rainrate, windspeed, winddirection, barometer).
+func makeWeatherTuples(n int) []stream.Tuple {
+	out := make([]stream.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, stream.NewTuple(
+			stream.TimestampMillis(int64(i)*60000),
+			stream.DoubleValue(25+float64(i%10)),
+			stream.DoubleValue(70+float64(i%20)),
+			stream.DoubleValue(float64(i%800)),
+			stream.DoubleValue(float64(i%100)),
+			stream.DoubleValue(float64(i%30)),
+			stream.IntValue(int64(i%360)),
+			stream.DoubleValue(1000+float64(i%20)),
+		))
+	}
+	return out
+}

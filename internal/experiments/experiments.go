@@ -1,0 +1,363 @@
+// Package experiments reproduces the paper's evaluation (§4.2): it
+// assembles the full eXACML+ deployment — DSMS engine behind a dsmsd
+// server, data server with PDP/PEP, caching proxy, client — over
+// loopback TCP with simulated intranet latency, drives the Table 3
+// workloads through it, and produces the series behind Fig 6(a),
+// Fig 6(b), Fig 7(a), Fig 7(b) and the policy-loading measurement.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/dsms"
+	"repro/internal/dsmsd"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/proxy"
+	"repro/internal/server"
+	"repro/internal/workload"
+	"repro/internal/xacml"
+	"repro/internal/xacmlplus"
+)
+
+// Config describes one experiment environment.
+type Config struct {
+	// Params is the workload (Table 3 by default).
+	Params workload.Params
+	// NetworkSeed seeds the per-hop latency profiles; zero disables
+	// network simulation entirely (pure loopback).
+	NetworkSeed int64
+	// ConnectDelay models StreamBase's slow initial connections; the
+	// first deploys on the engine pay it (§4.2 observes such outliers
+	// at the beginning of the request sequences). Zero disables.
+	ConnectDelay time.Duration
+	// Cache enables the proxy handle cache.
+	Cache bool
+}
+
+// DefaultConfig is the full Table 3 setup with network simulation.
+func DefaultConfig() Config {
+	return Config{
+		Params:       workload.TableThree(),
+		NetworkSeed:  7,
+		ConnectDelay: 250 * time.Millisecond,
+		Cache:        false,
+	}
+}
+
+// QuickConfig is a scaled-down variant for tests and -short benchmarks.
+func QuickConfig(factor int) Config {
+	c := DefaultConfig()
+	c.Params = workload.Scaled(factor)
+	c.ConnectDelay = 20 * time.Millisecond
+	return c
+}
+
+// Env is a running eXACML+ deployment plus the direct-query baseline
+// path.
+type Env struct {
+	Cfg      Config
+	Workload *workload.Workload
+
+	engine     *dsms.Engine
+	dsmsServer *dsmsd.Server
+	dataServer *server.Server
+	proxy      *proxy.Proxy
+	pepEngine  *dsmsd.Client
+
+	proxyAddr string
+
+	// ExacmlClient talks to the proxy (the paper's client interface).
+	ExacmlClient *client.Client
+	// DirectClient talks straight to the DSMS (the direct-query
+	// baseline system).
+	DirectClient *dsmsd.Client
+}
+
+// NewEnv builds and starts the whole stack.
+func NewEnv(cfg Config) (*Env, error) {
+	w, err := workload.Generate(cfg.Params)
+	if err != nil {
+		return nil, err
+	}
+	e := &Env{Cfg: cfg, Workload: w}
+	fail := func(err error) (*Env, error) {
+		e.Close()
+		return nil, err
+	}
+
+	var dsmsNet, serverNet, proxyNet *netsim.Profile
+	if cfg.NetworkSeed != 0 {
+		dsmsNet = netsim.Intranet100Mbps(cfg.NetworkSeed)
+		serverNet = netsim.Intranet100Mbps(cfg.NetworkSeed + 1)
+		proxyNet = netsim.Intranet100Mbps(cfg.NetworkSeed + 2)
+	}
+
+	// Engine + streams.
+	e.engine = dsms.NewEngine("cloud")
+	for _, s := range w.Streams {
+		if err := e.engine.CreateStream(s, w.Schema); err != nil {
+			return fail(err)
+		}
+	}
+	e.dsmsServer = dsmsd.NewServer(e.engine, dsmsNet)
+	e.dsmsServer.ConnectDelay = cfg.ConnectDelay
+	dsmsAddr, err := e.dsmsServer.Listen("127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+
+	// PEP over the remote engine.
+	e.pepEngine, err = dsmsd.Dial(dsmsAddr)
+	if err != nil {
+		return fail(err)
+	}
+	pep := xacmlplus.NewPEP(xacml.NewPDP(), e.pepEngine)
+	e.dataServer = server.New(pep, serverNet)
+	serverAddr, err := e.dataServer.Listen("127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+
+	// Proxy.
+	e.proxy, err = proxy.New(serverAddr, proxyNet)
+	if err != nil {
+		return fail(err)
+	}
+	e.proxy.SetCaching(cfg.Cache)
+	proxyAddr, err := e.proxy.Listen("127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	e.proxyAddr = proxyAddr
+
+	// Clients.
+	e.ExacmlClient, err = client.Dial(proxyAddr)
+	if err != nil {
+		return fail(err)
+	}
+	e.DirectClient, err = dsmsd.Dial(dsmsAddr)
+	if err != nil {
+		return fail(err)
+	}
+	return e, nil
+}
+
+// Close tears the stack down.
+func (e *Env) Close() {
+	if e.ExacmlClient != nil {
+		_ = e.ExacmlClient.Close()
+	}
+	if e.DirectClient != nil {
+		_ = e.DirectClient.Close()
+	}
+	if e.proxy != nil {
+		e.proxy.Close()
+	}
+	if e.dataServer != nil {
+		e.dataServer.Close()
+	}
+	if e.pepEngine != nil {
+		_ = e.pepEngine.Close()
+	}
+	if e.dsmsServer != nil {
+		e.dsmsServer.Close()
+	}
+	if e.engine != nil {
+		e.engine.Close()
+	}
+}
+
+// LoadPolicies uploads the workload's policies through the proxy,
+// returning per-policy load times (the §4.2 policy-loading
+// measurement: ~constant regardless of how many are already loaded).
+func (e *Env) LoadPolicies() ([]time.Duration, error) {
+	out := make([]time.Duration, 0, len(e.Workload.PolicyXML))
+	for _, xmlDoc := range e.Workload.PolicyXML {
+		t0 := time.Now()
+		if _, err := e.ExacmlClient.LoadPolicy([]byte(xmlDoc)); err != nil {
+			return out, err
+		}
+		out = append(out, time.Since(t0))
+	}
+	return out, nil
+}
+
+// RunEXACML replays the item sequence through the access-control path
+// and records a sample per request.
+func (e *Env) RunEXACML(seq []int, series *metrics.Series) error {
+	for i, idx := range seq {
+		item := e.Workload.Items[idx]
+		t0 := time.Now()
+		resp, err := e.ExacmlClient.RequestAccessXML(item.RequestXML, item.UserQueryXML)
+		total := time.Since(t0)
+		if err != nil {
+			return fmt.Errorf("experiments: request %d (item %d): %w", i, idx, err)
+		}
+		if !resp.Granted() {
+			return fmt.Errorf("experiments: request %d (item %d) not granted: %s/%s %v",
+				i, idx, resp.Decision, resp.Verdict, resp.Warnings)
+		}
+		series.Add(metrics.Sample{
+			Seq:      i,
+			Total:    total,
+			PDP:      time.Duration(resp.PDPNanos),
+			Graph:    time.Duration(resp.GraphNanos),
+			Engine:   time.Duration(resp.EngineNanos),
+			CacheHit: resp.Reused,
+		})
+	}
+	return nil
+}
+
+// RunDirect replays the item sequence against the DSMS directly (the
+// direct-query baseline).
+func (e *Env) RunDirect(seq []int, series *metrics.Series) error {
+	for i, idx := range seq {
+		item := e.Workload.Items[idx]
+		t0 := time.Now()
+		_, _, err := e.DirectClient.DeployScript(item.Script)
+		total := time.Since(t0)
+		if err != nil {
+			return fmt.Errorf("experiments: direct query %d (item %d): %w", i, idx, err)
+		}
+		series.Add(metrics.Sample{Seq: i, Total: total})
+	}
+	return nil
+}
+
+// Fig6aResult holds the two CDF series of Fig 6(a).
+type Fig6aResult struct {
+	Direct *metrics.Series
+	EXACML *metrics.Series
+}
+
+// RunFig6a runs the unique query/request sequence through both systems.
+func RunFig6a(cfg Config) (*Fig6aResult, error) {
+	cfg.Cache = false
+	env, err := NewEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	if _, err := env.LoadPolicies(); err != nil {
+		return nil, err
+	}
+	seq := env.Workload.UniqueSequence()
+	res := &Fig6aResult{
+		Direct: &metrics.Series{Name: "directQuery"},
+		EXACML: &metrics.Series{Name: "eXACML+"},
+	}
+	if err := env.RunDirect(seq, res.Direct); err != nil {
+		return nil, err
+	}
+	if err := env.RunEXACML(seq, res.EXACML); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Fig6bResult holds the three CDF series of Fig 6(b).
+type Fig6bResult struct {
+	Direct   *metrics.Series
+	CacheOff *metrics.Series
+	CacheOn  *metrics.Series
+	// CacheHits/CacheMisses are the proxy counters of the cache-on run.
+	CacheHits, CacheMisses uint64
+}
+
+// RunFig6b runs the Zipf-distributed sequence through the direct
+// system, eXACML+ without cache, and eXACML+ with the proxy cache.
+// Fresh environments per run keep grants independent.
+func RunFig6b(cfg Config) (*Fig6bResult, error) {
+	res := &Fig6bResult{
+		Direct:   &metrics.Series{Name: "direct Query"},
+		CacheOff: &metrics.Series{Name: "eXACML+ cache off"},
+		CacheOn:  &metrics.Series{Name: "eXACML+ cache on"},
+	}
+	// Direct + cache-off share an env; the cache-on run uses a fresh one.
+	cfg.Cache = false
+	env, err := NewEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	seq := env.Workload.ZipfSequence(cfg.Params.NRequests, cfg.Params.Seed+1)
+	if _, err := env.LoadPolicies(); err != nil {
+		env.Close()
+		return nil, err
+	}
+	if err := env.RunDirect(seq, res.Direct); err != nil {
+		env.Close()
+		return nil, err
+	}
+	if err := env.RunEXACML(seq, res.CacheOff); err != nil {
+		env.Close()
+		return nil, err
+	}
+	env.Close()
+
+	cfg.Cache = true
+	env2, err := NewEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer env2.Close()
+	if _, err := env2.LoadPolicies(); err != nil {
+		return nil, err
+	}
+	// Same sequence (workload generation is deterministic).
+	seq2 := env2.Workload.ZipfSequence(cfg.Params.NRequests, cfg.Params.Seed+1)
+	if err := env2.RunEXACML(seq2, res.CacheOn); err != nil {
+		return nil, err
+	}
+	res.CacheHits, res.CacheMisses = env2.ProxyStats()
+	return res, nil
+}
+
+// ProxyStats exposes the proxy cache counters.
+func (e *Env) ProxyStats() (hits, misses uint64) { return e.proxy.Stats() }
+
+// Fig7Result is the per-request phase breakdown of Fig 7.
+type Fig7Result struct {
+	Series *metrics.Series
+}
+
+// RunFig7 measures the detailed processing time of n access-control
+// requests over nPolicies loaded policies (Fig 7(a): 100/50, Fig 7(b):
+// 1500/1000).
+func RunFig7(cfg Config, nRequests, nPolicies int) (*Fig7Result, error) {
+	cfg.Params.NRequests = nRequests
+	cfg.Params.NPolicies = nPolicies
+	cfg.Cache = false
+	env, err := NewEnv(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	if _, err := env.LoadPolicies(); err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{Series: &metrics.Series{Name: fmt.Sprintf("AC requests (%d req / %d pol)", nRequests, nPolicies)}}
+	if err := env.RunEXACML(env.Workload.UniqueSequence(), res.Series); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunPolicyLoad measures policy loading times over the configured
+// workload and summarizes them.
+func RunPolicyLoad(cfg Config) (metrics.Stats, error) {
+	cfg.Cache = false
+	env, err := NewEnv(cfg)
+	if err != nil {
+		return metrics.Stats{}, err
+	}
+	defer env.Close()
+	times, err := env.LoadPolicies()
+	if err != nil {
+		return metrics.Stats{}, err
+	}
+	return metrics.Summarize(times), nil
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// tinyConfig is a fast stack for CI-style runs: no simulated network,
+// small workload.
+func tinyConfig() Config {
+	p := workload.TableThree()
+	p.NPolicies = 20
+	p.NRequests = 30
+	p.MaxRank = 10
+	for i := range p.Dist {
+		p.Dist[i] = 3
+	}
+	return Config{Params: p, NetworkSeed: 0, ConnectDelay: 0}
+}
+
+func TestEnvEndToEnd(t *testing.T) {
+	env, err := NewEnv(tinyConfig())
+	if err != nil {
+		t.Fatalf("NewEnv: %v", err)
+	}
+	defer env.Close()
+	times, err := env.LoadPolicies()
+	if err != nil {
+		t.Fatalf("LoadPolicies: %v", err)
+	}
+	if len(times) != 20 {
+		t.Fatalf("loaded %d policies", len(times))
+	}
+	s := &metrics.Series{Name: "test"}
+	if err := env.RunEXACML(env.Workload.UniqueSequence(), s); err != nil {
+		t.Fatalf("RunEXACML: %v", err)
+	}
+	if len(s.Samples) != 30 {
+		t.Fatalf("samples = %d", len(s.Samples))
+	}
+	for _, sm := range s.Samples {
+		if sm.Total <= 0 {
+			t.Fatal("non-positive total")
+		}
+	}
+	d := &metrics.Series{Name: "direct"}
+	if err := env.RunDirect(env.Workload.UniqueSequence(), d); err != nil {
+		t.Fatalf("RunDirect: %v", err)
+	}
+	if len(d.Samples) != 30 {
+		t.Fatalf("direct samples = %d", len(d.Samples))
+	}
+}
+
+func TestRunFig6aQuick(t *testing.T) {
+	res, err := RunFig6a(tinyConfig())
+	if err != nil {
+		t.Fatalf("RunFig6a: %v", err)
+	}
+	if len(res.Direct.Samples) != 30 || len(res.EXACML.Samples) != 30 {
+		t.Fatalf("sample counts: %d/%d", len(res.Direct.Samples), len(res.EXACML.Samples))
+	}
+	// Expected shape: direct queries are faster than eXACML+ in median
+	// (the framework adds PDP + graph + extra hops).
+	dm := metrics.FromSeries(res.Direct).Median()
+	em := metrics.FromSeries(res.EXACML).Median()
+	if em < dm {
+		t.Logf("warning: eXACML+ median %v < direct %v (no netsim, tiny workload)", em, dm)
+	}
+}
+
+func TestRunFig6bQuick(t *testing.T) {
+	res, err := RunFig6b(tinyConfig())
+	if err != nil {
+		t.Fatalf("RunFig6b: %v", err)
+	}
+	if len(res.CacheOn.Samples) != 30 || len(res.CacheOff.Samples) != 30 {
+		t.Fatal("sample counts")
+	}
+	if res.CacheHits == 0 {
+		t.Errorf("Zipf run should produce cache hits (hits=%d misses=%d)", res.CacheHits, res.CacheMisses)
+	}
+	// With only 10 distinct items over 30 requests, hits+misses = 30.
+	if res.CacheHits+res.CacheMisses != 30 {
+		t.Errorf("hits+misses = %d", res.CacheHits+res.CacheMisses)
+	}
+}
+
+func TestRunFig7Quick(t *testing.T) {
+	res, err := RunFig7(tinyConfig(), 15, 10)
+	if err != nil {
+		t.Fatalf("RunFig7: %v", err)
+	}
+	if len(res.Series.Samples) != 15 {
+		t.Fatalf("samples = %d", len(res.Series.Samples))
+	}
+	// Fresh grants must carry engine-phase timings.
+	for i, sm := range res.Series.Samples {
+		if !sm.CacheHit && sm.Engine <= 0 {
+			t.Errorf("sample %d engine phase = %v", i, sm.Engine)
+		}
+	}
+}
+
+func TestRunPolicyLoadQuick(t *testing.T) {
+	stats, err := RunPolicyLoad(tinyConfig())
+	if err != nil {
+		t.Fatalf("RunPolicyLoad: %v", err)
+	}
+	if stats.N != 20 || stats.Mean <= 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestNetworkSimulationAddsLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency comparison")
+	}
+	fast := tinyConfig()
+	slow := tinyConfig()
+	slow.NetworkSeed = 42
+
+	run := func(cfg Config) time.Duration {
+		env, err := NewEnv(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer env.Close()
+		if _, err := env.LoadPolicies(); err != nil {
+			t.Fatal(err)
+		}
+		s := &metrics.Series{Name: "x"}
+		if err := env.RunEXACML(env.Workload.UniqueSequence(), s); err != nil {
+			t.Fatal(err)
+		}
+		return metrics.FromSeries(s).Median()
+	}
+	if mf, ms := run(fast), run(slow); ms <= mf {
+		t.Errorf("simulated network should add latency: fast=%v slow=%v", mf, ms)
+	}
+}
+
+func TestRunAblationMerge(t *testing.T) {
+	p := tinyConfig().Params
+	res, err := RunAblationMerge(p, 200)
+	if err != nil {
+		t.Fatalf("RunAblationMerge: %v", err)
+	}
+	if res.Queries == 0 {
+		t.Fatal("no queries compared")
+	}
+	// Merging never yields more operators than concatenation.
+	if res.MergedBoxes > res.ConcatBoxes {
+		t.Errorf("merged %d boxes > concat %d", res.MergedBoxes, res.ConcatBoxes)
+	}
+	if res.String() == "" {
+		t.Error("String render")
+	}
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/client"
+)
+
+// TestSoakMixedOperations runs a sustained mixed workload against the
+// full stack — concurrent access requests, releases, policy reloads and
+// removals through the proxy — and checks the system ends in a
+// consistent state: engine queries == active grants, no wedged
+// connections, all invariants intact.
+func TestSoakMixedOperations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	env, err := NewEnv(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	if _, err := env.LoadPolicies(); err != nil {
+		t.Fatal(err)
+	}
+
+	const nWorkers = 6
+	const opsPerWorker = 60
+	var wg sync.WaitGroup
+	errCh := make(chan error, nWorkers*opsPerWorker)
+	for wkr := 0; wkr < nWorkers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			// Each worker gets its own connection, like a real client.
+			cli, err := client.Dial(proxyAddrOf(env))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer cli.Close()
+			items := env.Workload.Items
+			for i := 0; i < opsPerWorker; i++ {
+				item := items[(wkr*opsPerWorker+i)%len(items)]
+				switch i % 4 {
+				case 0, 1: // request (possibly repeat -> reuse)
+					if _, err := cli.RequestAccessXML(item.RequestXML, item.UserQueryXML); err != nil {
+						errCh <- fmt.Errorf("worker %d op %d request: %w", wkr, i, err)
+						return
+					}
+				case 2: // release (may fail if nothing held; fine)
+					_ = cli.Release(item.Subject, item.Resource)
+				case 3: // policy reload (withdraws old graphs)
+					if _, err := cli.LoadPolicy([]byte(env.Workload.PolicyXML[item.PolicyIndex])); err != nil {
+						errCh <- fmt.Errorf("worker %d op %d reload: %w", wkr, i, err)
+						return
+					}
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// Consistency: server-side grant count equals engine query count.
+	stats, err := env.ExacmlClient.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ActiveGrants != env.engine.QueryCount() {
+		t.Errorf("grants %d != engine queries %d", stats.ActiveGrants, env.engine.QueryCount())
+	}
+	if stats.Policies != len(env.Workload.PolicyXML) {
+		t.Errorf("policies = %d, want %d", stats.Policies, len(env.Workload.PolicyXML))
+	}
+	// The stack still answers fresh requests.
+	item := env.Workload.Items[0]
+	if _, err := env.ExacmlClient.RequestAccessXML(item.RequestXML, item.UserQueryXML); err != nil {
+		t.Errorf("post-soak request: %v", err)
+	}
+}
+
+// proxyAddrOf exposes the proxy address for extra client connections.
+func proxyAddrOf(e *Env) string { return e.proxyAddr }

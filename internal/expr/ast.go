@@ -1,0 +1,273 @@
+// Package expr implements the boolean predicate language used by filter
+// operators in the eXACML+ reproduction.
+//
+// The language is the one defined in §2.1 and §3.5 of the paper:
+//
+//   - a *simple expression* has the form "x op v" where x is an attribute
+//     name, op ∈ {<, >, <=, >=, =, !=} and v is a numeric or string
+//     literal (strings only with = and !=);
+//   - a *complex expression* connects simple expressions with NOT, AND
+//     and OR (parentheses allowed).
+//
+// Beyond parsing and evaluation, the package provides the paper's §3.5
+// analysis pipeline: NOT-elimination by Table 2 + De Morgan, conversion
+// to disjunctive normal form via postfix evaluation, the pairwise
+// checkTwoSimpleExpression satisfiability test (Fig 5), and the overall
+// NR/PR verdict for the conjunction of a policy condition and a user
+// condition.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stream"
+)
+
+// Op is a comparison operator of a simple expression.
+type Op int
+
+const (
+	// OpInvalid is the zero Op.
+	OpInvalid Op = iota
+	// OpLT is <.
+	OpLT
+	// OpGT is >.
+	OpGT
+	// OpLE is <=.
+	OpLE
+	// OpGE is >=.
+	OpGE
+	// OpEQ is =.
+	OpEQ
+	// OpNE is != (the paper writes ≠).
+	OpNE
+)
+
+// String returns the source spelling of the operator.
+func (o Op) String() string {
+	switch o {
+	case OpLT:
+		return "<"
+	case OpGT:
+		return ">"
+	case OpLE:
+		return "<="
+	case OpGE:
+		return ">="
+	case OpEQ:
+		return "="
+	case OpNE:
+		return "!="
+	default:
+		return "?"
+	}
+}
+
+// Negate returns the complementary operator per Table 2 of the paper:
+// NOT (x op v) == x op' v.
+func (o Op) Negate() Op {
+	switch o {
+	case OpLT:
+		return OpGE
+	case OpGT:
+		return OpLE
+	case OpLE:
+		return OpGT
+	case OpGE:
+		return OpLT
+	case OpEQ:
+		return OpNE
+	case OpNE:
+		return OpEQ
+	default:
+		return OpInvalid
+	}
+}
+
+// Node is a node of the predicate AST. Exactly one of the concrete types
+// Simple, Not, And, Or, or Literal implements it.
+type Node interface {
+	fmt.Stringer
+	// isNode is a marker to close the interface.
+	isNode()
+}
+
+// Simple is a leaf comparison "Attr Op Value".
+type Simple struct {
+	Attr  string
+	Op    Op
+	Value stream.Value
+}
+
+func (*Simple) isNode() {}
+
+// String renders the comparison in source form. String literals are
+// single-quoted.
+func (s *Simple) String() string {
+	v := s.Value.String()
+	if s.Value.Type() == stream.TypeString {
+		v = "'" + strings.ReplaceAll(v, "'", "''") + "'"
+	}
+	return fmt.Sprintf("%s %s %s", s.Attr, s.Op, v)
+}
+
+// Key returns the lower-cased attribute name, the join key for pairwise
+// satisfiability checks.
+func (s *Simple) Key() string { return strings.ToLower(s.Attr) }
+
+// Not is logical negation.
+type Not struct{ X Node }
+
+func (*Not) isNode() {}
+
+// String renders "NOT (x)".
+func (n *Not) String() string { return "NOT (" + n.X.String() + ")" }
+
+// And is logical conjunction of two operands.
+type And struct{ L, R Node }
+
+func (*And) isNode() {}
+
+// String renders "(l) AND (r)".
+func (a *And) String() string {
+	return "(" + a.L.String() + ") AND (" + a.R.String() + ")"
+}
+
+// Or is logical disjunction of two operands.
+type Or struct{ L, R Node }
+
+func (*Or) isNode() {}
+
+// String renders "(l) OR (r)".
+func (o *Or) String() string {
+	return "(" + o.L.String() + ") OR (" + o.R.String() + ")"
+}
+
+// Literal is a constant boolean predicate (TRUE / FALSE).
+type Literal struct{ Val bool }
+
+func (*Literal) isNode() {}
+
+// String renders TRUE or FALSE.
+func (l *Literal) String() string {
+	if l.Val {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+// True and False are the constant predicates.
+var (
+	True  = &Literal{Val: true}
+	False = &Literal{Val: false}
+)
+
+// NewAnd conjoins a list of nodes, returning TRUE for an empty list and
+// the sole node for a singleton.
+func NewAnd(nodes ...Node) Node {
+	var out Node
+	for _, n := range nodes {
+		if n == nil {
+			continue
+		}
+		if out == nil {
+			out = n
+		} else {
+			out = &And{L: out, R: n}
+		}
+	}
+	if out == nil {
+		return True
+	}
+	return out
+}
+
+// NewOr disjoins a list of nodes, returning FALSE for an empty list and
+// the sole node for a singleton.
+func NewOr(nodes ...Node) Node {
+	var out Node
+	for _, n := range nodes {
+		if n == nil {
+			continue
+		}
+		if out == nil {
+			out = n
+		} else {
+			out = &Or{L: out, R: n}
+		}
+	}
+	if out == nil {
+		return False
+	}
+	return out
+}
+
+// Clone deep-copies an AST.
+func Clone(n Node) Node {
+	switch t := n.(type) {
+	case nil:
+		return nil
+	case *Simple:
+		c := *t
+		return &c
+	case *Not:
+		return &Not{X: Clone(t.X)}
+	case *And:
+		return &And{L: Clone(t.L), R: Clone(t.R)}
+	case *Or:
+		return &Or{L: Clone(t.L), R: Clone(t.R)}
+	case *Literal:
+		return &Literal{Val: t.Val}
+	default:
+		panic(fmt.Sprintf("expr: unknown node %T", n))
+	}
+}
+
+// Attributes returns the set of attribute names (lower-cased) referenced
+// by the predicate.
+func Attributes(n Node) map[string]bool {
+	out := map[string]bool{}
+	var walk func(Node)
+	walk = func(n Node) {
+		switch t := n.(type) {
+		case *Simple:
+			out[t.Key()] = true
+		case *Not:
+			walk(t.X)
+		case *And:
+			walk(t.L)
+			walk(t.R)
+		case *Or:
+			walk(t.L)
+			walk(t.R)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// Equal structurally compares two ASTs.
+func Equal(a, b Node) bool {
+	switch x := a.(type) {
+	case *Simple:
+		y, ok := b.(*Simple)
+		return ok && x.Key() == y.Key() && x.Op == y.Op && x.Value.Equal(y.Value)
+	case *Not:
+		y, ok := b.(*Not)
+		return ok && Equal(x.X, y.X)
+	case *And:
+		y, ok := b.(*And)
+		return ok && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case *Or:
+		y, ok := b.(*Or)
+		return ok && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case *Literal:
+		y, ok := b.(*Literal)
+		return ok && x.Val == y.Val
+	case nil:
+		return b == nil
+	default:
+		return false
+	}
+}

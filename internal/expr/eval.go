@@ -1,0 +1,116 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// Eval evaluates the predicate against a tuple under the given schema.
+// Simple expressions referencing attributes absent from the schema are an
+// error; comparisons between incompatible types are an error.
+func Eval(n Node, s *stream.Schema, t stream.Tuple) (bool, error) {
+	switch x := n.(type) {
+	case *Literal:
+		return x.Val, nil
+	case *Not:
+		v, err := Eval(x.X, s, t)
+		return !v, err
+	case *And:
+		l, err := Eval(x.L, s, t)
+		if err != nil {
+			return false, err
+		}
+		if !l {
+			return false, nil
+		}
+		return Eval(x.R, s, t)
+	case *Or:
+		l, err := Eval(x.L, s, t)
+		if err != nil {
+			return false, err
+		}
+		if l {
+			return true, nil
+		}
+		return Eval(x.R, s, t)
+	case *Simple:
+		return evalSimple(x, s, t)
+	default:
+		return false, fmt.Errorf("expr: cannot evaluate %T", n)
+	}
+}
+
+func evalSimple(x *Simple, s *stream.Schema, t stream.Tuple) (bool, error) {
+	v, err := t.Get(s, x.Attr)
+	if err != nil {
+		return false, err
+	}
+	if v.IsNull() {
+		// Nulls never satisfy a comparison (SQL-ish semantics).
+		return false, nil
+	}
+	cmp, err := v.Compare(x.Value)
+	if err != nil {
+		return false, fmt.Errorf("expr: %s: %w", x, err)
+	}
+	switch x.Op {
+	case OpLT:
+		return cmp < 0, nil
+	case OpGT:
+		return cmp > 0, nil
+	case OpLE:
+		return cmp <= 0, nil
+	case OpGE:
+		return cmp >= 0, nil
+	case OpEQ:
+		return cmp == 0, nil
+	case OpNE:
+		return cmp != 0, nil
+	default:
+		return false, fmt.Errorf("expr: invalid operator in %s", x)
+	}
+}
+
+// Validate checks that every attribute referenced by the predicate exists
+// in the schema and that literal types are comparable with the attribute
+// type. It returns the first problem found.
+func Validate(n Node, s *stream.Schema) error {
+	switch x := n.(type) {
+	case *Literal, nil:
+		return nil
+	case *Not:
+		return Validate(x.X, s)
+	case *And:
+		if err := Validate(x.L, s); err != nil {
+			return err
+		}
+		return Validate(x.R, s)
+	case *Or:
+		if err := Validate(x.L, s); err != nil {
+			return err
+		}
+		return Validate(x.R, s)
+	case *Simple:
+		_, ft, ok := s.Lookup(x.Attr)
+		if !ok {
+			return fmt.Errorf("expr: unknown attribute %q", x.Attr)
+		}
+		lt := x.Value.Type()
+		if ft == stream.TypeString || lt == stream.TypeString {
+			if ft != stream.TypeString || lt != stream.TypeString {
+				return fmt.Errorf("expr: %s: type mismatch (%s attribute vs %s literal)", x, ft, lt)
+			}
+			if x.Op != OpEQ && x.Op != OpNE {
+				return fmt.Errorf("expr: %s: strings support only = and !=", x)
+			}
+			return nil
+		}
+		if !ft.IsNumeric() && ft != stream.TypeBool {
+			return fmt.Errorf("expr: %s: attribute type %s not comparable", x, ft)
+		}
+		return nil
+	default:
+		return fmt.Errorf("expr: unknown node %T", n)
+	}
+}

@@ -1,0 +1,143 @@
+package expr
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func evalSchema() *stream.Schema {
+	return stream.MustSchema(
+		stream.Field{Name: "a", Type: stream.TypeDouble},
+		stream.Field{Name: "b", Type: stream.TypeInt},
+		stream.Field{Name: "city", Type: stream.TypeString},
+		stream.Field{Name: "flag", Type: stream.TypeBool},
+	)
+}
+
+func evalTuple(a float64, b int64, city string, flag bool) stream.Tuple {
+	return stream.NewTuple(
+		stream.DoubleValue(a), stream.IntValue(b),
+		stream.StringValue(city), stream.BoolValue(flag),
+	)
+}
+
+func mustEval(t *testing.T, src string, tu stream.Tuple) bool {
+	t.Helper()
+	got, err := Eval(MustParse(src), evalSchema(), tu)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return got
+}
+
+func TestEvalComparisons(t *testing.T) {
+	tu := evalTuple(9.0, 5, "SG", true)
+	cases := map[string]bool{
+		"a > 8":                 true,
+		"a > 9":                 false,
+		"a >= 9":                true,
+		"a < 10":                true,
+		"a <= 8.9":              false,
+		"a = 9":                 true,
+		"a != 9":                false,
+		"b = 5":                 true,
+		"city = 'SG'":           true,
+		"city != 'KL'":          true,
+		"flag = true":           true,
+		"flag != true":          false,
+		"b > 4 AND a< 10":       true,
+		"b > 5 OR a > 8":        true,
+		"NOT a > 8":             false,
+		"NOT (a > 10 OR b < 0)": true,
+		"TRUE":                  true,
+		"FALSE":                 false,
+	}
+	for src, want := range cases {
+		if got := mustEval(t, src, tu); got != want {
+			t.Errorf("Eval(%q) = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestEvalShortCircuit(t *testing.T) {
+	// Unknown attribute behind a short circuit is never touched.
+	tu := evalTuple(1, 1, "x", false)
+	n := MustParse("a > 100 AND zzz = 1")
+	got, err := Eval(n, evalSchema(), tu)
+	if err != nil || got {
+		t.Errorf("short circuit AND: (%v,%v)", got, err)
+	}
+	n = MustParse("a > 0 OR zzz = 1")
+	got, err = Eval(n, evalSchema(), tu)
+	if err != nil || !got {
+		t.Errorf("short circuit OR: (%v,%v)", got, err)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	tu := evalTuple(1, 1, "x", false)
+	if _, err := Eval(MustParse("missing > 1"), evalSchema(), tu); err == nil {
+		t.Error("unknown attribute must error")
+	}
+	if _, err := Eval(MustParse("city != 5"), evalSchema(), tu); err == nil {
+		t.Error("type mismatch must error")
+	}
+}
+
+func TestEvalNull(t *testing.T) {
+	tu := stream.NewTuple(stream.Null, stream.IntValue(1), stream.StringValue(""), stream.BoolValue(false))
+	got, err := Eval(MustParse("a > 0 OR a <= 0"), evalSchema(), tu)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if got {
+		t.Error("null never satisfies comparisons")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := evalSchema()
+	good := []string{"a > 1", "city = 'SG'", "b != 0 AND flag = true", "TRUE"}
+	for _, src := range good {
+		if err := Validate(MustParse(src), s); err != nil {
+			t.Errorf("Validate(%q): %v", src, err)
+		}
+	}
+	bad := []string{"zzz > 1", "city != 4", "a = 'str'"}
+	for _, src := range bad {
+		if err := Validate(MustParse(src), s); err == nil {
+			t.Errorf("Validate(%q) should fail", src)
+		}
+	}
+}
+
+// Example 3 from the paper: policy filter a > 8 over the stream
+// (9,10,11,3,2,6,9,8,7,2,13) combined with user filter a > 5 yields
+// (9,10,11,9,13): tuples 6,8,7 are lost (PR case evaluated concretely).
+func TestExample3Evaluation(t *testing.T) {
+	vals := []float64{9, 10, 11, 3, 2, 6, 9, 8, 7, 2, 13}
+	policy := MustParse("a > 8")
+	user := MustParse("a > 5")
+	merged := MergeConditions(policy, user)
+	var got []float64
+	for _, v := range vals {
+		tu := evalTuple(v, 0, "", false)
+		ok, err := Eval(merged, evalSchema(), tu)
+		if err != nil {
+			t.Fatalf("Eval: %v", err)
+		}
+		if ok {
+			got = append(got, v)
+		}
+	}
+	want := []float64{9, 10, 11, 9, 13}
+	if len(got) != len(want) {
+		t.Fatalf("merged output = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged output = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package expr
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// FuzzParse: any string either fails to parse or yields an AST whose
+// String() re-parses to a structurally equal AST, survives
+// NOT-elimination and DNF conversion, and keeps its truth value on a
+// sample tuple.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"rainrate > 5",
+		"(a > 20 AND a < 30) OR NOT (a != 40)",
+		"NOT (a >= 10) AND b = 20",
+		"city = 'Sing''apore' OR flag = true",
+		"a <= -2.5e2 AND NOT NOT b <> 7",
+		"TRUE AND (FALSE OR x >= 0)",
+		"a > 5 AND a < 3",
+		"((((((a=1))))))",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	schema := stream.MustSchema(
+		stream.Field{Name: "a", Type: stream.TypeDouble},
+		stream.Field{Name: "b", Type: stream.TypeDouble},
+		stream.Field{Name: "x", Type: stream.TypeDouble},
+		stream.Field{Name: "rainrate", Type: stream.TypeDouble},
+		stream.Field{Name: "city", Type: stream.TypeString},
+		stream.Field{Name: "flag", Type: stream.TypeBool},
+	)
+	tuple := stream.NewTuple(
+		stream.DoubleValue(7), stream.DoubleValue(20), stream.DoubleValue(0),
+		stream.DoubleValue(12), stream.StringValue("Sing'apore"), stream.BoolValue(true),
+	)
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(src)
+		if err != nil {
+			return // rejecting garbage is fine
+		}
+		// Round trip.
+		n2, err := Parse(n.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", n.String(), src, err)
+		}
+		if !Equal(n, n2) {
+			t.Fatalf("round trip changed AST: %q -> %q", src, n.String())
+		}
+		// Transformations must not crash and preserve semantics when the
+		// predicate evaluates cleanly against the schema.
+		want, evalErr := Eval(n, schema, tuple)
+		ne := EliminateNot(n)
+		if evalErr == nil {
+			got, err := Eval(ne, schema, tuple)
+			if err != nil || got != want {
+				t.Fatalf("EliminateNot changed semantics of %q: (%v,%v) want %v", src, got, err, want)
+			}
+		}
+		if d, err := ToDNF(n); err == nil && evalErr == nil {
+			got, err := Eval(FromDNF(d), schema, tuple)
+			if err != nil || got != want {
+				t.Fatalf("DNF changed semantics of %q", src)
+			}
+		}
+		_ = Simplify(Clone(n))
+	})
+}

@@ -1,0 +1,335 @@
+package expr
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/stream"
+)
+
+// MergeConditions combines a policy filter condition and a user filter
+// condition into the single condition C3 = (C1) AND (C2) per §3.1, then
+// applies the paper's simplification: when both inputs are plain
+// conjunctions of simple expressions, redundant bounds are dropped (e.g.
+// x > v1 AND x > v2 simplifies to x > max(v1, v2)).
+//
+// A nil condition stands for TRUE (no constraint).
+func MergeConditions(policy, user Node) Node {
+	switch {
+	case policy == nil && user == nil:
+		return nil
+	case policy == nil:
+		return Simplify(Clone(user))
+	case user == nil:
+		return Simplify(Clone(policy))
+	}
+	return Simplify(&And{L: Clone(policy), R: Clone(user)})
+}
+
+// Simplify rewrites a predicate into an equivalent, usually smaller one:
+//
+//   - constant folding through AND/OR/NOT (TRUE/FALSE identities);
+//   - for pure conjunctions of simple expressions, per-attribute bound
+//     tightening over the reals, yielding FALSE on contradictions.
+//
+// Predicates containing OR below the top level are folded but their
+// conjunctive branches are tightened individually.
+func Simplify(n Node) Node {
+	n = fold(n)
+	if n == nil {
+		return nil
+	}
+	if conj, ok := flattenConjunction(n); ok {
+		return tightenConjunction(conj)
+	}
+	// Try to simplify each top-level OR branch independently.
+	if or, ok := n.(*Or); ok {
+		l := Simplify(or.L)
+		r := Simplify(or.R)
+		return fold(&Or{L: l, R: r})
+	}
+	return n
+}
+
+// fold performs constant folding on literals.
+func fold(n Node) Node {
+	switch x := n.(type) {
+	case *And:
+		l, r := fold(x.L), fold(x.R)
+		if isFalse(l) || isFalse(r) {
+			return False
+		}
+		if isTrue(l) {
+			return r
+		}
+		if isTrue(r) {
+			return l
+		}
+		return &And{L: l, R: r}
+	case *Or:
+		l, r := fold(x.L), fold(x.R)
+		if isTrue(l) || isTrue(r) {
+			return True
+		}
+		if isFalse(l) {
+			return r
+		}
+		if isFalse(r) {
+			return l
+		}
+		return &Or{L: l, R: r}
+	case *Not:
+		inner := fold(x.X)
+		if isTrue(inner) {
+			return False
+		}
+		if isFalse(inner) {
+			return True
+		}
+		return &Not{X: inner}
+	default:
+		return n
+	}
+}
+
+func isTrue(n Node) bool {
+	l, ok := n.(*Literal)
+	return ok && l.Val
+}
+
+func isFalse(n Node) bool {
+	l, ok := n.(*Literal)
+	return ok && !l.Val
+}
+
+// flattenConjunction returns the list of simple expressions when the
+// node is a pure AND-tree of simples, with ok=true.
+func flattenConjunction(n Node) ([]*Simple, bool) {
+	var out []*Simple
+	var walk func(Node) bool
+	walk = func(n Node) bool {
+		switch x := n.(type) {
+		case *Simple:
+			out = append(out, x)
+			return true
+		case *And:
+			return walk(x.L) && walk(x.R)
+		case *Literal:
+			return x.Val // TRUE vanishes; FALSE disqualifies (handled by fold)
+		default:
+			return false
+		}
+	}
+	if walk(n) {
+		return out, true
+	}
+	return nil, false
+}
+
+// bounds tracks the tightest numeric constraints per attribute while
+// simplifying a conjunction.
+type bounds struct {
+	lo, hi         float64
+	loIncl, hiIncl bool
+	eq             *float64
+	ne             map[float64]bool
+	strEq          *string
+	strNe          map[string]bool
+	contradiction  bool
+}
+
+func newBounds() *bounds {
+	return &bounds{lo: math.Inf(-1), hi: math.Inf(1), loIncl: true, hiIncl: true,
+		ne: map[float64]bool{}, strNe: map[string]bool{}}
+}
+
+// tightenConjunction rewrites a conjunction of simples into its minimal
+// equivalent form, or FALSE on contradiction.
+func tightenConjunction(conj []*Simple) Node {
+	byAttr := map[string]*bounds{}
+	order := []string{}
+	attrCase := map[string]string{} // preserve original attribute spelling
+	for _, s := range conj {
+		k := s.Key()
+		b, ok := byAttr[k]
+		if !ok {
+			b = newBounds()
+			byAttr[k] = b
+			order = append(order, k)
+			attrCase[k] = s.Attr
+		}
+		applySimple(b, s)
+		if b.contradiction {
+			return False
+		}
+	}
+	var parts []Node
+	for _, k := range order {
+		parts = append(parts, emitBounds(attrCase[k], byAttr[k])...)
+	}
+	if len(parts) == 0 {
+		return True
+	}
+	return NewAnd(parts...)
+}
+
+func applySimple(b *bounds, s *Simple) {
+	if s.Value.Type() == stream.TypeString {
+		v := s.Value.Str()
+		switch s.Op {
+		case OpEQ:
+			if b.strEq != nil && *b.strEq != v {
+				b.contradiction = true
+				return
+			}
+			if b.strNe[v] {
+				b.contradiction = true
+				return
+			}
+			b.strEq = &v
+		case OpNE:
+			if b.strEq != nil && *b.strEq == v {
+				b.contradiction = true
+				return
+			}
+			b.strNe[v] = true
+		default:
+			// Invalid op on strings; keep as-is by treating as no-op.
+		}
+		return
+	}
+	f, ok := s.Value.AsFloat()
+	if !ok {
+		return
+	}
+	switch s.Op {
+	case OpLT:
+		if f < b.hi || (f == b.hi && b.hiIncl) {
+			b.hi, b.hiIncl = f, false
+		}
+	case OpLE:
+		if f < b.hi {
+			b.hi, b.hiIncl = f, true
+		}
+	case OpGT:
+		if f > b.lo || (f == b.lo && b.loIncl) {
+			b.lo, b.loIncl = f, false
+		}
+	case OpGE:
+		if f > b.lo {
+			b.lo, b.loIncl = f, true
+		}
+	case OpEQ:
+		if b.eq != nil && *b.eq != f {
+			b.contradiction = true
+			return
+		}
+		b.eq = &f
+	case OpNE:
+		b.ne[f] = true
+	}
+	// Contradiction checks.
+	if b.eq != nil {
+		v := *b.eq
+		if v < b.lo || (v == b.lo && !b.loIncl) || v > b.hi || (v == b.hi && !b.hiIncl) || b.ne[v] {
+			b.contradiction = true
+			return
+		}
+	}
+	if b.lo > b.hi {
+		b.contradiction = true
+		return
+	}
+	if b.lo == b.hi && !(b.loIncl && b.hiIncl) {
+		b.contradiction = true
+		return
+	}
+}
+
+// emitBounds regenerates the minimal simple expressions for an attribute.
+func emitBounds(attr string, b *bounds) []Node {
+	var out []Node
+	if b.strEq != nil {
+		out = append(out, &Simple{Attr: attr, Op: OpEQ, Value: stream.StringValue(*b.strEq)})
+	}
+	if len(b.strNe) > 0 && b.strEq == nil {
+		keys := make([]string, 0, len(b.strNe))
+		for k := range b.strNe {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			out = append(out, &Simple{Attr: attr, Op: OpNE, Value: stream.StringValue(k)})
+		}
+	}
+	if b.eq != nil {
+		out = append(out, &Simple{Attr: attr, Op: OpEQ, Value: numValue(*b.eq)})
+		return out
+	}
+	if b.lo == b.hi && b.loIncl && b.hiIncl && !math.IsInf(b.lo, 0) {
+		out = append(out, &Simple{Attr: attr, Op: OpEQ, Value: numValue(b.lo)})
+		return out
+	}
+	if !math.IsInf(b.lo, -1) {
+		op := OpGT
+		if b.loIncl {
+			op = OpGE
+		}
+		out = append(out, &Simple{Attr: attr, Op: op, Value: numValue(b.lo)})
+	}
+	if !math.IsInf(b.hi, 1) {
+		op := OpLT
+		if b.hiIncl {
+			op = OpLE
+		}
+		out = append(out, &Simple{Attr: attr, Op: op, Value: numValue(b.hi)})
+	}
+	// Emit surviving != constraints that fall inside the interval.
+	if len(b.ne) > 0 {
+		vals := make([]float64, 0, len(b.ne))
+		for v := range b.ne {
+			inRange := (v > b.lo || (v == b.lo && b.loIncl)) && (v < b.hi || (v == b.hi && b.hiIncl))
+			if inRange {
+				vals = append(vals, v)
+			}
+		}
+		sort.Float64s(vals)
+		for _, v := range vals {
+			out = append(out, &Simple{Attr: attr, Op: OpNE, Value: numValue(v)})
+		}
+	}
+	return out
+}
+
+// numValue chooses int representation for integral floats, double
+// otherwise, so simplified output looks like the input literals.
+func numValue(f float64) stream.Value {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return stream.IntValue(int64(f))
+	}
+	return stream.DoubleValue(f)
+}
+
+// Canonical renders a predicate in a normalized string form useful as a
+// cache key: DNF with per-conjunction lexicographic ordering.
+func Canonical(n Node) string {
+	if n == nil {
+		return "TRUE"
+	}
+	d, err := ToDNF(n)
+	if err != nil {
+		return n.String()
+	}
+	cstrs := make([]string, 0, len(d))
+	for _, c := range d {
+		parts := make([]string, 0, len(c))
+		for _, s := range c {
+			parts = append(parts, strings.ToLower(s.String()))
+		}
+		sort.Strings(parts)
+		cstrs = append(cstrs, strings.Join(parts, " & "))
+	}
+	sort.Strings(cstrs)
+	return strings.Join(cstrs, " | ")
+}

@@ -1,0 +1,190 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestMergeConditionsPaperExample(t *testing.T) {
+	// §3.1: C1 = x > v1, C2 = x > v2 merges to x > v2 iff v2 >= v1.
+	merged := MergeConditions(MustParse("x > 5"), MustParse("x > 50"))
+	want := MustParse("x > 50")
+	if !Equal(merged, want) {
+		t.Errorf("merged = %s, want %s", merged, want)
+	}
+	merged = MergeConditions(MustParse("x > 50"), MustParse("x > 5"))
+	if !Equal(merged, want) {
+		t.Errorf("merged = %s, want %s", merged, want)
+	}
+}
+
+func TestMergeConditionsNil(t *testing.T) {
+	if MergeConditions(nil, nil) != nil {
+		t.Error("nil+nil = nil")
+	}
+	m := MergeConditions(MustParse("a > 1"), nil)
+	if !Equal(m, MustParse("a > 1")) {
+		t.Errorf("policy only = %s", m)
+	}
+	m = MergeConditions(nil, MustParse("a > 1"))
+	if !Equal(m, MustParse("a > 1")) {
+		t.Errorf("user only = %s", m)
+	}
+}
+
+func TestSimplifyBounds(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"a > 1 AND a > 5", "a > 5"},
+		{"a >= 5 AND a > 5", "a > 5"},
+		{"a > 5 AND a >= 5", "a > 5"},
+		{"a < 9 AND a <= 9", "a < 9"},
+		{"a > 1 AND a < 5", "a > 1 AND a < 5"},
+		{"a = 3 AND a > 1", "a = 3"},
+		{"a > 1 AND a > 2 AND a > 3", "a > 3"},
+		{"a >= 3 AND a <= 3", "a = 3"},
+		{"a != 7 AND a < 5", "a < 5"},            // hole outside interval drops
+		{"a != 3 AND a < 5", "a < 5 AND a != 3"}, // hole inside remains
+	}
+	for _, c := range cases {
+		got := Simplify(MustParse(c.in))
+		want := MustParse(c.want)
+		if !Equal(got, want) {
+			t.Errorf("Simplify(%q) = %s, want %s", c.in, got, want)
+		}
+	}
+}
+
+func TestSimplifyContradictions(t *testing.T) {
+	unsat := []string{
+		"a > 5 AND a < 3",
+		"a = 5 AND a = 6",
+		"a = 5 AND a != 5",
+		"a > 5 AND a <= 5",
+		"a >= 5 AND a < 5",
+		"c = 'x' AND c = 'y'",
+		"c = 'x' AND c != 'x'",
+	}
+	for _, src := range unsat {
+		got := Simplify(MustParse(src))
+		if !isFalse(got) {
+			t.Errorf("Simplify(%q) = %s, want FALSE", src, got)
+		}
+	}
+}
+
+func TestSimplifyConstantFolding(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"TRUE AND a > 1", "a > 1"},
+		{"a > 1 AND TRUE", "a > 1"},
+		{"FALSE AND a > 1", "FALSE"},
+		{"FALSE OR a > 1", "a > 1"},
+		{"TRUE OR a > 1", "TRUE"},
+		{"NOT TRUE", "FALSE"},
+	}
+	for _, c := range cases {
+		got := Simplify(MustParse(c.in))
+		want := MustParse(c.want)
+		if !Equal(got, want) {
+			t.Errorf("Simplify(%q) = %s, want %s", c.in, got, want)
+		}
+	}
+}
+
+func TestSimplifyStrings(t *testing.T) {
+	got := Simplify(MustParse("c = 'x' AND c = 'x'"))
+	if !Equal(got, MustParse("c = 'x'")) {
+		t.Errorf("got %s", got)
+	}
+	got = Simplify(MustParse("c != 'x' AND c != 'y' AND c != 'x'"))
+	want := MustParse("c != 'x' AND c != 'y'")
+	if !Equal(got, want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+func TestSimplifyPreservesOrBranches(t *testing.T) {
+	got := Simplify(MustParse("(a > 1 AND a > 5) OR b = 2"))
+	want := MustParse("a > 5 OR b = 2")
+	if !Equal(got, want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+// Property: Simplify preserves semantics on random conjunctions.
+func TestSimplifyEquivalenceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	schema := stream.MustSchema(
+		stream.Field{Name: "a", Type: stream.TypeInt},
+		stream.Field{Name: "b", Type: stream.TypeInt},
+	)
+	for i := 0; i < 400; i++ {
+		p := randomPredicate(r, 3)
+		q := Simplify(Clone(p))
+		for j := 0; j < 25; j++ {
+			tu := stream.NewTuple(
+				stream.IntValue(int64(r.Intn(14)-2)),
+				stream.IntValue(int64(r.Intn(14)-2)),
+			)
+			want, err := Eval(p, schema, tu)
+			if err != nil {
+				t.Fatalf("Eval orig %s: %v", p, err)
+			}
+			got, err := Eval(q, schema, tu)
+			if err != nil {
+				t.Fatalf("Eval simplified %s: %v", q, err)
+			}
+			if got != want {
+				t.Fatalf("Simplify changed semantics: %s -> %s on %v (want %v got %v)",
+					p, q, tu, want, got)
+			}
+		}
+	}
+}
+
+// Property: MergeConditions(C1,C2) is semantically C1 AND C2.
+func TestMergeEquivalenceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	schema := stream.MustSchema(
+		stream.Field{Name: "a", Type: stream.TypeInt},
+		stream.Field{Name: "b", Type: stream.TypeInt},
+	)
+	for i := 0; i < 300; i++ {
+		c1 := randomPredicate(r, 3)
+		c2 := randomPredicate(r, 3)
+		m := MergeConditions(c1, c2)
+		for j := 0; j < 20; j++ {
+			tu := stream.NewTuple(
+				stream.IntValue(int64(r.Intn(14)-2)),
+				stream.IntValue(int64(r.Intn(14)-2)),
+			)
+			v1, _ := Eval(c1, schema, tu)
+			v2, _ := Eval(c2, schema, tu)
+			got, err := Eval(m, schema, tu)
+			if err != nil {
+				t.Fatalf("Eval merged: %v", err)
+			}
+			if got != (v1 && v2) {
+				t.Fatalf("merge not conjunction: %s + %s -> %s on %v", c1, c2, m, tu)
+			}
+		}
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	a := Canonical(MustParse("a > 1 AND b < 2"))
+	b := Canonical(MustParse("b < 2 AND a > 1"))
+	if a != b {
+		t.Errorf("canonical forms differ: %q vs %q", a, b)
+	}
+	if Canonical(nil) != "TRUE" {
+		t.Error("Canonical(nil)")
+	}
+	// OR branches sort too.
+	c := Canonical(MustParse("a > 1 OR b < 2"))
+	d := Canonical(MustParse("b < 2 OR a > 1"))
+	if c != d {
+		t.Errorf("canonical OR forms differ: %q vs %q", c, d)
+	}
+}

@@ -1,0 +1,210 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EliminateNot removes every NOT from the predicate by applying De
+// Morgan's laws to AND/OR and Table 2 of the paper to simple expressions
+// (NOT (x > v) becomes x <= v, and so on). This is Step 1 of the §3.5
+// NR/PR checking procedure. The result contains only Simple, And, Or and
+// Literal nodes.
+func EliminateNot(n Node) Node {
+	return elimNot(n, false)
+}
+
+func elimNot(n Node, negated bool) Node {
+	switch x := n.(type) {
+	case *Literal:
+		if negated {
+			return &Literal{Val: !x.Val}
+		}
+		return x
+	case *Simple:
+		if !negated {
+			c := *x
+			return &c
+		}
+		return &Simple{Attr: x.Attr, Op: x.Op.Negate(), Value: x.Value}
+	case *Not:
+		return elimNot(x.X, !negated)
+	case *And:
+		l, r := elimNot(x.L, negated), elimNot(x.R, negated)
+		if negated {
+			return &Or{L: l, R: r} // De Morgan: NOT(a AND b) = NOT a OR NOT b
+		}
+		return &And{L: l, R: r}
+	case *Or:
+		l, r := elimNot(x.L, negated), elimNot(x.R, negated)
+		if negated {
+			return &And{L: l, R: r} // De Morgan: NOT(a OR b) = NOT a AND NOT b
+		}
+		return &Or{L: l, R: r}
+	default:
+		panic(fmt.Sprintf("expr: elimNot: unknown node %T", n))
+	}
+}
+
+// Conjunction is a conjunct of a DNF: the AND of its simple expressions.
+// An empty Conjunction is the constant TRUE.
+type Conjunction []*Simple
+
+// String renders the conjunction as "s1 AND s2 AND ...".
+func (c Conjunction) String() string {
+	if len(c) == 0 {
+		return "TRUE"
+	}
+	parts := make([]string, len(c))
+	for i, s := range c {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// DNF is a predicate in disjunctive normal form: the OR of its
+// conjunctions. An empty DNF is the constant FALSE.
+type DNF []Conjunction
+
+// String renders the DNF as "(c1) OR (c2) OR ...".
+func (d DNF) String() string {
+	if len(d) == 0 {
+		return "FALSE"
+	}
+	parts := make([]string, len(d))
+	for i, c := range d {
+		parts[i] = "(" + c.String() + ")"
+	}
+	return strings.Join(parts, " OR ")
+}
+
+// postfixItem is one element of the postfix (RPN) form of a NOT-free
+// predicate: either a simple-expression operand or an AND/OR operator.
+type postfixItem struct {
+	simple  *Simple  // operand, when non-nil
+	literal *Literal // literal operand, when non-nil
+	op      byte     // '&' or '|' for operators
+}
+
+// ToPostfix converts a NOT-free predicate into postfix form. This mirrors
+// Step 2 of the paper, which converts the expression to postfix before
+// evaluating it into DNF. It returns an error if the predicate still
+// contains NOT nodes.
+func ToPostfix(n Node) ([]postfixItem, error) {
+	var out []postfixItem
+	var walk func(Node) error
+	walk = func(n Node) error {
+		switch x := n.(type) {
+		case *Simple:
+			out = append(out, postfixItem{simple: x})
+		case *Literal:
+			out = append(out, postfixItem{literal: x})
+		case *And:
+			if err := walk(x.L); err != nil {
+				return err
+			}
+			if err := walk(x.R); err != nil {
+				return err
+			}
+			out = append(out, postfixItem{op: '&'})
+		case *Or:
+			if err := walk(x.L); err != nil {
+				return err
+			}
+			if err := walk(x.R); err != nil {
+				return err
+			}
+			out = append(out, postfixItem{op: '|'})
+		case *Not:
+			return fmt.Errorf("expr: ToPostfix requires NOT-free input (run EliminateNot first)")
+		default:
+			return fmt.Errorf("expr: ToPostfix: unknown node %T", n)
+		}
+		return nil
+	}
+	if err := walk(n); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ToDNF converts an arbitrary predicate into disjunctive normal form.
+// Following §3.5 it first eliminates NOT, converts to postfix, and then
+// evaluates the postfix expression with a stack: AND applies the
+// distributive law to its two operands, OR concatenates them.
+//
+// TRUE literals become the empty conjunction; FALSE literals become the
+// empty DNF; both propagate through AND/OR with the usual identities.
+func ToDNF(n Node) (DNF, error) {
+	nn := EliminateNot(n)
+	post, err := ToPostfix(nn)
+	if err != nil {
+		return nil, err
+	}
+	var stack []DNF
+	pop := func() DNF {
+		d := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return d
+	}
+	for _, it := range post {
+		switch {
+		case it.simple != nil:
+			stack = append(stack, DNF{Conjunction{it.simple}})
+		case it.literal != nil:
+			if it.literal.Val {
+				stack = append(stack, DNF{Conjunction{}}) // TRUE
+			} else {
+				stack = append(stack, DNF{}) // FALSE
+			}
+		case it.op == '&':
+			if len(stack) < 2 {
+				return nil, fmt.Errorf("expr: malformed postfix expression")
+			}
+			b, a := pop(), pop()
+			// Distributive law: (A1|A2|..) & (B1|B2|..) =
+			// OR over all pairs (Ai & Bj).
+			prod := make(DNF, 0, len(a)*len(b))
+			for _, ca := range a {
+				for _, cb := range b {
+					merged := make(Conjunction, 0, len(ca)+len(cb))
+					merged = append(merged, ca...)
+					merged = append(merged, cb...)
+					prod = append(prod, merged)
+				}
+			}
+			stack = append(stack, prod)
+		case it.op == '|':
+			if len(stack) < 2 {
+				return nil, fmt.Errorf("expr: malformed postfix expression")
+			}
+			b, a := pop(), pop()
+			stack = append(stack, append(a, b...))
+		}
+	}
+	if len(stack) != 1 {
+		return nil, fmt.Errorf("expr: malformed postfix expression (stack=%d)", len(stack))
+	}
+	return stack[0], nil
+}
+
+// FromDNF rebuilds an AST from a DNF, mainly for round-trip tests.
+func FromDNF(d DNF) Node {
+	if len(d) == 0 {
+		return False
+	}
+	disj := make([]Node, 0, len(d))
+	for _, c := range d {
+		if len(c) == 0 {
+			disj = append(disj, True)
+			continue
+		}
+		conj := make([]Node, 0, len(c))
+		for _, s := range c {
+			cp := *s
+			conj = append(conj, &cp)
+		}
+		disj = append(disj, NewAnd(conj...))
+	}
+	return NewOr(disj...)
+}

@@ -1,0 +1,193 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// TestEliminateNotTable2 verifies every row of Table 2: NOT (x op v)
+// rewrites to x op' v.
+func TestEliminateNotTable2(t *testing.T) {
+	rows := []struct{ in, out Op }{
+		{OpGT, OpLE},
+		{OpLT, OpGE},
+		{OpGE, OpLT},
+		{OpLE, OpGT},
+		{OpEQ, OpNE},
+		{OpNE, OpEQ},
+	}
+	for _, r := range rows {
+		in := &Not{X: &Simple{Attr: "x", Op: r.in, Value: stream.IntValue(5)}}
+		got := EliminateNot(in)
+		s, ok := got.(*Simple)
+		if !ok {
+			t.Fatalf("EliminateNot(NOT x %s 5) = %T", r.in, got)
+		}
+		if s.Op != r.out {
+			t.Errorf("NOT (x %s v) -> x %s v, want x %s v", r.in, s.Op, r.out)
+		}
+	}
+}
+
+func TestEliminateNotDeMorgan(t *testing.T) {
+	// NOT (a > 1 AND b > 2) == a <= 1 OR b <= 2
+	n := EliminateNot(MustParse("NOT (a > 1 AND b > 2)"))
+	want := MustParse("a <= 1 OR b <= 2")
+	if !Equal(n, want) {
+		t.Errorf("got %s, want %s", n, want)
+	}
+	// NOT (a > 1 OR b > 2) == a <= 1 AND b <= 2
+	n = EliminateNot(MustParse("NOT (a > 1 OR b > 2)"))
+	want = MustParse("a <= 1 AND b <= 2")
+	if !Equal(n, want) {
+		t.Errorf("got %s, want %s", n, want)
+	}
+}
+
+func TestEliminateNotDoubleNegation(t *testing.T) {
+	n := EliminateNot(MustParse("NOT NOT a > 1"))
+	want := MustParse("a > 1")
+	if !Equal(n, want) {
+		t.Errorf("got %s, want %s", n, want)
+	}
+}
+
+func TestEliminateNotLiterals(t *testing.T) {
+	if !isFalse(EliminateNot(MustParse("NOT TRUE"))) {
+		t.Error("NOT TRUE -> FALSE")
+	}
+	if !isTrue(EliminateNot(MustParse("NOT FALSE"))) {
+		t.Error("NOT FALSE -> TRUE")
+	}
+}
+
+func TestToPostfixRejectsNot(t *testing.T) {
+	if _, err := ToPostfix(MustParse("NOT a > 1")); err == nil {
+		t.Error("ToPostfix must reject NOT nodes")
+	}
+}
+
+// TestToDNFExample4 walks the paper's Example 4:
+// C1 = (a>20 AND a<30) OR NOT(a != 40), C2 = NOT(a >= 10) AND b = 20.
+// P1 = (a>20 AND a<30) OR a=40, combined with a<10 AND b=20.
+func TestToDNFExample4(t *testing.T) {
+	c1 := MustParse("(a > 20 AND a < 30) OR NOT (a != 40)")
+	c2 := MustParse("NOT (a >= 10) AND b = 20")
+	p := &And{L: c1, R: c2}
+	d, err := ToDNF(p)
+	if err != nil {
+		t.Fatalf("ToDNF: %v", err)
+	}
+	// Expect two conjunctions: {a>20, a<30, a<10, b=20} and {a=40, a<10, b=20}.
+	if len(d) != 2 {
+		t.Fatalf("DNF has %d conjunctions (%s), want 2", len(d), d)
+	}
+	sizes := map[int]bool{len(d[0]): true, len(d[1]): true}
+	if !sizes[3] || !sizes[4] {
+		t.Errorf("conjunction sizes = %d,%d; want 3 and 4", len(d[0]), len(d[1]))
+	}
+}
+
+func TestToDNFLiterals(t *testing.T) {
+	d, err := ToDNF(MustParse("TRUE"))
+	if err != nil || len(d) != 1 || len(d[0]) != 0 {
+		t.Errorf("DNF(TRUE) = %v (%v)", d, err)
+	}
+	d, err = ToDNF(MustParse("FALSE"))
+	if err != nil || len(d) != 0 {
+		t.Errorf("DNF(FALSE) = %v (%v)", d, err)
+	}
+	d, err = ToDNF(MustParse("FALSE OR a > 1"))
+	if err != nil || len(d) != 1 {
+		t.Errorf("DNF(FALSE OR a>1) = %v (%v)", d, err)
+	}
+	d, err = ToDNF(MustParse("FALSE AND a > 1"))
+	if err != nil || len(d) != 0 {
+		t.Errorf("DNF(FALSE AND a>1) = %v (%v)", d, err)
+	}
+}
+
+// randomPredicate builds a random AST over attributes a,b with depth d.
+func randomPredicate(r *rand.Rand, depth int) Node {
+	if depth <= 0 || r.Intn(3) == 0 {
+		attrs := []string{"a", "b"}
+		ops := []Op{OpLT, OpGT, OpLE, OpGE, OpEQ, OpNE}
+		return &Simple{
+			Attr:  attrs[r.Intn(len(attrs))],
+			Op:    ops[r.Intn(len(ops))],
+			Value: stream.IntValue(int64(r.Intn(10))),
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return &Not{X: randomPredicate(r, depth-1)}
+	case 1:
+		return &And{L: randomPredicate(r, depth-1), R: randomPredicate(r, depth-1)}
+	default:
+		return &Or{L: randomPredicate(r, depth-1), R: randomPredicate(r, depth-1)}
+	}
+}
+
+// Property: DNF conversion preserves truth value on random tuples.
+func TestDNFEquivalenceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	schema := stream.MustSchema(
+		stream.Field{Name: "a", Type: stream.TypeInt},
+		stream.Field{Name: "b", Type: stream.TypeInt},
+	)
+	for i := 0; i < 300; i++ {
+		p := randomPredicate(r, 4)
+		d, err := ToDNF(p)
+		if err != nil {
+			t.Fatalf("ToDNF(%s): %v", p, err)
+		}
+		back := FromDNF(d)
+		for j := 0; j < 20; j++ {
+			tu := stream.NewTuple(
+				stream.IntValue(int64(r.Intn(12)-1)),
+				stream.IntValue(int64(r.Intn(12)-1)),
+			)
+			want, err := Eval(p, schema, tu)
+			if err != nil {
+				t.Fatalf("Eval orig: %v", err)
+			}
+			got, err := Eval(back, schema, tu)
+			if err != nil {
+				t.Fatalf("Eval dnf: %v", err)
+			}
+			if got != want {
+				t.Fatalf("DNF not equivalent for %s on %v:\n  dnf=%s\n  want %v got %v",
+					p, tu, d, want, got)
+			}
+		}
+	}
+}
+
+// Property: EliminateNot preserves truth value.
+func TestEliminateNotEquivalenceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	schema := stream.MustSchema(
+		stream.Field{Name: "a", Type: stream.TypeInt},
+		stream.Field{Name: "b", Type: stream.TypeInt},
+	)
+	for i := 0; i < 300; i++ {
+		p := randomPredicate(r, 4)
+		q := EliminateNot(p)
+		for j := 0; j < 20; j++ {
+			tu := stream.NewTuple(
+				stream.IntValue(int64(r.Intn(12)-1)),
+				stream.IntValue(int64(r.Intn(12)-1)),
+			)
+			want, _ := Eval(p, schema, tu)
+			got, err := Eval(q, schema, tu)
+			if err != nil {
+				t.Fatalf("Eval: %v", err)
+			}
+			if got != want {
+				t.Fatalf("EliminateNot changed semantics of %s -> %s", p, q)
+			}
+		}
+	}
+}

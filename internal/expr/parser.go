@@ -1,0 +1,197 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stream"
+)
+
+// Parse parses a predicate source string into an AST. The grammar is
+//
+//	orExpr   := andExpr (OR andExpr)*
+//	andExpr  := unary (AND unary)*
+//	unary    := NOT unary | '(' orExpr ')' | simple | TRUE | FALSE
+//	simple   := ident op literal
+//
+// with standard precedence NOT > AND > OR.
+func Parse(src string) (Node, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	n, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur.kind != tokEOF {
+		return nil, fmt.Errorf("expr: trailing input %q at %d", p.cur.text, p.cur.pos)
+	}
+	return n, nil
+}
+
+// MustParse is Parse but panics on error; for tests and static policies.
+func MustParse(src string) Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	lex *lexer
+	cur token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.cur = t
+	return nil
+}
+
+func (p *parser) parseOr() (Node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur.kind == tokOr {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Or{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur.kind == tokAnd {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &And{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	switch p.cur.kind {
+	case tokNot:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{X: x}, nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		n, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur.kind != tokRParen {
+			return nil, fmt.Errorf("expr: expected ')' at %d, got %q", p.cur.pos, p.cur.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return n, nil
+	case tokTrue:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return True, nil
+	case tokFalse:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return False, nil
+	case tokIdent:
+		return p.parseSimple()
+	default:
+		return nil, fmt.Errorf("expr: unexpected token %q at %d", p.cur.text, p.cur.pos)
+	}
+}
+
+func (p *parser) parseSimple() (Node, error) {
+	attr := p.cur.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.cur.kind != tokOp {
+		return nil, fmt.Errorf("expr: expected comparison operator after %q at %d", attr, p.cur.pos)
+	}
+	op, err := parseOp(p.cur.text)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var v stream.Value
+	switch p.cur.kind {
+	case tokNumber:
+		txt := p.cur.text
+		if strings.ContainsAny(txt, ".eE") {
+			v, err = stream.ParseValue(stream.TypeDouble, txt)
+		} else {
+			v, err = stream.ParseValue(stream.TypeInt, txt)
+		}
+		if err != nil {
+			return nil, err
+		}
+	case tokString:
+		if op != OpEQ && op != OpNE {
+			return nil, fmt.Errorf("expr: string literal only allowed with = or != (got %s) at %d", op, p.cur.pos)
+		}
+		v = stream.StringValue(p.cur.text)
+	case tokTrue:
+		v = stream.BoolValue(true)
+	case tokFalse:
+		v = stream.BoolValue(false)
+	default:
+		return nil, fmt.Errorf("expr: expected literal after operator at %d, got %q", p.cur.pos, p.cur.text)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return &Simple{Attr: attr, Op: op, Value: v}, nil
+}
+
+func parseOp(s string) (Op, error) {
+	switch s {
+	case "<":
+		return OpLT, nil
+	case ">":
+		return OpGT, nil
+	case "<=":
+		return OpLE, nil
+	case ">=":
+		return OpGE, nil
+	case "=", "==":
+		return OpEQ, nil
+	case "!=", "<>":
+		return OpNE, nil
+	default:
+		return OpInvalid, fmt.Errorf("expr: unknown operator %q", s)
+	}
+}

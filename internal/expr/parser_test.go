@@ -1,0 +1,180 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestParseSimple(t *testing.T) {
+	n, err := Parse("rainrate > 5")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	s, ok := n.(*Simple)
+	if !ok {
+		t.Fatalf("want *Simple, got %T", n)
+	}
+	if s.Attr != "rainrate" || s.Op != OpGT || s.Value.Int() != 5 {
+		t.Errorf("parsed %+v", s)
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	cases := map[string]Op{
+		"a < 1": OpLT, "a > 1": OpGT, "a <= 1": OpLE, "a >= 1": OpGE,
+		"a = 1": OpEQ, "a == 1": OpEQ, "a != 1": OpNE, "a <> 1": OpNE,
+	}
+	for src, want := range cases {
+		n, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if got := n.(*Simple).Op; got != want {
+			t.Errorf("Parse(%q).Op = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// NOT > AND > OR
+	n := MustParse("a > 1 OR b > 2 AND c > 3")
+	or, ok := n.(*Or)
+	if !ok {
+		t.Fatalf("top should be OR, got %T", n)
+	}
+	if _, ok := or.R.(*And); !ok {
+		t.Fatalf("right of OR should be AND, got %T", or.R)
+	}
+	n2 := MustParse("NOT a > 1 AND b > 2")
+	and, ok := n2.(*And)
+	if !ok {
+		t.Fatalf("top should be AND, got %T", n2)
+	}
+	if _, ok := and.L.(*Not); !ok {
+		t.Fatalf("left of AND should be NOT, got %T", and.L)
+	}
+}
+
+func TestParseParens(t *testing.T) {
+	n := MustParse("(a > 1 OR b > 2) AND c > 3")
+	and, ok := n.(*And)
+	if !ok {
+		t.Fatalf("top should be AND, got %T", n)
+	}
+	if _, ok := and.L.(*Or); !ok {
+		t.Fatalf("left should be OR, got %T", and.L)
+	}
+}
+
+func TestParseStringLiteral(t *testing.T) {
+	n := MustParse("city = 'Sing''apore'")
+	s := n.(*Simple)
+	if s.Value.Str() != "Sing'apore" {
+		t.Errorf("string literal = %q", s.Value.Str())
+	}
+	if _, err := Parse("city > 'abc'"); err == nil {
+		t.Error("string with > must be rejected")
+	}
+}
+
+func TestParseDoubleQuoted(t *testing.T) {
+	n := MustParse(`city = "KL"`)
+	if n.(*Simple).Value.Str() != "KL" {
+		t.Error("double-quoted literal")
+	}
+}
+
+func TestParseNumbers(t *testing.T) {
+	n := MustParse("a >= -2.5e2")
+	v := n.(*Simple).Value
+	if v.Type() != stream.TypeDouble || v.Double() != -250 {
+		t.Errorf("value = %v", v)
+	}
+	n = MustParse("a = 42")
+	if n.(*Simple).Value.Type() != stream.TypeInt {
+		t.Error("integer literal should parse as int")
+	}
+}
+
+func TestParseBooleans(t *testing.T) {
+	n := MustParse("TRUE OR flag = false")
+	or := n.(*Or)
+	if !isTrue(or.L) {
+		t.Error("left should be TRUE literal")
+	}
+	if or.R.(*Simple).Value.Type() != stream.TypeBool {
+		t.Error("flag literal should be bool")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "a >", "> 5", "a 5", "(a > 1", "a > 1)", "a ! 5",
+		"a > 'str'", "a > 1 AND", "'lone'", "a = 'unterminated",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseRoundTripString(t *testing.T) {
+	srcs := []string{
+		"rainrate > 5",
+		"(a > 20) AND (a < 30)",
+		"NOT (a != 40)",
+		"(x >= 1) OR (y = 'abc')",
+	}
+	for _, src := range srcs {
+		n := MustParse(src)
+		n2, err := Parse(n.String())
+		if err != nil {
+			t.Fatalf("reparse %q (from %q): %v", n.String(), src, err)
+		}
+		if !Equal(n, n2) {
+			t.Errorf("round trip mismatch for %q: %q vs %q", src, n, n2)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	n := MustParse("a > 1 AND b < 2")
+	c := Clone(n).(*And)
+	c.L.(*Simple).Attr = "zzz"
+	if n.(*And).L.(*Simple).Attr != "a" {
+		t.Error("Clone must deep copy")
+	}
+}
+
+func TestAttributes(t *testing.T) {
+	n := MustParse("a > 1 AND (B < 2 OR NOT c = 3)")
+	got := Attributes(n)
+	for _, want := range []string{"a", "b", "c"} {
+		if !got[want] {
+			t.Errorf("missing attribute %q in %v", want, got)
+		}
+	}
+	if len(got) != 3 {
+		t.Errorf("attributes = %v", got)
+	}
+}
+
+func TestNewAndNewOr(t *testing.T) {
+	if !isTrue(NewAnd()) {
+		t.Error("empty AND is TRUE")
+	}
+	if !isFalse(NewOr()) {
+		t.Error("empty OR is FALSE")
+	}
+	s := MustParse("a > 1")
+	if NewAnd(s) != s {
+		t.Error("singleton AND is identity")
+	}
+	n := NewAnd(s, MustParse("b > 2"), MustParse("c > 3"))
+	if !strings.Contains(n.String(), "AND") {
+		t.Error("3-way AND should chain")
+	}
+}

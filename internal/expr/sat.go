@@ -1,0 +1,365 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stream"
+)
+
+// Verdict is the outcome of an NR/PR analysis (§3.5).
+type Verdict int
+
+const (
+	// VerdictOK means the user query is fully compatible with the
+	// policy: no tuple the user asked for is removed by the policy.
+	VerdictOK Verdict = iota
+	// VerdictPR is a Partial Result warning: some tuples the user asked
+	// for may be silently filtered out by the policy.
+	VerdictPR
+	// VerdictNR is an Empty (No) Result warning: no tuple can ever
+	// satisfy both the policy and the user query.
+	VerdictNR
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictOK:
+		return "OK"
+	case VerdictPR:
+		return "PR"
+	case VerdictNR:
+		return "NR"
+	default:
+		return "?"
+	}
+}
+
+// worse returns the more severe of two verdicts (NR > PR > OK).
+func worse(a, b Verdict) Verdict {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// numSet is the solution set of a numeric simple expression over the
+// reals: either an interval (possibly a single point, possibly
+// half-unbounded) or the complement of a single point (x != v).
+type numSet struct {
+	hole   bool // true: set is ℝ \ {holeAt}
+	holeAt float64
+	lo, hi float64 // interval bounds, ±Inf allowed
+	loIncl bool
+	hiIncl bool
+}
+
+func numSetOf(op Op, v float64) numSet {
+	inf := math.Inf(1)
+	switch op {
+	case OpLT:
+		return numSet{lo: -inf, hi: v}
+	case OpLE:
+		return numSet{lo: -inf, hi: v, hiIncl: true}
+	case OpGT:
+		return numSet{lo: v, hi: inf}
+	case OpGE:
+		return numSet{lo: v, hi: inf, loIncl: true}
+	case OpEQ:
+		return numSet{lo: v, hi: v, loIncl: true, hiIncl: true}
+	case OpNE:
+		return numSet{hole: true, holeAt: v}
+	default:
+		panic("expr: numSetOf: invalid op")
+	}
+}
+
+// contains reports whether the set contains point p.
+func (s numSet) contains(p float64) bool {
+	if s.hole {
+		return p != s.holeAt
+	}
+	if p < s.lo || (p == s.lo && !s.loIncl) {
+		return false
+	}
+	if p > s.hi || (p == s.hi && !s.hiIncl) {
+		return false
+	}
+	return true
+}
+
+// isPoint reports whether the set is a single point, returning it.
+func (s numSet) isPoint() (float64, bool) {
+	if !s.hole && s.lo == s.hi && s.loIncl && s.hiIncl {
+		return s.lo, true
+	}
+	return 0, false
+}
+
+// intersectEmpty reports whether a ∩ b = ∅ over the reals.
+func intersectEmpty(a, b numSet) bool {
+	switch {
+	case a.hole && b.hole:
+		return false // ℝ minus at most two points is never empty
+	case a.hole:
+		if p, ok := b.isPoint(); ok {
+			return p == a.holeAt
+		}
+		return false // a non-degenerate interval survives one hole
+	case b.hole:
+		if p, ok := a.isPoint(); ok {
+			return p == b.holeAt
+		}
+		return false
+	default:
+		lo := math.Max(a.lo, b.lo)
+		hi := math.Min(a.hi, b.hi)
+		if lo > hi {
+			return true
+		}
+		if lo == hi {
+			// Single candidate point: empty unless both sides include it.
+			return !(a.contains(lo) && b.contains(lo))
+		}
+		return false
+	}
+}
+
+// subset reports whether a ⊆ b over the reals.
+func subset(a, b numSet) bool {
+	switch {
+	case a.hole && b.hole:
+		return a.holeAt == b.holeAt
+	case a.hole:
+		return false // ℝ\{v} only fits inside ℝ-like sets; intervals here are bounded on one side
+	case b.hole:
+		return !a.contains(b.holeAt)
+	default:
+		if a.lo < b.lo || (a.lo == b.lo && a.loIncl && !b.loIncl) {
+			return false
+		}
+		if a.hi > b.hi || (a.hi == b.hi && a.hiIncl && !b.hiIncl) {
+			return false
+		}
+		return true
+	}
+}
+
+// CheckTwoSimpleExpressions is the paper's checkTwoSimpleExpression
+// function: given a simple expression from the policy and one from the
+// user query over the same attribute, classify the pair.
+//
+//   - VerdictNR: the conjunction is unsatisfiable — no tuple can pass
+//     both (e.g. policy a < 4 vs user a > 5).
+//   - VerdictOK: every tuple the user asked for is allowed by the policy
+//     (user set ⊆ policy set, e.g. policy a > 5 vs user a > 50).
+//   - VerdictPR: the sets overlap but the policy removes part of what
+//     the user asked for (e.g. policy a > 8 vs user a > 5, Example 3).
+//
+// Expressions over different attributes are always VerdictOK ("checking
+// is only necessary when S1.x = S2.x"). Numeric values are compared over
+// the reals, matching the paper's discussion. Fig 5's matrix for
+// S1 = x >= v1, S2 = x <= v2 falls out: v1 > v2 ⇒ NR, otherwise PR.
+func CheckTwoSimpleExpressions(policy, user *Simple) (Verdict, error) {
+	if policy.Key() != user.Key() {
+		return VerdictOK, nil
+	}
+	pv, pNum := policy.Value.AsFloat()
+	uv, uNum := user.Value.AsFloat()
+	switch {
+	case pNum && uNum:
+		a := numSetOf(policy.Op, pv)
+		b := numSetOf(user.Op, uv)
+		if intersectEmpty(a, b) {
+			return VerdictNR, nil
+		}
+		if subset(b, a) {
+			return VerdictOK, nil
+		}
+		return VerdictPR, nil
+	case policy.Value.Type() == stream.TypeString && user.Value.Type() == stream.TypeString:
+		return checkStringPair(policy, user)
+	default:
+		return VerdictOK, fmt.Errorf("expr: type mismatch comparing %s with %s", policy, user)
+	}
+}
+
+// checkStringPair handles the string domain where only = and != occur.
+// The string domain is treated as unbounded (there are always more
+// strings than any finite set of literals mentions).
+func checkStringPair(policy, user *Simple) (Verdict, error) {
+	if (policy.Op != OpEQ && policy.Op != OpNE) || (user.Op != OpEQ && user.Op != OpNE) {
+		return VerdictOK, fmt.Errorf("expr: strings support only = and != (%s vs %s)", policy, user)
+	}
+	ps, us := policy.Value.Str(), user.Value.Str()
+	switch {
+	case policy.Op == OpEQ && user.Op == OpEQ:
+		if ps == us {
+			return VerdictOK, nil
+		}
+		return VerdictNR, nil
+	case policy.Op == OpEQ && user.Op == OpNE:
+		if ps == us {
+			return VerdictNR, nil // policy allows only v, user excludes v
+		}
+		return VerdictPR, nil // user wanted everything-but-us, policy gives only {ps}
+	case policy.Op == OpNE && user.Op == OpEQ:
+		if ps == us {
+			return VerdictNR, nil // user wants exactly the excluded value
+		}
+		return VerdictOK, nil // {us} ⊆ ℝ\{ps}
+	default: // NE vs NE
+		if ps == us {
+			return VerdictOK, nil
+		}
+		return VerdictPR, nil // policy removes {ps} which the user did not exclude
+	}
+}
+
+// CheckConditions runs the full §3.5 procedure on a policy filter
+// condition and a user filter condition:
+//
+//	Step 1: eliminate NOT from P = C1 AND C2 (Table 2 + De Morgan).
+//	Step 2: convert to DNF via postfix evaluation.
+//	Step 3: pairwise-check simple expressions within each conjunction;
+//	        a conjunction is marked with the worst pair verdict; the
+//	        overall alert is NR if every conjunction is NR, PR if every
+//	        conjunction is PR or NR (with at least one PR), OK otherwise.
+//
+// Origin (policy vs user) is tracked through the DNF so that the
+// asymmetric OK/PR distinction of CheckTwoSimpleExpressions is preserved:
+// DNF(C1 AND C2) is built as the pairwise product of DNF(C1) and
+// DNF(C2). Pairs drawn from the same side only contribute NR (an
+// internally contradictory clause), never PR.
+func CheckConditions(policyCond, userCond Node) (Verdict, error) {
+	if policyCond == nil {
+		policyCond = True
+	}
+	if userCond == nil {
+		userCond = True
+	}
+	dp, err := ToDNF(policyCond)
+	if err != nil {
+		return VerdictOK, err
+	}
+	du, err := ToDNF(userCond)
+	if err != nil {
+		return VerdictOK, err
+	}
+	// FALSE on either side: policy FALSE blocks everything the user could
+	// want (NR unless the user also asked for nothing).
+	if len(dp) == 0 || len(du) == 0 {
+		return VerdictNR, nil
+	}
+
+	sawOK, sawPR := false, false
+	nConj := 0
+	for _, cp := range dp {
+		for _, cu := range du {
+			nConj++
+			v, err := checkConjunctionPair(cp, cu)
+			if err != nil {
+				return VerdictOK, err
+			}
+			switch v {
+			case VerdictOK:
+				sawOK = true
+			case VerdictPR:
+				sawPR = true
+			}
+		}
+	}
+	if nConj == 0 {
+		return VerdictOK, nil
+	}
+	if sawOK {
+		return VerdictOK, nil
+	}
+	if sawPR {
+		return VerdictPR, nil
+	}
+	return VerdictNR, nil
+}
+
+// checkConjunctionPair classifies the conjunction cp ∧ cu where cp came
+// from the policy and cu from the user query.
+func checkConjunctionPair(cp, cu Conjunction) (Verdict, error) {
+	// Same-side contradictions first: a clause that is self-contradictory
+	// can never produce tuples.
+	for _, side := range []Conjunction{cp, cu} {
+		for i := 0; i < len(side); i++ {
+			for j := i + 1; j < len(side); j++ {
+				if side[i].Key() != side[j].Key() {
+					continue
+				}
+				v, err := CheckTwoSimpleExpressions(side[i], side[j])
+				if err != nil {
+					return VerdictOK, err
+				}
+				if v == VerdictNR {
+					return VerdictNR, nil
+				}
+			}
+		}
+	}
+	out := VerdictOK
+	for _, sp := range cp {
+		for _, su := range cu {
+			if sp.Key() != su.Key() {
+				continue
+			}
+			v, err := CheckTwoSimpleExpressions(sp, su)
+			if err != nil {
+				return VerdictOK, err
+			}
+			if v == VerdictNR {
+				return VerdictNR, nil
+			}
+			out = worse(out, v)
+		}
+	}
+	return out, nil
+}
+
+// Satisfiable reports whether a predicate has any solution over the
+// reals, by DNF conversion and per-conjunction contradiction checking.
+// It is conservative for multi-attribute interactions (which cannot
+// contradict in this language) and exact for the paper's grammar.
+func Satisfiable(n Node) (bool, error) {
+	d, err := ToDNF(n)
+	if err != nil {
+		return false, err
+	}
+	for _, c := range d {
+		if ok, err := conjunctionSatisfiable(c); err != nil {
+			return false, err
+		} else if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func conjunctionSatisfiable(c Conjunction) (bool, error) {
+	for i := 0; i < len(c); i++ {
+		for j := i + 1; j < len(c); j++ {
+			if c[i].Key() != c[j].Key() {
+				continue
+			}
+			v, err := CheckTwoSimpleExpressions(c[i], c[j])
+			if err != nil {
+				return false, err
+			}
+			if v == VerdictNR {
+				return false, nil
+			}
+		}
+	}
+	// Pairwise satisfiability implies joint satisfiability for this
+	// language on reals except for chains like x>1 AND x<3 AND x=0 —
+	// those are caught pairwise too. Triple-wise interactions (x>1,
+	// x<5, x!=3) remain satisfiable. One residual case: multiple
+	// equalities already handled pairwise.
+	return true, nil
+}

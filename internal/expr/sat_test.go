@@ -1,0 +1,246 @@
+package expr
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func simple(attr string, op Op, v float64) *Simple {
+	return &Simple{Attr: attr, Op: op, Value: stream.DoubleValue(v)}
+}
+
+func strSimple(attr string, op Op, v string) *Simple {
+	return &Simple{Attr: attr, Op: op, Value: stream.StringValue(v)}
+}
+
+// TestCheckGeLeMatrix reproduces Fig 5: S1 = x >= v1 (policy),
+// S2 = x <= v2 (user). v1 > v2 gives NR; v1 <= v2 gives PR (the user
+// always loses the (-inf, v1) part of what they asked for).
+func TestCheckGeLeMatrix(t *testing.T) {
+	cases := []struct {
+		v1, v2 float64
+		want   Verdict
+	}{
+		{10, 5, VerdictNR}, // v1 > v2: [v1,inf) ∩ (-inf,v2] = ∅
+		{5, 5, VerdictPR},  // single point x=5 remains
+		{5, 10, VerdictPR}, // [5,10] remains, below-5 lost
+	}
+	for _, c := range cases {
+		got, err := CheckTwoSimpleExpressions(simple("x", OpGE, c.v1), simple("x", OpLE, c.v2))
+		if err != nil {
+			t.Fatalf("check: %v", err)
+		}
+		if got != c.want {
+			t.Errorf("v1=%v v2=%v: got %v, want %v", c.v1, c.v2, got, c.want)
+		}
+	}
+}
+
+// TestCheckAllOpPairs exercises representative cells of the full 6x6
+// operator matrix the paper describes.
+func TestCheckAllOpPairs(t *testing.T) {
+	cases := []struct {
+		p, u *Simple
+		want Verdict
+	}{
+		// policy a > 8, user a > 5 (Example 3): PR.
+		{simple("a", OpGT, 8), simple("a", OpGT, 5), VerdictPR},
+		// policy a > 5, user a > 50 (LTA refinement): OK.
+		{simple("a", OpGT, 5), simple("a", OpGT, 50), VerdictOK},
+		// policy a < 4, user a > 5 (Example 3 variant): NR.
+		{simple("a", OpLT, 4), simple("a", OpGT, 5), VerdictNR},
+		// equal thresholds, same op: user set == policy set: OK.
+		{simple("a", OpGT, 5), simple("a", OpGT, 5), VerdictOK},
+		// strict vs non-strict at same point: user a>=5 includes 5, policy a>5 excludes it: PR.
+		{simple("a", OpGT, 5), simple("a", OpGE, 5), VerdictPR},
+		// policy a >= 5, user a > 5: user ⊂ policy: OK.
+		{simple("a", OpGE, 5), simple("a", OpGT, 5), VerdictOK},
+		// equality vs equality.
+		{simple("a", OpEQ, 5), simple("a", OpEQ, 5), VerdictOK},
+		{simple("a", OpEQ, 5), simple("a", OpEQ, 6), VerdictNR},
+		// equality policy vs range user: user loses everything != 5: PR.
+		{simple("a", OpEQ, 5), simple("a", OpGT, 0), VerdictPR},
+		// range policy containing the user's point: OK.
+		{simple("a", OpGT, 0), simple("a", OpEQ, 5), VerdictOK},
+		// point outside policy range: NR.
+		{simple("a", OpGT, 10), simple("a", OpEQ, 5), VerdictNR},
+		// boundary point with strict policy: NR.
+		{simple("a", OpGT, 5), simple("a", OpEQ, 5), VerdictNR},
+		// != policy vs = user on same value: NR.
+		{simple("a", OpNE, 5), simple("a", OpEQ, 5), VerdictNR},
+		// != policy vs = user on other value: OK.
+		{simple("a", OpNE, 5), simple("a", OpEQ, 6), VerdictOK},
+		// != policy vs range user spanning the hole: PR.
+		{simple("a", OpNE, 5), simple("a", OpGT, 0), VerdictPR},
+		// != policy vs range user not covering the hole: OK.
+		{simple("a", OpNE, 5), simple("a", OpGT, 6), VerdictOK},
+		// = policy vs != user same value: NR.
+		{simple("a", OpEQ, 5), simple("a", OpNE, 5), VerdictNR},
+		// != vs != same value: identical sets: OK.
+		{simple("a", OpNE, 5), simple("a", OpNE, 5), VerdictOK},
+		// != vs != different values: PR (policy removes 5 which user kept).
+		{simple("a", OpNE, 5), simple("a", OpNE, 6), VerdictPR},
+		// <= vs >= crossing: PR.
+		{simple("a", OpLE, 10), simple("a", OpGE, 5), VerdictPR},
+		// <= vs >= disjoint: NR.
+		{simple("a", OpLE, 5), simple("a", OpGE, 10), VerdictNR},
+		// <= vs >= touching: PR (point survives).
+		{simple("a", OpLE, 5), simple("a", OpGE, 5), VerdictPR},
+		// < vs > touching: NR (open endpoints).
+		{simple("a", OpLT, 5), simple("a", OpGT, 5), VerdictNR},
+		// < vs >= touching: NR.
+		{simple("a", OpLT, 5), simple("a", OpGE, 5), VerdictNR},
+	}
+	for _, c := range cases {
+		got, err := CheckTwoSimpleExpressions(c.p, c.u)
+		if err != nil {
+			t.Fatalf("check(%s, %s): %v", c.p, c.u, err)
+		}
+		if got != c.want {
+			t.Errorf("policy %s vs user %s: got %v, want %v", c.p, c.u, got, c.want)
+		}
+	}
+}
+
+func TestCheckDifferentAttributesOK(t *testing.T) {
+	got, err := CheckTwoSimpleExpressions(simple("a", OpGT, 100), simple("b", OpLT, 0))
+	if err != nil || got != VerdictOK {
+		t.Errorf("different attrs: (%v,%v)", got, err)
+	}
+}
+
+func TestCheckStringPairs(t *testing.T) {
+	cases := []struct {
+		p, u *Simple
+		want Verdict
+	}{
+		{strSimple("c", OpEQ, "SG"), strSimple("c", OpEQ, "SG"), VerdictOK},
+		{strSimple("c", OpEQ, "SG"), strSimple("c", OpEQ, "KL"), VerdictNR},
+		{strSimple("c", OpEQ, "SG"), strSimple("c", OpNE, "SG"), VerdictNR},
+		{strSimple("c", OpEQ, "SG"), strSimple("c", OpNE, "KL"), VerdictPR},
+		{strSimple("c", OpNE, "SG"), strSimple("c", OpEQ, "SG"), VerdictNR},
+		{strSimple("c", OpNE, "SG"), strSimple("c", OpEQ, "KL"), VerdictOK},
+		{strSimple("c", OpNE, "SG"), strSimple("c", OpNE, "SG"), VerdictOK},
+		{strSimple("c", OpNE, "SG"), strSimple("c", OpNE, "KL"), VerdictPR},
+	}
+	for _, c := range cases {
+		got, err := CheckTwoSimpleExpressions(c.p, c.u)
+		if err != nil {
+			t.Fatalf("check(%s,%s): %v", c.p, c.u, err)
+		}
+		if got != c.want {
+			t.Errorf("policy %s vs user %s: got %v, want %v", c.p, c.u, got, c.want)
+		}
+	}
+}
+
+func TestCheckTypeMismatch(t *testing.T) {
+	if _, err := CheckTwoSimpleExpressions(simple("a", OpGT, 1), strSimple("a", OpEQ, "x")); err == nil {
+		t.Error("numeric vs string on same attribute should error")
+	}
+}
+
+// TestExample4NR reproduces the paper's Example 4 end-to-end:
+// C1 = (a>20 AND a<30) OR NOT(a != 40), C2 = NOT(a >= 10) AND b = 20.
+// Both DNF conjunctions contain contradictions (a<10 vs a=40; a<10 vs
+// a>20), so the overall verdict is NR.
+func TestExample4NR(t *testing.T) {
+	c1 := MustParse("(a > 20 AND a < 30) OR NOT (a != 40)")
+	c2 := MustParse("NOT (a >= 10) AND b = 20")
+	v, err := CheckConditions(c1, c2)
+	if err != nil {
+		t.Fatalf("CheckConditions: %v", err)
+	}
+	if v != VerdictNR {
+		t.Errorf("Example 4 verdict = %v, want NR", v)
+	}
+}
+
+// TestExample3PR: policy a > 8, user a > 5 => PR.
+func TestExample3PR(t *testing.T) {
+	v, err := CheckConditions(MustParse("a > 8"), MustParse("a > 5"))
+	if err != nil || v != VerdictPR {
+		t.Errorf("Example 3 verdict = (%v,%v), want PR", v, err)
+	}
+	// Variant: policy a < 4, user a > 5 => NR.
+	v, err = CheckConditions(MustParse("a < 4"), MustParse("a > 5"))
+	if err != nil || v != VerdictNR {
+		t.Errorf("Example 3 NR variant = (%v,%v), want NR", v, err)
+	}
+}
+
+func TestCheckConditionsOK(t *testing.T) {
+	// LTA case: policy rainrate > 5, user rainrate > 50.
+	v, err := CheckConditions(MustParse("rainrate > 5"), MustParse("rainrate > 50"))
+	if err != nil || v != VerdictOK {
+		t.Errorf("LTA case = (%v,%v), want OK", v, err)
+	}
+	// Disjoint attributes: no interaction, OK.
+	v, err = CheckConditions(MustParse("a > 5"), MustParse("b < 3"))
+	if err != nil || v != VerdictOK {
+		t.Errorf("disjoint attrs = (%v,%v), want OK", v, err)
+	}
+	// nil conditions.
+	v, err = CheckConditions(nil, nil)
+	if err != nil || v != VerdictOK {
+		t.Errorf("nil conditions = (%v,%v), want OK", v, err)
+	}
+}
+
+func TestCheckConditionsDisjunctionAggregation(t *testing.T) {
+	// Policy allows a>8 OR a<2; user wants a>5. The (a>8,a>5) branch is
+	// PR, the (a<2,a>5) branch is NR: per the paper all branches are
+	// PR-or-NR with one PR => overall PR.
+	v, err := CheckConditions(MustParse("a > 8 OR a < 2"), MustParse("a > 5"))
+	if err != nil || v != VerdictPR {
+		t.Errorf("mixed branches = (%v,%v), want PR", v, err)
+	}
+	// Policy a > 0: one branch covers user entirely => OK.
+	v, err = CheckConditions(MustParse("a > 0 OR a < -100"), MustParse("a > 5"))
+	if err != nil || v != VerdictOK {
+		t.Errorf("covering branch = (%v,%v), want OK", v, err)
+	}
+	// All branches NR.
+	v, err = CheckConditions(MustParse("a < 0 OR a = 1"), MustParse("a > 5"))
+	if err != nil || v != VerdictNR {
+		t.Errorf("all NR = (%v,%v), want NR", v, err)
+	}
+}
+
+func TestCheckConditionsSelfContradictoryUser(t *testing.T) {
+	// The user's own query is unsatisfiable: NR regardless of policy.
+	v, err := CheckConditions(MustParse("a > 0"), MustParse("a > 5 AND a < 3"))
+	if err != nil || v != VerdictNR {
+		t.Errorf("self-contradictory user = (%v,%v), want NR", v, err)
+	}
+}
+
+func TestSatisfiable(t *testing.T) {
+	sat := []string{
+		"a > 5", "a > 5 AND a < 10", "a != 3 AND a != 4",
+		"a = 5 AND b = 6", "a > 5 OR a < 3 AND a > 10",
+	}
+	for _, src := range sat {
+		ok, err := Satisfiable(MustParse(src))
+		if err != nil || !ok {
+			t.Errorf("Satisfiable(%q) = (%v,%v), want true", src, ok, err)
+		}
+	}
+	unsat := []string{
+		"a > 5 AND a < 3", "a = 5 AND a = 6", "a < 4 AND a > 5",
+		"a = 40 AND a < 10", "FALSE", "a > 5 AND NOT a > 4",
+	}
+	for _, src := range unsat {
+		ok, err := Satisfiable(MustParse(src))
+		if err != nil || ok {
+			t.Errorf("Satisfiable(%q) = (%v,%v), want false", src, ok, err)
+		}
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if VerdictOK.String() != "OK" || VerdictPR.String() != "PR" || VerdictNR.String() != "NR" {
+		t.Error("verdict names")
+	}
+}

@@ -1,0 +1,240 @@
+// Package metrics provides the measurement plumbing of §4.2: per-phase
+// latency samples (PDP / query-graph manipulation / engine), CDF
+// computation for the Fig 6 plots, and summary statistics for the
+// policy-loading experiment.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample is one request's measured latencies.
+type Sample struct {
+	// Seq is the request's position in the sequence.
+	Seq int
+	// Total is the end-to-end response time seen by the client.
+	Total time.Duration
+	// PDP, Graph, Engine are the server-side phase breakdowns (zero
+	// for direct queries or cache hits).
+	PDP    time.Duration
+	Graph  time.Duration
+	Engine time.Duration
+	// CacheHit marks proxy cache hits.
+	CacheHit bool
+}
+
+// Series is a named collection of samples.
+type Series struct {
+	Name    string
+	Samples []Sample
+}
+
+// Add appends a sample.
+func (s *Series) Add(sm Sample) { s.Samples = append(s.Samples, sm) }
+
+// Totals extracts the total latencies in sequence order.
+func (s *Series) Totals() []time.Duration {
+	out := make([]time.Duration, len(s.Samples))
+	for i, sm := range s.Samples {
+		out[i] = sm.Total
+	}
+	return out
+}
+
+// CDF is an empirical distribution: sorted values with cumulative
+// fractions.
+type CDF struct {
+	// Values are sorted ascending.
+	Values []time.Duration
+}
+
+// NewCDF sorts a copy of the data.
+func NewCDF(values []time.Duration) CDF {
+	vs := make([]time.Duration, len(values))
+	copy(vs, values)
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return CDF{Values: vs}
+}
+
+// FromSeries builds the CDF of a series' totals.
+func FromSeries(s *Series) CDF { return NewCDF(s.Totals()) }
+
+// At returns the cumulative fraction at or below v.
+func (c CDF) At(v time.Duration) float64 {
+	if len(c.Values) == 0 {
+		return 0
+	}
+	i := sort.Search(len(c.Values), func(i int) bool { return c.Values[i] > v })
+	return float64(i) / float64(len(c.Values))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1).
+func (c CDF) Quantile(q float64) time.Duration {
+	if len(c.Values) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.Values[0]
+	}
+	if q >= 1 {
+		return c.Values[len(c.Values)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(c.Values)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return c.Values[idx]
+}
+
+// Median is the 0.5 quantile.
+func (c CDF) Median() time.Duration { return c.Quantile(0.5) }
+
+// Points samples the CDF at n log-spaced values between the min and
+// max, returning (value, fraction) rows — the shape of the Fig 6 plots
+// (log-scale x axis from 0.01s to 10s).
+func (c CDF) Points(n int) [][2]float64 {
+	if len(c.Values) == 0 || n < 2 {
+		return nil
+	}
+	lo := float64(c.Values[0])
+	hi := float64(c.Values[len(c.Values)-1])
+	if lo <= 0 {
+		lo = 1
+	}
+	if hi <= lo {
+		hi = lo * 10
+	}
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		v := lo * math.Pow(hi/lo, float64(i)/float64(n-1))
+		out = append(out, [2]float64{v / float64(time.Second), c.At(time.Duration(v))})
+	}
+	return out
+}
+
+// Stats are summary statistics of a duration sample.
+type Stats struct {
+	N         int
+	Mean, Std time.Duration
+	Min, Max  time.Duration
+	Median    time.Duration
+	P90, P99  time.Duration
+}
+
+// Summarize computes stats over the values.
+func Summarize(values []time.Duration) Stats {
+	if len(values) == 0 {
+		return Stats{}
+	}
+	c := NewCDF(values)
+	var sum, sumsq float64
+	for _, v := range values {
+		f := float64(v)
+		sum += f
+		sumsq += f * f
+	}
+	n := float64(len(values))
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Stats{
+		N:      len(values),
+		Mean:   time.Duration(mean),
+		Std:    time.Duration(math.Sqrt(variance)),
+		Min:    c.Values[0],
+		Max:    c.Values[len(c.Values)-1],
+		Median: c.Median(),
+		P90:    c.Quantile(0.9),
+		P99:    c.Quantile(0.99),
+	}
+}
+
+// String renders the stats in one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d mean=%v std=%v min=%v median=%v p90=%v p99=%v max=%v",
+		s.N, s.Mean.Round(time.Microsecond), s.Std.Round(time.Microsecond),
+		s.Min.Round(time.Microsecond), s.Median.Round(time.Microsecond),
+		s.P90.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+		s.Max.Round(time.Microsecond))
+}
+
+// RenderCDFTable prints aligned CDF columns for several series, the
+// textual equivalent of the Fig 6 plots.
+func RenderCDFTable(points int, series ...*Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", "time(s)")
+	cdfs := make([]CDF, len(series))
+	for i, s := range series {
+		cdfs[i] = FromSeries(s)
+		fmt.Fprintf(&b, "%-22s", s.Name)
+	}
+	b.WriteByte('\n')
+	// Use the union of value ranges, log-spaced.
+	var lo, hi time.Duration
+	for _, c := range cdfs {
+		if len(c.Values) == 0 {
+			continue
+		}
+		if lo == 0 || c.Values[0] < lo {
+			lo = c.Values[0]
+		}
+		if c.Values[len(c.Values)-1] > hi {
+			hi = c.Values[len(c.Values)-1]
+		}
+	}
+	if lo <= 0 {
+		lo = time.Microsecond
+	}
+	if hi <= lo {
+		hi = lo * 10
+	}
+	for i := 0; i < points; i++ {
+		v := float64(lo) * math.Pow(float64(hi)/float64(lo), float64(i)/float64(points-1))
+		fmt.Fprintf(&b, "%-12.5f", v/float64(time.Second))
+		for _, c := range cdfs {
+			fmt.Fprintf(&b, "%-22.4f", c.At(time.Duration(v)))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ImprovementHistogram compares two matched series (same request order)
+// and buckets the relative improvement of b over a: the §4.2 claim is
+// that caching gives over 100% improvement for ~40% of requests and at
+// least 10% for the rest.
+func ImprovementHistogram(slow, fast *Series) (over100, over10, under10 float64) {
+	n := len(slow.Samples)
+	if len(fast.Samples) < n {
+		n = len(fast.Samples)
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	c100, c10, rest := 0, 0, 0
+	for i := 0; i < n; i++ {
+		s := float64(slow.Samples[i].Total)
+		f := float64(fast.Samples[i].Total)
+		if f <= 0 {
+			c100++
+			continue
+		}
+		imp := (s - f) / f
+		switch {
+		case imp >= 1.0:
+			c100++
+		case imp >= 0.10:
+			c10++
+		default:
+			rest++
+		}
+	}
+	total := float64(n)
+	return float64(c100) / total, float64(c10) / total, float64(rest) / total
+}

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func seriesOf(name string, ms ...int) *Series {
+	s := &Series{Name: name}
+	for i, m := range ms {
+		s.Add(Sample{Seq: i, Total: time.Duration(m) * time.Millisecond})
+	}
+	return s
+}
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]time.Duration{10, 20, 30, 40})
+	cases := []struct {
+		v    time.Duration
+		want float64
+	}{
+		{5, 0}, {10, 0.25}, {25, 0.5}, {40, 1}, {100, 1},
+	}
+	for _, cse := range cases {
+		if got := c.At(cse.v); got != cse.want {
+			t.Errorf("At(%v) = %v, want %v", cse.v, got, cse.want)
+		}
+	}
+	empty := NewCDF(nil)
+	if empty.At(10) != 0 {
+		t.Error("empty CDF At")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	vals := make([]time.Duration, 100)
+	for i := range vals {
+		vals[i] = time.Duration(i+1) * time.Millisecond
+	}
+	c := NewCDF(vals)
+	if c.Median() != 50*time.Millisecond {
+		t.Errorf("median = %v", c.Median())
+	}
+	if c.Quantile(0.9) != 90*time.Millisecond {
+		t.Errorf("p90 = %v", c.Quantile(0.9))
+	}
+	if c.Quantile(0) != time.Millisecond || c.Quantile(1) != 100*time.Millisecond {
+		t.Error("extremes")
+	}
+	if NewCDF(nil).Quantile(0.5) != 0 {
+		t.Error("empty quantile")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	vals := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	s := Summarize(vals)
+	if s.N != 3 || s.Mean != 20*time.Millisecond {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Min != 10*time.Millisecond || s.Max != 30*time.Millisecond {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	// std of (10,20,30) = sqrt(200/3) ms ≈ 8.16ms
+	if s.Std < 8*time.Millisecond || s.Std > 9*time.Millisecond {
+		t.Errorf("std = %v", s.Std)
+	}
+	if !strings.Contains(s.String(), "n=3") {
+		t.Error("String render")
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summarize")
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond})
+	pts := c.Points(10)
+	if len(pts) != 10 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Monotone nondecreasing fractions from >0 to 1.
+	for i := 1; i < len(pts); i++ {
+		if pts[i][1] < pts[i-1][1] {
+			t.Fatalf("CDF not monotone: %v", pts)
+		}
+	}
+	if pts[len(pts)-1][1] != 1 {
+		t.Errorf("last fraction = %v", pts[len(pts)-1][1])
+	}
+	if NewCDF(nil).Points(5) != nil {
+		t.Error("empty points")
+	}
+}
+
+func TestRenderCDFTable(t *testing.T) {
+	a := seriesOf("fast", 1, 2, 3)
+	b := seriesOf("slow", 10, 20, 30)
+	out := RenderCDFTable(8, a, b)
+	if !strings.Contains(out, "fast") || !strings.Contains(out, "slow") {
+		t.Errorf("table:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 9 {
+		t.Errorf("lines = %d", len(lines))
+	}
+}
+
+func TestImprovementHistogram(t *testing.T) {
+	slow := seriesOf("slow", 100, 100, 100, 100)
+	fast := seriesOf("fast", 40, 80, 95, 100) // imps: 1.5x, 0.25x, 0.052x, 0
+	over100, over10, under10 := ImprovementHistogram(slow, fast)
+	if over100 != 0.25 || over10 != 0.25 || under10 != 0.5 {
+		t.Errorf("histogram = %v/%v/%v", over100, over10, under10)
+	}
+	z1, z2, z3 := ImprovementHistogram(&Series{}, &Series{})
+	if z1 != 0 || z2 != 0 || z3 != 0 {
+		t.Error("empty histogram")
+	}
+}
+
+func TestSeriesTotals(t *testing.T) {
+	s := seriesOf("x", 5, 6)
+	ts := s.Totals()
+	if len(ts) != 2 || ts[0] != 5*time.Millisecond {
+		t.Errorf("totals = %v", ts)
+	}
+}

@@ -1,0 +1,87 @@
+// Package netsim models the paper's "cloud-like environment" network
+// on a single machine: the prototype ran client, proxy, data server and
+// StreamBase on four machines joined by a 100 Mbps university intranet,
+// and the evaluation attributes about two thirds of the response time
+// to network traffic among those entities. Injecting deterministic
+// per-message delays into the loopback deployment reproduces that
+// shape without the testbed.
+package netsim
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Profile describes one network link: a base propagation delay, a
+// uniform jitter, and a serialisation rate. Delays are applied per
+// message. A nil *Profile applies no delay.
+type Profile struct {
+	// Name identifies the profile in logs.
+	Name string
+	// Base is the per-message propagation delay (one way).
+	Base time.Duration
+	// Jitter adds a uniform random [0, Jitter) component.
+	Jitter time.Duration
+	// BytesPerSecond is the serialisation rate (0 = infinite).
+	BytesPerSecond int64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewProfile builds a deterministic profile with the given seed.
+func NewProfile(name string, base, jitter time.Duration, bytesPerSecond int64, seed int64) *Profile {
+	return &Profile{
+		Name:           name,
+		Base:           base,
+		Jitter:         jitter,
+		BytesPerSecond: bytesPerSecond,
+		rng:            rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Intranet100Mbps approximates the paper's testbed: a campus LAN hop
+// with sub-millisecond propagation and 100 Mbps serialisation.
+func Intranet100Mbps(seed int64) *Profile {
+	return NewProfile("intranet-100mbps", 300*time.Microsecond, 400*time.Microsecond, 100_000_000/8, seed)
+}
+
+// Loopback is a zero-delay profile (nil works too; this is for
+// explicitness in configuration).
+func Loopback() *Profile { return nil }
+
+// Delay computes the simulated one-way delay for a message of the given
+// size. It is safe for concurrent use and deterministic for a fixed
+// seed and call sequence.
+func (p *Profile) Delay(payloadBytes int) time.Duration {
+	if p == nil {
+		return 0
+	}
+	d := p.Base
+	if p.BytesPerSecond > 0 {
+		d += time.Duration(int64(payloadBytes) * int64(time.Second) / p.BytesPerSecond)
+	}
+	if p.Jitter > 0 {
+		p.mu.Lock()
+		d += time.Duration(p.rng.Int63n(int64(p.Jitter)))
+		p.mu.Unlock()
+	}
+	return d
+}
+
+// Apply sleeps for the simulated delay of one message.
+func (p *Profile) Apply(payloadBytes int) {
+	if d := p.Delay(payloadBytes); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// RoundTrip sleeps for a request/response pair (two messages).
+func (p *Profile) RoundTrip(requestBytes, responseBytes int) {
+	if p == nil {
+		return
+	}
+	p.Apply(requestBytes)
+	p.Apply(responseBytes)
+}

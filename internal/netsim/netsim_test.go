@@ -1,0 +1,65 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilProfileNoDelay(t *testing.T) {
+	var p *Profile
+	if d := p.Delay(1000); d != 0 {
+		t.Errorf("nil profile delay = %v", d)
+	}
+	p.Apply(1000)     // must not panic
+	p.RoundTrip(1, 1) // must not panic
+	if Loopback() != nil {
+		t.Error("Loopback should be nil profile")
+	}
+}
+
+func TestDelayComponents(t *testing.T) {
+	// No jitter: delay = base + size/rate exactly.
+	p := NewProfile("t", time.Millisecond, 0, 1000, 1)
+	d := p.Delay(500)
+	want := time.Millisecond + 500*time.Millisecond
+	if d != want {
+		t.Errorf("Delay(500) = %v, want %v", d, want)
+	}
+	// Zero rate: no serialization term.
+	p2 := NewProfile("t2", time.Millisecond, 0, 0, 1)
+	if d := p2.Delay(1 << 20); d != time.Millisecond {
+		t.Errorf("rate-free delay = %v", d)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	p := NewProfile("j", time.Millisecond, time.Millisecond, 0, 42)
+	for i := 0; i < 100; i++ {
+		d := p.Delay(0)
+		if d < time.Millisecond || d >= 2*time.Millisecond {
+			t.Fatalf("delay %v outside [1ms, 2ms)", d)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewProfile("a", 0, time.Millisecond, 0, 7)
+	b := NewProfile("b", 0, time.Millisecond, 0, 7)
+	for i := 0; i < 50; i++ {
+		if a.Delay(0) != b.Delay(0) {
+			t.Fatal("same seed must give the same delay sequence")
+		}
+	}
+}
+
+func TestIntranetProfileShape(t *testing.T) {
+	p := Intranet100Mbps(1)
+	// A 1 KiB message takes well under 2 ms on a 100 Mbps LAN.
+	if d := p.Delay(1024); d > 2*time.Millisecond {
+		t.Errorf("intranet delay = %v, too slow", d)
+	}
+	// Serialisation matters: 1 MiB takes at least 80 ms at 100 Mbps.
+	if d := p.Delay(1 << 20); d < 80*time.Millisecond {
+		t.Errorf("1MiB delay = %v, too fast for 100 Mbps", d)
+	}
+}

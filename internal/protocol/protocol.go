@@ -1,0 +1,415 @@
+// Package protocol implements the socket protocol the eXACML+ entities
+// speak among themselves (the prototype's communications between
+// clients, proxies and servers are socket-based): length-prefixed JSON
+// frames carrying typed request/response messages, plus a small
+// concurrent RPC client.
+package protocol
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MaxFrameSize bounds a single frame (16 MiB) to contain damage from a
+// corrupt or hostile peer.
+const MaxFrameSize = 16 << 20
+
+// Message is one protocol frame.
+type Message struct {
+	// Type dispatches the handler ("access", "load_policy", "deploy",
+	// ...). Responses use the request type suffixed with ".ok" or
+	// ".err".
+	Type string `json:"type"`
+	// ID correlates responses with requests on a multiplexed
+	// connection. Server-pushed stream tuples use ID of their
+	// subscription request.
+	ID uint64 `json:"id"`
+	// Payload is the type-specific body.
+	Payload json.RawMessage `json:"payload,omitempty"`
+	// Error carries the error text on ".err" responses.
+	Error string `json:"error,omitempty"`
+}
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, m *Message) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("protocol: marshal: %w", err)
+	}
+	if len(data) > MaxFrameSize {
+		return fmt.Errorf("protocol: frame too large (%d bytes)", len(data))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("protocol: frame too large (%d bytes)", n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, err
+	}
+	var m Message
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("protocol: unmarshal: %w", err)
+	}
+	return &m, nil
+}
+
+// Encode marshals a payload into a message.
+func Encode(typ string, id uint64, payload any) (*Message, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: encode %s: %w", typ, err)
+	}
+	return &Message{Type: typ, ID: id, Payload: raw}, nil
+}
+
+// Decode unmarshals a message payload.
+func Decode[T any](m *Message) (T, error) {
+	var out T
+	if len(m.Payload) == 0 {
+		return out, nil
+	}
+	if err := json.Unmarshal(m.Payload, &out); err != nil {
+		return out, fmt.Errorf("protocol: decode %s: %w", m.Type, err)
+	}
+	return out, nil
+}
+
+// Conn wraps a net.Conn with buffered, mutex-protected frame I/O.
+type Conn struct {
+	raw net.Conn
+	r   *bufio.Reader
+	wmu sync.Mutex
+	w   *bufio.Writer
+}
+
+// NewConn wraps a net.Conn.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{raw: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
+}
+
+// Send writes one frame and flushes.
+func (c *Conn) Send(m *Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := WriteFrame(c.w, m); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Recv reads one frame.
+func (c *Conn) Recv() (*Message, error) { return ReadFrame(c.r) }
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// RemoteAddr exposes the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
+
+// Client is a simple synchronous RPC client over one connection.
+// Multiple goroutines may Call concurrently; responses are matched by
+// message ID. Server-pushed messages (stream tuples) are delivered to
+// the Push handler.
+type Client struct {
+	conn   *Conn
+	mu     sync.Mutex
+	nextID uint64
+	wait   map[uint64]chan *Message
+	closed bool
+	err    error
+
+	// Push, when set before the first Call, receives non-response
+	// messages (e.g. subscribed tuples).
+	Push func(*Message)
+}
+
+// NewClient starts the reader loop over the connection.
+func NewClient(conn *Conn) *Client {
+	c := &Client{conn: conn, wait: map[uint64]chan *Message{}}
+	go c.readLoop()
+	return c
+}
+
+// Dial connects to addr and returns a client.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(NewConn(nc)), nil
+}
+
+func (c *Client) readLoop() {
+	for {
+		m, err := c.conn.Recv()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.wait[m.ID]
+		if ok {
+			delete(c.wait, m.ID)
+		}
+		push := c.Push
+		c.mu.Unlock()
+		if ok {
+			ch <- m
+		} else if push != nil {
+			push(m)
+		}
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		err = fmt.Errorf("protocol: client closed")
+	}
+	c.err = err
+	for id, ch := range c.wait {
+		delete(c.wait, id)
+		close(ch)
+	}
+	c.closed = true
+}
+
+// Call sends a request and waits for its response. An ".err" response
+// becomes a Go error.
+func (c *Client) Call(typ string, payload any) (*Message, error) {
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("protocol: client closed")
+		}
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan *Message, 1)
+	c.wait[id] = ch
+	c.mu.Unlock()
+
+	req, err := Encode(typ, id, payload)
+	if err != nil {
+		c.mu.Lock()
+		delete(c.wait, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	if err := c.conn.Send(req); err != nil {
+		c.mu.Lock()
+		delete(c.wait, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if resp.Error != "" {
+		return resp, fmt.Errorf("%s", resp.Error)
+	}
+	return resp, nil
+}
+
+// CallDecode performs Call and decodes the response payload into T.
+func CallDecode[T any](c *Client, typ string, payload any) (T, error) {
+	var zero T
+	resp, err := c.Call(typ, payload)
+	if err != nil {
+		return zero, err
+	}
+	return Decode[T](resp)
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// Handler processes one request and returns the response payload or an
+// error.
+type Handler func(m *Message, conn *Conn) (any, error)
+
+// Server is a minimal framed-RPC server: one goroutine per connection,
+// type-dispatched handlers, automatic ".ok"/".err" responses. Handlers
+// may also take over the connection for streaming (returning
+// ErrHijacked).
+type Server struct {
+	mu       sync.Mutex
+	handlers map[string]Handler
+	ln       net.Listener
+	conns    map[*Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	// Delay, when non-nil, injects simulated network latency per
+	// request/response pair (see internal/netsim).
+	Delay func(requestBytes, responseBytes int)
+}
+
+// ErrHijacked tells the server loop the handler owns the connection now.
+var ErrHijacked = fmt.Errorf("protocol: connection hijacked")
+
+// NewServer creates an empty server.
+func NewServer() *Server {
+	return &Server{handlers: map[string]Handler{}, conns: map[*Conn]struct{}{}}
+}
+
+// Handle registers a handler for a message type.
+func (s *Server) Handle(typ string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[typ] = h
+}
+
+// Listen binds to addr ("127.0.0.1:0" for an ephemeral port) and starts
+// accepting. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conn := NewConn(nc)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn *Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		h, ok := s.handlers[m.Type]
+		delay := s.Delay
+		s.mu.Unlock()
+
+		reqBytes := len(m.Payload)
+		var resp *Message
+		if !ok {
+			resp = &Message{Type: m.Type + ".err", ID: m.ID, Error: fmt.Sprintf("protocol: unknown message type %q", m.Type)}
+		} else {
+			out, err := s.invoke(h, m, conn)
+			switch {
+			case err == ErrHijacked:
+				continue
+			case err != nil:
+				resp = &Message{Type: m.Type + ".err", ID: m.ID, Error: err.Error()}
+			default:
+				enc, encErr := Encode(m.Type+".ok", m.ID, out)
+				if encErr != nil {
+					resp = &Message{Type: m.Type + ".err", ID: m.ID, Error: encErr.Error()}
+				} else {
+					resp = enc
+				}
+			}
+		}
+		if delay != nil {
+			delay(reqBytes, len(resp.Payload))
+		}
+		if err := conn.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+// invoke runs a handler, converting panics into errors so one bad
+// request cannot take the whole server down.
+func (s *Server) invoke(h Handler, m *Message, conn *Conn) (out any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("protocol: handler %s panicked: %v", m.Type, r)
+		}
+	}()
+	return h(m, conn)
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]*Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+}

@@ -1,0 +1,252 @@
+package protocol
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	m, err := Encode("test", 7, map[string]int{"x": 1})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if err := WriteFrame(&buf, m); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if got.Type != "test" || got.ID != 7 {
+		t.Errorf("got %+v", got)
+	}
+	payload, err := Decode[map[string]int](got)
+	if err != nil || payload["x"] != 1 {
+		t.Errorf("payload = %v (%v)", payload, err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0})); err == nil {
+		t.Error("truncated header must fail")
+	}
+	// Header says 100 bytes, body empty.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 100})); err == nil {
+		t.Error("truncated body must fail")
+	}
+}
+
+func TestReadFrameTooLarge(t *testing.T) {
+	var hdr [4]byte
+	hdr[0] = 0xFF
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Error("oversized frame must be rejected")
+	}
+}
+
+func TestServerClientRPC(t *testing.T) {
+	srv := NewServer()
+	srv.Handle("echo", func(m *Message, _ *Conn) (any, error) {
+		in, err := Decode[string](m)
+		if err != nil {
+			return nil, err
+		}
+		return "echo:" + in, nil
+	})
+	srv.Handle("fail", func(m *Message, _ *Conn) (any, error) {
+		return nil, fmt.Errorf("boom")
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer srv.Close()
+
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cli.Close()
+
+	out, err := CallDecode[string](cli, "echo", "hello")
+	if err != nil || out != "echo:hello" {
+		t.Errorf("echo: (%q,%v)", out, err)
+	}
+	if _, err := cli.Call("fail", nil); err == nil || err.Error() != "boom" {
+		t.Errorf("error propagation: %v", err)
+	}
+	if _, err := cli.Call("unknown", nil); err == nil {
+		t.Error("unknown type must fail")
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	srv := NewServer()
+	srv.Handle("id", func(m *Message, _ *Conn) (any, error) {
+		return Decode[int](m)
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 100)
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			out, err := CallDecode[int](cli, "id", n)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if out != n {
+				errs <- fmt.Errorf("got %d want %d", out, n)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestServerPush(t *testing.T) {
+	srv := NewServer()
+	srv.Handle("subscribe", func(m *Message, conn *Conn) (any, error) {
+		ack, _ := Encode("subscribe.ok", m.ID, struct{}{})
+		if err := conn.Send(ack); err != nil {
+			return nil, err
+		}
+		for i := 0; i < 3; i++ {
+			push, _ := Encode("tick", m.ID, i)
+			if err := conn.Send(push); err != nil {
+				return nil, ErrHijacked
+			}
+		}
+		return nil, ErrHijacked
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	got := make(chan int, 3)
+	cli.Push = func(m *Message) {
+		if m.Type == "tick" {
+			n, _ := Decode[int](m)
+			got <- n
+		}
+	}
+	if _, err := cli.Call("subscribe", nil); err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	for want := 0; want < 3; want++ {
+		if n := <-got; n != want {
+			t.Errorf("tick %d, want %d", n, want)
+		}
+	}
+}
+
+func TestClientFailsPendingOnClose(t *testing.T) {
+	srv := NewServer()
+	block := make(chan struct{})
+	srv.Handle("block", func(m *Message, _ *Conn) (any, error) {
+		<-block
+		return struct{}{}, nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer close(block)
+
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := cli.Call("block", nil)
+		done <- err
+	}()
+	// Kill the connection while the call is pending.
+	cli.Close()
+	if err := <-done; err == nil {
+		t.Error("pending call must fail when the client closes")
+	}
+	if _, err := cli.Call("block", nil); err == nil {
+		t.Error("calls after close must fail")
+	}
+}
+
+func TestServerDelayHook(t *testing.T) {
+	srv := NewServer()
+	called := make(chan struct{}, 1)
+	srv.Delay = func(reqBytes, respBytes int) {
+		select {
+		case called <- struct{}{}:
+		default:
+		}
+	}
+	srv.Handle("ping", func(m *Message, _ *Conn) (any, error) { return "pong", nil })
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Call("ping", nil); err != nil {
+		t.Fatal(err)
+	}
+	<-called
+}
+
+func TestServerHandlerPanicRecovered(t *testing.T) {
+	srv := NewServer()
+	srv.Handle("boom", func(m *Message, _ *Conn) (any, error) {
+		panic("kaboom")
+	})
+	srv.Handle("ping", func(m *Message, _ *Conn) (any, error) { return "pong", nil })
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Call("boom", nil); err == nil {
+		t.Fatal("panic should surface as an error response")
+	}
+	// The connection and server survive.
+	out, err := CallDecode[string](cli, "ping", nil)
+	if err != nil || out != "pong" {
+		t.Fatalf("server should survive a handler panic: (%q,%v)", out, err)
+	}
+}

@@ -1,0 +1,73 @@
+package proxy
+
+import (
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/xacml"
+	"repro/internal/xacmlplus"
+)
+
+func mapPolicy(id, subject string) *xacml.Policy {
+	return xacml.NewPermitPolicy(id,
+		xacml.NewTarget(subject, "weather", "read"),
+		xacml.Obligation{
+			ObligationID: xacmlplus.ObligationMap,
+			FulfillOn:    xacml.EffectPermit,
+			Assignments: []xacml.AttributeAssignment{
+				xacml.NewStringAssignment(xacmlplus.AttrMapAttribute, "rainrate"),
+			},
+		})
+}
+
+// TestProxySelectiveInvalidation verifies that removing one policy
+// evicts only its own cached handles — other policies' entries stay
+// warm.
+func TestProxySelectiveInvalidation(t *testing.T) {
+	cli, px, eng := startChain(t)
+	px.SetCaching(true)
+	if _, err := cli.LoadPolicyObject(mapPolicy("p:a", "alice")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.LoadPolicyObject(mapPolicy("p:b", "bob")); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := client.ExpectGranted(cli.RequestAccess("alice", "weather", "read", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := client.ExpectGranted(cli.RequestAccess("bob", "weather", "read", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ra
+	// Remove alice's policy: her grant is withdrawn, bob's cache entry
+	// must survive.
+	if _, err := cli.RemovePolicy("p:a"); err != nil {
+		t.Fatal(err)
+	}
+	if eng.QueryCount() != 1 {
+		t.Fatalf("engine queries = %d, want only bob's", eng.QueryCount())
+	}
+	// Alice's repeat must NOT be served from cache (stale handle).
+	respA, err := cli.RequestAccess("alice", "weather", "read", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if respA.Granted() {
+		t.Errorf("stale cached grant for alice: %+v", respA)
+	}
+	// Bob's repeat IS a cache hit with the same handle.
+	hitsBefore, _ := px.Stats()
+	respB, err := cli.RequestAccess("bob", "weather", "read", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitsAfter, _ := px.Stats()
+	if !respB.Reused || respB.Handle != rb.Handle {
+		t.Errorf("bob's entry should have survived: %+v", respB)
+	}
+	if hitsAfter != hitsBefore+1 {
+		t.Errorf("bob's repeat should be a cache hit (hits %d -> %d)", hitsBefore, hitsAfter)
+	}
+}

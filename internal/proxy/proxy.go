@@ -1,0 +1,176 @@
+// Package proxy implements the eXACML+ proxy of Fig 3(a): it sits
+// between clients and the data server, forwards requests, and — when
+// caching is enabled — serves repeated access requests from its cache
+// of stream handles. Unlike the archived-data eXACML proxy, what is
+// cached here is not data but stream handles, whose sizes are tiny;
+// §4.2 still measures a substantial improvement under the Zipf
+// workload.
+package proxy
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"repro/internal/netsim"
+	"repro/internal/protocol"
+	"repro/internal/server"
+)
+
+// Proxy forwards eXACML+ requests to the upstream data server.
+type Proxy struct {
+	upstream *protocol.Client
+	srv      *protocol.Server
+
+	mu       sync.Mutex
+	caching  bool
+	cache    map[string]server.AccessResp
+	byPolicy map[string]map[string]bool // policy id -> cache keys, for selective invalidation
+	hits     uint64
+	misses   uint64
+}
+
+// New connects to the upstream data server. profile, when non-nil,
+// injects simulated client↔proxy latency per request/response pair.
+func New(upstreamAddr string, profile *netsim.Profile) (*Proxy, error) {
+	up, err := protocol.Dial(upstreamAddr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		upstream: up,
+		srv:      protocol.NewServer(),
+		cache:    map[string]server.AccessResp{},
+		byPolicy: map[string]map[string]bool{},
+	}
+	if profile != nil {
+		p.srv.Delay = profile.RoundTrip
+	}
+	p.srv.Handle(server.MsgAccess, p.handleAccess)
+	p.srv.Handle(server.MsgLoadPolicy, p.forward(server.MsgLoadPolicy))
+	p.srv.Handle(server.MsgRemovePolicy, p.handleRemovePolicy)
+	p.srv.Handle(server.MsgRelease, p.handleRelease)
+	p.srv.Handle(server.MsgStats, p.forward(server.MsgStats))
+	return p, nil
+}
+
+// SetCaching toggles the handle cache (Fig 6(b) compares cache on/off).
+func (p *Proxy) SetCaching(on bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.caching = on
+	if !on {
+		p.cache = map[string]server.AccessResp{}
+		p.byPolicy = map[string]map[string]bool{}
+	}
+}
+
+// Stats reports cache hits and misses.
+func (p *Proxy) Stats() (hits, misses uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}
+
+// Listen binds the proxy's client-facing listener.
+func (p *Proxy) Listen(addr string) (string, error) { return p.srv.Listen(addr) }
+
+// Close shuts down the proxy.
+func (p *Proxy) Close() {
+	p.srv.Close()
+	_ = p.upstream.Close()
+}
+
+// forward relays a message type verbatim.
+func (p *Proxy) forward(typ string) protocol.Handler {
+	return func(m *protocol.Message, _ *protocol.Conn) (any, error) {
+		resp, err := p.upstream.Call(typ, m.Payload)
+		if err != nil {
+			return nil, err
+		}
+		return resp.Payload, nil
+	}
+}
+
+func cacheKey(req server.AccessReq) string {
+	h := sha256.Sum256([]byte(req.RequestXML + "\x00" + req.UserQueryXML))
+	return hex.EncodeToString(h[:])
+}
+
+func (p *Proxy) handleAccess(m *protocol.Message, _ *protocol.Conn) (any, error) {
+	req, err := protocol.Decode[server.AccessReq](m)
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey(req)
+	p.mu.Lock()
+	caching := p.caching
+	if caching {
+		if resp, ok := p.cache[key]; ok {
+			p.hits++
+			p.mu.Unlock()
+			resp.Reused = true
+			return resp, nil
+		}
+		p.misses++
+	}
+	p.mu.Unlock()
+
+	raw, err := p.upstream.Call(server.MsgAccess, req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := protocol.Decode[server.AccessResp](raw)
+	if err != nil {
+		return nil, err
+	}
+	if caching && resp.Granted() {
+		p.mu.Lock()
+		p.cache[key] = resp
+		if resp.PolicyID != "" {
+			if p.byPolicy[resp.PolicyID] == nil {
+				p.byPolicy[resp.PolicyID] = map[string]bool{}
+			}
+			p.byPolicy[resp.PolicyID][key] = true
+		}
+		p.mu.Unlock()
+	}
+	return resp, nil
+}
+
+// handleRemovePolicy forwards the removal and selectively evicts cached
+// handles spawned by the removed policy — §3.3 requires revocation to
+// be immediate, and the proxy must not keep serving a withdrawn handle.
+// Entries of other policies stay warm.
+func (p *Proxy) handleRemovePolicy(m *protocol.Message, _ *protocol.Conn) (any, error) {
+	req, err := protocol.Decode[server.RemovePolicyReq](m)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.upstream.Call(server.MsgRemovePolicy, m.Payload)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	for key := range p.byPolicy[req.PolicyID] {
+		delete(p.cache, key)
+	}
+	delete(p.byPolicy, req.PolicyID)
+	p.mu.Unlock()
+	return resp.Payload, nil
+}
+
+// handleRelease forwards the release and evicts cached entries for the
+// now-withdrawn grant. Eviction is conservative: the whole cache is
+// flushed (grants are not tracked per key).
+func (p *Proxy) handleRelease(m *protocol.Message, _ *protocol.Conn) (any, error) {
+	resp, err := p.upstream.Call(server.MsgRelease, m.Payload)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.cache = map[string]server.AccessResp{}
+	p.byPolicy = map[string]map[string]bool{}
+	p.mu.Unlock()
+	return resp.Payload, nil
+}

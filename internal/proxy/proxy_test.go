@@ -1,0 +1,183 @@
+package proxy
+
+import (
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/dsms"
+	"repro/internal/server"
+	"repro/internal/stream"
+	"repro/internal/xacml"
+	"repro/internal/xacmlplus"
+)
+
+// startChain brings up engine -> data server -> proxy and returns a
+// client connected to the proxy.
+func startChain(t *testing.T) (*client.Client, *Proxy, *dsms.Engine) {
+	t.Helper()
+	eng := dsms.NewEngine("cloud")
+	t.Cleanup(eng.Close)
+	schema := stream.MustSchema(
+		stream.Field{Name: "samplingtime", Type: stream.TypeTimestamp},
+		stream.Field{Name: "rainrate", Type: stream.TypeDouble},
+	)
+	if err := eng.CreateStream("weather", schema); err != nil {
+		t.Fatal(err)
+	}
+	pep := xacmlplus.NewPEP(xacml.NewPDP(), xacmlplus.LocalEngine{E: eng})
+	srv := server.New(pep, nil)
+	srvAddr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	px, err := New(srvAddr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pxAddr, err := px.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(px.Close)
+
+	cli, err := client.Dial(pxAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cli.Close() })
+	return cli, px, eng
+}
+
+func ltaPolicy() *xacml.Policy {
+	return xacml.NewPermitPolicy("p:lta",
+		xacml.NewTarget("LTA", "weather", "read"),
+		xacml.Obligation{
+			ObligationID: xacmlplus.ObligationMap,
+			FulfillOn:    xacml.EffectPermit,
+			Assignments: []xacml.AttributeAssignment{
+				xacml.NewStringAssignment(xacmlplus.AttrMapAttribute, "rainrate"),
+			},
+		})
+}
+
+func TestProxyForwarding(t *testing.T) {
+	cli, _, eng := startChain(t)
+	if _, err := cli.LoadPolicyObject(ltaPolicy()); err != nil {
+		t.Fatalf("LoadPolicy via proxy: %v", err)
+	}
+	stats, err := cli.Stats()
+	if err != nil || stats.Policies != 1 {
+		t.Fatalf("Stats via proxy: (%+v,%v)", stats, err)
+	}
+	resp, err := client.ExpectGranted(cli.RequestAccess("LTA", "weather", "read", nil))
+	if err != nil {
+		t.Fatalf("RequestAccess via proxy: %v", err)
+	}
+	if eng.QueryCount() != 1 {
+		t.Errorf("engine queries = %d", eng.QueryCount())
+	}
+	_ = resp
+}
+
+func TestProxyCacheHits(t *testing.T) {
+	cli, px, _ := startChain(t)
+	px.SetCaching(true)
+	if _, err := cli.LoadPolicyObject(ltaPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := client.ExpectGranted(cli.RequestAccess("LTA", "weather", "read", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := cli.RequestAccess("LTA", "weather", "read", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Handle != r1.Handle || !r2.Reused {
+		t.Errorf("cached response = %+v", r2)
+	}
+	hits, misses := px.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("cache stats = %d hits %d misses", hits, misses)
+	}
+}
+
+func TestProxyCacheOffAlwaysForwards(t *testing.T) {
+	cli, px, _ := startChain(t)
+	if _, err := cli.LoadPolicyObject(ltaPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := cli.RequestAccess("LTA", "weather", "read", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := px.Stats()
+	if hits != 0 || misses != 0 {
+		t.Errorf("cache-off stats = %d/%d", hits, misses)
+	}
+}
+
+func TestProxyCacheInvalidationOnPolicyRemoval(t *testing.T) {
+	cli, px, eng := startChain(t)
+	px.SetCaching(true)
+	if _, err := cli.LoadPolicyObject(ltaPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.ExpectGranted(cli.RequestAccess("LTA", "weather", "read", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.RemovePolicy("p:lta"); err != nil {
+		t.Fatalf("RemovePolicy via proxy: %v", err)
+	}
+	if eng.QueryCount() != 0 {
+		t.Errorf("graphs not withdrawn")
+	}
+	// A repeat of the formerly-cached request must NOT serve the stale
+	// handle: the cache was flushed, the server now denies.
+	resp, err := cli.RequestAccess("LTA", "weather", "read", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Granted() {
+		t.Errorf("stale cached grant returned after policy removal: %+v", resp)
+	}
+}
+
+func TestProxyCacheInvalidationOnRelease(t *testing.T) {
+	cli, px, eng := startChain(t)
+	px.SetCaching(true)
+	if _, err := cli.LoadPolicyObject(ltaPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.ExpectGranted(cli.RequestAccess("LTA", "weather", "read", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Release("LTA", "weather"); err != nil {
+		t.Fatalf("Release via proxy: %v", err)
+	}
+	if eng.QueryCount() != 0 {
+		t.Error("release should withdraw")
+	}
+	// The next request re-deploys rather than serving the withdrawn
+	// handle.
+	resp, err := client.ExpectGranted(cli.RequestAccess("LTA", "weather", "read", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Reused {
+		t.Errorf("should be a fresh grant: %+v", resp)
+	}
+}
+
+func TestProxyErrorPropagation(t *testing.T) {
+	cli, _, _ := startChain(t)
+	if _, err := cli.LoadPolicy([]byte("<broken")); err == nil {
+		t.Error("bad policy via proxy must fail")
+	}
+	if err := cli.Release("nobody", "weather"); err == nil {
+		t.Error("bad release via proxy must fail")
+	}
+}

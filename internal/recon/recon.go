@@ -1,0 +1,126 @@
+// Package recon implements the §3.4 privacy attack executable: given
+// multiple sum-aggregated views of the same stream that share a fixed
+// advance step M but use increasing window sizes N, N+1, ..., N+M, an
+// adversary can reconstruct the original stream from the N-th tuple
+// onward. The package both mounts the attack (proving why eXACML+
+// permits only a single live aggregation window per user per stream)
+// and provides the window-view generator used by its tests, examples
+// and benchmarks.
+package recon
+
+import (
+	"fmt"
+)
+
+// SumWindows computes the sum-aggregated view of data under a sliding
+// window of the given size and advance step — the attacker-visible
+// stream S_i of §3.4.
+func SumWindows(data []float64, size, step int) []float64 {
+	if size <= 0 || step <= 0 {
+		return nil
+	}
+	var out []float64
+	for start := 0; start+size <= len(data); start += step {
+		var s float64
+		for _, v := range data[start : start+size] {
+			s += v
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Views is the attacker's input: aggregated streams of the same source,
+// all with advance step Step, with window sizes Size, Size+1, ...,
+// Size+len(Streams)-1 (the §3.4 construction with Q_j = Q_i + 1).
+type Views struct {
+	// Size is the smallest window size N.
+	Size int
+	// Step is the shared advance step M.
+	Step int
+	// Streams[k] is the sum stream for window size Size+k; Streams[0]
+	// has window size Size. len(Streams) must be Step+1 to reconstruct
+	// every residue class.
+	Streams [][]float64
+}
+
+// CollectViews runs the aggregation the cloud would perform for each
+// window size N..N+M over the raw data, producing the attacker's views.
+func CollectViews(data []float64, size, step int) Views {
+	v := Views{Size: size, Step: step}
+	for k := 0; k <= step; k++ {
+		v.Streams = append(v.Streams, SumWindows(data, size+k, step))
+	}
+	return v
+}
+
+// Reconstruct mounts the attack: from the views it rebuilds the
+// original stream values a_N, a_{N+1}, ... (everything except the first
+// N tuples). It returns the reconstructed suffix, whose element j
+// corresponds to original index Size+j.
+//
+// The construction follows the paper's inductive proof: subtracting the
+// k-th view from the (k+1)-th yields T_{k+1} = a_{N+kM+k'}, the
+// residue-class subsequences, which interleave into the original
+// stream.
+func Reconstruct(v Views) ([]float64, error) {
+	if v.Step <= 0 || v.Size <= 0 {
+		return nil, fmt.Errorf("recon: invalid views (size=%d step=%d)", v.Size, v.Step)
+	}
+	if len(v.Streams) < v.Step+1 {
+		return nil, fmt.Errorf("recon: need %d views (sizes N..N+M), have %d", v.Step+1, len(v.Streams))
+	}
+	// T[k][i] = Streams[k+1][i] - Streams[k][i] = a_{N + i*M + k}
+	// for k in 0..M-1.
+	T := make([][]float64, v.Step)
+	for k := 0; k < v.Step; k++ {
+		a, b := v.Streams[k], v.Streams[k+1]
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		T[k] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			T[k][i] = b[i] - a[i]
+		}
+	}
+	// Interleave: out[i*M + k] = T[k][i].
+	minLen := -1
+	for _, t := range T {
+		if minLen < 0 || len(t) < minLen {
+			minLen = len(t)
+		}
+	}
+	if minLen <= 0 {
+		return nil, fmt.Errorf("recon: views too short to reconstruct anything")
+	}
+	out := make([]float64, 0, minLen*v.Step)
+	for i := 0; i < minLen; i++ {
+		for k := 0; k < v.Step; k++ {
+			out = append(out, T[k][i])
+		}
+	}
+	return out, nil
+}
+
+// VerifyAgainst checks a reconstruction against the original data,
+// returning the number of positions compared and the first mismatch
+// (index relative to the original stream), or -1 if all match within
+// eps.
+func VerifyAgainst(original []float64, size int, reconstructed []float64, eps float64) (compared int, firstMismatch int) {
+	firstMismatch = -1
+	for j, v := range reconstructed {
+		idx := size + j
+		if idx >= len(original) {
+			break
+		}
+		compared++
+		d := v - original[idx]
+		if d < -eps || d > eps {
+			if firstMismatch < 0 {
+				firstMismatch = idx
+			}
+		}
+	}
+	return compared, firstMismatch
+}

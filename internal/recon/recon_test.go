@@ -1,0 +1,139 @@
+package recon
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPaperExample2 walks Example 2 literally: stream a0,a1,...,
+// window w.size=3, step=2; attacker windows v1.size=3, v2.size=4,
+// v3.size=5 reconstruct everything except the first three tuples.
+func TestPaperExample2(t *testing.T) {
+	data := make([]float64, 20)
+	for i := range data {
+		data[i] = float64(i*i%17) + 1 // arbitrary but deterministic
+	}
+	v := CollectViews(data, 3, 2)
+	if len(v.Streams) != 3 {
+		t.Fatalf("views = %d, want 3 (sizes 3,4,5)", len(v.Streams))
+	}
+	// Check the S1/S2/S3 prefixes of the paper.
+	s1 := v.Streams[0]
+	if s1[0] != data[0]+data[1]+data[2] || s1[1] != data[2]+data[3]+data[4] {
+		t.Fatalf("S1 prefix wrong: %v", s1[:2])
+	}
+	rec, err := Reconstruct(v)
+	if err != nil {
+		t.Fatalf("Reconstruct: %v", err)
+	}
+	compared, mismatch := VerifyAgainst(data, 3, rec, 1e-9)
+	if mismatch != -1 {
+		t.Fatalf("first mismatch at original index %d", mismatch)
+	}
+	if compared < len(data)-3-2 {
+		t.Errorf("only %d positions reconstructed of %d", compared, len(data)-3)
+	}
+}
+
+// TestReconstructSumsMatch verifies the differencing identity
+// S2 - S1 = a3,a5,... and S3 - S2 = a4,a6,... from the paper.
+func TestReconstructDifferencing(t *testing.T) {
+	data := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	v := CollectViews(data, 3, 2)
+	s1, s2, s3 := v.Streams[0], v.Streams[1], v.Streams[2]
+	// S2 - S1 should be a3, a5, a7...
+	if got := s2[0] - s1[0]; got != data[3] {
+		t.Errorf("S2-S1 [0] = %v, want a3=%v", got, data[3])
+	}
+	if got := s2[1] - s1[1]; got != data[5] {
+		t.Errorf("S2-S1 [1] = %v, want a5=%v", got, data[5])
+	}
+	// S3 - S2 should be a4, a6...
+	if got := s3[0] - s2[0]; got != data[4] {
+		t.Errorf("S3-S2 [0] = %v, want a4=%v", got, data[4])
+	}
+}
+
+// Property: for random streams, sizes and steps, reconstruction matches
+// the original from index N on (up to view-length limits).
+func TestReconstructProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2012))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + r.Intn(5) // window size N in 3..7
+		m := 1 + r.Intn(4) // step M in 1..4
+		ln := n + m*8 + r.Intn(20)
+		data := make([]float64, ln)
+		for i := range data {
+			data[i] = float64(r.Intn(1000)) / 10
+		}
+		v := CollectViews(data, n, m)
+		rec, err := Reconstruct(v)
+		if err != nil {
+			t.Fatalf("trial %d (N=%d M=%d len=%d): %v", trial, n, m, ln, err)
+		}
+		if len(rec) == 0 {
+			continue
+		}
+		if _, mismatch := VerifyAgainst(data, n, rec, 1e-6); mismatch != -1 {
+			t.Fatalf("trial %d (N=%d M=%d): mismatch at %d", trial, n, m, mismatch)
+		}
+	}
+}
+
+func TestSumWindows(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6}
+	got := SumWindows(data, 3, 2)
+	want := []float64{6, 12} // (1+2+3), (3+4+5); window starting at 4 incomplete
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("SumWindows = %v, want %v", got, want)
+	}
+	if SumWindows(data, 0, 1) != nil || SumWindows(data, 1, 0) != nil {
+		t.Error("invalid parameters must return nil")
+	}
+	if got := SumWindows(data, 10, 1); got != nil {
+		t.Errorf("window larger than data = %v", got)
+	}
+}
+
+func TestReconstructErrors(t *testing.T) {
+	if _, err := Reconstruct(Views{Size: 0, Step: 1}); err == nil {
+		t.Error("invalid size must fail")
+	}
+	if _, err := Reconstruct(Views{Size: 3, Step: 2, Streams: [][]float64{{1}}}); err == nil {
+		t.Error("too few views must fail")
+	}
+	if _, err := Reconstruct(Views{Size: 3, Step: 1, Streams: [][]float64{{}, {}}}); err == nil {
+		t.Error("empty views must fail")
+	}
+}
+
+// Property via testing/quick: the differencing identity holds for any
+// random byte stream.
+func TestDifferencingIdentityQuick(t *testing.T) {
+	f := func(raw []byte) bool {
+		if len(raw) < 12 {
+			return true
+		}
+		data := make([]float64, len(raw))
+		for i, b := range raw {
+			data[i] = float64(b)
+		}
+		const n, m = 4, 2
+		s1 := SumWindows(data, n, m)
+		s2 := SumWindows(data, n+1, m)
+		k := len(s2)
+		if len(s1) < k {
+			k = len(s1)
+		}
+		for i := 0; i < k; i++ {
+			if s2[i]-s1[i] != data[n+i*m] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,205 @@
+// Package server implements the eXACML+ data server: the cloud-side
+// entity that owns the PDP (policy store), the PEP and the query-graph
+// manager, and answers socket requests from clients and proxies. It is
+// the "data server / XACML+ instance" box of Fig 3(a).
+package server
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/protocol"
+	"repro/internal/xacml"
+	"repro/internal/xacmlplus"
+)
+
+// Message types of the eXACML+ service.
+const (
+	MsgLoadPolicy   = "exacml.load_policy"
+	MsgRemovePolicy = "exacml.remove_policy"
+	MsgAccess       = "exacml.access"
+	MsgRelease      = "exacml.release"
+	MsgStats        = "exacml.stats"
+)
+
+// LoadPolicyReq carries one policy XML document.
+type LoadPolicyReq struct {
+	PolicyXML string `json:"policy_xml"`
+}
+
+// LoadPolicyResp acknowledges with the policy id.
+type LoadPolicyResp struct {
+	PolicyID string `json:"policy_id"`
+}
+
+// RemovePolicyReq removes a policy by id; all query graphs spawned from
+// it are withdrawn from the DSMS (§3.3).
+type RemovePolicyReq struct {
+	PolicyID string `json:"policy_id"`
+}
+
+// RemovePolicyResp lists the withdrawn query ids.
+type RemovePolicyResp struct {
+	Withdrawn []string `json:"withdrawn"`
+}
+
+// AccessReq carries the XACML request document and the optional user
+// query document (Fig 4(a)).
+type AccessReq struct {
+	RequestXML   string `json:"request_xml"`
+	UserQueryXML string `json:"user_query_xml,omitempty"`
+}
+
+// AccessResp mirrors xacmlplus.AccessResponse over the wire, with
+// nanosecond phase timings for the Fig 7 breakdown.
+type AccessResp struct {
+	Decision    string   `json:"decision"`
+	PolicyID    string   `json:"policy_id,omitempty"`
+	Verdict     string   `json:"verdict"`
+	Warnings    []string `json:"warnings,omitempty"`
+	QueryID     string   `json:"query_id,omitempty"`
+	Handle      string   `json:"handle,omitempty"`
+	Script      string   `json:"script,omitempty"`
+	Reused      bool     `json:"reused,omitempty"`
+	PDPNanos    int64    `json:"pdp_nanos"`
+	GraphNanos  int64    `json:"graph_nanos"`
+	EngineNanos int64    `json:"engine_nanos"`
+}
+
+// Granted reports whether a handle was issued.
+func (r AccessResp) Granted() bool { return r.Handle != "" }
+
+// ReleaseReq releases a user's grant on a stream.
+type ReleaseReq struct {
+	User   string `json:"user"`
+	Stream string `json:"stream"`
+}
+
+// StatsResp reports server counters.
+type StatsResp struct {
+	Policies     int `json:"policies"`
+	ActiveGrants int `json:"active_grants"`
+}
+
+// Server is the data server.
+type Server struct {
+	PEP *xacmlplus.PEP
+	srv *protocol.Server
+}
+
+// New builds a data server around a PEP. profile, when non-nil, injects
+// simulated network latency per request/response pair.
+func New(pep *xacmlplus.PEP, profile *netsim.Profile) *Server {
+	s := &Server{PEP: pep, srv: protocol.NewServer()}
+	if profile != nil {
+		s.srv.Delay = profile.RoundTrip
+	}
+	s.srv.Handle(MsgLoadPolicy, s.handleLoadPolicy)
+	s.srv.Handle(MsgRemovePolicy, s.handleRemovePolicy)
+	s.srv.Handle(MsgAccess, s.handleAccess)
+	s.srv.Handle(MsgRelease, s.handleRelease)
+	s.srv.Handle(MsgStats, s.handleStats)
+	return s
+}
+
+// Listen binds the server.
+func (s *Server) Listen(addr string) (string, error) { return s.srv.Listen(addr) }
+
+// Close shuts the server down.
+func (s *Server) Close() { s.srv.Close() }
+
+func (s *Server) handleLoadPolicy(m *protocol.Message, _ *protocol.Conn) (any, error) {
+	req, err := protocol.Decode[LoadPolicyReq](m)
+	if err != nil {
+		return nil, err
+	}
+	// Loading replaces same-id policies; replacement withdraws the old
+	// version's graphs (§3.3).
+	pol, err := xacml.ParsePolicy([]byte(req.PolicyXML))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.PEP.UpdatePolicy(pol); err != nil {
+		return nil, err
+	}
+	return LoadPolicyResp{PolicyID: pol.PolicyID}, nil
+}
+
+func (s *Server) handleRemovePolicy(m *protocol.Message, _ *protocol.Conn) (any, error) {
+	req, err := protocol.Decode[RemovePolicyReq](m)
+	if err != nil {
+		return nil, err
+	}
+	withdrawn, err := s.PEP.RemovePolicy(req.PolicyID)
+	if err != nil {
+		return nil, err
+	}
+	return RemovePolicyResp{Withdrawn: withdrawn}, nil
+}
+
+func (s *Server) handleAccess(m *protocol.Message, _ *protocol.Conn) (any, error) {
+	req, err := protocol.Decode[AccessReq](m)
+	if err != nil {
+		return nil, err
+	}
+	xreq, err := xacml.ParseRequest([]byte(req.RequestXML))
+	if err != nil {
+		return nil, err
+	}
+	var uq *xacmlplus.UserQuery
+	if req.UserQueryXML != "" {
+		uq, err = xacmlplus.ParseUserQuery([]byte(req.UserQueryXML))
+		if err != nil {
+			return nil, err
+		}
+	}
+	resp, err := s.PEP.HandleRequest(xreq, uq)
+	if err != nil {
+		return nil, err
+	}
+	return ToWire(resp), nil
+}
+
+// ToWire converts a PEP response to its wire form.
+func ToWire(resp *xacmlplus.AccessResponse) AccessResp {
+	out := AccessResp{
+		Decision:    resp.Decision.String(),
+		PolicyID:    resp.PolicyID,
+		Verdict:     resp.Verdict.String(),
+		QueryID:     resp.QueryID,
+		Handle:      resp.Handle,
+		Script:      resp.Script,
+		Reused:      resp.Reused,
+		PDPNanos:    resp.Timings.PDP.Nanoseconds(),
+		GraphNanos:  resp.Timings.QueryGraph.Nanoseconds(),
+		EngineNanos: resp.Timings.Engine.Nanoseconds(),
+	}
+	for _, w := range resp.Warnings {
+		out.Warnings = append(out.Warnings, w.String())
+	}
+	return out
+}
+
+func (s *Server) handleRelease(m *protocol.Message, _ *protocol.Conn) (any, error) {
+	req, err := protocol.Decode[ReleaseReq](m)
+	if err != nil {
+		return nil, err
+	}
+	return struct{}{}, s.PEP.Release(req.User, req.Stream)
+}
+
+func (s *Server) handleStats(_ *protocol.Message, _ *protocol.Conn) (any, error) {
+	return StatsResp{
+		Policies:     s.PEP.PDP.Count(),
+		ActiveGrants: s.PEP.Manager.ActiveCount(),
+	}, nil
+}
+
+// Timings reconstructs the duration breakdown from a wire response.
+func (r AccessResp) Timings() xacmlplus.Timings {
+	return xacmlplus.Timings{
+		PDP:        time.Duration(r.PDPNanos),
+		QueryGraph: time.Duration(r.GraphNanos),
+		Engine:     time.Duration(r.EngineNanos),
+	}
+}

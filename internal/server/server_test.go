@@ -1,0 +1,194 @@
+package server_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/dsms"
+	"repro/internal/server"
+	"repro/internal/stream"
+	"repro/internal/xacml"
+	"repro/internal/xacmlplus"
+)
+
+func weatherSchema() *stream.Schema {
+	return stream.MustSchema(
+		stream.Field{Name: "samplingtime", Type: stream.TypeTimestamp},
+		stream.Field{Name: "rainrate", Type: stream.TypeDouble},
+		stream.Field{Name: "windspeed", Type: stream.TypeDouble},
+	)
+}
+
+func neaPolicy() *xacml.Policy {
+	return xacml.NewPermitPolicy("nea:weather:lta",
+		xacml.NewTarget("LTA", "weather", "read"),
+		xacml.Obligation{
+			ObligationID: xacmlplus.ObligationFilter,
+			FulfillOn:    xacml.EffectPermit,
+			Assignments: []xacml.AttributeAssignment{
+				xacml.NewStringAssignment(xacmlplus.AttrFilterCondition, "rainrate > 5"),
+			},
+		},
+		xacml.Obligation{
+			ObligationID: xacmlplus.ObligationMap,
+			FulfillOn:    xacml.EffectPermit,
+			Assignments: []xacml.AttributeAssignment{
+				xacml.NewStringAssignment(xacmlplus.AttrMapAttribute, "samplingtime"),
+				xacml.NewStringAssignment(xacmlplus.AttrMapAttribute, "rainrate"),
+			},
+		},
+	)
+}
+
+// startStack brings up engine + data server and returns a connected
+// client.
+func startStack(t *testing.T) (*client.Client, *dsms.Engine) {
+	t.Helper()
+	eng := dsms.NewEngine("cloud")
+	t.Cleanup(eng.Close)
+	if err := eng.CreateStream("weather", weatherSchema()); err != nil {
+		t.Fatal(err)
+	}
+	pep := xacmlplus.NewPEP(xacml.NewPDP(), xacmlplus.LocalEngine{E: eng})
+	srv := server.New(pep, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	cli, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cli.Close() })
+	return cli, eng
+}
+
+func TestServerPolicyLifecycle(t *testing.T) {
+	cli, eng := startStack(t)
+	id, err := cli.LoadPolicyObject(neaPolicy())
+	if err != nil || id != "nea:weather:lta" {
+		t.Fatalf("LoadPolicy: (%q,%v)", id, err)
+	}
+	stats, err := cli.Stats()
+	if err != nil || stats.Policies != 1 {
+		t.Fatalf("Stats: (%+v,%v)", stats, err)
+	}
+	// Access granted, handle issued.
+	resp, err := client.ExpectGranted(cli.RequestAccess("LTA", "weather", "read", nil))
+	if err != nil {
+		t.Fatalf("RequestAccess: %v", err)
+	}
+	if resp.Decision != "Permit" || resp.Verdict != "OK" {
+		t.Errorf("resp = %+v", resp)
+	}
+	if eng.QueryCount() != 1 {
+		t.Errorf("engine queries = %d", eng.QueryCount())
+	}
+	// Removing the policy withdraws the spawned graph.
+	withdrawn, err := cli.RemovePolicy(id)
+	if err != nil || len(withdrawn) != 1 {
+		t.Fatalf("RemovePolicy: (%v,%v)", withdrawn, err)
+	}
+	if eng.QueryCount() != 0 {
+		t.Errorf("engine queries = %d after removal", eng.QueryCount())
+	}
+	// No policy, no access.
+	resp, err = cli.RequestAccess("LTA", "weather", "read", nil)
+	if err != nil {
+		t.Fatalf("RequestAccess: %v", err)
+	}
+	if resp.Granted() || resp.Decision != "NotApplicable" {
+		t.Errorf("resp after removal = %+v", resp)
+	}
+}
+
+func TestServerAccessWithUserQuery(t *testing.T) {
+	cli, _ := startStack(t)
+	if _, err := cli.LoadPolicyObject(neaPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	uq := &xacmlplus.UserQuery{
+		Stream: xacmlplus.StreamRef{Name: "weather"},
+		Filter: &xacmlplus.FilterClause{Condition: "rainrate > 50"},
+	}
+	resp, err := client.ExpectGranted(cli.RequestAccess("LTA", "weather", "read", uq))
+	if err != nil {
+		t.Fatalf("RequestAccess: %v", err)
+	}
+	if !strings.Contains(resp.Script, "rainrate > 50") {
+		t.Errorf("script:\n%s", resp.Script)
+	}
+	if resp.PDPNanos <= 0 || resp.GraphNanos <= 0 || resp.EngineNanos <= 0 {
+		t.Errorf("timings = %d/%d/%d", resp.PDPNanos, resp.GraphNanos, resp.EngineNanos)
+	}
+	if resp.Timings().Total() <= 0 {
+		t.Error("Timings() should reconstruct durations")
+	}
+}
+
+func TestServerPRWarning(t *testing.T) {
+	cli, eng := startStack(t)
+	if _, err := cli.LoadPolicyObject(neaPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	uq := &xacmlplus.UserQuery{
+		Stream: xacmlplus.StreamRef{Name: "weather"},
+		Filter: &xacmlplus.FilterClause{Condition: "rainrate > 1"},
+	}
+	resp, err := cli.RequestAccess("LTA", "weather", "read", uq)
+	if err != nil {
+		t.Fatalf("RequestAccess: %v", err)
+	}
+	if resp.Granted() || resp.Verdict != "PR" || len(resp.Warnings) == 0 {
+		t.Errorf("PR response = %+v", resp)
+	}
+	if eng.QueryCount() != 0 {
+		t.Errorf("PR must not deploy; queries = %d", eng.QueryCount())
+	}
+}
+
+func TestServerReleaseAndReuse(t *testing.T) {
+	cli, eng := startStack(t)
+	if _, err := cli.LoadPolicyObject(neaPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := client.ExpectGranted(cli.RequestAccess("LTA", "weather", "read", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical repeat reuses the grant.
+	r2, err := cli.RequestAccess("LTA", "weather", "read", nil)
+	if err != nil {
+		t.Fatalf("repeat: %v", err)
+	}
+	if !r2.Reused || r2.Handle != r1.Handle {
+		t.Errorf("repeat = %+v", r2)
+	}
+	if eng.QueryCount() != 1 {
+		t.Errorf("queries = %d", eng.QueryCount())
+	}
+	if err := cli.Release("LTA", "weather"); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if eng.QueryCount() != 0 {
+		t.Errorf("queries = %d after release", eng.QueryCount())
+	}
+	if err := cli.Release("LTA", "weather"); err == nil {
+		t.Error("double release must fail")
+	}
+}
+
+func TestServerBadInputs(t *testing.T) {
+	cli, _ := startStack(t)
+	if _, err := cli.LoadPolicy([]byte("<broken")); err == nil {
+		t.Error("bad policy XML must fail")
+	}
+	if _, err := cli.RequestAccessXML("<broken", ""); err == nil {
+		t.Error("bad request XML must fail")
+	}
+	if _, err := cli.RequestAccessXML("<Request></Request>", "<broken"); err == nil {
+		t.Error("bad user query XML must fail")
+	}
+}

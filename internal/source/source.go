@@ -1,0 +1,171 @@
+// Package source generates the synthetic live data feeds the
+// evaluation environment maintains: weather-station records with the
+// §2.2 schema (the paper's testbed received records from mini weather
+// stations at one-minute intervals) and GPS track points from personal
+// mobile devices. Generators are deterministic for a fixed seed.
+package source
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/stream"
+)
+
+// WeatherSchema is the §2.2 schema: (samplingtime, temperature,
+// humidity, solar radiation, rain rate, wind speed, wind direction,
+// barometer).
+func WeatherSchema() *stream.Schema {
+	return stream.MustSchema(
+		stream.Field{Name: "samplingtime", Type: stream.TypeTimestamp},
+		stream.Field{Name: "temperature", Type: stream.TypeDouble},
+		stream.Field{Name: "humidity", Type: stream.TypeDouble},
+		stream.Field{Name: "solarradiation", Type: stream.TypeDouble},
+		stream.Field{Name: "rainrate", Type: stream.TypeDouble},
+		stream.Field{Name: "windspeed", Type: stream.TypeDouble},
+		stream.Field{Name: "winddirection", Type: stream.TypeInt},
+		stream.Field{Name: "barometer", Type: stream.TypeDouble},
+	)
+}
+
+// GPSSchema describes the GPS track feed.
+func GPSSchema() *stream.Schema {
+	return stream.MustSchema(
+		stream.Field{Name: "samplingtime", Type: stream.TypeTimestamp},
+		stream.Field{Name: "deviceid", Type: stream.TypeString},
+		stream.Field{Name: "latitude", Type: stream.TypeDouble},
+		stream.Field{Name: "longitude", Type: stream.TypeDouble},
+		stream.Field{Name: "speed", Type: stream.TypeDouble},
+		stream.Field{Name: "heading", Type: stream.TypeInt},
+	)
+}
+
+// WeatherStation produces weather tuples every IntervalMillis of
+// simulated time, with diurnal temperature cycles and bursty rain.
+type WeatherStation struct {
+	// StartMillis is the timestamp of the first sample.
+	StartMillis int64
+	// IntervalMillis is the sampling interval (paper: 30 s in the
+	// example, 1 min in the testbed).
+	IntervalMillis int64
+
+	rng  *rand.Rand
+	tick int64
+	rain float64
+}
+
+// NewWeatherStation builds a deterministic station.
+func NewWeatherStation(startMillis, intervalMillis int64, seed int64) *WeatherStation {
+	return &WeatherStation{
+		StartMillis:    startMillis,
+		IntervalMillis: intervalMillis,
+		rng:            rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Next produces the next sample.
+func (w *WeatherStation) Next() stream.Tuple {
+	t := w.StartMillis + w.tick*w.IntervalMillis
+	dayFrac := float64(t%(24*3600*1000)) / float64(24*3600*1000)
+	temp := 27 + 4*math.Sin(2*math.Pi*(dayFrac-0.25)) + w.rng.Float64()
+	humidity := 75 - 10*math.Sin(2*math.Pi*(dayFrac-0.25)) + 5*w.rng.Float64()
+	solar := math.Max(0, 800*math.Sin(math.Pi*dayFrac)) * (0.7 + 0.3*w.rng.Float64())
+
+	// Rain: bursty regime switching; heavy tropical downpours
+	// occasionally exceed the paper's 50 mm/h threshold.
+	switch {
+	case w.rain > 0 && w.rng.Float64() < 0.88:
+		w.rain = math.Max(0, w.rain+(w.rng.Float64()-0.42)*12)
+	case w.rain == 0 && w.rng.Float64() < 0.07:
+		w.rain = 2 + w.rng.Float64()*40
+		if w.rng.Float64() < 0.2 {
+			w.rain += 40 // heavy storm onset
+		}
+	default:
+		w.rain = 0
+	}
+	wind := 3 + w.rain*0.3 + w.rng.Float64()*5
+	dir := w.rng.Intn(360)
+	baro := 1009 + 4*math.Sin(2*math.Pi*dayFrac) + w.rng.Float64()
+
+	w.tick++
+	return stream.NewTuple(
+		stream.TimestampMillis(t),
+		stream.DoubleValue(round1(temp)),
+		stream.DoubleValue(round1(humidity)),
+		stream.DoubleValue(round1(solar)),
+		stream.DoubleValue(round1(w.rain)),
+		stream.DoubleValue(round1(wind)),
+		stream.IntValue(int64(dir)),
+		stream.DoubleValue(round1(baro)),
+	)
+}
+
+// Take returns the next n samples.
+func (w *WeatherStation) Take(n int) []stream.Tuple {
+	out := make([]stream.Tuple, n)
+	for i := range out {
+		out[i] = w.Next()
+	}
+	return out
+}
+
+// GPSTracker produces GPS track tuples for one device performing a
+// random walk around a city centre.
+type GPSTracker struct {
+	DeviceID       string
+	StartMillis    int64
+	IntervalMillis int64
+
+	rng      *rand.Rand
+	tick     int64
+	lat, lon float64
+	speed    float64
+	heading  float64
+}
+
+// NewGPSTracker builds a deterministic tracker starting near the given
+// coordinates (e.g. Singapore: 1.35, 103.82).
+func NewGPSTracker(deviceID string, lat, lon float64, startMillis, intervalMillis, seed int64) *GPSTracker {
+	return &GPSTracker{
+		DeviceID:       deviceID,
+		StartMillis:    startMillis,
+		IntervalMillis: intervalMillis,
+		rng:            rand.New(rand.NewSource(seed)),
+		lat:            lat,
+		lon:            lon,
+		speed:          30,
+		heading:        float64(seed % 360),
+	}
+}
+
+// Next produces the next track point.
+func (g *GPSTracker) Next() stream.Tuple {
+	t := g.StartMillis + g.tick*g.IntervalMillis
+	g.tick++
+	g.speed = math.Max(0, math.Min(90, g.speed+(g.rng.Float64()-0.5)*10))
+	g.heading = math.Mod(g.heading+(g.rng.Float64()-0.5)*30+360, 360)
+	// ~1e-5 degrees per metre; distance = speed(km/h) * interval.
+	distKm := g.speed * float64(g.IntervalMillis) / 3600000.0
+	g.lat += distKm / 111 * math.Cos(g.heading*math.Pi/180)
+	g.lon += distKm / 111 * math.Sin(g.heading*math.Pi/180)
+	return stream.NewTuple(
+		stream.TimestampMillis(t),
+		stream.StringValue(g.DeviceID),
+		stream.DoubleValue(g.lat),
+		stream.DoubleValue(g.lon),
+		stream.DoubleValue(round1(g.speed)),
+		stream.IntValue(int64(g.heading)),
+	)
+}
+
+// Take returns the next n track points.
+func (g *GPSTracker) Take(n int) []stream.Tuple {
+	out := make([]stream.Tuple, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+func round1(x float64) float64 { return math.Round(x*10) / 10 }

@@ -1,0 +1,101 @@
+package source
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestWeatherStationConforms(t *testing.T) {
+	ws := NewWeatherStation(0, 30000, 1)
+	schema := WeatherSchema()
+	for i, tu := range ws.Take(500) {
+		if err := tu.Conforms(schema); err != nil {
+			t.Fatalf("tuple %d: %v", i, err)
+		}
+	}
+}
+
+func TestWeatherStationTimestamps(t *testing.T) {
+	ws := NewWeatherStation(1000, 30000, 1)
+	ts := ws.Take(3)
+	for i, want := range []int64{1000, 31000, 61000} {
+		v, err := ts[i].Get(WeatherSchema(), "samplingtime")
+		if err != nil || v.Millis() != want {
+			t.Errorf("tuple %d ts = %v (%v), want %d", i, v, err, want)
+		}
+	}
+}
+
+func TestWeatherStationDeterministic(t *testing.T) {
+	a := NewWeatherStation(0, 30000, 7).Take(50)
+	b := NewWeatherStation(0, 30000, 7).Take(50)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("tuple %d differs", i)
+		}
+	}
+}
+
+func TestWeatherRainIsBursty(t *testing.T) {
+	ws := NewWeatherStation(0, 30000, 3)
+	schema := WeatherSchema()
+	rainy, dry := 0, 0
+	for _, tu := range ws.Take(2000) {
+		v, _ := tu.Get(schema, "rainrate")
+		if v.Double() > 0 {
+			rainy++
+		} else {
+			dry++
+		}
+		if v.Double() < 0 {
+			t.Fatalf("negative rain rate %v", v)
+		}
+	}
+	if rainy == 0 || dry == 0 {
+		t.Errorf("rain should alternate: %d rainy, %d dry", rainy, dry)
+	}
+}
+
+func TestGPSTrackerConforms(t *testing.T) {
+	g := NewGPSTracker("dev1", 1.35, 103.82, 0, 5000, 2)
+	schema := GPSSchema()
+	prev := int64(-1)
+	for i, tu := range g.Take(200) {
+		if err := tu.Conforms(schema); err != nil {
+			t.Fatalf("tuple %d: %v", i, err)
+		}
+		ts, _ := tu.Get(schema, "samplingtime")
+		if ts.Millis() <= prev {
+			t.Fatalf("timestamps not increasing at %d", i)
+		}
+		prev = ts.Millis()
+		sp, _ := tu.Get(schema, "speed")
+		if sp.Double() < 0 || sp.Double() > 90 {
+			t.Errorf("speed out of range: %v", sp)
+		}
+	}
+}
+
+func TestGPSTrackerMoves(t *testing.T) {
+	g := NewGPSTracker("dev1", 1.35, 103.82, 0, 60000, 2)
+	pts := g.Take(100)
+	schema := GPSSchema()
+	first, _ := pts[0].Get(schema, "latitude")
+	last, _ := pts[99].Get(schema, "latitude")
+	lon0, _ := pts[0].Get(schema, "longitude")
+	lon1, _ := pts[99].Get(schema, "longitude")
+	if first.Double() == last.Double() && lon0.Double() == lon1.Double() {
+		t.Error("tracker never moved")
+	}
+}
+
+func TestSchemasDistinct(t *testing.T) {
+	if WeatherSchema().Equal(GPSSchema()) {
+		t.Error("schemas should differ")
+	}
+	if !WeatherSchema().Has("rainrate") || !GPSSchema().Has("deviceid") {
+		t.Error("expected fields missing")
+	}
+	_ = stream.TypeDouble
+}

@@ -1,0 +1,219 @@
+// Package stream defines the data model shared by every layer of the
+// eXACML+ reproduction: typed schemas, tuples, and append-only stream
+// metadata following the Aurora model, in which a data stream is an
+// unbounded, append-only sequence of tuples that all conform to a single
+// schema.
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FieldType enumerates the primitive types a stream attribute may take.
+// The set mirrors the StreamBase/Aurora type system used by the paper's
+// weather example: timestamps, doubles, ints, strings and bools.
+type FieldType int
+
+const (
+	// TypeInvalid is the zero FieldType and never valid in a schema.
+	TypeInvalid FieldType = iota
+	// TypeInt is a 64-bit signed integer attribute.
+	TypeInt
+	// TypeDouble is a 64-bit IEEE-754 floating point attribute.
+	TypeDouble
+	// TypeString is a UTF-8 string attribute.
+	TypeString
+	// TypeBool is a boolean attribute.
+	TypeBool
+	// TypeTimestamp is a point in time with millisecond resolution,
+	// stored as Unix milliseconds.
+	TypeTimestamp
+)
+
+// String returns the StreamSQL spelling of the type.
+func (t FieldType) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeDouble:
+		return "double"
+	case TypeString:
+		return "string"
+	case TypeBool:
+		return "bool"
+	case TypeTimestamp:
+		return "timestamp"
+	default:
+		return "invalid"
+	}
+}
+
+// ParseFieldType converts a StreamSQL type name into a FieldType.
+func ParseFieldType(s string) (FieldType, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "int", "integer", "long":
+		return TypeInt, nil
+	case "double", "float", "real":
+		return TypeDouble, nil
+	case "string", "varchar", "text":
+		return TypeString, nil
+	case "bool", "boolean":
+		return TypeBool, nil
+	case "timestamp", "time":
+		return TypeTimestamp, nil
+	default:
+		return TypeInvalid, fmt.Errorf("stream: unknown field type %q", s)
+	}
+}
+
+// IsNumeric reports whether values of the type support ordering and
+// arithmetic aggregation (sum, avg, ...).
+func (t FieldType) IsNumeric() bool {
+	return t == TypeInt || t == TypeDouble || t == TypeTimestamp
+}
+
+// Field is a single named, typed attribute of a schema.
+type Field struct {
+	Name string
+	Type FieldType
+}
+
+// Schema is an ordered list of uniquely named fields. A Schema is
+// immutable after construction; all mutating helpers return new schemas.
+type Schema struct {
+	fields []Field
+	index  map[string]int // lower-cased name -> position
+}
+
+// NewSchema builds a schema from the given fields. Field names are
+// case-insensitive and must be unique and non-empty; types must be valid.
+func NewSchema(fields ...Field) (*Schema, error) {
+	s := &Schema{
+		fields: make([]Field, len(fields)),
+		index:  make(map[string]int, len(fields)),
+	}
+	for i, f := range fields {
+		if f.Name == "" {
+			return nil, fmt.Errorf("stream: field %d has empty name", i)
+		}
+		if f.Type == TypeInvalid {
+			return nil, fmt.Errorf("stream: field %q has invalid type", f.Name)
+		}
+		key := strings.ToLower(f.Name)
+		if _, dup := s.index[key]; dup {
+			return nil, fmt.Errorf("stream: duplicate field %q", f.Name)
+		}
+		s.index[key] = i
+		s.fields[i] = f
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema but panics on error. Intended for tests and
+// static schema literals.
+func MustSchema(fields ...Field) *Schema {
+	s, err := NewSchema(fields...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of fields.
+func (s *Schema) Len() int { return len(s.fields) }
+
+// Field returns the i-th field.
+func (s *Schema) Field(i int) Field { return s.fields[i] }
+
+// Fields returns a copy of the field list.
+func (s *Schema) Fields() []Field {
+	out := make([]Field, len(s.fields))
+	copy(out, s.fields)
+	return out
+}
+
+// FieldNames returns the field names in declaration order.
+func (s *Schema) FieldNames() []string {
+	out := make([]string, len(s.fields))
+	for i, f := range s.fields {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Lookup returns the position and type of the named field
+// (case-insensitive). ok is false if the field does not exist.
+func (s *Schema) Lookup(name string) (pos int, typ FieldType, ok bool) {
+	i, ok := s.index[strings.ToLower(name)]
+	if !ok {
+		return -1, TypeInvalid, false
+	}
+	return i, s.fields[i].Type, true
+}
+
+// Has reports whether the schema contains the named field.
+func (s *Schema) Has(name string) bool {
+	_, _, ok := s.Lookup(name)
+	return ok
+}
+
+// Project returns a new schema containing only the named fields, in the
+// order given. It fails if any name is unknown.
+func (s *Schema) Project(names []string) (*Schema, error) {
+	fields := make([]Field, 0, len(names))
+	for _, n := range names {
+		i, _, ok := s.Lookup(n)
+		if !ok {
+			return nil, fmt.Errorf("stream: projection references unknown field %q", n)
+		}
+		fields = append(fields, s.fields[i])
+	}
+	return NewSchema(fields...)
+}
+
+// Equal reports whether two schemas have the same fields (names compared
+// case-insensitively) in the same order with the same types.
+func (s *Schema) Equal(o *Schema) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if len(s.fields) != len(o.fields) {
+		return false
+	}
+	for i := range s.fields {
+		if !strings.EqualFold(s.fields[i].Name, o.fields[i].Name) ||
+			s.fields[i].Type != o.fields[i].Type {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "(name type, ...)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, f := range s.fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		b.WriteString(f.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// SortedNames returns the field names sorted lexicographically (lower
+// case). Useful for canonical comparisons in tests.
+func (s *Schema) SortedNames() []string {
+	out := make([]string, 0, len(s.fields))
+	for _, f := range s.fields {
+		out = append(out, strings.ToLower(f.Name))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,159 @@
+package stream
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func weatherSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Field{"samplingtime", TypeTimestamp},
+		Field{"temperature", TypeDouble},
+		Field{"humidity", TypeDouble},
+		Field{"solarradiation", TypeDouble},
+		Field{"rainrate", TypeDouble},
+		Field{"windspeed", TypeDouble},
+		Field{"winddirection", TypeInt},
+		Field{"barometer", TypeDouble},
+	)
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	return s
+}
+
+func TestNewSchemaValid(t *testing.T) {
+	s := weatherSchema(t)
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", s.Len())
+	}
+	if got := s.Field(0).Name; got != "samplingtime" {
+		t.Errorf("Field(0).Name = %q", got)
+	}
+}
+
+func TestNewSchemaDuplicateField(t *testing.T) {
+	_, err := NewSchema(Field{"a", TypeInt}, Field{"A", TypeDouble})
+	if err == nil {
+		t.Fatal("expected duplicate-field error (case-insensitive)")
+	}
+}
+
+func TestNewSchemaEmptyName(t *testing.T) {
+	_, err := NewSchema(Field{"", TypeInt})
+	if err == nil {
+		t.Fatal("expected empty-name error")
+	}
+}
+
+func TestNewSchemaInvalidType(t *testing.T) {
+	_, err := NewSchema(Field{"a", TypeInvalid})
+	if err == nil {
+		t.Fatal("expected invalid-type error")
+	}
+}
+
+func TestLookupCaseInsensitive(t *testing.T) {
+	s := weatherSchema(t)
+	pos, typ, ok := s.Lookup("RainRate")
+	if !ok || pos != 4 || typ != TypeDouble {
+		t.Fatalf("Lookup(RainRate) = (%d,%v,%v)", pos, typ, ok)
+	}
+	if _, _, ok := s.Lookup("nosuch"); ok {
+		t.Fatal("Lookup(nosuch) should fail")
+	}
+}
+
+func TestProject(t *testing.T) {
+	s := weatherSchema(t)
+	p, err := s.Project([]string{"samplingtime", "rainrate", "windspeed"})
+	if err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	if p.Len() != 3 {
+		t.Fatalf("projected Len = %d", p.Len())
+	}
+	if p.Field(1).Name != "rainrate" || p.Field(1).Type != TypeDouble {
+		t.Errorf("projected field 1 = %+v", p.Field(1))
+	}
+	if _, err := s.Project([]string{"bogus"}); err == nil {
+		t.Fatal("expected error projecting unknown field")
+	}
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := MustSchema(Field{"x", TypeInt}, Field{"y", TypeDouble})
+	b := MustSchema(Field{"X", TypeInt}, Field{"Y", TypeDouble})
+	c := MustSchema(Field{"x", TypeInt})
+	d := MustSchema(Field{"x", TypeDouble}, Field{"y", TypeDouble})
+	if !a.Equal(b) {
+		t.Error("a should equal b (case-insensitive names)")
+	}
+	if a.Equal(c) {
+		t.Error("a should not equal c (arity)")
+	}
+	if a.Equal(d) {
+		t.Error("a should not equal d (types)")
+	}
+}
+
+func TestParseFieldType(t *testing.T) {
+	cases := map[string]FieldType{
+		"int": TypeInt, "INTEGER": TypeInt, "double": TypeDouble,
+		"Float": TypeDouble, "string": TypeString, "bool": TypeBool,
+		"timestamp": TypeTimestamp,
+	}
+	for in, want := range cases {
+		got, err := ParseFieldType(in)
+		if err != nil || got != want {
+			t.Errorf("ParseFieldType(%q) = (%v,%v), want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseFieldType("blob"); err == nil {
+		t.Error("expected error for unknown type")
+	}
+}
+
+func TestFieldTypeRoundTrip(t *testing.T) {
+	for _, ft := range []FieldType{TypeInt, TypeDouble, TypeString, TypeBool, TypeTimestamp} {
+		back, err := ParseFieldType(ft.String())
+		if err != nil || back != ft {
+			t.Errorf("round trip %v -> %q -> (%v,%v)", ft, ft.String(), back, err)
+		}
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := MustSchema(Field{"x", TypeInt}, Field{"y", TypeString})
+	want := "(x int, y string)"
+	if s.String() != want {
+		t.Errorf("String() = %q, want %q", s.String(), want)
+	}
+}
+
+func TestSchemaJSONRoundTrip(t *testing.T) {
+	s := weatherSchema(t)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Schema
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !s.Equal(&back) {
+		t.Fatalf("round trip mismatch: %v vs %v", s, &back)
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	s := MustSchema(Field{"b", TypeInt}, Field{"A", TypeInt}, Field{"c", TypeInt})
+	got := s.SortedNames()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedNames = %v", got)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package stream
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is one element of a data stream: a fixed-arity record whose
+// values conform positionally to a Schema. Tuples additionally carry the
+// engine arrival time (Unix milliseconds) used by time-based windows.
+type Tuple struct {
+	// Values holds one value per schema field, in schema order.
+	Values []Value
+	// ArrivalMillis is the engine-assigned arrival timestamp used by
+	// time-based sliding windows. Zero means "not assigned yet".
+	ArrivalMillis int64
+	// Seq is a per-stream monotonically increasing sequence number
+	// assigned by the engine on ingestion.
+	Seq uint64
+}
+
+// NewTuple builds a tuple with the given values.
+func NewTuple(values ...Value) Tuple {
+	return Tuple{Values: values}
+}
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	vals := make([]Value, len(t.Values))
+	copy(vals, t.Values)
+	return Tuple{Values: vals, ArrivalMillis: t.ArrivalMillis, Seq: t.Seq}
+}
+
+// Conforms verifies the tuple against a schema: arity match and per-field
+// type compatibility (numeric widening from int to double is allowed and
+// normalised in place by Normalize).
+func (t Tuple) Conforms(s *Schema) error {
+	if len(t.Values) != s.Len() {
+		return fmt.Errorf("stream: tuple arity %d != schema arity %d", len(t.Values), s.Len())
+	}
+	for i, v := range t.Values {
+		want := s.Field(i).Type
+		if v.Type() == want {
+			continue
+		}
+		if v.IsNull() {
+			continue
+		}
+		// Allow int literals flowing into double/timestamp columns.
+		if (want == TypeDouble || want == TypeTimestamp) && v.Type() == TypeInt {
+			continue
+		}
+		return fmt.Errorf("stream: field %q: have %s want %s", s.Field(i).Name, v.Type(), want)
+	}
+	return nil
+}
+
+// Normalize coerces widening-compatible values to the exact schema types,
+// returning a new tuple. It fails where Conforms would fail.
+func (t Tuple) Normalize(s *Schema) (Tuple, error) {
+	if err := t.Conforms(s); err != nil {
+		return Tuple{}, err
+	}
+	out := t.Clone()
+	for i := range out.Values {
+		want := s.Field(i).Type
+		if out.Values[i].IsNull() || out.Values[i].Type() == want {
+			continue
+		}
+		cv, err := out.Values[i].CoerceTo(want)
+		if err != nil {
+			return Tuple{}, err
+		}
+		out.Values[i] = cv
+	}
+	return out, nil
+}
+
+// Get returns the value of the named field under the given schema.
+func (t Tuple) Get(s *Schema, name string) (Value, error) {
+	i, _, ok := s.Lookup(name)
+	if !ok {
+		return Null, fmt.Errorf("stream: unknown field %q", name)
+	}
+	if i >= len(t.Values) {
+		return Null, fmt.Errorf("stream: tuple too short for field %q", name)
+	}
+	return t.Values[i], nil
+}
+
+// Project returns a new tuple containing only the named fields in order.
+func (t Tuple) Project(s *Schema, names []string) (Tuple, error) {
+	vals := make([]Value, 0, len(names))
+	for _, n := range names {
+		v, err := t.Get(s, n)
+		if err != nil {
+			return Tuple{}, err
+		}
+		vals = append(vals, v)
+	}
+	out := NewTuple(vals...)
+	out.ArrivalMillis = t.ArrivalMillis
+	out.Seq = t.Seq
+	return out, nil
+}
+
+// String renders the tuple as "<v1, v2, ...>".
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, v := range t.Values {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// Equal reports whether two tuples carry equal value lists (sequence
+// numbers and arrival times are ignored).
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t.Values) != len(o.Values) {
+		return false
+	}
+	for i := range t.Values {
+		if !t.Values[i].Equal(o.Values[i]) {
+			return false
+		}
+	}
+	return true
+}

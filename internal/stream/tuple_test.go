@@ -1,0 +1,115 @@
+package stream
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func xySchema() *Schema {
+	return MustSchema(Field{"x", TypeInt}, Field{"y", TypeDouble}, Field{"s", TypeString})
+}
+
+func TestTupleConforms(t *testing.T) {
+	s := xySchema()
+	ok := NewTuple(IntValue(1), DoubleValue(2.5), StringValue("a"))
+	if err := ok.Conforms(s); err != nil {
+		t.Fatalf("Conforms: %v", err)
+	}
+	short := NewTuple(IntValue(1))
+	if err := short.Conforms(s); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+	bad := NewTuple(StringValue("no"), DoubleValue(1), StringValue("a"))
+	if err := bad.Conforms(s); err == nil {
+		t.Error("type mismatch must fail")
+	}
+	// int widening into double column is allowed
+	widen := NewTuple(IntValue(1), IntValue(2), StringValue("a"))
+	if err := widen.Conforms(s); err != nil {
+		t.Errorf("int->double widening should conform: %v", err)
+	}
+}
+
+func TestTupleNormalize(t *testing.T) {
+	s := xySchema()
+	in := NewTuple(IntValue(1), IntValue(2), StringValue("a"))
+	out, err := in.Normalize(s)
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if out.Values[1].Type() != TypeDouble || out.Values[1].Double() != 2.0 {
+		t.Errorf("normalized y = %v", out.Values[1])
+	}
+	// Original untouched.
+	if in.Values[1].Type() != TypeInt {
+		t.Error("Normalize must not mutate input")
+	}
+}
+
+func TestTupleGetProject(t *testing.T) {
+	s := xySchema()
+	tu := NewTuple(IntValue(7), DoubleValue(1.5), StringValue("z"))
+	v, err := tu.Get(s, "Y")
+	if err != nil || v.Double() != 1.5 {
+		t.Fatalf("Get: %v %v", v, err)
+	}
+	if _, err := tu.Get(s, "nope"); err == nil {
+		t.Error("Get unknown must fail")
+	}
+	p, err := tu.Project(s, []string{"s", "x"})
+	if err != nil {
+		t.Fatalf("Project: %v", err)
+	}
+	if len(p.Values) != 2 || p.Values[0].Str() != "z" || p.Values[1].Int() != 7 {
+		t.Errorf("Project = %v", p)
+	}
+}
+
+func TestTupleCloneIndependence(t *testing.T) {
+	tu := NewTuple(IntValue(1), IntValue(2))
+	cl := tu.Clone()
+	cl.Values[0] = IntValue(99)
+	if tu.Values[0].Int() != 1 {
+		t.Error("Clone must deep copy values")
+	}
+}
+
+func TestTupleEqual(t *testing.T) {
+	a := NewTuple(IntValue(1), StringValue("x"))
+	b := NewTuple(IntValue(1), StringValue("x"))
+	c := NewTuple(IntValue(2), StringValue("x"))
+	b.Seq = 99 // Seq ignored by Equal
+	if !a.Equal(b) {
+		t.Error("a == b expected")
+	}
+	if a.Equal(c) {
+		t.Error("a != c expected")
+	}
+	if a.Equal(NewTuple(IntValue(1))) {
+		t.Error("different arity not equal")
+	}
+}
+
+func TestTupleJSONRoundTrip(t *testing.T) {
+	tu := NewTuple(IntValue(1), DoubleValue(2.5), StringValue("q"))
+	tu.Seq = 42
+	tu.ArrivalMillis = 1700000000000
+	data, err := json.Marshal(tu)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Tuple
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !tu.Equal(back) || back.Seq != 42 || back.ArrivalMillis != 1700000000000 {
+		t.Errorf("round trip: %+v", back)
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tu := NewTuple(IntValue(1), StringValue("a"))
+	if got := tu.String(); got != "<1, a>" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,233 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Value is a dynamically typed attribute value. It is a small tagged
+// union; the zero Value has TypeInvalid and is treated as "null".
+type Value struct {
+	typ FieldType
+	i   int64 // TypeInt, TypeTimestamp (unix millis), TypeBool (0/1)
+	f   float64
+	s   string
+}
+
+// Null is the invalid/absent value.
+var Null = Value{}
+
+// IntValue wraps an int64.
+func IntValue(v int64) Value { return Value{typ: TypeInt, i: v} }
+
+// DoubleValue wraps a float64.
+func DoubleValue(v float64) Value { return Value{typ: TypeDouble, f: v} }
+
+// StringValue wraps a string.
+func StringValue(v string) Value { return Value{typ: TypeString, s: v} }
+
+// BoolValue wraps a bool.
+func BoolValue(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{typ: TypeBool, i: i}
+}
+
+// TimestampValue wraps a time.Time with millisecond resolution.
+func TimestampValue(t time.Time) Value {
+	return Value{typ: TypeTimestamp, i: t.UnixMilli()}
+}
+
+// TimestampMillis wraps a raw Unix-milliseconds timestamp.
+func TimestampMillis(ms int64) Value {
+	return Value{typ: TypeTimestamp, i: ms}
+}
+
+// Type returns the value's dynamic type.
+func (v Value) Type() FieldType { return v.typ }
+
+// IsNull reports whether the value is absent.
+func (v Value) IsNull() bool { return v.typ == TypeInvalid }
+
+// Int returns the int64 payload. Valid for TypeInt.
+func (v Value) Int() int64 { return v.i }
+
+// Double returns the float64 payload. Valid for TypeDouble.
+func (v Value) Double() float64 { return v.f }
+
+// Str returns the string payload. Valid for TypeString.
+func (v Value) Str() string { return v.s }
+
+// Bool returns the bool payload. Valid for TypeBool.
+func (v Value) Bool() bool { return v.i != 0 }
+
+// Time returns the timestamp payload. Valid for TypeTimestamp.
+func (v Value) Time() time.Time { return time.UnixMilli(v.i) }
+
+// Millis returns the raw Unix-millisecond payload of a timestamp.
+func (v Value) Millis() int64 { return v.i }
+
+// AsFloat converts any numeric value (int, double, timestamp) to float64
+// for comparisons and aggregation. ok is false for non-numeric values.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.typ {
+	case TypeInt, TypeTimestamp:
+		return float64(v.i), true
+	case TypeDouble:
+		return v.f, true
+	case TypeBool:
+		return float64(v.i), true
+	default:
+		return 0, false
+	}
+}
+
+// Equal reports deep equality between two values. Numeric values of
+// different types (int vs double) compare by numeric value.
+func (v Value) Equal(o Value) bool {
+	if v.typ == o.typ {
+		switch v.typ {
+		case TypeInvalid:
+			return true
+		case TypeString:
+			return v.s == o.s
+		default:
+			if v.typ == TypeDouble {
+				return v.f == o.f
+			}
+			return v.i == o.i
+		}
+	}
+	a, aok := v.AsFloat()
+	b, bok := o.AsFloat()
+	return aok && bok && a == b
+}
+
+// Compare orders two values: -1 if v < o, 0 if equal, +1 if v > o.
+// Numeric values compare numerically across int/double/timestamp;
+// strings compare lexicographically. Comparing incompatible kinds
+// returns an error.
+func (v Value) Compare(o Value) (int, error) {
+	if v.typ == TypeString || o.typ == TypeString {
+		if v.typ != TypeString || o.typ != TypeString {
+			return 0, fmt.Errorf("stream: cannot compare %s with %s", v.typ, o.typ)
+		}
+		switch {
+		case v.s < o.s:
+			return -1, nil
+		case v.s > o.s:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	a, aok := v.AsFloat()
+	b, bok := o.AsFloat()
+	if !aok || !bok {
+		return 0, fmt.Errorf("stream: cannot compare %s with %s", v.typ, o.typ)
+	}
+	switch {
+	case a < b:
+		return -1, nil
+	case a > b:
+		return 1, nil
+	default:
+		return 0, nil
+	}
+}
+
+// String renders the value for logs and StreamSQL literals.
+func (v Value) String() string {
+	switch v.typ {
+	case TypeInvalid:
+		return "null"
+	case TypeInt:
+		return strconv.FormatInt(v.i, 10)
+	case TypeDouble:
+		if v.f == math.Trunc(v.f) && math.Abs(v.f) < 1e15 {
+			return strconv.FormatFloat(v.f, 'f', 1, 64)
+		}
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case TypeString:
+		return v.s
+	case TypeBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case TypeTimestamp:
+		return time.UnixMilli(v.i).UTC().Format(time.RFC3339Nano)
+	default:
+		return "?"
+	}
+}
+
+// CoerceTo converts the value to the target type where a lossless or
+// conventional conversion exists (int<->double, numeric->timestamp).
+func (v Value) CoerceTo(t FieldType) (Value, error) {
+	if v.typ == t {
+		return v, nil
+	}
+	switch t {
+	case TypeDouble:
+		if f, ok := v.AsFloat(); ok {
+			return DoubleValue(f), nil
+		}
+	case TypeInt:
+		if f, ok := v.AsFloat(); ok {
+			return IntValue(int64(f)), nil
+		}
+	case TypeTimestamp:
+		if f, ok := v.AsFloat(); ok {
+			return TimestampMillis(int64(f)), nil
+		}
+	case TypeString:
+		return StringValue(v.String()), nil
+	case TypeBool:
+		if f, ok := v.AsFloat(); ok {
+			return BoolValue(f != 0), nil
+		}
+	}
+	return Null, fmt.Errorf("stream: cannot coerce %s to %s", v.typ, t)
+}
+
+// ParseValue parses a textual literal into a value of the given type.
+func ParseValue(t FieldType, text string) (Value, error) {
+	switch t {
+	case TypeInt:
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Null, fmt.Errorf("stream: bad int literal %q: %w", text, err)
+		}
+		return IntValue(n), nil
+	case TypeDouble:
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Null, fmt.Errorf("stream: bad double literal %q: %w", text, err)
+		}
+		return DoubleValue(f), nil
+	case TypeBool:
+		b, err := strconv.ParseBool(text)
+		if err != nil {
+			return Null, fmt.Errorf("stream: bad bool literal %q: %w", text, err)
+		}
+		return BoolValue(b), nil
+	case TypeString:
+		return StringValue(text), nil
+	case TypeTimestamp:
+		if ms, err := strconv.ParseInt(text, 10, 64); err == nil {
+			return TimestampMillis(ms), nil
+		}
+		tm, err := time.Parse(time.RFC3339Nano, text)
+		if err != nil {
+			return Null, fmt.Errorf("stream: bad timestamp literal %q: %w", text, err)
+		}
+		return TimestampValue(tm), nil
+	default:
+		return Null, fmt.Errorf("stream: cannot parse literal of type %s", t)
+	}
+}

@@ -1,0 +1,197 @@
+package stream
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if v := IntValue(42); v.Type() != TypeInt || v.Int() != 42 {
+		t.Errorf("IntValue: %v", v)
+	}
+	if v := DoubleValue(3.5); v.Type() != TypeDouble || v.Double() != 3.5 {
+		t.Errorf("DoubleValue: %v", v)
+	}
+	if v := StringValue("hi"); v.Type() != TypeString || v.Str() != "hi" {
+		t.Errorf("StringValue: %v", v)
+	}
+	if v := BoolValue(true); v.Type() != TypeBool || !v.Bool() {
+		t.Errorf("BoolValue: %v", v)
+	}
+	now := time.Now().Truncate(time.Millisecond)
+	if v := TimestampValue(now); !v.Time().Equal(now) {
+		t.Errorf("TimestampValue: %v != %v", v.Time(), now)
+	}
+	if !Null.IsNull() || Null.Type() != TypeInvalid {
+		t.Error("Null must be null")
+	}
+}
+
+func TestValueCompareNumericCross(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{IntValue(1), IntValue(2), -1},
+		{IntValue(2), IntValue(2), 0},
+		{IntValue(3), IntValue(2), 1},
+		{IntValue(2), DoubleValue(2.0), 0},
+		{DoubleValue(1.5), IntValue(2), -1},
+		{TimestampMillis(100), IntValue(50), 1},
+		{StringValue("a"), StringValue("b"), -1},
+		{StringValue("b"), StringValue("b"), 0},
+	}
+	for _, c := range cases {
+		got, err := c.a.Compare(c.b)
+		if err != nil || got != c.want {
+			t.Errorf("Compare(%v,%v) = (%d,%v), want %d", c.a, c.b, got, err, c.want)
+		}
+	}
+}
+
+func TestValueCompareIncompatible(t *testing.T) {
+	if _, err := StringValue("x").Compare(IntValue(1)); err == nil {
+		t.Error("string vs int must error")
+	}
+	if _, err := IntValue(1).Compare(StringValue("x")); err == nil {
+		t.Error("int vs string must error")
+	}
+}
+
+func TestValueEqualCrossTypes(t *testing.T) {
+	if !IntValue(2).Equal(DoubleValue(2.0)) {
+		t.Error("2 == 2.0 expected")
+	}
+	if IntValue(2).Equal(DoubleValue(2.5)) {
+		t.Error("2 != 2.5 expected")
+	}
+	if IntValue(0).Equal(StringValue("0")) {
+		t.Error("0 != \"0\" expected")
+	}
+	if !Null.Equal(Null) {
+		t.Error("Null == Null expected")
+	}
+}
+
+func TestCoerceTo(t *testing.T) {
+	v, err := IntValue(3).CoerceTo(TypeDouble)
+	if err != nil || v.Double() != 3.0 {
+		t.Errorf("int->double: %v %v", v, err)
+	}
+	v, err = DoubleValue(3.9).CoerceTo(TypeInt)
+	if err != nil || v.Int() != 3 {
+		t.Errorf("double->int: %v %v", v, err)
+	}
+	v, err = IntValue(1234).CoerceTo(TypeTimestamp)
+	if err != nil || v.Millis() != 1234 {
+		t.Errorf("int->timestamp: %v %v", v, err)
+	}
+	if _, err = StringValue("x").CoerceTo(TypeInt); err == nil {
+		t.Error("string->int should fail")
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	v, err := ParseValue(TypeInt, "-17")
+	if err != nil || v.Int() != -17 {
+		t.Errorf("int: %v %v", v, err)
+	}
+	v, err = ParseValue(TypeDouble, "2.5e3")
+	if err != nil || v.Double() != 2500 {
+		t.Errorf("double: %v %v", v, err)
+	}
+	v, err = ParseValue(TypeBool, "true")
+	if err != nil || !v.Bool() {
+		t.Errorf("bool: %v %v", v, err)
+	}
+	v, err = ParseValue(TypeTimestamp, "1700000000000")
+	if err != nil || v.Millis() != 1700000000000 {
+		t.Errorf("ts millis: %v %v", v, err)
+	}
+	if _, err = ParseValue(TypeInt, "abc"); err == nil {
+		t.Error("bad int must fail")
+	}
+	if _, err = ParseValue(TypeTimestamp, "not-a-time"); err == nil {
+		t.Error("bad timestamp must fail")
+	}
+}
+
+func TestValueJSONRoundTrip(t *testing.T) {
+	vals := []Value{
+		IntValue(-5), DoubleValue(math.Pi), StringValue("hello 'world'"),
+		BoolValue(false), TimestampMillis(1700000000123), Null,
+	}
+	for _, v := range vals {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var back Value
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if !v.Equal(back) || v.Type() != back.Type() {
+			t.Errorf("round trip %v -> %s -> %v", v, data, back)
+		}
+	}
+}
+
+// Property: int/double comparison is antisymmetric and consistent with
+// float ordering.
+func TestCompareProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		va, vb := IntValue(int64(a)), IntValue(int64(b))
+		ab, err1 := va.Compare(vb)
+		ba, err2 := vb.Compare(va)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ab == -ba && (ab < 0) == (a < b) && (ab == 0) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: JSON round trip preserves doubles exactly.
+func TestValueJSONDoubleProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true // JSON cannot carry these; engine never produces them
+		}
+		v := DoubleValue(x)
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		var back Value
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		return back.Type() == TypeDouble && back.Double() == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAsFloat(t *testing.T) {
+	if f, ok := IntValue(7).AsFloat(); !ok || f != 7 {
+		t.Error("int AsFloat")
+	}
+	if f, ok := DoubleValue(2.5).AsFloat(); !ok || f != 2.5 {
+		t.Error("double AsFloat")
+	}
+	if f, ok := BoolValue(true).AsFloat(); !ok || f != 1 {
+		t.Error("bool AsFloat")
+	}
+	if _, ok := StringValue("x").AsFloat(); ok {
+		t.Error("string AsFloat should fail")
+	}
+	if _, ok := Null.AsFloat(); ok {
+		t.Error("null AsFloat should fail")
+	}
+}

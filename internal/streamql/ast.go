@@ -1,0 +1,160 @@
+// Package streamql implements the StreamSQL subset that the paper's PEP
+// exchanges with the StreamBase engine (Fig 4(b)):
+//
+//	CREATE INPUT STREAM name (field type, ...);
+//	CREATE STREAM name;
+//	CREATE OUTPUT STREAM name;
+//	CREATE WINDOW wname (SIZE n ADVANCE m TUPLES);
+//	SELECT <selectors> FROM src[wname] [WHERE cond] INTO dst;
+//
+// Scripts compile to dsms.QueryGraph chains and graphs render back to
+// scripts, so the PEP can ship plain text to the engine exactly like the
+// prototype did.
+package streamql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dsms"
+	"repro/internal/expr"
+	"repro/internal/stream"
+)
+
+// Statement is one parsed StreamSQL statement.
+type Statement interface {
+	fmt.Stringer
+	isStatement()
+}
+
+// CreateInputStream declares the source stream and its schema.
+type CreateInputStream struct {
+	Name   string
+	Schema *stream.Schema
+}
+
+func (*CreateInputStream) isStatement() {}
+
+// String renders the statement.
+func (c *CreateInputStream) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE INPUT STREAM %s (", c.Name)
+	for i := 0; i < c.Schema.Len(); i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		f := c.Schema.Field(i)
+		fmt.Fprintf(&b, "%s %s", f.Name, f.Type)
+	}
+	b.WriteString(");")
+	return b.String()
+}
+
+// CreateStream declares an intermediate or output stream.
+type CreateStream struct {
+	Name   string
+	Output bool
+}
+
+func (*CreateStream) isStatement() {}
+
+// String renders the statement.
+func (c *CreateStream) String() string {
+	if c.Output {
+		return fmt.Sprintf("CREATE OUTPUT STREAM %s;", c.Name)
+	}
+	return fmt.Sprintf("CREATE STREAM %s;", c.Name)
+}
+
+// CreateWindow declares a named sliding window.
+type CreateWindow struct {
+	Name string
+	Spec dsms.WindowSpec
+}
+
+func (*CreateWindow) isStatement() {}
+
+// String renders the statement.
+func (c *CreateWindow) String() string {
+	unit := "TUPLES"
+	if c.Spec.Type == dsms.WindowTime {
+		unit = "MILLISECONDS"
+	}
+	return fmt.Sprintf("CREATE WINDOW %s (SIZE %d ADVANCE %d %s);", c.Name, c.Spec.Size, c.Spec.Step, unit)
+}
+
+// SelectItem is one selector of a SELECT statement: either a plain
+// (possibly qualified) attribute, or an aggregate call with an alias.
+type SelectItem struct {
+	// Star is true for "SELECT *".
+	Star bool
+	// Attr is the attribute name (qualifier stripped).
+	Attr string
+	// Agg, when non-invalid, makes the item "Agg(Attr) AS Alias".
+	Agg dsms.AggFunc
+	// Alias is the output column name (aggregates only).
+	Alias string
+}
+
+// String renders the selector.
+func (s SelectItem) String() string {
+	if s.Star {
+		return "*"
+	}
+	if s.Agg != dsms.AggInvalid {
+		alias := s.Alias
+		if alias == "" {
+			alias = s.Agg.String() + strings.ToLower(s.Attr)
+		}
+		return fmt.Sprintf("%s(%s) AS %s", s.Agg, s.Attr, alias)
+	}
+	return s.Attr
+}
+
+// Select is "SELECT items FROM src[window] [WHERE cond] INTO dst;".
+type Select struct {
+	Items  []SelectItem
+	From   string
+	Window string // named window, empty if none
+	Where  expr.Node
+	Into   string
+}
+
+func (*Select) isStatement() {}
+
+// String renders the statement.
+func (s *Select) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.String())
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(s.From)
+	if s.Window != "" {
+		fmt.Fprintf(&b, "[%s]", s.Window)
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.String())
+	}
+	fmt.Fprintf(&b, " INTO %s;", s.Into)
+	return b.String()
+}
+
+// Script is a parsed StreamSQL script.
+type Script struct {
+	Statements []Statement
+}
+
+// String renders the whole script, one statement per line.
+func (s *Script) String() string {
+	lines := make([]string, len(s.Statements))
+	for i, st := range s.Statements {
+		lines[i] = st.String()
+	}
+	return strings.Join(lines, "\n")
+}

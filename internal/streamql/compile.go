@@ -1,0 +1,211 @@
+package streamql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dsms"
+	"repro/internal/stream"
+)
+
+// Compiled is the result of compiling a StreamSQL script: the declared
+// input stream and the query graph the engine should run over it.
+type Compiled struct {
+	Input  string
+	Schema *stream.Schema // nil if the script declared no input schema
+	Graph  *dsms.QueryGraph
+}
+
+// Compile turns a parsed script into a query graph by following the
+// INTO chain from the input stream. Each SELECT contributes a filter
+// (WHERE), a map (projection list) and/or an aggregate (windowed
+// selectors) box, in that order.
+func Compile(script *Script) (*Compiled, error) {
+	var input *CreateInputStream
+	windows := map[string]dsms.WindowSpec{}
+	selects := map[string]*Select{} // keyed by lower-cased FROM stream
+	declared := map[string]bool{}
+
+	for _, st := range script.Statements {
+		switch s := st.(type) {
+		case *CreateInputStream:
+			if input != nil {
+				return nil, fmt.Errorf("streamql: multiple input streams (%q and %q)", input.Name, s.Name)
+			}
+			input = s
+			declared[strings.ToLower(s.Name)] = true
+		case *CreateStream:
+			declared[strings.ToLower(s.Name)] = true
+		case *CreateWindow:
+			windows[strings.ToLower(s.Name)] = s.Spec
+		case *Select:
+			key := strings.ToLower(s.From)
+			if _, dup := selects[key]; dup {
+				return nil, fmt.Errorf("streamql: two SELECTs read from %q; linear chains only", s.From)
+			}
+			selects[key] = s
+		}
+	}
+	if input == nil {
+		return nil, fmt.Errorf("streamql: script declares no input stream")
+	}
+
+	graph := dsms.NewQueryGraph(input.Name)
+	cur := strings.ToLower(input.Name)
+	steps := 0
+	for {
+		sel, ok := selects[cur]
+		if !ok {
+			break
+		}
+		delete(selects, cur)
+		boxes, err := selectToBoxes(sel, windows)
+		if err != nil {
+			return nil, err
+		}
+		graph.Boxes = append(graph.Boxes, boxes...)
+		if !declared[strings.ToLower(sel.Into)] {
+			return nil, fmt.Errorf("streamql: SELECT INTO undeclared stream %q", sel.Into)
+		}
+		cur = strings.ToLower(sel.Into)
+		steps++
+		if steps > 1000 {
+			return nil, fmt.Errorf("streamql: SELECT chain too long or cyclic")
+		}
+	}
+	if len(selects) > 0 {
+		for _, s := range selects {
+			return nil, fmt.Errorf("streamql: SELECT FROM %q is not reachable from input %q", s.From, input.Name)
+		}
+	}
+	if input.Schema != nil {
+		if _, err := graph.Validate(input.Schema); err != nil {
+			return nil, err
+		}
+	}
+	return &Compiled{Input: input.Name, Schema: input.Schema, Graph: graph}, nil
+}
+
+// selectToBoxes converts one SELECT into its operator boxes.
+func selectToBoxes(sel *Select, windows map[string]dsms.WindowSpec) ([]*dsms.Box, error) {
+	var boxes []*dsms.Box
+	if sel.Where != nil {
+		boxes = append(boxes, dsms.NewFilterBox(sel.Where))
+	}
+
+	nAgg, nPlain, nStar := 0, 0, 0
+	for _, it := range sel.Items {
+		switch {
+		case it.Star:
+			nStar++
+		case it.Agg != dsms.AggInvalid:
+			nAgg++
+		default:
+			nPlain++
+		}
+	}
+	switch {
+	case nAgg > 0 && (nPlain > 0 || nStar > 0):
+		return nil, fmt.Errorf("streamql: SELECT mixes aggregates with plain attributes")
+	case nAgg > 0:
+		if sel.Window == "" {
+			return nil, fmt.Errorf("streamql: aggregate SELECT needs a window ([wname] on FROM)")
+		}
+		spec, ok := windows[strings.ToLower(sel.Window)]
+		if !ok {
+			return nil, fmt.Errorf("streamql: undeclared window %q", sel.Window)
+		}
+		aggs := make([]dsms.AggSpec, 0, len(sel.Items))
+		for _, it := range sel.Items {
+			aggs = append(aggs, dsms.AggSpec{Attr: it.Attr, Func: it.Agg})
+		}
+		boxes = append(boxes, dsms.NewAggregateBox(spec, aggs...))
+	case nStar > 0:
+		if nPlain > 0 {
+			return nil, fmt.Errorf("streamql: SELECT mixes * with attributes")
+		}
+		// SELECT *: no projection box.
+	default:
+		attrs := make([]string, 0, len(sel.Items))
+		for _, it := range sel.Items {
+			attrs = append(attrs, it.Attr)
+		}
+		boxes = append(boxes, dsms.NewMapBox(attrs...))
+	}
+	if sel.Window != "" && nAgg == 0 {
+		return nil, fmt.Errorf("streamql: window %q without aggregate selectors", sel.Window)
+	}
+	return boxes, nil
+}
+
+// CompileString parses and compiles in one step.
+func CompileString(src string) (*Compiled, error) {
+	script, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(script)
+}
+
+// Generate renders a query graph back into a StreamSQL script in the
+// style of Fig 4(b): the input stream declaration, one intermediate
+// stream per box, named windows, and a final stream called "output".
+// schema may be nil, in which case the input declaration is omitted
+// (the engine already knows the stream).
+func Generate(g *dsms.QueryGraph, schema *stream.Schema) (*Script, error) {
+	script := &Script{}
+	if schema != nil {
+		script.Statements = append(script.Statements, &CreateInputStream{Name: g.Input, Schema: schema})
+	}
+	cur := g.Input
+	for i, b := range g.Boxes {
+		last := i == len(g.Boxes)-1
+		next := fmt.Sprintf("internal_%d", i)
+		if last {
+			next = "output"
+		}
+		script.Statements = append(script.Statements, &CreateStream{Name: next, Output: last})
+		sel := &Select{From: cur, Into: next}
+		switch b.Kind {
+		case dsms.BoxFilter:
+			sel.Items = []SelectItem{{Star: true}}
+			sel.Where = b.Condition
+		case dsms.BoxMap:
+			for _, a := range b.Attrs {
+				sel.Items = append(sel.Items, SelectItem{Attr: a})
+			}
+		case dsms.BoxAggregate:
+			wname := windowName(b.Window)
+			script.Statements = append(script.Statements, &CreateWindow{Name: wname, Spec: b.Window})
+			sel.Window = wname
+			for _, a := range b.Aggs {
+				sel.Items = append(sel.Items, SelectItem{Attr: a.Attr, Agg: a.Func, Alias: a.OutputName()})
+			}
+		default:
+			return nil, fmt.Errorf("streamql: cannot generate box kind %v", b.Kind)
+		}
+		script.Statements = append(script.Statements, sel)
+		cur = next
+	}
+	if len(g.Boxes) == 0 {
+		// Identity query: SELECT * INTO output.
+		script.Statements = append(script.Statements,
+			&CreateStream{Name: "output", Output: true},
+			&Select{Items: []SelectItem{{Star: true}}, From: cur, Into: "output"},
+		)
+	}
+	return script, nil
+}
+
+// GenerateString renders a graph to script text.
+func GenerateString(g *dsms.QueryGraph, schema *stream.Schema) (string, error) {
+	s, err := Generate(g, schema)
+	if err != nil {
+		return "", err
+	}
+	return s.String(), nil
+}
+
+func windowName(w dsms.WindowSpec) string {
+	return fmt.Sprintf("_%d%s", w.Size, w.Type)
+}

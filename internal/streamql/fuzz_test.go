@@ -1,0 +1,39 @@
+package streamql
+
+import "testing"
+
+// FuzzParseScript: arbitrary input either fails cleanly or produces a
+// script that renders and re-parses with the same statement count; if
+// it also compiles, the compiled graph is internally consistent.
+func FuzzParseScript(f *testing.F) {
+	f.Add(fig4bScript)
+	f.Add("CREATE INPUT STREAM s (a int);\nCREATE OUTPUT STREAM o;\nSELECT * FROM s WHERE a > 1 INTO o;")
+	f.Add("CREATE WINDOW w (SIZE 5 ADVANCE 2 TUPLES);")
+	f.Add("SELECT avg(a) AS x FROM s[w] INTO o;")
+	f.Add("-- comment only\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		script, err := Parse(src)
+		if err != nil {
+			return
+		}
+		again, err := Parse(script.String())
+		if err != nil {
+			t.Fatalf("re-parse of rendered script failed: %v\nsource: %q\nrendered:\n%s", err, src, script.String())
+		}
+		if len(again.Statements) != len(script.Statements) {
+			t.Fatalf("statement count changed: %d -> %d", len(script.Statements), len(again.Statements))
+		}
+		c, err := Compile(script)
+		if err != nil {
+			return // not every parseable script is a valid linear chain
+		}
+		if c.Input == "" || c.Graph == nil {
+			t.Fatalf("compiled result inconsistent: %+v", c)
+		}
+		if c.Schema != nil {
+			if _, err := c.Graph.Validate(c.Schema); err != nil {
+				t.Fatalf("compiled graph fails validation: %v", err)
+			}
+		}
+	})
+}

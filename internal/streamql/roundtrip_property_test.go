@@ -1,0 +1,104 @@
+package streamql
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dsms"
+	"repro/internal/expr"
+	"repro/internal/stream"
+)
+
+// Property: any valid query graph survives Generate → Parse → Compile
+// with identical operator structure and identical execution semantics.
+func TestGenerateCompileRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(4242))
+	schema := stream.MustSchema(
+		stream.Field{Name: "ts", Type: stream.TypeTimestamp},
+		stream.Field{Name: "a", Type: stream.TypeDouble},
+		stream.Field{Name: "b", Type: stream.TypeDouble},
+		stream.Field{Name: "c", Type: stream.TypeInt},
+	)
+	attrs := []string{"ts", "a", "b", "c"}
+	numeric := []string{"a", "b", "c"}
+
+	randomGraph := func() *dsms.QueryGraph {
+		g := dsms.NewQueryGraph("src")
+		// Random subset of kept attributes (always keep at least one
+		// numeric for aggregation).
+		kept := []string{numeric[r.Intn(len(numeric))]}
+		for _, a := range attrs {
+			if a != kept[0] && r.Intn(2) == 0 {
+				kept = append(kept, a)
+			}
+		}
+		if r.Intn(2) == 0 {
+			ops := []expr.Op{expr.OpLT, expr.OpGT, expr.OpLE, expr.OpGE, expr.OpEQ, expr.OpNE}
+			g.Boxes = append(g.Boxes, dsms.NewFilterBox(&expr.Simple{
+				Attr:  numeric[r.Intn(len(numeric))],
+				Op:    ops[r.Intn(len(ops))],
+				Value: stream.IntValue(int64(r.Intn(100))),
+			}))
+		}
+		if r.Intn(2) == 0 {
+			g.Boxes = append(g.Boxes, dsms.NewMapBox(kept...))
+		}
+		if r.Intn(2) == 0 {
+			funcs := []dsms.AggFunc{dsms.AggAvg, dsms.AggMax, dsms.AggMin, dsms.AggSum, dsms.AggCount, dsms.AggFirstVal, dsms.AggLastVal}
+			size := int64(2 + r.Intn(8))
+			g.Boxes = append(g.Boxes, dsms.NewAggregateBox(
+				dsms.WindowSpec{Type: dsms.WindowTuple, Size: size, Step: int64(1 + r.Intn(int(size)))},
+				dsms.AggSpec{Attr: kept[0], Func: funcs[r.Intn(len(funcs))]},
+			))
+		}
+		return g
+	}
+
+	input := make([]stream.Tuple, 64)
+	for i := range input {
+		input[i] = stream.NewTuple(
+			stream.TimestampMillis(int64(i)*1000),
+			stream.DoubleValue(float64(r.Intn(200))),
+			stream.DoubleValue(float64(r.Intn(200))),
+			stream.IntValue(int64(r.Intn(200))),
+		)
+	}
+
+	for trial := 0; trial < 250; trial++ {
+		g := randomGraph()
+		if _, err := g.Validate(schema); err != nil {
+			// Map may drop the filter attribute; such graphs are
+			// invalid by construction — skip them, the generator API
+			// rejects them anyway.
+			continue
+		}
+		text, err := GenerateString(g, schema)
+		if err != nil {
+			t.Fatalf("trial %d: generate %s: %v", trial, g, err)
+		}
+		c, err := CompileString(text)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\n%s", trial, err, text)
+		}
+		if len(c.Graph.Boxes) != len(g.Boxes) {
+			t.Fatalf("trial %d: box count %d != %d\n%s", trial, len(c.Graph.Boxes), len(g.Boxes), text)
+		}
+		// Execution equivalence.
+		want, _, err := dsms.RunGraphOnSlice(g, schema, input)
+		if err != nil {
+			t.Fatalf("trial %d: run original: %v", trial, err)
+		}
+		got, _, err := dsms.RunGraphOnSlice(c.Graph, schema, input)
+		if err != nil {
+			t.Fatalf("trial %d: run round-tripped: %v", trial, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: output %d tuples != %d\n%s", trial, len(got), len(want), text)
+		}
+		for i := range want {
+			if !want[i].Equal(got[i]) {
+				t.Fatalf("trial %d: tuple %d: %v != %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

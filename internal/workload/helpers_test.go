@@ -1,0 +1,22 @@
+package workload
+
+import "repro/internal/stream"
+
+// makeTuples generates n valid weather tuples for graph execution
+// tests.
+func makeTuples(n int) []stream.Tuple {
+	out := make([]stream.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, stream.NewTuple(
+			stream.TimestampMillis(int64(i)*60000),
+			stream.DoubleValue(25+float64(i%10)),
+			stream.DoubleValue(70+float64(i%20)),
+			stream.DoubleValue(float64(i%800)),
+			stream.DoubleValue(float64(i%100)),
+			stream.DoubleValue(float64(i%30)),
+			stream.IntValue(int64(i%360)),
+			stream.DoubleValue(1000+float64(i%20)),
+		))
+	}
+	return out
+}

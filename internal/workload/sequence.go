@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/stream"
+	"repro/internal/streamql"
+
+	"repro/internal/dsms"
+)
+
+// generateScript is a seam for directScript (kept separate so tests can
+// exercise the streamql dependency in isolation).
+func generateScript(g *dsms.QueryGraph, schema *stream.Schema) (string, error) {
+	return streamql.GenerateString(g, schema)
+}
+
+// UniqueSequence returns item indices where each unique continuous
+// query and its request appear exactly once, in order — the Fig 6(a)
+// workload.
+func (w *Workload) UniqueSequence() []int {
+	out := make([]int, len(w.Items))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// ZipfSequence returns n item indices drawn from a Zipf distribution
+// over the first maxRank items with skew alpha — the Fig 6(b) workload
+// modelling a small number of popular streams requested frequently.
+//
+// P(rank r) ∝ 1 / r^alpha for r = 1..maxRank. (The paper's α = 0.223 is
+// below the threshold of Go's rand.Zipf, so inverse-CDF sampling over
+// the truncated support is used.)
+func (w *Workload) ZipfSequence(n int, seed int64) []int {
+	p := w.Params
+	maxRank := p.MaxRank
+	if maxRank > len(w.Items) {
+		maxRank = len(w.Items)
+	}
+	if maxRank < 1 {
+		return nil
+	}
+	// Build the CDF.
+	cdf := make([]float64, maxRank)
+	total := 0.0
+	for r := 1; r <= maxRank; r++ {
+		total += 1 / math.Pow(float64(r), p.Alpha)
+		cdf[r-1] = total
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Map rank -> item index with a fixed shuffle so popularity is not
+	// correlated with generation order.
+	rankToItem := rng.Perm(len(w.Items))[:maxRank]
+	out := make([]int, n)
+	for i := range out {
+		u := rng.Float64() * total
+		lo, hi := 0, maxRank-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		out[i] = rankToItem[lo]
+	}
+	return out
+}

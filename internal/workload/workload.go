@@ -1,0 +1,353 @@
+// Package workload generates the synthetic evaluation workloads of
+// §4.2 / Table 3: sequences of continuous queries where each query
+// exists in three forms — (1) a StreamSQL script for the direct-query
+// baseline, (2) an XACML policy whose obligations encode exactly the
+// same query graph, and (3) a matching XACML request (optionally with a
+// user query embedded) that the PDP will always permit. Query graphs
+// are composed from Filter (FB), Map (MB) and Aggregation (AB)
+// operators following the paper's 7-way composition split, and request
+// sequences are either unique or Zipf-distributed (α = 0.223, maxRank
+// 300).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dsms"
+	"repro/internal/expr"
+	"repro/internal/stream"
+	"repro/internal/xacml"
+	"repro/internal/xacmlplus"
+)
+
+// Composition is the operator combination of one query graph.
+type Composition int
+
+// The seven compositions of Table 3, in its order.
+const (
+	CompFB Composition = iota
+	CompMB
+	CompAB
+	CompFBMB
+	CompFBAB
+	CompMBAB
+	CompFBMBAB
+)
+
+// String names the composition as in Table 3.
+func (c Composition) String() string {
+	switch c {
+	case CompFB:
+		return "FB"
+	case CompMB:
+		return "MB"
+	case CompAB:
+		return "AB"
+	case CompFBMB:
+		return "FB+MB"
+	case CompFBAB:
+		return "FB+AB"
+	case CompMBAB:
+		return "MB+AB"
+	case CompFBMBAB:
+		return "FB+MB+AB"
+	default:
+		return "?"
+	}
+}
+
+func (c Composition) hasFilter() bool {
+	return c == CompFB || c == CompFBMB || c == CompFBAB || c == CompFBMBAB
+}
+func (c Composition) hasMap() bool {
+	return c == CompMB || c == CompFBMB || c == CompMBAB || c == CompFBMBAB
+}
+func (c Composition) hasAgg() bool {
+	return c == CompAB || c == CompFBAB || c == CompMBAB || c == CompFBMBAB
+}
+
+// Params are the Table 3 workload parameters.
+type Params struct {
+	// NDirectQueries is the number of direct queries (Table 3: 1500).
+	NDirectQueries int
+	// Dist is the query graph composition split (Table 3:
+	// 160:170:130:124:254:290:372 for FB:MB:AB:FB+MB:FB+AB:MB+AB:FB+MB+AB).
+	Dist [7]int
+	// NPolicies is the number of unique policies (Table 3: 1000).
+	NPolicies int
+	// NRequests is the number of matching requests (Table 3: 1500).
+	NRequests int
+	// Alpha is the Zipf skew parameter (Table 3: 0.223).
+	Alpha float64
+	// MaxRank is the number of distinct requests in the Zipf sequence
+	// (Table 3: 300).
+	MaxRank int
+	// UserQueryFraction of requests embed a compatible user query.
+	UserQueryFraction float64
+	// Seed drives all randomness deterministically.
+	Seed int64
+}
+
+// TableThree returns the paper's exact parameters.
+func TableThree() Params {
+	return Params{
+		NDirectQueries:    1500,
+		Dist:              [7]int{160, 170, 130, 124, 254, 290, 372},
+		NPolicies:         1000,
+		NRequests:         1500,
+		Alpha:             0.223,
+		MaxRank:           300,
+		UserQueryFraction: 0.5,
+		Seed:              2012,
+	}
+}
+
+// Scaled shrinks the Table 3 workload by an integer factor for quick
+// runs, preserving the composition ratios.
+func Scaled(factor int) Params {
+	p := TableThree()
+	if factor <= 1 {
+		return p
+	}
+	p.NDirectQueries /= factor
+	p.NPolicies /= factor
+	p.NRequests /= factor
+	p.MaxRank /= factor
+	if p.MaxRank < 1 {
+		p.MaxRank = 1
+	}
+	for i := range p.Dist {
+		p.Dist[i] /= factor
+		if p.Dist[i] < 1 {
+			p.Dist[i] = 1
+		}
+	}
+	return p
+}
+
+// Item is one continuous query in its three forms.
+type Item struct {
+	// Index identifies the item.
+	Index int
+	// Comp is the operator composition of the graph.
+	Comp Composition
+	// PolicyIndex is the index of the governing policy.
+	PolicyIndex int
+	// Subject, Resource identify the requesting principal and stream.
+	Subject  string
+	Resource string
+	// Graph is the effective query graph (policy ∩ user query).
+	Graph *dsms.QueryGraph
+	// Script is the StreamSQL for the direct-query baseline.
+	Script string
+	// RequestXML is the XACML request document.
+	RequestXML string
+	// UserQueryXML is the embedded user query ("" for none).
+	UserQueryXML string
+}
+
+// Workload is a generated §4.2 workload.
+type Workload struct {
+	Params Params
+	// Schema is the stream schema shared by all streams.
+	Schema *stream.Schema
+	// Streams lists the stream names (one per policy).
+	Streams []string
+	// Policies are the unique policies, Policies[i] governing
+	// Streams[i].
+	Policies []*xacml.Policy
+	// PolicyXML are the marshalled policy documents.
+	PolicyXML []string
+	// Items are the request/direct-query items.
+	Items []Item
+}
+
+// Generate builds a deterministic workload from the parameters.
+func Generate(p Params) (*Workload, error) {
+	if p.NPolicies <= 0 || p.NRequests <= 0 {
+		return nil, fmt.Errorf("workload: need positive policy and request counts")
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	w := &Workload{Params: p, Schema: weatherSchema()}
+
+	comps := compositionSequence(p, rng)
+
+	// One stream and one policy per policy index.
+	for i := 0; i < p.NPolicies; i++ {
+		streamName := fmt.Sprintf("stream%04d", i)
+		w.Streams = append(w.Streams, streamName)
+		comp := comps[i%len(comps)]
+		graph, err := randomGraph(rng, w.Schema, streamName, comp)
+		if err != nil {
+			return nil, err
+		}
+		obs, err := xacmlplus.GraphToObligations(graph)
+		if err != nil {
+			return nil, err
+		}
+		pol := xacml.NewPermitPolicy(
+			fmt.Sprintf("policy%04d", i),
+			xacml.NewTarget("", streamName, "read"),
+			obs...,
+		)
+		w.Policies = append(w.Policies, pol)
+		xmlData, err := pol.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		w.PolicyXML = append(w.PolicyXML, string(xmlData))
+	}
+
+	// Request items: item j uses policy j % NPolicies with a unique
+	// subject, so every item is an independent grant.
+	for j := 0; j < p.NRequests; j++ {
+		pi := j % p.NPolicies
+		streamName := w.Streams[pi]
+		subject := fmt.Sprintf("user%04d", j)
+		polGraph, err := xacmlplus.ObligationsToGraph(streamName, w.Policies[pi].Obligations.Obligations)
+		if err != nil {
+			return nil, err
+		}
+		item := Item{
+			Index:       j,
+			Comp:        comps[pi%len(comps)],
+			PolicyIndex: pi,
+			Subject:     subject,
+			Resource:    streamName,
+			Graph:       polGraph,
+		}
+		req := xacml.NewRequest(subject, streamName, "read")
+		reqXML, err := req.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		item.RequestXML = string(reqXML)
+
+		if rng.Float64() < p.UserQueryFraction {
+			// Embed a compatible user query: a relaxation of the policy
+			// graph, guaranteed to verify OK and merge back to the
+			// policy graph.
+			uq, err := compatibleUserQuery(polGraph)
+			if err != nil {
+				return nil, err
+			}
+			if uq != nil {
+				uqXML, err := uq.Marshal()
+				if err != nil {
+					return nil, err
+				}
+				item.UserQueryXML = string(uqXML)
+			}
+		}
+		script, err := directScript(item.Graph, w.Schema)
+		if err != nil {
+			return nil, err
+		}
+		item.Script = script
+		w.Items = append(w.Items, item)
+	}
+	return w, nil
+}
+
+// compositionSequence expands the Dist ratios into a shuffled sequence.
+func compositionSequence(p Params, rng *rand.Rand) []Composition {
+	var out []Composition
+	for c, n := range p.Dist {
+		for k := 0; k < n; k++ {
+			out = append(out, Composition(c))
+		}
+	}
+	if len(out) == 0 {
+		out = []Composition{CompFBMBAB}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func weatherSchema() *stream.Schema {
+	return stream.MustSchema(
+		stream.Field{Name: "samplingtime", Type: stream.TypeTimestamp},
+		stream.Field{Name: "temperature", Type: stream.TypeDouble},
+		stream.Field{Name: "humidity", Type: stream.TypeDouble},
+		stream.Field{Name: "solarradiation", Type: stream.TypeDouble},
+		stream.Field{Name: "rainrate", Type: stream.TypeDouble},
+		stream.Field{Name: "windspeed", Type: stream.TypeDouble},
+		stream.Field{Name: "winddirection", Type: stream.TypeInt},
+		stream.Field{Name: "barometer", Type: stream.TypeDouble},
+	)
+}
+
+// numericAttrs are the attributes used in random filters/aggregations.
+var numericAttrs = []string{"temperature", "humidity", "solarradiation", "rainrate", "windspeed", "barometer"}
+
+// randomGraph builds a random but valid query graph with the given
+// composition, parameter names consistent with the stream schema.
+func randomGraph(rng *rand.Rand, schema *stream.Schema, streamName string, comp Composition) (*dsms.QueryGraph, error) {
+	g := dsms.NewQueryGraph(streamName)
+	// Choose the attribute pool for map/agg up front so the chain
+	// validates: map must retain whatever the aggregation needs.
+	nAttrs := 1 + rng.Intn(3)
+	perm := rng.Perm(len(numericAttrs))
+	attrs := make([]string, 0, nAttrs)
+	for _, idx := range perm[:nAttrs] {
+		attrs = append(attrs, numericAttrs[idx])
+	}
+
+	if comp.hasFilter() {
+		attr := numericAttrs[rng.Intn(len(numericAttrs))]
+		ops := []expr.Op{expr.OpGT, expr.OpGE, expr.OpLT, expr.OpLE}
+		cond := &expr.Simple{
+			Attr:  attr,
+			Op:    ops[rng.Intn(len(ops))],
+			Value: stream.DoubleValue(math.Round(rng.Float64()*1000) / 10),
+		}
+		g.Boxes = append(g.Boxes, dsms.NewFilterBox(cond))
+	}
+	if comp.hasMap() {
+		g.Boxes = append(g.Boxes, dsms.NewMapBox(attrs...))
+	}
+	if comp.hasAgg() {
+		size := int64(2 + rng.Intn(19))
+		step := int64(1 + rng.Intn(int(size)))
+		funcs := []dsms.AggFunc{dsms.AggAvg, dsms.AggMax, dsms.AggMin, dsms.AggSum, dsms.AggCount, dsms.AggFirstVal, dsms.AggLastVal}
+		aggs := make([]dsms.AggSpec, 0, len(attrs))
+		for _, a := range attrs {
+			aggs = append(aggs, dsms.AggSpec{Attr: a, Func: funcs[rng.Intn(len(funcs))]})
+		}
+		g.Boxes = append(g.Boxes, dsms.NewAggregateBox(
+			dsms.WindowSpec{Type: dsms.WindowTuple, Size: size, Step: step}, aggs...))
+	}
+	if _, err := g.Validate(schema); err != nil {
+		return nil, fmt.Errorf("workload: generated invalid graph: %w", err)
+	}
+	return g, nil
+}
+
+// compatibleUserQuery derives a user query that is guaranteed OK
+// against the policy graph: identical map/aggregation, and a filter
+// that is at least as restrictive.
+func compatibleUserQuery(policy *dsms.QueryGraph) (*xacmlplus.UserQuery, error) {
+	refined := policy.Clone()
+	if f := refined.Filter(); f != nil {
+		// Tighten the threshold so user ⊆ policy (always OK).
+		if s, ok := f.Condition.(*expr.Simple); ok {
+			v, _ := s.Value.AsFloat()
+			switch s.Op {
+			case expr.OpGT, expr.OpGE:
+				s.Value = stream.DoubleValue(v + 1)
+			case expr.OpLT, expr.OpLE:
+				s.Value = stream.DoubleValue(v - 1)
+			}
+		}
+	}
+	return xacmlplus.FromGraph(refined)
+}
+
+// directScript renders the item's graph as the StreamSQL script the
+// direct-query baseline sends to the engine.
+func directScript(g *dsms.QueryGraph, schema *stream.Schema) (string, error) {
+	// The baseline, like the PEP, embeds the input declaration.
+	return generateScript(g, schema)
+}

@@ -1,0 +1,302 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dsms"
+	"repro/internal/streamql"
+	"repro/internal/xacml"
+	"repro/internal/xacmlplus"
+)
+
+func quickParams() Params {
+	p := TableThree()
+	p.NPolicies = 40
+	p.NRequests = 60
+	p.MaxRank = 20
+	for i := range p.Dist {
+		p.Dist[i] = 4
+	}
+	return p
+}
+
+func TestTableThreeValues(t *testing.T) {
+	p := TableThree()
+	if p.NDirectQueries != 1500 || p.NPolicies != 1000 || p.NRequests != 1500 {
+		t.Errorf("counts: %+v", p)
+	}
+	if p.Alpha != 0.223 || p.MaxRank != 300 {
+		t.Errorf("zipf params: %+v", p)
+	}
+	want := [7]int{160, 170, 130, 124, 254, 290, 372}
+	if p.Dist != want {
+		t.Errorf("dist = %v", p.Dist)
+	}
+	sum := 0
+	for _, d := range p.Dist {
+		sum += d
+	}
+	if sum != 1500 {
+		t.Errorf("dist sum = %d, want 1500", sum)
+	}
+}
+
+func TestGenerateWorkload(t *testing.T) {
+	w, err := Generate(quickParams())
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(w.Policies) != 40 || len(w.Items) != 60 || len(w.Streams) != 40 {
+		t.Fatalf("sizes: %d policies %d items %d streams", len(w.Policies), len(w.Items), len(w.Streams))
+	}
+	for i, item := range w.Items {
+		if item.PolicyIndex != i%40 {
+			t.Errorf("item %d policy index %d", i, item.PolicyIndex)
+		}
+		if item.Script == "" || item.RequestXML == "" {
+			t.Errorf("item %d missing script or request", i)
+		}
+		// Scripts compile.
+		if _, err := streamql.CompileString(item.Script); err != nil {
+			t.Errorf("item %d script: %v\n%s", i, err, item.Script)
+		}
+	}
+}
+
+func TestGeneratedPoliciesParseAndPermit(t *testing.T) {
+	w, err := Generate(quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, xmlDoc := range w.PolicyXML {
+		pol, err := xacml.ParsePolicy([]byte(xmlDoc))
+		if err != nil {
+			t.Fatalf("policy %d: %v", i, err)
+		}
+		if pol.PolicyID != w.Policies[i].PolicyID {
+			t.Errorf("policy %d id %q", i, pol.PolicyID)
+		}
+	}
+	// Each item's request is permitted by its policy.
+	pdp := xacml.NewPDP()
+	for _, pol := range w.Policies {
+		pdp.AddPolicy(pol)
+	}
+	for i, item := range w.Items {
+		req, err := xacml.ParseRequest([]byte(item.RequestXML))
+		if err != nil {
+			t.Fatalf("item %d request: %v", i, err)
+		}
+		res, err := pdp.Evaluate(req)
+		if err != nil {
+			t.Fatalf("item %d evaluate: %v", i, err)
+		}
+		if res.Decision != xacml.Permit {
+			t.Fatalf("item %d decision = %v", i, res.Decision)
+		}
+		if res.PolicyID != w.Policies[item.PolicyIndex].PolicyID {
+			t.Errorf("item %d matched %q, want policy %d", i, res.PolicyID, item.PolicyIndex)
+		}
+	}
+}
+
+// TestUserQueriesAreCompatible: every embedded user query verifies OK
+// against its policy graph (no NR/PR in the granted workload).
+func TestUserQueriesAreCompatible(t *testing.T) {
+	w, err := Generate(quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withUQ := 0
+	for i, item := range w.Items {
+		if item.UserQueryXML == "" {
+			continue
+		}
+		withUQ++
+		uq, err := xacmlplus.ParseUserQuery([]byte(item.UserQueryXML))
+		if err != nil {
+			t.Fatalf("item %d user query: %v", i, err)
+		}
+		ug, err := uq.ToGraph()
+		if err != nil {
+			t.Fatalf("item %d user graph: %v", i, err)
+		}
+		pg, err := xacmlplus.ObligationsToGraph(item.Resource, w.Policies[item.PolicyIndex].Obligations.Obligations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := xacmlplus.CheckGraphs(pg, ug)
+		if err != nil {
+			t.Fatalf("item %d check: %v", i, err)
+		}
+		if res.Verdict.String() != "OK" {
+			t.Errorf("item %d verdict %v: %v", i, res.Verdict, res.Warnings)
+		}
+		if _, err := xacmlplus.MergeGraphs(pg, ug); err != nil {
+			t.Errorf("item %d merge: %v", i, err)
+		}
+	}
+	if withUQ == 0 {
+		t.Error("no items carried user queries")
+	}
+}
+
+func TestCompositionSplit(t *testing.T) {
+	w, err := Generate(quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[Composition]int{}
+	for _, pol := range w.Policies {
+		g, err := xacmlplus.ObligationsToGraph("s", pol.Obligations.Obligations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c Composition
+		hasF, hasM, hasA := g.Filter() != nil, g.Map() != nil, g.Aggregate() != nil
+		switch {
+		case hasF && hasM && hasA:
+			c = CompFBMBAB
+		case hasF && hasM:
+			c = CompFBMB
+		case hasF && hasA:
+			c = CompFBAB
+		case hasM && hasA:
+			c = CompMBAB
+		case hasF:
+			c = CompFB
+		case hasM:
+			c = CompMB
+		case hasA:
+			c = CompAB
+		}
+		counts[c]++
+	}
+	if len(counts) < 5 {
+		t.Errorf("expected a variety of compositions, got %v", counts)
+	}
+}
+
+func TestUniqueSequence(t *testing.T) {
+	w, err := Generate(quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := w.UniqueSequence()
+	if len(seq) != len(w.Items) {
+		t.Fatalf("len = %d", len(seq))
+	}
+	seen := map[int]bool{}
+	for _, idx := range seq {
+		if seen[idx] {
+			t.Fatal("duplicate in unique sequence")
+		}
+		seen[idx] = true
+	}
+}
+
+func TestZipfSequence(t *testing.T) {
+	w, err := Generate(quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := w.ZipfSequence(3000, 99)
+	if len(seq) != 3000 {
+		t.Fatalf("len = %d", len(seq))
+	}
+	counts := map[int]int{}
+	for _, idx := range seq {
+		if idx < 0 || idx >= len(w.Items) {
+			t.Fatalf("index %d out of range", idx)
+		}
+		counts[idx]++
+	}
+	// Support limited to maxRank distinct items.
+	if len(counts) > quickParams().MaxRank {
+		t.Errorf("distinct items %d > maxRank %d", len(counts), quickParams().MaxRank)
+	}
+	// Skewed: the most popular item appears more than the mean.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	mean := 3000 / len(counts)
+	if max <= mean {
+		t.Errorf("max count %d not above mean %d; distribution not skewed", max, mean)
+	}
+	// Deterministic for a fixed seed.
+	seq2 := w.ZipfSequence(3000, 99)
+	for i := range seq {
+		if seq[i] != seq2[i] {
+			t.Fatal("Zipf sequence not deterministic")
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := Scaled(10)
+	if p.NPolicies != 100 || p.NRequests != 150 || p.MaxRank != 30 {
+		t.Errorf("scaled = %+v", p)
+	}
+	if Scaled(1).NPolicies != 1000 {
+		t.Error("factor 1 is identity")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Items {
+		if a.Items[i].Script != b.Items[i].Script ||
+			a.Items[i].UserQueryXML != b.Items[i].UserQueryXML {
+			t.Fatalf("item %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Params{}); err == nil {
+		t.Error("zero params must fail")
+	}
+}
+
+func TestDirectScriptsDeclareStreams(t *testing.T) {
+	w, err := Generate(quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, item := range w.Items {
+		if !strings.Contains(item.Script, "CREATE INPUT STREAM "+item.Resource) {
+			t.Fatalf("script for %s lacks input declaration:\n%s", item.Resource, item.Script)
+		}
+	}
+}
+
+func TestRandomGraphsRunnable(t *testing.T) {
+	w, err := Generate(quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every generated graph executes on synthetic tuples without error.
+	for i, item := range w.Items[:10] {
+		c, err := streamql.CompileString(item.Script)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tuples := make([]int, 0)
+		_ = tuples
+		in := makeTuples(50)
+		if _, _, err := dsms.RunGraphOnSlice(c.Graph, w.Schema, in); err != nil {
+			t.Errorf("item %d graph run: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package xacml
+
+import "encoding/xml"
+
+// Builder helpers for constructing policies programmatically (used by
+// the workload generator and tests). They produce the same XML shapes
+// the parser accepts.
+
+// NewSubjectMatch builds a SubjectMatch on the conventional subject-id.
+func NewSubjectMatch(value string) Match {
+	return Match{
+		XMLName: xml.Name{Local: "SubjectMatch"},
+		MatchID: MatchStringEqual,
+		Value:   AttributeValue{DataType: DataTypeString, Value: value},
+		Designator: Designator{
+			XMLName:     xml.Name{Local: "SubjectAttributeDesignator"},
+			AttributeID: AttrSubjectID,
+			DataType:    DataTypeString,
+		},
+	}
+}
+
+// NewResourceMatch builds a ResourceMatch on the conventional
+// resource-id.
+func NewResourceMatch(value string) Match {
+	return Match{
+		XMLName: xml.Name{Local: "ResourceMatch"},
+		MatchID: MatchStringEqual,
+		Value:   AttributeValue{DataType: DataTypeString, Value: value},
+		Designator: Designator{
+			XMLName:     xml.Name{Local: "ResourceAttributeDesignator"},
+			AttributeID: AttrResourceID,
+			DataType:    DataTypeString,
+		},
+	}
+}
+
+// NewActionMatch builds an ActionMatch on the conventional action-id.
+func NewActionMatch(value string) Match {
+	return Match{
+		XMLName: xml.Name{Local: "ActionMatch"},
+		MatchID: MatchStringEqual,
+		Value:   AttributeValue{DataType: DataTypeString, Value: value},
+		Designator: Designator{
+			XMLName:     xml.Name{Local: "ActionAttributeDesignator"},
+			AttributeID: AttrActionID,
+			DataType:    DataTypeString,
+		},
+	}
+}
+
+// NewTarget builds a target matching the given subject, resource and
+// action ids; empty strings leave the section unconstrained.
+func NewTarget(subject, resource, action string) *Target {
+	t := &Target{}
+	if subject != "" {
+		t.Subjects = []TargetEntry{{Matches: []Match{NewSubjectMatch(subject)}}}
+	}
+	if resource != "" {
+		t.Resources = []TargetEntry{{Matches: []Match{NewResourceMatch(resource)}}}
+	}
+	if action != "" {
+		t.Actions = []TargetEntry{{Matches: []Match{NewActionMatch(action)}}}
+	}
+	return t
+}
+
+// NewPermitPolicy builds a single-rule Permit policy for the given
+// target with the given obligations.
+func NewPermitPolicy(id string, target *Target, obligations ...Obligation) *Policy {
+	return &Policy{
+		PolicyID:           id,
+		RuleCombiningAlgID: RuleCombFirstApplicable,
+		Target:             target,
+		Rules:              []Rule{{RuleID: id + ":rule:permit", Effect: EffectPermit}},
+		Obligations:        Obligations{Obligations: obligations},
+	}
+}
+
+// NewStringAssignment builds a string-typed attribute assignment.
+func NewStringAssignment(attributeID, value string) AttributeAssignment {
+	return AttributeAssignment{AttributeID: attributeID, DataType: DataTypeString, Value: value}
+}
+
+// NewIntAssignment builds an integer-typed attribute assignment.
+func NewIntAssignment(attributeID, value string) AttributeAssignment {
+	return AttributeAssignment{AttributeID: attributeID, DataType: DataTypeInteger, Value: value}
+}

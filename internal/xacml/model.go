@@ -1,0 +1,226 @@
+// Package xacml implements the subset of the OASIS XACML model that the
+// paper's framework relies on: XML policies with targets over subjects,
+// resources and actions; Permit/Deny rules with combining algorithms; a
+// Policy Decision Point that evaluates requests; and obligations that
+// are handed back to the Policy Enforcement Point on Permit.
+//
+// It is the reproduction's stand-in for Sun's XACML implementation. The
+// XML vocabulary follows XACML 2.0 closely enough that the paper's
+// obligation blocks (Fig 2) parse verbatim.
+package xacml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+)
+
+// Standard identifier constants (shortened forms of the XACML URNs).
+const (
+	// MatchStringEqual tests case-sensitive string equality.
+	MatchStringEqual = "urn:oasis:names:tc:xacml:1.0:function:string-equal"
+	// MatchStringEqualIgnoreCase tests case-insensitive equality.
+	MatchStringEqualIgnoreCase = "urn:oasis:names:tc:xacml:1.0:function:string-equal-ignore-case"
+	// MatchAnyURIEqual tests URI equality.
+	MatchAnyURIEqual = "urn:oasis:names:tc:xacml:1.0:function:anyURI-equal"
+
+	// AttrSubjectID is the conventional subject identifier attribute.
+	AttrSubjectID = "urn:oasis:names:tc:xacml:1.0:subject:subject-id"
+	// AttrResourceID is the conventional resource identifier attribute.
+	AttrResourceID = "urn:oasis:names:tc:xacml:1.0:resource:resource-id"
+	// AttrActionID is the conventional action identifier attribute.
+	AttrActionID = "urn:oasis:names:tc:xacml:1.0:action:action-id"
+
+	// DataTypeString is the XML Schema string datatype.
+	DataTypeString = "http://www.w3.org/2001/XMLSchema#string"
+	// DataTypeInteger is the XML Schema integer datatype.
+	DataTypeInteger = "http://www.w3.org/2001/XMLSchema#integer"
+
+	// RuleCombFirstApplicable applies the first rule whose target matches.
+	RuleCombFirstApplicable = "urn:oasis:names:tc:xacml:1.0:rule-combining-algorithm:first-applicable"
+	// RuleCombPermitOverrides permits if any rule permits.
+	RuleCombPermitOverrides = "urn:oasis:names:tc:xacml:1.0:rule-combining-algorithm:permit-overrides"
+	// RuleCombDenyOverrides denies if any rule denies.
+	RuleCombDenyOverrides = "urn:oasis:names:tc:xacml:1.0:rule-combining-algorithm:deny-overrides"
+)
+
+// Effect is a rule's effect.
+type Effect string
+
+const (
+	// EffectPermit grants access.
+	EffectPermit Effect = "Permit"
+	// EffectDeny denies access.
+	EffectDeny Effect = "Deny"
+)
+
+// Decision is the PDP evaluation outcome.
+type Decision int
+
+const (
+	// NotApplicable means no policy/rule matched the request.
+	NotApplicable Decision = iota
+	// Permit grants the request.
+	Permit
+	// Deny rejects the request.
+	Deny
+	// Indeterminate signals an evaluation error.
+	Indeterminate
+)
+
+// String names the decision.
+func (d Decision) String() string {
+	switch d {
+	case Permit:
+		return "Permit"
+	case Deny:
+		return "Deny"
+	case NotApplicable:
+		return "NotApplicable"
+	case Indeterminate:
+		return "Indeterminate"
+	default:
+		return "?"
+	}
+}
+
+// Policy is an XACML policy: a target, a list of rules combined by
+// RuleCombiningAlgId, and obligations attached to the final decision.
+type Policy struct {
+	XMLName            xml.Name    `xml:"Policy"`
+	PolicyID           string      `xml:"PolicyId,attr"`
+	RuleCombiningAlgID string      `xml:"RuleCombiningAlgId,attr"`
+	Description        string      `xml:"Description,omitempty"`
+	Target             *Target     `xml:"Target"`
+	Rules              []Rule      `xml:"Rule"`
+	Obligations        Obligations `xml:"Obligations"`
+}
+
+// Rule is one Permit/Deny rule with an optional refining target.
+type Rule struct {
+	RuleID string  `xml:"RuleId,attr"`
+	Effect Effect  `xml:"Effect,attr"`
+	Target *Target `xml:"Target"`
+}
+
+// Target restricts applicability by subjects, resources and actions.
+// A nil section matches anything; within a section, the entries are
+// OR-ed; within one entry, the matches are AND-ed (per XACML).
+type Target struct {
+	Subjects  []TargetEntry `xml:"Subjects>Subject"`
+	Resources []TargetEntry `xml:"Resources>Resource"`
+	Actions   []TargetEntry `xml:"Actions>Action"`
+}
+
+// TargetEntry is one Subject/Resource/Action alternative: the AND of
+// its matches.
+type TargetEntry struct {
+	Matches []Match `xml:",any"`
+}
+
+// Match compares a request attribute against a literal value.
+type Match struct {
+	XMLName    xml.Name
+	MatchID    string         `xml:"MatchId,attr"`
+	Value      AttributeValue `xml:"AttributeValue"`
+	Designator Designator     `xml:",any"`
+}
+
+// AttributeValue is a typed literal.
+type AttributeValue struct {
+	DataType string `xml:"DataType,attr,omitempty"`
+	Value    string `xml:",chardata"`
+}
+
+// Designator names the request attribute a Match reads.
+type Designator struct {
+	XMLName     xml.Name
+	AttributeID string `xml:"AttributeId,attr"`
+	DataType    string `xml:"DataType,attr,omitempty"`
+}
+
+// Obligations is the obligations block of a policy.
+type Obligations struct {
+	Obligations []Obligation `xml:"Obligation"`
+}
+
+// Obligation is one obligation: an identifier, the decision it
+// accompanies, and its attribute assignments. The eXACML+ stream
+// operators (Table 1) are encoded as obligations.
+type Obligation struct {
+	ObligationID string                `xml:"ObligationId,attr"`
+	FulfillOn    Effect                `xml:"FulfillOn,attr"`
+	Assignments  []AttributeAssignment `xml:"AttributeAssignment"`
+}
+
+// AttributeAssignment carries one obligation parameter.
+type AttributeAssignment struct {
+	AttributeID string `xml:"AttributeId,attr"`
+	DataType    string `xml:"DataType,attr,omitempty"`
+	Value       string `xml:",chardata"`
+}
+
+// Values returns the assignment values for a given attribute id, in
+// document order.
+func (o Obligation) Values(attributeID string) []string {
+	var out []string
+	for _, a := range o.Assignments {
+		if a.AttributeID == attributeID {
+			out = append(out, strings.TrimSpace(a.Value))
+		}
+	}
+	return out
+}
+
+// Value returns the single assignment value for an attribute id, or ""
+// if absent.
+func (o Obligation) Value(attributeID string) string {
+	vs := o.Values(attributeID)
+	if len(vs) == 0 {
+		return ""
+	}
+	return vs[0]
+}
+
+// ParsePolicy parses a policy XML document.
+func ParsePolicy(data []byte) (*Policy, error) {
+	var p Policy
+	if err := xml.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("xacml: parse policy: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Marshal renders the policy as indented XML.
+func (p *Policy) Marshal() ([]byte, error) {
+	return xml.MarshalIndent(p, "", "  ")
+}
+
+// Validate checks structural invariants.
+func (p *Policy) Validate() error {
+	if p.PolicyID == "" {
+		return fmt.Errorf("xacml: policy has no PolicyId")
+	}
+	if len(p.Rules) == 0 {
+		return fmt.Errorf("xacml: policy %q has no rules", p.PolicyID)
+	}
+	switch p.RuleCombiningAlgID {
+	case "", RuleCombFirstApplicable, RuleCombPermitOverrides, RuleCombDenyOverrides:
+	default:
+		return fmt.Errorf("xacml: policy %q: unsupported combining algorithm %q", p.PolicyID, p.RuleCombiningAlgID)
+	}
+	for _, r := range p.Rules {
+		if r.Effect != EffectPermit && r.Effect != EffectDeny {
+			return fmt.Errorf("xacml: rule %q: invalid effect %q", r.RuleID, r.Effect)
+		}
+	}
+	for _, o := range p.Obligations.Obligations {
+		if o.ObligationID == "" {
+			return fmt.Errorf("xacml: policy %q has an obligation without ObligationId", p.PolicyID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package xacml
+
+import (
+	"encoding/xml"
+	"fmt"
+)
+
+// Policy-combining algorithm identifiers for PolicySet.
+const (
+	// PolicyCombFirstApplicable applies the first policy whose target
+	// matches and whose decision is not NotApplicable.
+	PolicyCombFirstApplicable = "urn:oasis:names:tc:xacml:1.0:policy-combining-algorithm:first-applicable"
+	// PolicyCombPermitOverrides permits if any contained policy permits.
+	PolicyCombPermitOverrides = "urn:oasis:names:tc:xacml:1.0:policy-combining-algorithm:permit-overrides"
+	// PolicyCombDenyOverrides denies if any contained policy denies.
+	PolicyCombDenyOverrides = "urn:oasis:names:tc:xacml:1.0:policy-combining-algorithm:deny-overrides"
+	// PolicyCombOnlyOneApplicable requires exactly one applicable
+	// policy; more than one yields Indeterminate.
+	PolicyCombOnlyOneApplicable = "urn:oasis:names:tc:xacml:1.0:policy-combining-algorithm:only-one-applicable"
+)
+
+// PolicySet groups policies under a shared target and a
+// policy-combining algorithm — the standard XACML container a data
+// owner uses to manage one resource's policies as a unit.
+type PolicySet struct {
+	XMLName              xml.Name    `xml:"PolicySet"`
+	PolicySetID          string      `xml:"PolicySetId,attr"`
+	PolicyCombiningAlgID string      `xml:"PolicyCombiningAlgId,attr"`
+	Description          string      `xml:"Description,omitempty"`
+	Target               *Target     `xml:"Target"`
+	Policies             []*Policy   `xml:"Policy"`
+	Obligations          Obligations `xml:"Obligations"`
+}
+
+// ParsePolicySet parses a policy set XML document.
+func ParsePolicySet(data []byte) (*PolicySet, error) {
+	var ps PolicySet
+	if err := xml.Unmarshal(data, &ps); err != nil {
+		return nil, fmt.Errorf("xacml: parse policy set: %w", err)
+	}
+	if err := ps.Validate(); err != nil {
+		return nil, err
+	}
+	return &ps, nil
+}
+
+// Marshal renders the policy set as indented XML.
+func (ps *PolicySet) Marshal() ([]byte, error) {
+	return xml.MarshalIndent(ps, "", "  ")
+}
+
+// Validate checks structural invariants of the set and every policy.
+func (ps *PolicySet) Validate() error {
+	if ps.PolicySetID == "" {
+		return fmt.Errorf("xacml: policy set has no PolicySetId")
+	}
+	switch ps.PolicyCombiningAlgID {
+	case "", PolicyCombFirstApplicable, PolicyCombPermitOverrides,
+		PolicyCombDenyOverrides, PolicyCombOnlyOneApplicable:
+	default:
+		return fmt.Errorf("xacml: policy set %q: unsupported combining algorithm %q",
+			ps.PolicySetID, ps.PolicyCombiningAlgID)
+	}
+	if len(ps.Policies) == 0 {
+		return fmt.Errorf("xacml: policy set %q contains no policies", ps.PolicySetID)
+	}
+	for _, p := range ps.Policies {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("xacml: policy set %q: %w", ps.PolicySetID, err)
+		}
+	}
+	return nil
+}
+
+// EvaluatePolicySet evaluates the set against a request: the set target
+// gates applicability, then the contained policies are combined per the
+// set's algorithm. Obligations of the deciding policy are returned,
+// with the set's own matching obligations appended.
+func EvaluatePolicySet(ps *PolicySet, req *Request) (Result, error) {
+	matched, err := targetMatches(ps.Target, req)
+	if err != nil {
+		return Result{Decision: Indeterminate, PolicyID: ps.PolicySetID}, err
+	}
+	if !matched {
+		return Result{Decision: NotApplicable, PolicyID: ps.PolicySetID}, nil
+	}
+	alg := ps.PolicyCombiningAlgID
+	if alg == "" {
+		alg = PolicyCombFirstApplicable
+	}
+	var final Result
+	switch alg {
+	case PolicyCombFirstApplicable:
+		final = Result{Decision: NotApplicable, PolicyID: ps.PolicySetID}
+		for _, p := range ps.Policies {
+			res, err := EvaluatePolicy(p, req)
+			if err != nil {
+				return Result{Decision: Indeterminate, PolicyID: p.PolicyID}, err
+			}
+			if res.Decision == Permit || res.Decision == Deny {
+				final = res
+				break
+			}
+		}
+	case PolicyCombPermitOverrides:
+		final = Result{Decision: NotApplicable, PolicyID: ps.PolicySetID}
+		for _, p := range ps.Policies {
+			res, err := EvaluatePolicy(p, req)
+			if err != nil {
+				return Result{Decision: Indeterminate, PolicyID: p.PolicyID}, err
+			}
+			if res.Decision == Permit {
+				final = res
+				break
+			}
+			if res.Decision == Deny && final.Decision == NotApplicable {
+				final = res
+			}
+		}
+	case PolicyCombDenyOverrides:
+		final = Result{Decision: NotApplicable, PolicyID: ps.PolicySetID}
+		for _, p := range ps.Policies {
+			res, err := EvaluatePolicy(p, req)
+			if err != nil {
+				return Result{Decision: Indeterminate, PolicyID: p.PolicyID}, err
+			}
+			if res.Decision == Deny {
+				final = res
+				break
+			}
+			if res.Decision == Permit && final.Decision == NotApplicable {
+				final = res
+			}
+		}
+	case PolicyCombOnlyOneApplicable:
+		final = Result{Decision: NotApplicable, PolicyID: ps.PolicySetID}
+		seen := 0
+		for _, p := range ps.Policies {
+			res, err := EvaluatePolicy(p, req)
+			if err != nil {
+				return Result{Decision: Indeterminate, PolicyID: p.PolicyID}, err
+			}
+			if res.Decision == Permit || res.Decision == Deny {
+				seen++
+				if seen > 1 {
+					return Result{Decision: Indeterminate, PolicyID: ps.PolicySetID},
+						fmt.Errorf("xacml: policy set %q: more than one applicable policy", ps.PolicySetID)
+				}
+				final = res
+			}
+		}
+	}
+	// Append the set's own obligations matching the final decision.
+	if final.Decision == Permit || final.Decision == Deny {
+		want := EffectPermit
+		if final.Decision == Deny {
+			want = EffectDeny
+		}
+		for _, o := range ps.Obligations.Obligations {
+			if o.FulfillOn == "" || o.FulfillOn == want {
+				final.Obligations = append(final.Obligations, o)
+			}
+		}
+	}
+	return final, nil
+}
+
+// AddPolicySet loads every policy of a set into the PDP, prefixing ids
+// with the set id to keep them unique. It is the flattened form used
+// when a data owner manages policies as a unit but the PDP evaluates a
+// flat store. Returns the stored policy ids.
+func (p *PDP) AddPolicySet(ps *PolicySet) ([]string, error) {
+	if err := ps.Validate(); err != nil {
+		return nil, err
+	}
+	ids := make([]string, 0, len(ps.Policies))
+	for _, pol := range ps.Policies {
+		clone := *pol
+		clone.PolicyID = ps.PolicySetID + "/" + pol.PolicyID
+		if ps.Target != nil && clone.Target == nil {
+			clone.Target = ps.Target
+		}
+		p.AddPolicy(&clone)
+		ids = append(ids, clone.PolicyID)
+	}
+	return ids, nil
+}

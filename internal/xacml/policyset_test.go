@@ -1,0 +1,189 @@
+package xacml
+
+import (
+	"testing"
+)
+
+func permitFor(id, subject string) *Policy {
+	return NewPermitPolicy(id, NewTarget(subject, "", ""))
+}
+
+func denyFor(id, subject string) *Policy {
+	return &Policy{
+		PolicyID:           id,
+		RuleCombiningAlgID: RuleCombFirstApplicable,
+		Target:             NewTarget(subject, "", ""),
+		Rules:              []Rule{{RuleID: id + ":deny", Effect: EffectDeny}},
+	}
+}
+
+func TestPolicySetFirstApplicable(t *testing.T) {
+	ps := &PolicySet{
+		PolicySetID:          "set1",
+		PolicyCombiningAlgID: PolicyCombFirstApplicable,
+		Policies:             []*Policy{denyFor("d", "alice"), permitFor("p", "alice")},
+	}
+	res, err := EvaluatePolicySet(ps, NewRequest("alice", "r", "a"))
+	if err != nil || res.Decision != Deny {
+		t.Errorf("first-applicable: (%v,%v)", res.Decision, err)
+	}
+	res, _ = EvaluatePolicySet(ps, NewRequest("bob", "r", "a"))
+	if res.Decision != NotApplicable {
+		t.Errorf("non-matching subject: %v", res.Decision)
+	}
+}
+
+func TestPolicySetPermitOverrides(t *testing.T) {
+	ps := &PolicySet{
+		PolicySetID:          "set2",
+		PolicyCombiningAlgID: PolicyCombPermitOverrides,
+		Policies:             []*Policy{denyFor("d", "alice"), permitFor("p", "alice")},
+	}
+	res, err := EvaluatePolicySet(ps, NewRequest("alice", "r", "a"))
+	if err != nil || res.Decision != Permit {
+		t.Errorf("permit-overrides: (%v,%v)", res.Decision, err)
+	}
+}
+
+func TestPolicySetDenyOverrides(t *testing.T) {
+	ps := &PolicySet{
+		PolicySetID:          "set3",
+		PolicyCombiningAlgID: PolicyCombDenyOverrides,
+		Policies:             []*Policy{permitFor("p", "alice"), denyFor("d", "alice")},
+	}
+	res, err := EvaluatePolicySet(ps, NewRequest("alice", "r", "a"))
+	if err != nil || res.Decision != Deny {
+		t.Errorf("deny-overrides: (%v,%v)", res.Decision, err)
+	}
+}
+
+func TestPolicySetOnlyOneApplicable(t *testing.T) {
+	ps := &PolicySet{
+		PolicySetID:          "set4",
+		PolicyCombiningAlgID: PolicyCombOnlyOneApplicable,
+		Policies:             []*Policy{permitFor("p1", "alice"), permitFor("p2", "bob")},
+	}
+	res, err := EvaluatePolicySet(ps, NewRequest("alice", "r", "a"))
+	if err != nil || res.Decision != Permit || res.PolicyID != "p1" {
+		t.Errorf("single applicable: (%+v,%v)", res, err)
+	}
+	// Two applicable -> Indeterminate + error.
+	ps.Policies = []*Policy{permitFor("p1", "alice"), denyFor("p2", "alice")}
+	res, err = EvaluatePolicySet(ps, NewRequest("alice", "r", "a"))
+	if err == nil || res.Decision != Indeterminate {
+		t.Errorf("two applicable: (%v,%v)", res.Decision, err)
+	}
+}
+
+func TestPolicySetTargetGates(t *testing.T) {
+	ps := &PolicySet{
+		PolicySetID:          "set5",
+		PolicyCombiningAlgID: PolicyCombPermitOverrides,
+		Target:               NewTarget("", "weather", ""),
+		Policies:             []*Policy{permitFor("p", "alice")},
+	}
+	res, _ := EvaluatePolicySet(ps, NewRequest("alice", "weather", "read"))
+	if res.Decision != Permit {
+		t.Errorf("matching set target: %v", res.Decision)
+	}
+	res, _ = EvaluatePolicySet(ps, NewRequest("alice", "gps", "read"))
+	if res.Decision != NotApplicable {
+		t.Errorf("non-matching set target: %v", res.Decision)
+	}
+}
+
+func TestPolicySetObligationsAppended(t *testing.T) {
+	inner := NewPermitPolicy("p", NewTarget("alice", "", ""),
+		Obligation{ObligationID: "inner", FulfillOn: EffectPermit})
+	ps := &PolicySet{
+		PolicySetID:          "set6",
+		PolicyCombiningAlgID: PolicyCombFirstApplicable,
+		Policies:             []*Policy{inner},
+		Obligations: Obligations{Obligations: []Obligation{
+			{ObligationID: "outer", FulfillOn: EffectPermit},
+			{ObligationID: "outer-deny", FulfillOn: EffectDeny},
+		}},
+	}
+	res, err := EvaluatePolicySet(ps, NewRequest("alice", "r", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Obligations) != 2 {
+		t.Fatalf("obligations = %v", res.Obligations)
+	}
+	if res.Obligations[0].ObligationID != "inner" || res.Obligations[1].ObligationID != "outer" {
+		t.Errorf("obligation order: %v", res.Obligations)
+	}
+}
+
+func TestPolicySetXMLRoundTrip(t *testing.T) {
+	ps := &PolicySet{
+		PolicySetID:          "set7",
+		PolicyCombiningAlgID: PolicyCombDenyOverrides,
+		Target:               NewTarget("", "weather", ""),
+		Policies:             []*Policy{permitFor("p", "alice"), denyFor("d", "bob")},
+	}
+	data, err := ps.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParsePolicySet(data)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, data)
+	}
+	if back.PolicySetID != "set7" || len(back.Policies) != 2 {
+		t.Errorf("round trip: %+v", back)
+	}
+	res, err := EvaluatePolicySet(back, NewRequest("alice", "weather", "read"))
+	if err != nil || res.Decision != Permit {
+		t.Errorf("round-tripped eval: (%v,%v)", res.Decision, err)
+	}
+}
+
+func TestPolicySetValidate(t *testing.T) {
+	bad := []*PolicySet{
+		{PolicySetID: "", Policies: []*Policy{permitFor("p", "")}},
+		{PolicySetID: "x"},
+		{PolicySetID: "x", PolicyCombiningAlgID: "bogus", Policies: []*Policy{permitFor("p", "")}},
+		{PolicySetID: "x", Policies: []*Policy{{PolicyID: "broken"}}},
+	}
+	for i, ps := range bad {
+		if err := ps.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+	if _, err := ParsePolicySet([]byte("<oops")); err == nil {
+		t.Error("bad XML must fail")
+	}
+}
+
+func TestPDPAddPolicySet(t *testing.T) {
+	pdp := NewPDP()
+	ps := &PolicySet{
+		PolicySetID:          "owner-set",
+		PolicyCombiningAlgID: PolicyCombFirstApplicable,
+		Policies:             []*Policy{permitFor("p1", "alice"), permitFor("p2", "bob")},
+	}
+	ids, err := pdp.AddPolicySet(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "owner-set/p1" {
+		t.Errorf("ids = %v", ids)
+	}
+	res, err := pdp.Evaluate(NewRequest("bob", "r", "a"))
+	if err != nil || res.Decision != Permit || res.PolicyID != "owner-set/p2" {
+		t.Errorf("flattened set eval: (%+v,%v)", res, err)
+	}
+	// Removing one member behaves like any policy removal.
+	if !pdp.RemovePolicy("owner-set/p2") {
+		t.Error("remove member")
+	}
+	res, _ = pdp.Evaluate(NewRequest("bob", "r", "a"))
+	if res.Decision != NotApplicable {
+		t.Errorf("after member removal: %v", res.Decision)
+	}
+	if _, err := pdp.AddPolicySet(&PolicySet{}); err == nil {
+		t.Error("invalid set must fail")
+	}
+}

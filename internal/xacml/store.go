@@ -1,0 +1,120 @@
+package xacml
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PDP is a Policy Decision Point: a thread-safe policy store plus
+// request evaluation across all loaded policies (permit-overrides at
+// the policy level, matching the framework's behaviour: any policy that
+// permits grants access and supplies its obligations).
+type PDP struct {
+	mu       sync.RWMutex
+	policies map[string]*Policy
+	order    []string // insertion order for deterministic evaluation
+}
+
+// NewPDP creates an empty PDP.
+func NewPDP() *PDP {
+	return &PDP{policies: map[string]*Policy{}}
+}
+
+// LoadPolicy parses and stores a policy document. Loading a policy with
+// an existing id replaces it (a policy update per §3.3).
+func (p *PDP) LoadPolicy(data []byte) (*Policy, error) {
+	pol, err := ParsePolicy(data)
+	if err != nil {
+		return nil, err
+	}
+	p.AddPolicy(pol)
+	return pol, nil
+}
+
+// AddPolicy stores an already-parsed policy, replacing any same-id one.
+func (p *PDP) AddPolicy(pol *Policy) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, exists := p.policies[pol.PolicyID]; !exists {
+		p.order = append(p.order, pol.PolicyID)
+	}
+	p.policies[pol.PolicyID] = pol
+}
+
+// RemovePolicy deletes a policy by id, reporting whether it existed.
+func (p *PDP) RemovePolicy(id string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.policies[id]; !ok {
+		return false
+	}
+	delete(p.policies, id)
+	for i, oid := range p.order {
+		if oid == id {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Policy returns a loaded policy by id.
+func (p *PDP) Policy(id string) (*Policy, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	pol, ok := p.policies[id]
+	return pol, ok
+}
+
+// PolicyIDs lists loaded policy ids, sorted.
+func (p *PDP) PolicyIDs() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]string, 0, len(p.policies))
+	for id := range p.policies {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count reports the number of loaded policies.
+func (p *PDP) Count() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.policies)
+}
+
+// Evaluate runs the request against every loaded policy in insertion
+// order with permit-overrides semantics: the first Permit wins and its
+// obligations are returned; otherwise an explicit Deny wins over
+// NotApplicable.
+func (p *PDP) Evaluate(req *Request) (Result, error) {
+	if req == nil {
+		return Result{Decision: Indeterminate}, fmt.Errorf("xacml: nil request")
+	}
+	p.mu.RLock()
+	pols := make([]*Policy, 0, len(p.order))
+	for _, id := range p.order {
+		pols = append(pols, p.policies[id])
+	}
+	p.mu.RUnlock()
+
+	final := Result{Decision: NotApplicable}
+	for _, pol := range pols {
+		res, err := EvaluatePolicy(pol, req)
+		if err != nil {
+			return Result{Decision: Indeterminate, PolicyID: pol.PolicyID}, err
+		}
+		switch res.Decision {
+		case Permit:
+			return res, nil
+		case Deny:
+			if final.Decision == NotApplicable {
+				final = res
+			}
+		}
+	}
+	return final, nil
+}

@@ -1,0 +1,142 @@
+package xacml
+
+import (
+	"encoding/xml"
+	"testing"
+)
+
+// Target semantics per XACML: entries within a section are OR-ed,
+// matches within one entry are AND-ed, sections are AND-ed.
+
+func TestTargetEntriesAreORed(t *testing.T) {
+	// Subjects: alice OR bob.
+	target := &Target{
+		Subjects: []TargetEntry{
+			{Matches: []Match{NewSubjectMatch("alice")}},
+			{Matches: []Match{NewSubjectMatch("bob")}},
+		},
+	}
+	p := NewPermitPolicy("or", target)
+	for _, s := range []string{"alice", "bob"} {
+		res, err := EvaluatePolicy(p, NewRequest(s, "r", "a"))
+		if err != nil || res.Decision != Permit {
+			t.Errorf("subject %s: (%v,%v)", s, res.Decision, err)
+		}
+	}
+	res, _ := EvaluatePolicy(p, NewRequest("carol", "r", "a"))
+	if res.Decision != NotApplicable {
+		t.Errorf("carol: %v", res.Decision)
+	}
+}
+
+func TestTargetMatchesAreANDed(t *testing.T) {
+	// One subject entry requiring subject-id=alice AND role=admin.
+	roleMatch := Match{
+		XMLName: xml.Name{Local: "SubjectMatch"},
+		MatchID: MatchStringEqual,
+		Value:   AttributeValue{DataType: DataTypeString, Value: "admin"},
+		Designator: Designator{
+			XMLName:     xml.Name{Local: "SubjectAttributeDesignator"},
+			AttributeID: "role",
+			DataType:    DataTypeString,
+		},
+	}
+	target := &Target{
+		Subjects: []TargetEntry{
+			{Matches: []Match{NewSubjectMatch("alice"), roleMatch}},
+		},
+	}
+	p := NewPermitPolicy("and", target)
+
+	// Without the role attribute: no match.
+	res, err := EvaluatePolicy(p, NewRequest("alice", "r", "a"))
+	if err != nil || res.Decision != NotApplicable {
+		t.Errorf("without role: (%v,%v)", res.Decision, err)
+	}
+	// With the role attribute: permit.
+	req := NewRequest("alice", "r", "a")
+	req.AddSubjectAttribute("role", "admin")
+	res, err = EvaluatePolicy(p, req)
+	if err != nil || res.Decision != Permit {
+		t.Errorf("with role: (%v,%v)", res.Decision, err)
+	}
+	// Wrong role value: no match.
+	req2 := NewRequest("alice", "r", "a")
+	req2.AddSubjectAttribute("role", "guest")
+	res, _ = EvaluatePolicy(p, req2)
+	if res.Decision != NotApplicable {
+		t.Errorf("wrong role: %v", res.Decision)
+	}
+}
+
+func TestMultiValuedAttributeBagSemantics(t *testing.T) {
+	// A request attribute with several values matches if ANY value
+	// equals the target literal.
+	req := NewRequest("alice", "r", "a")
+	req.Subject.Attributes = append(req.Subject.Attributes, RequestAttribute{
+		AttributeID: "group",
+		DataType:    DataTypeString,
+		Values: []AttributeValue{
+			{DataType: DataTypeString, Value: "staff"},
+			{DataType: DataTypeString, Value: "research"},
+		},
+	})
+	groupMatch := Match{
+		XMLName: xml.Name{Local: "SubjectMatch"},
+		MatchID: MatchStringEqual,
+		Value:   AttributeValue{DataType: DataTypeString, Value: "research"},
+		Designator: Designator{
+			XMLName:     xml.Name{Local: "SubjectAttributeDesignator"},
+			AttributeID: "group",
+		},
+	}
+	p := NewPermitPolicy("bag", &Target{Subjects: []TargetEntry{{Matches: []Match{groupMatch}}}})
+	res, err := EvaluatePolicy(p, req)
+	if err != nil || res.Decision != Permit {
+		t.Errorf("bag semantics: (%v,%v)", res.Decision, err)
+	}
+}
+
+func TestTargetSectionsAreANDed(t *testing.T) {
+	p := NewPermitPolicy("sections", NewTarget("alice", "weather", "read"))
+	cases := []struct {
+		s, r, a string
+		want    Decision
+	}{
+		{"alice", "weather", "read", Permit},
+		{"alice", "weather", "write", NotApplicable},
+		{"alice", "gps", "read", NotApplicable},
+		{"bob", "weather", "read", NotApplicable},
+	}
+	for _, c := range cases {
+		res, err := EvaluatePolicy(p, NewRequest(c.s, c.r, c.a))
+		if err != nil || res.Decision != c.want {
+			t.Errorf("(%s,%s,%s) = (%v,%v), want %v", c.s, c.r, c.a, res.Decision, err, c.want)
+		}
+	}
+}
+
+func TestMatchWithoutDesignatorErrors(t *testing.T) {
+	m := Match{
+		XMLName: xml.Name{Local: "SubjectMatch"},
+		MatchID: MatchStringEqual,
+		Value:   AttributeValue{Value: "x"},
+	}
+	p := NewPermitPolicy("broken", &Target{Subjects: []TargetEntry{{Matches: []Match{m}}}})
+	if _, err := EvaluatePolicy(p, NewRequest("x", "r", "a")); err == nil {
+		t.Error("match without designator must error")
+	}
+}
+
+func TestEmptyTargetMatchesEverything(t *testing.T) {
+	p := NewPermitPolicy("open", nil)
+	res, err := EvaluatePolicy(p, NewRequest("anyone", "anything", "anyhow"))
+	if err != nil || res.Decision != Permit {
+		t.Errorf("nil target: (%v,%v)", res.Decision, err)
+	}
+	p2 := NewPermitPolicy("open2", &Target{})
+	res, err = EvaluatePolicy(p2, NewRequest("anyone", "anything", "anyhow"))
+	if err != nil || res.Decision != Permit {
+		t.Errorf("empty target: (%v,%v)", res.Decision, err)
+	}
+}

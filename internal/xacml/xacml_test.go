@@ -1,0 +1,383 @@
+package xacml
+
+import (
+	"strings"
+	"testing"
+)
+
+// fig2Obligations is the obligations block of the paper's Fig 2, wrapped
+// in a minimal policy for the NEA/LTA example.
+const fig2Policy = `
+<Policy PolicyId="nea:weather:lta" RuleCombiningAlgId="urn:oasis:names:tc:xacml:1.0:rule-combining-algorithm:first-applicable">
+  <Description>NEA weather stream for the LTA warning system</Description>
+  <Target>
+    <Subjects>
+      <Subject>
+        <SubjectMatch MatchId="urn:oasis:names:tc:xacml:1.0:function:string-equal">
+          <AttributeValue DataType="http://www.w3.org/2001/XMLSchema#string">LTA</AttributeValue>
+          <SubjectAttributeDesignator AttributeId="urn:oasis:names:tc:xacml:1.0:subject:subject-id"
+            DataType="http://www.w3.org/2001/XMLSchema#string"/>
+        </SubjectMatch>
+      </Subject>
+    </Subjects>
+    <Resources>
+      <Resource>
+        <ResourceMatch MatchId="urn:oasis:names:tc:xacml:1.0:function:string-equal">
+          <AttributeValue DataType="http://www.w3.org/2001/XMLSchema#string">weather</AttributeValue>
+          <ResourceAttributeDesignator AttributeId="urn:oasis:names:tc:xacml:1.0:resource:resource-id"
+            DataType="http://www.w3.org/2001/XMLSchema#string"/>
+        </ResourceMatch>
+      </Resource>
+    </Resources>
+    <Actions>
+      <Action>
+        <ActionMatch MatchId="urn:oasis:names:tc:xacml:1.0:function:string-equal">
+          <AttributeValue DataType="http://www.w3.org/2001/XMLSchema#string">read</AttributeValue>
+          <ActionAttributeDesignator AttributeId="urn:oasis:names:tc:xacml:1.0:action:action-id"
+            DataType="http://www.w3.org/2001/XMLSchema#string"/>
+        </ActionMatch>
+      </Action>
+    </Actions>
+  </Target>
+  <Rule RuleId="permit-lta" Effect="Permit"/>
+  <Obligations>
+    <Obligation ObligationId="exacml:obligation:stream-filter" FulfillOn="Permit">
+      <AttributeAssignment AttributeId="pCloud:obligation:stream-filter-condition-id"
+        DataType="http://www.w3.org/2001/XMLSchema#string">rainrate &gt; 5</AttributeAssignment>
+    </Obligation>
+    <Obligation ObligationId="exacml:obligation:stream-map" FulfillOn="Permit">
+      <AttributeAssignment AttributeId="pCloud:obligation:stream-map-attribute-id"
+        DataType="http://www.w3.org/2001/XMLSchema#string">samplingtime</AttributeAssignment>
+      <AttributeAssignment AttributeId="pCloud:obligation:stream-map-attribute-id"
+        DataType="http://www.w3.org/2001/XMLSchema#string">rainrate</AttributeAssignment>
+      <AttributeAssignment AttributeId="pCloud:obligation:stream-map-attribute-id"
+        DataType="http://www.w3.org/2001/XMLSchema#string">windspeed</AttributeAssignment>
+    </Obligation>
+    <Obligation ObligationId="exacml:obligation:stream-window" FulfillOn="Permit">
+      <AttributeAssignment AttributeId="pCloud:obligation:stream-window-step-id"
+        DataType="http://www.w3.org/2001/XMLSchema#integer">2</AttributeAssignment>
+      <AttributeAssignment AttributeId="pCloud:obligation:stream-window-size-id"
+        DataType="http://www.w3.org/2001/XMLSchema#integer">5</AttributeAssignment>
+      <AttributeAssignment AttributeId="pCloud:obligation:stream-window-type-id"
+        DataType="http://www.w3.org/2001/XMLSchema#string">tuple</AttributeAssignment>
+      <AttributeAssignment AttributeId="pCloud:obligation:stream-window-attr-id"
+        DataType="http://www.w3.org/2001/XMLSchema#string">samplingtime:lastval</AttributeAssignment>
+      <AttributeAssignment AttributeId="pCloud:obligation:stream-window-attr-id"
+        DataType="http://www.w3.org/2001/XMLSchema#string">rainrate:avg</AttributeAssignment>
+      <AttributeAssignment AttributeId="pCloud:obligation:stream-window-attr-id"
+        DataType="http://www.w3.org/2001/XMLSchema#string">windspeed:max</AttributeAssignment>
+    </Obligation>
+  </Obligations>
+</Policy>`
+
+func TestParseFig2Policy(t *testing.T) {
+	p, err := ParsePolicy([]byte(fig2Policy))
+	if err != nil {
+		t.Fatalf("ParsePolicy: %v", err)
+	}
+	if p.PolicyID != "nea:weather:lta" {
+		t.Errorf("PolicyID = %q", p.PolicyID)
+	}
+	if len(p.Obligations.Obligations) != 3 {
+		t.Fatalf("obligations = %d, want 3", len(p.Obligations.Obligations))
+	}
+	mapOb := p.Obligations.Obligations[1]
+	attrs := mapOb.Values("pCloud:obligation:stream-map-attribute-id")
+	if len(attrs) != 3 || attrs[0] != "samplingtime" || attrs[2] != "windspeed" {
+		t.Errorf("map attrs = %v", attrs)
+	}
+	winOb := p.Obligations.Obligations[2]
+	if winOb.Value("pCloud:obligation:stream-window-size-id") != "5" {
+		t.Errorf("window size = %q", winOb.Value("pCloud:obligation:stream-window-size-id"))
+	}
+	if got := winOb.Values("pCloud:obligation:stream-window-attr-id"); len(got) != 3 || got[1] != "rainrate:avg" {
+		t.Errorf("window attrs = %v", got)
+	}
+}
+
+func TestEvaluateFig2Policy(t *testing.T) {
+	p, err := ParsePolicy([]byte(fig2Policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Matching request: Permit with 3 obligations.
+	res, err := EvaluatePolicy(p, NewRequest("LTA", "weather", "read"))
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if res.Decision != Permit {
+		t.Fatalf("decision = %v, want Permit", res.Decision)
+	}
+	if len(res.Obligations) != 3 {
+		t.Errorf("obligations = %d", len(res.Obligations))
+	}
+	// Wrong subject: NotApplicable.
+	res, _ = EvaluatePolicy(p, NewRequest("EMA", "weather", "read"))
+	if res.Decision != NotApplicable {
+		t.Errorf("wrong subject: %v", res.Decision)
+	}
+	// Wrong resource.
+	res, _ = EvaluatePolicy(p, NewRequest("LTA", "gps", "read"))
+	if res.Decision != NotApplicable {
+		t.Errorf("wrong resource: %v", res.Decision)
+	}
+	// Wrong action.
+	res, _ = EvaluatePolicy(p, NewRequest("LTA", "weather", "write"))
+	if res.Decision != NotApplicable {
+		t.Errorf("wrong action: %v", res.Decision)
+	}
+}
+
+func TestPolicyXMLRoundTrip(t *testing.T) {
+	p, err := ParsePolicy([]byte(fig2Policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := p.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	p2, err := ParsePolicy(data)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, data)
+	}
+	res, err := EvaluatePolicy(p2, NewRequest("LTA", "weather", "read"))
+	if err != nil || res.Decision != Permit {
+		t.Errorf("round-tripped policy: (%v,%v)", res.Decision, err)
+	}
+	if len(p2.Obligations.Obligations) != 3 {
+		t.Errorf("round-tripped obligations = %d", len(p2.Obligations.Obligations))
+	}
+}
+
+func TestBuilderPolicy(t *testing.T) {
+	p := NewPermitPolicy("p1", NewTarget("alice", "res1", "read"),
+		Obligation{
+			ObligationID: "ob1",
+			FulfillOn:    EffectPermit,
+			Assignments:  []AttributeAssignment{NewStringAssignment("k", "v")},
+		})
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	res, err := EvaluatePolicy(p, NewRequest("alice", "res1", "read"))
+	if err != nil || res.Decision != Permit || len(res.Obligations) != 1 {
+		t.Fatalf("builder policy eval: (%+v,%v)", res, err)
+	}
+	// Round trip through XML.
+	data, err := p.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	p2, err := ParsePolicy(data)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, data)
+	}
+	res, err = EvaluatePolicy(p2, NewRequest("alice", "res1", "read"))
+	if err != nil || res.Decision != Permit {
+		t.Errorf("round trip eval: (%v,%v)", res.Decision, err)
+	}
+	res, _ = EvaluatePolicy(p2, NewRequest("bob", "res1", "read"))
+	if res.Decision != NotApplicable {
+		t.Errorf("bob should not match: %v", res.Decision)
+	}
+}
+
+func TestRuleCombiningAlgorithms(t *testing.T) {
+	permitRule := Rule{RuleID: "p", Effect: EffectPermit}
+	denyRule := Rule{RuleID: "d", Effect: EffectDeny}
+	req := NewRequest("s", "r", "a")
+
+	mk := func(alg string, rules ...Rule) *Policy {
+		return &Policy{PolicyID: "t", RuleCombiningAlgID: alg, Rules: rules}
+	}
+	cases := []struct {
+		alg   string
+		rules []Rule
+		want  Decision
+	}{
+		{RuleCombFirstApplicable, []Rule{denyRule, permitRule}, Deny},
+		{RuleCombFirstApplicable, []Rule{permitRule, denyRule}, Permit},
+		{RuleCombPermitOverrides, []Rule{denyRule, permitRule}, Permit},
+		{RuleCombDenyOverrides, []Rule{permitRule, denyRule}, Deny},
+		{RuleCombPermitOverrides, []Rule{denyRule}, Deny},
+		{RuleCombDenyOverrides, []Rule{permitRule}, Permit},
+	}
+	for _, c := range cases {
+		res, err := EvaluatePolicy(mk(c.alg, c.rules...), req)
+		if err != nil {
+			t.Fatalf("%s: %v", c.alg, err)
+		}
+		if res.Decision != c.want {
+			t.Errorf("%s with %d rules = %v, want %v", c.alg, len(c.rules), res.Decision, c.want)
+		}
+	}
+}
+
+func TestRuleLevelTargets(t *testing.T) {
+	p := &Policy{
+		PolicyID:           "rt",
+		RuleCombiningAlgID: RuleCombFirstApplicable,
+		Rules: []Rule{
+			{RuleID: "deny-bob", Effect: EffectDeny, Target: NewTarget("bob", "", "")},
+			{RuleID: "permit-all", Effect: EffectPermit},
+		},
+	}
+	res, _ := EvaluatePolicy(p, NewRequest("bob", "r", "a"))
+	if res.Decision != Deny {
+		t.Errorf("bob = %v, want Deny", res.Decision)
+	}
+	res, _ = EvaluatePolicy(p, NewRequest("alice", "r", "a"))
+	if res.Decision != Permit {
+		t.Errorf("alice = %v, want Permit", res.Decision)
+	}
+}
+
+func TestObligationFulfillOn(t *testing.T) {
+	p := &Policy{
+		PolicyID:           "ob",
+		RuleCombiningAlgID: RuleCombFirstApplicable,
+		Rules:              []Rule{{RuleID: "d", Effect: EffectDeny}},
+		Obligations: Obligations{Obligations: []Obligation{
+			{ObligationID: "on-permit", FulfillOn: EffectPermit},
+			{ObligationID: "on-deny", FulfillOn: EffectDeny},
+		}},
+	}
+	res, _ := EvaluatePolicy(p, NewRequest("s", "r", "a"))
+	if res.Decision != Deny || len(res.Obligations) != 1 || res.Obligations[0].ObligationID != "on-deny" {
+		t.Errorf("deny obligations = %+v", res)
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	bad := []*Policy{
+		{PolicyID: "", Rules: []Rule{{Effect: EffectPermit}}},
+		{PolicyID: "x"},
+		{PolicyID: "x", RuleCombiningAlgID: "bogus", Rules: []Rule{{Effect: EffectPermit}}},
+		{PolicyID: "x", Rules: []Rule{{Effect: "Maybe"}}},
+		{PolicyID: "x", Rules: []Rule{{Effect: EffectPermit}}, Obligations: Obligations{Obligations: []Obligation{{}}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("policy %d should fail validation", i)
+		}
+	}
+}
+
+func TestPDPStore(t *testing.T) {
+	pdp := NewPDP()
+	p1 := NewPermitPolicy("p1", NewTarget("alice", "weather", "read"))
+	p2 := NewPermitPolicy("p2", NewTarget("bob", "gps", "read"))
+	pdp.AddPolicy(p1)
+	pdp.AddPolicy(p2)
+	if pdp.Count() != 2 {
+		t.Fatalf("Count = %d", pdp.Count())
+	}
+	if got := pdp.PolicyIDs(); len(got) != 2 || got[0] != "p1" {
+		t.Errorf("PolicyIDs = %v", got)
+	}
+	res, err := pdp.Evaluate(NewRequest("alice", "weather", "read"))
+	if err != nil || res.Decision != Permit || res.PolicyID != "p1" {
+		t.Fatalf("alice: (%+v,%v)", res, err)
+	}
+	res, _ = pdp.Evaluate(NewRequest("carol", "weather", "read"))
+	if res.Decision != NotApplicable {
+		t.Errorf("carol = %v", res.Decision)
+	}
+	if !pdp.RemovePolicy("p1") {
+		t.Error("RemovePolicy(p1) should report true")
+	}
+	if pdp.RemovePolicy("p1") {
+		t.Error("second remove should report false")
+	}
+	res, _ = pdp.Evaluate(NewRequest("alice", "weather", "read"))
+	if res.Decision != NotApplicable {
+		t.Errorf("after removal: %v", res.Decision)
+	}
+	if _, ok := pdp.Policy("p2"); !ok {
+		t.Error("p2 should remain")
+	}
+}
+
+func TestPDPLoadPolicyReplaces(t *testing.T) {
+	pdp := NewPDP()
+	if _, err := pdp.LoadPolicy([]byte(fig2Policy)); err != nil {
+		t.Fatalf("LoadPolicy: %v", err)
+	}
+	if _, err := pdp.LoadPolicy([]byte(fig2Policy)); err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if pdp.Count() != 1 {
+		t.Errorf("Count after reload = %d, want 1", pdp.Count())
+	}
+	if _, err := pdp.LoadPolicy([]byte("<oops")); err == nil {
+		t.Error("bad XML must fail")
+	}
+}
+
+func TestPDPDenyPolicy(t *testing.T) {
+	pdp := NewPDP()
+	deny := &Policy{
+		PolicyID:           "deny-carol",
+		RuleCombiningAlgID: RuleCombFirstApplicable,
+		Target:             NewTarget("carol", "", ""),
+		Rules:              []Rule{{RuleID: "d", Effect: EffectDeny}},
+	}
+	pdp.AddPolicy(deny)
+	pdp.AddPolicy(NewPermitPolicy("permit-carol", NewTarget("carol", "", "")))
+	// Permit-overrides across policies: the permit wins.
+	res, err := pdp.Evaluate(NewRequest("carol", "r", "a"))
+	if err != nil || res.Decision != Permit {
+		t.Errorf("permit-overrides: (%v,%v)", res.Decision, err)
+	}
+	pdp.RemovePolicy("permit-carol")
+	res, _ = pdp.Evaluate(NewRequest("carol", "r", "a"))
+	if res.Decision != Deny {
+		t.Errorf("deny remains: %v", res.Decision)
+	}
+}
+
+func TestRequestXMLRoundTrip(t *testing.T) {
+	r := NewRequest("LTA", "weather", "read")
+	r.AddSubjectAttribute("role", "agency")
+	data, err := r.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	r2, err := ParseRequest(data)
+	if err != nil {
+		t.Fatalf("ParseRequest: %v\n%s", err, data)
+	}
+	if r2.SubjectID() != "LTA" || r2.ResourceID() != "weather" || r2.ActionID() != "read" {
+		t.Errorf("round trip ids: %q %q %q", r2.SubjectID(), r2.ResourceID(), r2.ActionID())
+	}
+	if !strings.Contains(string(data), "role") {
+		t.Error("extra subject attribute lost")
+	}
+}
+
+func TestMatchIgnoreCase(t *testing.T) {
+	m := NewSubjectMatch("LTA")
+	m.MatchID = MatchStringEqualIgnoreCase
+	p := NewPermitPolicy("ic", &Target{Subjects: []TargetEntry{{Matches: []Match{m}}}})
+	res, err := EvaluatePolicy(p, NewRequest("lta", "r", "a"))
+	if err != nil || res.Decision != Permit {
+		t.Errorf("ignore-case: (%v,%v)", res.Decision, err)
+	}
+}
+
+func TestUnsupportedMatchID(t *testing.T) {
+	m := NewSubjectMatch("x")
+	m.MatchID = "urn:bogus"
+	p := NewPermitPolicy("b", &Target{Subjects: []TargetEntry{{Matches: []Match{m}}}})
+	if _, err := EvaluatePolicy(p, NewRequest("x", "r", "a")); err == nil {
+		t.Error("unsupported MatchId must error")
+	}
+}
+
+func TestEvaluateNilRequest(t *testing.T) {
+	pdp := NewPDP()
+	if _, err := pdp.Evaluate(nil); err == nil {
+		t.Error("nil request must error")
+	}
+}

@@ -1,0 +1,72 @@
+package xacmlplus
+
+import (
+	"strconv"
+
+	"repro/internal/dsms"
+	"repro/internal/xacml"
+)
+
+// Convenience builders for the stream obligations of Table 1, so data
+// owners can write policies without spelling out attribute-assignment
+// ids. Each returns an obligation fulfilled on Permit.
+
+// FilterObligation restricts the stream to tuples satisfying the
+// condition (the paper's "data is visible only when ..." clause).
+func FilterObligation(condition string) xacml.Obligation {
+	return xacml.Obligation{
+		ObligationID: ObligationFilter,
+		FulfillOn:    xacml.EffectPermit,
+		Assignments: []xacml.AttributeAssignment{
+			xacml.NewStringAssignment(AttrFilterCondition, condition),
+		},
+	}
+}
+
+// MapObligation restricts the visible attributes ("only samplingtime,
+// rain rate and wind speed data are visible").
+func MapObligation(attrs ...string) xacml.Obligation {
+	ob := xacml.Obligation{ObligationID: ObligationMap, FulfillOn: xacml.EffectPermit}
+	for _, a := range attrs {
+		ob.Assignments = append(ob.Assignments, xacml.NewStringAssignment(AttrMapAttribute, a))
+	}
+	return ob
+}
+
+// WindowObligation forces window-based aggregation ("data should come
+// in windows of size 5 and advance step of size 2"). specs use the
+// obligation form "attr:func" (e.g. "rainrate:avg") or the call form
+// "avg(rainrate)".
+func WindowObligation(typ dsms.WindowType, size, step int64, specs ...string) (xacml.Obligation, error) {
+	ob := xacml.Obligation{ObligationID: ObligationWindow, FulfillOn: xacml.EffectPermit}
+	ob.Assignments = append(ob.Assignments,
+		xacml.NewIntAssignment(AttrWindowStep, strconv.FormatInt(step, 10)),
+		xacml.NewIntAssignment(AttrWindowSize, strconv.FormatInt(size, 10)),
+		xacml.NewStringAssignment(AttrWindowType, typ.String()),
+	)
+	for _, s := range specs {
+		spec, err := parseCallForm(s)
+		if err != nil {
+			return xacml.Obligation{}, err
+		}
+		ob.Assignments = append(ob.Assignments, xacml.NewStringAssignment(AttrWindowAttr, spec.String()))
+	}
+	return ob, nil
+}
+
+// MustWindowObligation is WindowObligation but panics on malformed
+// specs; for static policy literals.
+func MustWindowObligation(typ dsms.WindowType, size, step int64, specs ...string) xacml.Obligation {
+	ob, err := WindowObligation(typ, size, step, specs...)
+	if err != nil {
+		panic(err)
+	}
+	return ob
+}
+
+// StreamPolicy assembles a Permit policy granting `subject` the `action`
+// on stream `resource` under the given stream obligations — the
+// one-call form of the paper's running example.
+func StreamPolicy(id, subject, resource, action string, obligations ...xacml.Obligation) *xacml.Policy {
+	return xacml.NewPermitPolicy(id, xacml.NewTarget(subject, resource, action), obligations...)
+}

@@ -1,0 +1,78 @@
+package xacmlplus
+
+import (
+	"testing"
+
+	"repro/internal/dsms"
+	"repro/internal/expr"
+	"repro/internal/xacml"
+)
+
+// TestBuildersReproduceFig2 verifies the convenience builders produce
+// the same graph as the hand-built Fig 2 obligations.
+func TestBuildersReproduceFig2(t *testing.T) {
+	pol := StreamPolicy("nea:weather:lta", "LTA", "weather", "read",
+		FilterObligation("rainrate > 5"),
+		MapObligation("samplingtime", "rainrate", "windspeed"),
+		MustWindowObligation(dsms.WindowTuple, 5, 2,
+			"lastval(samplingtime)", "avg(rainrate)", "max(windspeed)"),
+	)
+	if err := pol.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := xacml.EvaluatePolicy(pol, xacml.NewRequest("LTA", "weather", "read"))
+	if err != nil || res.Decision != xacml.Permit {
+		t.Fatalf("eval: (%v,%v)", res.Decision, err)
+	}
+	got, err := ObligationsToGraph("weather", res.Obligations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ObligationsToGraph("weather", fig2Obligations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Boxes) != len(want.Boxes) {
+		t.Fatalf("box count %d != %d", len(got.Boxes), len(want.Boxes))
+	}
+	if !expr.Equal(got.Filter().Condition, want.Filter().Condition) {
+		t.Error("filter differs")
+	}
+	if len(got.Map().Attrs) != 3 {
+		t.Error("map differs")
+	}
+	if !got.Aggregate().Window.Equal(want.Aggregate().Window) {
+		t.Error("window differs")
+	}
+	for i, a := range got.Aggregate().Aggs {
+		if a.String() != want.Aggregate().Aggs[i].String() {
+			t.Errorf("agg %d: %s != %s", i, a, want.Aggregate().Aggs[i])
+		}
+	}
+}
+
+func TestWindowObligationColonForm(t *testing.T) {
+	ob, err := WindowObligation(dsms.WindowTime, 60000, 30000, "rainrate:avg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ObligationsToGraph("s", []xacml.Obligation{ob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Aggregate().Window.Type != dsms.WindowTime {
+		t.Error("window type lost")
+	}
+}
+
+func TestWindowObligationBadSpec(t *testing.T) {
+	if _, err := WindowObligation(dsms.WindowTuple, 5, 2, "median(a)"); err == nil {
+		t.Error("bad spec must fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustWindowObligation should panic on bad spec")
+		}
+	}()
+	MustWindowObligation(dsms.WindowTuple, 5, 2, "median(a)")
+}

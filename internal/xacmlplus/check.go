@@ -1,0 +1,156 @@
+package xacmlplus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dsms"
+	"repro/internal/expr"
+)
+
+// Warning is one NR/PR finding attached to a specific operator kind.
+type Warning struct {
+	Operator dsms.BoxKind
+	Verdict  expr.Verdict
+	Detail   string
+}
+
+// String renders e.g. "PR(filter): ...".
+func (w Warning) String() string {
+	return fmt.Sprintf("%s(%s): %s", w.Verdict, w.Operator, w.Detail)
+}
+
+// CheckResult is the outcome of the §3.5 conflict analysis between a
+// policy graph and a user graph.
+type CheckResult struct {
+	// Verdict is the overall severity: NR if any operator yields NR,
+	// else PR if any yields PR, else OK.
+	Verdict  expr.Verdict
+	Warnings []Warning
+}
+
+// CheckGraphs runs the per-operator NR/PR rules of §3.5 on the policy
+// and user query graphs:
+//
+//   - Map: S1 ∩ S2 = ∅ alerts NR; a user attribute outside the policy
+//     set alerts PR (the user asked for columns the policy withholds).
+//
+//   - Aggregate: differing window types, a policy window size or step
+//     exceeding the user's, or conflicting functions on a shared
+//     attribute alert NR; user aggregation attributes absent from the
+//     policy alert PR; exact agreement is silent.
+//
+//   - Filter: the full DNF + pairwise checkTwoSimpleExpression
+//     procedure (expr.CheckConditions).
+//
+// Operators present on only one side raise no warning: the policy's
+// operators always apply, and a user refinement with no policy
+// counterpart cannot conflict.
+func CheckGraphs(policy, user *dsms.QueryGraph) (CheckResult, error) {
+	res := CheckResult{Verdict: expr.VerdictOK}
+	if policy == nil || user == nil {
+		return res, nil
+	}
+	add := func(op dsms.BoxKind, v expr.Verdict, detail string) {
+		if v == expr.VerdictOK {
+			return
+		}
+		res.Warnings = append(res.Warnings, Warning{Operator: op, Verdict: v, Detail: detail})
+		if v > res.Verdict {
+			res.Verdict = v
+		}
+	}
+
+	// Filter rule.
+	pf, uf := policy.Filter(), user.Filter()
+	if pf != nil && uf != nil && pf.Condition != nil && uf.Condition != nil {
+		v, err := expr.CheckConditions(pf.Condition, uf.Condition)
+		if err != nil {
+			return res, fmt.Errorf("xacmlplus: filter check: %w", err)
+		}
+		add(dsms.BoxFilter, v, fmt.Sprintf("policy condition %q vs user condition %q", pf.Condition, uf.Condition))
+	}
+
+	// Map rule.
+	pm, um := policy.Map(), user.Map()
+	if pm != nil && um != nil {
+		v, detail := checkMaps(pm.Attrs, um.Attrs)
+		add(dsms.BoxMap, v, detail)
+	}
+
+	// Aggregate rules (1)-(6).
+	pa, ua := policy.Aggregate(), user.Aggregate()
+	if pa != nil && ua != nil {
+		v, detail := checkAggregates(pa, ua)
+		add(dsms.BoxAggregate, v, detail)
+	}
+	return res, nil
+}
+
+// checkMaps applies the map NR/PR rule.
+func checkMaps(policyAttrs, userAttrs []string) (expr.Verdict, string) {
+	pset := toSet(policyAttrs)
+	inter := 0
+	var missing []string
+	for _, a := range userAttrs {
+		if pset[strings.ToLower(a)] {
+			inter++
+		} else {
+			missing = append(missing, a)
+		}
+	}
+	if inter == 0 {
+		return expr.VerdictNR, fmt.Sprintf("no requested attribute is permitted (policy %v, user %v)", policyAttrs, userAttrs)
+	}
+	if len(missing) > 0 {
+		return expr.VerdictPR, fmt.Sprintf("attributes %v are withheld by the policy", missing)
+	}
+	return expr.VerdictOK, ""
+}
+
+// checkAggregates applies the six aggregate rules of §3.5.
+func checkAggregates(pa, ua *dsms.Box) (expr.Verdict, string) {
+	// (3) window types differ.
+	if pa.Window.Type != ua.Window.Type {
+		return expr.VerdictNR, fmt.Sprintf("window types differ (%s vs %s)", pa.Window.Type, ua.Window.Type)
+	}
+	// (1) policy size exceeds user size.
+	if pa.Window.Size > ua.Window.Size {
+		return expr.VerdictNR, fmt.Sprintf("policy window size %d > user size %d", pa.Window.Size, ua.Window.Size)
+	}
+	// (2) policy step exceeds user step.
+	if pa.Window.Step > ua.Window.Step {
+		return expr.VerdictNR, fmt.Sprintf("policy advance step %d > user step %d", pa.Window.Step, ua.Window.Step)
+	}
+	pfuncs := map[string]dsms.AggFunc{}
+	for _, s := range pa.Aggs {
+		pfuncs[strings.ToLower(s.Attr)] = s.Func
+	}
+	verdict := expr.VerdictOK
+	detail := ""
+	for _, us := range ua.Aggs {
+		pf, ok := pfuncs[strings.ToLower(us.Attr)]
+		switch {
+		case !ok:
+			// (6) attribute not aggregated by the policy: PR.
+			if verdict < expr.VerdictPR {
+				verdict = expr.VerdictPR
+				detail = fmt.Sprintf("attribute %q is not exposed by the policy aggregation", us.Attr)
+			}
+		case pf != us.Func:
+			// (4) conflicting functions on the same attribute: NR.
+			return expr.VerdictNR, fmt.Sprintf("attribute %q: policy computes %s, user asks %s", us.Attr, pf, us.Func)
+		default:
+			// (5) same attribute, same function: no alert.
+		}
+	}
+	return verdict, detail
+}
+
+func toSet(xs []string) map[string]bool {
+	out := make(map[string]bool, len(xs))
+	for _, x := range xs {
+		out[strings.ToLower(x)] = true
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package xacmlplus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dsms"
+	"repro/internal/expr"
+)
+
+func filterGraph(cond string) *dsms.QueryGraph {
+	return dsms.NewQueryGraph("s", dsms.NewFilterBox(expr.MustParse(cond)))
+}
+
+func mapGraph(attrs ...string) *dsms.QueryGraph {
+	return dsms.NewQueryGraph("s", dsms.NewMapBox(attrs...))
+}
+
+func aggGraph(typ dsms.WindowType, size, step int64, aggs ...string) *dsms.QueryGraph {
+	specs := make([]dsms.AggSpec, 0, len(aggs))
+	for _, a := range aggs {
+		s, err := dsms.ParseAggSpec(a)
+		if err != nil {
+			panic(err)
+		}
+		specs = append(specs, s)
+	}
+	return dsms.NewQueryGraph("s", dsms.NewAggregateBox(dsms.WindowSpec{Type: typ, Size: size, Step: step}, specs...))
+}
+
+func TestCheckFilterExample3(t *testing.T) {
+	// Policy a > 8, user a > 5: PR.
+	res, err := CheckGraphs(filterGraph("a > 8"), filterGraph("a > 5"))
+	if err != nil {
+		t.Fatalf("CheckGraphs: %v", err)
+	}
+	if res.Verdict != expr.VerdictPR || len(res.Warnings) != 1 {
+		t.Errorf("verdict = %v, warnings = %v", res.Verdict, res.Warnings)
+	}
+	if res.Warnings[0].Operator != dsms.BoxFilter {
+		t.Errorf("warning operator = %v", res.Warnings[0].Operator)
+	}
+	// Policy a < 4, user a > 5: NR.
+	res, _ = CheckGraphs(filterGraph("a < 4"), filterGraph("a > 5"))
+	if res.Verdict != expr.VerdictNR {
+		t.Errorf("NR case = %v", res.Verdict)
+	}
+	// LTA case: policy a > 5, user a > 50: OK.
+	res, _ = CheckGraphs(filterGraph("a > 5"), filterGraph("a > 50"))
+	if res.Verdict != expr.VerdictOK || len(res.Warnings) != 0 {
+		t.Errorf("OK case = %v %v", res.Verdict, res.Warnings)
+	}
+}
+
+func TestCheckMapRules(t *testing.T) {
+	// Disjoint sets: NR.
+	res, _ := CheckGraphs(mapGraph("a", "b"), mapGraph("c"))
+	if res.Verdict != expr.VerdictNR {
+		t.Errorf("disjoint maps = %v", res.Verdict)
+	}
+	// User requests a withheld attribute: PR.
+	res, _ = CheckGraphs(mapGraph("a", "b"), mapGraph("a", "c"))
+	if res.Verdict != expr.VerdictPR {
+		t.Errorf("partially withheld = %v", res.Verdict)
+	}
+	if !strings.Contains(res.Warnings[0].Detail, "c") {
+		t.Errorf("detail should name the withheld attribute: %q", res.Warnings[0].Detail)
+	}
+	// User subset of policy: OK (user gets everything they asked for).
+	res, _ = CheckGraphs(mapGraph("a", "b", "c"), mapGraph("a"))
+	if res.Verdict != expr.VerdictOK {
+		t.Errorf("subset = %v", res.Verdict)
+	}
+	// Equal sets: OK.
+	res, _ = CheckGraphs(mapGraph("a", "b"), mapGraph("b", "a"))
+	if res.Verdict != expr.VerdictOK {
+		t.Errorf("equal sets = %v", res.Verdict)
+	}
+}
+
+func TestCheckAggregateRules(t *testing.T) {
+	// Rule 1: policy size > user size -> NR.
+	res, _ := CheckGraphs(aggGraph(dsms.WindowTuple, 5, 2, "a:sum"), aggGraph(dsms.WindowTuple, 3, 2, "a:sum"))
+	if res.Verdict != expr.VerdictNR {
+		t.Errorf("rule 1 = %v", res.Verdict)
+	}
+	// Rule 2: policy step > user step -> NR.
+	res, _ = CheckGraphs(aggGraph(dsms.WindowTuple, 5, 2, "a:sum"), aggGraph(dsms.WindowTuple, 5, 1, "a:sum"))
+	if res.Verdict != expr.VerdictNR {
+		t.Errorf("rule 2 = %v", res.Verdict)
+	}
+	// Rule 3: type mismatch -> NR.
+	res, _ = CheckGraphs(aggGraph(dsms.WindowTuple, 5, 2, "a:sum"), aggGraph(dsms.WindowTime, 5, 2, "a:sum"))
+	if res.Verdict != expr.VerdictNR {
+		t.Errorf("rule 3 = %v", res.Verdict)
+	}
+	// Rule 4: same attribute, different functions -> NR.
+	res, _ = CheckGraphs(aggGraph(dsms.WindowTuple, 5, 2, "a:sum"), aggGraph(dsms.WindowTuple, 5, 2, "a:avg"))
+	if res.Verdict != expr.VerdictNR {
+		t.Errorf("rule 4 = %v", res.Verdict)
+	}
+	// Rule 5: same attribute same function -> OK.
+	res, _ = CheckGraphs(aggGraph(dsms.WindowTuple, 5, 2, "a:sum", "b:avg"), aggGraph(dsms.WindowTuple, 10, 4, "a:sum"))
+	if res.Verdict != expr.VerdictOK {
+		t.Errorf("rule 5 = %v (%v)", res.Verdict, res.Warnings)
+	}
+	// Rule 6: user attribute missing from policy -> PR.
+	res, _ = CheckGraphs(aggGraph(dsms.WindowTuple, 5, 2, "a:sum"), aggGraph(dsms.WindowTuple, 5, 2, "a:sum", "b:avg"))
+	if res.Verdict != expr.VerdictPR {
+		t.Errorf("rule 6 = %v", res.Verdict)
+	}
+}
+
+func TestCheckNilAndMissingSides(t *testing.T) {
+	res, err := CheckGraphs(nil, filterGraph("a > 1"))
+	if err != nil || res.Verdict != expr.VerdictOK {
+		t.Errorf("nil policy: (%v,%v)", res.Verdict, err)
+	}
+	res, err = CheckGraphs(filterGraph("a > 1"), nil)
+	if err != nil || res.Verdict != expr.VerdictOK {
+		t.Errorf("nil user: (%v,%v)", res.Verdict, err)
+	}
+	// Policy has a filter, user doesn't: no warning.
+	res, _ = CheckGraphs(filterGraph("a > 1"), mapGraph("a"))
+	if res.Verdict != expr.VerdictOK {
+		t.Errorf("one-sided operators = %v", res.Verdict)
+	}
+}
+
+func TestCheckCombinedWorstVerdict(t *testing.T) {
+	// Map says PR, filter says NR: overall NR.
+	p := dsms.NewQueryGraph("s",
+		dsms.NewFilterBox(expr.MustParse("a < 4")),
+		dsms.NewMapBox("a", "b"))
+	u := dsms.NewQueryGraph("s",
+		dsms.NewFilterBox(expr.MustParse("a > 5")),
+		dsms.NewMapBox("a", "z"))
+	res, err := CheckGraphs(p, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != expr.VerdictNR {
+		t.Errorf("worst verdict = %v", res.Verdict)
+	}
+	if len(res.Warnings) != 2 {
+		t.Errorf("warnings = %v", res.Warnings)
+	}
+	// Warning strings render.
+	for _, w := range res.Warnings {
+		if w.String() == "" {
+			t.Error("warning renders empty")
+		}
+	}
+}
+
+// TestCheckFig4Scenario: the paper's running example produces no
+// warnings (the LTA refinement is fully compatible with the policy).
+func TestCheckFig4Scenario(t *testing.T) {
+	res, err := CheckGraphs(policyGraphFig1(), userGraphFig4a())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != expr.VerdictOK || len(res.Warnings) != 0 {
+		t.Errorf("Fig 4 scenario: %v %v", res.Verdict, res.Warnings)
+	}
+}

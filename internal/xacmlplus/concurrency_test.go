@@ -1,0 +1,145 @@
+package xacmlplus
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/xacml"
+)
+
+// TestPEPConcurrentRequests runs many users' requests in parallel; each
+// must end with exactly one grant, and the single-access invariant must
+// hold under contention. Run with -race.
+func TestPEPConcurrentRequests(t *testing.T) {
+	pep, eng := newTestPEP(t)
+	// Open the policy to any subject: target only the resource.
+	pep.PDP.AddPolicy(xacml.NewPermitPolicy("open",
+		xacml.NewTarget("", "weather", "read"), fig2Obligations()...))
+
+	const nUsers = 16
+	const perUser = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, nUsers*perUser)
+	for u := 0; u < nUsers; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			subject := fmt.Sprintf("user%02d", u)
+			req := xacml.NewRequest(subject, "weather", "read")
+			var handle string
+			for i := 0; i < perUser; i++ {
+				resp, err := pep.HandleRequest(req, nil)
+				if err != nil {
+					errCh <- fmt.Errorf("%s: %w", subject, err)
+					return
+				}
+				if !resp.Granted() {
+					errCh <- fmt.Errorf("%s: not granted: %+v", subject, resp)
+					return
+				}
+				if handle == "" {
+					handle = resp.Handle
+				} else if resp.Handle != handle {
+					errCh <- fmt.Errorf("%s: handle changed %s -> %s", subject, handle, resp.Handle)
+					return
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	// Exactly one live query per user.
+	if got := eng.QueryCount(); got != nUsers {
+		t.Errorf("engine queries = %d, want %d", got, nUsers)
+	}
+	if got := pep.Manager.ActiveCount(); got != nUsers {
+		t.Errorf("active grants = %d, want %d", got, nUsers)
+	}
+}
+
+// TestPEPConcurrentSameUser: many goroutines race the SAME user's
+// identical request; all must converge on one grant (no duplicate
+// engine queries), some as fresh, the rest reused or refused — never
+// two live queries.
+func TestPEPConcurrentSameUser(t *testing.T) {
+	pep, eng := newTestPEP(t)
+	pep.PDP.AddPolicy(xacml.NewPermitPolicy("open",
+		xacml.NewTarget("", "weather", "read"), fig2Obligations()...))
+	req := xacml.NewRequest("racer", "weather", "read")
+
+	const n = 24
+	var wg sync.WaitGroup
+	granted := make(chan string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := pep.HandleRequest(req, nil)
+			if err != nil {
+				// Losing a race to an in-flight deploy surfaces as the
+				// single-access error; acceptable, client retries.
+				return
+			}
+			if resp.Granted() {
+				granted <- resp.Handle
+			}
+		}()
+	}
+	wg.Wait()
+	close(granted)
+	handles := map[string]bool{}
+	for h := range granted {
+		handles[h] = true
+	}
+	if len(handles) > 1 {
+		t.Errorf("users ended with %d distinct handles: %v", len(handles), handles)
+	}
+	if got := eng.QueryCount(); got > 1 {
+		t.Errorf("engine queries = %d, want at most 1", got)
+	}
+}
+
+// TestPEPConcurrentPolicyRemoval races requests against policy
+// removal: afterwards no grants may survive for the removed policy.
+func TestPEPConcurrentPolicyRemoval(t *testing.T) {
+	pep, eng := newTestPEP(t)
+	pep.PDP.AddPolicy(xacml.NewPermitPolicy("open",
+		xacml.NewTarget("", "weather", "read"), fig2Obligations()...))
+
+	var wg sync.WaitGroup
+	for u := 0; u < 8; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			req := xacml.NewRequest(fmt.Sprintf("u%d", u), "weather", "read")
+			for i := 0; i < 10; i++ {
+				_, _ = pep.HandleRequest(req, nil)
+			}
+		}(u)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = pep.RemovePolicy("open")
+		_, _ = pep.RemovePolicy("nea:weather:lta")
+	}()
+	wg.Wait()
+	// Whatever interleaving happened, a final removal pass must leave
+	// nothing behind.
+	if _, err := pep.RemovePolicy("open"); err != nil {
+		t.Fatalf("final removal: %v", err)
+	}
+	if _, err := pep.RemovePolicy("nea:weather:lta"); err != nil {
+		t.Fatalf("final removal: %v", err)
+	}
+	if got := pep.Manager.ActiveCount(); got != 0 {
+		t.Errorf("grants remain after removal: %d", got)
+	}
+	if got := eng.QueryCount(); got != 0 {
+		t.Errorf("engine queries remain after removal: %d", got)
+	}
+}

@@ -1,0 +1,36 @@
+package xacmlplus
+
+import (
+	"repro/internal/stream"
+)
+
+// weatherTestSchema is the §2.2 NEA weather schema (abbreviated).
+func weatherTestSchema() *stream.Schema {
+	return stream.MustSchema(
+		stream.Field{Name: "samplingtime", Type: stream.TypeTimestamp},
+		stream.Field{Name: "temperature", Type: stream.TypeDouble},
+		stream.Field{Name: "humidity", Type: stream.TypeDouble},
+		stream.Field{Name: "rainrate", Type: stream.TypeDouble},
+		stream.Field{Name: "windspeed", Type: stream.TypeDouble},
+		stream.Field{Name: "winddirection", Type: stream.TypeInt},
+		stream.Field{Name: "barometer", Type: stream.TypeDouble},
+	)
+}
+
+// weatherTuples generates n deterministic weather tuples with rainrate
+// cycling 0..99.
+func weatherTuples(n int) []stream.Tuple {
+	out := make([]stream.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, stream.NewTuple(
+			stream.TimestampMillis(int64(i)*30000),
+			stream.DoubleValue(24+float64(i%10)),
+			stream.DoubleValue(70+float64(i%20)),
+			stream.DoubleValue(float64(i%100)),
+			stream.DoubleValue(float64(i%30)),
+			stream.IntValue(int64(i%360)),
+			stream.DoubleValue(1000+float64(i%25)),
+		))
+	}
+	return out
+}

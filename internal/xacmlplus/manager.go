@@ -1,0 +1,161 @@
+package xacmlplus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// GraphManager implements the query-graph management of §3.3 and the
+// single-access bookkeeping of §3.4. The data server tracks every query
+// graph the PEP has deployed: which policy spawned it (so removing or
+// modifying the policy withdraws all of its graphs immediately) and
+// which (user, stream) pair owns it (so a user can hold at most one
+// live query per stream, defeating the multi-window reconstruction
+// attack).
+type GraphManager struct {
+	mu           sync.Mutex
+	byPolicy     map[string]map[string]bool // policyID -> set of queryIDs
+	byUserStream map[string]string          // user|stream -> queryID
+	byQuery      map[string]grant
+}
+
+type grant struct {
+	policyID string
+	user     string
+	stream   string
+	handle   string
+	script   string // canonical StreamSQL, used for idempotent re-grants
+}
+
+// NewGraphManager creates an empty manager.
+func NewGraphManager() *GraphManager {
+	return &GraphManager{
+		byPolicy:     map[string]map[string]bool{},
+		byUserStream: map[string]string{},
+		byQuery:      map[string]grant{},
+	}
+}
+
+func accessKey(user, stream string) string {
+	return strings.ToLower(user) + "\x00" + strings.ToLower(stream)
+}
+
+// Register records a deployed query graph. It fails if the user already
+// holds a live query on the stream (§3.4's single-access constraint).
+func (m *GraphManager) Register(policyID, user, streamName, queryID, handle string) error {
+	return m.RegisterScript(policyID, user, streamName, queryID, handle, "")
+}
+
+// RegisterScript is Register with the canonical StreamSQL recorded, so
+// identical later requests can be answered idempotently.
+func (m *GraphManager) RegisterScript(policyID, user, streamName, queryID, handle, script string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := accessKey(user, streamName)
+	if existing, busy := m.byUserStream[key]; busy {
+		return fmt.Errorf("xacmlplus: user %q already holds query %s on stream %q (single access per stream, §3.4)", user, existing, streamName)
+	}
+	if m.byPolicy[policyID] == nil {
+		m.byPolicy[policyID] = map[string]bool{}
+	}
+	m.byPolicy[policyID][queryID] = true
+	m.byUserStream[key] = queryID
+	m.byQuery[queryID] = grant{policyID: policyID, user: user, stream: streamName, handle: handle, script: script}
+	return nil
+}
+
+// Grant returns the live grant a user holds on a stream: its query id,
+// handle and canonical script.
+func (m *GraphManager) Grant(user, streamName string) (queryID, handle, script string, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id, ok := m.byUserStream[accessKey(user, streamName)]
+	if !ok {
+		return "", "", "", false
+	}
+	g := m.byQuery[id]
+	return id, g.handle, g.script, true
+}
+
+// ActiveQuery returns the query id a user holds on a stream, if any.
+func (m *GraphManager) ActiveQuery(user, streamName string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id, ok := m.byUserStream[accessKey(user, streamName)]
+	return id, ok
+}
+
+// Release drops a user's grant on a stream, returning the query id that
+// must be withdrawn from the engine.
+func (m *GraphManager) Release(user, streamName string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := accessKey(user, streamName)
+	id, ok := m.byUserStream[key]
+	if !ok {
+		return "", false
+	}
+	m.removeLocked(id)
+	return id, true
+}
+
+// OnPolicyRemoved unregisters every query graph spawned by the policy
+// and returns their ids for withdrawal from the back-end engine (§3.3).
+func (m *GraphManager) OnPolicyRemoved(policyID string) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	set := m.byPolicy[policyID]
+	ids := make([]string, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		m.removeLocked(id)
+	}
+	return ids
+}
+
+// Remove unregisters a single query id (e.g. after an engine-side
+// withdrawal).
+func (m *GraphManager) Remove(queryID string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.byQuery[queryID]; !ok {
+		return false
+	}
+	m.removeLocked(queryID)
+	return true
+}
+
+func (m *GraphManager) removeLocked(queryID string) {
+	g, ok := m.byQuery[queryID]
+	if !ok {
+		return
+	}
+	delete(m.byQuery, queryID)
+	delete(m.byUserStream, accessKey(g.user, g.stream))
+	if set := m.byPolicy[g.policyID]; set != nil {
+		delete(set, queryID)
+		if len(set) == 0 {
+			delete(m.byPolicy, g.policyID)
+		}
+	}
+}
+
+// Handle returns the stream handle recorded for a query id.
+func (m *GraphManager) Handle(queryID string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.byQuery[queryID]
+	return g.handle, ok
+}
+
+// ActiveCount reports the number of live query grants.
+func (m *GraphManager) ActiveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.byQuery)
+}

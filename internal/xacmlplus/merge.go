@@ -1,0 +1,142 @@
+package xacmlplus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dsms"
+	"repro/internal/expr"
+)
+
+// MergeGraphs combines the query graph derived from policy obligations
+// with the graph derived from the user's customised query, per the §3.1
+// rules:
+//
+//   - Filters F1 (policy) and F2 (user) merge into F3 with condition
+//     (C1) AND (C2), simplified where possible (e.g. x > v1 AND x > v2
+//     becomes x > max(v1, v2)).
+//
+//   - Maps M1 and M2 merge into M3 with S3 = S1 ∩ S2 — the effect of
+//     composing the two projections. (§3.1 writes S1 ∪ S2, but the
+//     union would expose attributes the policy withholds and
+//     contradicts the paper's own worked example; see DESIGN.md.)
+//
+//   - Aggregations A1 (policy) and A2 (user) merge only if the window
+//     types match and A1's size and advance step are ≤ A2's — the
+//     condition that the user is not given finer-grained data than the
+//     policy permits. The merged window takes A2's size and step; the
+//     aggregation specs are the intersection of A1's and A2's.
+//
+// An operator present on only one side is carried over unchanged (the
+// policy's operators always apply; a user refinement with no policy
+// counterpart applies on top).
+//
+// The merged graph uses the canonical filter → map → aggregate order.
+// Violations of the aggregation constraints return an error; NR/PR
+// warnings are the business of CheckGraphs, which callers should run
+// before (or instead of) trusting this merge.
+func MergeGraphs(policy, user *dsms.QueryGraph) (*dsms.QueryGraph, error) {
+	if policy == nil && user == nil {
+		return nil, fmt.Errorf("xacmlplus: nothing to merge")
+	}
+	if policy == nil {
+		return user.Clone(), nil
+	}
+	if user == nil {
+		return policy.Clone(), nil
+	}
+	if !strings.EqualFold(policy.Input, user.Input) {
+		return nil, fmt.Errorf("xacmlplus: graphs read different streams (%q vs %q)", policy.Input, user.Input)
+	}
+	merged := dsms.NewQueryGraph(policy.Input)
+
+	// Filter.
+	pf, uf := policy.Filter(), user.Filter()
+	switch {
+	case pf != nil && uf != nil:
+		merged.Boxes = append(merged.Boxes, dsms.NewFilterBox(
+			expr.MergeConditions(pf.Condition, uf.Condition)))
+	case pf != nil:
+		merged.Boxes = append(merged.Boxes, pf.Clone())
+	case uf != nil:
+		merged.Boxes = append(merged.Boxes, uf.Clone())
+	}
+
+	// Map.
+	pm, um := policy.Map(), user.Map()
+	switch {
+	case pm != nil && um != nil:
+		inter := intersectAttrs(pm.Attrs, um.Attrs)
+		if len(inter) == 0 {
+			return nil, fmt.Errorf("xacmlplus: merged projection is empty (policy %v vs user %v)", pm.Attrs, um.Attrs)
+		}
+		merged.Boxes = append(merged.Boxes, dsms.NewMapBox(inter...))
+	case pm != nil:
+		merged.Boxes = append(merged.Boxes, pm.Clone())
+	case um != nil:
+		merged.Boxes = append(merged.Boxes, um.Clone())
+	}
+
+	// Window aggregation.
+	pa, ua := policy.Aggregate(), user.Aggregate()
+	switch {
+	case pa != nil && ua != nil:
+		box, err := mergeAggregates(pa, ua)
+		if err != nil {
+			return nil, err
+		}
+		merged.Boxes = append(merged.Boxes, box)
+	case pa != nil:
+		merged.Boxes = append(merged.Boxes, pa.Clone())
+	case ua != nil:
+		merged.Boxes = append(merged.Boxes, ua.Clone())
+	}
+	return merged, nil
+}
+
+// intersectAttrs intersects two attribute lists case-insensitively,
+// preserving the order (and spelling) of the first list — the policy's,
+// so the merged projection never exceeds what the policy grants.
+func intersectAttrs(a, b []string) []string {
+	set := make(map[string]bool, len(b))
+	for _, x := range b {
+		set[strings.ToLower(x)] = true
+	}
+	var out []string
+	for _, x := range a {
+		if set[strings.ToLower(x)] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// mergeAggregates applies the §3.1 aggregation merge rules. pa is from
+// the policy, ua from the user query.
+func mergeAggregates(pa, ua *dsms.Box) (*dsms.Box, error) {
+	if pa.Window.Type != ua.Window.Type {
+		return nil, fmt.Errorf("xacmlplus: window types differ (%s vs %s)", pa.Window.Type, ua.Window.Type)
+	}
+	if pa.Window.Size > ua.Window.Size {
+		return nil, fmt.Errorf("xacmlplus: user window size %d finer than policy %d", ua.Window.Size, pa.Window.Size)
+	}
+	if pa.Window.Step > ua.Window.Step {
+		return nil, fmt.Errorf("xacmlplus: user window step %d finer than policy %d", ua.Window.Step, pa.Window.Step)
+	}
+	// Intersect aggregation specs: attribute AND function must agree.
+	// The policy's attribute spelling wins, like the map merge.
+	var aggs []dsms.AggSpec
+	for _, us := range ua.Aggs {
+		for _, ps := range pa.Aggs {
+			if strings.EqualFold(us.Attr, ps.Attr) && us.Func == ps.Func {
+				aggs = append(aggs, ps)
+				break
+			}
+		}
+	}
+	if len(aggs) == 0 {
+		return nil, fmt.Errorf("xacmlplus: no common aggregation attributes between policy and user query")
+	}
+	win := dsms.WindowSpec{Type: ua.Window.Type, Size: ua.Window.Size, Step: ua.Window.Step}
+	return dsms.NewAggregateBox(win, aggs...), nil
+}

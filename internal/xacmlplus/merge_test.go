@@ -1,0 +1,195 @@
+package xacmlplus
+
+import (
+	"testing"
+
+	"repro/internal/dsms"
+	"repro/internal/expr"
+)
+
+func policyGraphFig1() *dsms.QueryGraph {
+	return dsms.NewQueryGraph("weather",
+		dsms.NewFilterBox(expr.MustParse("rainrate > 5")),
+		dsms.NewMapBox("samplingtime", "rainrate", "windspeed"),
+		dsms.NewAggregateBox(dsms.WindowSpec{Type: dsms.WindowTuple, Size: 5, Step: 2},
+			dsms.AggSpec{Attr: "samplingtime", Func: dsms.AggLastVal},
+			dsms.AggSpec{Attr: "rainrate", Func: dsms.AggAvg},
+			dsms.AggSpec{Attr: "windspeed", Func: dsms.AggMax}),
+	)
+}
+
+func userGraphFig4a() *dsms.QueryGraph {
+	return dsms.NewQueryGraph("weather",
+		dsms.NewFilterBox(expr.MustParse("rainrate > 50")),
+		dsms.NewMapBox("rainrate"),
+		dsms.NewAggregateBox(dsms.WindowSpec{Type: dsms.WindowTuple, Size: 10, Step: 2},
+			dsms.AggSpec{Attr: "rainrate", Func: dsms.AggAvg}),
+	)
+}
+
+// TestMergeFig4 reproduces the §3.1 merge: Fig 1's policy graph merged
+// with Fig 4(a)'s user query yields the Fig 4(b) StreamSQL semantics:
+// filter rainrate > 50, project, window 10/2 with avg(rainrate).
+func TestMergeFig4(t *testing.T) {
+	merged, err := MergeGraphs(policyGraphFig1(), userGraphFig4a())
+	if err != nil {
+		t.Fatalf("MergeGraphs: %v", err)
+	}
+	if len(merged.Boxes) != 3 {
+		t.Fatalf("merged = %s", merged)
+	}
+	// Filter simplifies to rainrate > 50 (50 >= 5).
+	if !expr.Equal(merged.Boxes[0].Condition, expr.MustParse("rainrate > 50")) {
+		t.Errorf("merged filter = %s", merged.Boxes[0].Condition)
+	}
+	// Map intersects to {rainrate}.
+	if len(merged.Boxes[1].Attrs) != 1 || merged.Boxes[1].Attrs[0] != "rainrate" {
+		t.Errorf("merged map = %v", merged.Boxes[1].Attrs)
+	}
+	// Window takes the user's size/step; aggs intersect to rainrate:avg.
+	agg := merged.Boxes[2]
+	if agg.Window.Size != 10 || agg.Window.Step != 2 {
+		t.Errorf("merged window = %v", agg.Window)
+	}
+	if len(agg.Aggs) != 1 || agg.Aggs[0].String() != "rainrate:avg" {
+		t.Errorf("merged aggs = %v", agg.Aggs)
+	}
+}
+
+func TestMergeOneSided(t *testing.T) {
+	p := policyGraphFig1()
+	m, err := MergeGraphs(p, nil)
+	if err != nil || len(m.Boxes) != 3 {
+		t.Errorf("policy only: (%s,%v)", m, err)
+	}
+	u := userGraphFig4a()
+	m, err = MergeGraphs(nil, u)
+	if err != nil || len(m.Boxes) != 3 {
+		t.Errorf("user only: (%s,%v)", m, err)
+	}
+	if _, err := MergeGraphs(nil, nil); err == nil {
+		t.Error("nothing to merge must fail")
+	}
+}
+
+func TestMergePartialOperators(t *testing.T) {
+	// Policy has only a filter; user has only an aggregation.
+	p := dsms.NewQueryGraph("s", dsms.NewFilterBox(expr.MustParse("a > 1")))
+	u := dsms.NewQueryGraph("s",
+		dsms.NewAggregateBox(dsms.WindowSpec{Type: dsms.WindowTuple, Size: 4, Step: 2},
+			dsms.AggSpec{Attr: "a", Func: dsms.AggSum}))
+	m, err := MergeGraphs(p, u)
+	if err != nil {
+		t.Fatalf("MergeGraphs: %v", err)
+	}
+	if len(m.Boxes) != 2 || m.Boxes[0].Kind != dsms.BoxFilter || m.Boxes[1].Kind != dsms.BoxAggregate {
+		t.Errorf("merged = %s", m)
+	}
+}
+
+func TestMergeDifferentStreams(t *testing.T) {
+	p := dsms.NewQueryGraph("a")
+	u := dsms.NewQueryGraph("b")
+	if _, err := MergeGraphs(p, u); err == nil {
+		t.Error("different input streams must fail")
+	}
+}
+
+func TestMergeMapEmptyIntersection(t *testing.T) {
+	p := dsms.NewQueryGraph("s", dsms.NewMapBox("a", "b"))
+	u := dsms.NewQueryGraph("s", dsms.NewMapBox("c"))
+	if _, err := MergeGraphs(p, u); err == nil {
+		t.Error("empty projection intersection must fail")
+	}
+}
+
+func TestMergeMapCaseInsensitive(t *testing.T) {
+	p := dsms.NewQueryGraph("s", dsms.NewMapBox("RainRate", "WindSpeed"))
+	u := dsms.NewQueryGraph("s", dsms.NewMapBox("rainrate"))
+	m, err := MergeGraphs(p, u)
+	if err != nil {
+		t.Fatalf("MergeGraphs: %v", err)
+	}
+	// Policy spelling wins.
+	if len(m.Boxes[0].Attrs) != 1 || m.Boxes[0].Attrs[0] != "RainRate" {
+		t.Errorf("merged map = %v", m.Boxes[0].Attrs)
+	}
+}
+
+func TestMergeAggregateConstraints(t *testing.T) {
+	mkAgg := func(typ dsms.WindowType, size, step int64, aggs ...dsms.AggSpec) *dsms.QueryGraph {
+		return dsms.NewQueryGraph("s", dsms.NewAggregateBox(dsms.WindowSpec{Type: typ, Size: size, Step: step}, aggs...))
+	}
+	sum := dsms.AggSpec{Attr: "a", Func: dsms.AggSum}
+	avg := dsms.AggSpec{Attr: "a", Func: dsms.AggAvg}
+
+	// User window smaller than policy: error (finer granularity).
+	if _, err := MergeGraphs(mkAgg(dsms.WindowTuple, 5, 2, sum), mkAgg(dsms.WindowTuple, 3, 2, sum)); err == nil {
+		t.Error("smaller user window must fail")
+	}
+	// User step smaller: error.
+	if _, err := MergeGraphs(mkAgg(dsms.WindowTuple, 5, 2, sum), mkAgg(dsms.WindowTuple, 5, 1, sum)); err == nil {
+		t.Error("smaller user step must fail")
+	}
+	// Different types: error.
+	if _, err := MergeGraphs(mkAgg(dsms.WindowTuple, 5, 2, sum), mkAgg(dsms.WindowTime, 5, 2, sum)); err == nil {
+		t.Error("window type mismatch must fail")
+	}
+	// No shared agg specs: error.
+	if _, err := MergeGraphs(mkAgg(dsms.WindowTuple, 5, 2, sum), mkAgg(dsms.WindowTuple, 5, 2, avg)); err == nil {
+		t.Error("disjoint agg specs must fail")
+	}
+	// Equal windows merge fine.
+	m, err := MergeGraphs(mkAgg(dsms.WindowTuple, 5, 2, sum), mkAgg(dsms.WindowTuple, 5, 2, sum))
+	if err != nil || m.Aggregate().Window.Size != 5 {
+		t.Errorf("equal windows: (%s,%v)", m, err)
+	}
+	// Coarser user window merges with user's parameters.
+	m, err = MergeGraphs(mkAgg(dsms.WindowTuple, 5, 2, sum), mkAgg(dsms.WindowTuple, 8, 4, sum))
+	if err != nil {
+		t.Fatalf("coarser user: %v", err)
+	}
+	if w := m.Aggregate().Window; w.Size != 8 || w.Step != 4 {
+		t.Errorf("merged window = %v", w)
+	}
+}
+
+// TestMergeSemanticEquivalence: running the merged graph equals running
+// policy then user graphs in sequence (for filter+map graphs, where
+// composition semantics are exact).
+func TestMergeSemanticEquivalence(t *testing.T) {
+	schema := weatherTestSchema()
+	p := dsms.NewQueryGraph("weather",
+		dsms.NewFilterBox(expr.MustParse("rainrate > 5")),
+		dsms.NewMapBox("samplingtime", "rainrate", "windspeed"))
+	u := dsms.NewQueryGraph("weather",
+		dsms.NewFilterBox(expr.MustParse("rainrate > 50")),
+		dsms.NewMapBox("samplingtime", "rainrate"))
+	merged, err := MergeGraphs(p, u)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	input := weatherTuples(100)
+	mergedOut, _, err := dsms.RunGraphOnSlice(merged, schema, input)
+	if err != nil {
+		t.Fatalf("run merged: %v", err)
+	}
+	// Sequential: policy first, then user against policy's output schema.
+	pOut, pSchema, err := dsms.RunGraphOnSlice(p, schema, input)
+	if err != nil {
+		t.Fatalf("run policy: %v", err)
+	}
+	useq := dsms.NewQueryGraph("x", u.Boxes...)
+	seqOut, _, err := dsms.RunGraphOnSlice(useq, pSchema, pOut)
+	if err != nil {
+		t.Fatalf("run user after policy: %v", err)
+	}
+	if len(mergedOut) != len(seqOut) {
+		t.Fatalf("merged %d tuples vs sequential %d", len(mergedOut), len(seqOut))
+	}
+	for i := range mergedOut {
+		if !mergedOut[i].Equal(seqOut[i]) {
+			t.Fatalf("tuple %d: %v vs %v", i, mergedOut[i], seqOut[i])
+		}
+	}
+}

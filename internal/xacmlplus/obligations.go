@@ -1,0 +1,214 @@
+// Package xacmlplus implements the paper's core contribution: the
+// XACML+ extension that encodes Aurora stream operators inside XACML
+// obligations, the PEP that compiles obligations and user queries into
+// query graphs, the §3.1 merge rules, the §3.5 NR/PR conflict detection,
+// the §3.4 single-access guard against window-reconstruction attacks,
+// and the §3.3 query-graph manager that withdraws graphs when their
+// spawning policy is removed.
+package xacmlplus
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/dsms"
+	"repro/internal/expr"
+	"repro/internal/xacml"
+)
+
+// Obligation identifiers from Table 1 and attribute identifiers from
+// Fig 2. The prototype uses both the exacml: and pCloud: prefixes for
+// attribute ids; parsing accepts either, generation emits the pCloud:
+// form shown in Fig 2.
+const (
+	// ObligationFilter marks a stream-filtering obligation.
+	ObligationFilter = "exacml:obligation:stream-filter"
+	// ObligationFilterAlt is the long form used in Table 1.
+	ObligationFilterAlt = "exacml:obligation:stream-filtering"
+	// ObligationMap marks a stream-mapping obligation.
+	ObligationMap = "exacml:obligation:stream-map"
+	// ObligationMapAlt is the long form used in Table 1.
+	ObligationMapAlt = "exacml:obligation:stream-mapping"
+	// ObligationWindow marks a window-aggregation obligation.
+	ObligationWindow = "exacml:obligation:stream-window"
+	// ObligationWindowAlt is the long form used in Table 1.
+	ObligationWindowAlt = "exacml:obligation:stream-window-aggregation"
+
+	// AttrFilterCondition carries the filter's boolean expression.
+	AttrFilterCondition = "pCloud:obligation:stream-filter-condition-id"
+	// AttrMapAttribute carries one projected attribute name (repeated).
+	AttrMapAttribute = "pCloud:obligation:stream-map-attribute-id"
+	// AttrWindowType carries "tuple" or "time".
+	AttrWindowType = "pCloud:obligation:stream-window-type-id"
+	// AttrWindowSize carries the window size.
+	AttrWindowSize = "pCloud:obligation:stream-window-size-id"
+	// AttrWindowStep carries the window advance step.
+	AttrWindowStep = "pCloud:obligation:stream-window-step-id"
+	// AttrWindowAttr carries one "attribute:function" pair (repeated).
+	AttrWindowAttr = "pCloud:obligation:stream-window-attr-id"
+
+	// exacml-prefixed aliases accepted on input.
+	attrFilterConditionAlt = "exacml:obligation:stream-filter-condition-id"
+	attrMapAttributeAlt    = "exacml:obligation:stream-map-attribute-id"
+	attrWindowTypeAlt      = "exacml:obligation:stream-window-type-id"
+	attrWindowSizeAlt      = "exacml:obligation:stream-window-size-id"
+	attrWindowStepAlt      = "exacml:obligation:stream-window-step-id"
+	attrWindowAttrAlt      = "exacml:obligation:stream-window-attr-id"
+)
+
+// values returns obligation values under either the pCloud: or exacml:
+// attribute id spelling.
+func values(o xacml.Obligation, primary, alt string) []string {
+	out := o.Values(primary)
+	out = append(out, o.Values(alt)...)
+	return out
+}
+
+// ObligationsToGraph compiles the stream obligations of a Permit
+// decision into the policy's Aurora query graph over the named stream,
+// in the canonical order filter → map → window aggregation (Fig 1).
+// Obligations with unrelated ids are ignored; malformed stream
+// obligations are errors.
+func ObligationsToGraph(streamName string, obligations []xacml.Obligation) (*dsms.QueryGraph, error) {
+	g := dsms.NewQueryGraph(streamName)
+	var filterBox, mapBox, aggBox *dsms.Box
+	for _, o := range obligations {
+		switch o.ObligationID {
+		case ObligationFilter, ObligationFilterAlt:
+			if filterBox != nil {
+				return nil, fmt.Errorf("xacmlplus: duplicate filter obligation")
+			}
+			conds := values(o, AttrFilterCondition, attrFilterConditionAlt)
+			if len(conds) == 0 {
+				return nil, fmt.Errorf("xacmlplus: filter obligation without condition")
+			}
+			// Multiple condition assignments are AND-ed.
+			nodes := make([]expr.Node, 0, len(conds))
+			for _, c := range conds {
+				n, err := expr.Parse(c)
+				if err != nil {
+					return nil, fmt.Errorf("xacmlplus: filter condition: %w", err)
+				}
+				nodes = append(nodes, n)
+			}
+			filterBox = dsms.NewFilterBox(expr.NewAnd(nodes...))
+		case ObligationMap, ObligationMapAlt:
+			if mapBox != nil {
+				return nil, fmt.Errorf("xacmlplus: duplicate map obligation")
+			}
+			attrs := values(o, AttrMapAttribute, attrMapAttributeAlt)
+			if len(attrs) == 0 {
+				return nil, fmt.Errorf("xacmlplus: map obligation without attributes")
+			}
+			mapBox = dsms.NewMapBox(attrs...)
+		case ObligationWindow, ObligationWindowAlt:
+			if aggBox != nil {
+				return nil, fmt.Errorf("xacmlplus: duplicate window obligation")
+			}
+			box, err := windowObligationToBox(o)
+			if err != nil {
+				return nil, err
+			}
+			aggBox = box
+		}
+	}
+	if filterBox != nil {
+		g.Boxes = append(g.Boxes, filterBox)
+	}
+	if mapBox != nil {
+		g.Boxes = append(g.Boxes, mapBox)
+	}
+	if aggBox != nil {
+		g.Boxes = append(g.Boxes, aggBox)
+	}
+	return g, nil
+}
+
+func windowObligationToBox(o xacml.Obligation) (*dsms.Box, error) {
+	typeStr := firstNonEmpty(values(o, AttrWindowType, attrWindowTypeAlt))
+	sizeStr := firstNonEmpty(values(o, AttrWindowSize, attrWindowSizeAlt))
+	stepStr := firstNonEmpty(values(o, AttrWindowStep, attrWindowStepAlt))
+	if typeStr == "" || sizeStr == "" || stepStr == "" {
+		return nil, fmt.Errorf("xacmlplus: window obligation missing type/size/step")
+	}
+	wt, err := dsms.ParseWindowType(typeStr)
+	if err != nil {
+		return nil, fmt.Errorf("xacmlplus: %w", err)
+	}
+	size, err := strconv.ParseInt(sizeStr, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("xacmlplus: bad window size %q", sizeStr)
+	}
+	step, err := strconv.ParseInt(stepStr, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("xacmlplus: bad window step %q", stepStr)
+	}
+	spec := dsms.WindowSpec{Type: wt, Size: size, Step: step}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("xacmlplus: %w", err)
+	}
+	attrVals := values(o, AttrWindowAttr, attrWindowAttrAlt)
+	if len(attrVals) == 0 {
+		return nil, fmt.Errorf("xacmlplus: window obligation without aggregation attributes")
+	}
+	aggs := make([]dsms.AggSpec, 0, len(attrVals))
+	for _, av := range attrVals {
+		spec, err := dsms.ParseAggSpec(av)
+		if err != nil {
+			return nil, fmt.Errorf("xacmlplus: %w", err)
+		}
+		aggs = append(aggs, spec)
+	}
+	return dsms.NewAggregateBox(spec, aggs...), nil
+}
+
+func firstNonEmpty(vs []string) string {
+	for _, v := range vs {
+		if v != "" {
+			return v
+		}
+	}
+	return ""
+}
+
+// GraphToObligations is the inverse of ObligationsToGraph: it encodes a
+// query graph as the obligations block of an XACML policy (Fig 2). The
+// workload generator uses it to synthesise policies from random graphs.
+func GraphToObligations(g *dsms.QueryGraph) ([]xacml.Obligation, error) {
+	var out []xacml.Obligation
+	for _, b := range g.Boxes {
+		switch b.Kind {
+		case dsms.BoxFilter:
+			if b.Condition == nil {
+				continue
+			}
+			out = append(out, xacml.Obligation{
+				ObligationID: ObligationFilter,
+				FulfillOn:    xacml.EffectPermit,
+				Assignments: []xacml.AttributeAssignment{
+					xacml.NewStringAssignment(AttrFilterCondition, b.Condition.String()),
+				},
+			})
+		case dsms.BoxMap:
+			ob := xacml.Obligation{ObligationID: ObligationMap, FulfillOn: xacml.EffectPermit}
+			for _, a := range b.Attrs {
+				ob.Assignments = append(ob.Assignments, xacml.NewStringAssignment(AttrMapAttribute, a))
+			}
+			out = append(out, ob)
+		case dsms.BoxAggregate:
+			ob := xacml.Obligation{ObligationID: ObligationWindow, FulfillOn: xacml.EffectPermit}
+			ob.Assignments = append(ob.Assignments,
+				xacml.NewIntAssignment(AttrWindowStep, strconv.FormatInt(b.Window.Step, 10)),
+				xacml.NewIntAssignment(AttrWindowSize, strconv.FormatInt(b.Window.Size, 10)),
+				xacml.NewStringAssignment(AttrWindowType, b.Window.Type.String()),
+			)
+			for _, a := range b.Aggs {
+				ob.Assignments = append(ob.Assignments, xacml.NewStringAssignment(AttrWindowAttr, a.String()))
+			}
+			out = append(out, ob)
+		default:
+			return nil, fmt.Errorf("xacmlplus: cannot encode box kind %v", b.Kind)
+		}
+	}
+	return out, nil
+}

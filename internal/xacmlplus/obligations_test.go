@@ -1,0 +1,222 @@
+package xacmlplus
+
+import (
+	"testing"
+
+	"repro/internal/dsms"
+	"repro/internal/expr"
+	"repro/internal/xacml"
+)
+
+// fig2Obligations builds the paper's Fig 2 obligations programmatically.
+func fig2Obligations() []xacml.Obligation {
+	return []xacml.Obligation{
+		{
+			ObligationID: ObligationFilter,
+			FulfillOn:    xacml.EffectPermit,
+			Assignments: []xacml.AttributeAssignment{
+				xacml.NewStringAssignment(AttrFilterCondition, "rainrate > 5"),
+			},
+		},
+		{
+			ObligationID: ObligationMap,
+			FulfillOn:    xacml.EffectPermit,
+			Assignments: []xacml.AttributeAssignment{
+				xacml.NewStringAssignment(AttrMapAttribute, "samplingtime"),
+				xacml.NewStringAssignment(AttrMapAttribute, "rainrate"),
+				xacml.NewStringAssignment(AttrMapAttribute, "windspeed"),
+			},
+		},
+		{
+			ObligationID: ObligationWindow,
+			FulfillOn:    xacml.EffectPermit,
+			Assignments: []xacml.AttributeAssignment{
+				xacml.NewIntAssignment(AttrWindowStep, "2"),
+				xacml.NewIntAssignment(AttrWindowSize, "5"),
+				xacml.NewStringAssignment(AttrWindowType, "tuple"),
+				xacml.NewStringAssignment(AttrWindowAttr, "samplingtime:lastval"),
+				xacml.NewStringAssignment(AttrWindowAttr, "rainrate:avg"),
+				xacml.NewStringAssignment(AttrWindowAttr, "windspeed:max"),
+			},
+		},
+	}
+}
+
+// TestObligationIDsTable1 pins the Table 1 vocabulary.
+func TestObligationIDsTable1(t *testing.T) {
+	if ObligationFilterAlt != "exacml:obligation:stream-filtering" {
+		t.Error("filter obligation id")
+	}
+	if ObligationMapAlt != "exacml:obligation:stream-mapping" {
+		t.Error("map obligation id")
+	}
+	if ObligationWindowAlt != "exacml:obligation:stream-window-aggregation" {
+		t.Error("window obligation id")
+	}
+}
+
+// TestObligationsToGraphFig1 reproduces Fig 1: the obligations of Fig 2
+// compile to filter -> map -> aggregate over the weather stream.
+func TestObligationsToGraphFig1(t *testing.T) {
+	g, err := ObligationsToGraph("weather", fig2Obligations())
+	if err != nil {
+		t.Fatalf("ObligationsToGraph: %v", err)
+	}
+	if g.Input != "weather" || len(g.Boxes) != 3 {
+		t.Fatalf("graph = %s", g)
+	}
+	if g.Boxes[0].Kind != dsms.BoxFilter ||
+		!expr.Equal(g.Boxes[0].Condition, expr.MustParse("rainrate > 5")) {
+		t.Errorf("filter = %s", g.Boxes[0])
+	}
+	if g.Boxes[1].Kind != dsms.BoxMap || len(g.Boxes[1].Attrs) != 3 {
+		t.Errorf("map = %s", g.Boxes[1])
+	}
+	agg := g.Boxes[2]
+	if agg.Kind != dsms.BoxAggregate {
+		t.Fatalf("agg = %s", agg)
+	}
+	if agg.Window.Type != dsms.WindowTuple || agg.Window.Size != 5 || agg.Window.Step != 2 {
+		t.Errorf("window = %v", agg.Window)
+	}
+	if len(agg.Aggs) != 3 || agg.Aggs[1].Func != dsms.AggAvg || agg.Aggs[1].Attr != "rainrate" {
+		t.Errorf("aggs = %v", agg.Aggs)
+	}
+}
+
+func TestObligationsToGraphAltIDs(t *testing.T) {
+	// Table 1 long ids and exacml-prefixed attributes parse too.
+	obs := []xacml.Obligation{
+		{
+			ObligationID: ObligationFilterAlt,
+			Assignments: []xacml.AttributeAssignment{
+				xacml.NewStringAssignment(attrFilterConditionAlt, "a > 1"),
+			},
+		},
+		{
+			ObligationID: ObligationMapAlt,
+			Assignments: []xacml.AttributeAssignment{
+				xacml.NewStringAssignment(attrMapAttributeAlt, "a"),
+			},
+		},
+	}
+	g, err := ObligationsToGraph("s", obs)
+	if err != nil {
+		t.Fatalf("alt ids: %v", err)
+	}
+	if len(g.Boxes) != 2 {
+		t.Errorf("boxes = %d", len(g.Boxes))
+	}
+}
+
+func TestObligationsToGraphIgnoresUnrelated(t *testing.T) {
+	obs := []xacml.Obligation{{ObligationID: "urn:something:else"}}
+	g, err := ObligationsToGraph("s", obs)
+	if err != nil || len(g.Boxes) != 0 {
+		t.Errorf("unrelated obligations: (%v,%v)", g, err)
+	}
+}
+
+func TestObligationsToGraphErrors(t *testing.T) {
+	bad := [][]xacml.Obligation{
+		// Filter without condition.
+		{{ObligationID: ObligationFilter}},
+		// Bad condition.
+		{{ObligationID: ObligationFilter, Assignments: []xacml.AttributeAssignment{
+			xacml.NewStringAssignment(AttrFilterCondition, "<<<")}}},
+		// Map without attrs.
+		{{ObligationID: ObligationMap}},
+		// Window missing size.
+		{{ObligationID: ObligationWindow, Assignments: []xacml.AttributeAssignment{
+			xacml.NewStringAssignment(AttrWindowType, "tuple"),
+			xacml.NewIntAssignment(AttrWindowStep, "2")}}},
+		// Window bad type.
+		{{ObligationID: ObligationWindow, Assignments: []xacml.AttributeAssignment{
+			xacml.NewStringAssignment(AttrWindowType, "hopping"),
+			xacml.NewIntAssignment(AttrWindowSize, "5"),
+			xacml.NewIntAssignment(AttrWindowStep, "2"),
+			xacml.NewStringAssignment(AttrWindowAttr, "a:avg")}}},
+		// Window bad size.
+		{{ObligationID: ObligationWindow, Assignments: []xacml.AttributeAssignment{
+			xacml.NewStringAssignment(AttrWindowType, "tuple"),
+			xacml.NewIntAssignment(AttrWindowSize, "five"),
+			xacml.NewIntAssignment(AttrWindowStep, "2"),
+			xacml.NewStringAssignment(AttrWindowAttr, "a:avg")}}},
+		// Window without aggregation attrs.
+		{{ObligationID: ObligationWindow, Assignments: []xacml.AttributeAssignment{
+			xacml.NewStringAssignment(AttrWindowType, "tuple"),
+			xacml.NewIntAssignment(AttrWindowSize, "5"),
+			xacml.NewIntAssignment(AttrWindowStep, "2")}}},
+		// Bad agg spec.
+		{{ObligationID: ObligationWindow, Assignments: []xacml.AttributeAssignment{
+			xacml.NewStringAssignment(AttrWindowType, "tuple"),
+			xacml.NewIntAssignment(AttrWindowSize, "5"),
+			xacml.NewIntAssignment(AttrWindowStep, "2"),
+			xacml.NewStringAssignment(AttrWindowAttr, "a:median")}}},
+		// Duplicate filter obligations.
+		{
+			{ObligationID: ObligationFilter, Assignments: []xacml.AttributeAssignment{
+				xacml.NewStringAssignment(AttrFilterCondition, "a > 1")}},
+			{ObligationID: ObligationFilterAlt, Assignments: []xacml.AttributeAssignment{
+				xacml.NewStringAssignment(AttrFilterCondition, "a > 2")}},
+		},
+	}
+	for i, obs := range bad {
+		if _, err := ObligationsToGraph("s", obs); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+// TestGraphObligationsRoundTrip: graph -> obligations -> graph is
+// structurally identical.
+func TestGraphObligationsRoundTrip(t *testing.T) {
+	g, err := ObligationsToGraph("weather", fig2Obligations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := GraphToObligations(g)
+	if err != nil {
+		t.Fatalf("GraphToObligations: %v", err)
+	}
+	if len(obs) != 3 {
+		t.Fatalf("obligations = %d", len(obs))
+	}
+	g2, err := ObligationsToGraph("weather", obs)
+	if err != nil {
+		t.Fatalf("back to graph: %v", err)
+	}
+	if len(g2.Boxes) != len(g.Boxes) {
+		t.Fatalf("box count %d != %d", len(g2.Boxes), len(g.Boxes))
+	}
+	for i := range g.Boxes {
+		a, b := g.Boxes[i], g2.Boxes[i]
+		if a.Kind != b.Kind {
+			t.Errorf("box %d kind %v != %v", i, a.Kind, b.Kind)
+		}
+	}
+	if !expr.Equal(g2.Boxes[0].Condition, g.Boxes[0].Condition) {
+		t.Error("filter condition round trip")
+	}
+	if !g2.Boxes[2].Window.Equal(g.Boxes[2].Window) {
+		t.Error("window round trip")
+	}
+}
+
+// TestFig2PolicyEndToEnd: a full XACML policy containing the Fig 2
+// obligations evaluates to Permit and yields the Fig 1 graph.
+func TestFig2PolicyEndToEnd(t *testing.T) {
+	pol := xacml.NewPermitPolicy("nea:weather:lta",
+		xacml.NewTarget("LTA", "weather", "read"), fig2Obligations()...)
+	res, err := xacml.EvaluatePolicy(pol, xacml.NewRequest("LTA", "weather", "read"))
+	if err != nil || res.Decision != xacml.Permit {
+		t.Fatalf("eval: (%v,%v)", res.Decision, err)
+	}
+	g, err := ObligationsToGraph("weather", res.Obligations)
+	if err != nil {
+		t.Fatalf("graph: %v", err)
+	}
+	if len(g.Boxes) != 3 {
+		t.Errorf("graph = %s", g)
+	}
+}

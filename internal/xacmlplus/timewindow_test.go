@@ -1,0 +1,129 @@
+package xacmlplus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dsms"
+	"repro/internal/stream"
+	"repro/internal/xacml"
+)
+
+// Time-based window obligations (§2.1 lists both tuple- and time-based
+// windows) flow through obligations → graph → merge → StreamSQL.
+
+func timeWindowObligation(size, step string) xacml.Obligation {
+	return xacml.Obligation{
+		ObligationID: ObligationWindow,
+		FulfillOn:    xacml.EffectPermit,
+		Assignments: []xacml.AttributeAssignment{
+			xacml.NewStringAssignment(AttrWindowType, "time"),
+			xacml.NewIntAssignment(AttrWindowSize, size),
+			xacml.NewIntAssignment(AttrWindowStep, step),
+			xacml.NewStringAssignment(AttrWindowAttr, "a:avg"),
+		},
+	}
+}
+
+func TestTimeWindowObligationToGraph(t *testing.T) {
+	g, err := ObligationsToGraph("s", []xacml.Obligation{timeWindowObligation("60000", "30000")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := g.Aggregate()
+	if agg == nil || agg.Window.Type != dsms.WindowTime || agg.Window.Size != 60000 {
+		t.Fatalf("graph = %s", g)
+	}
+}
+
+func TestTimeWindowMergeConstraints(t *testing.T) {
+	policy, err := ObligationsToGraph("s", []xacml.Obligation{timeWindowObligation("60000", "30000")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coarser user window merges.
+	user := &UserQuery{
+		Stream: StreamRef{Name: "s"},
+		Aggregation: &AggClause{
+			WindowType: "time", WindowSize: 120000, WindowStep: 30000,
+			Attributes: []string{"avg(a)"},
+		},
+	}
+	ug, err := user.ToGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MergeGraphs(policy, ug)
+	if err != nil {
+		t.Fatalf("merge coarser time window: %v", err)
+	}
+	if w := m.Aggregate().Window; w.Type != dsms.WindowTime || w.Size != 120000 {
+		t.Errorf("merged window = %v", w)
+	}
+	// Finer user window: NR by rule 1.
+	user.Aggregation.WindowSize = 30000
+	ug2, _ := user.ToGraph()
+	res, err := CheckGraphs(policy, ug2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict.String() != "NR" {
+		t.Errorf("finer time window verdict = %v", res.Verdict)
+	}
+	// Tuple-vs-time mismatch: NR by rule 3.
+	user.Aggregation.WindowType = "tuple"
+	user.Aggregation.WindowSize = 120000
+	ug3, _ := user.ToGraph()
+	res, _ = CheckGraphs(policy, ug3)
+	if res.Verdict.String() != "NR" {
+		t.Errorf("type mismatch verdict = %v", res.Verdict)
+	}
+}
+
+func TestTimeWindowEndToEnd(t *testing.T) {
+	eng := dsms.NewEngine("tw")
+	defer eng.Close()
+	schema := stream.MustSchema(stream.Field{Name: "a", Type: stream.TypeDouble})
+	if err := eng.CreateStream("s", schema); err != nil {
+		t.Fatal(err)
+	}
+	pdp := xacml.NewPDP()
+	pdp.AddPolicy(xacml.NewPermitPolicy("tw", xacml.NewTarget("", "s", "read"),
+		timeWindowObligation("1000", "1000")))
+	pep := NewPEP(pdp, LocalEngine{E: eng})
+	resp, err := pep.HandleRequest(xacml.NewRequest("u", "s", "read"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Granted() {
+		t.Fatalf("not granted: %+v", resp)
+	}
+	if !strings.Contains(resp.Script, "MILLISECONDS") {
+		t.Errorf("script should declare a time window:\n%s", resp.Script)
+	}
+	sub, err := eng.Subscribe(resp.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed tuples with controlled arrival times: t=0..2500 every 250ms,
+	// value = t/250. Windows [0,1000) avg 1.5 and [1000,2000) avg 5.5.
+	var now int64
+	eng.SetClock(func() int64 { return now })
+	for now = 0; now <= 2500; now += 250 {
+		if err := eng.Ingest("s", stream.NewTuple(stream.DoubleValue(float64(now/250)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Flush()
+	if len(sub.C) != 2 {
+		t.Fatalf("windows = %d, want 2", len(sub.C))
+	}
+	w1 := <-sub.C
+	if w1.Values[0].Double() != 1.5 {
+		t.Errorf("first window avg = %v", w1.Values[0])
+	}
+	w2 := <-sub.C
+	if w2.Values[0].Double() != 5.5 {
+		t.Errorf("second window avg = %v", w2.Values[0])
+	}
+}

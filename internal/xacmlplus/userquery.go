@@ -1,0 +1,185 @@
+package xacmlplus
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+
+	"repro/internal/dsms"
+	"repro/internal/expr"
+)
+
+// UserQuery is the customised query a user attaches to a stream request
+// (Fig 4(a)). All sections are optional; an empty query requests the
+// stream exactly as the policy exposes it.
+type UserQuery struct {
+	XMLName     xml.Name      `xml:"UserQuery"`
+	Stream      StreamRef     `xml:"Stream"`
+	Filter      *FilterClause `xml:"Filter"`
+	Map         *MapClause    `xml:"Map"`
+	Aggregation *AggClause    `xml:"Aggregation"`
+}
+
+// StreamRef names the requested stream.
+type StreamRef struct {
+	Name string `xml:"name,attr"`
+}
+
+// FilterClause carries the additional filter condition.
+type FilterClause struct {
+	Condition string `xml:"FilterCondition"`
+}
+
+// MapClause lists the requested attributes.
+type MapClause struct {
+	Attributes []string `xml:"Attribute"`
+}
+
+// AggClause describes the requested window aggregation. Attributes use
+// the "func(attr)" call form shown in Fig 4(a).
+type AggClause struct {
+	WindowType string   `xml:"WindowType"`
+	WindowSize int64    `xml:"WindowSize"`
+	WindowStep int64    `xml:"WindowStep"`
+	Attributes []string `xml:"Attribute"`
+}
+
+// ParseUserQuery parses the XML form of Fig 4(a).
+func ParseUserQuery(data []byte) (*UserQuery, error) {
+	var q UserQuery
+	if err := xml.Unmarshal(data, &q); err != nil {
+		return nil, fmt.Errorf("xacmlplus: parse user query: %w", err)
+	}
+	if strings.TrimSpace(q.Stream.Name) == "" {
+		return nil, fmt.Errorf("xacmlplus: user query names no stream")
+	}
+	return &q, nil
+}
+
+// Marshal renders the query as indented XML.
+func (q *UserQuery) Marshal() ([]byte, error) {
+	return xml.MarshalIndent(q, "", "  ")
+}
+
+// ToGraph compiles the user query into its Aurora query graph, exactly
+// as the PEP does on receipt (§3.2 step 1).
+func (q *UserQuery) ToGraph() (*dsms.QueryGraph, error) {
+	g := dsms.NewQueryGraph(strings.TrimSpace(q.Stream.Name))
+	if q.Filter != nil {
+		cond := strings.TrimSpace(q.Filter.Condition)
+		if cond == "" {
+			return nil, fmt.Errorf("xacmlplus: empty filter condition in user query")
+		}
+		n, err := expr.Parse(cond)
+		if err != nil {
+			return nil, fmt.Errorf("xacmlplus: user filter: %w", err)
+		}
+		g.Boxes = append(g.Boxes, dsms.NewFilterBox(n))
+	}
+	if q.Map != nil {
+		attrs := make([]string, 0, len(q.Map.Attributes))
+		for _, a := range q.Map.Attributes {
+			a = strings.TrimSpace(a)
+			if a != "" {
+				attrs = append(attrs, a)
+			}
+		}
+		if len(attrs) == 0 {
+			return nil, fmt.Errorf("xacmlplus: empty map clause in user query")
+		}
+		g.Boxes = append(g.Boxes, dsms.NewMapBox(attrs...))
+	}
+	if q.Aggregation != nil {
+		box, err := q.Aggregation.toBox()
+		if err != nil {
+			return nil, err
+		}
+		g.Boxes = append(g.Boxes, box)
+	}
+	return g, nil
+}
+
+func (a *AggClause) toBox() (*dsms.Box, error) {
+	wt, err := dsms.ParseWindowType(a.WindowType)
+	if err != nil {
+		return nil, fmt.Errorf("xacmlplus: user aggregation: %w", err)
+	}
+	spec := dsms.WindowSpec{Type: wt, Size: a.WindowSize, Step: a.WindowStep}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("xacmlplus: user aggregation: %w", err)
+	}
+	if len(a.Attributes) == 0 {
+		return nil, fmt.Errorf("xacmlplus: user aggregation without attributes")
+	}
+	aggs := make([]dsms.AggSpec, 0, len(a.Attributes))
+	for _, raw := range a.Attributes {
+		spec, err := parseCallForm(raw)
+		if err != nil {
+			return nil, err
+		}
+		aggs = append(aggs, spec)
+	}
+	return dsms.NewAggregateBox(spec, aggs...), nil
+}
+
+// parseCallForm parses "func(attr)" (Fig 4(a)) or "attr:func" (the
+// obligation form), accepting both for convenience.
+func parseCallForm(s string) (dsms.AggSpec, error) {
+	s = strings.TrimSpace(s)
+	if open := strings.IndexByte(s, '('); open > 0 && strings.HasSuffix(s, ")") {
+		fn := strings.TrimSpace(s[:open])
+		attr := strings.TrimSpace(s[open+1 : len(s)-1])
+		f, err := dsms.ParseAggFunc(fn)
+		if err != nil {
+			return dsms.AggSpec{}, fmt.Errorf("xacmlplus: %w", err)
+		}
+		if attr == "" {
+			return dsms.AggSpec{}, fmt.Errorf("xacmlplus: empty attribute in %q", s)
+		}
+		return dsms.AggSpec{Attr: attr, Func: f}, nil
+	}
+	spec, err := dsms.ParseAggSpec(s)
+	if err != nil {
+		return dsms.AggSpec{}, fmt.Errorf("xacmlplus: %w", err)
+	}
+	return spec, nil
+}
+
+// FromGraph builds the UserQuery XML representation of a query graph;
+// the workload generator uses it to synthesise request payloads.
+func FromGraph(g *dsms.QueryGraph) (*UserQuery, error) {
+	q := &UserQuery{Stream: StreamRef{Name: g.Input}}
+	for _, b := range g.Boxes {
+		switch b.Kind {
+		case dsms.BoxFilter:
+			if b.Condition == nil {
+				continue
+			}
+			if q.Filter != nil {
+				return nil, fmt.Errorf("xacmlplus: graph has multiple filters")
+			}
+			q.Filter = &FilterClause{Condition: b.Condition.String()}
+		case dsms.BoxMap:
+			if q.Map != nil {
+				return nil, fmt.Errorf("xacmlplus: graph has multiple maps")
+			}
+			q.Map = &MapClause{Attributes: append([]string(nil), b.Attrs...)}
+		case dsms.BoxAggregate:
+			if q.Aggregation != nil {
+				return nil, fmt.Errorf("xacmlplus: graph has multiple aggregations")
+			}
+			ac := &AggClause{
+				WindowType: b.Window.Type.String(),
+				WindowSize: b.Window.Size,
+				WindowStep: b.Window.Step,
+			}
+			for _, a := range b.Aggs {
+				ac.Attributes = append(ac.Attributes, fmt.Sprintf("%s(%s)", a.Func, a.Attr))
+			}
+			q.Aggregation = ac
+		default:
+			return nil, fmt.Errorf("xacmlplus: cannot encode box kind %v", b.Kind)
+		}
+	}
+	return q, nil
+}

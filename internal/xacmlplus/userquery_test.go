@@ -1,0 +1,174 @@
+package xacmlplus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dsms"
+	"repro/internal/expr"
+)
+
+// fig4aXML is the user query of Fig 4(a) (with the paper's unclosed
+// WindowSize/WindowStep tags fixed).
+const fig4aXML = `
+<UserQuery>
+  <Stream name="weather" />
+  <Filter>
+    <FilterCondition>
+      RainRate &gt; 50
+    </FilterCondition>
+  </Filter>
+  <Map>
+    <Attribute>RainRate</Attribute>
+  </Map>
+  <Aggregation>
+    <WindowType>tuple</WindowType>
+    <WindowSize>10</WindowSize>
+    <WindowStep>2</WindowStep>
+    <Attribute>avg(RainRate)</Attribute>
+  </Aggregation>
+</UserQuery>`
+
+func TestParseFig4a(t *testing.T) {
+	q, err := ParseUserQuery([]byte(fig4aXML))
+	if err != nil {
+		t.Fatalf("ParseUserQuery: %v", err)
+	}
+	if q.Stream.Name != "weather" {
+		t.Errorf("stream = %q", q.Stream.Name)
+	}
+	g, err := q.ToGraph()
+	if err != nil {
+		t.Fatalf("ToGraph: %v", err)
+	}
+	if len(g.Boxes) != 3 {
+		t.Fatalf("graph = %s", g)
+	}
+	if !expr.Equal(g.Boxes[0].Condition, expr.MustParse("RainRate > 50")) {
+		t.Errorf("filter = %s", g.Boxes[0])
+	}
+	if g.Boxes[1].Attrs[0] != "RainRate" {
+		t.Errorf("map = %s", g.Boxes[1])
+	}
+	agg := g.Boxes[2]
+	if agg.Window.Size != 10 || agg.Window.Step != 2 || agg.Window.Type != dsms.WindowTuple {
+		t.Errorf("window = %v", agg.Window)
+	}
+	if len(agg.Aggs) != 1 || agg.Aggs[0].Func != dsms.AggAvg || agg.Aggs[0].Attr != "RainRate" {
+		t.Errorf("aggs = %v", agg.Aggs)
+	}
+}
+
+func TestUserQueryPartialSections(t *testing.T) {
+	q, err := ParseUserQuery([]byte(`<UserQuery><Stream name="s"/></UserQuery>`))
+	if err != nil {
+		t.Fatalf("empty query: %v", err)
+	}
+	g, err := q.ToGraph()
+	if err != nil || len(g.Boxes) != 0 {
+		t.Errorf("empty query graph: (%s,%v)", g, err)
+	}
+	q, err = ParseUserQuery([]byte(`<UserQuery><Stream name="s"/><Filter><FilterCondition>a > 1</FilterCondition></Filter></UserQuery>`))
+	if err != nil {
+		t.Fatalf("filter-only: %v", err)
+	}
+	g, err = q.ToGraph()
+	if err != nil || len(g.Boxes) != 1 || g.Boxes[0].Kind != dsms.BoxFilter {
+		t.Errorf("filter-only graph: (%s,%v)", g, err)
+	}
+}
+
+func TestUserQueryErrors(t *testing.T) {
+	cases := []string{
+		`<UserQuery></UserQuery>`, // no stream
+		`<oops`,
+	}
+	for _, src := range cases {
+		if _, err := ParseUserQuery([]byte(src)); err == nil {
+			t.Errorf("ParseUserQuery(%q) should fail", src)
+		}
+	}
+	graphBad := []string{
+		`<UserQuery><Stream name="s"/><Filter><FilterCondition></FilterCondition></Filter></UserQuery>`,
+		`<UserQuery><Stream name="s"/><Filter><FilterCondition>%%%</FilterCondition></Filter></UserQuery>`,
+		`<UserQuery><Stream name="s"/><Map></Map></UserQuery>`,
+		`<UserQuery><Stream name="s"/><Aggregation><WindowType>tuple</WindowType><WindowSize>0</WindowSize><WindowStep>1</WindowStep><Attribute>avg(a)</Attribute></Aggregation></UserQuery>`,
+		`<UserQuery><Stream name="s"/><Aggregation><WindowType>weird</WindowType><WindowSize>5</WindowSize><WindowStep>1</WindowStep><Attribute>avg(a)</Attribute></Aggregation></UserQuery>`,
+		`<UserQuery><Stream name="s"/><Aggregation><WindowType>tuple</WindowType><WindowSize>5</WindowSize><WindowStep>1</WindowStep></Aggregation></UserQuery>`,
+		`<UserQuery><Stream name="s"/><Aggregation><WindowType>tuple</WindowType><WindowSize>5</WindowSize><WindowStep>1</WindowStep><Attribute>median(a)</Attribute></Aggregation></UserQuery>`,
+	}
+	for _, src := range graphBad {
+		q, err := ParseUserQuery([]byte(src))
+		if err != nil {
+			continue
+		}
+		if _, err := q.ToGraph(); err == nil {
+			t.Errorf("ToGraph(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseCallForms(t *testing.T) {
+	s, err := parseCallForm("avg(RainRate)")
+	if err != nil || s.Func != dsms.AggAvg || s.Attr != "RainRate" {
+		t.Errorf("call form: (%+v,%v)", s, err)
+	}
+	s, err = parseCallForm("rainrate:max")
+	if err != nil || s.Func != dsms.AggMax {
+		t.Errorf("colon form: (%+v,%v)", s, err)
+	}
+	for _, bad := range []string{"avg()", "(a)", "nope", "median(a)"} {
+		if _, err := parseCallForm(bad); err == nil {
+			t.Errorf("parseCallForm(%q) should fail", bad)
+		}
+	}
+}
+
+func TestUserQueryXMLRoundTrip(t *testing.T) {
+	q, err := ParseUserQuery([]byte(fig4aXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := q.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	q2, err := ParseUserQuery(data)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, data)
+	}
+	g1, _ := q.ToGraph()
+	g2, err := q2.ToGraph()
+	if err != nil {
+		t.Fatalf("round-tripped graph: %v", err)
+	}
+	if len(g1.Boxes) != len(g2.Boxes) {
+		t.Errorf("box count changed: %d vs %d", len(g1.Boxes), len(g2.Boxes))
+	}
+}
+
+func TestFromGraphRoundTrip(t *testing.T) {
+	g := dsms.NewQueryGraph("weather",
+		dsms.NewFilterBox(expr.MustParse("rainrate > 50")),
+		dsms.NewMapBox("rainrate"),
+		dsms.NewAggregateBox(dsms.WindowSpec{Type: dsms.WindowTuple, Size: 10, Step: 2},
+			dsms.AggSpec{Attr: "rainrate", Func: dsms.AggAvg}),
+	)
+	q, err := FromGraph(g)
+	if err != nil {
+		t.Fatalf("FromGraph: %v", err)
+	}
+	if q.Filter == nil || q.Map == nil || q.Aggregation == nil {
+		t.Fatalf("query sections missing: %+v", q)
+	}
+	if !strings.Contains(q.Aggregation.Attributes[0], "avg(") {
+		t.Errorf("agg attribute = %q", q.Aggregation.Attributes[0])
+	}
+	g2, err := q.ToGraph()
+	if err != nil {
+		t.Fatalf("ToGraph: %v", err)
+	}
+	if len(g2.Boxes) != 3 || !expr.Equal(g2.Boxes[0].Condition, g.Boxes[0].Condition) {
+		t.Errorf("round trip graph = %s", g2)
+	}
+}
