@@ -6,6 +6,7 @@
 //	benchrunner -exp fig7a               # per-request breakdown, 100 requests / 50 policies
 //	benchrunner -exp fig7b               # per-request breakdown, 1500 requests / 1000 policies
 //	benchrunner -exp policyload          # policy loading time statistics
+//	benchrunner -exp sharded             # sharded ingest runtime throughput matrix
 //	benchrunner -exp all                 # everything
 //
 // -scale N shrinks the workload by N for quick runs. Output is textual:
@@ -24,11 +25,12 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/runtime"
 	"repro/internal/workload"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3|fig6a|fig6b|fig7a|fig7b|policyload|all")
+	exp := flag.String("exp", "all", "experiment: table3|fig6a|fig6b|fig7a|fig7b|policyload|sharded|all")
 	scale := flag.Int("scale", 1, "shrink the Table 3 workload by this factor")
 	points := flag.Int("points", 20, "CDF sample points")
 	noNet := flag.Bool("no-netsim", false, "disable simulated intranet latency")
@@ -143,6 +145,11 @@ func main() {
 			return nil
 		})
 	}
+	if want("sharded") {
+		run("Sharded ingest runtime: shards × batch throughput matrix", func() error {
+			return runSharded(*scale)
+		})
+	}
 	if *exp != "all" && !wantKnown(*exp) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -151,10 +158,58 @@ func main() {
 
 func wantKnown(e string) bool {
 	switch e {
-	case "table3", "fig6a", "fig6b", "fig7a", "fig7b", "policyload", "ablation", "all":
+	case "table3", "fig6a", "fig6b", "fig7a", "fig7b", "policyload", "ablation", "sharded", "all":
 		return true
 	}
 	return false
+}
+
+// runSharded prints the sharded ingest throughput matrix (shards ×
+// batch sizes) as speedups over the single-thread Engine.Ingest
+// baseline, then demonstrates load-shedding on a deliberately
+// undersized DropOldest queue.
+func runSharded(scale int) error {
+	tuples := 200000
+	if scale > 1 {
+		tuples /= scale
+	}
+	base, err := experiments.RunSingleThreadIngest(tuples)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline single-thread Ingest: %.0f tuples/s (%d tuples in %v)\n\n",
+		base.Throughput, tuples, base.Elapsed.Round(time.Millisecond))
+	fmt.Printf("%-8s %-8s %-14s %-10s %-10s\n", "shards", "batch", "tuples/s", "speedup", "dropped")
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, batch := range []int{1, 64, 256} {
+			res, err := experiments.RunShardedIngest(experiments.ShardedOptions{
+				Shards:     shards,
+				Publishers: 4,
+				BatchSize:  batch,
+				Tuples:     tuples,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-8d %-8d %-14.0f %-10.2f %-10d\n",
+				shards, batch, res.Throughput, res.Throughput/base.Throughput,
+				res.Stats.Total().Dropped)
+		}
+	}
+	shed, err := experiments.RunShardedIngest(experiments.ShardedOptions{
+		Shards:     2,
+		Publishers: 4,
+		BatchSize:  64,
+		Tuples:     tuples,
+		QueueSize:  128,
+		Policy:     runtime.DropOldest,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nload-shedding (queue=128, DropOldest): %s\n", shed)
+	fmt.Print(shed.Stats)
+	return nil
 }
 
 func scaleDown(n, p, scale int) (int, int) {

@@ -6,6 +6,11 @@
 //	exacml request      -addr HOST:PORT -subject S -resource R [-action read] [-query query.xml]
 //	exacml release      -addr HOST:PORT -subject S -resource R
 //	exacml stats        -addr HOST:PORT
+//	exacml subscribe    -addr HOST:PORT -handle URI [-count N]
+//	exacml runtime-stats -addr HOST:PORT
+//
+// subscribe and runtime-stats need a data server with an embedded
+// ingest runtime (exacmld -embedded).
 package main
 
 import (
@@ -13,8 +18,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sync/atomic"
 
 	"repro/internal/client"
+	"repro/internal/stream"
 	"repro/internal/xacmlplus"
 )
 
@@ -31,6 +38,8 @@ func main() {
 	resource := fs.String("resource", "", "stream resource")
 	action := fs.String("action", "read", "requested action")
 	query := fs.String("query", "", "user query XML file (request)")
+	handle := fs.String("handle", "", "granted stream handle (subscribe)")
+	count := fs.Int("count", 10, "tuples to print before exiting, 0 = forever (subscribe)")
 	_ = fs.Parse(os.Args[2:])
 
 	cli, err := client.Dial(*addr)
@@ -104,6 +113,35 @@ func main() {
 			log.Fatalf("stats: %v", err)
 		}
 		fmt.Printf("policies: %d\nactive grants: %d\n", st.Policies, st.ActiveGrants)
+	case "subscribe":
+		if *handle == "" {
+			log.Fatal("subscribe requires -handle")
+		}
+		done := make(chan struct{})
+		var seen atomic.Int64
+		cli.OnTuple = func(t stream.Tuple) {
+			fmt.Println(t)
+			// OnTuple runs on the connection's single read loop, so
+			// the == comparison fires exactly once as pushes continue.
+			if n := seen.Add(1); *count > 0 && n == int64(*count) {
+				close(done)
+			}
+		}
+		if err := cli.Subscribe(*handle); err != nil {
+			log.Fatalf("subscribe: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "subscribed to %s\n", *handle)
+		select {
+		case <-done:
+		case <-cli.Closed():
+			log.Fatalf("subscribe: connection closed after %d tuple(s)", seen.Load())
+		}
+	case "runtime-stats":
+		st, err := cli.RuntimeStats()
+		if err != nil {
+			log.Fatalf("runtime-stats: %v", err)
+		}
+		fmt.Print(st)
 	default:
 		usage()
 	}
@@ -117,6 +155,8 @@ commands:
   remove-policy -addr HOST:PORT -id POLICY_ID
   request       -addr HOST:PORT -subject S -resource R [-action read] [-query query.xml]
   release       -addr HOST:PORT -subject S -resource R
-  stats         -addr HOST:PORT`)
+  stats         -addr HOST:PORT
+  subscribe     -addr HOST:PORT -handle URI [-count N]
+  runtime-stats -addr HOST:PORT`)
 	os.Exit(2)
 }

@@ -1,6 +1,15 @@
 // Command exacmld runs the eXACML+ data server: PDP, PEP and query
 // graph manager, fronting a dsmsd stream engine. Policies can be
 // preloaded from a directory of XML files.
+//
+// With -embedded the server skips dsmsd and stands up an in-process
+// sharded ingest runtime (-shards, -queue, -shed), pre-registers the
+// weather and gps streams (gps partitioned by deviceid across shards)
+// and exposes the TCP publish and subscribe paths, so data owners feed
+// tuples through the batching/backpressure plane and consumers attach
+// to granted handles on the same socket:
+//
+//	exacmld -embedded -shards 4 -shed dropoldest -policies ./policies
 package main
 
 import (
@@ -12,9 +21,12 @@ import (
 	"path/filepath"
 
 	"repro/internal/audit"
+	"repro/internal/core"
 	"repro/internal/dsmsd"
 	"repro/internal/netsim"
+	"repro/internal/runtime"
 	"repro/internal/server"
+	"repro/internal/source"
 	"repro/internal/xacml"
 	"repro/internal/xacmlplus"
 )
@@ -26,15 +38,39 @@ func main() {
 	simnet := flag.Bool("simnet", false, "simulate 100 Mbps intranet latency per request")
 	deployOnPR := flag.Bool("deploy-on-pr", false, "deploy streams despite PR warnings")
 	auditPath := flag.String("audit", "", "append-only audit log file (accountability extension)")
+	embedded := flag.Bool("embedded", false, "run an in-process sharded runtime instead of dialing dsmsd")
+	shards := flag.Int("shards", 4, "embedded mode: engine shard count")
+	queue := flag.Int("queue", 0, "embedded mode: per-shard queue capacity (0 = default)")
+	shed := flag.String("shed", "block", "embedded mode: backpressure policy block|dropnewest|dropoldest")
 	flag.Parse()
 
-	engine, err := dsmsd.Dial(*dsmsAddr)
-	if err != nil {
-		log.Fatalf("connect to dsmsd at %s: %v", *dsmsAddr, err)
+	var pep *xacmlplus.PEP
+	var pub server.Publisher
+	if *embedded {
+		policy, err := runtime.ParsePolicy(*shed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fw := core.NewWithOptions("cloud", core.Options{Shards: *shards, QueueSize: *queue, Policy: policy})
+		defer fw.Close()
+		if err := fw.RegisterStream("weather", source.WeatherSchema()); err != nil {
+			log.Fatalf("create weather stream: %v", err)
+		}
+		if err := fw.RegisterPartitionedStream("gps", source.GPSSchema(), "deviceid"); err != nil {
+			log.Fatalf("create gps stream: %v", err)
+		}
+		pep = fw.PEP
+		pub = fw.Runtime
+		fmt.Printf("exacmld: embedded runtime with %d shard(s), policy %s (streams: weather, gps)\n",
+			fw.Runtime.NumShards(), policy)
+	} else {
+		engine, err := dsmsd.Dial(*dsmsAddr)
+		if err != nil {
+			log.Fatalf("connect to dsmsd at %s: %v", *dsmsAddr, err)
+		}
+		defer engine.Close()
+		pep = xacmlplus.NewPEP(xacml.NewPDP(), engine)
 	}
-	defer engine.Close()
-
-	pep := xacmlplus.NewPEP(xacml.NewPDP(), engine)
 	pep.DeployOnPR = *deployOnPR
 	if *auditPath != "" {
 		f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -72,13 +108,18 @@ func main() {
 		profile = netsim.Intranet100Mbps(2)
 	}
 	srv := server.New(pep, profile)
+	engineDesc := *dsmsAddr
+	if pub != nil {
+		srv.AttachPublisher(pub)
+		engineDesc = "embedded"
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
 	defer srv.Close()
 	fmt.Printf("exacmld: data server listening on %s (engine %s, %d policies)\n",
-		bound, *dsmsAddr, pep.PDP.Count())
+		bound, engineDesc, pep.PDP.Count())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -11,6 +11,17 @@
 // writes policies/policyNNNN.xml, queries/queryNNNN.sql,
 // requests/requestNNNN.xml (+ userqueryNNNN.xml when present) and
 // sequence files for the unique and Zipf orders.
+//
+// -mode publish switches to the multi-publisher load driver for the
+// sharded ingest runtime:
+//
+//	workloadgen -mode publish -publishers 8 -batch 64 -shards 4 \
+//	    -tuples 200000 -shed dropoldest [-queue 4096]
+//	workloadgen -mode publish -addr 127.0.0.1:7421 -publishers 8 ...
+//
+// Without -addr the runtime is stood up in-process and the per-shard
+// accounting is printed; with -addr the tuples are batch-published
+// over TCP to an exacmld running with an embedded runtime.
 package main
 
 import (
@@ -21,7 +32,14 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
+	"repro/internal/client"
+	"repro/internal/experiments"
+	"repro/internal/runtime"
+	"repro/internal/source"
+	"repro/internal/stream"
 	"repro/internal/workload"
 )
 
@@ -29,7 +47,22 @@ func main() {
 	out := flag.String("out", "workload", "output directory")
 	scale := flag.Int("scale", 1, "shrink the Table 3 workload by this factor")
 	seed := flag.Int64("seed", 2012, "workload seed")
+	mode := flag.String("mode", "files", "files: write the §4.2 workload; publish: drive the sharded ingest runtime")
+	publishers := flag.Int("publishers", 8, "publish mode: concurrent publisher goroutines")
+	batch := flag.Int("batch", 64, "publish mode: tuples per PublishBatch call")
+	shards := flag.Int("shards", 4, "publish mode: engine shards (in-process)")
+	tuples := flag.Int("tuples", 200000, "publish mode: total tuples to publish")
+	queue := flag.Int("queue", 0, "publish mode: per-shard queue capacity (0 = default)")
+	shed := flag.String("shed", "block", "publish mode: backpressure policy block|dropnewest|dropoldest")
+	addr := flag.String("addr", "", "publish mode: publish over TCP to this exacmld address instead of in-process")
 	flag.Parse()
+
+	if *mode == "publish" {
+		if err := runPublish(*addr, *publishers, *batch, *shards, *tuples, *queue, *shed); err != nil {
+			log.Fatalf("publish: %v", err)
+		}
+		return
+	}
 
 	p := workload.TableThree()
 	if *scale > 1 {
@@ -88,4 +121,92 @@ func main() {
 
 	fmt.Printf("workloadgen: wrote %d policies, %d queries, %d requests (%d with user queries) to %s\n",
 		len(w.PolicyXML), len(w.Items), len(w.Items), withUQ, *out)
+}
+
+// runPublish is the multi-publisher load driver.
+func runPublish(addr string, publishers, batch, shards, tuples, queue int, shed string) error {
+	policy, err := runtime.ParsePolicy(shed)
+	if err != nil {
+		return err
+	}
+	if addr == "" {
+		res, err := experiments.RunShardedIngest(experiments.ShardedOptions{
+			Shards:     shards,
+			Publishers: publishers,
+			BatchSize:  batch,
+			Tuples:     tuples,
+			QueueSize:  queue,
+			Policy:     policy,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		fmt.Print(res.Stats)
+		return nil
+	}
+	return publishRemote(addr, publishers, batch, tuples)
+}
+
+// publishRemote batch-publishes synthetic weather tuples over TCP to a
+// data server with an embedded runtime (exacmld -embedded). The
+// server's policy decides the shedding; we report its accounting.
+func publishRemote(addr string, publishers, batch, tuples int) error {
+	var wg sync.WaitGroup
+	errs := make(chan error, publishers)
+	start := time.Now()
+	for p := 0; p < publishers; p++ {
+		// Spread the remainder so exactly `tuples` are published.
+		perPub := tuples / publishers
+		if p < tuples%publishers {
+			perPub++
+		}
+		wg.Add(1)
+		go func(p, perPub int) {
+			defer wg.Done()
+			cli, err := client.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			ws := source.NewWeatherStation(0, 1000, int64(p+1))
+			buf := make([]stream.Tuple, 0, batch)
+			for i := 0; i < perPub; i++ {
+				buf = append(buf, ws.Next())
+				if len(buf) == batch {
+					if _, err := cli.PublishBatch("weather", buf); err != nil {
+						errs <- err
+						return
+					}
+					buf = buf[:0]
+				}
+			}
+			if len(buf) > 0 {
+				if _, err := cli.PublishBatch("weather", buf); err != nil {
+					errs <- err
+				}
+			}
+		}(p, perPub)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	elapsed := time.Since(start)
+	sent := tuples
+	fmt.Printf("workloadgen: published %d tuples from %d publishers in %v (%.0f tuples/s offered)\n",
+		sent, publishers, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
+	cli, err := client.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	st, err := cli.RuntimeStats()
+	if err != nil {
+		return err
+	}
+	fmt.Print(st)
+	return nil
 }

@@ -8,15 +8,20 @@ package client
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/protocol"
 	"repro/internal/server"
+	"repro/internal/stream"
 	"repro/internal/xacml"
 	"repro/internal/xacmlplus"
 )
 
 // Client is a connected eXACML+ client.
 type Client struct {
-	rpc *protocol.Client
+	rpc    *protocol.Client
+	closed chan struct{}
+	// OnTuple receives subscribed stream tuples (set before Subscribe).
+	OnTuple func(stream.Tuple)
 }
 
 // Dial connects to a data server or proxy address.
@@ -25,8 +30,22 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{rpc: rpc}, nil
+	c := &Client{rpc: rpc, closed: make(chan struct{})}
+	rpc.Push = func(m *protocol.Message) {
+		if m.Type != server.MsgStreamTuple || c.OnTuple == nil {
+			return
+		}
+		if t, err := protocol.Decode[stream.Tuple](m); err == nil {
+			c.OnTuple(t)
+		}
+	}
+	rpc.OnClose = func(error) { close(c.closed) }
+	return c, nil
 }
+
+// Closed is closed when the connection dies (including via Close),
+// letting subscribers stop waiting for further pushed tuples.
+func (c *Client) Closed() <-chan struct{} { return c.closed }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.rpc.Close() }
@@ -97,6 +116,42 @@ func (c *Client) Release(user, streamName string) error {
 // Stats fetches server counters.
 func (c *Client) Stats() (server.StatsResp, error) {
 	return protocol.CallDecode[server.StatsResp](c.rpc, server.MsgStats, struct{}{})
+}
+
+// Publish appends one tuple to a stream through the server's ingest
+// runtime (data-owner operation).
+func (c *Client) Publish(streamName string, t stream.Tuple) error {
+	_, err := c.PublishBatch(streamName, []stream.Tuple{t})
+	return err
+}
+
+// PublishBatch appends a batch of tuples in one round trip, returning
+// how many the server's backpressure policy accepted.
+func (c *Client) PublishBatch(streamName string, ts []stream.Tuple) (int, error) {
+	resp, err := protocol.CallDecode[server.PublishResp](c.rpc, server.MsgPublish,
+		server.PublishReq{Stream: streamName, Tuples: ts})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Accepted, nil
+}
+
+// Subscribe attaches this client to a granted stream handle on a
+// server with an embedded runtime; tuples arrive via OnTuple. One
+// subscription per client connection.
+func (c *Client) Subscribe(handle string) error {
+	_, err := c.rpc.Call(server.MsgSubscribe, server.SubscribeReq{Handle: handle})
+	return err
+}
+
+// RuntimeStats fetches the server's ingest-runtime snapshot (per-shard
+// queue depth, throughput, drops).
+func (c *Client) RuntimeStats() (metrics.RuntimeStats, error) {
+	resp, err := protocol.CallDecode[server.RuntimeStatsResp](c.rpc, server.MsgRuntimeStats, struct{}{})
+	if err != nil {
+		return metrics.RuntimeStats{}, err
+	}
+	return resp.Stats, nil
 }
 
 // ExpectGranted is a convenience that fails unless a handle was issued.

@@ -1,9 +1,10 @@
 // Package core is the top-level facade of the eXACML+ reproduction: it
-// wires the Aurora-style stream engine, the XACML PDP and the XACML+
-// PEP into a single in-process Framework with a small, documented API.
-// The networked deployment (data server, proxy, client over TCP) lives
-// in internal/server, internal/proxy and internal/client; this package
-// is the embedded form that examples, tools and downstream users start
+// wires the sharded ingest runtime (a pool of Aurora-style stream
+// engines behind bounded queues), the XACML PDP and the XACML+ PEP into
+// a single in-process Framework with a small, documented API. The
+// networked deployment (data server, proxy, client over TCP) lives in
+// internal/server, internal/proxy and internal/client; this package is
+// the embedded form that examples, tools and downstream users start
 // from.
 package core
 
@@ -11,15 +12,37 @@ import (
 	"fmt"
 
 	"repro/internal/dsms"
+	"repro/internal/metrics"
+	"repro/internal/runtime"
 	"repro/internal/stream"
 	"repro/internal/xacml"
 	"repro/internal/xacmlplus"
 )
 
-// Framework is an embedded eXACML+ instance: a stream engine plus the
-// access-control plane over it.
+// Options tunes the ingest plane of a Framework. The zero value is the
+// paper-faithful configuration: one engine shard, blocking
+// backpressure.
+type Options struct {
+	// Shards is the number of engine shards (default 1).
+	Shards int
+	// QueueSize is the per-shard publish queue capacity (default 4096).
+	QueueSize int
+	// BatchSize is the per-shard drain batch size (default 256).
+	BatchSize int
+	// Policy is the backpressure policy applied when a shard queue is
+	// full: runtime.Block (default), runtime.DropNewest or
+	// runtime.DropOldest.
+	Policy runtime.Policy
+}
+
+// Framework is an embedded eXACML+ instance: a sharded stream runtime
+// plus the access-control plane over it.
 type Framework struct {
-	// Engine is the Aurora-model DSMS.
+	// Runtime is the sharded ingest plane fronting the engine shards.
+	Runtime *runtime.Runtime
+	// Engine is shard 0's Aurora-model DSMS, kept for single-shard
+	// compatibility and tests; with Shards > 1 it is only a partial
+	// view of the runtime.
 	Engine *dsms.Engine
 	// PDP stores and evaluates XACML policies.
 	PDP *xacml.PDP
@@ -28,23 +51,44 @@ type Framework struct {
 	PEP *xacmlplus.PEP
 }
 
-// New creates a framework with a fresh engine.
-func New(name string) *Framework {
-	engine := dsms.NewEngine(name)
+// New creates a framework with a fresh single-shard runtime.
+func New(name string) *Framework { return NewWithOptions(name, Options{}) }
+
+// NewWithOptions creates a framework whose ingest plane is sharded and
+// policed per opts. The PEP/PDP plane is identical regardless of the
+// shard count: the runtime implements the engine surface the PEP
+// deploys against.
+func NewWithOptions(name string, opts Options) *Framework {
+	rt := runtime.New(name, runtime.Options{
+		Shards:    opts.Shards,
+		QueueSize: opts.QueueSize,
+		BatchSize: opts.BatchSize,
+		Policy:    opts.Policy,
+	})
 	pdp := xacml.NewPDP()
 	return &Framework{
-		Engine: engine,
-		PDP:    pdp,
-		PEP:    xacmlplus.NewPEP(pdp, xacmlplus.LocalEngine{E: engine}),
+		Runtime: rt,
+		Engine:  rt.Shard(0),
+		PDP:     pdp,
+		PEP:     xacmlplus.NewPEP(pdp, rt),
 	}
 }
 
-// Close shuts down the engine and all continuous queries.
-func (f *Framework) Close() { f.Engine.Close() }
+// Close shuts down the runtime, all engine shards and all continuous
+// queries.
+func (f *Framework) Close() { f.Runtime.Close() }
 
-// RegisterStream declares a data-owner's stream.
+// RegisterStream declares a data-owner's stream, placed on one shard by
+// the hash of its name.
 func (f *Framework) RegisterStream(name string, schema *stream.Schema) error {
-	return f.Engine.CreateStream(name, schema)
+	return f.Runtime.CreateStream(name, schema)
+}
+
+// RegisterPartitionedStream declares a stream whose tuples are spread
+// across all shards by the hash of the named key field; continuous
+// queries over it run on every shard with merged output.
+func (f *Framework) RegisterPartitionedStream(name string, schema *stream.Schema, keyField string) error {
+	return f.Runtime.CreatePartitionedStream(name, schema, keyField)
 }
 
 // LoadPolicy parses and activates a policy document; reloading an
@@ -83,18 +127,28 @@ func (f *Framework) Request(subject, streamName, action string, userQuery *xacml
 }
 
 // Subscribe attaches a consumer to a granted stream handle.
-func (f *Framework) Subscribe(handle string) (*dsms.Subscription, error) {
-	return f.Engine.Subscribe(handle)
+func (f *Framework) Subscribe(handle string) (*runtime.Subscription, error) {
+	return f.Runtime.Subscribe(handle)
 }
 
-// Publish appends a tuple to a registered stream; all continuous
-// queries over it are applied immediately.
+// Publish appends a tuple to a registered stream via the shard queues;
+// all continuous queries over it are applied by the shard worker.
 func (f *Framework) Publish(streamName string, t stream.Tuple) error {
-	return f.Engine.Ingest(streamName, t)
+	return f.Runtime.Publish(streamName, t)
+}
+
+// PublishBatch appends a batch of tuples in one call, returning how
+// many were accepted under the configured backpressure policy.
+func (f *Framework) PublishBatch(streamName string, ts []stream.Tuple) (int, error) {
+	return f.Runtime.PublishBatch(streamName, ts)
 }
 
 // Flush blocks until all published tuples have been processed.
-func (f *Framework) Flush() { f.Engine.Flush() }
+func (f *Framework) Flush() { f.Runtime.Flush() }
+
+// Stats snapshots the ingest runtime (per-shard queue depth,
+// throughput, drop counters).
+func (f *Framework) Stats() metrics.RuntimeStats { return f.Runtime.Stats() }
 
 // Release gives up a user's grant on a stream.
 func (f *Framework) Release(subject, streamName string) error {

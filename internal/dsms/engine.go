@@ -80,7 +80,7 @@ type deployedQuery struct {
 	dep    Deployment
 	graph  *QueryGraph
 	ops    []operator
-	in     chan stream.Tuple
+	in     chan []stream.Tuple
 	done   chan struct{}
 	subMu  sync.Mutex
 	subs   map[*Subscription]struct{}
@@ -93,15 +93,17 @@ type deployedQuery struct {
 	closed bool
 }
 
-// send enqueues a tuple unless the query has been withdrawn, reporting
-// whether the tuple was accepted.
-func (q *deployedQuery) send(t stream.Tuple) bool {
+// send enqueues a batch of tuples unless the query has been withdrawn,
+// reporting whether the batch was accepted. The mailbox carries whole
+// batches so a publisher pays one channel operation per batch, not per
+// tuple; the slice must not be mutated after the send.
+func (q *deployedQuery) send(ts []stream.Tuple) bool {
 	q.sendMu.RLock()
 	defer q.sendMu.RUnlock()
 	if q.closed {
 		return false
 	}
-	q.in <- t
+	q.in <- ts
 	return true
 }
 
@@ -243,7 +245,7 @@ func (e *Engine) Deploy(g *QueryGraph) (Deployment, error) {
 		dep:    dep,
 		graph:  gg,
 		ops:    ops,
-		in:     make(chan stream.Tuple, 4096),
+		in:     make(chan []stream.Tuple, 1024),
 		done:   make(chan struct{}),
 		subs:   map[*Subscription]struct{}{},
 		engine: e,
@@ -255,20 +257,31 @@ func (e *Engine) Deploy(g *QueryGraph) (Deployment, error) {
 	return dep, nil
 }
 
-// run is the query's mailbox loop.
+// run is the query's mailbox loop. Subscribers are snapshotted once
+// per batch so pipeline execution never holds subMu (Subscribe and
+// Unsubscribe stay fast under ingest load); a push racing Unsubscribe
+// is discarded by Subscription.push's own closed check.
 func (q *deployedQuery) run() {
-	for t := range q.in {
-		outs, err := runPipeline(q.ops, t)
-		if err == nil {
-			q.subMu.Lock()
-			for s := range q.subs {
+	var subs []*Subscription
+	for batch := range q.in {
+		q.subMu.Lock()
+		subs = subs[:0]
+		for s := range q.subs {
+			subs = append(subs, s)
+		}
+		q.subMu.Unlock()
+		for _, t := range batch {
+			outs, err := runPipeline(q.ops, t)
+			if err != nil {
+				continue
+			}
+			for _, s := range subs {
 				for _, o := range outs {
 					s.push(o)
 				}
 			}
-			q.subMu.Unlock()
 		}
-		q.engine.taskDone()
+		q.engine.taskDoneN(len(batch))
 	}
 	close(q.done)
 }
@@ -369,56 +382,158 @@ func (e *Engine) Unsubscribe(idOrHandle string, s *Subscription) {
 	s.close()
 }
 
-// Ingest appends a tuple to a named input stream, assigning its sequence
-// number and arrival timestamp, and dispatches it to every deployed
-// query on that stream.
-func (e *Engine) Ingest(streamName string, t stream.Tuple) error {
+// lookupSchema resolves a stream's schema under the engine lock.
+func (e *Engine) lookupSchema(streamName string) (*stream.Schema, error) {
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.closed {
-		e.mu.Unlock()
-		return fmt.Errorf("dsms: engine closed")
+		return nil, fmt.Errorf("dsms: engine closed")
 	}
 	is, ok := e.streams[strings.ToLower(streamName)]
 	if !ok {
-		e.mu.Unlock()
-		return fmt.Errorf("dsms: unknown stream %q", streamName)
+		return nil, fmt.Errorf("dsms: unknown stream %q", streamName)
 	}
-	nt, err := t.Normalize(is.schema)
-	if err != nil {
-		e.mu.Unlock()
-		return err
+	return is.schema, nil
+}
+
+// seal assigns sequence numbers and arrival timestamps to normalized
+// tuples and snapshots the queries deployed on the stream, all in one
+// short critical section. Normalization happens before seal, outside
+// the lock; schema is the schema the tuples were normalized against,
+// so a concurrent drop-and-recreate with a different schema is caught
+// instead of ingesting stale-shaped tuples.
+func (e *Engine) seal(streamName string, schema *stream.Schema, nts []stream.Tuple) ([]*deployedQuery, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("dsms: engine closed")
 	}
-	is.seq++
-	nt.Seq = is.seq
-	if nt.ArrivalMillis == 0 {
-		nt.ArrivalMillis = e.clock()
+	// Re-resolve: the stream may have been dropped while normalizing.
+	is, ok := e.streams[strings.ToLower(streamName)]
+	if !ok {
+		return nil, fmt.Errorf("dsms: unknown stream %q", streamName)
+	}
+	if is.schema != schema {
+		return nil, fmt.Errorf("dsms: stream %q was replaced during ingest", streamName)
+	}
+	for i := range nts {
+		is.seq++
+		nts[i].Seq = is.seq
+		if nts[i].ArrivalMillis == 0 {
+			nts[i].ArrivalMillis = e.clock()
+		}
 	}
 	targets := make([]*deployedQuery, 0, len(is.queries))
 	for _, q := range is.queries {
 		targets = append(targets, q)
 	}
-	e.mu.Unlock()
+	return targets, nil
+}
 
+// dispatch hands sealed tuples to the snapshot of deployed queries as
+// one batch per query.
+func (e *Engine) dispatch(targets []*deployedQuery, nts []stream.Tuple) {
 	for _, q := range targets {
-		e.taskAdd()
-		if !q.send(nt) {
+		e.taskAddN(len(nts))
+		if !q.send(nts) {
 			// The query was withdrawn between the registry snapshot and
 			// the send; nothing to do.
-			e.taskDone()
+			e.taskDoneN(len(nts))
 		}
 	}
+}
+
+// Ingest appends a tuple to a named input stream, assigning its sequence
+// number and arrival timestamp, and dispatches it to every deployed
+// query on that stream. The expensive per-tuple normalization runs
+// outside the engine lock so concurrent publishers only serialize on
+// sequence assignment.
+func (e *Engine) Ingest(streamName string, t stream.Tuple) error {
+	schema, err := e.lookupSchema(streamName)
+	if err != nil {
+		return err
+	}
+	nt, err := t.Normalize(schema)
+	if err != nil {
+		return err
+	}
+	one := [1]stream.Tuple{nt}
+	targets, err := e.seal(streamName, schema, one[:])
+	if err != nil {
+		return err
+	}
+	e.dispatch(targets, one[:])
 	return nil
 }
 
-func (e *Engine) taskAdd() {
+// IngestBatch appends a batch of tuples to a named input stream with a
+// single pass through the engine lock, preserving batch order. The
+// batch is validated as a whole: if any tuple fails normalization, no
+// tuple of the batch is ingested.
+//
+// The engine takes ownership of the tuples' value slices: callers must
+// not mutate a tuple's Values after a successful IngestBatch. (Ingest
+// keeps the seed's copy-on-ingest semantics for single tuples.)
+func (e *Engine) IngestBatch(streamName string, ts []stream.Tuple) error {
+	return e.ingestBatch(streamName, ts, false)
+}
+
+// IngestBatchPrevalidated is IngestBatch without the per-tuple
+// conformance walk, for callers that already validated the batch
+// against the stream's current schema (the sharded runtime checks at
+// publish time; seal catches a schema swapped in between). Tuples with
+// the wrong arity for the current schema fail the batch rather than
+// corrupt it.
+func (e *Engine) IngestBatchPrevalidated(streamName string, ts []stream.Tuple) error {
+	return e.ingestBatch(streamName, ts, true)
+}
+
+func (e *Engine) ingestBatch(streamName string, ts []stream.Tuple, prevalidated bool) error {
+	if len(ts) == 0 {
+		return nil
+	}
+	schema, err := e.lookupSchema(streamName)
+	if err != nil {
+		return err
+	}
+	nts := make([]stream.Tuple, len(ts))
+	for i, t := range ts {
+		if prevalidated {
+			if len(t.Values) != schema.Len() {
+				return fmt.Errorf("dsms: tuple %d: arity %d != schema arity %d", i, len(t.Values), schema.Len())
+			}
+		} else if err := t.Conforms(schema); err != nil {
+			return fmt.Errorf("dsms: tuple %d: %w", i, err)
+		}
+		if t.Canonical(schema) {
+			// Fast path: no coercion needed, adopt the value slice
+			// without cloning.
+			nts[i] = t
+			continue
+		}
+		nt, err := t.Normalize(schema)
+		if err != nil {
+			return fmt.Errorf("dsms: tuple %d: %w", i, err)
+		}
+		nts[i] = nt
+	}
+	targets, err := e.seal(streamName, schema, nts)
+	if err != nil {
+		return err
+	}
+	e.dispatch(targets, nts)
+	return nil
+}
+
+func (e *Engine) taskAddN(n int) {
 	e.inflightMu.Lock()
-	e.inflight++
+	e.inflight += n
 	e.inflightMu.Unlock()
 }
 
-func (e *Engine) taskDone() {
+func (e *Engine) taskDoneN(n int) {
 	e.inflightMu.Lock()
-	e.inflight--
+	e.inflight -= n
 	if e.inflight == 0 {
 		e.idle.Broadcast()
 	}

@@ -1,0 +1,88 @@
+package dsms
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/stream"
+)
+
+func batchTestEngine(t *testing.T) (*Engine, Deployment) {
+	t.Helper()
+	e := NewEngine("batch")
+	t.Cleanup(e.Close)
+	schema := stream.MustSchema(
+		stream.Field{Name: "a", Type: stream.TypeDouble},
+	)
+	if err := e.CreateStream("s", schema); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := e.Deploy(NewQueryGraph("s", NewFilterBox(expr.MustParse("a >= 0"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, dep
+}
+
+func TestIngestBatchOrderAndSeq(t *testing.T) {
+	e, dep := batchTestEngine(t)
+	sub, err := e.Subscribe(dep.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]stream.Tuple, 100)
+	for i := range batch {
+		batch[i] = stream.NewTuple(stream.DoubleValue(float64(i)))
+	}
+	if err := e.IngestBatch("s", batch); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	for i := 0; i < len(batch); i++ {
+		tu := <-sub.C
+		if tu.Values[0].Double() != float64(i) {
+			t.Fatalf("tuple %d out of order: %v", i, tu.Values[0])
+		}
+		if tu.Seq != uint64(i+1) {
+			t.Fatalf("tuple %d seq = %d, want %d", i, tu.Seq, i+1)
+		}
+	}
+}
+
+func TestIngestBatchAtomicValidation(t *testing.T) {
+	e, dep := batchTestEngine(t)
+	sub, err := e.Subscribe(dep.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []stream.Tuple{
+		stream.NewTuple(stream.DoubleValue(1)),
+		stream.NewTuple(stream.StringValue("bad")),
+		stream.NewTuple(stream.DoubleValue(3)),
+	}
+	if err := e.IngestBatch("s", batch); err == nil {
+		t.Fatal("batch with an invalid tuple must fail")
+	}
+	e.Flush()
+	if len(sub.C) != 0 {
+		t.Fatalf("failed batch leaked %d tuples", len(sub.C))
+	}
+	// Sequence numbering must be untouched by the failed batch.
+	if err := e.Ingest("s", stream.NewTuple(stream.DoubleValue(9))); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	if tu := <-sub.C; tu.Seq != 1 {
+		t.Fatalf("first accepted tuple seq = %d, want 1", tu.Seq)
+	}
+}
+
+func TestIngestBatchEmptyAndUnknown(t *testing.T) {
+	e, _ := batchTestEngine(t)
+	if err := e.IngestBatch("s", nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := e.IngestBatch("missing", []stream.Tuple{stream.NewTuple(stream.DoubleValue(1))}); err == nil {
+		t.Fatal("unknown stream must fail")
+	}
+}

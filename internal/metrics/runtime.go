@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ShardStat is one ingest shard's counters at snapshot time. The
+// steady-state invariant (after a runtime flush) is
+//
+//	Offered == Ingested + Dropped + Errors
+//
+// so every tuple presented to the runtime is accounted for: shipped to
+// the engine, shed by the backpressure policy, or rejected as invalid.
+type ShardStat struct {
+	// Shard is the shard index (-1 for an aggregate row).
+	Shard int `json:"shard"`
+	// QueueDepth and QueueCap describe the shard's ring buffer.
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	// Offered counts tuples presented to the shard's queue.
+	Offered uint64 `json:"offered"`
+	// Accepted counts tuples enqueued (some may later be evicted by
+	// DropOldest).
+	Accepted uint64 `json:"accepted"`
+	// Dropped counts tuples shed by the backpressure policy.
+	Dropped uint64 `json:"dropped"`
+	// Ingested counts tuples delivered into the shard engine.
+	Ingested uint64 `json:"ingested"`
+	// Errors counts tuples the engine rejected (schema violations,
+	// dropped streams).
+	Errors uint64 `json:"errors"`
+	// Throughput is the ingest rate in tuples/second since start.
+	Throughput float64 `json:"throughput"`
+}
+
+// RuntimeStats is a point-in-time snapshot of a sharded ingest runtime.
+type RuntimeStats struct {
+	// Engine is the runtime's name.
+	Engine string `json:"engine"`
+	// Elapsed is the time since the runtime started.
+	Elapsed time.Duration `json:"elapsed"`
+	// Rejected counts tuples refused synchronously at publish time
+	// (unknown stream lookups are errors, not counted here).
+	Rejected uint64 `json:"rejected"`
+	// Shards holds one entry per shard.
+	Shards []ShardStat `json:"shards"`
+}
+
+// Total aggregates all shards into one row (Shard = -1). Throughput is
+// the sum of per-shard rates; queue depth and capacity are summed.
+func (s RuntimeStats) Total() ShardStat {
+	t := ShardStat{Shard: -1}
+	for _, sh := range s.Shards {
+		t.QueueDepth += sh.QueueDepth
+		t.QueueCap += sh.QueueCap
+		t.Offered += sh.Offered
+		t.Accepted += sh.Accepted
+		t.Dropped += sh.Dropped
+		t.Ingested += sh.Ingested
+		t.Errors += sh.Errors
+		t.Throughput += sh.Throughput
+	}
+	return t
+}
+
+// String renders the snapshot as an aligned per-shard table with a
+// total row.
+func (s RuntimeStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "runtime %q: %d shard(s), up %v, rejected=%d\n",
+		s.Engine, len(s.Shards), s.Elapsed.Round(time.Millisecond), s.Rejected)
+	fmt.Fprintf(&b, "%-6s %-10s %-12s %-12s %-10s %-12s %-8s %-12s\n",
+		"shard", "depth", "offered", "accepted", "dropped", "ingested", "errors", "tuples/s")
+	row := func(st ShardStat) {
+		name := fmt.Sprintf("%d", st.Shard)
+		if st.Shard < 0 {
+			name = "total"
+		}
+		fmt.Fprintf(&b, "%-6s %-10s %-12d %-12d %-10d %-12d %-8d %-12.0f\n",
+			name, fmt.Sprintf("%d/%d", st.QueueDepth, st.QueueCap),
+			st.Offered, st.Accepted, st.Dropped, st.Ingested, st.Errors, st.Throughput)
+	}
+	for _, sh := range s.Shards {
+		row(sh)
+	}
+	if len(s.Shards) > 1 {
+		row(s.Total())
+	}
+	return b.String()
+}

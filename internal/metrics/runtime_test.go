@@ -1,0 +1,33 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeStatsTotalAndString(t *testing.T) {
+	st := RuntimeStats{
+		Engine:   "cloud",
+		Elapsed:  2 * time.Second,
+		Rejected: 3,
+		Shards: []ShardStat{
+			{Shard: 0, QueueDepth: 1, QueueCap: 8, Offered: 100, Accepted: 90, Dropped: 10, Ingested: 89, Throughput: 44.5},
+			{Shard: 1, QueueDepth: 0, QueueCap: 8, Offered: 50, Accepted: 50, Ingested: 50, Errors: 2, Throughput: 25},
+		},
+	}
+	total := st.Total()
+	if total.Shard != -1 || total.Offered != 150 || total.Accepted != 140 ||
+		total.Dropped != 10 || total.Ingested != 139 || total.Errors != 2 {
+		t.Fatalf("Total() = %+v", total)
+	}
+	if total.QueueDepth != 1 || total.QueueCap != 16 || total.Throughput != 69.5 {
+		t.Fatalf("Total() queue/throughput = %+v", total)
+	}
+	out := st.String()
+	for _, want := range []string{"cloud", "2 shard(s)", "rejected=3", "total", "1/8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -142,6 +142,11 @@ type Client struct {
 	// Push, when set before the first Call, receives non-response
 	// messages (e.g. subscribed tuples).
 	Push func(*Message)
+
+	// OnClose, when set before the first Call, is invoked once when
+	// the connection dies, with the cause; push consumers use it to
+	// stop waiting for further pushes.
+	OnClose func(error)
 }
 
 // NewClient starts the reader loop over the connection.
@@ -184,7 +189,6 @@ func (c *Client) readLoop() {
 
 func (c *Client) fail(err error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
 		err = fmt.Errorf("protocol: client closed")
 	}
@@ -194,6 +198,11 @@ func (c *Client) fail(err error) {
 		close(ch)
 	}
 	c.closed = true
+	onClose := c.OnClose
+	c.mu.Unlock()
+	if onClose != nil {
+		onClose(err)
+	}
 }
 
 // Call sends a request and waits for its response. An ".err" response

@@ -1,0 +1,249 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dsms"
+	"repro/internal/stream"
+	"repro/internal/streamql"
+)
+
+// Deployment is a continuous query running on the runtime. For a
+// single-shard stream it wraps one engine deployment and reuses its
+// handle; for a partitioned stream the same graph runs on every shard
+// and the runtime issues a synthetic handle whose subscription merges
+// all per-shard outputs.
+type Deployment struct {
+	// ID is the runtime-unique query identifier ("rqNNNNN").
+	ID string
+	// Handle is the URI under which the output stream is served.
+	Handle string
+	// Input is the source stream name.
+	Input string
+	// OutputSchema is the schema of emitted tuples.
+	OutputSchema *stream.Schema
+	// Parts are the per-shard engine deployments (one entry for
+	// single-shard streams).
+	Parts []dsms.Deployment
+
+	shards []int
+}
+
+// Deploy validates a query graph against its input stream and starts
+// its continuous execution on the owning shard (or on every shard, for
+// partitioned streams).
+func (rt *Runtime) Deploy(g *dsms.QueryGraph) (Deployment, error) {
+	if g == nil {
+		return Deployment{}, fmt.Errorf("runtime: nil query graph")
+	}
+	r, err := rt.routeFor(g.Input)
+	if err != nil {
+		return Deployment{}, err
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return Deployment{}, errClosed
+	}
+	rt.nextDep++
+	id := fmt.Sprintf("rq%05d", rt.nextDep)
+	dep := Deployment{ID: id, Input: r.name}
+	if r.keyIdx < 0 {
+		d, err := rt.shards[r.shard].eng.Deploy(g)
+		if err != nil {
+			return Deployment{}, err
+		}
+		dep.Handle = d.Handle
+		dep.OutputSchema = d.OutputSchema
+		dep.Parts = []dsms.Deployment{d}
+		dep.shards = []int{r.shard}
+	} else {
+		dep.Handle = fmt.Sprintf("xrt://%s/streams/%s", rt.name, id)
+		for i, s := range rt.shards {
+			d, err := s.eng.Deploy(g) // Deploy clones the graph; reuse is safe
+			if err != nil {
+				for j, p := range dep.Parts {
+					_ = rt.shards[j].eng.Withdraw(p.ID)
+				}
+				return Deployment{}, fmt.Errorf("runtime: shard %d: %w", i, err)
+			}
+			dep.OutputSchema = d.OutputSchema
+			dep.Parts = append(dep.Parts, d)
+			dep.shards = append(dep.shards, i)
+		}
+	}
+	rt.deps[id] = &dep
+	rt.deps[dep.Handle] = &dep
+	return dep, nil
+}
+
+// DeployScript compiles a StreamSQL script and deploys it, implementing
+// the PEP-facing engine surface. When the script embeds its input
+// declaration, the declared schema is verified against the registered
+// stream, mirroring the dsmsd server.
+func (rt *Runtime) DeployScript(script string) (string, string, error) {
+	c, err := streamql.CompileString(script)
+	if err != nil {
+		return "", "", err
+	}
+	if c.Schema != nil {
+		actual, err := rt.StreamSchema(c.Input)
+		if err != nil {
+			return "", "", err
+		}
+		if !actual.Equal(c.Schema) {
+			return "", "", fmt.Errorf("runtime: script schema for %q does not match registered stream", c.Input)
+		}
+	}
+	dep, err := rt.Deploy(c.Graph)
+	if err != nil {
+		return "", "", err
+	}
+	return dep.ID, dep.Handle, nil
+}
+
+// lookupDep resolves a runtime id or handle to its deployment.
+func (rt *Runtime) lookupDep(idOrHandle string) (*Deployment, bool) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	d, ok := rt.deps[idOrHandle]
+	return d, ok
+}
+
+// Query returns the deployment for a runtime id or handle.
+func (rt *Runtime) Query(idOrHandle string) (Deployment, bool) {
+	d, ok := rt.lookupDep(idOrHandle)
+	if !ok {
+		return Deployment{}, false
+	}
+	return *d, true
+}
+
+// Withdraw stops a deployed query by runtime id or handle. Handles
+// issued directly by a shard engine are routed by trial, so the PEP's
+// withdraw-by-whatever-it-stored behaviour keeps working.
+func (rt *Runtime) Withdraw(idOrHandle string) error {
+	rt.mu.Lock()
+	d, ok := rt.deps[idOrHandle]
+	if ok {
+		delete(rt.deps, d.ID)
+		delete(rt.deps, d.Handle)
+	}
+	rt.mu.Unlock()
+	if !ok {
+		for _, s := range rt.shards {
+			if err := s.eng.Withdraw(idOrHandle); err == nil {
+				return nil
+			}
+		}
+		return fmt.Errorf("runtime: unknown query %q", idOrHandle)
+	}
+	var err error
+	for i, p := range d.Parts {
+		if werr := rt.shards[d.shards[i]].eng.Withdraw(p.ID); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
+// subPart ties one underlying engine subscription to its engine for
+// clean detach.
+type subPart struct {
+	eng *dsms.Engine
+	key string
+	sub *dsms.Subscription
+}
+
+// Subscription delivers a runtime query's output tuples. For queries on
+// partitioned streams it merges the per-shard output streams into one
+// channel; per-key ordering is preserved (all tuples of a key flow
+// through one shard), global interleaving across keys is not.
+type Subscription struct {
+	C <-chan stream.Tuple
+
+	parts  []subPart
+	merged chan stream.Tuple
+	once   sync.Once
+}
+
+// Dropped sums the tuples discarded across the underlying
+// subscriptions because the consumer lagged.
+func (s *Subscription) Dropped() uint64 {
+	var n uint64
+	for _, p := range s.parts {
+		n += p.sub.Dropped()
+	}
+	return n
+}
+
+// Close detaches the subscription from every shard; C is closed once
+// all buffered tuples have been forwarded.
+func (s *Subscription) Close() {
+	s.once.Do(func() {
+		for _, p := range s.parts {
+			p.eng.Unsubscribe(p.key, p.sub)
+		}
+		if s.merged != nil {
+			// Unblock forwarders stuck sending into the merged buffer
+			// when the consumer is gone: drain until the fan-in
+			// goroutine closes the channel.
+			go func() {
+				for range s.merged {
+				}
+			}()
+		}
+	})
+}
+
+// Subscribe attaches a consumer to a query's output by runtime id or
+// handle (handles issued directly by shard engines also resolve).
+func (rt *Runtime) Subscribe(idOrHandle string) (*Subscription, error) {
+	d, ok := rt.lookupDep(idOrHandle)
+	if !ok {
+		for _, s := range rt.shards {
+			if sub, err := s.eng.Subscribe(idOrHandle); err == nil {
+				return &Subscription{C: sub.C, parts: []subPart{{eng: s.eng, key: idOrHandle, sub: sub}}}, nil
+			}
+		}
+		return nil, fmt.Errorf("runtime: unknown query %q", idOrHandle)
+	}
+	if len(d.Parts) == 1 {
+		eng := rt.shards[d.shards[0]].eng
+		sub, err := eng.Subscribe(d.Parts[0].ID)
+		if err != nil {
+			return nil, err
+		}
+		return &Subscription{C: sub.C, parts: []subPart{{eng: eng, key: d.Parts[0].ID, sub: sub}}}, nil
+	}
+	// Attach every shard before starting any forwarder, so a mid-loop
+	// failure can detach cleanly without leaking forwarder goroutines
+	// blocked on the merged channel.
+	out := make(chan stream.Tuple, dsms.DefaultSubscriptionBuffer)
+	sub := &Subscription{C: out, merged: out}
+	for i, p := range d.Parts {
+		eng := rt.shards[d.shards[i]].eng
+		es, err := eng.Subscribe(p.ID)
+		if err != nil {
+			sub.Close()
+			return nil, err
+		}
+		sub.parts = append(sub.parts, subPart{eng: eng, key: p.ID, sub: es})
+	}
+	var wg sync.WaitGroup
+	for _, p := range sub.parts {
+		wg.Add(1)
+		go func(es *dsms.Subscription) {
+			defer wg.Done()
+			for t := range es.C {
+				out <- t
+			}
+		}(p.sub)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return sub, nil
+}

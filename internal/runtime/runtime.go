@@ -1,0 +1,460 @@
+// Package runtime is the sharded ingest plane of the reproduction: it
+// fronts a pool of dsms.Engine shards with bounded per-shard queues,
+// batched publishing and Aurora-style load-shedding, so many concurrent
+// publishers scale past the single engine mutex. Streams are
+// hash-partitioned across shards by name, or — when registered with a
+// partition key — row-by-row by the key attribute's value, in which
+// case continuous queries are deployed on every shard and their outputs
+// merged transparently.
+//
+// The PEP-facing surface (StreamSchema / DeployScript / Withdraw)
+// matches xacmlplus.StreamEngine, so the policy plane runs unchanged on
+// top of a sharded runtime.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dsms"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// Policy selects what happens when a shard's queue is full.
+type Policy int
+
+const (
+	// Block applies backpressure: publishers wait for queue space.
+	Block Policy = iota
+	// DropNewest sheds the incoming tuple (Aurora-style load-shedding
+	// at the source).
+	DropNewest
+	// DropOldest evicts the oldest queued tuple to admit the new one,
+	// keeping the freshest data under overload.
+	DropOldest
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropNewest:
+		return "dropnewest"
+	case DropOldest:
+		return "dropoldest"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy reads a policy name (as printed by String).
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "block", "":
+		return Block, nil
+	case "dropnewest", "drop-newest":
+		return DropNewest, nil
+	case "dropoldest", "drop-oldest":
+		return DropOldest, nil
+	}
+	return Block, fmt.Errorf("runtime: unknown backpressure policy %q", s)
+}
+
+// Defaults for Options zero values.
+const (
+	DefaultQueueSize = 4096
+	DefaultBatchSize = 256
+)
+
+// Options configures a Runtime.
+type Options struct {
+	// Shards is the number of engine shards (default 1).
+	Shards int
+	// QueueSize is the per-shard ring buffer capacity (default 4096).
+	QueueSize int
+	// BatchSize is the maximum number of tuples a shard worker drains
+	// per wake-up and ships per engine call (default 256).
+	BatchSize int
+	// Policy is the backpressure policy for full queues (default Block).
+	Policy Policy
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = DefaultQueueSize
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	if o.BatchSize > o.QueueSize {
+		o.BatchSize = o.QueueSize
+	}
+	return o
+}
+
+var errClosed = errors.New("runtime: closed")
+
+// route records where a stream's tuples go.
+type route struct {
+	name   string
+	schema *stream.Schema
+	// keyIdx is the partition-key field index, or -1 when the whole
+	// stream lives on a single shard.
+	keyIdx int
+	// shard is the owning shard for single-shard streams.
+	shard int
+}
+
+// Runtime is the sharded ingest runtime.
+type Runtime struct {
+	name   string
+	opts   Options
+	shards []*shard
+	start  time.Time
+
+	rejected atomic.Uint64
+
+	mu      sync.RWMutex
+	routes  map[string]*route
+	deps    map[string]*Deployment // keyed by runtime id and by handle
+	nextDep int
+	closed  bool
+}
+
+// New builds a runtime with opts.Shards engine shards. With one shard
+// the engine keeps the runtime's name (handles look identical to a
+// plain engine's); with more, shard i is named "<name>-<i>".
+func New(name string, opts Options) *Runtime {
+	opts = opts.withDefaults()
+	rt := &Runtime{
+		name:   name,
+		opts:   opts,
+		shards: make([]*shard, opts.Shards),
+		start:  time.Now(),
+		routes: map[string]*route{},
+		deps:   map[string]*Deployment{},
+	}
+	for i := range rt.shards {
+		en := name
+		if opts.Shards > 1 {
+			en = fmt.Sprintf("%s-%d", name, i)
+		}
+		rt.shards[i] = newShard(i, dsms.NewEngine(en), opts.QueueSize, opts.BatchSize, opts.Policy)
+	}
+	return rt
+}
+
+// NumShards reports the shard count.
+func (rt *Runtime) NumShards() int { return len(rt.shards) }
+
+// Shard exposes shard i's engine (shard 0 is the compatibility engine
+// for single-shard deployments).
+func (rt *Runtime) Shard(i int) *dsms.Engine { return rt.shards[i].eng }
+
+func hashString(s string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum32()
+}
+
+// hashValue hashes a partition-key value without allocating.
+func hashValue(v stream.Value) uint32 {
+	switch v.Type() {
+	case stream.TypeString:
+		return hashString(v.Str())
+	case stream.TypeDouble:
+		return mix64(math.Float64bits(v.Double()))
+	case stream.TypeInt:
+		return mix64(uint64(v.Int()))
+	case stream.TypeTimestamp:
+		return mix64(uint64(v.Millis()))
+	case stream.TypeBool:
+		if v.Bool() {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// mix64 folds a 64-bit pattern into a well-distributed 32-bit hash
+// (splitmix64 finalizer).
+func mix64(x uint64) uint32 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return uint32(x ^ x>>32)
+}
+
+// CreateStream registers an input stream on the shard selected by the
+// hash of its name.
+func (rt *Runtime) CreateStream(name string, schema *stream.Schema) error {
+	if name == "" || schema == nil {
+		return fmt.Errorf("runtime: stream needs a name and a schema")
+	}
+	key := strings.ToLower(name)
+	si := int(hashString(key) % uint32(len(rt.shards)))
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return errClosed
+	}
+	if _, dup := rt.routes[key]; dup {
+		return fmt.Errorf("runtime: stream %q already exists", name)
+	}
+	if err := rt.shards[si].eng.CreateStream(name, schema); err != nil {
+		return err
+	}
+	rt.routes[key] = &route{name: name, schema: schema, keyIdx: -1, shard: si}
+	return nil
+}
+
+// CreatePartitionedStream registers an input stream on every shard;
+// tuples are routed by the hash of the named key field, so all tuples
+// with the same key value land on the same shard (and therefore see
+// per-key FIFO order and per-key window semantics).
+func (rt *Runtime) CreatePartitionedStream(name string, schema *stream.Schema, keyField string) error {
+	if name == "" || schema == nil {
+		return fmt.Errorf("runtime: stream needs a name and a schema")
+	}
+	idx, _, ok := schema.Lookup(keyField)
+	if !ok {
+		return fmt.Errorf("runtime: partition key %q is not a field of stream %q", keyField, name)
+	}
+	key := strings.ToLower(name)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return errClosed
+	}
+	if _, dup := rt.routes[key]; dup {
+		return fmt.Errorf("runtime: stream %q already exists", name)
+	}
+	for i, s := range rt.shards {
+		if err := s.eng.CreateStream(name, schema); err != nil {
+			for j := 0; j < i; j++ {
+				_ = rt.shards[j].eng.DropStream(name)
+			}
+			return err
+		}
+	}
+	rt.routes[key] = &route{name: name, schema: schema, keyIdx: idx, shard: -1}
+	return nil
+}
+
+// DropStream removes a stream from its shard(s), withdrawing every
+// query reading from it.
+func (rt *Runtime) DropStream(name string) error {
+	key := strings.ToLower(name)
+	rt.mu.Lock()
+	r, ok := rt.routes[key]
+	if !ok {
+		rt.mu.Unlock()
+		return fmt.Errorf("runtime: unknown stream %q", name)
+	}
+	delete(rt.routes, key)
+	for id, d := range rt.deps {
+		if strings.EqualFold(d.Input, name) {
+			delete(rt.deps, id)
+		}
+	}
+	rt.mu.Unlock()
+	var err error
+	if r.keyIdx < 0 {
+		return rt.shards[r.shard].eng.DropStream(r.name)
+	}
+	for _, s := range rt.shards {
+		if derr := s.eng.DropStream(r.name); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	return err
+}
+
+func (rt *Runtime) routeFor(name string) (*route, error) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	if rt.closed {
+		return nil, errClosed
+	}
+	r, ok := rt.routes[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("runtime: unknown stream %q", name)
+	}
+	return r, nil
+}
+
+// StreamSchema implements the PEP-facing engine surface.
+func (rt *Runtime) StreamSchema(name string) (*stream.Schema, error) {
+	r, err := rt.routeFor(name)
+	if err != nil {
+		return nil, err
+	}
+	return r.schema, nil
+}
+
+// Streams lists registered stream names, sorted.
+func (rt *Runtime) Streams() []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make([]string, 0, len(rt.routes))
+	for _, r := range rt.routes {
+		out = append(out, r.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Publish enqueues a single tuple (a batch of one).
+func (rt *Runtime) Publish(streamName string, t stream.Tuple) error {
+	one := [1]stream.Tuple{t}
+	_, err := rt.PublishBatch(streamName, one[:])
+	return err
+}
+
+// PublishBatch enqueues a batch of tuples for a stream, applying the
+// backpressure policy per shard. Tuples are validated against the
+// stream schema before admission — an invalid tuple rejects the whole
+// batch synchronously (counted in Stats().Rejected) so publishers learn
+// about schema violations immediately rather than from shard counters.
+//
+// The returned count is the number of tuples accepted into shard
+// queues: with Block every tuple is accepted (the call waits for
+// space); with DropNewest excess tuples are shed and not counted; with
+// DropOldest every tuple is accepted but older queued tuples may have
+// been evicted to make room.
+func (rt *Runtime) PublishBatch(streamName string, ts []stream.Tuple) (int, error) {
+	if len(ts) == 0 {
+		return 0, nil
+	}
+	r, err := rt.routeFor(streamName)
+	if err != nil {
+		return 0, err
+	}
+	for i := range ts {
+		if err := ts[i].Conforms(r.schema); err != nil {
+			rt.rejected.Add(uint64(len(ts)))
+			return 0, fmt.Errorf("runtime: tuple %d: %w", i, err)
+		}
+	}
+	if r.keyIdx < 0 {
+		return rt.shards[r.shard].enqueue(r.name, ts)
+	}
+	// Partitioned: split the batch by key hash, preserving the relative
+	// order of tuples bound for the same shard. The key is coerced to
+	// its schema type first so widening-equal values (IntValue(5) vs
+	// DoubleValue(5)) hash to the same shard.
+	keyType := r.schema.Field(r.keyIdx).Type
+	buckets := make([][]stream.Tuple, len(rt.shards))
+	for _, t := range ts {
+		kv := t.Values[r.keyIdx]
+		if !kv.IsNull() && kv.Type() != keyType {
+			if cv, err := kv.CoerceTo(keyType); err == nil {
+				kv = cv
+			}
+		}
+		si := int(hashValue(kv) % uint32(len(rt.shards)))
+		buckets[si] = append(buckets[si], t)
+	}
+	accepted := 0
+	for si, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		n, err := rt.shards[si].enqueue(r.name, bucket)
+		accepted += n
+		if err != nil {
+			return accepted, err
+		}
+	}
+	return accepted, nil
+}
+
+// Flush blocks until every queued tuple has been drained into the
+// engines and every engine pipeline has quiesced, making concurrent
+// publish tests and benchmarks deterministic.
+func (rt *Runtime) Flush() {
+	for _, s := range rt.shards {
+		s.flush()
+	}
+}
+
+// PauseDrain stops the shard workers after their current batch;
+// publishes keep queueing (and shedding, per policy) against a frozen
+// queue. Tests and maintenance windows use this to saturate queues
+// deterministically.
+func (rt *Runtime) PauseDrain() {
+	for _, s := range rt.shards {
+		s.pause()
+	}
+}
+
+// ResumeDrain restarts paused shard workers.
+func (rt *Runtime) ResumeDrain() {
+	for _, s := range rt.shards {
+		s.resume()
+	}
+}
+
+// Stats snapshots per-shard queue depths, accounting counters and
+// throughput.
+func (rt *Runtime) Stats() metrics.RuntimeStats {
+	elapsed := time.Since(rt.start)
+	st := metrics.RuntimeStats{
+		Engine:   rt.name,
+		Elapsed:  elapsed,
+		Rejected: rt.rejected.Load(),
+		Shards:   make([]metrics.ShardStat, 0, len(rt.shards)),
+	}
+	sec := elapsed.Seconds()
+	for _, s := range rt.shards {
+		st.Shards = append(st.Shards, s.snapshot(sec))
+	}
+	return st
+}
+
+// QueryCount sums running queries across all shard engines.
+func (rt *Runtime) QueryCount() int {
+	n := 0
+	for _, s := range rt.shards {
+		n += s.eng.QueryCount()
+	}
+	return n
+}
+
+// Close rejects further publishes, drains what is already queued, and
+// shuts every shard engine down.
+func (rt *Runtime) Close() {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return
+	}
+	rt.closed = true
+	rt.mu.Unlock()
+	for _, s := range rt.shards {
+		s.close()
+	}
+}
+
+// compile-time check that the runtime satisfies the engine surface the
+// PEP needs (xacmlplus.StreamEngine is satisfied structurally; spelled
+// out here to catch signature drift without importing xacmlplus).
+var _ interface {
+	StreamSchema(name string) (*stream.Schema, error)
+	DeployScript(script string) (string, string, error)
+	Withdraw(idOrHandle string) error
+} = (*Runtime)(nil)

@@ -1,0 +1,249 @@
+package runtime
+
+import (
+	"sync"
+
+	"repro/internal/dsms"
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// item is one queued publish: a tuple bound for a named stream on the
+// shard's engine.
+type item struct {
+	stream string
+	tuple  stream.Tuple
+}
+
+// shard owns one dsms.Engine plus the bounded ring buffer in front of
+// it. A dedicated worker goroutine drains the ring in batches and ships
+// them to the engine via IngestBatch, so publishers never touch the
+// engine lock directly.
+type shard struct {
+	idx    int
+	eng    *dsms.Engine
+	policy Policy
+	batch  int
+
+	mu       sync.Mutex
+	notEmpty *sync.Cond // signalled when items arrive or state changes
+	notFull  *sync.Cond // signalled when ring space frees up (Block)
+	idle     *sync.Cond // signalled when ring and worker are both empty
+	buf      []item     // ring storage
+	head     int        // index of the oldest item
+	count    int        // items currently queued
+	draining int        // items popped by the worker, not yet ingested
+	paused   bool
+	closed   bool
+	done     chan struct{}
+
+	// counters; guarded by mu
+	offered  uint64
+	accepted uint64
+	dropped  uint64
+	ingested uint64
+	errors   uint64
+}
+
+func newShard(idx int, eng *dsms.Engine, queue, batch int, policy Policy) *shard {
+	s := &shard{
+		idx:    idx,
+		eng:    eng,
+		policy: policy,
+		batch:  batch,
+		buf:    make([]item, queue),
+		done:   make(chan struct{}),
+	}
+	s.notEmpty = sync.NewCond(&s.mu)
+	s.notFull = sync.NewCond(&s.mu)
+	s.idle = sync.NewCond(&s.mu)
+	go s.run()
+	return s
+}
+
+// push appends one item; the caller holds s.mu and has ensured space.
+func (s *shard) push(it item) {
+	s.buf[(s.head+s.count)%len(s.buf)] = it
+	s.count++
+}
+
+// evict discards the oldest queued item; the caller holds s.mu.
+func (s *shard) evict() {
+	s.buf[s.head] = item{}
+	s.head = (s.head + 1) % len(s.buf)
+	s.count--
+}
+
+// enqueue applies the backpressure policy to a batch of tuples bound
+// for one stream. It returns how many tuples were accepted into the
+// ring (under DropOldest every tuple is accepted but older ones may be
+// evicted).
+func (s *shard) enqueue(streamName string, ts []stream.Tuple) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	accepted := 0
+	for _, t := range ts {
+		if s.closed {
+			return accepted, errClosed
+		}
+		s.offered++
+		switch s.policy {
+		case Block:
+			for s.count == len(s.buf) && !s.closed {
+				// Wake the drainer before sleeping on a full ring: the
+				// batch may be larger than the queue, so the end-of-call
+				// signal below would never be reached.
+				s.notEmpty.Signal()
+				s.notFull.Wait()
+			}
+			if s.closed {
+				s.offered-- // never admitted nor shed; not accounted
+				return accepted, errClosed
+			}
+		case DropNewest:
+			if s.count == len(s.buf) {
+				s.dropped++
+				continue
+			}
+		case DropOldest:
+			if s.count == len(s.buf) {
+				s.evict()
+				s.dropped++
+			}
+		}
+		s.push(item{stream: streamName, tuple: t})
+		s.accepted++
+		accepted++
+		if s.count == 1 {
+			s.notEmpty.Signal()
+		}
+	}
+	if accepted > 0 {
+		s.notEmpty.Signal()
+	}
+	return accepted, nil
+}
+
+// run is the shard worker: it drains up to batch items per wake-up and
+// ships contiguous same-stream runs to the engine in one IngestBatch
+// call each, amortizing the engine lock.
+func (s *shard) run() {
+	scratch := make([]item, 0, s.batch)
+	tuples := make([]stream.Tuple, 0, s.batch)
+	for {
+		s.mu.Lock()
+		for (s.count == 0 || s.paused) && !s.closed {
+			s.notEmpty.Wait()
+		}
+		if s.closed && s.count == 0 {
+			s.mu.Unlock()
+			close(s.done)
+			return
+		}
+		n := s.batch
+		if s.count < n {
+			n = s.count
+		}
+		scratch = scratch[:0]
+		for i := 0; i < n; i++ {
+			scratch = append(scratch, s.buf[s.head])
+			s.evict()
+		}
+		s.draining += n
+		s.notFull.Broadcast()
+		s.mu.Unlock()
+
+		var ok, bad uint64
+		for i := 0; i < len(scratch); {
+			j := i + 1
+			for j < len(scratch) && scratch[j].stream == scratch[i].stream {
+				j++
+			}
+			tuples = tuples[:0]
+			for k := i; k < j; k++ {
+				tuples = append(tuples, scratch[k].tuple)
+			}
+			// PublishBatch already validated against the stream schema;
+			// skip the engine's conformance walk.
+			if err := s.eng.IngestBatchPrevalidated(scratch[i].stream, tuples); err != nil {
+				bad += uint64(j - i)
+			} else {
+				ok += uint64(j - i)
+			}
+			i = j
+		}
+
+		s.mu.Lock()
+		s.draining -= n
+		s.ingested += ok
+		s.errors += bad
+		if s.count == 0 && s.draining == 0 {
+			s.idle.Broadcast()
+		}
+		s.mu.Unlock()
+	}
+}
+
+// flush blocks until the ring is empty and the worker has handed every
+// popped item to the engine, then waits for the engine's own pipelines
+// to quiesce. A paused shard with queued items will block until the
+// runtime is resumed.
+func (s *shard) flush() {
+	s.mu.Lock()
+	for (s.count > 0 || s.draining > 0) && !s.closed {
+		s.idle.Wait()
+	}
+	s.mu.Unlock()
+	s.eng.Flush()
+}
+
+func (s *shard) pause() {
+	s.mu.Lock()
+	s.paused = true
+	s.mu.Unlock()
+}
+
+func (s *shard) resume() {
+	s.mu.Lock()
+	s.paused = false
+	s.notEmpty.Broadcast()
+	s.mu.Unlock()
+}
+
+// close rejects further publishes and lets the worker drain what is
+// already queued before exiting.
+func (s *shard) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.paused = false
+	s.notEmpty.Broadcast()
+	s.notFull.Broadcast()
+	s.idle.Broadcast()
+	s.mu.Unlock()
+	<-s.done
+	s.eng.Close()
+}
+
+// snapshot reads the shard counters into a metrics row.
+func (s *shard) snapshot(elapsedSec float64) metrics.ShardStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := metrics.ShardStat{
+		Shard:      s.idx,
+		QueueDepth: s.count + s.draining,
+		QueueCap:   len(s.buf),
+		Offered:    s.offered,
+		Accepted:   s.accepted,
+		Dropped:    s.dropped,
+		Ingested:   s.ingested,
+		Errors:     s.errors,
+	}
+	if elapsedSec > 0 {
+		st.Throughput = float64(s.ingested) / elapsedSec
+	}
+	return st
+}

@@ -5,10 +5,14 @@
 package server
 
 import (
+	"fmt"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/protocol"
+	"repro/internal/runtime"
+	"repro/internal/stream"
 	"repro/internal/xacml"
 	"repro/internal/xacmlplus"
 )
@@ -20,6 +24,10 @@ const (
 	MsgAccess       = "exacml.access"
 	MsgRelease      = "exacml.release"
 	MsgStats        = "exacml.stats"
+	MsgPublish      = "exacml.publish"
+	MsgRuntimeStats = "exacml.runtime_stats"
+	MsgSubscribe    = "exacml.subscribe"
+	MsgStreamTuple  = "exacml.tuple"
 )
 
 // LoadPolicyReq carries one policy XML document.
@@ -81,9 +89,44 @@ type StatsResp struct {
 	ActiveGrants int `json:"active_grants"`
 }
 
+// PublishReq appends a batch of tuples to a registered stream through
+// the server's ingest runtime (data-owner operation).
+type PublishReq struct {
+	Stream string         `json:"stream"`
+	Tuples []stream.Tuple `json:"tuples"`
+}
+
+// PublishResp reports how many tuples the backpressure policy accepted.
+type PublishResp struct {
+	Accepted int `json:"accepted"`
+}
+
+// RuntimeStatsResp carries an ingest-runtime snapshot.
+type RuntimeStatsResp struct {
+	Stats metrics.RuntimeStats `json:"stats"`
+}
+
+// SubscribeReq attaches the connection to a granted stream handle; the
+// server pushes MsgStreamTuple frames with the request's ID until the
+// client disconnects.
+type SubscribeReq struct {
+	Handle string `json:"handle"`
+}
+
+// Publisher is the ingest plane a data server can front: the sharded
+// runtime implements it; a nil publisher leaves the publish and
+// subscribe paths disabled (the classic deployment where data owners
+// and consumers talk to dsmsd directly).
+type Publisher interface {
+	PublishBatch(stream string, ts []stream.Tuple) (int, error)
+	Stats() metrics.RuntimeStats
+	Subscribe(idOrHandle string) (*runtime.Subscription, error)
+}
+
 // Server is the data server.
 type Server struct {
 	PEP *xacmlplus.PEP
+	pub Publisher
 	srv *protocol.Server
 }
 
@@ -99,8 +142,15 @@ func New(pep *xacmlplus.PEP, profile *netsim.Profile) *Server {
 	s.srv.Handle(MsgAccess, s.handleAccess)
 	s.srv.Handle(MsgRelease, s.handleRelease)
 	s.srv.Handle(MsgStats, s.handleStats)
+	s.srv.Handle(MsgPublish, s.handlePublish)
+	s.srv.Handle(MsgRuntimeStats, s.handleRuntimeStats)
+	s.srv.Handle(MsgSubscribe, s.handleSubscribe)
 	return s
 }
+
+// AttachPublisher routes the server's publish path through an ingest
+// runtime; call before Listen.
+func (s *Server) AttachPublisher(p Publisher) { s.pub = p }
 
 // Listen binds the server.
 func (s *Server) Listen(addr string) (string, error) { return s.srv.Listen(addr) }
@@ -193,6 +243,68 @@ func (s *Server) handleStats(_ *protocol.Message, _ *protocol.Conn) (any, error)
 		Policies:     s.PEP.PDP.Count(),
 		ActiveGrants: s.PEP.Manager.ActiveCount(),
 	}, nil
+}
+
+func (s *Server) handlePublish(m *protocol.Message, _ *protocol.Conn) (any, error) {
+	if s.pub == nil {
+		return nil, fmt.Errorf("server: no ingest runtime attached")
+	}
+	req, err := protocol.Decode[PublishReq](m)
+	if err != nil {
+		return nil, err
+	}
+	n, err := s.pub.PublishBatch(req.Stream, req.Tuples)
+	if err != nil {
+		return nil, err
+	}
+	return PublishResp{Accepted: n}, nil
+}
+
+func (s *Server) handleRuntimeStats(_ *protocol.Message, _ *protocol.Conn) (any, error) {
+	if s.pub == nil {
+		return nil, fmt.Errorf("server: no ingest runtime attached")
+	}
+	return RuntimeStatsResp{Stats: s.pub.Stats()}, nil
+}
+
+// handleSubscribe hijacks the connection, mirroring the dsmsd server:
+// an acknowledging ".ok" frame is followed by MsgStreamTuple pushes
+// until the subscription or connection dies. This is how consumers
+// reach granted handles when the server runs an embedded runtime.
+func (s *Server) handleSubscribe(m *protocol.Message, conn *protocol.Conn) (any, error) {
+	if s.pub == nil {
+		return nil, fmt.Errorf("server: no ingest runtime attached")
+	}
+	req, err := protocol.Decode[SubscribeReq](m)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := s.pub.Subscribe(req.Handle)
+	if err != nil {
+		return nil, err
+	}
+	ack, err := protocol.Encode(MsgSubscribe+".ok", m.ID, struct{}{})
+	if err != nil {
+		sub.Close()
+		return nil, err
+	}
+	if err := conn.Send(ack); err != nil {
+		sub.Close()
+		return nil, protocol.ErrHijacked
+	}
+	go func() {
+		defer sub.Close()
+		for t := range sub.C {
+			push, err := protocol.Encode(MsgStreamTuple, m.ID, t)
+			if err != nil {
+				return
+			}
+			if err := conn.Send(push); err != nil {
+				return
+			}
+		}
+	}()
+	return nil, protocol.ErrHijacked
 }
 
 // Timings reconstructs the duration breakdown from a wire response.

@@ -55,6 +55,18 @@ func (t Tuple) Conforms(s *Schema) error {
 	return nil
 }
 
+// Canonical reports whether every value already has the exact schema
+// type (or is null), i.e. Normalize would change nothing but the
+// identity of the value slice. Callers must have checked Conforms.
+func (t Tuple) Canonical(s *Schema) bool {
+	for i, v := range t.Values {
+		if !v.IsNull() && v.Type() != s.Field(i).Type {
+			return false
+		}
+	}
+	return true
+}
+
 // Normalize coerces widening-compatible values to the exact schema types,
 // returning a new tuple. It fails where Conforms would fail.
 func (t Tuple) Normalize(s *Schema) (Tuple, error) {
