@@ -7,6 +7,7 @@
 //	benchrunner -exp fig7b               # per-request breakdown, 1500 requests / 1000 policies
 //	benchrunner -exp policyload          # policy loading time statistics
 //	benchrunner -exp sharded             # sharded ingest runtime throughput matrix
+//	benchrunner -exp admission           # priority classes + quotas under overload
 //	benchrunner -exp all                 # everything
 //
 // -scale N shrinks the workload by N for quick runs. Output is textual:
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3|fig6a|fig6b|fig7a|fig7b|policyload|sharded|all")
+	exp := flag.String("exp", "all", "experiment: table3|fig6a|fig6b|fig7a|fig7b|policyload|sharded|admission|all")
 	scale := flag.Int("scale", 1, "shrink the Table 3 workload by this factor")
 	points := flag.Int("points", 20, "CDF sample points")
 	noNet := flag.Bool("no-netsim", false, "disable simulated intranet latency")
@@ -150,6 +151,11 @@ func main() {
 			return runSharded(*scale)
 		})
 	}
+	if want("admission") {
+		run("Admission control: priority classes and quotas under overload", func() error {
+			return runAdmission(*scale)
+		})
+	}
 	if *exp != "all" && !wantKnown(*exp) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -158,7 +164,7 @@ func main() {
 
 func wantKnown(e string) bool {
 	switch e {
-	case "table3", "fig6a", "fig6b", "fig7a", "fig7b", "policyload", "ablation", "sharded", "all":
+	case "table3", "fig6a", "fig6b", "fig7a", "fig7b", "policyload", "ablation", "sharded", "admission", "all":
 		return true
 	}
 	return false
@@ -209,6 +215,69 @@ func runSharded(scale int) error {
 	}
 	fmt.Printf("\nload-shedding (queue=128, DropOldest): %s\n", shed)
 	fmt.Print(shed.Stats)
+	return nil
+}
+
+// runAdmission demonstrates class-aware shedding and per-stream quotas:
+// a paced Critical stream and a saturating BestEffort stream share one
+// shard under DropNewest, then a quota'd stream shows the token-bucket
+// verdict path. Both scenarios print the per-stream/per-class tables
+// and check the offered == ingested + dropped + errors invariant.
+func runAdmission(scale int) error {
+	critical := 20000
+	bestEffort := 200000
+	if scale > 1 {
+		critical /= scale
+		bestEffort /= scale
+	}
+	res, err := experiments.RunAdmission(experiments.AdmissionOptions{
+		Shards:    1,
+		QueueSize: 256,
+		Policy:    runtime.DropNewest,
+		Streams: []experiments.AdmissionStreamSpec{
+			{Name: "critical", Class: runtime.Critical, Publishers: 1, Tuples: critical, OfferRate: 40000},
+			{Name: "besteffort", Class: runtime.BestEffort, Publishers: 4, Tuples: bestEffort},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res)
+	fmt.Printf("critical sustained %.1f%% of its offered rate (want >= 90%%)\n", 100*res.Sustained("critical"))
+	if err := checkClassInvariant(res.Stats); err != nil {
+		return err
+	}
+
+	quota := 20000
+	if scale > 1 {
+		quota /= scale
+	}
+	burst := quota / 5
+	fmt.Printf("\nquota: one stream limited to 1000 tuples/s (burst %d) against a %d-tuple burst\n", burst, quota)
+	qres, err := experiments.RunAdmission(experiments.AdmissionOptions{
+		Shards:    1,
+		QueueSize: quota,
+		Policy:    runtime.DropNewest,
+		Streams: []experiments.AdmissionStreamSpec{
+			{Name: "metered", Class: runtime.Normal, Rate: 1000, Burst: burst, Publishers: 1, Tuples: quota},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(qres)
+	return checkClassInvariant(qres.Stats)
+}
+
+// checkClassInvariant verifies the per-class accounting after a flush.
+func checkClassInvariant(st metrics.RuntimeStats) error {
+	for _, c := range st.Classes {
+		if c.Offered != c.Ingested+c.Dropped+c.Errors {
+			return fmt.Errorf("class %s: offered %d != ingested %d + dropped %d + errors %d",
+				c.Class, c.Offered, c.Ingested, c.Dropped, c.Errors)
+		}
+	}
+	fmt.Println("per-class invariant holds: offered == ingested + dropped + errors")
 	return nil
 }
 

@@ -7,10 +7,14 @@
 //	exacml release      -addr HOST:PORT -subject S -resource R
 //	exacml stats        -addr HOST:PORT
 //	exacml subscribe    -addr HOST:PORT -handle URI [-count N]
+//	exacml publish      -addr HOST:PORT -stream NAME [-gen weather|gps] [-tuples N] [-batch N]
 //	exacml runtime-stats -addr HOST:PORT
 //
-// subscribe and runtime-stats need a data server with an embedded
-// ingest runtime (exacmld -embedded).
+// subscribe, publish and runtime-stats need a data server with an
+// embedded ingest runtime (exacmld -embedded). publish generates
+// synthetic tuples for the named stream and reports the server's
+// admission verdict — how many tuples the stream's quota shed and how
+// many the backpressure policy accepted.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/client"
+	"repro/internal/source"
 	"repro/internal/stream"
 	"repro/internal/xacmlplus"
 )
@@ -40,6 +45,10 @@ func main() {
 	query := fs.String("query", "", "user query XML file (request)")
 	handle := fs.String("handle", "", "granted stream handle (subscribe)")
 	count := fs.Int("count", 10, "tuples to print before exiting, 0 = forever (subscribe)")
+	streamName := fs.String("stream", "weather", "target stream (publish)")
+	gen := fs.String("gen", "weather", "tuple generator: weather|gps (publish)")
+	tuples := fs.Int("tuples", 1000, "tuples to publish (publish)")
+	batch := fs.Int("batch", 64, "tuples per batch (publish)")
 	_ = fs.Parse(os.Args[2:])
 
 	cli, err := client.Dial(*addr)
@@ -136,6 +145,45 @@ func main() {
 		case <-cli.Closed():
 			log.Fatalf("subscribe: connection closed after %d tuple(s)", seen.Load())
 		}
+	case "publish":
+		if *batch <= 0 || *tuples < 0 {
+			log.Fatal("publish requires -batch >= 1 and -tuples >= 0")
+		}
+		var next func() stream.Tuple
+		switch *gen {
+		case "weather":
+			ws := source.NewWeatherStation(0, 1000, 1)
+			next = ws.Next
+		case "gps":
+			gt := source.NewGPSTracker("dev-cli", 1.35, 103.82, 0, 1000, 1)
+			next = gt.Next
+		default:
+			log.Fatalf("publish: unknown generator %q (want weather or gps)", *gen)
+		}
+		var offered, accepted, shed int
+		buf := make([]stream.Tuple, 0, *batch)
+		flush := func() {
+			if len(buf) == 0 {
+				return
+			}
+			v, err := cli.PublishBatchVerdict(*streamName, buf)
+			if err != nil {
+				log.Fatalf("publish: %v", err)
+			}
+			offered += v.Offered
+			accepted += v.Accepted
+			shed += v.Shed
+			buf = buf[:0]
+		}
+		for i := 0; i < *tuples; i++ {
+			buf = append(buf, next())
+			if len(buf) == *batch {
+				flush()
+			}
+		}
+		flush()
+		fmt.Printf("published to %q: offered=%d accepted=%d quota-shed=%d policy-dropped=%d\n",
+			*streamName, offered, accepted, shed, offered-accepted-shed)
 	case "runtime-stats":
 		st, err := cli.RuntimeStats()
 		if err != nil {
@@ -157,6 +205,7 @@ commands:
   release       -addr HOST:PORT -subject S -resource R
   stats         -addr HOST:PORT
   subscribe     -addr HOST:PORT -handle URI [-count N]
+  publish       -addr HOST:PORT -stream NAME [-gen weather|gps] [-tuples N] [-batch N]
   runtime-stats -addr HOST:PORT`)
 	os.Exit(2)
 }

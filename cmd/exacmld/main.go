@@ -10,6 +10,14 @@
 // to granted handles on the same socket:
 //
 //	exacmld -embedded -shards 4 -shed dropoldest -policies ./policies
+//
+// -admission assigns the pre-registered streams a priority class and an
+// optional token-bucket quota (name=class[:rate[:burst]]), and
+// -block-class limits the block policy to classes at or above the
+// threshold, shedding lower ones:
+//
+//	exacmld -embedded -admission "gps=critical,weather=besteffort:5000:256" \
+//	    -shed dropnewest
 package main
 
 import (
@@ -42,6 +50,8 @@ func main() {
 	shards := flag.Int("shards", 4, "embedded mode: engine shard count")
 	queue := flag.Int("queue", 0, "embedded mode: per-shard queue capacity (0 = default)")
 	shed := flag.String("shed", "block", "embedded mode: backpressure policy block|dropnewest|dropoldest")
+	admission := flag.String("admission", "", `embedded mode: per-stream class/quota specs "name=class[:rate[:burst]],..."`)
+	blockClass := flag.String("block-class", "besteffort", "embedded mode: block policy only blocks classes at or above this; lower classes are shed")
 	flag.Parse()
 
 	var pep *xacmlplus.PEP
@@ -51,13 +61,32 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fw := core.NewWithOptions("cloud", core.Options{Shards: *shards, QueueSize: *queue, Policy: policy})
+		bc, err := runtime.ParseClass(*blockClass)
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs, err := runtime.ParseStreamSpecs(*admission)
+		if err != nil {
+			log.Fatal(err)
+		}
+		streamOpts := func(name string) []runtime.StreamOption {
+			cfg, ok := specs[name]
+			if !ok {
+				return nil
+			}
+			delete(specs, name)
+			return []runtime.StreamOption{runtime.WithConfig(cfg)}
+		}
+		fw := core.NewWithOptions("cloud", core.Options{Shards: *shards, QueueSize: *queue, Policy: policy, BlockClass: bc})
 		defer fw.Close()
-		if err := fw.RegisterStream("weather", source.WeatherSchema()); err != nil {
+		if err := fw.RegisterStream("weather", source.WeatherSchema(), streamOpts("weather")...); err != nil {
 			log.Fatalf("create weather stream: %v", err)
 		}
-		if err := fw.RegisterPartitionedStream("gps", source.GPSSchema(), "deviceid"); err != nil {
+		if err := fw.RegisterPartitionedStream("gps", source.GPSSchema(), "deviceid", streamOpts("gps")...); err != nil {
 			log.Fatalf("create gps stream: %v", err)
+		}
+		for name := range specs {
+			log.Fatalf("-admission names unknown stream %q (embedded streams: weather, gps)", name)
 		}
 		pep = fw.PEP
 		pub = fw.Runtime

@@ -22,6 +22,12 @@
 // Without -addr the runtime is stood up in-process and the per-shard
 // accounting is printed; with -addr the tuples are batch-published
 // over TCP to an exacmld running with an embedded runtime.
+//
+// -mix splits the in-process publish load across priority classes, one
+// stream per class, so class-aware shedding can be observed directly:
+//
+//	workloadgen -mode publish -mix "critical=10,besteffort=90" \
+//	    -tuples 200000 -queue 256 -shed dropnewest
 package main
 
 import (
@@ -55,10 +61,11 @@ func main() {
 	queue := flag.Int("queue", 0, "publish mode: per-shard queue capacity (0 = default)")
 	shed := flag.String("shed", "block", "publish mode: backpressure policy block|dropnewest|dropoldest")
 	addr := flag.String("addr", "", "publish mode: publish over TCP to this exacmld address instead of in-process")
+	mix := flag.String("mix", "", `publish mode: class mix as "class=percent,..." (e.g. "critical=10,besteffort=90"); one in-process stream per class`)
 	flag.Parse()
 
 	if *mode == "publish" {
-		if err := runPublish(*addr, *publishers, *batch, *shards, *tuples, *queue, *shed); err != nil {
+		if err := runPublish(*addr, *mix, *publishers, *batch, *shards, *tuples, *queue, *shed); err != nil {
 			log.Fatalf("publish: %v", err)
 		}
 		return
@@ -124,12 +131,15 @@ func main() {
 }
 
 // runPublish is the multi-publisher load driver.
-func runPublish(addr string, publishers, batch, shards, tuples, queue int, shed string) error {
+func runPublish(addr, mix string, publishers, batch, shards, tuples, queue int, shed string) error {
 	policy, err := runtime.ParsePolicy(shed)
 	if err != nil {
 		return err
 	}
 	if addr == "" {
+		if mix != "" {
+			return publishMix(mix, publishers, batch, shards, tuples, queue, policy)
+		}
 		res, err := experiments.RunShardedIngest(experiments.ShardedOptions{
 			Shards:     shards,
 			Publishers: publishers,
@@ -145,7 +155,59 @@ func runPublish(addr string, publishers, batch, shards, tuples, queue int, shed 
 		fmt.Print(res.Stats)
 		return nil
 	}
+	if mix != "" {
+		return fmt.Errorf("-mix drives an in-process runtime; it cannot be combined with -addr")
+	}
 	return publishRemote(addr, publishers, batch, tuples)
+}
+
+// publishMix drives the admission scenario: one stream per named class,
+// each offered the given percentage of -tuples, all saturating (no
+// pacing) so the class-aware shedding policy decides who gets through.
+func publishMix(mix string, publishers, batch, shards, tuples, queue int, policy runtime.Policy) error {
+	specs := []experiments.AdmissionStreamSpec{}
+	total := 0
+	for _, part := range strings.Split(mix, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, pctStr, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("mix entry %q is not class=percent", part)
+		}
+		class, err := runtime.ParseClass(name)
+		if err != nil {
+			return err
+		}
+		pct, err := strconv.Atoi(strings.TrimSpace(pctStr))
+		if err != nil || pct <= 0 || pct > 100 {
+			return fmt.Errorf("mix entry %q: bad percentage", part)
+		}
+		total += pct
+		specs = append(specs, experiments.AdmissionStreamSpec{
+			Name:       class.String(),
+			Class:      class,
+			Tuples:     tuples * pct / 100,
+			Publishers: max(1, publishers*pct/100),
+		})
+	}
+	if len(specs) == 0 || total > 100 {
+		return fmt.Errorf("mix %q: need 1+ classes summing to <= 100%%", mix)
+	}
+	res, err := experiments.RunAdmission(experiments.AdmissionOptions{
+		Shards:       shards,
+		QueueSize:    queue,
+		Policy:       policy,
+		BatchPublish: batch,
+		Streams:      specs,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res)
+	fmt.Print(res.Stats)
+	return nil
 }
 
 // publishRemote batch-publishes synthetic weather tuples over TCP to a

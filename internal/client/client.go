@@ -16,6 +16,12 @@ import (
 	"repro/internal/xacmlplus"
 )
 
+// ErrConnClosed is wrapped by every error the client returns because
+// its connection died (server shutdown, network failure, or a local
+// Close). Subscribers and publishers can distinguish connection death
+// from server-side errors with errors.Is(err, client.ErrConnClosed).
+var ErrConnClosed = protocol.ErrClosed
+
 // Client is a connected eXACML+ client.
 type Client struct {
 	rpc    *protocol.Client
@@ -31,15 +37,15 @@ func Dial(addr string) (*Client, error) {
 		return nil, err
 	}
 	c := &Client{rpc: rpc, closed: make(chan struct{})}
-	rpc.Push = func(m *protocol.Message) {
+	rpc.SetPush(func(m *protocol.Message) {
 		if m.Type != server.MsgStreamTuple || c.OnTuple == nil {
 			return
 		}
 		if t, err := protocol.Decode[stream.Tuple](m); err == nil {
 			c.OnTuple(t)
 		}
-	}
-	rpc.OnClose = func(error) { close(c.closed) }
+	})
+	rpc.SetOnClose(func(error) { close(c.closed) })
 	return c, nil
 }
 
@@ -128,12 +134,19 @@ func (c *Client) Publish(streamName string, t stream.Tuple) error {
 // PublishBatch appends a batch of tuples in one round trip, returning
 // how many the server's backpressure policy accepted.
 func (c *Client) PublishBatch(streamName string, ts []stream.Tuple) (int, error) {
-	resp, err := protocol.CallDecode[server.PublishResp](c.rpc, server.MsgPublish,
-		server.PublishReq{Stream: streamName, Tuples: ts})
+	resp, err := c.PublishBatchVerdict(streamName, ts)
 	if err != nil {
 		return 0, err
 	}
 	return resp.Accepted, nil
+}
+
+// PublishBatchVerdict appends a batch of tuples in one round trip and
+// returns the server's full admission verdict, including how many
+// tuples the stream's quota shed before they reached a shard queue.
+func (c *Client) PublishBatchVerdict(streamName string, ts []stream.Tuple) (server.PublishResp, error) {
+	return protocol.CallDecode[server.PublishResp](c.rpc, server.MsgPublish,
+		server.PublishReq{Stream: streamName, Tuples: ts})
 }
 
 // Subscribe attaches this client to a granted stream handle on a

@@ -1,9 +1,12 @@
 package client
 
 import (
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/protocol"
 	"repro/internal/server"
 	"repro/internal/xacml"
 )
@@ -11,6 +14,47 @@ import (
 func TestDialFailure(t *testing.T) {
 	if _, err := Dial("127.0.0.1:1"); err == nil {
 		t.Error("dialing a closed port must fail")
+	}
+}
+
+// TestErrConnClosedSentinel is the regression test for connection-death
+// errors: calls against a dead connection must wrap ErrConnClosed so
+// subscribers can errors.Is them instead of matching strings.
+func TestErrConnClosedSentinel(t *testing.T) {
+	srv := protocol.NewServer()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	srv.Close()
+	select {
+	case <-cli.Closed():
+	case <-time.After(5 * time.Second):
+		t.Fatal("Closed() not signalled after server shutdown")
+	}
+	if _, err := cli.Stats(); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("call on dead connection = %v, want errors.Is ErrConnClosed", err)
+	}
+
+	// A locally closed client reports the same sentinel.
+	srv2 := protocol.NewServer()
+	addr2, err := srv2.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	cli2, err := Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cli2.Close()
+	if _, err := cli2.Stats(); !errors.Is(err, ErrConnClosed) {
+		t.Fatalf("call on locally closed client = %v, want errors.Is ErrConnClosed", err)
 	}
 }
 

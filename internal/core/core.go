@@ -1,11 +1,16 @@
 // Package core is the top-level facade of the eXACML+ reproduction: it
 // wires the sharded ingest runtime (a pool of Aurora-style stream
 // engines behind bounded queues), the XACML PDP and the XACML+ PEP into
-// a single in-process Framework with a small, documented API. The
-// networked deployment (data server, proxy, client over TCP) lives in
-// internal/server, internal/proxy and internal/client; this package is
-// the embedded form that examples, tools and downstream users start
-// from.
+// a single in-process Framework with a small, documented API.
+//
+// Options selects the ingest configuration (shard count, queue sizes,
+// backpressure policy and its class threshold); streams register with
+// RegisterStream / RegisterPartitionedStream and may carry a priority
+// class and a token-bucket quota via runtime.WithClass /
+// runtime.WithQuota. The networked deployment (data server, proxy,
+// client over TCP) lives in internal/server, internal/proxy and
+// internal/client; this package is the embedded form that examples,
+// tools and downstream users start from.
 package core
 
 import (
@@ -33,6 +38,10 @@ type Options struct {
 	// full: runtime.Block (default), runtime.DropNewest or
 	// runtime.DropOldest.
 	Policy runtime.Policy
+	// BlockClass limits the Block policy to streams of this priority
+	// class or above; lower classes are shed when a queue is full. The
+	// default (runtime.BestEffort) blocks every stream.
+	BlockClass runtime.Class
 }
 
 // Framework is an embedded eXACML+ instance: a sharded stream runtime
@@ -60,10 +69,11 @@ func New(name string) *Framework { return NewWithOptions(name, Options{}) }
 // deploys against.
 func NewWithOptions(name string, opts Options) *Framework {
 	rt := runtime.New(name, runtime.Options{
-		Shards:    opts.Shards,
-		QueueSize: opts.QueueSize,
-		BatchSize: opts.BatchSize,
-		Policy:    opts.Policy,
+		Shards:     opts.Shards,
+		QueueSize:  opts.QueueSize,
+		BatchSize:  opts.BatchSize,
+		Policy:     opts.Policy,
+		BlockClass: opts.BlockClass,
 	})
 	pdp := xacml.NewPDP()
 	return &Framework{
@@ -79,16 +89,17 @@ func NewWithOptions(name string, opts Options) *Framework {
 func (f *Framework) Close() { f.Runtime.Close() }
 
 // RegisterStream declares a data-owner's stream, placed on one shard by
-// the hash of its name.
-func (f *Framework) RegisterStream(name string, schema *stream.Schema) error {
-	return f.Runtime.CreateStream(name, schema)
+// the hash of its name. Options attach a priority class and a
+// token-bucket quota (runtime.WithClass, runtime.WithQuota).
+func (f *Framework) RegisterStream(name string, schema *stream.Schema, opts ...runtime.StreamOption) error {
+	return f.Runtime.CreateStream(name, schema, opts...)
 }
 
 // RegisterPartitionedStream declares a stream whose tuples are spread
 // across all shards by the hash of the named key field; continuous
 // queries over it run on every shard with merged output.
-func (f *Framework) RegisterPartitionedStream(name string, schema *stream.Schema, keyField string) error {
-	return f.Runtime.CreatePartitionedStream(name, schema, keyField)
+func (f *Framework) RegisterPartitionedStream(name string, schema *stream.Schema, keyField string, opts ...runtime.StreamOption) error {
+	return f.Runtime.CreatePartitionedStream(name, schema, keyField, opts...)
 }
 
 // LoadPolicy parses and activates a policy document; reloading an
@@ -141,6 +152,12 @@ func (f *Framework) Publish(streamName string, t stream.Tuple) error {
 // many were accepted under the configured backpressure policy.
 func (f *Framework) PublishBatch(streamName string, ts []stream.Tuple) (int, error) {
 	return f.Runtime.PublishBatch(streamName, ts)
+}
+
+// PublishBatchVerdict appends a batch of tuples and reports the full
+// admission verdict (offered / accepted / quota-shed).
+func (f *Framework) PublishBatchVerdict(streamName string, ts []stream.Tuple) (runtime.PublishVerdict, error) {
+	return f.Runtime.PublishBatchVerdict(streamName, ts)
 }
 
 // Flush blocks until all published tuples have been processed.

@@ -1,7 +1,12 @@
-// Package metrics provides the measurement plumbing of §4.2: per-phase
-// latency samples (PDP / query-graph manipulation / engine), CDF
-// computation for the Fig 6 plots, and summary statistics for the
-// policy-loading experiment.
+// Package metrics provides the measurement plumbing of the evaluation
+// (§4.2) and of the ingest runtime. For the paper's experiments it
+// holds per-phase latency samples (PDP / query-graph manipulation /
+// engine), CDF computation for the Fig 6 plots and summary statistics
+// for the policy-loading experiment. For the runtime it defines the
+// RuntimeStats snapshot — per-shard queue/throughput counters
+// (ShardStat) plus the admission-control accounting per stream
+// (StreamStat) and per priority class (ClassStat) — whose rows satisfy
+// offered == ingested + dropped + errors once the runtime has flushed.
 package metrics
 
 import (

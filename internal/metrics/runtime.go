@@ -35,6 +35,47 @@ type ShardStat struct {
 	Throughput float64 `json:"throughput"`
 }
 
+// StreamStat is one registered stream's admission counters. The
+// steady-state invariant (after a runtime flush) is
+//
+//	Offered == Ingested + Dropped + Errors
+//
+// where Dropped includes both backpressure-policy drops and quota
+// sheds; Shed breaks out the quota-only portion (Shed <= Dropped).
+type StreamStat struct {
+	// Stream is the stream name; Class its priority class.
+	Stream string `json:"stream"`
+	Class  string `json:"class"`
+	// Rate and Burst describe the stream's token-bucket quota
+	// (Rate == 0 means unlimited).
+	Rate  float64 `json:"rate,omitempty"`
+	Burst int     `json:"burst,omitempty"`
+	// Offered counts schema-valid tuples presented for the stream.
+	Offered uint64 `json:"offered"`
+	// Shed counts tuples refused by the quota before reaching a shard.
+	Shed uint64 `json:"shed"`
+	// Dropped counts all tuples shed for this stream: quota sheds plus
+	// backpressure drops (incoming or evicted from a queue).
+	Dropped uint64 `json:"dropped"`
+	// Ingested counts tuples delivered into a shard engine.
+	Ingested uint64 `json:"ingested"`
+	// Errors counts tuples a shard engine rejected.
+	Errors uint64 `json:"errors"`
+	// Throughput is the stream's ingest rate in tuples/second.
+	Throughput float64 `json:"throughput"`
+}
+
+// ClassStat aggregates StreamStat rows of one priority class; the same
+// Offered == Ingested + Dropped + Errors invariant applies.
+type ClassStat struct {
+	Class    string `json:"class"`
+	Offered  uint64 `json:"offered"`
+	Shed     uint64 `json:"shed"`
+	Dropped  uint64 `json:"dropped"`
+	Ingested uint64 `json:"ingested"`
+	Errors   uint64 `json:"errors"`
+}
+
 // RuntimeStats is a point-in-time snapshot of a sharded ingest runtime.
 type RuntimeStats struct {
 	// Engine is the runtime's name.
@@ -46,6 +87,10 @@ type RuntimeStats struct {
 	Rejected uint64 `json:"rejected"`
 	// Shards holds one entry per shard.
 	Shards []ShardStat `json:"shards"`
+	// Streams holds one entry per registered stream, sorted by name.
+	Streams []StreamStat `json:"streams,omitempty"`
+	// Classes aggregates Streams by priority class, lowest class first.
+	Classes []ClassStat `json:"classes,omitempty"`
 }
 
 // Total aggregates all shards into one row (Shard = -1). Throughput is
@@ -87,6 +132,26 @@ func (s RuntimeStats) String() string {
 	}
 	if len(s.Shards) > 1 {
 		row(s.Total())
+	}
+	if len(s.Streams) > 0 {
+		fmt.Fprintf(&b, "\n%-12s %-11s %-14s %-12s %-10s %-10s %-12s %-8s %-12s\n",
+			"stream", "class", "quota", "offered", "shed", "dropped", "ingested", "errors", "tuples/s")
+		for _, st := range s.Streams {
+			quota := "unlimited"
+			if st.Rate > 0 {
+				quota = fmt.Sprintf("%.0f/s:%d", st.Rate, st.Burst)
+			}
+			fmt.Fprintf(&b, "%-12s %-11s %-14s %-12d %-10d %-10d %-12d %-8d %-12.0f\n",
+				st.Stream, st.Class, quota, st.Offered, st.Shed, st.Dropped, st.Ingested, st.Errors, st.Throughput)
+		}
+	}
+	if len(s.Classes) > 1 {
+		fmt.Fprintf(&b, "\n%-12s %-12s %-10s %-10s %-12s %-8s\n",
+			"class", "offered", "shed", "dropped", "ingested", "errors")
+		for _, c := range s.Classes {
+			fmt.Fprintf(&b, "%-12s %-12d %-10d %-10d %-12d %-8d\n",
+				c.Class, c.Offered, c.Shed, c.Dropped, c.Ingested, c.Errors)
+		}
 	}
 	return b.String()
 }

@@ -31,3 +31,32 @@ func TestRuntimeStatsTotalAndString(t *testing.T) {
 		}
 	}
 }
+
+func TestRuntimeStatsStreamAndClassTables(t *testing.T) {
+	st := RuntimeStats{
+		Engine:  "cloud",
+		Elapsed: time.Second,
+		Shards:  []ShardStat{{Shard: 0, QueueCap: 8}},
+		Streams: []StreamStat{
+			{Stream: "gps", Class: "critical", Offered: 10, Ingested: 10},
+			{Stream: "weather", Class: "besteffort", Rate: 5000, Burst: 256, Offered: 100, Shed: 40, Dropped: 60, Ingested: 40},
+		},
+		Classes: []ClassStat{
+			{Class: "besteffort", Offered: 100, Shed: 40, Dropped: 60, Ingested: 40},
+			{Class: "critical", Offered: 10, Ingested: 10},
+		},
+	}
+	out := st.String()
+	for _, want := range []string{"stream", "gps", "weather", "5000/s:256", "unlimited", "class", "besteffort", "critical"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() missing %q:\n%s", want, out)
+		}
+	}
+	// Both rows satisfy offered == ingested + dropped + errors with
+	// quota sheds folded into Dropped.
+	for _, row := range st.Streams {
+		if row.Offered != row.Ingested+row.Dropped+row.Errors {
+			t.Fatalf("row %+v violates the invariant", row)
+		}
+	}
+}

@@ -9,11 +9,22 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 )
+
+// ErrClosed is the sentinel wrapped by every client error caused by a
+// dead or closed connection, so callers can distinguish connection
+// death from server-side errors with errors.Is.
+var ErrClosed = errors.New("protocol: connection closed")
+
+// ErrFrameTooLarge is returned for frames exceeding MaxFrameSize. It is
+// a request error, not a connection failure: the connection stays
+// usable and the error is never wrapped in ErrClosed.
+var ErrFrameTooLarge = errors.New("protocol: frame too large")
 
 // MaxFrameSize bounds a single frame (16 MiB) to contain damage from a
 // corrupt or hostile peer.
@@ -35,22 +46,38 @@ type Message struct {
 	Error string `json:"error,omitempty"`
 }
 
-// WriteFrame writes one length-prefixed frame.
-func WriteFrame(w io.Writer, m *Message) error {
+// marshalFrame encodes a message and enforces the frame-size bound;
+// its errors are request errors (the connection, if any, is unharmed).
+func marshalFrame(m *Message) ([]byte, error) {
 	data, err := json.Marshal(m)
 	if err != nil {
-		return fmt.Errorf("protocol: marshal: %w", err)
+		return nil, fmt.Errorf("protocol: marshal: %w", err)
 	}
 	if len(data) > MaxFrameSize {
-		return fmt.Errorf("protocol: frame too large (%d bytes)", len(data))
+		return nil, fmt.Errorf("%w (%d bytes)", ErrFrameTooLarge, len(data))
 	}
+	return data, nil
+}
+
+// writeFrameBytes writes one already-marshalled frame: 4-byte
+// big-endian length prefix, then the payload.
+func writeFrameBytes(w io.Writer, data []byte) error {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err = w.Write(data)
+	_, err := w.Write(data)
 	return err
+}
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, m *Message) error {
+	data, err := marshalFrame(m)
+	if err != nil {
+		return err
+	}
+	return writeFrameBytes(w, data)
 }
 
 // ReadFrame reads one length-prefixed frame.
@@ -61,7 +88,7 @@ func ReadFrame(r io.Reader) (*Message, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrameSize {
-		return nil, fmt.Errorf("protocol: frame too large (%d bytes)", n)
+		return nil, fmt.Errorf("%w (%d bytes)", ErrFrameTooLarge, n)
 	}
 	data := make([]byte, n)
 	if _, err := io.ReadFull(r, data); err != nil {
@@ -110,12 +137,27 @@ func NewConn(c net.Conn) *Conn {
 
 // Send writes one frame and flushes.
 func (c *Conn) Send(m *Message) error {
+	reqErr, connErr := c.send(m)
+	if reqErr != nil {
+		return reqErr
+	}
+	return connErr
+}
+
+// send writes one frame and flushes, reporting request errors (bad
+// marshal, oversized frame — the connection is still usable) separately
+// from connection I/O errors.
+func (c *Conn) send(m *Message) (reqErr, connErr error) {
+	data, err := marshalFrame(m)
+	if err != nil {
+		return err, nil
+	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if err := WriteFrame(c.w, m); err != nil {
-		return err
+	if err := writeFrameBytes(c.w, data); err != nil {
+		return nil, err
 	}
-	return c.w.Flush()
+	return nil, c.w.Flush()
 }
 
 // Recv reads one frame.
@@ -139,14 +181,41 @@ type Client struct {
 	closed bool
 	err    error
 
-	// Push, when set before the first Call, receives non-response
-	// messages (e.g. subscribed tuples).
-	Push func(*Message)
+	// push receives non-response messages (SetPush); onClose is
+	// invoked once when the connection dies (SetOnClose). Both are
+	// guarded by mu because the read loop starts at construction.
+	push    func(*Message)
+	onClose func(error)
+}
 
-	// OnClose, when set before the first Call, is invoked once when
-	// the connection dies, with the cause; push consumers use it to
-	// stop waiting for further pushes.
-	OnClose func(error)
+// SetPush installs the handler for non-response messages (e.g.
+// subscribed tuples). Safe to call after Dial: the field is written
+// under the client lock the read loop reads it through.
+func (c *Client) SetPush(fn func(*Message)) {
+	c.mu.Lock()
+	c.push = fn
+	c.mu.Unlock()
+}
+
+// SetOnClose installs the handler invoked exactly once when the
+// connection dies, with the cause; push consumers use it to stop
+// waiting for further pushes. If the connection is already dead, fn is
+// invoked immediately so the notification cannot be lost.
+func (c *Client) SetOnClose(fn func(error)) {
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		if fn != nil {
+			if err == nil {
+				err = ErrClosed
+			}
+			fn(err)
+		}
+		return
+	}
+	c.onClose = fn
+	c.mu.Unlock()
 }
 
 // NewClient starts the reader loop over the connection.
@@ -177,7 +246,7 @@ func (c *Client) readLoop() {
 		if ok {
 			delete(c.wait, m.ID)
 		}
-		push := c.Push
+		push := c.push
 		c.mu.Unlock()
 		if ok {
 			ch <- m
@@ -190,7 +259,9 @@ func (c *Client) readLoop() {
 func (c *Client) fail(err error) {
 	c.mu.Lock()
 	if c.closed {
-		err = fmt.Errorf("protocol: client closed")
+		err = ErrClosed
+	} else if !errors.Is(err, ErrClosed) {
+		err = fmt.Errorf("%w: %v", ErrClosed, err)
 	}
 	c.err = err
 	for id, ch := range c.wait {
@@ -198,7 +269,7 @@ func (c *Client) fail(err error) {
 		close(ch)
 	}
 	c.closed = true
-	onClose := c.OnClose
+	onClose := c.onClose
 	c.mu.Unlock()
 	if onClose != nil {
 		onClose(err)
@@ -213,7 +284,7 @@ func (c *Client) Call(typ string, payload any) (*Message, error) {
 		err := c.err
 		c.mu.Unlock()
 		if err == nil {
-			err = fmt.Errorf("protocol: client closed")
+			err = ErrClosed
 		}
 		return nil, err
 	}
@@ -230,11 +301,17 @@ func (c *Client) Call(typ string, payload any) (*Message, error) {
 		c.mu.Unlock()
 		return nil, err
 	}
-	if err := c.conn.Send(req); err != nil {
+	if reqErr, connErr := c.conn.send(req); reqErr != nil || connErr != nil {
 		c.mu.Lock()
 		delete(c.wait, id)
 		c.mu.Unlock()
-		return nil, err
+		// Request errors (bad marshal, oversized frame) leave the
+		// connection usable and are returned as-is; only I/O failures
+		// mean the connection is gone.
+		if reqErr != nil {
+			return nil, reqErr
+		}
+		return nil, fmt.Errorf("%w: %v", ErrClosed, connErr)
 	}
 	resp, ok := <-ch
 	if !ok {
@@ -242,7 +319,7 @@ func (c *Client) Call(typ string, payload any) (*Message, error) {
 		err := c.err
 		c.mu.Unlock()
 		if err == nil {
-			err = io.ErrUnexpectedEOF
+			err = fmt.Errorf("%w: %v", ErrClosed, io.ErrUnexpectedEOF)
 		}
 		return nil, err
 	}

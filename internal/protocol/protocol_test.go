@@ -2,7 +2,9 @@ package protocol
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -42,8 +44,41 @@ func TestReadFrameTruncated(t *testing.T) {
 func TestReadFrameTooLarge(t *testing.T) {
 	var hdr [4]byte
 	hdr[0] = 0xFF
-	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
-		t.Error("oversized frame must be rejected")
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized frame = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestOversizedCallIsNotConnClosed checks that refusing an oversized
+// request frame is reported as a frame-size error, not connection
+// death, and that the connection stays usable afterwards.
+func TestOversizedCallIsNotConnClosed(t *testing.T) {
+	srv := NewServer()
+	srv.Handle("echo", func(m *Message, _ *Conn) (any, error) {
+		return Decode[string](m)
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	huge := strings.Repeat("x", MaxFrameSize+1)
+	_, err = cli.Call("echo", huge)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized call = %v, want ErrFrameTooLarge", err)
+	}
+	if errors.Is(err, ErrClosed) {
+		t.Fatalf("oversized call wrongly reported as connection death: %v", err)
+	}
+	resp, err := CallDecode[string](cli, "echo", "still alive")
+	if err != nil || resp != "still alive" {
+		t.Fatalf("connection unusable after oversized call: %q, %v", resp, err)
 	}
 }
 
@@ -150,12 +185,12 @@ func TestServerPush(t *testing.T) {
 	defer cli.Close()
 
 	got := make(chan int, 3)
-	cli.Push = func(m *Message) {
+	cli.SetPush(func(m *Message) {
 		if m.Type == "tick" {
 			n, _ := Decode[int](m)
 			got <- n
 		}
-	}
+	})
 	if _, err := cli.Call("subscribe", nil); err != nil {
 		t.Fatalf("subscribe: %v", err)
 	}

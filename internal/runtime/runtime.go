@@ -7,6 +7,17 @@
 // case continuous queries are deployed on every shard and their outputs
 // merged transparently.
 //
+// On top of the shard queues sits an admission-control layer: every
+// stream registers with a priority Class (BestEffort / Normal /
+// Critical, default Normal) and an optional token-bucket quota
+// (WithQuota). PublishBatchVerdict enforces the quota before tuples
+// reach a shard and reports how many tuples were admitted versus shed,
+// and the backpressure policies are class-aware — under overload the
+// drop policies evict lowest-class tuples first, and Block can be
+// limited to classes at or above Options.BlockClass. Stats exposes the
+// resulting per-shard, per-stream and per-class accounting, which
+// satisfies offered == ingested + dropped + errors after a Flush.
+//
 // The PEP-facing surface (StreamSchema / DeployScript / Withdraw)
 // matches xacmlplus.StreamEngine, so the policy plane runs unchanged on
 // top of a sharded runtime.
@@ -85,6 +96,11 @@ type Options struct {
 	BatchSize int
 	// Policy is the backpressure policy for full queues (default Block).
 	Policy Policy
+	// BlockClass makes the Block policy class-aware: only streams of
+	// this class or above wait for queue space; lower classes are shed
+	// when the queue is full. The default (BestEffort, the lowest class)
+	// blocks every stream, matching the pre-admission behaviour.
+	BlockClass Class
 }
 
 func (o Options) withDefaults() Options {
@@ -105,7 +121,7 @@ func (o Options) withDefaults() Options {
 
 var errClosed = errors.New("runtime: closed")
 
-// route records where a stream's tuples go.
+// route records where a stream's tuples go and how they are admitted.
 type route struct {
 	name   string
 	schema *stream.Schema
@@ -114,6 +130,12 @@ type route struct {
 	keyIdx int
 	// shard is the owning shard for single-shard streams.
 	shard int
+	// cfg is the admission configuration fixed at registration.
+	cfg StreamConfig
+	// bucket is the stream's token-bucket quota (nil = unlimited).
+	bucket *tokenBucket
+	// counters is the per-stream admission accounting.
+	counters *streamCounters
 }
 
 // Runtime is the sharded ingest runtime.
@@ -150,7 +172,7 @@ func New(name string, opts Options) *Runtime {
 		if opts.Shards > 1 {
 			en = fmt.Sprintf("%s-%d", name, i)
 		}
-		rt.shards[i] = newShard(i, dsms.NewEngine(en), opts.QueueSize, opts.BatchSize, opts.Policy)
+		rt.shards[i] = newShard(i, dsms.NewEngine(en), opts.QueueSize, opts.BatchSize, opts.Policy, opts.BlockClass)
 	}
 	return rt
 }
@@ -200,10 +222,16 @@ func mix64(x uint64) uint32 {
 }
 
 // CreateStream registers an input stream on the shard selected by the
-// hash of its name.
-func (rt *Runtime) CreateStream(name string, schema *stream.Schema) error {
+// hash of its name. Options attach a priority class (WithClass) and a
+// token-bucket quota (WithQuota); the default is class Normal,
+// unlimited.
+func (rt *Runtime) CreateStream(name string, schema *stream.Schema, opts ...StreamOption) error {
 	if name == "" || schema == nil {
 		return fmt.Errorf("runtime: stream needs a name and a schema")
+	}
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return err
 	}
 	key := strings.ToLower(name)
 	si := int(hashString(key) % uint32(len(rt.shards)))
@@ -218,7 +246,10 @@ func (rt *Runtime) CreateStream(name string, schema *stream.Schema) error {
 	if err := rt.shards[si].eng.CreateStream(name, schema); err != nil {
 		return err
 	}
-	rt.routes[key] = &route{name: name, schema: schema, keyIdx: -1, shard: si}
+	rt.routes[key] = &route{
+		name: name, schema: schema, keyIdx: -1, shard: si,
+		cfg: cfg, bucket: newTokenBucket(cfg.Rate, cfg.Burst), counters: &streamCounters{},
+	}
 	return nil
 }
 
@@ -226,13 +257,20 @@ func (rt *Runtime) CreateStream(name string, schema *stream.Schema) error {
 // tuples are routed by the hash of the named key field, so all tuples
 // with the same key value land on the same shard (and therefore see
 // per-key FIFO order and per-key window semantics).
-func (rt *Runtime) CreatePartitionedStream(name string, schema *stream.Schema, keyField string) error {
+func (rt *Runtime) CreatePartitionedStream(name string, schema *stream.Schema, keyField string, opts ...StreamOption) error {
 	if name == "" || schema == nil {
 		return fmt.Errorf("runtime: stream needs a name and a schema")
+	}
+	if strings.TrimSpace(keyField) == "" {
+		return fmt.Errorf("runtime: partitioned stream %q needs a non-empty key field", name)
 	}
 	idx, _, ok := schema.Lookup(keyField)
 	if !ok {
 		return fmt.Errorf("runtime: partition key %q is not a field of stream %q", keyField, name)
+	}
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return err
 	}
 	key := strings.ToLower(name)
 	rt.mu.Lock()
@@ -251,7 +289,10 @@ func (rt *Runtime) CreatePartitionedStream(name string, schema *stream.Schema, k
 			return err
 		}
 	}
-	rt.routes[key] = &route{name: name, schema: schema, keyIdx: idx, shard: -1}
+	rt.routes[key] = &route{
+		name: name, schema: schema, keyIdx: idx, shard: -1,
+		cfg: cfg, bucket: newTokenBucket(cfg.Rate, cfg.Burst), counters: &streamCounters{},
+	}
 	return nil
 }
 
@@ -326,32 +367,59 @@ func (rt *Runtime) Publish(streamName string, t stream.Tuple) error {
 }
 
 // PublishBatch enqueues a batch of tuples for a stream, applying the
-// backpressure policy per shard. Tuples are validated against the
-// stream schema before admission — an invalid tuple rejects the whole
-// batch synchronously (counted in Stats().Rejected) so publishers learn
-// about schema violations immediately rather than from shard counters.
-//
-// The returned count is the number of tuples accepted into shard
-// queues: with Block every tuple is accepted (the call waits for
-// space); with DropNewest excess tuples are shed and not counted; with
-// DropOldest every tuple is accepted but older queued tuples may have
-// been evicted to make room.
+// stream's quota and then the backpressure policy per shard. The
+// returned count is the number of tuples accepted into shard queues;
+// see PublishBatchVerdict for the full admission breakdown.
 func (rt *Runtime) PublishBatch(streamName string, ts []stream.Tuple) (int, error) {
+	v, err := rt.PublishBatchVerdict(streamName, ts)
+	return v.Accepted, err
+}
+
+// PublishBatchVerdict enqueues a batch of tuples for a stream and
+// reports the admission verdict. Tuples are validated against the
+// stream schema first — an invalid tuple rejects the whole batch
+// synchronously (counted in Stats().Rejected) so publishers learn about
+// schema violations immediately rather than from shard counters. Valid
+// tuples then pass the stream's token-bucket quota: tuples beyond the
+// available tokens are shed (Verdict.Shed) without reaching any shard,
+// admitting the batch prefix so stream order is preserved. The
+// remainder is enqueued under the backpressure policy: with Block,
+// streams at or above Options.BlockClass wait for space while lower
+// classes are shed; DropNewest sheds the incoming tuple unless a
+// lower-class queued tuple can be evicted instead; DropOldest evicts
+// the oldest queued tuple of the lowest class at or below the incoming
+// one.
+func (rt *Runtime) PublishBatchVerdict(streamName string, ts []stream.Tuple) (PublishVerdict, error) {
 	if len(ts) == 0 {
-		return 0, nil
+		return PublishVerdict{}, nil
 	}
 	r, err := rt.routeFor(streamName)
 	if err != nil {
-		return 0, err
+		return PublishVerdict{}, err
 	}
 	for i := range ts {
 		if err := ts[i].Conforms(r.schema); err != nil {
 			rt.rejected.Add(uint64(len(ts)))
-			return 0, fmt.Errorf("runtime: tuple %d: %w", i, err)
+			return PublishVerdict{}, fmt.Errorf("runtime: tuple %d: %w", i, err)
+		}
+	}
+	v := PublishVerdict{Offered: len(ts)}
+	r.counters.offered.Add(uint64(len(ts)))
+	if r.bucket != nil {
+		grant := r.bucket.take(len(ts))
+		v.Shed = len(ts) - grant
+		if v.Shed > 0 {
+			r.counters.shed.Add(uint64(v.Shed))
+			ts = ts[:grant]
+		}
+		if grant == 0 {
+			return v, nil
 		}
 	}
 	if r.keyIdx < 0 {
-		return rt.shards[r.shard].enqueue(r.name, ts)
+		n, err := rt.shards[r.shard].enqueue(r.name, r.cfg.Class, r.counters, ts)
+		v.Accepted = n
+		return v, err
 	}
 	// Partitioned: split the batch by key hash, preserving the relative
 	// order of tuples bound for the same shard. The key is coerced to
@@ -369,18 +437,17 @@ func (rt *Runtime) PublishBatch(streamName string, ts []stream.Tuple) (int, erro
 		si := int(hashValue(kv) % uint32(len(rt.shards)))
 		buckets[si] = append(buckets[si], t)
 	}
-	accepted := 0
 	for si, bucket := range buckets {
 		if len(bucket) == 0 {
 			continue
 		}
-		n, err := rt.shards[si].enqueue(r.name, bucket)
-		accepted += n
+		n, err := rt.shards[si].enqueue(r.name, r.cfg.Class, r.counters, bucket)
+		v.Accepted += n
 		if err != nil {
-			return accepted, err
+			return v, err
 		}
 	}
-	return accepted, nil
+	return v, nil
 }
 
 // Flush blocks until every queued tuple has been drained into the
@@ -410,7 +477,13 @@ func (rt *Runtime) ResumeDrain() {
 }
 
 // Stats snapshots per-shard queue depths, accounting counters and
-// throughput.
+// throughput, plus the per-stream and per-class admission counters.
+// After a Flush, every row satisfies
+//
+//	offered == ingested + dropped + errors
+//
+// where a stream's (and class's) Dropped includes both policy drops and
+// quota sheds; Shed breaks out the quota-only portion.
 func (rt *Runtime) Stats() metrics.RuntimeStats {
 	elapsed := time.Since(rt.start)
 	st := metrics.RuntimeStats{
@@ -422,6 +495,49 @@ func (rt *Runtime) Stats() metrics.RuntimeStats {
 	sec := elapsed.Seconds()
 	for _, s := range rt.shards {
 		st.Shards = append(st.Shards, s.snapshot(sec))
+	}
+
+	rt.mu.RLock()
+	routes := make([]*route, 0, len(rt.routes))
+	for _, r := range rt.routes {
+		routes = append(routes, r)
+	}
+	rt.mu.RUnlock()
+	byClass := map[string]*metrics.ClassStat{}
+	for _, r := range routes {
+		shed := r.counters.shed.Load()
+		row := metrics.StreamStat{
+			Stream: r.name,
+			Class:  r.cfg.Class.String(),
+			Rate:   r.cfg.Rate,
+			Burst:  r.cfg.Burst, // normalized by buildConfig; matches the bucket
+
+			Offered:  r.counters.offered.Load(),
+			Shed:     shed,
+			Dropped:  r.counters.dropped.Load() + shed,
+			Ingested: r.counters.ingested.Load(),
+			Errors:   r.counters.errors.Load(),
+		}
+		if sec > 0 {
+			row.Throughput = float64(row.Ingested) / sec
+		}
+		st.Streams = append(st.Streams, row)
+		c, ok := byClass[row.Class]
+		if !ok {
+			c = &metrics.ClassStat{Class: row.Class}
+			byClass[row.Class] = c
+		}
+		c.Offered += row.Offered
+		c.Shed += row.Shed
+		c.Dropped += row.Dropped
+		c.Ingested += row.Ingested
+		c.Errors += row.Errors
+	}
+	sort.Slice(st.Streams, func(i, j int) bool { return st.Streams[i].Stream < st.Streams[j].Stream })
+	for c := Class(0); c < numClasses; c++ {
+		if row, ok := byClass[c.String()]; ok {
+			st.Classes = append(st.Classes, *row)
+		}
 	}
 	return st
 }

@@ -369,6 +369,35 @@ func TestPartitionedStream(t *testing.T) {
 	}
 }
 
+// TestPartitionedStreamBadKeys checks registration-time validation of
+// the partition key: empty and unknown key fields are rejected and
+// leave no stream behind on any shard.
+func TestPartitionedStreamBadKeys(t *testing.T) {
+	rt := New("badkey", Options{Shards: 4})
+	defer rt.Close()
+	if err := rt.CreatePartitionedStream("gps", gpsSchema(), ""); err == nil {
+		t.Fatal("empty partition key must fail")
+	}
+	if err := rt.CreatePartitionedStream("gps", gpsSchema(), "   "); err == nil {
+		t.Fatal("blank partition key must fail")
+	}
+	if err := rt.CreatePartitionedStream("gps", gpsSchema(), "nope"); err == nil {
+		t.Fatal("unknown partition key must fail")
+	}
+	// A failed registration must not leave the name claimed anywhere:
+	// registering correctly afterwards succeeds, and publishing works.
+	if err := rt.CreatePartitionedStream("gps", gpsSchema(), "deviceid"); err != nil {
+		t.Fatalf("valid registration after failures: %v", err)
+	}
+	if err := rt.Publish("gps", stream.NewTuple(stream.StringValue("dev1"), stream.DoubleValue(1))); err != nil {
+		t.Fatal(err)
+	}
+	rt.Flush()
+	if total := rt.Stats().Total(); total.Ingested != 1 {
+		t.Fatalf("total = %+v, want 1 ingested", total)
+	}
+}
+
 // TestPublishRejectsInvalidTuples checks the synchronous schema gate.
 func TestPublishRejectsInvalidTuples(t *testing.T) {
 	rt := New("bad", Options{Shards: 2})

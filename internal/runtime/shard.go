@@ -9,30 +9,81 @@ import (
 )
 
 // item is one queued publish: a tuple bound for a named stream on the
-// shard's engine.
+// shard's engine, tagged with the stream's priority class and counters
+// so drops and ingests can be attributed back to the stream.
 type item struct {
 	stream string
+	class  Class
+	sc     *streamCounters
 	tuple  stream.Tuple
 }
 
-// shard owns one dsms.Engine plus the bounded ring buffer in front of
-// it. A dedicated worker goroutine drains the ring in batches and ships
-// them to the engine via IngestBatch, so publishers never touch the
-// engine lock directly.
+// classRing is a FIFO ring for one priority class. Rings grow on demand
+// (the shard's total admission count is bounded separately), so a shard
+// whose traffic is single-class pays no memory for the others. Grown
+// rings deliberately keep their capacity: shrinking on empty would
+// thrash the drain path, and the retained slack is bounded by the
+// queue capacity per class.
+type classRing struct {
+	buf   []item
+	head  int
+	count int
+}
+
+func (r *classRing) push(it item) {
+	if r.count == len(r.buf) {
+		n := len(r.buf) * 2
+		if n == 0 {
+			n = 16
+		}
+		nb := make([]item, n)
+		for i := 0; i < r.count; i++ {
+			nb[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = nb
+		r.head = 0
+	}
+	r.buf[(r.head+r.count)%len(r.buf)] = it
+	r.count++
+}
+
+// popOldest removes and returns the oldest queued item.
+func (r *classRing) popOldest() item {
+	it := r.buf[r.head]
+	r.buf[r.head] = item{}
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	return it
+}
+
+// popNewest removes and returns the most recently queued item.
+func (r *classRing) popNewest() item {
+	i := (r.head + r.count - 1) % len(r.buf)
+	it := r.buf[i]
+	r.buf[i] = item{}
+	r.count--
+	return it
+}
+
+// shard owns one dsms.Engine plus the bounded, class-partitioned queue
+// in front of it. A dedicated worker goroutine drains the queue in
+// batches — highest class first — and ships them to the engine via
+// IngestBatch, so publishers never touch the engine lock directly.
 type shard struct {
-	idx    int
-	eng    *dsms.Engine
-	policy Policy
-	batch  int
+	idx        int
+	eng        *dsms.Engine
+	policy     Policy
+	blockClass Class
+	batch      int
+	cap        int
 
 	mu       sync.Mutex
 	notEmpty *sync.Cond // signalled when items arrive or state changes
-	notFull  *sync.Cond // signalled when ring space frees up (Block)
-	idle     *sync.Cond // signalled when ring and worker are both empty
-	buf      []item     // ring storage
-	head     int        // index of the oldest item
-	count    int        // items currently queued
-	draining int        // items popped by the worker, not yet ingested
+	notFull  *sync.Cond // signalled when queue space frees up (Block)
+	idle     *sync.Cond // signalled when queue and worker are both empty
+	rings    [numClasses]classRing
+	count    int // items currently queued across all classes
+	draining int // items popped by the worker, not yet ingested
 	paused   bool
 	closed   bool
 	done     chan struct{}
@@ -45,14 +96,15 @@ type shard struct {
 	errors   uint64
 }
 
-func newShard(idx int, eng *dsms.Engine, queue, batch int, policy Policy) *shard {
+func newShard(idx int, eng *dsms.Engine, queue, batch int, policy Policy, blockClass Class) *shard {
 	s := &shard{
-		idx:    idx,
-		eng:    eng,
-		policy: policy,
-		batch:  batch,
-		buf:    make([]item, queue),
-		done:   make(chan struct{}),
+		idx:        idx,
+		eng:        eng,
+		policy:     policy,
+		blockClass: blockClass,
+		batch:      batch,
+		cap:        queue,
+		done:       make(chan struct{}),
 	}
 	s.notEmpty = sync.NewCond(&s.mu)
 	s.notFull = sync.NewCond(&s.mu)
@@ -61,24 +113,48 @@ func newShard(idx int, eng *dsms.Engine, queue, batch int, policy Policy) *shard
 	return s
 }
 
-// push appends one item; the caller holds s.mu and has ensured space.
+// push appends one item to its class ring; the caller holds s.mu and
+// has ensured total space.
 func (s *shard) push(it item) {
-	s.buf[(s.head+s.count)%len(s.buf)] = it
+	s.rings[it.class].push(it)
 	s.count++
 }
 
-// evict discards the oldest queued item; the caller holds s.mu.
-func (s *shard) evict() {
-	s.buf[s.head] = item{}
-	s.head = (s.head + 1) % len(s.buf)
-	s.count--
+// dropItem accounts one shed tuple against the shard and its stream.
+func (s *shard) dropItem(it item) {
+	s.dropped++
+	if it.sc != nil {
+		it.sc.dropped.Add(1)
+	}
+}
+
+// evictLowest sheds one queued tuple of the lowest non-empty class at
+// or below limit, preferring the newest (newest=true) or oldest victim
+// within that class. It reports whether a victim was found; the caller
+// holds s.mu.
+func (s *shard) evictLowest(limit Class, newest bool) bool {
+	for c := Class(0); c <= limit; c++ {
+		if s.rings[c].count == 0 {
+			continue
+		}
+		var victim item
+		if newest {
+			victim = s.rings[c].popNewest()
+		} else {
+			victim = s.rings[c].popOldest()
+		}
+		s.count--
+		s.dropItem(victim)
+		return true
+	}
+	return false
 }
 
 // enqueue applies the backpressure policy to a batch of tuples bound
 // for one stream. It returns how many tuples were accepted into the
-// ring (under DropOldest every tuple is accepted but older ones may be
-// evicted).
-func (s *shard) enqueue(streamName string, ts []stream.Tuple) (int, error) {
+// queue; under the drop policies lower-class queued tuples are evicted
+// before an incoming higher-class tuple is refused.
+func (s *shard) enqueue(streamName string, class Class, sc *streamCounters, ts []stream.Tuple) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	accepted := 0
@@ -87,10 +163,10 @@ func (s *shard) enqueue(streamName string, ts []stream.Tuple) (int, error) {
 			return accepted, errClosed
 		}
 		s.offered++
-		switch s.policy {
-		case Block:
-			for s.count == len(s.buf) && !s.closed {
-				// Wake the drainer before sleeping on a full ring: the
+		switch {
+		case s.policy == Block && class >= s.blockClass:
+			for s.count == s.cap && !s.closed {
+				// Wake the drainer before sleeping on a full queue: the
 				// batch may be larger than the queue, so the end-of-call
 				// signal below would never be reached.
 				s.notEmpty.Signal()
@@ -100,18 +176,29 @@ func (s *shard) enqueue(streamName string, ts []stream.Tuple) (int, error) {
 				s.offered-- // never admitted nor shed; not accounted
 				return accepted, errClosed
 			}
-		case DropNewest:
-			if s.count == len(s.buf) {
-				s.dropped++
-				continue
+		case s.policy == Block || s.policy == DropNewest:
+			// DropNewest — and Block for classes below the blocking
+			// threshold — sheds on a full queue, evicting a queued
+			// strictly-lower-class tuple first so higher classes ride out
+			// the overload.
+			if s.count == s.cap {
+				if class == 0 || !s.evictLowest(class-1, true) {
+					s.dropItem(item{sc: sc})
+					continue
+				}
 			}
-		case DropOldest:
-			if s.count == len(s.buf) {
-				s.evict()
-				s.dropped++
+		case s.policy == DropOldest:
+			// DropOldest evicts the oldest tuple of the lowest class at
+			// or below the incoming one; a low-class tuple never evicts a
+			// higher-class victim (it is dropped instead).
+			if s.count == s.cap {
+				if !s.evictLowest(class, false) {
+					s.dropItem(item{sc: sc})
+					continue
+				}
 			}
 		}
-		s.push(item{stream: streamName, tuple: t})
+		s.push(item{stream: streamName, class: class, sc: sc, tuple: t})
 		s.accepted++
 		accepted++
 		if s.count == 1 {
@@ -122,6 +209,18 @@ func (s *shard) enqueue(streamName string, ts []stream.Tuple) (int, error) {
 		s.notEmpty.Signal()
 	}
 	return accepted, nil
+}
+
+// popLocked removes the next item to drain — FIFO within a class,
+// highest class first; the caller holds s.mu and has checked count > 0.
+func (s *shard) popLocked() item {
+	for c := numClasses - 1; c >= 0; c-- {
+		if s.rings[c].count > 0 {
+			s.count--
+			return s.rings[c].popOldest()
+		}
+	}
+	panic("runtime: popLocked on empty shard queue")
 }
 
 // run is the shard worker: it drains up to batch items per wake-up and
@@ -146,8 +245,7 @@ func (s *shard) run() {
 		}
 		scratch = scratch[:0]
 		for i := 0; i < n; i++ {
-			scratch = append(scratch, s.buf[s.head])
-			s.evict()
+			scratch = append(scratch, s.popLocked())
 		}
 		s.draining += n
 		s.notFull.Broadcast()
@@ -165,10 +263,17 @@ func (s *shard) run() {
 			}
 			// PublishBatch already validated against the stream schema;
 			// skip the engine's conformance walk.
+			run := uint64(j - i)
 			if err := s.eng.IngestBatchPrevalidated(scratch[i].stream, tuples); err != nil {
-				bad += uint64(j - i)
+				bad += run
+				if sc := scratch[i].sc; sc != nil {
+					sc.errors.Add(run)
+				}
 			} else {
-				ok += uint64(j - i)
+				ok += run
+				if sc := scratch[i].sc; sc != nil {
+					sc.ingested.Add(run)
+				}
 			}
 			i = j
 		}
@@ -184,7 +289,7 @@ func (s *shard) run() {
 	}
 }
 
-// flush blocks until the ring is empty and the worker has handed every
+// flush blocks until the queue is empty and the worker has handed every
 // popped item to the engine, then waits for the engine's own pipelines
 // to quiesce. A paused shard with queued items will block until the
 // runtime is resumed.
@@ -235,7 +340,7 @@ func (s *shard) snapshot(elapsedSec float64) metrics.ShardStat {
 	st := metrics.ShardStat{
 		Shard:      s.idx,
 		QueueDepth: s.count + s.draining,
-		QueueCap:   len(s.buf),
+		QueueCap:   s.cap,
 		Offered:    s.offered,
 		Accepted:   s.accepted,
 		Dropped:    s.dropped,

@@ -149,6 +149,55 @@ func TestServerSubscribePath(t *testing.T) {
 	}
 }
 
+// TestServerPublishQuotaVerdict checks that remote publishers see the
+// admission verdict: a quota'd stream sheds the excess of a batch and
+// the shed count travels back over the wire.
+func TestServerPublishQuotaVerdict(t *testing.T) {
+	fw := core.NewWithOptions("cloud", core.Options{Shards: 1})
+	t.Cleanup(fw.Close)
+	// A near-zero refill rate makes the bucket a fixed budget of 5.
+	if err := fw.RegisterStream("weather", weatherSchema(),
+		runtime.WithClass(runtime.BestEffort), runtime.WithQuota(1e-9, 5)); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(fw.PEP, nil)
+	srv.AttachPublisher(fw.Runtime)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	cli, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cli.Close() })
+
+	batch := make([]stream.Tuple, 8)
+	for i := range batch {
+		batch[i] = stream.NewTuple(
+			stream.TimestampMillis(int64(i)*1000),
+			stream.DoubleValue(1),
+			stream.DoubleValue(2),
+		)
+	}
+	v, err := cli.PublishBatchVerdict("weather", batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Offered != 8 || v.Accepted != 5 || v.Shed != 3 {
+		t.Fatalf("wire verdict = %+v, want offered 8, accepted 5, shed 3", v)
+	}
+	fw.Flush()
+	st, err := cli.RuntimeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Streams) != 1 || st.Streams[0].Class != "besteffort" || st.Streams[0].Shed != 3 {
+		t.Fatalf("remote stream stats = %+v", st.Streams)
+	}
+}
+
 // TestServerPublishWithoutRuntime checks the classic deployment still
 // rejects the publish path cleanly.
 func TestServerPublishWithoutRuntime(t *testing.T) {

@@ -96,9 +96,13 @@ type PublishReq struct {
 	Tuples []stream.Tuple `json:"tuples"`
 }
 
-// PublishResp reports how many tuples the backpressure policy accepted.
+// PublishResp reports the admission verdict: how many tuples were
+// offered, how many the stream's quota shed before reaching a shard,
+// and how many the backpressure policy accepted into shard queues.
 type PublishResp struct {
+	Offered  int `json:"offered"`
 	Accepted int `json:"accepted"`
+	Shed     int `json:"shed,omitempty"`
 }
 
 // RuntimeStatsResp carries an ingest-runtime snapshot.
@@ -118,7 +122,7 @@ type SubscribeReq struct {
 // subscribe paths disabled (the classic deployment where data owners
 // and consumers talk to dsmsd directly).
 type Publisher interface {
-	PublishBatch(stream string, ts []stream.Tuple) (int, error)
+	PublishBatchVerdict(stream string, ts []stream.Tuple) (runtime.PublishVerdict, error)
 	Stats() metrics.RuntimeStats
 	Subscribe(idOrHandle string) (*runtime.Subscription, error)
 }
@@ -253,11 +257,11 @@ func (s *Server) handlePublish(m *protocol.Message, _ *protocol.Conn) (any, erro
 	if err != nil {
 		return nil, err
 	}
-	n, err := s.pub.PublishBatch(req.Stream, req.Tuples)
+	v, err := s.pub.PublishBatchVerdict(req.Stream, req.Tuples)
 	if err != nil {
 		return nil, err
 	}
-	return PublishResp{Accepted: n}, nil
+	return PublishResp{Offered: v.Offered, Accepted: v.Accepted, Shed: v.Shed}, nil
 }
 
 func (s *Server) handleRuntimeStats(_ *protocol.Message, _ *protocol.Conn) (any, error) {
