@@ -8,6 +8,7 @@
 //	benchrunner -exp policyload          # policy loading time statistics
 //	benchrunner -exp sharded             # sharded ingest runtime throughput matrix
 //	benchrunner -exp admission           # priority classes + quotas under overload
+//	benchrunner -exp remote              # mixed local/remote (dsmsd) shard topology
 //	benchrunner -exp all                 # everything
 //
 // -scale N shrinks the workload by N for quick runs. Output is textual:
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3|fig6a|fig6b|fig7a|fig7b|policyload|sharded|admission|all")
+	exp := flag.String("exp", "all", "experiment: table3|fig6a|fig6b|fig7a|fig7b|policyload|sharded|admission|remote|all")
 	scale := flag.Int("scale", 1, "shrink the Table 3 workload by this factor")
 	points := flag.Int("points", 20, "CDF sample points")
 	noNet := flag.Bool("no-netsim", false, "disable simulated intranet latency")
@@ -156,6 +157,11 @@ func main() {
 			return runAdmission(*scale)
 		})
 	}
+	if want("remote") {
+		run("Remote shard backends: mixed local/dsmsd topology", func() error {
+			return runRemote(*scale, !*noNet)
+		})
+	}
 	if *exp != "all" && !wantKnown(*exp) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -164,10 +170,43 @@ func main() {
 
 func wantKnown(e string) bool {
 	switch e {
-	case "table3", "fig6a", "fig6b", "fig7a", "fig7b", "policyload", "ablation", "sharded", "admission", "all":
+	case "table3", "fig6a", "fig6b", "fig7a", "fig7b", "policyload", "ablation", "sharded", "admission", "remote", "all":
 		return true
 	}
 	return false
+}
+
+// runRemote measures the cost of crossing the wire per shard: the same
+// publisher workload against an all-local topology and against a mixed
+// topology where part of the shards are dsmsd processes (optionally
+// behind the simulated 100 Mbps intranet), then prints the per-shard
+// accounting of the mixed run so the offered == ingested + dropped +
+// errors invariant is visible on both backend kinds.
+func runRemote(scale int, simnet bool) error {
+	tuples := 60000
+	if scale > 1 {
+		tuples /= scale
+	}
+	local, err := experiments.RunRemoteShards(experiments.RemoteShardsOptions{
+		LocalShards: 3, RemoteShards: 0, Tuples: tuples,
+	})
+	if err != nil {
+		return err
+	}
+	mixed, err := experiments.RunRemoteShards(experiments.RemoteShardsOptions{
+		LocalShards: 1, RemoteShards: 2, Tuples: tuples, Simnet: simnet,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("all-local : %s\n", local)
+	fmt.Printf("mixed     : %s\n\n", mixed)
+	fmt.Print(mixed.Stats)
+	if local.Throughput > 0 {
+		fmt.Printf("\nremote topology runs at %.0f%% of all-local throughput (simnet=%v)\n",
+			100*mixed.Throughput/local.Throughput, simnet)
+	}
+	return nil
 }
 
 // runSharded prints the sharded ingest throughput matrix (shards ×

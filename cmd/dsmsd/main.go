@@ -1,7 +1,9 @@
 // Command dsmsd runs the stand-alone Aurora-style stream engine server
 // (the reproduction's StreamBase process). It pre-registers the
 // synthetic weather and GPS streams and, with -feed, publishes live
-// synthetic data into them.
+// synthetic data into them. With -bare it registers nothing — the
+// shape a remote shard of an exacmld runtime wants, since the runtime
+// creates streams over the wire itself (exacmld -shard-addrs).
 package main
 
 import (
@@ -24,15 +26,23 @@ func main() {
 	feed := flag.Bool("feed", false, "publish synthetic weather/GPS data continuously")
 	interval := flag.Duration("interval", time.Second, "synthetic feed interval")
 	simnet := flag.Bool("simnet", false, "simulate 100 Mbps intranet latency per request")
+	bare := flag.Bool("bare", false, "register no built-in streams (remote shard of an exacmld runtime)")
+	trust := flag.Bool("trust-prevalidated", false, "skip schema re-validation for batches a trusted runtime marked prevalidated")
 	flag.Parse()
 
 	engine := dsms.NewEngine(*name)
 	defer engine.Close()
-	if err := engine.CreateStream("weather", source.WeatherSchema()); err != nil {
-		log.Fatalf("create weather stream: %v", err)
-	}
-	if err := engine.CreateStream("gps", source.GPSSchema()); err != nil {
-		log.Fatalf("create gps stream: %v", err)
+	streams := "none (-bare)"
+	if !*bare {
+		if err := engine.CreateStream("weather", source.WeatherSchema()); err != nil {
+			log.Fatalf("create weather stream: %v", err)
+		}
+		if err := engine.CreateStream("gps", source.GPSSchema()); err != nil {
+			log.Fatalf("create gps stream: %v", err)
+		}
+		streams = "weather, gps"
+	} else if *feed {
+		log.Fatal("-feed needs the built-in streams; drop -bare")
 	}
 
 	var profile *netsim.Profile
@@ -40,12 +50,13 @@ func main() {
 		profile = netsim.Intranet100Mbps(1)
 	}
 	srv := dsmsd.NewServer(engine, profile)
+	srv.TrustPrevalidated = *trust
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
 	defer srv.Close()
-	fmt.Printf("dsmsd: engine %q listening on %s (streams: weather, gps)\n", *name, bound)
+	fmt.Printf("dsmsd: engine %q listening on %s (streams: %s)\n", *name, bound, streams)
 
 	if *feed {
 		go func() {

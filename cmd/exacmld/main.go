@@ -18,6 +18,15 @@
 //
 //	exacmld -embedded -admission "gps=critical,weather=besteffort:5000:256" \
 //	    -shed dropnewest
+//
+// -shard-addrs turns shard slots into remote dsmsd processes for a
+// mixed local/remote topology ("local" or an empty entry keeps a slot
+// in-process); its length overrides -shards. -failover picks what
+// happens to publishes bound for a downed remote shard (fail fast, or
+// reroute to the next healthy shard):
+//
+//	exacmld -embedded -shard-addrs "local,127.0.0.1:7420,127.0.0.1:7430" \
+//	    -failover reroute
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/audit"
 	"repro/internal/core"
@@ -48,6 +58,8 @@ func main() {
 	auditPath := flag.String("audit", "", "append-only audit log file (accountability extension)")
 	embedded := flag.Bool("embedded", false, "run an in-process sharded runtime instead of dialing dsmsd")
 	shards := flag.Int("shards", 4, "embedded mode: engine shard count")
+	shardAddrs := flag.String("shard-addrs", "", `embedded mode: per-shard backend list "local,host:port,..." (overrides -shards)`)
+	failover := flag.String("failover", "fail", "embedded mode: publishes to a downed remote shard fail|reroute")
 	queue := flag.Int("queue", 0, "embedded mode: per-shard queue capacity (0 = default)")
 	shed := flag.String("shed", "block", "embedded mode: backpressure policy block|dropnewest|dropoldest")
 	admission := flag.String("admission", "", `embedded mode: per-stream class/quota specs "name=class[:rate[:burst]],..."`)
@@ -69,6 +81,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		backends, err := runtime.ParseShardAddrs(*shardAddrs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmode, err := runtime.ParseFailover(*failover)
+		if err != nil {
+			log.Fatal(err)
+		}
 		streamOpts := func(name string) []runtime.StreamOption {
 			cfg, ok := specs[name]
 			if !ok {
@@ -77,7 +97,14 @@ func main() {
 			delete(specs, name)
 			return []runtime.StreamOption{runtime.WithConfig(cfg)}
 		}
-		fw := core.NewWithOptions("cloud", core.Options{Shards: *shards, QueueSize: *queue, Policy: policy, BlockClass: bc})
+		fw := core.NewWithOptions("cloud", core.Options{
+			Shards:     *shards,
+			ShardAddrs: backends,
+			QueueSize:  *queue,
+			Policy:     policy,
+			BlockClass: bc,
+			Failover:   fmode,
+		})
 		defer fw.Close()
 		if err := fw.RegisterStream("weather", source.WeatherSchema(), streamOpts("weather")...); err != nil {
 			log.Fatalf("create weather stream: %v", err)
@@ -90,8 +117,12 @@ func main() {
 		}
 		pep = fw.PEP
 		pub = fw.Runtime
-		fmt.Printf("exacmld: embedded runtime with %d shard(s), policy %s (streams: weather, gps)\n",
-			fw.Runtime.NumShards(), policy)
+		kinds := make([]string, fw.Runtime.NumShards())
+		for i := range kinds {
+			kinds[i] = fw.Runtime.Backend(i).Kind()
+		}
+		fmt.Printf("exacmld: embedded runtime with %d shard(s) [%s], policy %s, failover %s (streams: weather, gps)\n",
+			fw.Runtime.NumShards(), strings.Join(kinds, " "), policy, fmode)
 	} else {
 		engine, err := dsmsd.Dial(*dsmsAddr)
 		if err != nil {

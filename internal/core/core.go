@@ -16,7 +16,6 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/dsms"
 	"repro/internal/metrics"
 	"repro/internal/runtime"
 	"repro/internal/stream"
@@ -28,8 +27,14 @@ import (
 // paper-faithful configuration: one engine shard, blocking
 // backpressure.
 type Options struct {
-	// Shards is the number of engine shards (default 1).
+	// Shards is the number of engine shards (default 1). Ignored when
+	// ShardAddrs is set.
 	Shards int
+	// ShardAddrs selects a backend per shard slot for mixed topologies:
+	// each entry is a dsmsd host:port address for a remote shard, or ""
+	// / "local" for an in-process engine (runtime.ParseShardAddrs reads
+	// the CLI form). When non-empty its length is the shard count.
+	ShardAddrs []runtime.BackendSpec
 	// QueueSize is the per-shard publish queue capacity (default 4096).
 	QueueSize int
 	// BatchSize is the per-shard drain batch size (default 256).
@@ -42,17 +47,36 @@ type Options struct {
 	// class or above; lower classes are shed when a queue is full. The
 	// default (runtime.BestEffort) blocks every stream.
 	BlockClass runtime.Class
+	// Failover selects how publishes bound for a downed remote shard
+	// are handled: runtime.FailoverFail (default) or
+	// runtime.FailoverReroute.
+	Failover runtime.FailoverMode
+}
+
+// EngineSurface is the runtime-wide DSMS surface a Framework exposes:
+// the PEP-facing xacmlplus.StreamEngine (schema lookup, script deploy,
+// withdraw — routed to the owning shard by stream) plus the query
+// inventory.
+type EngineSurface interface {
+	xacmlplus.StreamEngine
+	// QueryCount sums running continuous queries across all shards.
+	QueryCount() int
+	// Streams lists registered stream names, sorted.
+	Streams() []string
 }
 
 // Framework is an embedded eXACML+ instance: a sharded stream runtime
 // plus the access-control plane over it.
 type Framework struct {
-	// Runtime is the sharded ingest plane fronting the engine shards.
+	// Runtime is the sharded ingest plane fronting the shard backends
+	// (in-process engines and/or remote dsmsd processes).
 	Runtime *runtime.Runtime
-	// Engine is shard 0's Aurora-model DSMS, kept for single-shard
-	// compatibility and tests; with Shards > 1 it is only a partial
-	// view of the runtime.
-	Engine *dsms.Engine
+	// Engine is the runtime-wide DSMS surface: deploys and withdrawals
+	// are routed to the shard owning the target stream, so every
+	// registered stream is visible regardless of which shard it landed
+	// on. (It used to be shard 0's raw engine, which hid streams hashed
+	// onto other shards.)
+	Engine EngineSurface
 	// PDP stores and evaluates XACML policies.
 	PDP *xacml.PDP
 	// PEP enforces decisions: obligations → query graphs, merging,
@@ -70,15 +94,17 @@ func New(name string) *Framework { return NewWithOptions(name, Options{}) }
 func NewWithOptions(name string, opts Options) *Framework {
 	rt := runtime.New(name, runtime.Options{
 		Shards:     opts.Shards,
+		Backends:   opts.ShardAddrs,
 		QueueSize:  opts.QueueSize,
 		BatchSize:  opts.BatchSize,
 		Policy:     opts.Policy,
 		BlockClass: opts.BlockClass,
+		Failover:   opts.Failover,
 	})
 	pdp := xacml.NewPDP()
 	return &Framework{
 		Runtime: rt,
-		Engine:  rt.Shard(0),
+		Engine:  rt,
 		PDP:     pdp,
 		PEP:     xacmlplus.NewPEP(pdp, rt),
 	}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// TestEngineSurfaceSeesAllShards guards the fix for the shard-0-only
+// Engine field: the framework's engine surface must resolve schemas
+// and deploy scripts for streams on every shard, not just shard 0.
+func TestEngineSurfaceSeesAllShards(t *testing.T) {
+	f := NewWithOptions("multi", Options{Shards: 4})
+	t.Cleanup(f.Close)
+
+	schema := stream.MustSchema(
+		stream.Field{Name: "a", Type: stream.TypeDouble},
+	)
+	// Register one stream per shard (names chosen by placement hash),
+	// guaranteeing at least three streams shard 0's engine never sees.
+	names := make([]string, f.Runtime.NumShards())
+	covered := 0
+	for i := 0; covered < len(names); i++ {
+		name := fmt.Sprintf("s%d", i)
+		if si := f.Runtime.ShardForStream(name); names[si] == "" {
+			names[si] = name
+			covered++
+			if err := f.RegisterStream(name, schema); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	for _, name := range names {
+		got, err := f.Engine.StreamSchema(name)
+		if err != nil {
+			t.Fatalf("StreamSchema(%q) through the engine surface: %v", name, err)
+		}
+		if !got.Equal(schema) {
+			t.Errorf("schema for %q = %v", name, got)
+		}
+	}
+	if got := f.Engine.Streams(); len(got) != len(names) {
+		t.Errorf("Streams() = %v, want all %d registered streams", got, len(names))
+	}
+
+	// Deploy and withdraw through the surface on every shard.
+	handles := make([]string, 0, len(names))
+	for _, name := range names {
+		script := fmt.Sprintf(
+			"CREATE INPUT STREAM %s (a double); CREATE OUTPUT STREAM o; SELECT * FROM %s WHERE a > 0 INTO o;",
+			name, name)
+		id, handle, err := f.Engine.DeployScript(script)
+		if err != nil {
+			t.Fatalf("DeployScript on %q: %v", name, err)
+		}
+		if !strings.HasPrefix(id, "rq") || handle == "" {
+			t.Errorf("deploy on %q = %q, %q", name, id, handle)
+		}
+		handles = append(handles, handle)
+	}
+	if qc := f.Engine.QueryCount(); qc != len(names) {
+		t.Errorf("QueryCount = %d, want %d (one query per shard)", qc, len(names))
+	}
+	for _, h := range handles {
+		if err := f.Engine.Withdraw(h); err != nil {
+			t.Fatalf("Withdraw(%q): %v", h, err)
+		}
+	}
+	if qc := f.Engine.QueryCount(); qc != 0 {
+		t.Errorf("QueryCount after withdraw = %d, want 0", qc)
+	}
+}

@@ -7,6 +7,7 @@ package dsmsd
 
 import (
 	"fmt"
+	"net"
 	"sync/atomic"
 	"time"
 
@@ -20,11 +21,15 @@ import (
 // Message types of the DSMS service.
 const (
 	MsgCreateStream = "dsms.create_stream"
+	MsgDropStream   = "dsms.drop_stream"
 	MsgSchema       = "dsms.schema"
 	MsgDeploy       = "dsms.deploy"
 	MsgWithdraw     = "dsms.withdraw"
 	MsgIngest       = "dsms.ingest"
 	MsgIngestBatch  = "dsms.ingest_batch"
+	MsgFlush        = "dsms.flush"
+	MsgQueryCount   = "dsms.query_count"
+	MsgPing         = "dsms.ping"
 	MsgSubscribe    = "dsms.subscribe"
 	MsgTuple        = "dsms.tuple"
 )
@@ -33,6 +38,12 @@ const (
 type CreateStreamReq struct {
 	Name   string         `json:"name"`
 	Schema *stream.Schema `json:"schema"`
+}
+
+// DropStreamReq removes an input stream, withdrawing every query
+// reading from it.
+type DropStreamReq struct {
+	Name string `json:"name"`
 }
 
 // SchemaReq asks for a stream's schema.
@@ -50,10 +61,12 @@ type DeployReq struct {
 	Script string `json:"script"`
 }
 
-// DeployResp returns the continuous query's id and handle.
+// DeployResp returns the continuous query's id and handle, plus the
+// output schema so a fronting runtime can describe the merged stream.
 type DeployResp struct {
-	QueryID string `json:"query_id"`
-	Handle  string `json:"handle"`
+	QueryID      string         `json:"query_id"`
+	Handle       string         `json:"handle"`
+	OutputSchema *stream.Schema `json:"output_schema,omitempty"`
 }
 
 // WithdrawReq stops a query.
@@ -69,10 +82,17 @@ type IngestReq struct {
 
 // IngestBatchReq appends a batch of tuples to a stream in one round
 // trip; the engine admits the batch under a single pass through its
-// lock.
+// lock. Prevalidated marks batches an upstream runtime already checked
+// against the stream schema, skipping the engine's conformance walk.
 type IngestBatchReq struct {
-	Stream string         `json:"stream"`
-	Tuples []stream.Tuple `json:"tuples"`
+	Stream       string         `json:"stream"`
+	Tuples       []stream.Tuple `json:"tuples"`
+	Prevalidated bool           `json:"prevalidated,omitempty"`
+}
+
+// QueryCountResp reports the number of running continuous queries.
+type QueryCountResp struct {
+	Count int `json:"count"`
 }
 
 // SubscribeReq attaches the connection to a query's output; the server
@@ -86,6 +106,12 @@ type SubscribeReq struct {
 type Server struct {
 	Engine *dsms.Engine
 	srv    *protocol.Server
+	// TrustPrevalidated honours the client's IngestBatchReq.Prevalidated
+	// flag, skipping the engine's schema conformance walk. Leave false
+	// (the default: every wire batch is validated) unless every peer is
+	// a trusted runtime that already validated — the flag comes from the
+	// network, so honouring it lets any client bypass validation.
+	TrustPrevalidated bool
 	// ConnectDelay simulates the paper's observation that establishing
 	// the initial connection to StreamBase takes much longer than
 	// subsequent queries; applied once per new deploy-capable client
@@ -103,11 +129,15 @@ func NewServer(engine *dsms.Engine, profile *netsim.Profile) *Server {
 		s.srv.Delay = profile.RoundTrip
 	}
 	s.srv.Handle(MsgCreateStream, s.handleCreateStream)
+	s.srv.Handle(MsgDropStream, s.handleDropStream)
 	s.srv.Handle(MsgSchema, s.handleSchema)
 	s.srv.Handle(MsgDeploy, s.handleDeploy)
 	s.srv.Handle(MsgWithdraw, s.handleWithdraw)
 	s.srv.Handle(MsgIngest, s.handleIngest)
 	s.srv.Handle(MsgIngestBatch, s.handleIngestBatch)
+	s.srv.Handle(MsgFlush, s.handleFlush)
+	s.srv.Handle(MsgQueryCount, s.handleQueryCount)
+	s.srv.Handle(MsgPing, s.handlePing)
 	s.srv.Handle(MsgSubscribe, s.handleSubscribe)
 	return s
 }
@@ -133,6 +163,14 @@ func (s *Server) handleCreateStream(m *protocol.Message, _ *protocol.Conn) (any,
 		return nil, err
 	}
 	return struct{}{}, s.Engine.CreateStream(req.Name, req.Schema)
+}
+
+func (s *Server) handleDropStream(m *protocol.Message, _ *protocol.Conn) (any, error) {
+	req, err := protocol.Decode[DropStreamReq](m)
+	if err != nil {
+		return nil, err
+	}
+	return struct{}{}, s.Engine.DropStream(req.Name)
 }
 
 func (s *Server) handleSchema(m *protocol.Message, _ *protocol.Conn) (any, error) {
@@ -179,7 +217,7 @@ func (s *Server) handleDeploy(m *protocol.Message, _ *protocol.Conn) (any, error
 	if err != nil {
 		return nil, err
 	}
-	return DeployResp{QueryID: dep.ID, Handle: dep.Handle}, nil
+	return DeployResp{QueryID: dep.ID, Handle: dep.Handle, OutputSchema: dep.OutputSchema}, nil
 }
 
 func (s *Server) handleWithdraw(m *protocol.Message, _ *protocol.Conn) (any, error) {
@@ -203,7 +241,23 @@ func (s *Server) handleIngestBatch(m *protocol.Message, _ *protocol.Conn) (any, 
 	if err != nil {
 		return nil, err
 	}
+	if req.Prevalidated && s.TrustPrevalidated {
+		return struct{}{}, s.Engine.IngestBatchPrevalidated(req.Stream, req.Tuples)
+	}
 	return struct{}{}, s.Engine.IngestBatch(req.Stream, req.Tuples)
+}
+
+func (s *Server) handleFlush(_ *protocol.Message, _ *protocol.Conn) (any, error) {
+	s.Engine.Flush()
+	return struct{}{}, nil
+}
+
+func (s *Server) handleQueryCount(_ *protocol.Message, _ *protocol.Conn) (any, error) {
+	return QueryCountResp{Count: s.Engine.QueryCount()}, nil
+}
+
+func (s *Server) handlePing(_ *protocol.Message, _ *protocol.Conn) (any, error) {
+	return struct{}{}, nil
 }
 
 // handleSubscribe hijacks the connection: an acknowledging ".ok" frame
@@ -256,6 +310,23 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newClient(rpc), nil
+}
+
+// DialTimeout connects to a dsmsd server, bounding the TCP connect so
+// a blackholed address cannot hang the caller for the OS default.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		return Dial(addr)
+	}
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return newClient(protocol.NewClient(protocol.NewConn(nc))), nil
+}
+
+func newClient(rpc *protocol.Client) *Client {
 	c := &Client{rpc: rpc}
 	rpc.SetPush(func(m *protocol.Message) {
 		if m.Type != MsgTuple || c.OnTuple == nil {
@@ -265,7 +336,7 @@ func Dial(addr string) (*Client, error) {
 			c.OnTuple(t)
 		}
 	})
-	return c, nil
+	return c
 }
 
 // Close closes the connection.
@@ -274,6 +345,13 @@ func (c *Client) Close() error { return c.rpc.Close() }
 // CreateStream registers an input stream on the engine.
 func (c *Client) CreateStream(name string, schema *stream.Schema) error {
 	_, err := c.rpc.Call(MsgCreateStream, CreateStreamReq{Name: name, Schema: schema})
+	return err
+}
+
+// DropStream removes an input stream, withdrawing every query reading
+// from it.
+func (c *Client) DropStream(name string) error {
+	_, err := c.rpc.Call(MsgDropStream, DropStreamReq{Name: name})
 	return err
 }
 
@@ -288,11 +366,17 @@ func (c *Client) StreamSchema(name string) (*stream.Schema, error) {
 
 // DeployScript implements xacmlplus.StreamEngine.
 func (c *Client) DeployScript(script string) (string, string, error) {
-	resp, err := protocol.CallDecode[DeployResp](c.rpc, MsgDeploy, DeployReq{Script: script})
+	resp, err := c.DeployScriptSchema(script)
 	if err != nil {
 		return "", "", err
 	}
 	return resp.QueryID, resp.Handle, nil
+}
+
+// DeployScriptSchema deploys a script and returns the full wire
+// response, including the output schema of the continuous query.
+func (c *Client) DeployScriptSchema(script string) (DeployResp, error) {
+	return protocol.CallDecode[DeployResp](c.rpc, MsgDeploy, DeployReq{Script: script})
 }
 
 // Withdraw implements xacmlplus.StreamEngine.
@@ -311,6 +395,38 @@ func (c *Client) Ingest(streamName string, t stream.Tuple) error {
 // round trip.
 func (c *Client) IngestBatch(streamName string, ts []stream.Tuple) error {
 	_, err := c.rpc.Call(MsgIngestBatch, IngestBatchReq{Stream: streamName, Tuples: ts})
+	return err
+}
+
+// IngestBatchPrevalidated appends a batch the caller has already
+// validated against the stream schema (the sharded runtime's publish
+// path). The engine's conformance walk is skipped only when the server
+// was configured with TrustPrevalidated; otherwise the flag is a hint
+// and the batch is validated again.
+func (c *Client) IngestBatchPrevalidated(streamName string, ts []stream.Tuple) error {
+	_, err := c.rpc.Call(MsgIngestBatch, IngestBatchReq{Stream: streamName, Tuples: ts, Prevalidated: true})
+	return err
+}
+
+// Flush blocks until the remote engine's pipelines have quiesced.
+func (c *Client) Flush() error {
+	_, err := c.rpc.Call(MsgFlush, struct{}{})
+	return err
+}
+
+// QueryCount reports the number of continuous queries running on the
+// remote engine.
+func (c *Client) QueryCount() (int, error) {
+	resp, err := protocol.CallDecode[QueryCountResp](c.rpc, MsgQueryCount, struct{}{})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}
+
+// Ping checks liveness of the connection and the remote engine.
+func (c *Client) Ping() error {
+	_, err := c.rpc.Call(MsgPing, struct{}{})
 	return err
 }
 

@@ -1,0 +1,76 @@
+package dsmsd
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// TestRemoteEngineOps covers the wire operations the sharded runtime's
+// RemoteBackend depends on: ping, prevalidated batch ingest, flush,
+// query count and stream drop.
+func TestRemoteEngineOps(t *testing.T) {
+	srv, cli := startServer(t)
+	srv.TrustPrevalidated = true
+
+	if err := cli.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	if err := cli.CreateStream("s", testSchema()); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := cli.DeployScriptSchema("CREATE INPUT STREAM s (a int, b double); CREATE OUTPUT STREAM o; SELECT * FROM s WHERE a > 1 INTO o;")
+	if err != nil {
+		t.Fatalf("DeployScriptSchema: %v", err)
+	}
+	if resp.QueryID == "" || resp.Handle == "" {
+		t.Fatalf("deploy = %+v", resp)
+	}
+	if resp.OutputSchema == nil || !resp.OutputSchema.Equal(testSchema()) {
+		t.Errorf("output schema = %v, want input schema of a filter", resp.OutputSchema)
+	}
+
+	n, err := cli.QueryCount()
+	if err != nil || n != 1 {
+		t.Fatalf("QueryCount = %d, %v; want 1", n, err)
+	}
+
+	sub, err := srv.Engine.Subscribe(resp.QueryID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Engine.Unsubscribe(resp.QueryID, sub)
+	batch := []stream.Tuple{
+		stream.NewTuple(stream.IntValue(1), stream.DoubleValue(0.5)),
+		stream.NewTuple(stream.IntValue(2), stream.DoubleValue(1.5)),
+	}
+	if err := cli.IngestBatchPrevalidated("s", batch); err != nil {
+		t.Fatalf("IngestBatchPrevalidated: %v", err)
+	}
+	if err := cli.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	// After a flush, the a > 1 filter output is already buffered.
+	select {
+	case got := <-sub.C:
+		if got.Values[0].Int() != 2 {
+			t.Errorf("filtered tuple = %v, want a == 2", got)
+		}
+	default:
+		t.Error("prevalidated batch never reached the filter query")
+	}
+
+	if err := cli.DropStream("s"); err != nil {
+		t.Fatalf("DropStream: %v", err)
+	}
+	if _, err := cli.StreamSchema("s"); err == nil {
+		t.Error("schema lookup after drop must fail")
+	}
+	if n, err := cli.QueryCount(); err != nil || n != 0 {
+		t.Errorf("QueryCount after drop = %d, %v; want 0 (queries withdrawn with the stream)", n, err)
+	}
+	if err := cli.DropStream("s"); err == nil {
+		t.Error("dropping an unknown stream must fail")
+	}
+}

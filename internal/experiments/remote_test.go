@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/runtime"
+)
+
+// TestRunRemoteShards runs a small mixed local/remote topology
+// end-to-end and checks that both backend kinds ingest their share
+// with exact accounting (RunRemoteShards itself verifies the
+// offered == ingested + dropped + errors invariant and fails on any
+// violation).
+func TestRunRemoteShards(t *testing.T) {
+	res, err := RunRemoteShards(RemoteShardsOptions{
+		LocalShards:  1,
+		RemoteShards: 2,
+		Publishers:   3,
+		BatchSize:    32,
+		Tuples:       3000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Stats.Total()
+	if total.Ingested != 3000 {
+		t.Errorf("ingested = %d, want 3000 (blocking policy loses nothing)", total.Ingested)
+	}
+	if res.LocalIngested == 0 || res.RemoteIngested == 0 {
+		t.Errorf("ingest split local=%d remote=%d; want both backend kinds exercised",
+			res.LocalIngested, res.RemoteIngested)
+	}
+	if len(res.Stats.Shards) != 3 {
+		t.Fatalf("shards = %d, want 3", len(res.Stats.Shards))
+	}
+	remotes := 0
+	for _, sh := range res.Stats.Shards {
+		if strings.HasPrefix(sh.Backend, "remote(") {
+			remotes++
+		}
+		if !sh.Healthy {
+			t.Errorf("shard %d (%s) unhealthy", sh.Shard, sh.Backend)
+		}
+	}
+	if remotes != 2 {
+		t.Errorf("remote shards = %d, want 2", remotes)
+	}
+	if res.Throughput <= 0 {
+		t.Errorf("throughput = %f", res.Throughput)
+	}
+	if s := res.String(); !strings.Contains(s, "ingested") {
+		t.Errorf("summary = %q", s)
+	}
+}
+
+// TestRunRemoteShardsAllLocal pins the remote count to zero: the
+// explicit all-local topology used as the benchmark baseline.
+func TestRunRemoteShardsAllLocal(t *testing.T) {
+	res, err := RunRemoteShards(RemoteShardsOptions{
+		LocalShards:  2,
+		RemoteShards: 0,
+		Tuples:       1000,
+		Policy:       runtime.Block,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteIngested != 0 || res.LocalIngested != 1000 {
+		t.Errorf("ingest split local=%d remote=%d; want 1000/0", res.LocalIngested, res.RemoteIngested)
+	}
+}

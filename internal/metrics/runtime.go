@@ -16,6 +16,12 @@ import (
 type ShardStat struct {
 	// Shard is the shard index (-1 for an aggregate row).
 	Shard int `json:"shard"`
+	// Backend names the shard's backend flavour: "local" for an
+	// in-process engine, "remote(addr)" for a dsmsd process.
+	Backend string `json:"backend,omitempty"`
+	// Healthy reports whether the backend is believed reachable; a
+	// remote shard whose backend was declared down reports false.
+	Healthy bool `json:"healthy,omitempty"`
 	// QueueDepth and QueueCap describe the shard's ring buffer.
 	QueueDepth int `json:"queue_depth"`
 	QueueCap   int `json:"queue_cap"`
@@ -116,15 +122,22 @@ func (s RuntimeStats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "runtime %q: %d shard(s), up %v, rejected=%d\n",
 		s.Engine, len(s.Shards), s.Elapsed.Round(time.Millisecond), s.Rejected)
-	fmt.Fprintf(&b, "%-6s %-10s %-12s %-12s %-10s %-12s %-8s %-12s\n",
-		"shard", "depth", "offered", "accepted", "dropped", "ingested", "errors", "tuples/s")
+	fmt.Fprintf(&b, "%-6s %-22s %-10s %-12s %-12s %-10s %-12s %-8s %-12s\n",
+		"shard", "backend", "depth", "offered", "accepted", "dropped", "ingested", "errors", "tuples/s")
 	row := func(st ShardStat) {
 		name := fmt.Sprintf("%d", st.Shard)
 		if st.Shard < 0 {
 			name = "total"
 		}
-		fmt.Fprintf(&b, "%-6s %-10s %-12d %-12d %-10d %-12d %-8d %-12.0f\n",
-			name, fmt.Sprintf("%d/%d", st.QueueDepth, st.QueueCap),
+		backend := st.Backend
+		if backend == "" {
+			backend = "-"
+		}
+		if st.Backend != "" && !st.Healthy {
+			backend += " DOWN"
+		}
+		fmt.Fprintf(&b, "%-6s %-22s %-10s %-12d %-12d %-10d %-12d %-8d %-12.0f\n",
+			name, backend, fmt.Sprintf("%d/%d", st.QueueDepth, st.QueueCap),
 			st.Offered, st.Accepted, st.Dropped, st.Ingested, st.Errors, st.Throughput)
 	}
 	for _, sh := range s.Shards {

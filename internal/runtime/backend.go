@@ -1,0 +1,181 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dsms"
+	"repro/internal/stream"
+	"repro/internal/streamql"
+)
+
+// BackendDeployment describes one continuous query running on one
+// shard backend.
+type BackendDeployment struct {
+	// ID is the backend-unique query identifier.
+	ID string
+	// Handle is the URI under which the output stream is served.
+	Handle string
+	// OutputSchema is the schema of emitted tuples.
+	OutputSchema *stream.Schema
+}
+
+// BackendSubscription is a live attachment to a query's output on one
+// shard backend.
+type BackendSubscription interface {
+	// Tuples delivers the query's output; the channel is closed when
+	// the subscription (or its backend connection) dies.
+	Tuples() <-chan stream.Tuple
+	// Dropped counts tuples discarded because the consumer lagged.
+	Dropped() uint64
+	// Close detaches the subscription.
+	Close()
+}
+
+// DeployRequest carries a continuous query in both of its forms: the
+// compiled graph (what in-process engines execute directly) and the
+// StreamSQL source (what crosses the wire to a remote backend). The
+// runtime's script path fills both; the graph-only path leaves Script
+// empty, which remote backends reject.
+type DeployRequest struct {
+	Graph  *dsms.QueryGraph
+	Script string
+}
+
+// ShardBackend is the engine surface one shard slot of the runtime
+// needs: stream DDL, the prevalidated batch ingest the shard worker
+// ships, the xacmlplus.StreamEngine deploy/withdraw surface (via
+// Deploy/Withdraw), subscriptions, and lifecycle. LocalBackend adapts
+// an in-process dsms.Engine; RemoteBackend fronts a dsmsd process over
+// the socket protocol, so a runtime can mix in-process and remote
+// shards in one topology.
+type ShardBackend interface {
+	// Kind names the backend flavour for stats ("local", "remote(addr)").
+	Kind() string
+	// CreateStream registers an input stream.
+	CreateStream(name string, schema *stream.Schema) error
+	// DropStream removes a stream, withdrawing queries reading from it.
+	DropStream(name string) error
+	// StreamSchema returns a registered stream's schema.
+	StreamSchema(name string) (*stream.Schema, error)
+	// IngestBatchPrevalidated ships a schema-checked batch into the
+	// engine (the shard worker's drain path).
+	IngestBatchPrevalidated(streamName string, ts []stream.Tuple) error
+	// Deploy starts a continuous query.
+	Deploy(req DeployRequest) (BackendDeployment, error)
+	// Withdraw stops a query by id or handle.
+	Withdraw(idOrHandle string) error
+	// Subscribe attaches a consumer to a query's output.
+	Subscribe(idOrHandle string) (BackendSubscription, error)
+	// QueryCount reports running continuous queries (0 on error).
+	QueryCount() int
+	// Healthy reports whether the backend is believed reachable.
+	Healthy() bool
+	// Flush blocks until the backend's pipelines have quiesced.
+	Flush() error
+	// Close releases the backend (engine shutdown / connection close).
+	Close() error
+}
+
+// LocalBackend adapts an in-process dsms.Engine to the ShardBackend
+// interface with zero behaviour change relative to the pre-interface
+// runtime.
+type LocalBackend struct {
+	eng *dsms.Engine
+}
+
+// NewLocalBackend wraps an engine.
+func NewLocalBackend(eng *dsms.Engine) *LocalBackend { return &LocalBackend{eng: eng} }
+
+// Engine exposes the wrapped engine for tests and migration shims; new
+// code should stay on the ShardBackend surface.
+func (b *LocalBackend) Engine() *dsms.Engine { return b.eng }
+
+// Kind implements ShardBackend.
+func (b *LocalBackend) Kind() string { return "local" }
+
+// CreateStream implements ShardBackend.
+func (b *LocalBackend) CreateStream(name string, schema *stream.Schema) error {
+	return b.eng.CreateStream(name, schema)
+}
+
+// DropStream implements ShardBackend.
+func (b *LocalBackend) DropStream(name string) error { return b.eng.DropStream(name) }
+
+// StreamSchema implements ShardBackend.
+func (b *LocalBackend) StreamSchema(name string) (*stream.Schema, error) {
+	return b.eng.StreamSchema(name)
+}
+
+// IngestBatchPrevalidated implements ShardBackend.
+func (b *LocalBackend) IngestBatchPrevalidated(streamName string, ts []stream.Tuple) error {
+	return b.eng.IngestBatchPrevalidated(streamName, ts)
+}
+
+// Deploy implements ShardBackend, preferring the compiled graph and
+// compiling the script only when no graph was provided.
+func (b *LocalBackend) Deploy(req DeployRequest) (BackendDeployment, error) {
+	g := req.Graph
+	if g == nil {
+		if req.Script == "" {
+			return BackendDeployment{}, fmt.Errorf("runtime: deploy needs a graph or a script")
+		}
+		c, err := streamql.CompileString(req.Script)
+		if err != nil {
+			return BackendDeployment{}, err
+		}
+		g = c.Graph
+	}
+	d, err := b.eng.Deploy(g)
+	if err != nil {
+		return BackendDeployment{}, err
+	}
+	return BackendDeployment{ID: d.ID, Handle: d.Handle, OutputSchema: d.OutputSchema}, nil
+}
+
+// Withdraw implements ShardBackend.
+func (b *LocalBackend) Withdraw(idOrHandle string) error { return b.eng.Withdraw(idOrHandle) }
+
+// Subscribe implements ShardBackend.
+func (b *LocalBackend) Subscribe(idOrHandle string) (BackendSubscription, error) {
+	sub, err := b.eng.Subscribe(idOrHandle)
+	if err != nil {
+		return nil, err
+	}
+	return &localSub{eng: b.eng, key: idOrHandle, sub: sub}, nil
+}
+
+// QueryCount implements ShardBackend.
+func (b *LocalBackend) QueryCount() int { return b.eng.QueryCount() }
+
+// Healthy implements ShardBackend; an in-process engine is always
+// reachable.
+func (b *LocalBackend) Healthy() bool { return true }
+
+// Flush implements ShardBackend.
+func (b *LocalBackend) Flush() error {
+	b.eng.Flush()
+	return nil
+}
+
+// Close implements ShardBackend.
+func (b *LocalBackend) Close() error {
+	b.eng.Close()
+	return nil
+}
+
+// localSub adapts a dsms.Subscription to BackendSubscription.
+type localSub struct {
+	eng  *dsms.Engine
+	key  string
+	sub  *dsms.Subscription
+	once sync.Once
+}
+
+func (s *localSub) Tuples() <-chan stream.Tuple { return s.sub.C }
+func (s *localSub) Dropped() uint64             { return s.sub.Dropped() }
+func (s *localSub) Close() {
+	s.once.Do(func() { s.eng.Unsubscribe(s.key, s.sub) })
+}
+
+var _ ShardBackend = (*LocalBackend)(nil)

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/dsms"
@@ -10,8 +11,8 @@ import (
 )
 
 // Deployment is a continuous query running on the runtime. For a
-// single-shard stream it wraps one engine deployment and reuses its
-// handle; for a partitioned stream the same graph runs on every shard
+// single-shard stream it wraps one backend deployment and reuses its
+// handle; for a partitioned stream the same query runs on every shard
 // and the runtime issues a synthetic handle whose subscription merges
 // all per-shard outputs.
 type Deployment struct {
@@ -23,65 +24,111 @@ type Deployment struct {
 	Input string
 	// OutputSchema is the schema of emitted tuples.
 	OutputSchema *stream.Schema
-	// Parts are the per-shard engine deployments (one entry for
+	// Parts are the per-shard backend deployments (one entry for
 	// single-shard streams).
-	Parts []dsms.Deployment
+	Parts []BackendDeployment
 
 	shards []int
 }
 
 // Deploy validates a query graph against its input stream and starts
 // its continuous execution on the owning shard (or on every shard, for
-// partitioned streams).
+// partitioned streams). Graphs only work on local shards — a remote
+// backend needs the script form, so queries over streams owned by (or
+// partitioned onto) remote shards must go through DeployScript.
 func (rt *Runtime) Deploy(g *dsms.QueryGraph) (Deployment, error) {
 	if g == nil {
 		return Deployment{}, fmt.Errorf("runtime: nil query graph")
 	}
-	r, err := rt.routeFor(g.Input)
+	return rt.deploy(g.Input, DeployRequest{Graph: g})
+}
+
+// deploy runs a query — carried as a graph, a script, or both — on the
+// input stream's shard(s). The runtime lock is NOT held across the
+// backend Deploy calls: a remote shard's deploy is a network RPC
+// (possibly a multi-second redial), and holding rt.mu there would
+// freeze routeFor — and with it every publish on every stream.
+func (rt *Runtime) deploy(input string, req DeployRequest) (Deployment, error) {
+	r, err := rt.routeFor(input)
 	if err != nil {
 		return Deployment{}, err
 	}
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	if rt.closed {
+		rt.mu.Unlock()
 		return Deployment{}, errClosed
 	}
 	rt.nextDep++
 	id := fmt.Sprintf("rq%05d", rt.nextDep)
+	rt.mu.Unlock()
+
+	undo := func(dep *Deployment) {
+		for j, p := range dep.Parts {
+			_ = rt.shards[dep.shards[j]].be.Withdraw(p.ID)
+		}
+	}
 	dep := Deployment{ID: id, Input: r.name}
 	if r.keyIdx < 0 {
-		d, err := rt.shards[r.shard].eng.Deploy(g)
+		si := rt.targetShard(r, r.shard)
+		d, err := rt.shards[si].be.Deploy(req)
 		if err != nil {
 			return Deployment{}, err
 		}
 		dep.Handle = d.Handle
 		dep.OutputSchema = d.OutputSchema
-		dep.Parts = []dsms.Deployment{d}
-		dep.shards = []int{r.shard}
+		dep.Parts = []BackendDeployment{d}
+		dep.shards = []int{si}
 	} else {
 		dep.Handle = fmt.Sprintf("xrt://%s/streams/%s", rt.name, id)
 		for i, s := range rt.shards {
-			d, err := s.eng.Deploy(g) // Deploy clones the graph; reuse is safe
+			if rt.opts.Failover == FailoverReroute && s.failedErr() != nil {
+				// Under reroute the stream's tuples already flow to the
+				// survivors; deploying on them is exactly the documented
+				// "redeploy after failover" path, so a dead shard must
+				// not veto it. (Under FailoverFail the deploy fails like
+				// the publishes do.)
+				continue
+			}
+			d, err := s.be.Deploy(req) // backends clone/compile per shard; reuse is safe
 			if err != nil {
-				for j, p := range dep.Parts {
-					_ = rt.shards[j].eng.Withdraw(p.ID)
-				}
+				undo(&dep)
 				return Deployment{}, fmt.Errorf("runtime: shard %d: %w", i, err)
 			}
 			dep.OutputSchema = d.OutputSchema
 			dep.Parts = append(dep.Parts, d)
 			dep.shards = append(dep.shards, i)
 		}
+		if len(dep.Parts) == 0 {
+			return Deployment{}, fmt.Errorf("runtime: no healthy shard to deploy on")
+		}
+	}
+	rt.mu.Lock()
+	if rt.closed {
+		// The runtime closed while the backends deployed; roll back.
+		rt.mu.Unlock()
+		undo(&dep)
+		return Deployment{}, errClosed
+	}
+	if cur, ok := rt.routes[strings.ToLower(r.name)]; !ok || cur != r {
+		// The stream was dropped (and possibly re-created) while the
+		// backends deployed; committing now would register a query the
+		// drop already withdrew. Roll back instead.
+		rt.mu.Unlock()
+		undo(&dep)
+		return Deployment{}, fmt.Errorf("runtime: stream %q dropped during deploy", r.name)
 	}
 	rt.deps[id] = &dep
 	rt.deps[dep.Handle] = &dep
+	rt.mu.Unlock()
 	return dep, nil
 }
 
 // DeployScript compiles a StreamSQL script and deploys it, implementing
 // the PEP-facing engine surface. When the script embeds its input
 // declaration, the declared schema is verified against the registered
-// stream, mirroring the dsmsd server.
+// stream, mirroring the dsmsd server. Both the compiled graph and the
+// script source are handed to the shard backend, so the same call works
+// against in-process engines and remote dsmsd shards.
 func (rt *Runtime) DeployScript(script string) (string, string, error) {
 	c, err := streamql.CompileString(script)
 	if err != nil {
@@ -96,7 +143,7 @@ func (rt *Runtime) DeployScript(script string) (string, string, error) {
 			return "", "", fmt.Errorf("runtime: script schema for %q does not match registered stream", c.Input)
 		}
 	}
-	dep, err := rt.Deploy(c.Graph)
+	dep, err := rt.deploy(c.Input, DeployRequest{Graph: c.Graph, Script: script})
 	if err != nil {
 		return "", "", err
 	}
@@ -121,7 +168,7 @@ func (rt *Runtime) Query(idOrHandle string) (Deployment, bool) {
 }
 
 // Withdraw stops a deployed query by runtime id or handle. Handles
-// issued directly by a shard engine are routed by trial, so the PEP's
+// issued directly by a shard backend are routed by trial, so the PEP's
 // withdraw-by-whatever-it-stored behaviour keeps working.
 func (rt *Runtime) Withdraw(idOrHandle string) error {
 	rt.mu.Lock()
@@ -133,7 +180,7 @@ func (rt *Runtime) Withdraw(idOrHandle string) error {
 	rt.mu.Unlock()
 	if !ok {
 		for _, s := range rt.shards {
-			if err := s.eng.Withdraw(idOrHandle); err == nil {
+			if err := s.be.Withdraw(idOrHandle); err == nil {
 				return nil
 			}
 		}
@@ -141,19 +188,18 @@ func (rt *Runtime) Withdraw(idOrHandle string) error {
 	}
 	var err error
 	for i, p := range d.Parts {
-		if werr := rt.shards[d.shards[i]].eng.Withdraw(p.ID); werr != nil && err == nil {
+		if rt.shards[d.shards[i]].failedErr() != nil {
+			// The shard's backend is down: its queries died with the
+			// process, so there is nothing left to withdraw there and a
+			// conn error would only make an otherwise-complete withdraw
+			// look failed.
+			continue
+		}
+		if werr := rt.shards[d.shards[i]].be.Withdraw(p.ID); werr != nil && err == nil {
 			err = werr
 		}
 	}
 	return err
-}
-
-// subPart ties one underlying engine subscription to its engine for
-// clean detach.
-type subPart struct {
-	eng *dsms.Engine
-	key string
-	sub *dsms.Subscription
 }
 
 // Subscription delivers a runtime query's output tuples. For queries on
@@ -163,7 +209,7 @@ type subPart struct {
 type Subscription struct {
 	C <-chan stream.Tuple
 
-	parts  []subPart
+	parts  []BackendSubscription
 	merged chan stream.Tuple
 	once   sync.Once
 }
@@ -173,7 +219,7 @@ type Subscription struct {
 func (s *Subscription) Dropped() uint64 {
 	var n uint64
 	for _, p := range s.parts {
-		n += p.sub.Dropped()
+		n += p.Dropped()
 	}
 	return n
 }
@@ -183,7 +229,7 @@ func (s *Subscription) Dropped() uint64 {
 func (s *Subscription) Close() {
 	s.once.Do(func() {
 		for _, p := range s.parts {
-			p.eng.Unsubscribe(p.key, p.sub)
+			p.Close()
 		}
 		if s.merged != nil {
 			// Unblock forwarders stuck sending into the merged buffer
@@ -198,24 +244,23 @@ func (s *Subscription) Close() {
 }
 
 // Subscribe attaches a consumer to a query's output by runtime id or
-// handle (handles issued directly by shard engines also resolve).
+// handle (handles issued directly by shard backends also resolve).
 func (rt *Runtime) Subscribe(idOrHandle string) (*Subscription, error) {
 	d, ok := rt.lookupDep(idOrHandle)
 	if !ok {
 		for _, s := range rt.shards {
-			if sub, err := s.eng.Subscribe(idOrHandle); err == nil {
-				return &Subscription{C: sub.C, parts: []subPart{{eng: s.eng, key: idOrHandle, sub: sub}}}, nil
+			if sub, err := s.be.Subscribe(idOrHandle); err == nil {
+				return &Subscription{C: sub.Tuples(), parts: []BackendSubscription{sub}}, nil
 			}
 		}
 		return nil, fmt.Errorf("runtime: unknown query %q", idOrHandle)
 	}
 	if len(d.Parts) == 1 {
-		eng := rt.shards[d.shards[0]].eng
-		sub, err := eng.Subscribe(d.Parts[0].ID)
+		sub, err := rt.shards[d.shards[0]].be.Subscribe(d.Parts[0].ID)
 		if err != nil {
 			return nil, err
 		}
-		return &Subscription{C: sub.C, parts: []subPart{{eng: eng, key: d.Parts[0].ID, sub: sub}}}, nil
+		return &Subscription{C: sub.Tuples(), parts: []BackendSubscription{sub}}, nil
 	}
 	// Attach every shard before starting any forwarder, so a mid-loop
 	// failure can detach cleanly without leaking forwarder goroutines
@@ -223,23 +268,22 @@ func (rt *Runtime) Subscribe(idOrHandle string) (*Subscription, error) {
 	out := make(chan stream.Tuple, dsms.DefaultSubscriptionBuffer)
 	sub := &Subscription{C: out, merged: out}
 	for i, p := range d.Parts {
-		eng := rt.shards[d.shards[i]].eng
-		es, err := eng.Subscribe(p.ID)
+		bs, err := rt.shards[d.shards[i]].be.Subscribe(p.ID)
 		if err != nil {
 			sub.Close()
 			return nil, err
 		}
-		sub.parts = append(sub.parts, subPart{eng: eng, key: p.ID, sub: es})
+		sub.parts = append(sub.parts, bs)
 	}
 	var wg sync.WaitGroup
 	for _, p := range sub.parts {
 		wg.Add(1)
-		go func(es *dsms.Subscription) {
+		go func(bs BackendSubscription) {
 			defer wg.Done()
-			for t := range es.C {
+			for t := range bs.Tuples() {
 				out <- t
 			}
-		}(p.sub)
+		}(p)
 	}
 	go func() {
 		wg.Wait()

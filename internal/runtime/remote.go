@@ -1,0 +1,504 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dsms"
+	"repro/internal/dsmsd"
+	"repro/internal/protocol"
+	"repro/internal/stream"
+)
+
+// Remote backend defaults.
+const (
+	DefaultMaxReconnects    = 3
+	DefaultReconnectBackoff = 50 * time.Millisecond
+	DefaultHealthInterval   = time.Second
+	DefaultCallTimeout      = 10 * time.Second
+)
+
+// RemoteOptions tunes a RemoteBackend.
+type RemoteOptions struct {
+	// MaxReconnects bounds the dial attempts made per connection
+	// (re)establishment before the backend is declared down (default 3).
+	MaxReconnects int
+	// ReconnectBackoff is the pause before the first redial attempt; it
+	// doubles per attempt (default 50ms).
+	ReconnectBackoff time.Duration
+	// HealthInterval is the period of the background liveness probe
+	// (default 1s; negative disables the probe).
+	HealthInterval time.Duration
+	// CallTimeout bounds each RPC and each TCP connect (default 10s;
+	// negative disables). protocol.Client has no per-call deadline, so
+	// on expiry the connection is torn down — which both unblocks the
+	// in-flight call and routes a hung-but-connected dsmsd into the
+	// same reconnect/down machinery as a closed one.
+	CallTimeout time.Duration
+	// SubBuffer is the per-subscription channel capacity (default
+	// dsms.DefaultSubscriptionBuffer). A full buffer drops tuples,
+	// counted in BackendSubscription.Dropped.
+	SubBuffer int
+	// OnDown is the failover hook: invoked exactly once, with the
+	// terminal error, when the backend exhausts its reconnect budget and
+	// declares the dsmsd process unreachable. The runtime wires this to
+	// the owning shard so publishes fail fast (or reroute) with correct
+	// accounting.
+	OnDown func(err error)
+}
+
+func (o RemoteOptions) withDefaults() RemoteOptions {
+	if o.MaxReconnects <= 0 {
+		o.MaxReconnects = DefaultMaxReconnects
+	}
+	if o.ReconnectBackoff <= 0 {
+		o.ReconnectBackoff = DefaultReconnectBackoff
+	}
+	if o.HealthInterval == 0 {
+		o.HealthInterval = DefaultHealthInterval
+	}
+	if o.CallTimeout == 0 {
+		o.CallTimeout = DefaultCallTimeout
+	}
+	if o.SubBuffer <= 0 {
+		o.SubBuffer = dsms.DefaultSubscriptionBuffer
+	}
+	return o
+}
+
+// RemoteBackend implements ShardBackend over a dsmsd process reached
+// through internal/protocol. The connection is established lazily and
+// re-established on failure with a bounded, backed-off retry budget; a
+// background probe pings the server so failures are detected even
+// between publishes. Once the budget is exhausted the backend is
+// declared down — every subsequent operation fails fast with an error
+// wrapping protocol.ErrClosed (client.ErrConnClosed), and the OnDown
+// hook fires exactly once so the owning shard can fail or reroute its
+// streams. Down is terminal: recovering a restarted dsmsd means
+// building a fresh backend.
+type RemoteBackend struct {
+	addr string
+	opts RemoteOptions
+
+	mu      sync.Mutex
+	cli     *dsmsd.Client
+	dialed  bool // a connection has succeeded at least once
+	downErr error
+	closed  bool
+	subs    map[*remoteSub]struct{} // live dedicated subscription connections
+
+	downOnce  sync.Once
+	healthy   atomic.Bool
+	probeStop chan struct{}
+	probeDone chan struct{}
+}
+
+// NewRemoteBackend builds a backend for the dsmsd process at addr. No
+// connection is made until the first operation (or probe tick).
+func NewRemoteBackend(addr string, opts RemoteOptions) *RemoteBackend {
+	b := &RemoteBackend{
+		addr:      addr,
+		opts:      opts.withDefaults(),
+		subs:      map[*remoteSub]struct{}{},
+		probeStop: make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	b.healthy.Store(true)
+	if b.opts.HealthInterval > 0 {
+		go b.probe()
+	} else {
+		close(b.probeDone)
+	}
+	return b
+}
+
+// Addr returns the dsmsd address this backend fronts.
+func (b *RemoteBackend) Addr() string { return b.addr }
+
+// Kind implements ShardBackend.
+func (b *RemoteBackend) Kind() string { return fmt.Sprintf("remote(%s)", b.addr) }
+
+// Healthy implements ShardBackend: false once the backend has been
+// declared down.
+func (b *RemoteBackend) Healthy() bool { return b.healthy.Load() }
+
+// connErr wraps a transport-level failure so errors.Is(err,
+// client.ErrConnClosed) holds for callers regardless of which layer
+// produced it.
+func (b *RemoteBackend) connErr(format string, err error) error {
+	if errors.Is(err, protocol.ErrClosed) {
+		return fmt.Errorf(format, b.addr, err)
+	}
+	return fmt.Errorf(format, b.addr, fmt.Errorf("%w: %v", protocol.ErrClosed, err))
+}
+
+// client returns the live connection, dialing with the bounded retry
+// budget when necessary. Exhausting the budget declares the backend
+// down.
+func (b *RemoteBackend) client() (*dsmsd.Client, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.downErr != nil {
+		return nil, b.downErr
+	}
+	if b.closed {
+		return nil, b.connErr("runtime: remote shard %s: %w", errors.New("backend closed"))
+	}
+	if b.cli != nil {
+		return b.cli, nil
+	}
+	var lastErr error
+	backoff := b.opts.ReconnectBackoff
+	for attempt := 0; attempt < b.opts.MaxReconnects; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		cli, err := dsmsd.DialTimeout(b.addr, b.opts.CallTimeout)
+		if err == nil {
+			b.cli = cli
+			b.dialed = true
+			return cli, nil
+		}
+		lastErr = err
+	}
+	b.markDownLocked(b.connErr("runtime: remote shard %s unreachable: %w", lastErr))
+	return nil, b.downErr
+}
+
+// dropClient discards a connection observed dead so the next operation
+// redials.
+func (b *RemoteBackend) dropClient(cli *dsmsd.Client) {
+	b.mu.Lock()
+	if b.cli == cli {
+		b.cli = nil
+	}
+	b.mu.Unlock()
+	_ = cli.Close()
+}
+
+// markDownLocked records the terminal error and schedules the OnDown
+// hook; the caller holds b.mu.
+func (b *RemoteBackend) markDownLocked(err error) {
+	b.downErr = err
+	b.healthy.Store(false)
+	b.downOnce.Do(func() {
+		if hook := b.opts.OnDown; hook != nil {
+			// Invoke outside the lock: the hook typically takes the
+			// owning shard's mutex.
+			go hook(err)
+		}
+	})
+}
+
+// callBounded runs op against cli under the call timeout. On expiry
+// the connection is closed, which fails the pending call with
+// protocol.ErrClosed (and so also unblocks the op goroutine — no
+// leak); the caller sees a connection-flavoured error and its retry /
+// down machinery takes over.
+func (b *RemoteBackend) callBounded(cli *dsmsd.Client, op func(c *dsmsd.Client) error) error {
+	if b.opts.CallTimeout <= 0 {
+		return op(cli)
+	}
+	done := make(chan error, 1)
+	go func() { done <- op(cli) }()
+	t := time.NewTimer(b.opts.CallTimeout)
+	defer t.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-t.C:
+		b.dropClient(cli)
+		<-done
+		// Callers add the shard address; report the bare timeout as a
+		// connection-class failure.
+		return fmt.Errorf("%w: call timed out after %v", protocol.ErrClosed, b.opts.CallTimeout)
+	}
+}
+
+// do runs one idempotent RPC against the backend, redialing and
+// re-issuing once if the connection died under it. Only safe for
+// operations whose duplicate execution is harmless (schema lookups,
+// pings, flushes): a connection can die after the server applied the
+// request but before the response arrived.
+func (b *RemoteBackend) do(op func(c *dsmsd.Client) error) error {
+	var lastErr error
+	for try := 0; try < 2; try++ {
+		cli, err := b.client()
+		if err != nil {
+			return err
+		}
+		err = b.callBounded(cli, op)
+		if err == nil || !errors.Is(err, protocol.ErrClosed) {
+			return err
+		}
+		lastErr = b.connErr("runtime: remote shard %s: %w", err)
+		b.dropClient(cli)
+	}
+	return lastErr
+}
+
+// doOnce runs one side-effecting RPC exactly once: on connection death
+// the error is surfaced (and accounted by the caller) rather than the
+// request re-sent, because the server may already have applied it —
+// re-issuing an ingest would duplicate tuples, a deploy would orphan a
+// query, a create would falsely report "already exists". The dead
+// connection is dropped so the next operation redials (with the
+// bounded budget that eventually declares the backend down).
+func (b *RemoteBackend) doOnce(op func(c *dsmsd.Client) error) error {
+	cli, err := b.client()
+	if err != nil {
+		return err
+	}
+	err = b.callBounded(cli, op)
+	if err == nil || !errors.Is(err, protocol.ErrClosed) {
+		return err
+	}
+	b.dropClient(cli)
+	return b.connErr("runtime: remote shard %s: %w", err)
+}
+
+// probe pings the server every HealthInterval so a dead dsmsd is
+// noticed (and the OnDown hook fired) even while no publishes flow.
+func (b *RemoteBackend) probe() {
+	defer close(b.probeDone)
+	t := time.NewTicker(b.opts.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-b.probeStop:
+			return
+		case <-t.C:
+			b.mu.Lock()
+			virgin := !b.dialed && b.downErr == nil
+			down := b.downErr != nil
+			b.mu.Unlock()
+			if down {
+				return
+			}
+			if virgin {
+				// Never successfully dialed: leave the first connection
+				// to the first real operation so an unused backend does
+				// not burn its reconnect budget at startup. Once it HAS
+				// connected, the probe keeps watching even with the
+				// connection dropped — that is how a dead dsmsd is
+				// declared down while no publishes flow.
+				continue
+			}
+			_ = b.do(func(c *dsmsd.Client) error { return c.Ping() })
+		}
+	}
+}
+
+// CreateStream implements ShardBackend. A stream that already exists
+// on the dsmsd with an equal schema is adopted rather than refused:
+// the remote process outlives its runtime (a restarted data server
+// re-registers the same streams against dsmsd state it created in a
+// previous life), and an at-most-once retry after a connection death
+// may also find its own earlier attempt applied.
+func (b *RemoteBackend) CreateStream(name string, schema *stream.Schema) error {
+	err := b.doOnce(func(c *dsmsd.Client) error { return c.CreateStream(name, schema) })
+	if err == nil || !strings.Contains(err.Error(), "already exists") {
+		return err
+	}
+	existing, serr := b.StreamSchema(name)
+	if serr == nil && existing.Equal(schema) {
+		return nil
+	}
+	return err
+}
+
+// DropStream implements ShardBackend.
+func (b *RemoteBackend) DropStream(name string) error {
+	return b.doOnce(func(c *dsmsd.Client) error { return c.DropStream(name) })
+}
+
+// StreamSchema implements ShardBackend.
+func (b *RemoteBackend) StreamSchema(name string) (*stream.Schema, error) {
+	var out *stream.Schema
+	err := b.do(func(c *dsmsd.Client) error {
+		s, err := c.StreamSchema(name)
+		out = s
+		return err
+	})
+	return out, err
+}
+
+// IngestBatchPrevalidated implements ShardBackend. At-most-once: a
+// batch whose connection died mid-call is reported as an error (the
+// shard worker counts it) instead of re-sent, which could double-apply
+// it.
+func (b *RemoteBackend) IngestBatchPrevalidated(streamName string, ts []stream.Tuple) error {
+	return b.doOnce(func(c *dsmsd.Client) error { return c.IngestBatchPrevalidated(streamName, ts) })
+}
+
+// Deploy implements ShardBackend. Remote deployment needs the script
+// form: compiled graphs do not cross the wire.
+func (b *RemoteBackend) Deploy(req DeployRequest) (BackendDeployment, error) {
+	if req.Script == "" {
+		return BackendDeployment{}, fmt.Errorf("runtime: remote shard %s: deploy requires a StreamSQL script (use DeployScript)", b.addr)
+	}
+	var out BackendDeployment
+	err := b.doOnce(func(c *dsmsd.Client) error {
+		resp, err := c.DeployScriptSchema(req.Script)
+		if err != nil {
+			return err
+		}
+		out = BackendDeployment{ID: resp.QueryID, Handle: resp.Handle, OutputSchema: resp.OutputSchema}
+		return nil
+	})
+	return out, err
+}
+
+// Withdraw implements ShardBackend.
+func (b *RemoteBackend) Withdraw(idOrHandle string) error {
+	return b.doOnce(func(c *dsmsd.Client) error { return c.Withdraw(idOrHandle) })
+}
+
+// QueryCount implements ShardBackend (0 when unreachable).
+func (b *RemoteBackend) QueryCount() int {
+	var n int
+	_ = b.do(func(c *dsmsd.Client) error {
+		count, err := c.QueryCount()
+		n = count
+		return err
+	})
+	return n
+}
+
+// Flush implements ShardBackend.
+func (b *RemoteBackend) Flush() error {
+	return b.do(func(c *dsmsd.Client) error { return c.Flush() })
+}
+
+// Close implements ShardBackend: stops the probe, drops the RPC
+// connection and tears down every dedicated subscription connection —
+// closing each subscription's tuple channel, so consumers ranging over
+// it terminate exactly as they would when a local engine closes. The
+// dsmsd process itself is left to its owner.
+func (b *RemoteBackend) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	cli := b.cli
+	b.cli = nil
+	subs := make([]*remoteSub, 0, len(b.subs))
+	for s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.subs = nil
+	b.mu.Unlock()
+	close(b.probeStop)
+	<-b.probeDone
+	for _, s := range subs {
+		_ = s.rpc.Close()
+	}
+	if cli != nil {
+		return cli.Close()
+	}
+	return nil
+}
+
+// removeSub forgets a subscription the consumer closed itself.
+func (b *RemoteBackend) removeSub(s *remoteSub) {
+	b.mu.Lock()
+	delete(b.subs, s)
+	b.mu.Unlock()
+}
+
+// Subscribe implements ShardBackend. The dsmsd protocol carries one
+// subscription per connection, so each subscription gets a dedicated
+// connection whose pushed tuples are buffered into a channel; a full
+// buffer drops tuples, mirroring the in-process subscription contract.
+func (b *RemoteBackend) Subscribe(idOrHandle string) (BackendSubscription, error) {
+	b.mu.Lock()
+	down, closed := b.downErr, b.closed
+	b.mu.Unlock()
+	if down != nil {
+		return nil, down
+	}
+	if closed {
+		return nil, b.connErr("runtime: remote shard %s: %w", errors.New("backend closed"))
+	}
+	rpc, err := b.dialSubscribe()
+	if err != nil {
+		return nil, b.connErr("runtime: remote shard %s: subscribe: %w", err)
+	}
+	rs := &remoteSub{owner: b, rpc: rpc, ch: make(chan stream.Tuple, b.opts.SubBuffer)}
+	rpc.SetPush(func(m *protocol.Message) {
+		if m.Type != dsmsd.MsgTuple {
+			return
+		}
+		t, err := protocol.Decode[stream.Tuple](m)
+		if err != nil {
+			return
+		}
+		select {
+		case rs.ch <- t:
+		default:
+			rs.dropped.Add(1)
+		}
+	})
+	rpc.SetOnClose(func(error) { rs.closeCh() })
+	if _, err := rpc.Call(dsmsd.MsgSubscribe, dsmsd.SubscribeReq{IDOrHandle: idOrHandle}); err != nil {
+		_ = rpc.Close()
+		return nil, err
+	}
+	b.mu.Lock()
+	if b.closed {
+		// The backend closed while we subscribed; don't leak the conn.
+		b.mu.Unlock()
+		_ = rpc.Close()
+		return nil, b.connErr("runtime: remote shard %s: %w", errors.New("backend closed"))
+	}
+	b.subs[rs] = struct{}{}
+	b.mu.Unlock()
+	return rs, nil
+}
+
+// dialSubscribe opens the dedicated per-subscription connection,
+// bounding the TCP connect by the call timeout.
+func (b *RemoteBackend) dialSubscribe() (*protocol.Client, error) {
+	if b.opts.CallTimeout <= 0 {
+		return protocol.Dial(b.addr)
+	}
+	nc, err := net.DialTimeout("tcp", b.addr, b.opts.CallTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return protocol.NewClient(protocol.NewConn(nc)), nil
+}
+
+// remoteSub is a subscription served over a dedicated dsmsd
+// connection.
+type remoteSub struct {
+	owner   *RemoteBackend
+	rpc     *protocol.Client
+	ch      chan stream.Tuple
+	dropped atomic.Uint64
+	once    sync.Once
+}
+
+func (s *remoteSub) Tuples() <-chan stream.Tuple { return s.ch }
+func (s *remoteSub) Dropped() uint64             { return s.dropped.Load() }
+
+// closeCh closes the tuple channel exactly once; driven by the
+// connection's OnClose so pushes can never race the close.
+func (s *remoteSub) closeCh() { s.once.Do(func() { close(s.ch) }) }
+
+// Close tears down the dedicated connection; the tuple channel closes
+// via the connection's OnClose.
+func (s *remoteSub) Close() {
+	s.owner.removeSub(s)
+	_ = s.rpc.Close()
+}
+
+var _ ShardBackend = (*RemoteBackend)(nil)

@@ -1,11 +1,14 @@
 // Package runtime is the sharded ingest plane of the reproduction: it
-// fronts a pool of dsms.Engine shards with bounded per-shard queues,
+// fronts a pool of shard backends with bounded per-shard queues,
 // batched publishing and Aurora-style load-shedding, so many concurrent
-// publishers scale past the single engine mutex. Streams are
-// hash-partitioned across shards by name, or — when registered with a
-// partition key — row-by-row by the key attribute's value, in which
-// case continuous queries are deployed on every shard and their outputs
-// merged transparently.
+// publishers scale past the single engine mutex. Each shard slot is a
+// ShardBackend — an in-process dsms.Engine (LocalBackend) or a remote
+// dsmsd process (RemoteBackend, with health probing, bounded reconnect
+// and a failover hook) — so one runtime can span several machines
+// (Options.Backends). Streams are hash-partitioned across shards by
+// name, or — when registered with a partition key — row-by-row by the
+// key attribute's value, in which case continuous queries are deployed
+// on every shard and their outputs merged transparently.
 //
 // On top of the shard queues sits an admission-control layer: every
 // stream registers with a priority Class (BestEffort / Normal /
@@ -85,10 +88,88 @@ const (
 	DefaultBatchSize = 256
 )
 
+// BackendSpec selects the backend for one shard slot: the zero value
+// is an in-process dsms.Engine; a non-empty Addr fronts the dsmsd
+// process listening there, tuned by Remote.
+type BackendSpec struct {
+	// Addr is the dsmsd address of a remote shard; "" or "local" means
+	// an in-process engine.
+	Addr string
+	// Remote tunes the remote backend; ignored for local shards.
+	Remote RemoteOptions
+}
+
+// FailoverMode selects what happens to publishes bound for a shard
+// whose remote backend has been declared down.
+type FailoverMode int
+
+const (
+	// FailoverFail (default) fails such publishes fast: the tuples are
+	// accounted as errors and PublishBatchVerdict returns the backend's
+	// terminal error (wrapping client.ErrConnClosed).
+	FailoverFail FailoverMode = iota
+	// FailoverReroute re-targets such publishes at the next healthy
+	// shard (linear probe, so the dead shard's whole load lands on one
+	// survivor): partitioned buckets are redirected there, single-shard
+	// streams are lazily re-created on the fallback shard. Continuous
+	// queries deployed on the dead shard do not migrate — data keeps
+	// flowing, queries must be redeployed.
+	FailoverReroute
+)
+
+// String names the failover mode.
+func (m FailoverMode) String() string {
+	switch m {
+	case FailoverFail:
+		return "fail"
+	case FailoverReroute:
+		return "reroute"
+	}
+	return fmt.Sprintf("failover(%d)", int(m))
+}
+
+// ParseFailover reads a failover mode name (as printed by String).
+func ParseFailover(s string) (FailoverMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "fail", "":
+		return FailoverFail, nil
+	case "reroute":
+		return FailoverReroute, nil
+	}
+	return FailoverFail, fmt.Errorf("runtime: unknown failover mode %q", s)
+}
+
+// ParseShardAddrs reads a comma-separated shard backend list for CLI
+// flags: each entry is a dsmsd host:port address, or "local" (or the
+// empty string) for an in-process shard. "local,127.0.0.1:7420,local"
+// describes a three-shard mixed topology.
+func ParseShardAddrs(s string) ([]BackendSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []BackendSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" || strings.EqualFold(part, "local") {
+			out = append(out, BackendSpec{})
+			continue
+		}
+		if !strings.Contains(part, ":") {
+			return nil, fmt.Errorf("runtime: shard address %q is not host:port (or \"local\")", part)
+		}
+		out = append(out, BackendSpec{Addr: part})
+	}
+	return out, nil
+}
+
 // Options configures a Runtime.
 type Options struct {
-	// Shards is the number of engine shards (default 1).
+	// Shards is the number of engine shards (default 1). Ignored when
+	// Backends is set.
 	Shards int
+	// Backends selects a backend per shard slot (local engine or remote
+	// dsmsd process); when non-empty its length is the shard count.
+	Backends []BackendSpec
 	// QueueSize is the per-shard ring buffer capacity (default 4096).
 	QueueSize int
 	// BatchSize is the maximum number of tuples a shard worker drains
@@ -101,9 +182,19 @@ type Options struct {
 	// when the queue is full. The default (BestEffort, the lowest class)
 	// blocks every stream, matching the pre-admission behaviour.
 	BlockClass Class
+	// Failover selects how publishes bound for a downed remote shard
+	// are handled (default FailoverFail).
+	Failover FailoverMode
+	// OnShardDown, when non-nil, is invoked once per shard whose
+	// backend is declared down, with the shard index and terminal
+	// error (observability hook; called from a backend goroutine).
+	OnShardDown func(shard int, err error)
 }
 
 func (o Options) withDefaults() Options {
+	if len(o.Backends) > 0 {
+		o.Shards = len(o.Backends)
+	}
 	if o.Shards <= 0 {
 		o.Shards = 1
 	}
@@ -136,6 +227,14 @@ type route struct {
 	bucket *tokenBucket
 	// counters is the per-stream admission accounting.
 	counters *streamCounters
+
+	// failover state: extra shards this single-shard stream has been
+	// lazily created on after its owner went down (FailoverReroute),
+	// and whether the stream has been dropped (in-flight publishers
+	// must not re-create it on a fallback shard afterwards).
+	fmu     sync.Mutex
+	extra   map[int]bool
+	dropped bool
 }
 
 // Runtime is the sharded ingest runtime.
@@ -149,30 +248,78 @@ type Runtime struct {
 
 	mu      sync.RWMutex
 	routes  map[string]*route
+	pending map[string]bool        // stream names being registered (backend RPC in flight)
 	deps    map[string]*Deployment // keyed by runtime id and by handle
 	nextDep int
 	closed  bool
 }
 
-// New builds a runtime with opts.Shards engine shards. With one shard
-// the engine keeps the runtime's name (handles look identical to a
-// plain engine's); with more, shard i is named "<name>-<i>".
+// New builds a runtime with opts.Shards engine shards (or one shard
+// per opts.Backends entry, mixing in-process engines and remote dsmsd
+// processes). With one local shard the engine keeps the runtime's name
+// (handles look identical to a plain engine's); with more, shard i is
+// named "<name>-<i>".
 func New(name string, opts Options) *Runtime {
 	opts = opts.withDefaults()
-	rt := &Runtime{
-		name:   name,
-		opts:   opts,
-		shards: make([]*shard, opts.Shards),
-		start:  time.Now(),
-		routes: map[string]*route{},
-		deps:   map[string]*Deployment{},
-	}
-	for i := range rt.shards {
-		en := name
-		if opts.Shards > 1 {
-			en = fmt.Sprintf("%s-%d", name, i)
+	// Remote failover hooks close over rt, assigned below before any
+	// backend operation (and therefore any hook firing) can happen.
+	var rt *Runtime
+	backends := make([]ShardBackend, opts.Shards)
+	for i := range backends {
+		var spec BackendSpec
+		if len(opts.Backends) > 0 {
+			spec = opts.Backends[i]
 		}
-		rt.shards[i] = newShard(i, dsms.NewEngine(en), opts.QueueSize, opts.BatchSize, opts.Policy, opts.BlockClass)
+		if spec.Addr == "" || strings.EqualFold(spec.Addr, "local") {
+			en := name
+			if opts.Shards > 1 {
+				en = fmt.Sprintf("%s-%d", name, i)
+			}
+			backends[i] = NewLocalBackend(dsms.NewEngine(en))
+			continue
+		}
+		ropts := spec.Remote
+		idx, userDown := i, ropts.OnDown
+		// Chain the failover hook: put the owning shard into fail-fast
+		// mode, then notify the runtime's and the caller's observers.
+		ropts.OnDown = func(err error) {
+			rt.FailShard(idx, err)
+			if h := rt.opts.OnShardDown; h != nil {
+				h(idx, err)
+			}
+			if userDown != nil {
+				userDown(err)
+			}
+		}
+		backends[i] = NewRemoteBackend(spec.Addr, ropts)
+	}
+	rt = NewWithBackends(name, opts, backends)
+	return rt
+}
+
+// NewWithBackends builds a runtime over caller-supplied backends (one
+// shard slot each, at least one); tests and embedders use it to inject
+// custom ShardBackend implementations. Remote failover hooks are the
+// caller's responsibility here — wire RemoteOptions.OnDown to
+// Runtime.FailShard if fail-fast semantics are wanted.
+func NewWithBackends(name string, opts Options, backends []ShardBackend) *Runtime {
+	if len(backends) == 0 {
+		panic("runtime: NewWithBackends needs at least one backend")
+	}
+	opts.Backends = nil
+	opts.Shards = len(backends)
+	opts = opts.withDefaults()
+	rt := &Runtime{
+		name:    name,
+		opts:    opts,
+		shards:  make([]*shard, len(backends)),
+		start:   time.Now(),
+		routes:  map[string]*route{},
+		pending: map[string]bool{},
+		deps:    map[string]*Deployment{},
+	}
+	for i, be := range backends {
+		rt.shards[i] = newShard(i, be, opts.QueueSize, opts.BatchSize, opts.Policy, opts.BlockClass)
 	}
 	return rt
 }
@@ -180,9 +327,16 @@ func New(name string, opts Options) *Runtime {
 // NumShards reports the shard count.
 func (rt *Runtime) NumShards() int { return len(rt.shards) }
 
-// Shard exposes shard i's engine (shard 0 is the compatibility engine
-// for single-shard deployments).
-func (rt *Runtime) Shard(i int) *dsms.Engine { return rt.shards[i].eng }
+// Backend exposes shard i's backend through the ShardBackend
+// interface. (The former Shard accessor returning the raw *dsms.Engine
+// is gone: callers that need the in-process engine — tests, mostly —
+// can type-assert to *LocalBackend and use its Engine method.)
+func (rt *Runtime) Backend(i int) ShardBackend { return rt.shards[i].be }
+
+// FailShard puts shard i into fail-fast mode with the given terminal
+// error, as the remote failover hook does; exposed for custom backends
+// wired via NewWithBackends.
+func (rt *Runtime) FailShard(i int, err error) { rt.shards[i].fail(err) }
 
 func hashString(s string) uint32 {
 	h := fnv.New32a()
@@ -221,6 +375,46 @@ func mix64(x uint64) uint32 {
 	return uint32(x ^ x>>32)
 }
 
+// reserveStream claims a stream name before the backend RPCs, so
+// concurrent registrations cannot race while the runtime lock is NOT
+// held across the (possibly remote) CreateStream calls.
+func (rt *Runtime) reserveStream(key, name string) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return errClosed
+	}
+	if _, dup := rt.routes[key]; dup {
+		return fmt.Errorf("runtime: stream %q already exists", name)
+	}
+	if rt.pending[key] {
+		return fmt.Errorf("runtime: stream %q already exists", name)
+	}
+	rt.pending[key] = true
+	return nil
+}
+
+// commitStream installs a reserved stream's route; it reports whether
+// the runtime closed while the backends were registering (the caller
+// then rolls the backend streams back).
+func (rt *Runtime) commitStream(key string, r *route) (closed bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	delete(rt.pending, key)
+	if rt.closed {
+		return true
+	}
+	rt.routes[key] = r
+	return false
+}
+
+// abortStream releases a reservation after a failed registration.
+func (rt *Runtime) abortStream(key string) {
+	rt.mu.Lock()
+	delete(rt.pending, key)
+	rt.mu.Unlock()
+}
+
 // CreateStream registers an input stream on the shard selected by the
 // hash of its name. Options attach a priority class (WithClass) and a
 // token-bucket quota (WithQuota); the default is class Normal,
@@ -235,20 +429,20 @@ func (rt *Runtime) CreateStream(name string, schema *stream.Schema, opts ...Stre
 	}
 	key := strings.ToLower(name)
 	si := int(hashString(key) % uint32(len(rt.shards)))
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	if rt.closed {
-		return errClosed
-	}
-	if _, dup := rt.routes[key]; dup {
-		return fmt.Errorf("runtime: stream %q already exists", name)
-	}
-	if err := rt.shards[si].eng.CreateStream(name, schema); err != nil {
+	if err := rt.reserveStream(key, name); err != nil {
 		return err
 	}
-	rt.routes[key] = &route{
+	if err := rt.shards[si].be.CreateStream(name, schema); err != nil {
+		rt.abortStream(key)
+		return err
+	}
+	r := &route{
 		name: name, schema: schema, keyIdx: -1, shard: si,
 		cfg: cfg, bucket: newTokenBucket(cfg.Rate, cfg.Burst), counters: &streamCounters{},
+	}
+	if rt.commitStream(key, r) {
+		_ = rt.shards[si].be.DropStream(name)
+		return errClosed
 	}
 	return nil
 }
@@ -273,25 +467,30 @@ func (rt *Runtime) CreatePartitionedStream(name string, schema *stream.Schema, k
 		return err
 	}
 	key := strings.ToLower(name)
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	if rt.closed {
-		return errClosed
+	if err := rt.reserveStream(key, name); err != nil {
+		return err
 	}
-	if _, dup := rt.routes[key]; dup {
-		return fmt.Errorf("runtime: stream %q already exists", name)
-	}
+	// The runtime lock is not held across the per-shard RPCs (remote
+	// backends may be slow or redialing); the reservation keeps the
+	// name exclusive meanwhile.
 	for i, s := range rt.shards {
-		if err := s.eng.CreateStream(name, schema); err != nil {
+		if err := s.be.CreateStream(name, schema); err != nil {
 			for j := 0; j < i; j++ {
-				_ = rt.shards[j].eng.DropStream(name)
+				_ = rt.shards[j].be.DropStream(name)
 			}
+			rt.abortStream(key)
 			return err
 		}
 	}
-	rt.routes[key] = &route{
+	r := &route{
 		name: name, schema: schema, keyIdx: idx, shard: -1,
 		cfg: cfg, bucket: newTokenBucket(cfg.Rate, cfg.Burst), counters: &streamCounters{},
+	}
+	if rt.commitStream(key, r) {
+		for _, s := range rt.shards {
+			_ = s.be.DropStream(name)
+		}
+		return errClosed
 	}
 	return nil
 }
@@ -313,12 +512,36 @@ func (rt *Runtime) DropStream(name string) error {
 		}
 	}
 	rt.mu.Unlock()
+	// Downed shards are skipped throughout: their streams died with the
+	// process, and a conn error would make an otherwise-complete drop
+	// look failed (mirroring Withdraw).
 	var err error
 	if r.keyIdx < 0 {
-		return rt.shards[r.shard].eng.DropStream(r.name)
+		if rt.shards[r.shard].failedErr() == nil {
+			err = rt.shards[r.shard].be.DropStream(r.name)
+		}
+		// Failover reroute may have lazily created the stream on
+		// fallback shards; drop those copies too, and bar in-flight
+		// publishers from re-creating any more.
+		r.fmu.Lock()
+		r.dropped = true
+		extra := make([]int, 0, len(r.extra))
+		for i := range r.extra {
+			extra = append(extra, i)
+		}
+		r.fmu.Unlock()
+		for _, i := range extra {
+			if rt.shards[i].failedErr() == nil {
+				_ = rt.shards[i].be.DropStream(r.name)
+			}
+		}
+		return err
 	}
 	for _, s := range rt.shards {
-		if derr := s.eng.DropStream(r.name); derr != nil && err == nil {
+		if s.failedErr() != nil {
+			continue
+		}
+		if derr := s.be.DropStream(r.name); derr != nil && err == nil {
 			err = derr
 		}
 	}
@@ -345,6 +568,13 @@ func (rt *Runtime) StreamSchema(name string) (*stream.Schema, error) {
 		return nil, err
 	}
 	return r.schema, nil
+}
+
+// ShardForStream reports the shard slot a non-partitioned stream of
+// the given name is (or would be) placed on; benchmarks use it to lay
+// streams out across specific backends.
+func (rt *Runtime) ShardForStream(name string) int {
+	return int(hashString(strings.ToLower(name)) % uint32(len(rt.shards)))
 }
 
 // Streams lists registered stream names, sorted.
@@ -417,7 +647,7 @@ func (rt *Runtime) PublishBatchVerdict(streamName string, ts []stream.Tuple) (Pu
 		}
 	}
 	if r.keyIdx < 0 {
-		n, err := rt.shards[r.shard].enqueue(r.name, r.cfg.Class, r.counters, ts)
+		n, err := rt.shards[rt.targetShard(r, r.shard)].enqueue(r.name, r.cfg.Class, r.counters, ts)
 		v.Accepted = n
 		return v, err
 	}
@@ -437,17 +667,73 @@ func (rt *Runtime) PublishBatchVerdict(streamName string, ts []stream.Tuple) (Pu
 		si := int(hashValue(kv) % uint32(len(rt.shards)))
 		buckets[si] = append(buckets[si], t)
 	}
+	// A failed shard refuses its bucket (accounted as errors); the
+	// remaining buckets must still be offered to their shards or the
+	// per-stream accounting would leak the skipped tuples. The first
+	// error is reported after every bucket has been dispatched.
+	var firstErr error
 	for si, bucket := range buckets {
 		if len(bucket) == 0 {
 			continue
 		}
-		n, err := rt.shards[si].enqueue(r.name, r.cfg.Class, r.counters, bucket)
+		n, err := rt.shards[rt.targetShard(r, si)].enqueue(r.name, r.cfg.Class, r.counters, bucket)
 		v.Accepted += n
-		if err != nil {
-			return v, err
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return v, nil
+	return v, firstErr
+}
+
+// targetShard applies the failover policy: tuples bound for a downed
+// shard are re-targeted at the next healthy one under FailoverReroute
+// (partitioned streams exist on every shard; single-shard streams are
+// lazily created on the fallback). Under FailoverFail — or when no
+// healthy sibling exists — the original shard is returned and its
+// enqueue fails fast with exact error accounting.
+func (rt *Runtime) targetShard(r *route, si int) int {
+	if rt.shards[si].failedErr() == nil {
+		return si
+	}
+	if rt.opts.Failover != FailoverReroute {
+		return si
+	}
+	n := len(rt.shards)
+	for d := 1; d < n; d++ {
+		t := (si + d) % n
+		if rt.shards[t].failedErr() != nil {
+			continue
+		}
+		if err := rt.ensureStreamOn(r, t); err != nil {
+			continue
+		}
+		return t
+	}
+	return si
+}
+
+// ensureStreamOn lazily registers a single-shard stream on a failover
+// target, once; partitioned streams already exist everywhere.
+func (rt *Runtime) ensureStreamOn(r *route, t int) error {
+	if r.keyIdx >= 0 || t == r.shard {
+		return nil
+	}
+	r.fmu.Lock()
+	defer r.fmu.Unlock()
+	if r.dropped {
+		return fmt.Errorf("runtime: stream %q dropped", r.name)
+	}
+	if r.extra[t] {
+		return nil
+	}
+	if err := rt.shards[t].be.CreateStream(r.name, r.schema); err != nil {
+		return err
+	}
+	if r.extra == nil {
+		r.extra = map[int]bool{}
+	}
+	r.extra[t] = true
+	return nil
 }
 
 // Flush blocks until every queued tuple has been drained into the
@@ -542,11 +828,11 @@ func (rt *Runtime) Stats() metrics.RuntimeStats {
 	return st
 }
 
-// QueryCount sums running queries across all shard engines.
+// QueryCount sums running queries across all shard backends.
 func (rt *Runtime) QueryCount() int {
 	n := 0
 	for _, s := range rt.shards {
-		n += s.eng.QueryCount()
+		n += s.be.QueryCount()
 	}
 	return n
 }

@@ -3,7 +3,6 @@ package runtime
 import (
 	"sync"
 
-	"repro/internal/dsms"
 	"repro/internal/metrics"
 	"repro/internal/stream"
 )
@@ -65,13 +64,15 @@ func (r *classRing) popNewest() item {
 	return it
 }
 
-// shard owns one dsms.Engine plus the bounded, class-partitioned queue
-// in front of it. A dedicated worker goroutine drains the queue in
-// batches — highest class first — and ships them to the engine via
-// IngestBatch, so publishers never touch the engine lock directly.
+// shard owns one ShardBackend — an in-process dsms.Engine or a remote
+// dsmsd process — plus the bounded, class-partitioned queue in front of
+// it. A dedicated worker goroutine drains the queue in batches —
+// highest class first — and ships them to the backend via
+// IngestBatchPrevalidated, so publishers never touch the backend
+// directly.
 type shard struct {
 	idx        int
-	eng        *dsms.Engine
+	be         ShardBackend
 	policy     Policy
 	blockClass Class
 	batch      int
@@ -86,7 +87,11 @@ type shard struct {
 	draining int // items popped by the worker, not yet ingested
 	paused   bool
 	closed   bool
-	done     chan struct{}
+	// failErr is set when the backend declares itself down (remote
+	// failover); publishes then fail fast, accounted as errors so the
+	// offered == ingested + dropped + errors invariant keeps holding.
+	failErr error
+	done    chan struct{}
 
 	// counters; guarded by mu
 	offered  uint64
@@ -96,10 +101,10 @@ type shard struct {
 	errors   uint64
 }
 
-func newShard(idx int, eng *dsms.Engine, queue, batch int, policy Policy, blockClass Class) *shard {
+func newShard(idx int, be ShardBackend, queue, batch int, policy Policy, blockClass Class) *shard {
 	s := &shard{
 		idx:        idx,
-		eng:        eng,
+		be:         be,
 		policy:     policy,
 		blockClass: blockClass,
 		batch:      batch,
@@ -158,14 +163,17 @@ func (s *shard) enqueue(streamName string, class Class, sc *streamCounters, ts [
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	accepted := 0
-	for _, t := range ts {
+	for i, t := range ts {
 		if s.closed {
 			return accepted, errClosed
+		}
+		if s.failErr != nil {
+			return accepted, s.refuseFailedLocked(len(ts)-i, sc)
 		}
 		s.offered++
 		switch {
 		case s.policy == Block && class >= s.blockClass:
-			for s.count == s.cap && !s.closed {
+			for s.count == s.cap && !s.closed && s.failErr == nil {
 				// Wake the drainer before sleeping on a full queue: the
 				// batch may be larger than the queue, so the end-of-call
 				// signal below would never be reached.
@@ -175,6 +183,10 @@ func (s *shard) enqueue(streamName string, class Class, sc *streamCounters, ts [
 			if s.closed {
 				s.offered-- // never admitted nor shed; not accounted
 				return accepted, errClosed
+			}
+			if s.failErr != nil {
+				s.offered-- // refuseFailedLocked re-counts this tuple
+				return accepted, s.refuseFailedLocked(len(ts)-i, sc)
 			}
 		case s.policy == Block || s.policy == DropNewest:
 			// DropNewest — and Block for classes below the blocking
@@ -209,6 +221,40 @@ func (s *shard) enqueue(streamName string, class Class, sc *streamCounters, ts [
 		s.notEmpty.Signal()
 	}
 	return accepted, nil
+}
+
+// refuseFailedLocked accounts n tuples refused because the shard's
+// backend is down: they are offered-and-errored at both the shard and
+// stream level, keeping offered == ingested + dropped + errors intact,
+// and the backend's terminal error (wrapping client.ErrConnClosed for
+// remote shards) is returned to the publisher. The caller holds s.mu.
+func (s *shard) refuseFailedLocked(n int, sc *streamCounters) error {
+	s.offered += uint64(n)
+	s.errors += uint64(n)
+	if sc != nil {
+		sc.errors.Add(uint64(n))
+	}
+	return s.failErr
+}
+
+// fail puts the shard into fail-fast mode after its backend declared
+// itself down: queued items still drain (the backend errors them
+// immediately, keeping the accounting exact) but new publishes are
+// refused with err. Blocked publishers are woken.
+func (s *shard) fail(err error) {
+	s.mu.Lock()
+	if s.failErr == nil && !s.closed {
+		s.failErr = err
+		s.notFull.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// failedErr reports the terminal backend error, or nil while healthy.
+func (s *shard) failedErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failErr
 }
 
 // popLocked removes the next item to drain — FIFO within a class,
@@ -264,7 +310,7 @@ func (s *shard) run() {
 			// PublishBatch already validated against the stream schema;
 			// skip the engine's conformance walk.
 			run := uint64(j - i)
-			if err := s.eng.IngestBatchPrevalidated(scratch[i].stream, tuples); err != nil {
+			if err := s.be.IngestBatchPrevalidated(scratch[i].stream, tuples); err != nil {
 				bad += run
 				if sc := scratch[i].sc; sc != nil {
 					sc.errors.Add(run)
@@ -290,16 +336,17 @@ func (s *shard) run() {
 }
 
 // flush blocks until the queue is empty and the worker has handed every
-// popped item to the engine, then waits for the engine's own pipelines
-// to quiesce. A paused shard with queued items will block until the
-// runtime is resumed.
+// popped item to the backend, then waits for the backend's own
+// pipelines to quiesce. A paused shard with queued items will block
+// until the runtime is resumed. A downed remote backend fails its
+// Flush immediately, so flush still terminates.
 func (s *shard) flush() {
 	s.mu.Lock()
 	for (s.count > 0 || s.draining > 0) && !s.closed {
 		s.idle.Wait()
 	}
 	s.mu.Unlock()
-	s.eng.Flush()
+	_ = s.be.Flush()
 }
 
 func (s *shard) pause() {
@@ -330,7 +377,7 @@ func (s *shard) close() {
 	s.idle.Broadcast()
 	s.mu.Unlock()
 	<-s.done
-	s.eng.Close()
+	_ = s.be.Close()
 }
 
 // snapshot reads the shard counters into a metrics row.
@@ -339,6 +386,8 @@ func (s *shard) snapshot(elapsedSec float64) metrics.ShardStat {
 	defer s.mu.Unlock()
 	st := metrics.ShardStat{
 		Shard:      s.idx,
+		Backend:    s.be.Kind(),
+		Healthy:    s.failErr == nil && s.be.Healthy(),
 		QueueDepth: s.count + s.draining,
 		QueueCap:   s.cap,
 		Offered:    s.offered,
