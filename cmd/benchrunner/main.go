@@ -9,6 +9,7 @@
 //	benchrunner -exp sharded             # sharded ingest runtime throughput matrix
 //	benchrunner -exp admission           # priority classes + quotas under overload
 //	benchrunner -exp remote              # mixed local/remote (dsmsd) shard topology
+//	benchrunner -exp governor            # audit-fed governor demotes an abusive subject
 //	benchrunner -exp all                 # everything
 //
 // -scale N shrinks the workload by N for quick runs. Output is textual:
@@ -32,7 +33,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3|fig6a|fig6b|fig7a|fig7b|policyload|sharded|admission|remote|all")
+	exp := flag.String("exp", "all", "experiment: table3|fig6a|fig6b|fig7a|fig7b|policyload|sharded|admission|remote|governor|all")
 	scale := flag.Int("scale", 1, "shrink the Table 3 workload by this factor")
 	points := flag.Int("points", 20, "CDF sample points")
 	noNet := flag.Bool("no-netsim", false, "disable simulated intranet latency")
@@ -162,6 +163,11 @@ func main() {
 			return runRemote(*scale, !*noNet)
 		})
 	}
+	if want("governor") {
+		run("Accountability governor: audit-fed demotion of an abusive subject", func() error {
+			return runGovernor(*scale)
+		})
+	}
 	if *exp != "all" && !wantKnown(*exp) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -170,7 +176,7 @@ func main() {
 
 func wantKnown(e string) bool {
 	switch e {
-	case "table3", "fig6a", "fig6b", "fig7a", "fig7b", "policyload", "ablation", "sharded", "admission", "remote", "all":
+	case "table3", "fig6a", "fig6b", "fig7a", "fig7b", "policyload", "ablation", "sharded", "admission", "remote", "governor", "all":
 		return true
 	}
 	return false
@@ -306,6 +312,32 @@ func runAdmission(scale int) error {
 	}
 	fmt.Print(qres)
 	return checkClassInvariant(qres.Stats)
+}
+
+// runGovernor demonstrates the accountability loop of
+// docs/ACCOUNTABILITY.md: a besteffort subject floods its stream while
+// accumulating PDP denials; the governor demotes the stream's quota
+// and the accepted rate collapses (>= 10x is the acceptance bar,
+// typically orders of magnitude more), while a clean critical subject
+// sustains >= 99% of its offered rate; the demotion and its eventual
+// restore are verified as govern events on an intact audit chain.
+func runGovernor(scale int) error {
+	opts := experiments.GovernorOptions{}
+	if scale > 1 {
+		opts.Phase = 400 * time.Millisecond / time.Duration(scale)
+		opts.Cooldown = 150 * time.Millisecond
+	}
+	res, err := experiments.RunGovernor(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res)
+	fmt.Print(res.Stats)
+	fmt.Print(res.Governor)
+	if err := checkClassInvariant(res.Stats); err != nil {
+		return err
+	}
+	return res.CheckGovernor(10, 0.99)
 }
 
 // checkClassInvariant verifies the per-class accounting after a flush.

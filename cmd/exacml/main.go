@@ -9,12 +9,18 @@
 //	exacml subscribe    -addr HOST:PORT -handle URI [-count N]
 //	exacml publish      -addr HOST:PORT -stream NAME [-gen weather|gps] [-tuples N] [-batch N]
 //	exacml runtime-stats -addr HOST:PORT
+//	exacml reconfigure  -addr HOST:PORT -stream NAME [-class C] [-rate R] [-burst B]
+//	exacml governor-stats -addr HOST:PORT
 //
-// subscribe, publish and runtime-stats need a data server with an
-// embedded ingest runtime (exacmld -embedded). publish generates
-// synthetic tuples for the named stream and reports the server's
-// admission verdict — how many tuples the stream's quota shed and how
-// many the backpressure policy accepted.
+// subscribe, publish, runtime-stats and reconfigure need a data server
+// with an embedded ingest runtime (exacmld -embedded); governor-stats
+// additionally needs the governor (exacmld -governor). publish
+// generates synthetic tuples for the named stream and reports the
+// server's admission verdict — how many tuples the stream's quota shed
+// and how many the backpressure policy accepted. reconfigure swaps a
+// stream's priority class and token-bucket quota live, without
+// re-registering the stream — the manual form of the demotion the
+// governor applies autonomously (see docs/ACCOUNTABILITY.md).
 package main
 
 import (
@@ -45,10 +51,13 @@ func main() {
 	query := fs.String("query", "", "user query XML file (request)")
 	handle := fs.String("handle", "", "granted stream handle (subscribe)")
 	count := fs.Int("count", 10, "tuples to print before exiting, 0 = forever (subscribe)")
-	streamName := fs.String("stream", "weather", "target stream (publish)")
+	streamName := fs.String("stream", "weather", "target stream (publish, reconfigure)")
 	gen := fs.String("gen", "weather", "tuple generator: weather|gps (publish)")
 	tuples := fs.Int("tuples", 1000, "tuples to publish (publish)")
 	batch := fs.Int("batch", 64, "tuples per batch (publish)")
+	class := fs.String("class", "", "new priority class besteffort|normal|critical (reconfigure; empty = normal)")
+	rate := fs.Float64("rate", 0, "new quota rate in tuples/s, 0 = unlimited (reconfigure)")
+	burst := fs.Int("burst", 0, "new quota burst, 0 = one second of rate (reconfigure)")
 	_ = fs.Parse(os.Args[2:])
 
 	cli, err := client.Dial(*addr)
@@ -190,9 +199,33 @@ func main() {
 			log.Fatalf("runtime-stats: %v", err)
 		}
 		fmt.Print(st)
+	case "reconfigure":
+		if *streamName == "" {
+			log.Fatal("reconfigure requires -stream")
+		}
+		resp, err := cli.Reconfigure(*streamName, *class, *rate, *burst)
+		if err != nil {
+			log.Fatalf("reconfigure: %v", err)
+		}
+		fmt.Printf("reconfigured %q: class %s -> %s, quota %s -> %s\n",
+			resp.Stream, resp.Old.Class, resp.New.Class,
+			quotaString(resp.Old.Rate, resp.Old.Burst), quotaString(resp.New.Rate, resp.New.Burst))
+	case "governor-stats":
+		st, err := cli.GovernorStats()
+		if err != nil {
+			log.Fatalf("governor-stats: %v", err)
+		}
+		fmt.Print(st)
 	default:
 		usage()
 	}
+}
+
+func quotaString(rate float64, burst int) string {
+	if rate <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%.0f/s:%d", rate, burst)
 }
 
 func usage() {
@@ -206,6 +239,8 @@ commands:
   stats         -addr HOST:PORT
   subscribe     -addr HOST:PORT -handle URI [-count N]
   publish       -addr HOST:PORT -stream NAME [-gen weather|gps] [-tuples N] [-batch N]
-  runtime-stats -addr HOST:PORT`)
+  runtime-stats -addr HOST:PORT
+  reconfigure   -addr HOST:PORT -stream NAME [-class C] [-rate R] [-burst B]
+  governor-stats -addr HOST:PORT`)
 	os.Exit(2)
 }

@@ -27,6 +27,17 @@
 //
 //	exacmld -embedded -shard-addrs "local,127.0.0.1:7420,127.0.0.1:7430" \
 //	    -failover reroute
+//
+// -governor starts the accountability governor over the audit log
+// (§6): subjects accumulating denied requests or NR/PR violations have
+// their bound streams demoted (class down, quota tightened) at runtime
+// and restored after a cooldown. It needs -embedded (the governor
+// drives the runtime's admission state) and enables in-memory auditing
+// when -audit is not set. -governor-bind maps subjects to the streams
+// they own:
+//
+//	exacmld -embedded -governor -governor-bind "mallory=weather" \
+//	    -governor-threshold 5 -governor-cooldown 1m -policies ./policies
 package main
 
 import (
@@ -41,6 +52,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/dsmsd"
+	"repro/internal/governor"
 	"repro/internal/netsim"
 	"repro/internal/runtime"
 	"repro/internal/server"
@@ -64,10 +76,32 @@ func main() {
 	shed := flag.String("shed", "block", "embedded mode: backpressure policy block|dropnewest|dropoldest")
 	admission := flag.String("admission", "", `embedded mode: per-stream class/quota specs "name=class[:rate[:burst]],..."`)
 	blockClass := flag.String("block-class", "besteffort", "embedded mode: block policy only blocks classes at or above this; lower classes are shed")
+	gov := flag.Bool("governor", false, "embedded mode: run the accountability governor over the audit log")
+	govBind := flag.String("governor-bind", "", `governor: subject-to-stream bindings "subject=stream[+stream...],..."`)
+	govThreshold := flag.Float64("governor-threshold", 0, "governor: badness score triggering demotion (0 = default 5)")
+	govHalfLife := flag.Duration("governor-halflife", 0, "governor: score decay half-life (0 = default 30s)")
+	govCooldown := flag.Duration("governor-cooldown", 0, "governor: demotion duration after the last offence (0 = default 1m)")
+	govClass := flag.String("governor-class", "besteffort", "governor: class demoted streams are moved to")
+	govRate := flag.Float64("governor-rate", 0, "governor: quota rate (tuples/s) imposed while demoted (0 = default 100)")
 	flag.Parse()
+
+	var auditLog *audit.Log
+	if *auditPath != "" {
+		f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("open audit log: %v", err)
+		}
+		defer f.Close()
+		auditLog = audit.NewLog(f)
+		fmt.Printf("exacmld: auditing decisions to %s\n", *auditPath)
+	}
 
 	var pep *xacmlplus.PEP
 	var pub server.Publisher
+	var governorRef *governor.Governor
+	if *gov && !*embedded {
+		log.Fatal("-governor needs -embedded (it drives the runtime's admission state)")
+	}
 	if *embedded {
 		policy, err := runtime.ParsePolicy(*shed)
 		if err != nil {
@@ -97,15 +131,42 @@ func main() {
 			delete(specs, name)
 			return []runtime.StreamOption{runtime.WithConfig(cfg)}
 		}
-		fw := core.NewWithOptions("cloud", core.Options{
+		copts := core.Options{
 			Shards:     *shards,
 			ShardAddrs: backends,
 			QueueSize:  *queue,
 			Policy:     policy,
 			BlockClass: bc,
 			Failover:   fmode,
-		})
+			Audit:      auditLog,
+		}
+		var bindings map[string][]string
+		if *gov {
+			demoteClass, err := runtime.ParseClass(*govClass)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bindings, err = governor.ParseBindings(*govBind)
+			if err != nil {
+				log.Fatal(err)
+			}
+			copts.Governor = &governor.Config{
+				Threshold:   *govThreshold,
+				HalfLife:    *govHalfLife,
+				Cooldown:    *govCooldown,
+				DemoteClass: demoteClass,
+				DemoteRate:  *govRate,
+			}
+		}
+		fw := core.NewWithOptions("cloud", copts)
 		defer fw.Close()
+		if fw.Governor != nil {
+			governorRef = fw.Governor
+			for subj, streams := range bindings {
+				fw.Governor.Bind(subj, streams...)
+			}
+			fmt.Printf("exacmld: accountability governor running (%d subject binding(s))\n", len(bindings))
+		}
 		if err := fw.RegisterStream("weather", source.WeatherSchema(), streamOpts("weather")...); err != nil {
 			log.Fatalf("create weather stream: %v", err)
 		}
@@ -132,14 +193,8 @@ func main() {
 		pep = xacmlplus.NewPEP(xacml.NewPDP(), engine)
 	}
 	pep.DeployOnPR = *deployOnPR
-	if *auditPath != "" {
-		f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			log.Fatalf("open audit log: %v", err)
-		}
-		defer f.Close()
-		pep.Audit = audit.NewLog(f)
-		fmt.Printf("exacmld: auditing decisions to %s\n", *auditPath)
+	if pep.Audit == nil && auditLog != nil {
+		pep.Audit = auditLog // non-embedded path; embedded wires it via core.Options
 	}
 
 	if *policyDir != "" {
@@ -172,6 +227,9 @@ func main() {
 	if pub != nil {
 		srv.AttachPublisher(pub)
 		engineDesc = "embedded"
+	}
+	if governorRef != nil {
+		srv.AttachGovernor(governorRef)
 	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {

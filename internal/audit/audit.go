@@ -24,7 +24,10 @@ type Event struct {
 	// Time is the wall-clock timestamp (Unix millis).
 	Time int64 `json:"time"`
 	// Kind classifies the event: "access", "release", "policy-load",
-	// "policy-remove".
+	// "policy-remove", "withdraw" (a grant killed by a policy change,
+	// one event per affected subject/stream), or "govern" (an admission
+	// demotion/restore the accountability governor applied — see
+	// internal/governor).
 	Kind string `json:"kind"`
 	// Subject, Resource, Action describe the request.
 	Subject  string `json:"subject,omitempty"`
@@ -46,13 +49,17 @@ type Event struct {
 }
 
 // Log is a thread-safe, hash-chained audit log. Events are kept in
-// memory and optionally streamed to a writer as JSON lines.
+// memory and optionally streamed to a writer as JSON lines. Observers
+// registered with Observe are invoked synchronously after each append,
+// which is how the accountability governor feeds on the log.
 type Log struct {
-	mu     sync.Mutex
-	events []Event
-	last   string
-	w      io.Writer
-	clock  func() int64
+	mu      sync.Mutex
+	events  []Event
+	last    string
+	w       io.Writer
+	clock   func() int64
+	obs     map[int]func(Event)
+	nextObs int
 }
 
 // NewLog creates an audit log. w may be nil for in-memory only.
@@ -67,26 +74,61 @@ func (l *Log) SetClock(clock func() int64) {
 	l.clock = clock
 }
 
-// Append records an event, filling Seq, Time, Prev and Hash.
+// Append records an event, filling Seq, Time (Unix milliseconds), Prev
+// and Hash, then notifies every observer. Even when streaming the event
+// to the writer fails, the event has been appended to the in-memory
+// chain (and observers still see it); the write error is reported
+// alongside.
 func (l *Log) Append(e Event) (Event, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	e.Seq = uint64(len(l.events)) + 1
 	e.Time = l.clock()
 	e.Prev = l.last
 	e.Hash = hashEvent(e)
 	l.events = append(l.events, e)
 	l.last = e.Hash
+	var werr error
 	if l.w != nil {
-		data, err := json.Marshal(e)
-		if err != nil {
-			return e, err
-		}
-		if _, err := l.w.Write(append(data, '\n')); err != nil {
-			return e, fmt.Errorf("audit: write: %w", err)
+		if data, err := json.Marshal(e); err != nil {
+			werr = err
+		} else if _, err := l.w.Write(append(data, '\n')); err != nil {
+			werr = fmt.Errorf("audit: write: %w", err)
 		}
 	}
-	return e, nil
+	obs := make([]func(Event), 0, len(l.obs))
+	for _, fn := range l.obs {
+		obs = append(obs, fn)
+	}
+	l.mu.Unlock()
+	// Observers run outside the lock so they may append follow-up
+	// events themselves (the governor records its demotions as "govern"
+	// events on the same chain). Events appended concurrently may reach
+	// an observer out of chain order; Seq disambiguates.
+	for _, fn := range obs {
+		fn(e)
+	}
+	return e, werr
+}
+
+// Observe registers fn to be called after every appended event, and
+// returns a cancel function removing the registration. The callback
+// runs on the appending goroutine; it may call Append (re-entrancy is
+// safe) but must filter out the events it generates itself or it will
+// loop.
+func (l *Log) Observe(fn func(Event)) (cancel func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.obs == nil {
+		l.obs = map[int]func(Event){}
+	}
+	id := l.nextObs
+	l.nextObs++
+	l.obs[id] = fn
+	return func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		delete(l.obs, id)
+	}
 }
 
 // hashEvent computes the chained hash over the canonical body.

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestAppendChains(t *testing.T) {
@@ -104,5 +105,65 @@ func TestConcurrentAppend(t *testing.T) {
 	}
 	if idx := l.Verify(); idx != -1 {
 		t.Errorf("chain broken at %d after concurrent appends", idx)
+	}
+}
+
+// TestEventTimeUnixMillis pins the documented contract of Event.Time:
+// it is a wall-clock Unix timestamp in milliseconds (not seconds, not
+// nanoseconds).
+func TestEventTimeUnixMillis(t *testing.T) {
+	l := NewLog(nil)
+	before := time.Now().UnixMilli()
+	e, err := l.Append(Event{Kind: "access"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := time.Now().UnixMilli()
+	if e.Time < before || e.Time > after {
+		t.Fatalf("Event.Time = %d, want a Unix-millis stamp in [%d, %d]", e.Time, before, after)
+	}
+	// A seconds or nanoseconds stamp would be ~3 or ~6 orders of
+	// magnitude off; the bracket above only catches that if the test
+	// machine's clock is sane, so double-check the magnitude.
+	if e.Time < 1e12 || e.Time > 1e15 {
+		t.Fatalf("Event.Time = %d does not look like Unix milliseconds", e.Time)
+	}
+}
+
+// TestObserve covers the observer contract: ordered delivery of every
+// event, cancellation, and re-entrant appends from inside a callback
+// (the governor appends govern events while observing).
+func TestObserve(t *testing.T) {
+	l := NewLog(nil)
+	var seen []Event
+	cancel := l.Observe(func(e Event) {
+		seen = append(seen, e)
+		// Re-enter: record a follow-up for every access event, the way
+		// the governor records demotions. Must filter its own output or
+		// this would recurse forever.
+		if e.Kind == "access" {
+			if _, err := l.Append(Event{Kind: "govern", Subject: e.Subject}); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	if _, err := l.Append(Event{Kind: "access", Subject: "u1"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[0].Kind != "access" || seen[1].Kind != "govern" {
+		t.Fatalf("observer saw %+v, want access then govern", seen)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want the re-entrant append recorded", l.Len())
+	}
+	if l.Verify() != -1 {
+		t.Fatal("chain broken by re-entrant append")
+	}
+	cancel()
+	if _, err := l.Append(Event{Kind: "release"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("cancelled observer still invoked: %d events", len(seen))
 	}
 }

@@ -8,6 +8,7 @@ package client
 import (
 	"fmt"
 
+	"repro/internal/governor"
 	"repro/internal/metrics"
 	"repro/internal/protocol"
 	"repro/internal/server"
@@ -163,6 +164,28 @@ func (c *Client) RuntimeStats() (metrics.RuntimeStats, error) {
 	resp, err := protocol.CallDecode[server.RuntimeStatsResp](c.rpc, server.MsgRuntimeStats, struct{}{})
 	if err != nil {
 		return metrics.RuntimeStats{}, err
+	}
+	return resp.Stats, nil
+}
+
+// Reconfigure atomically swaps a registered stream's priority class
+// and token-bucket quota on the server without re-registering the
+// stream (operator operation). class is "besteffort", "normal" or
+// "critical" ("" = normal); rate 0 removes the quota; burst 0 defaults
+// to one second of rate. The response reports the configuration
+// replaced and the one now in force.
+func (c *Client) Reconfigure(streamName, class string, rate float64, burst int) (server.ReconfigureResp, error) {
+	return protocol.CallDecode[server.ReconfigureResp](c.rpc, server.MsgReconfigure,
+		server.ReconfigureReq{Stream: streamName, Class: class, Rate: rate, Burst: burst})
+}
+
+// GovernorStats fetches the accountability governor's snapshot:
+// tracked subjects with decayed scores, active demotions, and lifetime
+// demotion/restore counters. Fails when the server runs no governor.
+func (c *Client) GovernorStats() (governor.Stats, error) {
+	resp, err := protocol.CallDecode[server.GovernorStatsResp](c.rpc, server.MsgGovernorStats, struct{}{})
+	if err != nil {
+		return governor.Stats{}, err
 	}
 	return resp.Stats, nil
 }

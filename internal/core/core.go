@@ -7,15 +7,22 @@
 // backpressure policy and its class threshold); streams register with
 // RegisterStream / RegisterPartitionedStream and may carry a priority
 // class and a token-bucket quota via runtime.WithClass /
-// runtime.WithQuota. The networked deployment (data server, proxy,
-// client over TCP) lives in internal/server, internal/proxy and
-// internal/client; this package is the embedded form that examples,
-// tools and downstream users start from.
+// runtime.WithQuota, both swappable at runtime with Reconfigure.
+// Options.Audit records every decision into a hash-chained
+// accountability log, and Options.Governor starts the audit-fed
+// governor that demotes abusive subjects' streams live (see
+// internal/governor and docs/ACCOUNTABILITY.md). The networked
+// deployment (data server, proxy, client over TCP) lives in
+// internal/server, internal/proxy and internal/client; this package is
+// the embedded form that examples, tools and downstream users start
+// from.
 package core
 
 import (
 	"fmt"
 
+	"repro/internal/audit"
+	"repro/internal/governor"
 	"repro/internal/metrics"
 	"repro/internal/runtime"
 	"repro/internal/stream"
@@ -51,6 +58,18 @@ type Options struct {
 	// are handled: runtime.FailoverFail (default) or
 	// runtime.FailoverReroute.
 	Failover runtime.FailoverMode
+	// Audit, when non-nil, records every PDP/PEP decision into the
+	// given accountability log (equivalent to setting PEP.Audit after
+	// construction, but available before the first request).
+	Audit *audit.Log
+	// Governor, when non-nil, starts the accountability governor over
+	// the audit log: subjects accumulating deny/NR-violation decisions
+	// have their bound streams' class demoted and quota tightened at
+	// runtime, and restored after a cooldown (see internal/governor).
+	// An in-memory audit log is created when Audit is nil, since the
+	// governor cannot feed on decisions nobody records. Bind subjects
+	// to their streams with Framework.Governor.Bind.
+	Governor *governor.Config
 }
 
 // EngineSurface is the runtime-wide DSMS surface a Framework exposes:
@@ -82,6 +101,12 @@ type Framework struct {
 	// PEP enforces decisions: obligations → query graphs, merging,
 	// NR/PR analysis, single-access guard, graph management.
 	PEP *xacmlplus.PEP
+	// Audit is the accountability log every decision is recorded in
+	// (nil unless Options.Audit or Options.Governor enabled it).
+	Audit *audit.Log
+	// Governor is the accountability governor (nil unless
+	// Options.Governor enabled it).
+	Governor *governor.Governor
 }
 
 // New creates a framework with a fresh single-shard runtime.
@@ -102,17 +127,33 @@ func NewWithOptions(name string, opts Options) *Framework {
 		Failover:   opts.Failover,
 	})
 	pdp := xacml.NewPDP()
-	return &Framework{
+	fw := &Framework{
 		Runtime: rt,
 		Engine:  rt,
 		PDP:     pdp,
 		PEP:     xacmlplus.NewPEP(pdp, rt),
+		Audit:   opts.Audit,
 	}
+	if opts.Governor != nil {
+		if fw.Audit == nil {
+			fw.Audit = audit.NewLog(nil)
+		}
+		fw.Governor = governor.New(rt, fw.Audit, *opts.Governor)
+	}
+	if fw.Audit != nil {
+		fw.PEP.Audit = fw.Audit
+	}
+	return fw
 }
 
-// Close shuts down the runtime, all engine shards and all continuous
-// queries.
-func (f *Framework) Close() { f.Runtime.Close() }
+// Close stops the governor, then shuts down the runtime, all engine
+// shards and all continuous queries.
+func (f *Framework) Close() {
+	if f.Governor != nil {
+		f.Governor.Close()
+	}
+	f.Runtime.Close()
+}
 
 // RegisterStream declares a data-owner's stream, placed on one shard by
 // the hash of its name. Options attach a priority class and a
@@ -184,6 +225,18 @@ func (f *Framework) PublishBatch(streamName string, ts []stream.Tuple) (int, err
 // admission verdict (offered / accepted / quota-shed).
 func (f *Framework) PublishBatchVerdict(streamName string, ts []stream.Tuple) (runtime.PublishVerdict, error) {
 	return f.Runtime.PublishBatchVerdict(streamName, ts)
+}
+
+// Reconfigure atomically swaps a registered stream's priority class
+// and token-bucket quota without re-registering it, returning the
+// previous configuration (see runtime.Reconfigure for the semantics).
+func (f *Framework) Reconfigure(streamName string, cfg runtime.StreamConfig) (runtime.StreamConfig, error) {
+	return f.Runtime.Reconfigure(streamName, cfg)
+}
+
+// StreamAdmission reports a stream's current class/quota.
+func (f *Framework) StreamAdmission(streamName string) (runtime.StreamConfig, error) {
+	return f.Runtime.StreamAdmission(streamName)
 }
 
 // Flush blocks until all published tuples have been processed.

@@ -1,6 +1,7 @@
 package dsms
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -12,6 +13,19 @@ import (
 
 // DefaultSubscriptionBuffer is the per-subscription channel capacity.
 const DefaultSubscriptionBuffer = 1024
+
+// Sentinel errors, detectable with errors.Is through the fmt wrapping
+// the engine adds. The dsmsd server maps them onto structured protocol
+// error codes so remote callers need not match error text.
+var (
+	// ErrStreamExists reports a CreateStream name collision.
+	ErrStreamExists = errors.New("already exists")
+	// ErrUnknownStream reports an operation on an unregistered stream.
+	ErrUnknownStream = errors.New("unknown stream")
+	// ErrUnknownQuery reports an operation on an unknown query id or
+	// handle.
+	ErrUnknownQuery = errors.New("unknown query")
+)
 
 // Engine is the DSMS runtime: it owns named input streams, executes
 // deployed query graphs continuously against arriving tuples, and serves
@@ -161,7 +175,7 @@ func (e *Engine) CreateStream(name string, schema *stream.Schema) error {
 		return fmt.Errorf("dsms: engine closed")
 	}
 	if _, dup := e.streams[key]; dup {
-		return fmt.Errorf("dsms: stream %q already exists", name)
+		return fmt.Errorf("dsms: stream %q %w", name, ErrStreamExists)
 	}
 	e.streams[key] = &inputStream{name: name, schema: schema, queries: map[string]*deployedQuery{}}
 	return nil
@@ -175,7 +189,7 @@ func (e *Engine) DropStream(name string) error {
 	is, ok := e.streams[key]
 	if !ok {
 		e.mu.Unlock()
-		return fmt.Errorf("dsms: unknown stream %q", name)
+		return fmt.Errorf("dsms: %w %q", ErrUnknownStream, name)
 	}
 	var ids []string
 	for id := range is.queries {
@@ -195,7 +209,7 @@ func (e *Engine) StreamSchema(name string) (*stream.Schema, error) {
 	defer e.mu.Unlock()
 	is, ok := e.streams[strings.ToLower(name)]
 	if !ok {
-		return nil, fmt.Errorf("dsms: unknown stream %q", name)
+		return nil, fmt.Errorf("dsms: %w %q", ErrUnknownStream, name)
 	}
 	return is.schema, nil
 }
@@ -226,7 +240,7 @@ func (e *Engine) Deploy(g *QueryGraph) (Deployment, error) {
 	}
 	is, ok := e.streams[strings.ToLower(g.Input)]
 	if !ok {
-		return Deployment{}, fmt.Errorf("dsms: unknown input stream %q", g.Input)
+		return Deployment{}, fmt.Errorf("dsms: input stream %q: %w", g.Input, ErrUnknownStream)
 	}
 	gg := g.Clone()
 	ops, outSchema, err := buildPipeline(gg, is.schema)
@@ -298,7 +312,7 @@ func (e *Engine) Withdraw(idOrHandle string) error {
 	q, ok := e.queries[id]
 	if !ok {
 		e.mu.Unlock()
-		return fmt.Errorf("dsms: unknown query %q", idOrHandle)
+		return fmt.Errorf("dsms: %w %q", ErrUnknownQuery, idOrHandle)
 	}
 	delete(e.queries, id)
 	delete(e.byURI, q.dep.Handle)
@@ -353,7 +367,7 @@ func (e *Engine) Subscribe(idOrHandle string) (*Subscription, error) {
 	q, ok := e.queries[id]
 	e.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("dsms: unknown query %q", idOrHandle)
+		return nil, fmt.Errorf("dsms: %w %q", ErrUnknownQuery, idOrHandle)
 	}
 	c := make(chan stream.Tuple, DefaultSubscriptionBuffer)
 	s := &Subscription{C: c, c: c}
@@ -391,7 +405,7 @@ func (e *Engine) lookupSchema(streamName string) (*stream.Schema, error) {
 	}
 	is, ok := e.streams[strings.ToLower(streamName)]
 	if !ok {
-		return nil, fmt.Errorf("dsms: unknown stream %q", streamName)
+		return nil, fmt.Errorf("dsms: %w %q", ErrUnknownStream, streamName)
 	}
 	return is.schema, nil
 }
@@ -411,7 +425,7 @@ func (e *Engine) seal(streamName string, schema *stream.Schema, nts []stream.Tup
 	// Re-resolve: the stream may have been dropped while normalizing.
 	is, ok := e.streams[strings.ToLower(streamName)]
 	if !ok {
-		return nil, fmt.Errorf("dsms: unknown stream %q", streamName)
+		return nil, fmt.Errorf("dsms: %w %q", ErrUnknownStream, streamName)
 	}
 	if is.schema != schema {
 		return nil, fmt.Errorf("dsms: stream %q was replaced during ingest", streamName)

@@ -1,0 +1,122 @@
+package dsmsd
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/protocol"
+	"repro/internal/stream"
+)
+
+func batchOf(n int) []stream.Tuple {
+	out := make([]stream.Tuple, n)
+	for i := range out {
+		out[i] = stream.NewTuple(stream.IntValue(int64(i)), stream.DoubleValue(float64(i)))
+	}
+	return out
+}
+
+// TestErrorCodes pins the structured codes the server attaches:
+// already_exists on stream collisions, not_found on unknown streams
+// and queries — readable on the client through protocol.ErrorCode, with
+// the error text unchanged.
+func TestErrorCodes(t *testing.T) {
+	_, cli := startServer(t)
+	if err := cli.CreateStream("s", testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	err := cli.CreateStream("s", testSchema())
+	if err == nil || protocol.ErrorCode(err) != protocol.CodeAlreadyExists {
+		t.Fatalf("duplicate create = %v (code %q), want code %q", err, protocol.ErrorCode(err), protocol.CodeAlreadyExists)
+	}
+	if _, err := cli.StreamSchema("ghost"); protocol.ErrorCode(err) != protocol.CodeNotFound {
+		t.Fatalf("unknown schema lookup = %v (code %q), want %q", err, protocol.ErrorCode(err), protocol.CodeNotFound)
+	}
+	if err := cli.DropStream("ghost"); protocol.ErrorCode(err) != protocol.CodeNotFound {
+		t.Fatalf("unknown drop = %v (code %q), want %q", err, protocol.ErrorCode(err), protocol.CodeNotFound)
+	}
+	if err := cli.Withdraw("q99999"); protocol.ErrorCode(err) != protocol.CodeNotFound {
+		t.Fatalf("unknown withdraw = %v (code %q), want %q", err, protocol.ErrorCode(err), protocol.CodeNotFound)
+	}
+	// The code does not disturb errors.Is-style text handling elsewhere:
+	// the message is exactly the engine's.
+	var ce *protocol.CodedError
+	if !errors.As(err, &ce) || ce.Error() == "" {
+		t.Fatalf("coded error lost its message: %v", err)
+	}
+}
+
+// TestDirectIngestQuota covers the dsmsd-side admission enforcement: a
+// declared quota meters direct ingest batches (shedding, not failing),
+// refuses single tuples with quota_exceeded, and leaves prevalidated
+// runtime batches alone.
+func TestDirectIngestQuota(t *testing.T) {
+	srv, cli := startServer(t)
+	if err := cli.CreateStream("s", testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Reconfigure(StreamAdmission{Stream: "s", Class: "besteffort", Rate: 10, Burst: 5}); err != nil {
+		t.Fatalf("Reconfigure: %v", err)
+	}
+	cfg, err := cli.Admission("s")
+	if err != nil || cfg == nil || cfg.Class != "besteffort" || cfg.Rate != 10 || cfg.Burst != 5 {
+		t.Fatalf("Admission = %+v, %v", cfg, err)
+	}
+
+	// A 20-tuple direct batch against a 5-token bucket: ~5 accepted,
+	// rest shed (the bucket refills during the call, hence the slack).
+	v, err := cli.IngestBatchVerdict("s", batchOf(20))
+	if err != nil {
+		t.Fatalf("IngestBatchVerdict: %v", err)
+	}
+	if v.Offered != 20 || v.Accepted > 6 || v.Shed < 14 {
+		t.Fatalf("verdict = %+v, want ~5 accepted of 20", v)
+	}
+	// The bucket is dry: a single direct Ingest is refused with the
+	// structured quota code.
+	err = cli.Ingest("s", batchOf(1)[0])
+	if protocol.ErrorCode(err) != protocol.CodeQuotaExceeded {
+		t.Fatalf("dry-bucket ingest = %v (code %q), want %q", err, protocol.ErrorCode(err), protocol.CodeQuotaExceeded)
+	}
+
+	// On an untrusted server the Prevalidated flag is just a network
+	// claim: the quota applies anyway, so a flooder cannot opt out by
+	// setting it.
+	prevalidated := func() (IngestBatchResp, error) {
+		return protocol.CallDecode[IngestBatchResp](cli.rpc, MsgIngestBatch,
+			IngestBatchReq{Stream: "s", Tuples: batchOf(50), Prevalidated: true})
+	}
+	if v, err := prevalidated(); err != nil || v.Accepted > 6 {
+		t.Fatalf("untrusted prevalidated claim bypassed the quota: %+v, %v", v, err)
+	}
+	// With TrustPrevalidated the flag is honoured — the fronting
+	// runtime already metered those batches — and nothing is re-shed.
+	srv.TrustPrevalidated = true
+	if v, err := prevalidated(); err != nil || v.Accepted != 50 || v.Shed != 0 {
+		t.Fatalf("trusted prevalidated batch was re-metered: %+v, %v", v, err)
+	}
+	srv.TrustPrevalidated = false
+
+	// Dropping the stream clears the admission entry; a re-created
+	// stream starts unmetered.
+	if err := cli.DropStream("s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.CreateStream("s", testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if cfg, err := cli.Admission("s"); err != nil || cfg != nil {
+		t.Fatalf("admission after drop+recreate = %+v, %v; want none", cfg, err)
+	}
+	if v, err := cli.IngestBatchVerdict("s", batchOf(20)); err != nil || v.Accepted != 20 {
+		t.Fatalf("unmetered verdict = %+v, %v", v, err)
+	}
+
+	// Reconfigure validation: unknown streams and bad quotas are coded.
+	if err := cli.Reconfigure(StreamAdmission{Stream: "ghost", Rate: 1}); protocol.ErrorCode(err) != protocol.CodeNotFound {
+		t.Fatalf("reconfigure unknown stream = %v (code %q)", err, protocol.ErrorCode(err))
+	}
+	if err := cli.Reconfigure(StreamAdmission{Stream: "s", Rate: -3}); protocol.ErrorCode(err) != protocol.CodeBadRequest {
+		t.Fatalf("negative rate = %v (code %q)", err, protocol.ErrorCode(err))
+	}
+}

@@ -1,0 +1,159 @@
+package dsmsd_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dsms"
+	"repro/internal/dsmsd"
+	"repro/internal/runtime"
+	"repro/internal/stream"
+)
+
+func convSchema() *stream.Schema {
+	return stream.MustSchema(
+		stream.Field{Name: "a", Type: stream.TypeInt},
+		stream.Field{Name: "b", Type: stream.TypeDouble},
+	)
+}
+
+func convBatch(n int) []stream.Tuple {
+	out := make([]stream.Tuple, n)
+	for i := range out {
+		out[i] = stream.NewTuple(stream.IntValue(int64(i)), stream.DoubleValue(float64(i)))
+	}
+	return out
+}
+
+// TestRemoteShardReconfigureConverges runs a sharded runtime whose only
+// shard is a live dsmsd process and verifies the admission state
+// converges onto it: registration declares the initial class/quota,
+// Runtime.Reconfigure pushes the demoted state, direct publishers
+// bypassing the runtime are metered by the dsmsd itself, and the
+// runtime's own (already metered, prevalidated) traffic is not metered
+// twice.
+func TestRemoteShardReconfigureConverges(t *testing.T) {
+	eng := dsms.NewEngine("remote")
+	t.Cleanup(eng.Close)
+	srv := dsmsd.NewServer(eng, nil)
+	srv.TrustPrevalidated = true
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	rt := runtime.New("conv", runtime.Options{
+		Backends: []runtime.BackendSpec{{Addr: addr, Remote: runtime.RemoteOptions{
+			HealthInterval: -1, CallTimeout: 5 * time.Second,
+		}}},
+	})
+	defer rt.Close()
+
+	if err := rt.CreateStream("s", convSchema(),
+		runtime.WithClass(runtime.Critical), runtime.WithQuota(500, 50)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Registration already declared the admission state remotely.
+	probe, err := dsmsd.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = probe.Close() })
+	cfg, err := probe.Admission("s")
+	if err != nil || cfg == nil {
+		t.Fatalf("Admission after create = %+v, %v", cfg, err)
+	}
+	if cfg.Class != "critical" || cfg.Rate != 500 || cfg.Burst != 50 {
+		t.Fatalf("declared admission = %+v, want critical 500/s:50", cfg)
+	}
+
+	// Demote through the runtime; the dsmsd must converge.
+	old, err := rt.Reconfigure("s", runtime.StreamConfig{Class: runtime.BestEffort, Rate: 25, Burst: 10})
+	if err != nil {
+		t.Fatalf("Reconfigure: %v", err)
+	}
+	if old.Class != runtime.Critical || old.Rate != 500 {
+		t.Fatalf("previous config = %+v", old)
+	}
+	cfg, err = probe.Admission("s")
+	if err != nil || cfg == nil || cfg.Class != "besteffort" || cfg.Rate != 25 || cfg.Burst != 10 {
+		t.Fatalf("converged admission = %+v, %v; want besteffort 25/s:10", cfg, err)
+	}
+
+	// A direct publisher (bypassing the runtime) is metered to the
+	// demoted rate by the dsmsd itself.
+	v, err := probe.IngestBatchVerdict("s", convBatch(50))
+	if err != nil {
+		t.Fatalf("direct ingest: %v", err)
+	}
+	if v.Accepted > 12 || v.Shed < 38 {
+		t.Fatalf("direct verdict = %+v, want ~10 of 50 admitted under the demoted quota", v)
+	}
+
+	// The runtime's own path meters once, at the front: whatever its
+	// bucket grants is ingested remotely without a second shed.
+	rv, err := rt.PublishBatchVerdict("s", convBatch(30))
+	if err != nil {
+		t.Fatalf("runtime publish: %v", err)
+	}
+	if rv.Shed == 0 {
+		t.Fatalf("front quota did not meter: %+v", rv)
+	}
+	rt.Flush()
+	st := rt.Stats()
+	for _, row := range st.Streams {
+		if row.Stream != "s" {
+			continue
+		}
+		if row.Offered != row.Ingested+row.Dropped+row.Errors {
+			t.Fatalf("invariant: %+v", row)
+		}
+		if row.Errors != 0 {
+			t.Fatalf("remote shard double-metered the runtime's batches: %+v", row)
+		}
+		if row.Ingested != uint64(rv.Accepted) {
+			t.Fatalf("ingested %d != accepted %d: prevalidated batches must not be re-shed", row.Ingested, rv.Accepted)
+		}
+		if row.Reconfigured != 1 {
+			t.Fatalf("Reconfigured = %d, want 1", row.Reconfigured)
+		}
+	}
+
+	// Reconfiguring an unregistered stream still fails cleanly.
+	if _, err := rt.Reconfigure("ghost", runtime.StreamConfig{}); err == nil {
+		t.Fatal("reconfigure of unknown stream must fail")
+	}
+}
+
+// TestRemoteAdoptionUsesTypedCode guards the PR-3 leftover: stream
+// adoption on a dsmsd that already holds the stream is recognized by
+// the structured already_exists code, not error-text matching — an
+// equal schema is adopted, a different one refused.
+func TestRemoteAdoptionUsesTypedCode(t *testing.T) {
+	eng := dsms.NewEngine("remote")
+	t.Cleanup(eng.Close)
+	if err := eng.CreateStream("kept", convSchema()); err != nil {
+		t.Fatal(err)
+	}
+	other := stream.MustSchema(stream.Field{Name: "z", Type: stream.TypeString})
+	if err := eng.CreateStream("clash", other); err != nil {
+		t.Fatal(err)
+	}
+	srv := dsmsd.NewServer(eng, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	be := runtime.NewRemoteBackend(addr, runtime.RemoteOptions{HealthInterval: -1})
+	t.Cleanup(func() { _ = be.Close() })
+	if err := be.CreateStream("kept", convSchema()); err != nil {
+		t.Fatalf("equal-schema adoption failed: %v", err)
+	}
+	if err := be.CreateStream("clash", convSchema()); err == nil {
+		t.Fatal("adoption with a different schema must fail")
+	}
+}

@@ -6,14 +6,18 @@
 package dsmsd
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/dsms"
 	"repro/internal/netsim"
 	"repro/internal/protocol"
+	"repro/internal/ratelimit"
 	"repro/internal/stream"
 	"repro/internal/streamql"
 )
@@ -32,7 +36,25 @@ const (
 	MsgPing         = "dsms.ping"
 	MsgSubscribe    = "dsms.subscribe"
 	MsgTuple        = "dsms.tuple"
+	MsgReconfigure  = "dsms.reconfigure"
+	MsgAdmission    = "dsms.admission"
 )
+
+// coded maps engine sentinel errors onto structured protocol error
+// codes, so remote callers (the sharded runtime's RemoteBackend,
+// operator tooling) branch on Message.Code instead of matching error
+// text.
+func coded(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, dsms.ErrStreamExists):
+		return protocol.WithCode(protocol.CodeAlreadyExists, err)
+	case errors.Is(err, dsms.ErrUnknownStream), errors.Is(err, dsms.ErrUnknownQuery):
+		return protocol.WithCode(protocol.CodeNotFound, err)
+	}
+	return err
+}
 
 // CreateStreamReq registers an input stream.
 type CreateStreamReq struct {
@@ -90,9 +112,61 @@ type IngestBatchReq struct {
 	Prevalidated bool           `json:"prevalidated,omitempty"`
 }
 
+// IngestBatchResp reports the admission outcome of one wire batch:
+// Offered tuples arrived, Accepted reached the engine, Shed were
+// refused by the stream's admission quota (see StreamAdmission) before
+// touching it. Older clients that decode the response into struct{}
+// simply ignore the counts.
+type IngestBatchResp struct {
+	Offered  int `json:"offered"`
+	Accepted int `json:"accepted"`
+	Shed     int `json:"shed,omitempty"`
+}
+
 // QueryCountResp reports the number of running continuous queries.
 type QueryCountResp struct {
 	Count int `json:"count"`
+}
+
+// StreamAdmission is the admission configuration a fronting runtime
+// declares for one stream on this dsmsd: the priority class the stream
+// currently holds and its token-bucket quota (Rate == 0 means
+// unlimited). The dsmsd enforces the quota on *direct* ingest, so a
+// governor demotion converges onto remote shards: a publisher that
+// bypasses the data server and feeds the dsmsd directly is metered to
+// the same tightened rate. Batches a fronting runtime marked
+// Prevalidated are exempt — they were already metered at the
+// runtime's admission layer — but only when the server was started
+// with TrustPrevalidated, the same gate the schema-revalidation skip
+// uses: the flag comes from the network, so honouring it from
+// untrusted peers would let any publisher opt out of its quota. On an
+// untrusted server fronted by a runtime, declared quotas therefore
+// meter the runtime's own traffic a second time (bounded transient
+// over-shedding of at most one burst); pair runtime-fronted dsmsds
+// with -trust-prevalidated, as the operations guide recommends.
+type StreamAdmission struct {
+	Stream string  `json:"stream"`
+	Class  string  `json:"class"`
+	Rate   float64 `json:"rate"`
+	Burst  int     `json:"burst"`
+}
+
+// ReconfigureReq installs (or replaces) a stream's admission
+// configuration; the stream must be registered. A Rate of 0 clears the
+// quota.
+type ReconfigureReq struct {
+	Config StreamAdmission `json:"config"`
+}
+
+// AdmissionReq asks for a stream's stored admission configuration.
+type AdmissionReq struct {
+	Stream string `json:"stream"`
+}
+
+// AdmissionResp carries the stored configuration, or nil when none was
+// ever declared for the stream.
+type AdmissionResp struct {
+	Config *StreamAdmission `json:"config,omitempty"`
 }
 
 // SubscribeReq attaches the connection to a query's output; the server
@@ -119,12 +193,26 @@ type Server struct {
 	ConnectDelay time.Duration
 	firstDeploys atomic.Int64
 	boundAddr    string
+
+	// admMu guards adm, the per-stream admission configurations
+	// declared over MsgReconfigure (keyed by lowercased stream name).
+	admMu sync.Mutex
+	adm   map[string]*admEntry
+}
+
+// admEntry pairs a declared admission configuration with the live
+// token bucket enforcing its quota on direct ingest (the same
+// ratelimit.Bucket the fronting runtime meters with, so the two layers
+// cannot diverge on refill or burst semantics).
+type admEntry struct {
+	cfg    StreamAdmission
+	bucket *ratelimit.Bucket
 }
 
 // NewServer builds the service around an engine. profile, when non-nil,
 // injects simulated network latency on every request/response pair.
 func NewServer(engine *dsms.Engine, profile *netsim.Profile) *Server {
-	s := &Server{Engine: engine, srv: protocol.NewServer()}
+	s := &Server{Engine: engine, srv: protocol.NewServer(), adm: map[string]*admEntry{}}
 	if profile != nil {
 		s.srv.Delay = profile.RoundTrip
 	}
@@ -139,6 +227,8 @@ func NewServer(engine *dsms.Engine, profile *netsim.Profile) *Server {
 	s.srv.Handle(MsgQueryCount, s.handleQueryCount)
 	s.srv.Handle(MsgPing, s.handlePing)
 	s.srv.Handle(MsgSubscribe, s.handleSubscribe)
+	s.srv.Handle(MsgReconfigure, s.handleReconfigure)
+	s.srv.Handle(MsgAdmission, s.handleAdmission)
 	return s
 }
 
@@ -162,7 +252,7 @@ func (s *Server) handleCreateStream(m *protocol.Message, _ *protocol.Conn) (any,
 	if err != nil {
 		return nil, err
 	}
-	return struct{}{}, s.Engine.CreateStream(req.Name, req.Schema)
+	return struct{}{}, coded(s.Engine.CreateStream(req.Name, req.Schema))
 }
 
 func (s *Server) handleDropStream(m *protocol.Message, _ *protocol.Conn) (any, error) {
@@ -170,7 +260,15 @@ func (s *Server) handleDropStream(m *protocol.Message, _ *protocol.Conn) (any, e
 	if err != nil {
 		return nil, err
 	}
-	return struct{}{}, s.Engine.DropStream(req.Name)
+	if err := s.Engine.DropStream(req.Name); err != nil {
+		return nil, coded(err)
+	}
+	// The stream is gone; a stale admission entry must not meter a
+	// future stream re-created under the same name.
+	s.admMu.Lock()
+	delete(s.adm, strings.ToLower(req.Name))
+	s.admMu.Unlock()
+	return struct{}{}, nil
 }
 
 func (s *Server) handleSchema(m *protocol.Message, _ *protocol.Conn) (any, error) {
@@ -180,7 +278,7 @@ func (s *Server) handleSchema(m *protocol.Message, _ *protocol.Conn) (any, error
 	}
 	schema, err := s.Engine.StreamSchema(req.Name)
 	if err != nil {
-		return nil, err
+		return nil, coded(err)
 	}
 	return SchemaResp{Schema: schema}, nil
 }
@@ -207,7 +305,7 @@ func (s *Server) handleDeploy(m *protocol.Message, _ *protocol.Conn) (any, error
 		// verify it against the registered stream.
 		actual, err := s.Engine.StreamSchema(c.Input)
 		if err != nil {
-			return nil, err
+			return nil, coded(err)
 		}
 		if !actual.Equal(c.Schema) {
 			return nil, fmt.Errorf("dsmsd: script schema for %q does not match registered stream", c.Input)
@@ -215,7 +313,7 @@ func (s *Server) handleDeploy(m *protocol.Message, _ *protocol.Conn) (any, error
 	}
 	dep, err := s.Engine.Deploy(c.Graph)
 	if err != nil {
-		return nil, err
+		return nil, coded(err)
 	}
 	return DeployResp{QueryID: dep.ID, Handle: dep.Handle, OutputSchema: dep.OutputSchema}, nil
 }
@@ -225,7 +323,19 @@ func (s *Server) handleWithdraw(m *protocol.Message, _ *protocol.Conn) (any, err
 	if err != nil {
 		return nil, err
 	}
-	return struct{}{}, s.Engine.Withdraw(req.IDOrHandle)
+	return struct{}{}, coded(s.Engine.Withdraw(req.IDOrHandle))
+}
+
+// admit runs n tuples of a direct (non-prevalidated) ingest through the
+// stream's declared admission quota, returning how many may proceed.
+func (s *Server) admit(streamName string, n int) int {
+	s.admMu.Lock()
+	e := s.adm[strings.ToLower(streamName)]
+	s.admMu.Unlock()
+	if e == nil || e.bucket == nil {
+		return n
+	}
+	return e.bucket.Take(n)
 }
 
 func (s *Server) handleIngest(m *protocol.Message, _ *protocol.Conn) (any, error) {
@@ -233,7 +343,11 @@ func (s *Server) handleIngest(m *protocol.Message, _ *protocol.Conn) (any, error
 	if err != nil {
 		return nil, err
 	}
-	return struct{}{}, s.Engine.Ingest(req.Stream, req.Tuple)
+	if s.admit(req.Stream, 1) == 0 {
+		return nil, protocol.WithCode(protocol.CodeQuotaExceeded,
+			fmt.Errorf("dsmsd: stream %q: admission quota exceeded", req.Stream))
+	}
+	return struct{}{}, coded(s.Engine.Ingest(req.Stream, req.Tuple))
 }
 
 func (s *Server) handleIngestBatch(m *protocol.Message, _ *protocol.Conn) (any, error) {
@@ -241,10 +355,69 @@ func (s *Server) handleIngestBatch(m *protocol.Message, _ *protocol.Conn) (any, 
 	if err != nil {
 		return nil, err
 	}
-	if req.Prevalidated && s.TrustPrevalidated {
-		return struct{}{}, s.Engine.IngestBatchPrevalidated(req.Stream, req.Tuples)
+	n := len(req.Tuples)
+	grant := n
+	if !(req.Prevalidated && s.TrustPrevalidated) {
+		// Direct publishers pass the stream's declared quota; batches a
+		// *trusted* fronting runtime marked prevalidated were already
+		// metered at its admission layer (double-metering would shed
+		// twice). The exemption is gated on TrustPrevalidated exactly
+		// like the schema exemption below: the flag comes from the
+		// network, and honouring it on an untrusted port would let any
+		// publisher opt out of its quota.
+		grant = s.admit(req.Stream, n)
 	}
-	return struct{}{}, s.Engine.IngestBatch(req.Stream, req.Tuples)
+	ts := req.Tuples[:grant]
+	if req.Prevalidated && s.TrustPrevalidated {
+		err = s.Engine.IngestBatchPrevalidated(req.Stream, ts)
+	} else if grant > 0 || n == 0 {
+		err = s.Engine.IngestBatch(req.Stream, ts)
+	} else {
+		// Fully shed batch: still verify the stream exists so a flooder
+		// probing an unknown stream sees not_found, not a quiet shed.
+		_, err = s.Engine.StreamSchema(req.Stream)
+	}
+	if err != nil {
+		return nil, coded(err)
+	}
+	return IngestBatchResp{Offered: n, Accepted: grant, Shed: n - grant}, nil
+}
+
+func (s *Server) handleReconfigure(m *protocol.Message, _ *protocol.Conn) (any, error) {
+	req, err := protocol.Decode[ReconfigureReq](m)
+	if err != nil {
+		return nil, err
+	}
+	cfg := req.Config
+	if cfg.Stream == "" {
+		return nil, protocol.WithCode(protocol.CodeBadRequest, fmt.Errorf("dsmsd: reconfigure needs a stream name"))
+	}
+	if !(cfg.Rate >= 0) || cfg.Burst < 0 { // the positive form rejects NaN
+		return nil, protocol.WithCode(protocol.CodeBadRequest,
+			fmt.Errorf("dsmsd: reconfigure %q: bad quota rate %v / burst %d", cfg.Stream, cfg.Rate, cfg.Burst))
+	}
+	if _, err := s.Engine.StreamSchema(cfg.Stream); err != nil {
+		return nil, coded(err)
+	}
+	s.admMu.Lock()
+	s.adm[strings.ToLower(cfg.Stream)] = &admEntry{cfg: cfg, bucket: ratelimit.New(cfg.Rate, cfg.Burst)}
+	s.admMu.Unlock()
+	return struct{}{}, nil
+}
+
+func (s *Server) handleAdmission(m *protocol.Message, _ *protocol.Conn) (any, error) {
+	req, err := protocol.Decode[AdmissionReq](m)
+	if err != nil {
+		return nil, err
+	}
+	s.admMu.Lock()
+	e := s.adm[strings.ToLower(req.Stream)]
+	s.admMu.Unlock()
+	if e == nil {
+		return AdmissionResp{}, nil
+	}
+	cfg := e.cfg
+	return AdmissionResp{Config: &cfg}, nil
 }
 
 func (s *Server) handleFlush(_ *protocol.Message, _ *protocol.Conn) (any, error) {
@@ -270,7 +443,7 @@ func (s *Server) handleSubscribe(m *protocol.Message, conn *protocol.Conn) (any,
 	}
 	sub, err := s.Engine.Subscribe(req.IDOrHandle)
 	if err != nil {
-		return nil, err
+		return nil, coded(err)
 	}
 	ack, err := protocol.Encode(MsgSubscribe+".ok", m.ID, struct{}{})
 	if err != nil {
@@ -396,6 +569,34 @@ func (c *Client) Ingest(streamName string, t stream.Tuple) error {
 func (c *Client) IngestBatch(streamName string, ts []stream.Tuple) error {
 	_, err := c.rpc.Call(MsgIngestBatch, IngestBatchReq{Stream: streamName, Tuples: ts})
 	return err
+}
+
+// IngestBatchVerdict appends a batch of tuples and reports the server's
+// admission outcome: tuples beyond the stream's declared quota are shed
+// server-side and counted in the verdict rather than failing the call.
+func (c *Client) IngestBatchVerdict(streamName string, ts []stream.Tuple) (IngestBatchResp, error) {
+	return protocol.CallDecode[IngestBatchResp](c.rpc, MsgIngestBatch,
+		IngestBatchReq{Stream: streamName, Tuples: ts})
+}
+
+// Reconfigure installs a stream's admission configuration on the
+// server: the class it currently holds and the token-bucket quota
+// enforced on direct (non-prevalidated) ingest. The sharded runtime
+// calls this whenever a stream's class or quota changes, so remote
+// shards converge on the same admission state the front holds.
+func (c *Client) Reconfigure(cfg StreamAdmission) error {
+	_, err := c.rpc.Call(MsgReconfigure, ReconfigureReq{Config: cfg})
+	return err
+}
+
+// Admission fetches a stream's stored admission configuration (nil when
+// none was declared).
+func (c *Client) Admission(streamName string) (*StreamAdmission, error) {
+	resp, err := protocol.CallDecode[AdmissionResp](c.rpc, MsgAdmission, AdmissionReq{Stream: streamName})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Config, nil
 }
 
 // IngestBatchPrevalidated appends a batch the caller has already

@@ -1,0 +1,323 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/dsms"
+	"repro/internal/expr"
+	"repro/internal/governor"
+	"repro/internal/metrics"
+	"repro/internal/runtime"
+	"repro/internal/source"
+	"repro/internal/stream"
+	"repro/internal/xacml"
+)
+
+// GovernorOptions parameterises the accountability-governor scenario:
+// a clean critical subject and a flooding besteffort subject share one
+// shard; the flooder then hammers the PDP with requests that are
+// denied, the governor demotes its stream's quota, and the flood is
+// squeezed to a trickle while the clean stream never notices.
+type GovernorOptions struct {
+	// QueueSize is the shard queue capacity (default 1024).
+	QueueSize int
+	// BatchPublish is the publish batch size (default 64).
+	BatchPublish int
+	// Phase is the wall-clock duration of each measured publish phase
+	// (before and after demotion; default 400ms, min 60ms).
+	Phase time.Duration
+	// Threshold is the governor's demotion threshold (default 5).
+	Threshold float64
+	// Denials is how many denied access requests the abusive subject
+	// accumulates between the phases (default 8, comfortably past the
+	// threshold).
+	Denials int
+	// DemoteRate is the quota (tuples/s) imposed on demotion (default
+	// 200).
+	DemoteRate float64
+	// Cooldown is the demotion duration (default 300ms, so the restore
+	// is observable within the run).
+	Cooldown time.Duration
+	// CleanRate paces the clean subject's publisher (default 20000
+	// tuples/s).
+	CleanRate float64
+}
+
+func (o GovernorOptions) withDefaults() GovernorOptions {
+	if o.QueueSize <= 0 {
+		o.QueueSize = 1024
+	}
+	if o.BatchPublish <= 0 {
+		o.BatchPublish = 64
+	}
+	if o.Phase <= 0 {
+		o.Phase = 400 * time.Millisecond
+	}
+	if o.Phase < 60*time.Millisecond {
+		o.Phase = 60 * time.Millisecond
+	}
+	if o.Threshold <= 0 {
+		o.Threshold = 5
+	}
+	if o.Denials <= 0 {
+		o.Denials = 8
+	}
+	if o.DemoteRate <= 0 {
+		o.DemoteRate = 200
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 300 * time.Millisecond
+	}
+	if o.CleanRate <= 0 {
+		o.CleanRate = 20000
+	}
+	return o
+}
+
+// phaseCount is one stream's admission outcome over one publish phase.
+type phaseCount struct {
+	offered, accepted, shed int
+}
+
+// GovernorResult reports one governor scenario run.
+type GovernorResult struct {
+	Opts GovernorOptions
+	// PreRate and PostRate are the abusive stream's accepted
+	// tuples/second before and after the demotion.
+	PreRate, PostRate float64
+	// DropFactor is PreRate / PostRate.
+	DropFactor float64
+	// CleanSustained is the clean stream's ingested/offered fraction
+	// over the whole run.
+	CleanSustained float64
+	// Demotions / Restores are the governor's lifetime counters;
+	// GovernDemotes / GovernRestores count the matching "govern" events
+	// found in the audit chain.
+	Demotions, Restores uint64
+	GovernDemotes       int
+	GovernRestores      int
+	ChainLen            int
+	ChainIntact         bool
+	DeniedRequests      int
+	Stats               metrics.RuntimeStats
+	Governor            governor.Stats
+	Elapsed             time.Duration
+}
+
+// String renders the scenario summary.
+func (r GovernorResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "governor: threshold %.1f, %d denials, demote quota %.0f/s, cooldown %v, %v elapsed\n",
+		r.Opts.Threshold, r.DeniedRequests, r.Opts.DemoteRate, r.Opts.Cooldown, r.Elapsed.Round(time.Millisecond))
+	drop := fmt.Sprintf("%.0fx", r.DropFactor)
+	if math.IsInf(r.DropFactor, 1) {
+		drop = "total"
+	}
+	fmt.Fprintf(&b, "  abusive stream: %.0f tuples/s accepted before demotion, %.0f after (%s drop)\n",
+		r.PreRate, r.PostRate, drop)
+	fmt.Fprintf(&b, "  clean stream:   sustained %.2f%% of its offered rate throughout\n", 100*r.CleanSustained)
+	fmt.Fprintf(&b, "  audit chain:    %d events, intact=%v, govern events: %d demote, %d restore\n",
+		r.ChainLen, r.ChainIntact, r.GovernDemotes, r.GovernRestores)
+	return b.String()
+}
+
+// RunGovernor stands up a framework with auditing and the governor
+// enabled, lets a besteffort subject flood while a critical subject
+// publishes at a steady pace, accumulates PDP denials against the
+// flooder until the governor demotes its stream, and measures the
+// accepted rate before and after. The demotion's restore (after the
+// cooldown) is driven and verified too, and the audit chain is checked
+// end to end.
+func RunGovernor(o GovernorOptions) (GovernorResult, error) {
+	o = o.withDefaults()
+	fw := core.NewWithOptions("governor", core.Options{
+		Shards:    1,
+		QueueSize: o.QueueSize,
+		Policy:    runtime.DropNewest,
+		Governor: &governor.Config{
+			Threshold:   o.Threshold,
+			Cooldown:    o.Cooldown,
+			DemoteClass: runtime.BestEffort,
+			DemoteRate:  o.DemoteRate,
+			// A quarter-second burst keeps the post-demotion accepted
+			// rate quota-dominated even in very short measurement phases.
+			DemoteBurst:  int(o.DemoteRate/4) + 1,
+			TickInterval: -1, // driven explicitly below, for determinism
+		},
+	})
+	defer fw.Close()
+
+	schema := source.WeatherSchema()
+	if err := fw.RegisterStream("clean", schema, runtime.WithClass(runtime.Critical)); err != nil {
+		return GovernorResult{}, err
+	}
+	if err := fw.RegisterStream("abuse", schema, runtime.WithClass(runtime.BestEffort)); err != nil {
+		return GovernorResult{}, err
+	}
+	// One continuous query per stream so draining pays realistic work.
+	for _, name := range []string{"clean", "abuse"} {
+		g := dsms.NewQueryGraph(name, dsms.NewFilterBox(expr.MustParse("rainrate > 5")))
+		if _, err := fw.Runtime.Deploy(g); err != nil {
+			return GovernorResult{}, err
+		}
+	}
+	// The governor may only demote streams bound to the offending
+	// subject; the clean subject's stream is never touched.
+	fw.Governor.Bind("mallory", "abuse")
+	fw.Governor.Bind("alice", "clean")
+
+	// mallory's access to the clean stream is explicitly denied — each
+	// attempt is a PDP Deny recorded on the audit chain, which is what
+	// the governor scores.
+	denyPolicy := &xacml.Policy{
+		PolicyID:           "deny-mallory-clean",
+		RuleCombiningAlgID: xacml.RuleCombFirstApplicable,
+		Target:             xacml.NewTarget("mallory", "clean", ""),
+		Rules:              []xacml.Rule{{RuleID: "deny-mallory-clean:rule", Effect: xacml.EffectDeny}},
+	}
+	if err := fw.AddPolicy(denyPolicy); err != nil {
+		return GovernorResult{}, err
+	}
+
+	ws := source.NewWeatherStation(0, 1000, 11)
+	pool := make([]stream.Tuple, 2048)
+	for i := range pool {
+		pool[i] = ws.Next()
+	}
+
+	// publishPhase drives one publisher per stream for the phase
+	// duration: the clean stream paced, the abusive one flat out.
+	publishPhase := func() (clean, abuse phaseCount) {
+		var wg sync.WaitGroup
+		run := func(streamName string, pace float64, out *phaseCount) {
+			defer wg.Done()
+			var pause time.Duration
+			if pace > 0 {
+				pause = time.Duration(float64(o.BatchPublish) / pace * float64(time.Second))
+			}
+			deadline := time.Now().Add(o.Phase)
+			batch := make([]stream.Tuple, o.BatchPublish)
+			i := 0
+			for time.Now().Before(deadline) {
+				for j := range batch {
+					batch[j] = pool[i%len(pool)]
+					i++
+				}
+				v, err := fw.PublishBatchVerdict(streamName, batch)
+				if err != nil {
+					return
+				}
+				out.offered += v.Offered
+				out.accepted += v.Accepted
+				out.shed += v.Shed
+				if pause > 0 {
+					time.Sleep(pause)
+				}
+			}
+		}
+		wg.Add(2)
+		go run("clean", o.CleanRate, &clean)
+		go run("abuse", 0, &abuse)
+		wg.Wait()
+		return clean, abuse
+	}
+
+	start := time.Now()
+
+	// Phase A: the flooder runs ungoverned.
+	_, abuseA := publishPhase()
+
+	// The abuse signal: repeated denied access requests. Scoring is
+	// synchronous with the audit append, so by the time the loop ends
+	// the demotion has been applied.
+	for i := 0; i < o.Denials; i++ {
+		if _, err := fw.Request("mallory", "clean", "read", nil); err != nil {
+			return GovernorResult{}, fmt.Errorf("deny request %d: %w", i, err)
+		}
+	}
+
+	// Phase B: same publishers, demoted admission state.
+	_, abuseB := publishPhase()
+
+	// Cooldown, then restoration. lastBad anchors the cooldown at the
+	// final denial, so one tick after (cooldown - phase B) suffices;
+	// poll a little to absorb scheduling noise.
+	deadline := time.Now().Add(o.Cooldown + 2*time.Second)
+	for fw.Governor.Stats().Restores == 0 && time.Now().Before(deadline) {
+		time.Sleep(o.Cooldown / 10)
+		fw.Governor.Tick()
+	}
+
+	fw.Flush()
+	res := GovernorResult{
+		Opts:           o,
+		PreRate:        float64(abuseA.accepted) / o.Phase.Seconds(),
+		PostRate:       float64(abuseB.accepted) / o.Phase.Seconds(),
+		DeniedRequests: o.Denials,
+		Stats:          fw.Stats(),
+		Governor:       fw.Governor.Stats(),
+		Elapsed:        time.Since(start),
+	}
+	switch {
+	case res.PostRate > 0:
+		res.DropFactor = res.PreRate / res.PostRate
+	case res.PreRate > 0:
+		// A perfect squeeze (zero accepted after demotion) is the
+		// maximal drop, not a missing one.
+		res.DropFactor = math.Inf(1)
+	}
+	res.Demotions = res.Governor.Demotions
+	res.Restores = res.Governor.Restores
+	for _, st := range res.Stats.Streams {
+		if st.Stream == "clean" && st.Offered > 0 {
+			res.CleanSustained = float64(st.Ingested) / float64(st.Offered)
+		}
+	}
+	events := fw.Audit.Events()
+	res.ChainLen = len(events)
+	res.ChainIntact = audit.VerifyEvents(events) == -1
+	for _, e := range events {
+		if e.Kind != governor.KindGovern {
+			continue
+		}
+		switch e.Action {
+		case "demote":
+			res.GovernDemotes++
+		case "restore":
+			res.GovernRestores++
+		}
+	}
+	return res, nil
+}
+
+// CheckGovernor validates the acceptance criteria of the scenario:
+// the abusive stream's accepted rate dropped by at least minDrop, the
+// clean stream sustained at least minClean of its offered rate, the
+// audit chain is intact and records both the demotion and the restore
+// as govern events.
+func (r GovernorResult) CheckGovernor(minDrop, minClean float64) error {
+	if r.DropFactor < minDrop {
+		return fmt.Errorf("governor: abusive accepted rate dropped only %.1fx (want >= %.0fx): %.0f -> %.0f tuples/s",
+			r.DropFactor, minDrop, r.PreRate, r.PostRate)
+	}
+	if r.CleanSustained < minClean {
+		return fmt.Errorf("governor: clean stream sustained %.2f%% (want >= %.0f%%)",
+			100*r.CleanSustained, 100*minClean)
+	}
+	if !r.ChainIntact {
+		return fmt.Errorf("governor: audit chain corrupt")
+	}
+	if r.GovernDemotes == 0 || r.Demotions == 0 {
+		return fmt.Errorf("governor: no demotion recorded (govern events %d, counter %d)", r.GovernDemotes, r.Demotions)
+	}
+	if r.GovernRestores == 0 || r.Restores == 0 {
+		return fmt.Errorf("governor: no restore recorded (govern events %d, counter %d)", r.GovernRestores, r.Restores)
+	}
+	return nil
+}

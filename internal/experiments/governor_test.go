@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunGovernor smoke-runs the accountability scenario with short
+// phases: the abusive subject must be demoted (and measurably squeezed)
+// while the clean subject keeps its service level, and both the
+// demotion and the restore must land on an intact audit chain.
+func TestRunGovernor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock phases")
+	}
+	res, err := RunGovernor(GovernorOptions{
+		Phase:    80 * time.Millisecond,
+		Cooldown: 120 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The CI acceptance bar is 10x / 99% (benchrunner); the unit smoke
+	// allows a bit of scheduler noise on its much shorter phases.
+	if err := res.CheckGovernor(5, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	if res.Governor.Events == 0 {
+		t.Error("no scored events reached the governor")
+	}
+}

@@ -1,0 +1,523 @@
+// Package governor closes the accountability loop the paper leaves as
+// future work (§6: relaxing the trusted-cloud model with accountability
+// mechanisms): it subscribes to the hash-chained audit log every PDP
+// decision is recorded in (internal/audit), scores subjects by the
+// abuse signals accumulating against them — denied access requests,
+// NR/PR analysis violations, withdrawals — with an exponential decay so
+// old sins fade, and when a subject's score crosses a threshold it
+// demotes that subject's streams: their priority class drops and their
+// token-bucket quota tightens, live, through Runtime.Reconfigure. After
+// a cooldown with no further abuse the original configuration is
+// restored. Every demotion and restore is itself appended to the audit
+// chain as a first-class "govern" event, so the governor's own actions
+// are as accountable as the decisions that triggered them.
+//
+// The governor turns the static admission control of the ingest runtime
+// into a self-defending one: a flooding subject that also accumulates
+// denials is squeezed to a trickle at the admission door while clean
+// subjects keep their configured service level, and — because
+// Reconfigure pushes the new state to remote dsmsd shards — the
+// squeeze follows the subject even onto shards it publishes to
+// directly. See docs/ACCOUNTABILITY.md for the end-to-end story.
+package governor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/runtime"
+)
+
+// KindGovern is the audit Event.Kind under which the governor records
+// its demotions and restores.
+const KindGovern = "govern"
+
+// AdmissionControl is the runtime surface the governor drives; the
+// sharded runtime implements it (Runtime.StreamAdmission /
+// Runtime.Reconfigure), as does core.Framework.
+type AdmissionControl interface {
+	// StreamAdmission reports a stream's current class/quota.
+	StreamAdmission(name string) (runtime.StreamConfig, error)
+	// Reconfigure atomically swaps a stream's class/quota, returning
+	// the previous configuration.
+	Reconfigure(name string, cfg runtime.StreamConfig) (runtime.StreamConfig, error)
+}
+
+// Config tunes the governor. The zero value enables sane defaults.
+type Config struct {
+	// Threshold is the badness score at which a subject's streams are
+	// demoted (default 5 — five fresh denials, or two-and-a-half NR/PR
+	// violations).
+	Threshold float64
+	// HalfLife is the decay half-life of a subject's score: an event's
+	// weight halves every HalfLife (default 30s). This is the
+	// "decay-weighted sliding window" — events never leave the score
+	// abruptly, they fade.
+	HalfLife time.Duration
+	// Cooldown is how long a demotion lasts after the subject's last
+	// scored event (default 1m; further abuse while demoted restarts
+	// it).
+	Cooldown time.Duration
+	// DemoteClass is the priority class demoted streams are moved to
+	// (default runtime.BestEffort; a stream already below it keeps its
+	// class).
+	DemoteClass runtime.Class
+	// DemoteRate / DemoteBurst is the token-bucket quota imposed while
+	// demoted (default 100 tuples/s, burst = one second of rate). A
+	// stream whose own quota is already tighter keeps it.
+	DemoteRate  float64
+	DemoteBurst int
+	// DenyWeight, ViolationWeight and WithdrawWeight score one denied
+	// access request, one NR/PR-violating request and one withdrawal
+	// (a grant killed by a policy change; the PEP records one
+	// "withdraw" event per affected subject/stream). Defaults 1, 2, 1.
+	DenyWeight      float64
+	ViolationWeight float64
+	WithdrawWeight  float64
+	// TickInterval is the period of the background pass that restores
+	// expired demotions (default Cooldown/4, at most 1s). Negative
+	// disables the goroutine; Tick must then be driven by the caller
+	// (tests, experiments).
+	TickInterval time.Duration
+	// Clock overrides the time source (tests).
+	Clock func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.HalfLife <= 0 {
+		c.HalfLife = 30 * time.Second
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Minute
+	}
+	if c.DemoteRate <= 0 {
+		c.DemoteRate = 100
+	}
+	if c.DemoteBurst <= 0 {
+		c.DemoteBurst = int(c.DemoteRate)
+	}
+	if c.DenyWeight <= 0 {
+		c.DenyWeight = 1
+	}
+	if c.ViolationWeight <= 0 {
+		c.ViolationWeight = 2
+	}
+	if c.WithdrawWeight <= 0 {
+		c.WithdrawWeight = 1
+	}
+	if c.TickInterval == 0 {
+		c.TickInterval = c.Cooldown / 4
+		if c.TickInterval > time.Second {
+			c.TickInterval = time.Second
+		}
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// subjectState is one subject's decayed score and demotion status.
+type subjectState struct {
+	score   float64
+	last    time.Time // when score was last decayed
+	demoted bool
+	since   time.Time // demotion start (for stats)
+	lastBad time.Time // last scored event (cooldown anchor)
+	// saved holds the pre-demotion config per stream, restored on
+	// cooldown expiry.
+	saved map[string]runtime.StreamConfig
+}
+
+// decayTo applies exponential decay up to now: the score halves every
+// half-life.
+func (s *subjectState) decayTo(now time.Time, halfLife time.Duration) {
+	if dt := now.Sub(s.last); dt > 0 {
+		s.score *= math.Exp2(-float64(dt) / float64(halfLife))
+	}
+	s.last = now
+}
+
+// Governor watches an audit log and governs a runtime's admission
+// state. Create one with New, declare subject→stream ownership with
+// Bind, and Close it when done.
+type Governor struct {
+	cfg Config
+	ac  AdmissionControl
+	log *audit.Log
+
+	mu       sync.Mutex
+	subjects map[string]*subjectState
+	bindings map[string][]string
+
+	events uint64 // scored events; guarded by mu
+	// demotions/restores are atomic: they are bumped while applying
+	// reconfigurations outside mu.
+	demotions atomic.Uint64
+	restores  atomic.Uint64
+
+	cancel  func()
+	stop    chan struct{}
+	stopped chan struct{}
+	once    sync.Once
+}
+
+// New wires a governor to an admission-control surface and an audit
+// log, and (unless cfg.TickInterval < 0) starts the background restore
+// pass. The governor starts observing the log immediately; bind
+// subjects to their streams before their traffic matters.
+func New(ac AdmissionControl, log *audit.Log, cfg Config) *Governor {
+	g := &Governor{
+		cfg:      cfg.withDefaults(),
+		ac:       ac,
+		log:      log,
+		subjects: map[string]*subjectState{},
+		bindings: map[string][]string{},
+		stop:     make(chan struct{}),
+		stopped:  make(chan struct{}),
+	}
+	g.cancel = log.Observe(g.onEvent)
+	if g.cfg.TickInterval > 0 {
+		go g.run()
+	} else {
+		close(g.stopped)
+	}
+	return g
+}
+
+// Bind declares that the given streams belong to subject: they are what
+// the governor demotes when the subject's score crosses the threshold.
+// Binding is additive and may happen at any time.
+func (g *Governor) Bind(subject string, streams ...string) {
+	key := strings.ToLower(subject)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, s := range streams {
+		g.bindings[key] = append(g.bindings[key], s)
+	}
+}
+
+// ParseBindings reads the CLI form of subject→stream bindings:
+// comma-separated "subject=stream" pairs where several streams are
+// joined with "+", e.g. "mallory=gps,noisy=weather+gps".
+func ParseBindings(s string) (map[string][]string, error) {
+	out := map[string][]string{}
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		subj, streams, ok := strings.Cut(part, "=")
+		subj = strings.TrimSpace(subj)
+		if !ok || subj == "" || strings.TrimSpace(streams) == "" {
+			return nil, fmt.Errorf("governor: binding %q is not subject=stream[+stream...]", part)
+		}
+		for _, st := range strings.Split(streams, "+") {
+			st = strings.TrimSpace(st)
+			if st == "" {
+				return nil, fmt.Errorf("governor: binding %q names an empty stream", part)
+			}
+			out[strings.ToLower(subj)] = append(out[strings.ToLower(subj)], st)
+		}
+	}
+	return out, nil
+}
+
+// Close detaches the governor from the audit log and stops the
+// background pass. Demotions in force are left in force — the operator
+// (or a successor governor) decides whether to restore them.
+func (g *Governor) Close() {
+	g.once.Do(func() {
+		g.cancel()
+		close(g.stop)
+	})
+	<-g.stopped
+}
+
+func (g *Governor) run() {
+	defer close(g.stopped)
+	t := time.NewTicker(g.cfg.TickInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.Tick()
+		}
+	}
+}
+
+// weight scores one audit event; 0 means the event is not an abuse
+// signal.
+func (g *Governor) weight(e audit.Event) float64 {
+	switch e.Kind {
+	case "access":
+		switch {
+		case e.Decision == "Deny":
+			return g.cfg.DenyWeight
+		case e.Verdict == "PR" || e.Verdict == "NR":
+			return g.cfg.ViolationWeight
+		}
+	case "withdraw":
+		return g.cfg.WithdrawWeight
+	}
+	return 0
+}
+
+// demoteAction is one stream reconfiguration decided under the lock
+// and applied outside it.
+type demoteAction struct {
+	stream  string
+	old     runtime.StreamConfig
+	cfg     runtime.StreamConfig
+	skipErr error // StreamAdmission failed; record and skip
+}
+
+// onEvent is the audit-log observer: it scores the event against its
+// subject and demotes the subject's streams when the threshold is
+// crossed. It runs on the appending goroutine, so scoring is
+// synchronous with the decision being recorded. The reconfigurations
+// themselves (which may involve remote RPCs) are applied after the
+// governor lock is released, so a slow shard delays only the offending
+// request's append, not every other subject's scoring.
+func (g *Governor) onEvent(e audit.Event) {
+	// The governor's own govern events must not feed back into scores;
+	// filtered before the lock because appending them (below) re-enters
+	// this observer on the same goroutine.
+	if e.Kind == KindGovern {
+		return
+	}
+	w := g.weight(e)
+	if w == 0 || e.Subject == "" {
+		return
+	}
+	now := g.cfg.Clock()
+	subject := strings.ToLower(e.Subject)
+	g.mu.Lock()
+	s := g.subject(subject)
+	s.decayTo(now, g.cfg.HalfLife)
+	s.score += w
+	s.lastBad = now
+	g.events++
+	if s.demoted || s.score < g.cfg.Threshold || len(g.bindings[subject]) == 0 {
+		g.mu.Unlock()
+		return
+	}
+	// Decide the demotion under the lock: mark the subject demoted and
+	// snapshot the pre-demotion configs (StreamAdmission is a local
+	// lookup), so a concurrent Tick sees a complete saved map.
+	s.demoted = true
+	s.since = now
+	score := s.score
+	s.saved = map[string]runtime.StreamConfig{}
+	acts := make([]demoteAction, 0, len(g.bindings[subject]))
+	for _, stream := range g.bindings[subject] {
+		old, err := g.ac.StreamAdmission(stream)
+		if err != nil {
+			acts = append(acts, demoteAction{stream: stream, skipErr: err})
+			continue
+		}
+		s.saved[stream] = old
+		acts = append(acts, demoteAction{stream: stream, old: old, cfg: g.demotedConfig(old)})
+	}
+	g.mu.Unlock()
+	g.applyDemotion(subject, score, acts)
+}
+
+func (g *Governor) subject(name string) *subjectState {
+	key := strings.ToLower(name)
+	s, ok := g.subjects[key]
+	if !ok {
+		s = &subjectState{last: g.cfg.Clock()}
+		g.subjects[key] = s
+	}
+	return s
+}
+
+// applyDemotion performs the decided reconfigurations and records each
+// as a govern event; runs WITHOUT g.mu. Streams that fail to
+// reconfigure (e.g. dropped meanwhile) are recorded and skipped.
+func (g *Governor) applyDemotion(subject string, score float64, acts []demoteAction) {
+	for _, a := range acts {
+		if a.skipErr != nil {
+			g.govern(subject, a.stream, "demote", fmt.Sprintf("skipped: %v", a.skipErr))
+			continue
+		}
+		if _, err := g.ac.Reconfigure(a.stream, a.cfg); err != nil {
+			g.govern(subject, a.stream, "demote", fmt.Sprintf("failed: %v", err))
+			continue
+		}
+		g.demotions.Add(1)
+		g.govern(subject, a.stream, "demote", fmt.Sprintf(
+			"score %.2f >= threshold %.2f: class %s -> %s, quota %s -> %s; cooldown %v",
+			score, g.cfg.Threshold, a.old.Class, a.cfg.Class,
+			quotaString(a.old), quotaString(a.cfg), g.cfg.Cooldown))
+	}
+}
+
+// demotedConfig derives the demoted admission state from the current
+// one, never loosening: the class only goes down, the quota only
+// tightens.
+func (g *Governor) demotedConfig(old runtime.StreamConfig) runtime.StreamConfig {
+	cfg := runtime.StreamConfig{
+		Class: g.cfg.DemoteClass,
+		Rate:  g.cfg.DemoteRate,
+		Burst: g.cfg.DemoteBurst,
+	}
+	if old.Class < cfg.Class {
+		cfg.Class = old.Class
+	}
+	if old.Rate > 0 && old.Rate < cfg.Rate {
+		cfg.Rate, cfg.Burst = old.Rate, old.Burst
+	}
+	return cfg
+}
+
+// Tick decays scores and restores demotions whose cooldown has expired
+// (no scored event for at least Config.Cooldown). The background
+// goroutine calls it every TickInterval; tests and experiments may call
+// it directly. Like demotion, the restore is decided under the lock
+// and its reconfigurations applied outside it.
+func (g *Governor) Tick() {
+	now := g.cfg.Clock()
+	type restoreAction struct {
+		subject string
+		saved   map[string]runtime.StreamConfig
+	}
+	var acts []restoreAction
+	g.mu.Lock()
+	for subject, s := range g.subjects {
+		s.decayTo(now, g.cfg.HalfLife)
+		if s.demoted && now.Sub(s.lastBad) >= g.cfg.Cooldown {
+			acts = append(acts, restoreAction{subject: subject, saved: s.saved})
+			s.demoted = false
+			s.saved = nil
+			s.score = 0 // a restored subject starts clean
+		}
+		if !s.demoted && s.score < 1e-3 {
+			delete(g.subjects, subject) // fully faded; stop tracking
+		}
+	}
+	g.mu.Unlock()
+	for _, a := range acts {
+		streams := make([]string, 0, len(a.saved))
+		for stream := range a.saved {
+			streams = append(streams, stream)
+		}
+		sort.Strings(streams)
+		for _, stream := range streams {
+			old := a.saved[stream]
+			if _, err := g.ac.Reconfigure(stream, old); err != nil {
+				g.govern(a.subject, stream, "restore", fmt.Sprintf("failed: %v", err))
+				continue
+			}
+			g.restores.Add(1)
+			g.govern(a.subject, stream, "restore", fmt.Sprintf(
+				"cooldown %v elapsed: class %s, quota %s restored",
+				g.cfg.Cooldown, old.Class, quotaString(old)))
+		}
+	}
+}
+
+// govern appends one governor decision to the audit chain.
+func (g *Governor) govern(subject, stream, action, detail string) {
+	_, _ = g.log.Append(audit.Event{
+		Kind:     KindGovern,
+		Subject:  subject,
+		Resource: stream,
+		Action:   action,
+		Detail:   detail,
+	})
+}
+
+func quotaString(cfg runtime.StreamConfig) string {
+	if cfg.Rate <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%.0f/s:%d", cfg.Rate, cfg.Burst)
+}
+
+// SubjectStatus is one subject's row in Stats.
+type SubjectStatus struct {
+	Subject string  `json:"subject"`
+	Score   float64 `json:"score"`
+	Demoted bool    `json:"demoted"`
+	// DemotedForMillis is how long the subject has been demoted (0 when
+	// not demoted).
+	DemotedForMillis int64 `json:"demoted_for_millis,omitempty"`
+	// Streams are the subject's bound streams.
+	Streams []string `json:"streams,omitempty"`
+}
+
+// Stats is a point-in-time snapshot of the governor.
+type Stats struct {
+	Threshold float64         `json:"threshold"`
+	Subjects  []SubjectStatus `json:"subjects,omitempty"`
+	Events    uint64          `json:"events"`
+	Demotions uint64          `json:"demotions"`
+	Restores  uint64          `json:"restores"`
+}
+
+// String renders the snapshot as an aligned table.
+func (st Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "governor: threshold %.2f, %d scored event(s), %d demotion(s), %d restore(s)\n",
+		st.Threshold, st.Events, st.Demotions, st.Restores)
+	if len(st.Subjects) == 0 {
+		b.WriteString("no tracked subjects\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-16s %-10s %-10s %-14s %s\n", "subject", "score", "demoted", "for", "streams")
+	for _, s := range st.Subjects {
+		demoted, dur := "-", "-"
+		if s.Demoted {
+			demoted = "yes"
+			dur = (time.Duration(s.DemotedForMillis) * time.Millisecond).Round(time.Millisecond).String()
+		}
+		fmt.Fprintf(&b, "%-16s %-10.2f %-10s %-14s %s\n",
+			s.Subject, s.Score, demoted, dur, strings.Join(s.Streams, ","))
+	}
+	return b.String()
+}
+
+// Stats snapshots the governor's subjects (scores decayed to now) and
+// lifetime counters.
+func (g *Governor) Stats() Stats {
+	now := g.cfg.Clock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := Stats{
+		Threshold: g.cfg.Threshold,
+		Events:    g.events,
+		Demotions: g.demotions.Load(),
+		Restores:  g.restores.Load(),
+	}
+	for subject, s := range g.subjects {
+		s.decayTo(now, g.cfg.HalfLife)
+		row := SubjectStatus{
+			Subject: subject,
+			Score:   s.score,
+			Demoted: s.demoted,
+			Streams: append([]string(nil), g.bindings[subject]...),
+		}
+		if s.demoted {
+			row.DemotedForMillis = now.Sub(s.since).Milliseconds()
+		}
+		st.Subjects = append(st.Subjects, row)
+	}
+	sort.Slice(st.Subjects, func(i, j int) bool { return st.Subjects[i].Subject < st.Subjects[j].Subject })
+	return st
+}

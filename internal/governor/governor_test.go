@@ -1,0 +1,283 @@
+package governor
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/runtime"
+)
+
+// fakeAC is an in-memory AdmissionControl recording reconfigurations.
+type fakeAC struct {
+	mu      sync.Mutex
+	configs map[string]runtime.StreamConfig
+	swaps   []string // "stream:class:rate" history
+}
+
+func newFakeAC(streams ...string) *fakeAC {
+	ac := &fakeAC{configs: map[string]runtime.StreamConfig{}}
+	for _, s := range streams {
+		ac.configs[s] = runtime.StreamConfig{Class: runtime.Normal}
+	}
+	return ac
+}
+
+func (f *fakeAC) StreamAdmission(name string) (runtime.StreamConfig, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cfg, ok := f.configs[name]
+	if !ok {
+		return runtime.StreamConfig{}, fmt.Errorf("unknown stream %q", name)
+	}
+	return cfg, nil
+}
+
+func (f *fakeAC) Reconfigure(name string, cfg runtime.StreamConfig) (runtime.StreamConfig, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	old, ok := f.configs[name]
+	if !ok {
+		return runtime.StreamConfig{}, fmt.Errorf("unknown stream %q", name)
+	}
+	f.configs[name] = cfg
+	f.swaps = append(f.swaps, fmt.Sprintf("%s:%s:%.0f", name, cfg.Class, cfg.Rate))
+	return old, nil
+}
+
+// testClock is a manually advanced clock.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func newGovernor(t *testing.T, ac AdmissionControl, log *audit.Log, cfg Config) (*Governor, *testClock) {
+	t.Helper()
+	clk := &testClock{now: time.Unix(1_700_000_000, 0)}
+	cfg.Clock = clk.Now
+	cfg.TickInterval = -1 // tests drive Tick explicitly
+	g := New(ac, log, cfg)
+	t.Cleanup(g.Close)
+	return g, clk
+}
+
+func deny(log *audit.Log, subject string) {
+	_, _ = log.Append(audit.Event{Kind: "access", Subject: subject, Resource: "clean", Decision: "Deny"})
+}
+
+// TestDemoteOnThreshold: the configured number of denials crosses the
+// threshold exactly once, the bound stream is demoted with the
+// configured class/quota, and the demotion is a govern event on the
+// chain.
+func TestDemoteOnThreshold(t *testing.T) {
+	ac := newFakeAC("abuse")
+	log := audit.NewLog(nil)
+	g, _ := newGovernor(t, ac, log, Config{Threshold: 3, DemoteRate: 50})
+	g.Bind("mallory", "abuse")
+
+	deny(log, "mallory")
+	deny(log, "mallory")
+	if cfg, _ := ac.StreamAdmission("abuse"); cfg.Rate != 0 {
+		t.Fatal("demoted below threshold")
+	}
+	deny(log, "mallory")
+	cfg, _ := ac.StreamAdmission("abuse")
+	if cfg.Class != runtime.BestEffort || cfg.Rate != 50 {
+		t.Fatalf("config after threshold = %+v, want besteffort 50/s", cfg)
+	}
+	// Further abuse does not re-demote.
+	deny(log, "mallory")
+	if got := len(ac.swaps); got != 1 {
+		t.Fatalf("swaps = %v, want exactly one demotion", ac.swaps)
+	}
+
+	st := g.Stats()
+	if st.Demotions != 1 || st.Restores != 0 || st.Events != 4 {
+		t.Fatalf("stats = %+v, want 1 demotion, 0 restores, 4 events", st)
+	}
+	var governs int
+	for _, e := range log.Events() {
+		if e.Kind == KindGovern {
+			governs++
+			if e.Subject != "mallory" || e.Resource != "abuse" || e.Action != "demote" {
+				t.Errorf("govern event = %+v", e)
+			}
+		}
+	}
+	if governs != 1 {
+		t.Errorf("govern events = %d, want 1", governs)
+	}
+	if log.Verify() != -1 {
+		t.Error("audit chain corrupt after govern append")
+	}
+}
+
+// TestRestoreAfterCooldown: once the cooldown passes with no further
+// offence, Tick restores the saved configuration, counts the restore,
+// and records it as a govern event.
+func TestRestoreAfterCooldown(t *testing.T) {
+	ac := newFakeAC("abuse")
+	log := audit.NewLog(nil)
+	g, clk := newGovernor(t, ac, log, Config{Threshold: 2, Cooldown: time.Minute, DemoteRate: 50})
+	g.Bind("mallory", "abuse")
+
+	// Give the stream a distinctive original config to restore.
+	_, _ = ac.Reconfigure("abuse", runtime.StreamConfig{Class: runtime.Critical, Rate: 9000, Burst: 90})
+	ac.mu.Lock()
+	ac.swaps = nil
+	ac.mu.Unlock()
+
+	deny(log, "mallory")
+	deny(log, "mallory")
+	if cfg, _ := ac.StreamAdmission("abuse"); cfg.Rate != 50 || cfg.Class != runtime.BestEffort {
+		t.Fatalf("demoted config = %+v", cfg)
+	}
+
+	clk.Advance(30 * time.Second)
+	g.Tick()
+	if cfg, _ := ac.StreamAdmission("abuse"); cfg.Rate != 50 {
+		t.Fatal("restored before the cooldown elapsed")
+	}
+	// New abuse during the demotion restarts the cooldown.
+	deny(log, "mallory")
+	clk.Advance(45 * time.Second)
+	g.Tick()
+	if cfg, _ := ac.StreamAdmission("abuse"); cfg.Rate != 50 {
+		t.Fatal("restored although the cooldown was restarted")
+	}
+	clk.Advance(20 * time.Second)
+	g.Tick()
+	cfg, _ := ac.StreamAdmission("abuse")
+	if cfg.Class != runtime.Critical || cfg.Rate != 9000 || cfg.Burst != 90 {
+		t.Fatalf("restored config = %+v, want the original critical 9000/s:90", cfg)
+	}
+	st := g.Stats()
+	if st.Demotions != 1 || st.Restores != 1 {
+		t.Fatalf("stats = %+v, want one demotion and one restore", st)
+	}
+	var restores int
+	for _, e := range log.Events() {
+		if e.Kind == KindGovern && e.Action == "restore" {
+			restores++
+		}
+	}
+	if restores != 1 {
+		t.Errorf("restore govern events = %d, want 1", restores)
+	}
+	if log.Verify() != -1 {
+		t.Error("audit chain corrupt")
+	}
+}
+
+// TestScoreDecay: the half-life halves the score; a faded subject never
+// demotes and is eventually garbage-collected.
+func TestScoreDecay(t *testing.T) {
+	ac := newFakeAC("abuse")
+	log := audit.NewLog(nil)
+	g, clk := newGovernor(t, ac, log, Config{Threshold: 3, HalfLife: 10 * time.Second})
+	g.Bind("mallory", "abuse")
+
+	deny(log, "mallory")
+	deny(log, "mallory")
+	clk.Advance(20 * time.Second) // score 2 decays to 0.5
+	deny(log, "mallory")
+	deny(log, "mallory")
+	// 2.5 < 3: still clean.
+	if cfg, _ := ac.StreamAdmission("abuse"); cfg.Rate != 0 {
+		t.Fatal("decayed score must not demote")
+	}
+	score := g.Stats().Subjects[0].Score
+	if score < 2.4 || score > 2.6 {
+		t.Fatalf("score = %v, want ~2.5", score)
+	}
+	clk.Advance(time.Hour)
+	g.Tick()
+	if subjects := g.Stats().Subjects; len(subjects) != 0 {
+		t.Fatalf("fully faded subject still tracked: %+v", subjects)
+	}
+}
+
+// TestScoringSignals: NR/PR violations weigh double, permits weigh
+// nothing, unbound subjects are tracked but never demoted, and govern
+// events never feed back into scores.
+func TestScoringSignals(t *testing.T) {
+	ac := newFakeAC("abuse")
+	log := audit.NewLog(nil)
+	g, _ := newGovernor(t, ac, log, Config{Threshold: 5})
+	g.Bind("mallory", "abuse")
+
+	_, _ = log.Append(audit.Event{Kind: "access", Subject: "mallory", Decision: "Permit", Verdict: "OK"})
+	_, _ = log.Append(audit.Event{Kind: "access", Subject: "mallory", Decision: "Permit", Verdict: "NR"})
+	_, _ = log.Append(audit.Event{Kind: "access", Subject: "mallory", Decision: "Permit", Verdict: "PR"})
+	cfg, _ := ac.StreamAdmission("abuse")
+	if cfg.Rate != 0 {
+		t.Fatal("score 4 is below the threshold of 5: demoted too early")
+	}
+	if score := g.Stats().Subjects[0].Score; score != 4 {
+		t.Fatalf("score = %v, want 4 (NR + PR, permits free)", score)
+	}
+	deny(log, "mallory")
+	if cfg, _ := ac.StreamAdmission("abuse"); cfg.Class != runtime.BestEffort {
+		t.Fatal("threshold crossing must demote")
+	}
+
+	// An unbound subject accumulates score but governs nothing.
+	for i := 0; i < 10; i++ {
+		deny(log, "drifter")
+	}
+	st := g.Stats()
+	for _, s := range st.Subjects {
+		if s.Subject == "drifter" && s.Demoted {
+			t.Error("unbound subject must not be demoted")
+		}
+	}
+	if st.Demotions != 1 {
+		t.Errorf("demotions = %d, want 1 (mallory only)", st.Demotions)
+	}
+}
+
+// TestDemotedConfigNeverLoosens: demotion keeps an already-lower class
+// and an already-tighter quota.
+func TestDemotedConfigNeverLoosens(t *testing.T) {
+	g := &Governor{cfg: Config{DemoteClass: runtime.Normal, DemoteRate: 100, DemoteBurst: 100}.withDefaults()}
+	got := g.demotedConfig(runtime.StreamConfig{Class: runtime.BestEffort, Rate: 10, Burst: 5})
+	if got.Class != runtime.BestEffort || got.Rate != 10 || got.Burst != 5 {
+		t.Fatalf("demotedConfig loosened to %+v", got)
+	}
+	got = g.demotedConfig(runtime.StreamConfig{Class: runtime.Critical})
+	if got.Class != runtime.Normal || got.Rate != 100 {
+		t.Fatalf("demotedConfig = %+v, want normal 100/s", got)
+	}
+}
+
+func TestParseBindings(t *testing.T) {
+	got, err := ParseBindings("Mallory=gps+weather, alice = clean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || len(got["mallory"]) != 2 || got["mallory"][0] != "gps" || got["alice"][0] != "clean" {
+		t.Fatalf("ParseBindings = %+v", got)
+	}
+	if m, err := ParseBindings(" "); err != nil || len(m) != 0 {
+		t.Fatalf("empty spec = %v, %v", m, err)
+	}
+	for _, bad := range []string{"mallory", "=gps", "mallory=", "mallory=+"} {
+		if _, err := ParseBindings(bad); err == nil {
+			t.Errorf("ParseBindings(%q) must fail", bad)
+		}
+	}
+}

@@ -56,6 +56,10 @@ type StreamStat struct {
 	// (Rate == 0 means unlimited).
 	Rate  float64 `json:"rate,omitempty"`
 	Burst int     `json:"burst,omitempty"`
+	// Reconfigured counts live class/quota swaps applied to the stream
+	// (Runtime.Reconfigure — e.g. governor demotions and restores);
+	// Class/Rate/Burst describe the configuration currently in force.
+	Reconfigured uint64 `json:"reconfigured,omitempty"`
 	// Offered counts schema-valid tuples presented for the stream.
 	Offered uint64 `json:"offered"`
 	// Shed counts tuples refused by the quota before reaching a shard.
@@ -147,15 +151,15 @@ func (s RuntimeStats) String() string {
 		row(s.Total())
 	}
 	if len(s.Streams) > 0 {
-		fmt.Fprintf(&b, "\n%-12s %-11s %-14s %-12s %-10s %-10s %-12s %-8s %-12s\n",
-			"stream", "class", "quota", "offered", "shed", "dropped", "ingested", "errors", "tuples/s")
+		fmt.Fprintf(&b, "\n%-12s %-11s %-14s %-7s %-12s %-10s %-10s %-12s %-8s %-12s\n",
+			"stream", "class", "quota", "reconf", "offered", "shed", "dropped", "ingested", "errors", "tuples/s")
 		for _, st := range s.Streams {
 			quota := "unlimited"
 			if st.Rate > 0 {
 				quota = fmt.Sprintf("%.0f/s:%d", st.Rate, st.Burst)
 			}
-			fmt.Fprintf(&b, "%-12s %-11s %-14s %-12d %-10d %-10d %-12d %-8d %-12.0f\n",
-				st.Stream, st.Class, quota, st.Offered, st.Shed, st.Dropped, st.Ingested, st.Errors, st.Throughput)
+			fmt.Fprintf(&b, "%-12s %-11s %-14s %-7d %-12d %-10d %-10d %-12d %-8d %-12.0f\n",
+				st.Stream, st.Class, quota, st.Reconfigured, st.Offered, st.Shed, st.Dropped, st.Ingested, st.Errors, st.Throughput)
 		}
 	}
 	if len(s.Classes) > 1 {

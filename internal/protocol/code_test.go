@@ -1,0 +1,64 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestErrorCodeRoundTrip pins the structured-error contract: a handler
+// error tagged with WithCode reaches the client as a CodedError with
+// the same code and the same message text, and untagged errors stay
+// codeless.
+func TestErrorCodeRoundTrip(t *testing.T) {
+	srv := NewServer()
+	srv.Handle("coded", func(m *Message, _ *Conn) (any, error) {
+		return nil, WithCode(CodeNotFound, fmt.Errorf("thing %q missing", "x"))
+	})
+	srv.Handle("plain", func(m *Message, _ *Conn) (any, error) {
+		return nil, fmt.Errorf("unclassified boom")
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	_, err = cli.Call("coded", struct{}{})
+	if err == nil {
+		t.Fatal("coded handler error lost")
+	}
+	if got := ErrorCode(err); got != CodeNotFound {
+		t.Errorf("ErrorCode = %q, want %q", got, CodeNotFound)
+	}
+	if err.Error() != `thing "x" missing` {
+		t.Errorf("message = %q, want the handler's text unchanged", err.Error())
+	}
+	var ce *CodedError
+	if !errors.As(err, &ce) {
+		t.Error("client error must expose CodedError via errors.As")
+	}
+
+	_, err = cli.Call("plain", struct{}{})
+	if err == nil || ErrorCode(err) != "" {
+		t.Errorf("plain error = %v (code %q), want codeless", err, ErrorCode(err))
+	}
+}
+
+func TestWithCodeNil(t *testing.T) {
+	if WithCode(CodeNotFound, nil) != nil {
+		t.Error("WithCode(nil) must stay nil")
+	}
+	if ErrorCode(fmt.Errorf("plain")) != "" {
+		t.Error("plain errors carry no code")
+	}
+	wrapped := fmt.Errorf("outer: %w", WithCode(CodeAlreadyExists, fmt.Errorf("inner")))
+	if ErrorCode(wrapped) != CodeAlreadyExists {
+		t.Error("ErrorCode must see through wrapping")
+	}
+}

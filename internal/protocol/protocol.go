@@ -30,6 +30,56 @@ var ErrFrameTooLarge = errors.New("protocol: frame too large")
 // corrupt or hostile peer.
 const MaxFrameSize = 16 << 20
 
+// Structured error codes carried on ".err" responses (Message.Code), so
+// peers can branch on the kind of failure without matching error text.
+// Handlers attach a code with WithCode; clients read it back with
+// ErrorCode. An empty code means "unclassified server error".
+const (
+	// CodeAlreadyExists: the entity (stream, policy, ...) is already
+	// registered on the server.
+	CodeAlreadyExists = "already_exists"
+	// CodeNotFound: the named stream/query/policy does not exist.
+	CodeNotFound = "not_found"
+	// CodeQuotaExceeded: the request was refused by an admission quota.
+	CodeQuotaExceeded = "quota_exceeded"
+	// CodeBadRequest: the request payload failed validation.
+	CodeBadRequest = "bad_request"
+)
+
+// CodedError is an error tagged with a structured protocol code. On the
+// server, handlers return one (via WithCode) so the ".err" response
+// carries the code; on the client, Call reconstructs one from the
+// response so errors.As / ErrorCode work across the wire. Its message is
+// exactly the wrapped error's, so text-level handling is unchanged.
+type CodedError struct {
+	Code string
+	Err  error
+}
+
+// Error implements error.
+func (e *CodedError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the wrapped error to errors.Is/As.
+func (e *CodedError) Unwrap() error { return e.Err }
+
+// WithCode tags err with a structured code; a nil err stays nil.
+func WithCode(code string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &CodedError{Code: code, Err: err}
+}
+
+// ErrorCode extracts the structured code from an error chain, or ""
+// when the error carries none.
+func ErrorCode(err error) string {
+	var ce *CodedError
+	if errors.As(err, &ce) {
+		return ce.Code
+	}
+	return ""
+}
+
 // Message is one protocol frame.
 type Message struct {
 	// Type dispatches the handler ("access", "load_policy", "deploy",
@@ -44,6 +94,9 @@ type Message struct {
 	Payload json.RawMessage `json:"payload,omitempty"`
 	// Error carries the error text on ".err" responses.
 	Error string `json:"error,omitempty"`
+	// Code is the structured error code on ".err" responses (see the
+	// Code* constants); empty for unclassified errors.
+	Code string `json:"code,omitempty"`
 }
 
 // marshalFrame encodes a message and enforces the frame-size bound;
@@ -324,7 +377,11 @@ func (c *Client) Call(typ string, payload any) (*Message, error) {
 		return nil, err
 	}
 	if resp.Error != "" {
-		return resp, fmt.Errorf("%s", resp.Error)
+		err := fmt.Errorf("%s", resp.Error)
+		if resp.Code != "" {
+			err = WithCode(resp.Code, err)
+		}
+		return resp, err
 	}
 	return resp, nil
 }
@@ -447,7 +504,7 @@ func (s *Server) serveConn(conn *Conn) {
 			case err == ErrHijacked:
 				continue
 			case err != nil:
-				resp = &Message{Type: m.Type + ".err", ID: m.ID, Error: err.Error()}
+				resp = &Message{Type: m.Type + ".err", ID: m.ID, Error: err.Error(), Code: ErrorCode(err)}
 			default:
 				enc, encErr := Encode(m.Type+".ok", m.ID, out)
 				if encErr != nil {

@@ -1,0 +1,63 @@
+// Package ratelimit provides the one token bucket both admission
+// layers meter with: the sharded runtime's per-stream quota
+// (internal/runtime) and the dsmsd's direct-ingest metering
+// (internal/dsmsd). Keeping a single implementation in a leaf package
+// guarantees the front and the shard can never diverge on refill or
+// burst semantics.
+package ratelimit
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Bucket is a classic token bucket: tokens refill continuously at rate
+// per second up to burst, and a batch may take up to the available
+// whole tokens (partial grants admit a batch prefix). The zero of the
+// type is not usable; a nil *Bucket grants everything, so an unlimited
+// stream carries no bucket at all.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// New builds a bucket granting rate tokens/second with the given
+// depth; the bucket starts full. rate <= 0 returns nil (unlimited);
+// burst <= 0 defaults to one second of rate.
+func New(rate float64, burst int) *Bucket {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b <= 0 {
+		b = math.Ceil(rate)
+	}
+	return &Bucket{rate: rate, burst: b, tokens: b, last: time.Now()}
+}
+
+// Take grants up to want tokens, returning how many were granted. A
+// nil bucket grants everything.
+func (b *Bucket) Take(want int) int {
+	if b == nil {
+		return want
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+	}
+	b.last = now
+	grant := int(b.tokens)
+	if grant > want {
+		grant = want
+	}
+	if grant > 0 {
+		b.tokens -= float64(grant)
+	}
+	return grant
+}

@@ -1,0 +1,37 @@
+package ratelimit
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBucketRefill checks the bucket refills at its rate, caps at its
+// burst, and grants partial batches.
+func TestBucketRefill(t *testing.T) {
+	b := New(1000, 10)
+	if got := b.Take(20); got != 10 {
+		t.Fatalf("initial take = %d, want burst 10", got)
+	}
+	if got := b.Take(5); got != 0 {
+		t.Fatalf("empty take = %d, want 0", got)
+	}
+	time.Sleep(20 * time.Millisecond) // ~20 tokens at 1000/s, capped at burst
+	if got := b.Take(100); got < 5 || got > 10 {
+		t.Fatalf("refilled take = %d, want 5..10", got)
+	}
+}
+
+func TestBucketDefaults(t *testing.T) {
+	if New(0, 100) != nil {
+		t.Fatal("rate 0 must mean no bucket (unlimited)")
+	}
+	var nilBucket *Bucket
+	if got := nilBucket.Take(7); got != 7 {
+		t.Fatalf("nil bucket take = %d, want everything granted", got)
+	}
+	// burst <= 0 defaults to one second of rate.
+	b := New(3.5, 0)
+	if got := b.Take(10); got != 4 {
+		t.Fatalf("default-burst take = %d, want ceil(rate) = 4", got)
+	}
+}

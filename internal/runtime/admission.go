@@ -5,9 +5,9 @@ import (
 	"math"
 	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
-	"time"
+
+	"repro/internal/ratelimit"
 )
 
 // Class is a stream's priority class. Under pressure the runtime sheds
@@ -101,6 +101,13 @@ func buildConfig(opts []StreamOption) (StreamConfig, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	return normalizeConfig(cfg)
+}
+
+// normalizeConfig validates a StreamConfig and fills derived defaults;
+// it is the shared gate of registration (buildConfig) and live
+// reconfiguration (Runtime.Reconfigure).
+func normalizeConfig(cfg StreamConfig) (StreamConfig, error) {
 	if cfg.Class < BestEffort || cfg.Class > Critical {
 		return cfg, fmt.Errorf("runtime: invalid priority class %d (want %s..%s)", int(cfg.Class), BestEffort, Critical)
 	}
@@ -114,7 +121,25 @@ func buildConfig(opts []StreamOption) (StreamConfig, error) {
 	if cfg.Rate > 0 && cfg.Burst <= 0 {
 		cfg.Burst = int(math.Ceil(cfg.Rate))
 	}
+	if cfg.Rate == 0 {
+		cfg.Burst = 0 // unlimited streams carry no bucket depth
+	}
 	return cfg, nil
+}
+
+// admissionState is a stream's live admission configuration: the
+// normalized StreamConfig plus the token bucket enforcing its quota.
+// The pair lives behind one atomic pointer on the route, so
+// Runtime.Reconfigure swaps class and quota in a single step: a
+// publisher observes either the old state or the new one, never a
+// mixture.
+type admissionState struct {
+	cfg    StreamConfig
+	bucket *ratelimit.Bucket
+}
+
+func newAdmissionState(cfg StreamConfig) *admissionState {
+	return &admissionState{cfg: cfg, bucket: ratelimit.New(cfg.Rate, cfg.Burst)}
 }
 
 // ParseStreamSpecs reads a comma-separated list of per-stream admission
@@ -176,46 +201,6 @@ type PublishVerdict struct {
 	Offered  int
 	Accepted int
 	Shed     int
-}
-
-// tokenBucket is a classic token bucket: tokens refill continuously at
-// rate per second up to burst, and a batch may take up to the available
-// whole tokens (partial grants admit a batch prefix).
-type tokenBucket struct {
-	mu     sync.Mutex
-	rate   float64
-	burst  float64
-	tokens float64
-	last   time.Time
-}
-
-func newTokenBucket(rate float64, burst int) *tokenBucket {
-	if rate <= 0 {
-		return nil
-	}
-	// buildConfig guarantees burst > 0 whenever rate > 0; the default
-	// (one second of rate) lives there so stats and bucket agree.
-	b := float64(burst)
-	return &tokenBucket{rate: rate, burst: b, tokens: b, last: time.Now()}
-}
-
-// take grants up to want tokens, returning how many were granted.
-func (b *tokenBucket) take(want int) int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	now := time.Now()
-	if dt := now.Sub(b.last).Seconds(); dt > 0 {
-		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
-	}
-	b.last = now
-	grant := int(b.tokens)
-	if grant > want {
-		grant = want
-	}
-	if grant > 0 {
-		b.tokens -= float64(grant)
-	}
-	return grant
 }
 
 // streamCounters is the per-stream admission accounting, shared between

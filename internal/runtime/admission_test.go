@@ -350,21 +350,3 @@ func TestQuotaOnPartitionedStream(t *testing.T) {
 	}
 	checkStreamInvariant(t, row)
 }
-
-// TestTokenBucketRefill checks the bucket refills at its rate.
-func TestTokenBucketRefill(t *testing.T) {
-	b := newTokenBucket(1000, 10)
-	if got := b.take(20); got != 10 {
-		t.Fatalf("initial take = %d, want burst 10", got)
-	}
-	if got := b.take(5); got != 0 {
-		t.Fatalf("empty take = %d, want 0", got)
-	}
-	time.Sleep(20 * time.Millisecond) // ~20 tokens at 1000/s, capped at burst
-	if got := b.take(100); got < 5 || got > 10 {
-		t.Fatalf("refilled take = %d, want 5..10", got)
-	}
-	if newTokenBucket(0, 100) != nil {
-		t.Fatal("rate 0 must mean no bucket")
-	}
-}

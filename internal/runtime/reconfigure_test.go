@@ -1,0 +1,236 @@
+package runtime
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// TestReconfigureSwapsClassAndQuota covers the basic live swap: the
+// previous configuration is returned, the new class/quota take effect
+// on the next publish, and the stats row reports the state now in
+// force plus the swap count.
+func TestReconfigureSwapsClassAndQuota(t *testing.T) {
+	rt := New("reconf", Options{Shards: 1, QueueSize: 1 << 14})
+	defer rt.Close()
+	if err := rt.CreateStream("s", testSchema(), WithClass(BestEffort), WithQuota(1000, 10)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The 10-token bucket sheds most of a 50-tuple burst.
+	batch := make([]stream.Tuple, 50)
+	for i := range batch {
+		batch[i] = mkTuple(float64(i), int64(i))
+	}
+	v, err := rt.PublishBatchVerdict("s", batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Shed < 30 {
+		t.Fatalf("quota'd publish shed %d of %d, want most of the batch", v.Shed, v.Offered)
+	}
+
+	old, err := rt.Reconfigure("s", StreamConfig{Class: Critical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Class != BestEffort || old.Rate != 1000 || old.Burst != 10 {
+		t.Fatalf("previous config = %+v, want besteffort 1000/s:10", old)
+	}
+	if cur, err := rt.StreamAdmission("s"); err != nil || cur.Class != Critical || cur.Rate != 0 {
+		t.Fatalf("StreamAdmission = %+v, %v; want critical unlimited", cur, err)
+	}
+
+	// Unlimited now: nothing shed.
+	v, err = rt.PublishBatchVerdict("s", batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Shed != 0 || v.Accepted != len(batch) {
+		t.Fatalf("post-swap verdict = %+v, want all %d accepted", v, len(batch))
+	}
+
+	rt.Flush()
+	row := streamRow(t, rt.Stats(), "s")
+	if row.Class != "critical" || row.Rate != 0 {
+		t.Errorf("stats row = class %s rate %v, want critical unlimited", row.Class, row.Rate)
+	}
+	if row.Reconfigured != 1 {
+		t.Errorf("Reconfigured = %d, want 1", row.Reconfigured)
+	}
+	checkStreamInvariant(t, row)
+}
+
+// TestReconfigureClassFollowsNextBatch pins the ring-membership
+// contract: tuples queued before the swap keep the class they were
+// admitted under, tuples of the next batch enter the new class's ring —
+// observable through class-aware eviction.
+func TestReconfigureClassFollowsNextBatch(t *testing.T) {
+	rt := New("reconf-ring", Options{Shards: 1, QueueSize: 2, Policy: DropNewest})
+	defer rt.Close()
+	if err := rt.CreateStream("x", testSchema(), WithClass(Normal)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.CreateStream("y", testSchema(), WithClass(Normal)); err != nil {
+		t.Fatal(err)
+	}
+	// Same shard for both, or the eviction below cannot happen.
+	if rt.ShardForStream("x") != rt.ShardForStream("y") {
+		t.Fatal("test needs x and y on one shard")
+	}
+
+	rt.PauseDrain()
+	// Demote x, then fill the queue with x tuples: they are admitted
+	// under (and ring-tagged with) the new besteffort class.
+	if _, err := rt.Reconfigure("x", StreamConfig{Class: BestEffort}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.PublishBatch("x", []stream.Tuple{mkTuple(1, 1), mkTuple(2, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	// A normal-class tuple now evicts a queued besteffort tuple instead
+	// of being dropped.
+	v, err := rt.PublishBatchVerdict("y", []stream.Tuple{mkTuple(3, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Accepted != 1 {
+		t.Fatalf("y verdict = %+v, want the tuple accepted by evicting a demoted x tuple", v)
+	}
+	rt.ResumeDrain()
+	rt.Flush()
+
+	xRow := streamRow(t, rt.Stats(), "x")
+	yRow := streamRow(t, rt.Stats(), "y")
+	if xRow.Dropped != 1 || xRow.Ingested != 1 {
+		t.Errorf("x row = %+v, want exactly one eviction and one ingest", xRow)
+	}
+	if yRow.Dropped != 0 || yRow.Ingested != 1 {
+		t.Errorf("y row = %+v, want clean ingest", yRow)
+	}
+	checkStreamInvariant(t, xRow)
+	checkStreamInvariant(t, yRow)
+}
+
+// TestReconfigureValidation covers the error paths: unknown streams and
+// configurations normalizeConfig must refuse.
+func TestReconfigureValidation(t *testing.T) {
+	rt := New("reconf-bad", Options{})
+	defer rt.Close()
+	if _, err := rt.Reconfigure("ghost", StreamConfig{}); err == nil {
+		t.Fatal("reconfiguring an unknown stream must fail")
+	}
+	if err := rt.CreateStream("s", testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Reconfigure("s", StreamConfig{Class: Class(7)}); err == nil {
+		t.Fatal("out-of-range class must fail")
+	}
+	if _, err := rt.Reconfigure("s", StreamConfig{Rate: math.NaN()}); err == nil {
+		t.Fatal("NaN rate must fail")
+	}
+	if _, err := rt.Reconfigure("s", StreamConfig{Rate: -1}); err == nil {
+		t.Fatal("negative rate must fail")
+	}
+	// Failed reconfigurations leave the original state in force.
+	if cur, err := rt.StreamAdmission("s"); err != nil || cur.Class != Normal || cur.Rate != 0 {
+		t.Fatalf("config after failed swaps = %+v, %v; want untouched normal/unlimited", cur, err)
+	}
+	if row := streamRow(t, rt.Stats(), "s"); row.Reconfigured != 0 {
+		t.Errorf("Reconfigured = %d after failed swaps, want 0", row.Reconfigured)
+	}
+}
+
+// TestReconfigureConcurrentPublish hammers a single-shard stream and a
+// partitioned stream with publishers while a governor-style toggler
+// demotes and restores them, then asserts the per-stream and per-class
+// accounting invariant held across every transition. Run under -race in
+// CI.
+func TestReconfigureConcurrentPublish(t *testing.T) {
+	const (
+		publishers = 4
+		batches    = 150
+		batchSize  = 32
+		toggles    = 100
+	)
+	rt := New("reconf-race", Options{Shards: 2, QueueSize: 256, Policy: DropNewest})
+	defer rt.Close()
+	if err := rt.CreateStream("hot", testSchema(), WithClass(Normal)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.CreatePartitionedStream("part", gpsSchema(), "deviceid", WithClass(Normal)); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			batch := make([]stream.Tuple, batchSize)
+			for b := 0; b < batches; b++ {
+				for i := range batch {
+					batch[i] = mkTuple(float64(i), int64(b))
+				}
+				if _, err := rt.PublishBatchVerdict("hot", batch); err != nil {
+					t.Errorf("publish hot: %v", err)
+					return
+				}
+				gbatch := make([]stream.Tuple, batchSize)
+				for i := range gbatch {
+					gbatch[i] = stream.NewTuple(stream.StringValue(string(rune('a'+i%7))), stream.DoubleValue(float64(i)))
+				}
+				if _, err := rt.PublishBatchVerdict("part", gbatch); err != nil {
+					t.Errorf("publish part: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		demoted := StreamConfig{Class: BestEffort, Rate: 5000, Burst: 500}
+		restored := StreamConfig{Class: Critical}
+		for i := 0; i < toggles; i++ {
+			cfg := demoted
+			if i%2 == 1 {
+				cfg = restored
+			}
+			for _, name := range []string{"hot", "part"} {
+				if _, err := rt.Reconfigure(name, cfg); err != nil {
+					t.Errorf("reconfigure %s: %v", name, err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	rt.Flush()
+
+	st := rt.Stats()
+	wantOffered := uint64(publishers * batches * batchSize)
+	for _, name := range []string{"hot", "part"} {
+		row := streamRow(t, st, name)
+		if row.Offered != wantOffered {
+			t.Errorf("%s offered = %d, want %d", name, row.Offered, wantOffered)
+		}
+		if row.Reconfigured != toggles {
+			t.Errorf("%s Reconfigured = %d, want %d", name, row.Reconfigured, toggles)
+		}
+		checkStreamInvariant(t, row)
+	}
+	// The class rollup re-sums the stream rows (each attributed to its
+	// final class), so it must balance too.
+	var classOffered, classAccounted uint64
+	for _, c := range st.Classes {
+		classOffered += c.Offered
+		classAccounted += c.Ingested + c.Dropped + c.Errors
+	}
+	if classOffered != 2*wantOffered || classOffered != classAccounted {
+		t.Errorf("class rollup: offered %d (want %d), ingested+dropped+errors %d",
+			classOffered, 2*wantOffered, classAccounted)
+	}
+}

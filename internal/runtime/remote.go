@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -300,10 +299,12 @@ func (b *RemoteBackend) probe() {
 // the remote process outlives its runtime (a restarted data server
 // re-registers the same streams against dsmsd state it created in a
 // previous life), and an at-most-once retry after a connection death
-// may also find its own earlier attempt applied.
+// may also find its own earlier attempt applied. The collision is
+// recognized by the structured already_exists code the dsmsd attaches
+// (protocol.ErrorCode), not by matching error text.
 func (b *RemoteBackend) CreateStream(name string, schema *stream.Schema) error {
 	err := b.doOnce(func(c *dsmsd.Client) error { return c.CreateStream(name, schema) })
-	if err == nil || !strings.Contains(err.Error(), "already exists") {
+	if err == nil || protocol.ErrorCode(err) != protocol.CodeAlreadyExists {
 		return err
 	}
 	existing, serr := b.StreamSchema(name)
@@ -311,6 +312,22 @@ func (b *RemoteBackend) CreateStream(name string, schema *stream.Schema) error {
 		return nil
 	}
 	return err
+}
+
+// ForwardAdmission implements the runtime's admissionForwarder: it
+// declares the stream's current class/quota on the dsmsd so direct
+// publishers hitting that process are metered to the same state the
+// fronting runtime enforces. Idempotent, so the redial-and-retry path
+// is safe.
+func (b *RemoteBackend) ForwardAdmission(name string, cfg StreamConfig) error {
+	return b.do(func(c *dsmsd.Client) error {
+		return c.Reconfigure(dsmsd.StreamAdmission{
+			Stream: name,
+			Class:  cfg.Class.String(),
+			Rate:   cfg.Rate,
+			Burst:  cfg.Burst,
+		})
+	})
 }
 
 // DropStream implements ShardBackend.

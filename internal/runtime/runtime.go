@@ -21,6 +21,12 @@
 // resulting per-shard, per-stream and per-class accounting, which
 // satisfies offered == ingested + dropped + errors after a Flush.
 //
+// The admission state is live: Reconfigure atomically swaps a stream's
+// class and quota without re-registering it — the lever the
+// accountability governor (internal/governor) pulls to demote abusive
+// subjects — and pushes the new state to remote dsmsd shards so
+// direct publishers are metered to the same configuration.
+//
 // The PEP-facing surface (StreamSchema / DeployScript / Withdraw)
 // matches xacmlplus.StreamEngine, so the policy plane runs unchanged on
 // top of a sharded runtime.
@@ -221,11 +227,15 @@ type route struct {
 	keyIdx int
 	// shard is the owning shard for single-shard streams.
 	shard int
-	// cfg is the admission configuration fixed at registration.
-	cfg StreamConfig
-	// bucket is the stream's token-bucket quota (nil = unlimited).
-	bucket *tokenBucket
-	// counters is the per-stream admission accounting.
+	// adm is the stream's live admission state (class + quota bucket),
+	// set at registration and atomically replaced by Reconfigure; the
+	// publish path loads it once per batch.
+	adm atomic.Pointer[admissionState]
+	// reconfigures counts live admission swaps applied to the stream.
+	reconfigures atomic.Uint64
+	// counters is the per-stream admission accounting; deliberately
+	// NOT part of the swapped state, so offered == ingested + dropped +
+	// errors keeps holding across a class/quota transition.
 	counters *streamCounters
 
 	// failover state: extra shards this single-shard stream has been
@@ -438,12 +448,17 @@ func (rt *Runtime) CreateStream(name string, schema *stream.Schema, opts ...Stre
 	}
 	r := &route{
 		name: name, schema: schema, keyIdx: -1, shard: si,
-		cfg: cfg, bucket: newTokenBucket(cfg.Rate, cfg.Burst), counters: &streamCounters{},
+		counters: &streamCounters{},
 	}
+	r.adm.Store(newAdmissionState(cfg))
 	if rt.commitStream(key, r) {
 		_ = rt.shards[si].be.DropStream(name)
 		return errClosed
 	}
+	// Declare the initial admission state on backends that persist it
+	// out-of-process (best effort: a bare dsmsd without the verb still
+	// serves the stream).
+	rt.forwardAdmission(r, cfg, false)
 	return nil
 }
 
@@ -484,14 +499,16 @@ func (rt *Runtime) CreatePartitionedStream(name string, schema *stream.Schema, k
 	}
 	r := &route{
 		name: name, schema: schema, keyIdx: idx, shard: -1,
-		cfg: cfg, bucket: newTokenBucket(cfg.Rate, cfg.Burst), counters: &streamCounters{},
+		counters: &streamCounters{},
 	}
+	r.adm.Store(newAdmissionState(cfg))
 	if rt.commitStream(key, r) {
 		for _, s := range rt.shards {
 			_ = s.be.DropStream(name)
 		}
 		return errClosed
 	}
+	rt.forwardAdmission(r, cfg, false)
 	return nil
 }
 
@@ -570,6 +587,108 @@ func (rt *Runtime) StreamSchema(name string) (*stream.Schema, error) {
 	return r.schema, nil
 }
 
+// StreamAdmission reports a stream's current admission configuration
+// (priority class and token-bucket quota), as registered or as last
+// swapped in by Reconfigure.
+func (rt *Runtime) StreamAdmission(name string) (StreamConfig, error) {
+	r, err := rt.routeFor(name)
+	if err != nil {
+		return StreamConfig{}, err
+	}
+	return r.adm.Load().cfg, nil
+}
+
+// Reconfigure atomically replaces a stream's priority class and
+// token-bucket quota without re-registering it, returning the previous
+// configuration. The swap is a single pointer exchange: a batch in
+// flight finishes under the configuration it loaded, the next batch
+// publishes under the new one — which is also when the stream's tuples
+// start entering their new per-class ring (tuples already queued keep
+// the class they were admitted under, preserving eviction fairness for
+// work the old class already paid for). The quota bucket starts full
+// (Burst tokens), so a demotion takes effect within one burst. The
+// per-stream counters survive the swap untouched, keeping
+//
+//	offered == ingested + dropped + errors
+//
+// intact across the transition; the stream's Stats row reports the new
+// class/quota and an incremented Reconfigured count. The new state is
+// pushed to remote shard backends hosting the stream so their
+// direct-ingest metering converges (see dsmsd.StreamAdmission); the
+// local swap always applies, and a forwarding failure is reported so
+// operators learn about the divergence.
+func (rt *Runtime) Reconfigure(name string, cfg StreamConfig) (StreamConfig, error) {
+	norm, err := normalizeConfig(cfg)
+	if err != nil {
+		return StreamConfig{}, err
+	}
+	r, err := rt.routeFor(name)
+	if err != nil {
+		return StreamConfig{}, err
+	}
+	// fmu serializes the swap+forward pair, so two racing Reconfigures
+	// cannot leave a remote shard on the config the local route lost.
+	// (Holding fmu across the forwarding RPCs mirrors ensureStreamOn,
+	// which already holds it across a remote CreateStream.)
+	r.fmu.Lock()
+	old := r.adm.Swap(newAdmissionState(norm))
+	r.reconfigures.Add(1)
+	ferr := rt.forwardAdmissionLocked(r, norm, true)
+	r.fmu.Unlock()
+	return old.cfg, ferr
+}
+
+// admissionForwarder is the optional ShardBackend surface Reconfigure
+// and stream registration use to push a stream's current class/quota
+// to backends that keep admission state out-of-process (RemoteBackend
+// forwards to its dsmsd, which meters direct publishers with it).
+type admissionForwarder interface {
+	ForwardAdmission(name string, cfg StreamConfig) error
+}
+
+// forwardAdmission declares a stream's admission state on every
+// forwarding-capable, healthy backend hosting it. With must set the
+// first failure is returned (explicit Reconfigure); registration-time
+// declaration is best effort, since a bare dsmsd without the verb is a
+// legitimate backend.
+func (rt *Runtime) forwardAdmission(r *route, cfg StreamConfig, must bool) error {
+	r.fmu.Lock()
+	defer r.fmu.Unlock()
+	return rt.forwardAdmissionLocked(r, cfg, must)
+}
+
+// forwardAdmissionLocked is forwardAdmission with r.fmu already held
+// (the caller needs the swap and the forwarding to be one serialized
+// step).
+func (rt *Runtime) forwardAdmissionLocked(r *route, cfg StreamConfig, must bool) error {
+	var shards []int
+	if r.keyIdx < 0 {
+		shards = append(shards, r.shard)
+		for i := range r.extra {
+			shards = append(shards, i)
+		}
+	} else {
+		for i := range rt.shards {
+			shards = append(shards, i)
+		}
+	}
+	var first error
+	for _, i := range shards {
+		s := rt.shards[i]
+		fw, ok := s.be.(admissionForwarder)
+		if !ok || s.failedErr() != nil {
+			continue
+		}
+		if err := fw.ForwardAdmission(r.name, cfg); err != nil && first == nil {
+			first = fmt.Errorf("runtime: shard %d: forward admission: %w", i, err)
+		}
+	}
+	if !must {
+		return nil
+	}
+	return first
+}
+
 // ShardForStream reports the shard slot a non-partitioned stream of
 // the given name is (or would be) placed on; benchmarks use it to lay
 // streams out across specific backends.
@@ -633,10 +752,14 @@ func (rt *Runtime) PublishBatchVerdict(streamName string, ts []stream.Tuple) (Pu
 			return PublishVerdict{}, fmt.Errorf("runtime: tuple %d: %w", i, err)
 		}
 	}
+	// One atomic load pins the batch to a single admission state, so a
+	// concurrent Reconfigure flips class and quota between batches,
+	// never inside one.
+	ad := r.adm.Load()
 	v := PublishVerdict{Offered: len(ts)}
 	r.counters.offered.Add(uint64(len(ts)))
-	if r.bucket != nil {
-		grant := r.bucket.take(len(ts))
+	if ad.bucket != nil {
+		grant := ad.bucket.Take(len(ts))
 		v.Shed = len(ts) - grant
 		if v.Shed > 0 {
 			r.counters.shed.Add(uint64(v.Shed))
@@ -647,7 +770,7 @@ func (rt *Runtime) PublishBatchVerdict(streamName string, ts []stream.Tuple) (Pu
 		}
 	}
 	if r.keyIdx < 0 {
-		n, err := rt.shards[rt.targetShard(r, r.shard)].enqueue(r.name, r.cfg.Class, r.counters, ts)
+		n, err := rt.shards[rt.targetShard(r, r.shard)].enqueue(r.name, ad.cfg.Class, r.counters, ts)
 		v.Accepted = n
 		return v, err
 	}
@@ -676,7 +799,7 @@ func (rt *Runtime) PublishBatchVerdict(streamName string, ts []stream.Tuple) (Pu
 		if len(bucket) == 0 {
 			continue
 		}
-		n, err := rt.shards[rt.targetShard(r, si)].enqueue(r.name, r.cfg.Class, r.counters, bucket)
+		n, err := rt.shards[rt.targetShard(r, si)].enqueue(r.name, ad.cfg.Class, r.counters, bucket)
 		v.Accepted += n
 		if err != nil && firstErr == nil {
 			firstErr = err
@@ -792,11 +915,14 @@ func (rt *Runtime) Stats() metrics.RuntimeStats {
 	byClass := map[string]*metrics.ClassStat{}
 	for _, r := range routes {
 		shed := r.counters.shed.Load()
+		ad := r.adm.Load()
 		row := metrics.StreamStat{
 			Stream: r.name,
-			Class:  r.cfg.Class.String(),
-			Rate:   r.cfg.Rate,
-			Burst:  r.cfg.Burst, // normalized by buildConfig; matches the bucket
+			Class:  ad.cfg.Class.String(),
+			Rate:   ad.cfg.Rate,
+			Burst:  ad.cfg.Burst, // normalized; matches the bucket
+
+			Reconfigured: r.reconfigures.Load(),
 
 			Offered:  r.counters.offered.Load(),
 			Shed:     shed,

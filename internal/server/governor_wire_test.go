@@ -1,0 +1,113 @@
+package server_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/governor"
+	"repro/internal/runtime"
+	"repro/internal/server"
+	"repro/internal/xacml"
+)
+
+// TestReconfigureAndGovernorStatsOverWire drives the operator loop over
+// TCP: reconfigure a stream's class/quota without re-registering, read
+// the governor's subject table, and watch a demotion triggered by
+// audited denials appear in both.
+func TestReconfigureAndGovernorStatsOverWire(t *testing.T) {
+	fw := core.NewWithOptions("cloud", core.Options{
+		Shards:   1,
+		Governor: &governor.Config{Threshold: 1.5, DemoteRate: 40, TickInterval: -1},
+	})
+	t.Cleanup(fw.Close)
+	if err := fw.RegisterStream("weather", weatherSchema(), runtime.WithClass(runtime.Critical)); err != nil {
+		t.Fatal(err)
+	}
+	fw.Governor.Bind("mallory", "weather")
+
+	srv := server.New(fw.PEP, nil)
+	srv.AttachPublisher(fw.Runtime)
+	srv.AttachGovernor(fw.Governor)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	cli, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cli.Close() })
+
+	// Manual reconfigure over the wire.
+	resp, err := cli.Reconfigure("weather", "normal", 1000, 100)
+	if err != nil {
+		t.Fatalf("Reconfigure: %v", err)
+	}
+	if resp.Old.Class != "critical" || resp.New.Class != "normal" || resp.New.Rate != 1000 {
+		t.Fatalf("reconfigure resp = %+v", resp)
+	}
+	if _, err := cli.Reconfigure("ghost", "", 0, 0); err == nil {
+		t.Fatal("reconfiguring an unknown stream must fail over the wire")
+	}
+	if _, err := cli.Reconfigure("weather", "platinum", 0, 0); err == nil ||
+		!strings.Contains(err.Error(), "unknown priority class") {
+		t.Fatalf("bad class = %v", err)
+	}
+
+	// Denied requests demote the bound stream; the governor snapshot is
+	// readable over the wire.
+	denyPolicy := &xacml.Policy{
+		PolicyID:           "deny-mallory",
+		RuleCombiningAlgID: xacml.RuleCombFirstApplicable,
+		Target:             xacml.NewTarget("mallory", "weather", ""),
+		Rules:              []xacml.Rule{{RuleID: "deny-mallory:rule", Effect: xacml.EffectDeny}},
+	}
+	if err := fw.AddPolicy(denyPolicy); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		resp, err := fw.Request("mallory", "weather", "read", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Decision.String() != "Deny" {
+			t.Fatalf("decision = %s, want Deny", resp.Decision)
+		}
+	}
+	st, err := cli.GovernorStats()
+	if err != nil {
+		t.Fatalf("GovernorStats: %v", err)
+	}
+	if st.Demotions != 1 || len(st.Subjects) != 1 || !st.Subjects[0].Demoted {
+		t.Fatalf("governor stats = %+v, want mallory demoted", st)
+	}
+	cfg, err := fw.StreamAdmission("weather")
+	if err != nil || cfg.Rate != 40 || cfg.Class != runtime.BestEffort {
+		t.Fatalf("demoted config = %+v, %v", cfg, err)
+	}
+	// The wire stats table reflects the two swaps (manual + governor).
+	rst, err := cli.RuntimeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rst.Streams {
+		if row.Stream == "weather" && row.Reconfigured != 2 {
+			t.Errorf("Reconfigured over the wire = %d, want 2", row.Reconfigured)
+		}
+	}
+
+	// The govern event is on the same chain the PEP audits to.
+	var governs int
+	for _, e := range fw.Audit.Events() {
+		if e.Kind == governor.KindGovern {
+			governs++
+		}
+	}
+	if governs != 1 || audit.VerifyEvents(fw.Audit.Events()) != -1 {
+		t.Errorf("audit chain: %d govern events, verify=%d", governs, audit.VerifyEvents(fw.Audit.Events()))
+	}
+}

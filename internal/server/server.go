@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/governor"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/protocol"
@@ -19,15 +20,17 @@ import (
 
 // Message types of the eXACML+ service.
 const (
-	MsgLoadPolicy   = "exacml.load_policy"
-	MsgRemovePolicy = "exacml.remove_policy"
-	MsgAccess       = "exacml.access"
-	MsgRelease      = "exacml.release"
-	MsgStats        = "exacml.stats"
-	MsgPublish      = "exacml.publish"
-	MsgRuntimeStats = "exacml.runtime_stats"
-	MsgSubscribe    = "exacml.subscribe"
-	MsgStreamTuple  = "exacml.tuple"
+	MsgLoadPolicy    = "exacml.load_policy"
+	MsgRemovePolicy  = "exacml.remove_policy"
+	MsgAccess        = "exacml.access"
+	MsgRelease       = "exacml.release"
+	MsgStats         = "exacml.stats"
+	MsgPublish       = "exacml.publish"
+	MsgRuntimeStats  = "exacml.runtime_stats"
+	MsgSubscribe     = "exacml.subscribe"
+	MsgStreamTuple   = "exacml.tuple"
+	MsgReconfigure   = "exacml.reconfigure"
+	MsgGovernorStats = "exacml.governor_stats"
 )
 
 // LoadPolicyReq carries one policy XML document.
@@ -110,6 +113,42 @@ type RuntimeStatsResp struct {
 	Stats metrics.RuntimeStats `json:"stats"`
 }
 
+// StreamConfigWire is a stream's admission configuration on the wire.
+type StreamConfigWire struct {
+	Class string  `json:"class"`
+	Rate  float64 `json:"rate"`
+	Burst int     `json:"burst,omitempty"`
+}
+
+// toWireConfig converts a runtime config to its wire form.
+func toWireConfig(cfg runtime.StreamConfig) StreamConfigWire {
+	return StreamConfigWire{Class: cfg.Class.String(), Rate: cfg.Rate, Burst: cfg.Burst}
+}
+
+// ReconfigureReq atomically swaps a registered stream's priority class
+// and token-bucket quota without re-registering it (operator
+// operation; the governor performs the same swap autonomously). An
+// empty Class keeps "normal"; Rate 0 removes the quota.
+type ReconfigureReq struct {
+	Stream string  `json:"stream"`
+	Class  string  `json:"class,omitempty"`
+	Rate   float64 `json:"rate,omitempty"`
+	Burst  int     `json:"burst,omitempty"`
+}
+
+// ReconfigureResp reports the configuration swap: what the stream ran
+// under before, and what is now in force.
+type ReconfigureResp struct {
+	Stream string           `json:"stream"`
+	Old    StreamConfigWire `json:"old"`
+	New    StreamConfigWire `json:"new"`
+}
+
+// GovernorStatsResp carries a governor snapshot.
+type GovernorStatsResp struct {
+	Stats governor.Stats `json:"stats"`
+}
+
 // SubscribeReq attaches the connection to a granted stream handle; the
 // server pushes MsgStreamTuple frames with the request's ID until the
 // client disconnects.
@@ -118,19 +157,22 @@ type SubscribeReq struct {
 }
 
 // Publisher is the ingest plane a data server can front: the sharded
-// runtime implements it; a nil publisher leaves the publish and
-// subscribe paths disabled (the classic deployment where data owners
-// and consumers talk to dsmsd directly).
+// runtime implements it; a nil publisher leaves the publish, subscribe
+// and reconfigure paths disabled (the classic deployment where data
+// owners and consumers talk to dsmsd directly).
 type Publisher interface {
 	PublishBatchVerdict(stream string, ts []stream.Tuple) (runtime.PublishVerdict, error)
 	Stats() metrics.RuntimeStats
 	Subscribe(idOrHandle string) (*runtime.Subscription, error)
+	StreamAdmission(stream string) (runtime.StreamConfig, error)
+	Reconfigure(stream string, cfg runtime.StreamConfig) (runtime.StreamConfig, error)
 }
 
 // Server is the data server.
 type Server struct {
 	PEP *xacmlplus.PEP
 	pub Publisher
+	gov *governor.Governor
 	srv *protocol.Server
 }
 
@@ -149,12 +191,18 @@ func New(pep *xacmlplus.PEP, profile *netsim.Profile) *Server {
 	s.srv.Handle(MsgPublish, s.handlePublish)
 	s.srv.Handle(MsgRuntimeStats, s.handleRuntimeStats)
 	s.srv.Handle(MsgSubscribe, s.handleSubscribe)
+	s.srv.Handle(MsgReconfigure, s.handleReconfigure)
+	s.srv.Handle(MsgGovernorStats, s.handleGovernorStats)
 	return s
 }
 
 // AttachPublisher routes the server's publish path through an ingest
 // runtime; call before Listen.
 func (s *Server) AttachPublisher(p Publisher) { s.pub = p }
+
+// AttachGovernor exposes a running accountability governor over
+// MsgGovernorStats; call before Listen.
+func (s *Server) AttachGovernor(g *governor.Governor) { s.gov = g }
 
 // Listen binds the server.
 func (s *Server) Listen(addr string) (string, error) { return s.srv.Listen(addr) }
@@ -269,6 +317,39 @@ func (s *Server) handleRuntimeStats(_ *protocol.Message, _ *protocol.Conn) (any,
 		return nil, fmt.Errorf("server: no ingest runtime attached")
 	}
 	return RuntimeStatsResp{Stats: s.pub.Stats()}, nil
+}
+
+func (s *Server) handleReconfigure(m *protocol.Message, _ *protocol.Conn) (any, error) {
+	if s.pub == nil {
+		return nil, fmt.Errorf("server: no ingest runtime attached")
+	}
+	req, err := protocol.Decode[ReconfigureReq](m)
+	if err != nil {
+		return nil, err
+	}
+	if req.Stream == "" {
+		return nil, protocol.WithCode(protocol.CodeBadRequest, fmt.Errorf("server: reconfigure needs a stream"))
+	}
+	class, err := runtime.ParseClass(req.Class)
+	if err != nil {
+		return nil, protocol.WithCode(protocol.CodeBadRequest, err)
+	}
+	old, err := s.pub.Reconfigure(req.Stream, runtime.StreamConfig{Class: class, Rate: req.Rate, Burst: req.Burst})
+	if err != nil {
+		return nil, err
+	}
+	cur, err := s.pub.StreamAdmission(req.Stream)
+	if err != nil {
+		return nil, err
+	}
+	return ReconfigureResp{Stream: req.Stream, Old: toWireConfig(old), New: toWireConfig(cur)}, nil
+}
+
+func (s *Server) handleGovernorStats(_ *protocol.Message, _ *protocol.Conn) (any, error) {
+	if s.gov == nil {
+		return nil, fmt.Errorf("server: no governor running")
+	}
+	return GovernorStatsResp{Stats: s.gov.Stats()}, nil
 }
 
 // handleSubscribe hijacks the connection, mirroring the dsmsd server:

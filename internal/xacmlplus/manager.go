@@ -101,9 +101,29 @@ func (m *GraphManager) Release(user, streamName string) (string, bool) {
 	return id, true
 }
 
+// Withdrawn identifies one grant removed by a policy change: the query
+// and the (user, stream) pair that held it, so the withdrawal can be
+// attributed in the audit log.
+type Withdrawn struct {
+	QueryID string
+	User    string
+	Stream  string
+}
+
 // OnPolicyRemoved unregisters every query graph spawned by the policy
 // and returns their ids for withdrawal from the back-end engine (§3.3).
 func (m *GraphManager) OnPolicyRemoved(policyID string) []string {
+	grants := m.OnPolicyRemovedGrants(policyID)
+	ids := make([]string, len(grants))
+	for i, g := range grants {
+		ids[i] = g.QueryID
+	}
+	return ids
+}
+
+// OnPolicyRemovedGrants is OnPolicyRemoved with the owning (user,
+// stream) of each withdrawn query, ordered by query id.
+func (m *GraphManager) OnPolicyRemovedGrants(policyID string) []Withdrawn {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	set := m.byPolicy[policyID]
@@ -112,10 +132,13 @@ func (m *GraphManager) OnPolicyRemoved(policyID string) []string {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+	out := make([]Withdrawn, 0, len(ids))
 	for _, id := range ids {
+		g := m.byQuery[id]
+		out = append(out, Withdrawn{QueryID: id, User: g.user, Stream: g.stream})
 		m.removeLocked(id)
 	}
-	return ids
+	return out
 }
 
 // Remove unregisters a single query id (e.g. after an engine-side

@@ -293,16 +293,28 @@ func (p *PEP) Release(user, streamName string) error {
 	return err
 }
 
+// withdrawGrants stops the engine queries of grants killed by a policy
+// change and records one "withdraw" audit event per affected (user,
+// stream) grant — the per-subject signal the accountability governor
+// scores (internal/governor).
+func (p *PEP) withdrawGrants(policyID string, grants []Withdrawn) (ids []string, err error) {
+	ids = make([]string, 0, len(grants))
+	for _, g := range grants {
+		ids = append(ids, g.QueryID)
+		if werr := p.Engine.Withdraw(g.QueryID); werr != nil && err == nil {
+			err = werr
+		}
+		p.auditEvent(audit.Event{Kind: "withdraw", Subject: g.User, Resource: g.Stream,
+			PolicyID: policyID, Detail: g.QueryID})
+	}
+	return ids, err
+}
+
 // RemovePolicy removes a policy from the PDP and immediately withdraws
 // every query graph it spawned (§3.3).
 func (p *PEP) RemovePolicy(policyID string) (withdrawn []string, err error) {
 	p.PDP.RemovePolicy(policyID)
-	ids := p.Manager.OnPolicyRemoved(policyID)
-	for _, id := range ids {
-		if werr := p.Engine.Withdraw(id); werr != nil && err == nil {
-			err = werr
-		}
-	}
+	ids, err := p.withdrawGrants(policyID, p.Manager.OnPolicyRemovedGrants(policyID))
 	p.auditEvent(audit.Event{Kind: "policy-remove", PolicyID: policyID,
 		Detail: fmt.Sprintf("withdrew %v", ids)})
 	return ids, err
@@ -311,12 +323,7 @@ func (p *PEP) RemovePolicy(policyID string) (withdrawn []string, err error) {
 // UpdatePolicy replaces a policy and withdraws the graphs spawned by the
 // previous version (§3.3 treats update like removal plus re-add).
 func (p *PEP) UpdatePolicy(pol *xacml.Policy) (withdrawn []string, err error) {
-	ids := p.Manager.OnPolicyRemoved(pol.PolicyID)
-	for _, id := range ids {
-		if werr := p.Engine.Withdraw(id); werr != nil && err == nil {
-			err = werr
-		}
-	}
+	ids, err := p.withdrawGrants(pol.PolicyID, p.Manager.OnPolicyRemovedGrants(pol.PolicyID))
 	p.PDP.AddPolicy(pol)
 	p.auditEvent(audit.Event{Kind: "policy-load", PolicyID: pol.PolicyID,
 		Detail: fmt.Sprintf("withdrew %v", ids)})

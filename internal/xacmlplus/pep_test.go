@@ -376,7 +376,8 @@ func TestPEPAuditTrail(t *testing.T) {
 	log := audit.NewLog(nil)
 	pep.Audit = log
 
-	// Grant, refusal, release, policy removal.
+	// Grant, refusal, release, re-grant, policy removal (which kills
+	// the live grant, producing a per-subject withdraw event).
 	req := xacml.NewRequest("LTA", "weather", "read")
 	if _, err := pep.HandleRequest(req, nil); err != nil {
 		t.Fatal(err)
@@ -387,13 +388,16 @@ func TestPEPAuditTrail(t *testing.T) {
 	if err := pep.Release("LTA", "weather"); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := pep.HandleRequest(xacml.NewRequest("LTA", "weather", "read"), nil); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := pep.RemovePolicy("nea:weather:lta"); err != nil {
 		t.Fatal(err)
 	}
 
 	events := log.Events()
-	if len(events) != 4 {
-		t.Fatalf("events = %d, want 4", len(events))
+	if len(events) != 6 {
+		t.Fatalf("events = %d, want 6", len(events))
 	}
 	if events[0].Kind != "access" || events[0].Decision != "Permit" || events[0].Handle == "" {
 		t.Errorf("grant event = %+v", events[0])
@@ -404,8 +408,15 @@ func TestPEPAuditTrail(t *testing.T) {
 	if events[2].Kind != "release" || events[2].Subject != "LTA" {
 		t.Errorf("release event = %+v", events[2])
 	}
-	if events[3].Kind != "policy-remove" || events[3].PolicyID != "nea:weather:lta" {
-		t.Errorf("removal event = %+v", events[3])
+	if events[3].Kind != "access" || events[3].Decision != "Permit" {
+		t.Errorf("re-grant event = %+v", events[3])
+	}
+	if events[4].Kind != "withdraw" || events[4].Subject != "LTA" ||
+		events[4].Resource != "weather" || events[4].PolicyID != "nea:weather:lta" {
+		t.Errorf("withdraw event = %+v", events[4])
+	}
+	if events[5].Kind != "policy-remove" || events[5].PolicyID != "nea:weather:lta" {
+		t.Errorf("removal event = %+v", events[5])
 	}
 	if idx := log.Verify(); idx != -1 {
 		t.Errorf("audit chain broken at %d", idx)
