@@ -6,6 +6,7 @@
 //	benchrunner -exp fig7a               # per-request breakdown, 100 requests / 50 policies
 //	benchrunner -exp fig7b               # per-request breakdown, 1500 requests / 1000 policies
 //	benchrunner -exp policyload          # policy loading time statistics
+//	benchrunner -exp engine              # engine hot path: ns/tuple per pipeline × batch size
 //	benchrunner -exp sharded             # sharded ingest runtime throughput matrix
 //	benchrunner -exp admission           # priority classes + quotas under overload
 //	benchrunner -exp remote              # mixed local/remote (dsmsd) shard topology
@@ -33,11 +34,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3|fig6a|fig6b|fig7a|fig7b|policyload|sharded|admission|remote|governor|all")
+	exp := flag.String("exp", "all", "experiment: table3|fig6a|fig6b|fig7a|fig7b|policyload|engine|sharded|admission|remote|governor|all")
 	scale := flag.Int("scale", 1, "shrink the Table 3 workload by this factor")
 	points := flag.Int("points", 20, "CDF sample points")
 	noNet := flag.Bool("no-netsim", false, "disable simulated intranet latency")
 	csvDir := flag.String("csv", "", "also write each figure's raw series as CSV into this directory")
+	engineOut := flag.String("engine-out", "BENCH_ENGINE.json", "where -exp engine writes its JSON report (empty to skip)")
 	flag.Parse()
 
 	if *csvDir != "" {
@@ -148,6 +150,11 @@ func main() {
 			return nil
 		})
 	}
+	if want("engine") {
+		run("Engine hot path: ns/tuple per pipeline × batch size", func() error {
+			return runEngine(*scale, *engineOut)
+		})
+	}
 	if want("sharded") {
 		run("Sharded ingest runtime: shards × batch throughput matrix", func() error {
 			return runSharded(*scale)
@@ -176,7 +183,7 @@ func main() {
 
 func wantKnown(e string) bool {
 	switch e {
-	case "table3", "fig6a", "fig6b", "fig7a", "fig7b", "policyload", "ablation", "sharded", "admission", "remote", "governor", "all":
+	case "table3", "fig6a", "fig6b", "fig7a", "fig7b", "policyload", "ablation", "engine", "sharded", "admission", "remote", "governor", "all":
 		return true
 	}
 	return false

@@ -58,7 +58,7 @@ func TestHoppingTimeWindow(t *testing.T) {
 	for ts := int64(0); ts <= 700; ts += 50 {
 		tu := stream.NewTuple(stream.IntValue(1))
 		tu.ArrivalMillis = ts
-		out, err := op.process(tu)
+		out, err := processOne(op, tu)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -86,7 +86,7 @@ func TestHoppingTupleWindow(t *testing.T) {
 	}
 	var sums []int64
 	for i := int64(0); i < 9; i++ {
-		out, err := op.process(stream.NewTuple(stream.IntValue(i)))
+		out, err := processOne(op, stream.NewTuple(stream.IntValue(i)))
 		if err != nil {
 			t.Fatal(err)
 		}

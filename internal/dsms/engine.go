@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/stream"
@@ -31,23 +32,35 @@ var (
 // deployed query graphs continuously against arriving tuples, and serves
 // each query's output under a stream handle (URI), mirroring how the
 // paper's prototype obtains handles from StreamBase.
+//
+// The publish hot path is batch-native and per-stream: sequence
+// assignment and the deployed-query snapshot live in each inputStream
+// (its own lock plus an atomic snapshot), so concurrent publishers to
+// different streams never contend; the registry lock is only read-held
+// for the name lookup.
 type Engine struct {
 	name  string
-	clock func() int64 // arrival clock in Unix millis; injectable for tests
+	clock atomic.Pointer[func() int64] // arrival clock in Unix millis; injectable for tests
 
-	mu      sync.Mutex
+	mu      sync.RWMutex // guards the registries below
 	streams map[string]*inputStream
 	queries map[string]*deployedQuery
 	byURI   map[string]string // handle URI -> query id
 	nextID  int
 	closed  bool
 
+	// streamsSnap mirrors streams (lower-cased keys) for the lock-free
+	// publish-path lookup; rebuilt under mu on create/drop/close.
+	streamsSnap atomic.Pointer[map[string]*inputStream]
+	closedFlag  atomic.Bool
+
 	// inflight tracks tuples handed to query goroutines but not yet
 	// fully processed, enabling the deterministic Flush used by tests
-	// and benchmarks.
-	inflightMu sync.Mutex
-	inflight   int
-	idle       *sync.Cond
+	// and benchmarks. The counter is atomic; the condvar is only taken
+	// on the zero transition and by Flush itself.
+	inflight atomic.Int64
+	idleMu   sync.Mutex
+	idle     *sync.Cond
 }
 
 // NewEngine creates an engine with the given name (the authority part of
@@ -55,27 +68,89 @@ type Engine struct {
 func NewEngine(name string) *Engine {
 	e := &Engine{
 		name:    name,
-		clock:   func() int64 { return time.Now().UnixMilli() },
 		streams: map[string]*inputStream{},
 		queries: map[string]*deployedQuery{},
 		byURI:   map[string]string{},
 	}
-	e.idle = sync.NewCond(&e.inflightMu)
+	defaultClock := func() int64 { return time.Now().UnixMilli() }
+	e.clock.Store(&defaultClock)
+	e.updateStreamsSnapLocked()
+	e.idle = sync.NewCond(&e.idleMu)
 	return e
+}
+
+// updateStreamsSnapLocked rebuilds the lock-free stream lookup map;
+// the caller holds e.mu for writing (or owns e exclusively).
+func (e *Engine) updateStreamsSnapLocked() {
+	m := make(map[string]*inputStream, len(e.streams))
+	for k, v := range e.streams {
+		m[k] = v
+	}
+	e.streamsSnap.Store(&m)
 }
 
 // SetClock replaces the arrival-time clock (tests use a logical clock).
 func (e *Engine) SetClock(clock func() int64) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.clock = clock
+	e.clock.Store(&clock)
 }
 
+// inputStream is one named stream. The query registry map is guarded
+// by Engine.mu; snap mirrors it for lock-free readers on the publish
+// path. sealMu is the only per-tuple lock a publisher takes, and it is
+// private to the stream: publishers to different streams proceed fully
+// in parallel.
 type inputStream struct {
-	name    string
-	schema  *stream.Schema
-	seq     uint64
-	queries map[string]*deployedQuery
+	name   string
+	schema *stream.Schema
+
+	queries map[string]*deployedQuery        // guarded by Engine.mu
+	snap    atomic.Pointer[[]*deployedQuery] // mirror of queries for seal
+
+	sealMu sync.Mutex
+	seq    uint64
+	gone   bool // set when the stream is dropped; fails in-flight seals
+}
+
+// updateSnapLocked rebuilds the seal-time query snapshot; the caller
+// holds Engine.mu for writing.
+func (is *inputStream) updateSnapLocked() {
+	qs := make([]*deployedQuery, 0, len(is.queries))
+	for _, q := range is.queries {
+		qs = append(qs, q)
+	}
+	is.snap.Store(&qs)
+}
+
+// seal assigns sequence numbers and arrival timestamps to normalized
+// tuples and snapshots the queries deployed on the stream, all in one
+// short per-stream critical section. Normalization happens before
+// seal, outside any lock; a concurrent DropStream (or drop-and-
+// recreate) is caught via the gone flag instead of ingesting into a
+// stale stream.
+func (is *inputStream) seal(clock func() int64, nts []stream.Tuple) ([]*deployedQuery, error) {
+	is.sealMu.Lock()
+	if is.gone {
+		is.sealMu.Unlock()
+		return nil, fmt.Errorf("dsms: stream %q was replaced during ingest", is.name)
+	}
+	seq := is.seq
+	now := int64(-1)
+	for i := range nts {
+		seq++
+		nts[i].Seq = seq
+		if nts[i].ArrivalMillis == 0 {
+			if now < 0 {
+				// One clock read per batch: every unstamped tuple of a
+				// batch arrives at the same engine instant.
+				now = clock()
+			}
+			nts[i].ArrivalMillis = now
+		}
+	}
+	is.seq = seq
+	targets := *is.snap.Load()
+	is.sealMu.Unlock()
+	return targets, nil
 }
 
 // Deployment describes a running continuous query.
@@ -91,14 +166,21 @@ type Deployment struct {
 }
 
 type deployedQuery struct {
-	dep    Deployment
-	graph  *QueryGraph
-	ops    []operator
-	in     chan []stream.Tuple
-	done   chan struct{}
-	subMu  sync.Mutex
-	subs   map[*Subscription]struct{}
-	engine *Engine
+	dep   Deployment
+	graph *QueryGraph
+	pipe  *pipeline
+	in    chan []stream.Tuple
+	done  chan struct{}
+	subMu sync.Mutex
+	subs  map[*Subscription]struct{}
+	// subsClosed (guarded by subMu) marks that Withdraw has closed the
+	// subscriber set: a Subscribe that resolved the query just before
+	// must fail instead of attaching to a dead query forever.
+	subsClosed bool
+	// subsSnap mirrors subs for the per-batch lock-free read in run;
+	// rebuilt under subMu on subscribe/unsubscribe.
+	subsSnap atomic.Pointer[[]*Subscription]
+	engine   *Engine
 
 	// sendMu guards in against the close in Withdraw: senders hold the
 	// read lock, the closer the write lock. The consumer goroutine
@@ -141,16 +223,24 @@ func (s *Subscription) Dropped() uint64 {
 	return s.dropped
 }
 
-func (s *Subscription) push(t stream.Tuple) {
+// pushBatch delivers a whole output batch under one lock acquisition.
+// Per tuple the drop-when-full semantics are unchanged: a tuple that
+// does not fit in the buffer is counted in Dropped, never blocked on.
+func (s *Subscription) pushBatch(ts []stream.Tuple) {
+	if len(ts) == 0 {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return
 	}
-	select {
-	case s.c <- t:
-	default:
-		s.dropped++
+	for _, t := range ts {
+		select {
+		case s.c <- t:
+		default:
+			s.dropped++
+		}
 	}
 }
 
@@ -177,7 +267,10 @@ func (e *Engine) CreateStream(name string, schema *stream.Schema) error {
 	if _, dup := e.streams[key]; dup {
 		return fmt.Errorf("dsms: stream %q %w", name, ErrStreamExists)
 	}
-	e.streams[key] = &inputStream{name: name, schema: schema, queries: map[string]*deployedQuery{}}
+	is := &inputStream{name: name, schema: schema, queries: map[string]*deployedQuery{}}
+	is.updateSnapLocked()
+	e.streams[key] = is
+	e.updateStreamsSnapLocked()
 	return nil
 }
 
@@ -196,7 +289,11 @@ func (e *Engine) DropStream(name string) error {
 		ids = append(ids, id)
 	}
 	delete(e.streams, key)
+	e.updateStreamsSnapLocked()
 	e.mu.Unlock()
+	is.sealMu.Lock()
+	is.gone = true
+	is.sealMu.Unlock()
 	for _, id := range ids {
 		_ = e.Withdraw(id)
 	}
@@ -205,8 +302,8 @@ func (e *Engine) DropStream(name string) error {
 
 // StreamSchema returns the schema of a registered stream.
 func (e *Engine) StreamSchema(name string) (*stream.Schema, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	is, ok := e.streams[strings.ToLower(name)]
 	if !ok {
 		return nil, fmt.Errorf("dsms: %w %q", ErrUnknownStream, name)
@@ -216,8 +313,8 @@ func (e *Engine) StreamSchema(name string) (*stream.Schema, error) {
 
 // Streams lists registered stream names, sorted.
 func (e *Engine) Streams() []string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	out := make([]string, 0, len(e.streams))
 	for _, is := range e.streams {
 		out = append(out, is.name)
@@ -243,7 +340,7 @@ func (e *Engine) Deploy(g *QueryGraph) (Deployment, error) {
 		return Deployment{}, fmt.Errorf("dsms: input stream %q: %w", g.Input, ErrUnknownStream)
 	}
 	gg := g.Clone()
-	ops, outSchema, err := buildPipeline(gg, is.schema)
+	pipe, outSchema, err := buildPipeline(gg, is.schema)
 	if err != nil {
 		return Deployment{}, err
 	}
@@ -258,41 +355,46 @@ func (e *Engine) Deploy(g *QueryGraph) (Deployment, error) {
 	q := &deployedQuery{
 		dep:    dep,
 		graph:  gg,
-		ops:    ops,
+		pipe:   pipe,
 		in:     make(chan []stream.Tuple, 1024),
 		done:   make(chan struct{}),
 		subs:   map[*Subscription]struct{}{},
 		engine: e,
 	}
+	q.updateSubsSnapLocked()
 	e.queries[id] = q
 	e.byURI[dep.Handle] = id
 	is.queries[id] = q
+	is.updateSnapLocked()
 	go q.run()
 	return dep, nil
 }
 
-// run is the query's mailbox loop. Subscribers are snapshotted once
-// per batch so pipeline execution never holds subMu (Subscribe and
-// Unsubscribe stay fast under ingest load); a push racing Unsubscribe
-// is discarded by Subscription.push's own closed check.
+// updateSubsSnapLocked rebuilds the subscriber snapshot; the caller
+// holds subMu.
+func (q *deployedQuery) updateSubsSnapLocked() {
+	subs := make([]*Subscription, 0, len(q.subs))
+	for s := range q.subs {
+		subs = append(subs, s)
+	}
+	q.subsSnap.Store(&subs)
+}
+
+// run is the query's mailbox loop: whole batches flow through the
+// operator chain (two reused buffers per query, no per-tuple slices)
+// and each output batch is delivered to every subscriber under one
+// lock acquisition. Subscribers come from an atomic snapshot so
+// pipeline execution never touches subMu; a push racing Unsubscribe is
+// discarded by pushBatch's own closed check. Operator errors drop the
+// batch's outputs — after deploy-time validation they are unreachable
+// for conforming tuples.
 func (q *deployedQuery) run() {
-	var subs []*Subscription
 	for batch := range q.in {
-		q.subMu.Lock()
-		subs = subs[:0]
-		for s := range q.subs {
-			subs = append(subs, s)
-		}
-		q.subMu.Unlock()
-		for _, t := range batch {
-			outs, err := runPipeline(q.ops, t)
-			if err != nil {
-				continue
-			}
+		subs := *q.subsSnap.Load()
+		outs, err := q.pipe.processBatch(batch, len(subs) > 0)
+		if err == nil {
 			for _, s := range subs {
-				for _, o := range outs {
-					s.push(o)
-				}
+				s.pushBatch(outs)
 			}
 		}
 		q.engine.taskDoneN(len(batch))
@@ -318,6 +420,7 @@ func (e *Engine) Withdraw(idOrHandle string) error {
 	delete(e.byURI, q.dep.Handle)
 	if is, ok := e.streams[strings.ToLower(q.dep.Input)]; ok {
 		delete(is.queries, id)
+		is.updateSnapLocked()
 	}
 	e.mu.Unlock()
 
@@ -331,14 +434,16 @@ func (e *Engine) Withdraw(idOrHandle string) error {
 		s.close()
 	}
 	q.subs = map[*Subscription]struct{}{}
+	q.subsClosed = true
+	q.updateSubsSnapLocked()
 	q.subMu.Unlock()
 	return nil
 }
 
 // Query returns the deployment for an ID or handle.
 func (e *Engine) Query(idOrHandle string) (Deployment, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	id := idOrHandle
 	if mapped, ok := e.byURI[idOrHandle]; ok {
 		id = mapped
@@ -352,97 +457,77 @@ func (e *Engine) Query(idOrHandle string) (Deployment, bool) {
 
 // QueryCount reports the number of running queries.
 func (e *Engine) QueryCount() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return len(e.queries)
 }
 
 // Subscribe attaches a consumer to a query's output stream.
 func (e *Engine) Subscribe(idOrHandle string) (*Subscription, error) {
-	e.mu.Lock()
+	e.mu.RLock()
 	id := idOrHandle
 	if mapped, ok := e.byURI[idOrHandle]; ok {
 		id = mapped
 	}
 	q, ok := e.queries[id]
-	e.mu.Unlock()
+	e.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("dsms: %w %q", ErrUnknownQuery, idOrHandle)
 	}
 	c := make(chan stream.Tuple, DefaultSubscriptionBuffer)
 	s := &Subscription{C: c, c: c}
 	q.subMu.Lock()
+	if q.subsClosed {
+		// The query was withdrawn between the registry lookup and here.
+		q.subMu.Unlock()
+		return nil, fmt.Errorf("dsms: %w %q", ErrUnknownQuery, idOrHandle)
+	}
 	q.subs[s] = struct{}{}
+	q.updateSubsSnapLocked()
 	q.subMu.Unlock()
 	return s, nil
 }
 
 // Unsubscribe detaches a consumer.
 func (e *Engine) Unsubscribe(idOrHandle string, s *Subscription) {
-	e.mu.Lock()
+	e.mu.RLock()
 	id := idOrHandle
 	if mapped, ok := e.byURI[idOrHandle]; ok {
 		id = mapped
 	}
 	q, ok := e.queries[id]
-	e.mu.Unlock()
+	e.mu.RUnlock()
 	if !ok {
 		s.close()
 		return
 	}
 	q.subMu.Lock()
 	delete(q.subs, s)
+	q.updateSubsSnapLocked()
 	q.subMu.Unlock()
 	s.close()
 }
 
-// lookupSchema resolves a stream's schema under the engine lock.
-func (e *Engine) lookupSchema(streamName string) (*stream.Schema, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
-		return nil, fmt.Errorf("dsms: engine closed")
-	}
-	is, ok := e.streams[strings.ToLower(streamName)]
+// lookupStream resolves a stream from the atomic registry snapshot —
+// no lock on the publish path. The raw name is tried first so the
+// common already-lowercase case skips strings.ToLower.
+func (e *Engine) lookupStream(streamName string) (*inputStream, error) {
+	m := *e.streamsSnap.Load()
+	is, ok := m[streamName]
 	if !ok {
+		is, ok = m[strings.ToLower(streamName)]
+	}
+	if !ok {
+		if e.closedFlag.Load() {
+			return nil, fmt.Errorf("dsms: engine closed")
+		}
 		return nil, fmt.Errorf("dsms: %w %q", ErrUnknownStream, streamName)
 	}
-	return is.schema, nil
+	return is, nil
 }
 
-// seal assigns sequence numbers and arrival timestamps to normalized
-// tuples and snapshots the queries deployed on the stream, all in one
-// short critical section. Normalization happens before seal, outside
-// the lock; schema is the schema the tuples were normalized against,
-// so a concurrent drop-and-recreate with a different schema is caught
-// instead of ingesting stale-shaped tuples.
-func (e *Engine) seal(streamName string, schema *stream.Schema, nts []stream.Tuple) ([]*deployedQuery, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
-		return nil, fmt.Errorf("dsms: engine closed")
-	}
-	// Re-resolve: the stream may have been dropped while normalizing.
-	is, ok := e.streams[strings.ToLower(streamName)]
-	if !ok {
-		return nil, fmt.Errorf("dsms: %w %q", ErrUnknownStream, streamName)
-	}
-	if is.schema != schema {
-		return nil, fmt.Errorf("dsms: stream %q was replaced during ingest", streamName)
-	}
-	for i := range nts {
-		is.seq++
-		nts[i].Seq = is.seq
-		if nts[i].ArrivalMillis == 0 {
-			nts[i].ArrivalMillis = e.clock()
-		}
-	}
-	targets := make([]*deployedQuery, 0, len(is.queries))
-	for _, q := range is.queries {
-		targets = append(targets, q)
-	}
-	return targets, nil
-}
+// clockFn returns the current arrival clock.
+func (e *Engine) clockFn() func() int64 { return *e.clock.Load() }
 
 // dispatch hands sealed tuples to the snapshot of deployed queries as
 // one batch per query.
@@ -459,79 +544,64 @@ func (e *Engine) dispatch(targets []*deployedQuery, nts []stream.Tuple) {
 
 // Ingest appends a tuple to a named input stream, assigning its sequence
 // number and arrival timestamp, and dispatches it to every deployed
-// query on that stream. The expensive per-tuple normalization runs
-// outside the engine lock so concurrent publishers only serialize on
-// sequence assignment.
+// query on that stream. The expensive per-tuple validation runs outside
+// any lock; concurrent publishers to the same stream only serialize on
+// that stream's sequence assignment.
+//
+// Like IngestBatch, the engine takes ownership of the tuple's value
+// slice: callers must not mutate t.Values after a successful Ingest.
+// (Non-canonical tuples are still normalized into a fresh copy.)
 func (e *Engine) Ingest(streamName string, t stream.Tuple) error {
-	schema, err := e.lookupSchema(streamName)
-	if err != nil {
-		return err
-	}
-	nt, err := t.Normalize(schema)
-	if err != nil {
-		return err
-	}
-	one := [1]stream.Tuple{nt}
-	targets, err := e.seal(streamName, schema, one[:])
-	if err != nil {
-		return err
-	}
-	e.dispatch(targets, one[:])
-	return nil
+	one := make([]stream.Tuple, 1)
+	one[0] = t
+	return e.ingestBatch(streamName, one, false, true)
 }
 
 // IngestBatch appends a batch of tuples to a named input stream with a
-// single pass through the engine lock, preserving batch order. The
-// batch is validated as a whole: if any tuple fails normalization, no
-// tuple of the batch is ingested.
+// single pass through the stream's seal lock, preserving batch order.
+// The batch is validated as a whole: if any tuple fails normalization,
+// no tuple of the batch is ingested.
 //
 // The engine takes ownership of the tuples' value slices: callers must
 // not mutate a tuple's Values after a successful IngestBatch. (Ingest
-// keeps the seed's copy-on-ingest semantics for single tuples.)
+// has the same ownership contract for its single tuple.)
 func (e *Engine) IngestBatch(streamName string, ts []stream.Tuple) error {
-	return e.ingestBatch(streamName, ts, false)
+	return e.ingestBatch(streamName, ts, false, false)
 }
 
 // IngestBatchPrevalidated is IngestBatch without the per-tuple
 // conformance walk, for callers that already validated the batch
 // against the stream's current schema (the sharded runtime checks at
-// publish time; seal catches a schema swapped in between). Tuples with
+// publish time; seal catches a stream swapped in between). Tuples with
 // the wrong arity for the current schema fail the batch rather than
 // corrupt it.
 func (e *Engine) IngestBatchPrevalidated(streamName string, ts []stream.Tuple) error {
-	return e.ingestBatch(streamName, ts, true)
+	return e.ingestBatch(streamName, ts, true, false)
 }
 
-func (e *Engine) ingestBatch(streamName string, ts []stream.Tuple, prevalidated bool) error {
+// IngestBatchOwned is IngestBatchPrevalidated for callers that hand
+// the batch over entirely: the engine takes ownership of the slice and
+// its tuples (headers included — sequence numbers and arrival times
+// are written in place), so an already-canonical batch flows to the
+// query mailboxes with zero copying and zero allocation. The shard
+// drain loop feeds its batches straight through here.
+func (e *Engine) IngestBatchOwned(streamName string, ts []stream.Tuple) error {
+	return e.ingestBatch(streamName, ts, true, true)
+}
+
+func (e *Engine) ingestBatch(streamName string, ts []stream.Tuple, prevalidated, owned bool) error {
 	if len(ts) == 0 {
 		return nil
 	}
-	schema, err := e.lookupSchema(streamName)
+	is, err := e.lookupStream(streamName)
 	if err != nil {
 		return err
 	}
-	nts := make([]stream.Tuple, len(ts))
-	for i, t := range ts {
-		if prevalidated {
-			if len(t.Values) != schema.Len() {
-				return fmt.Errorf("dsms: tuple %d: arity %d != schema arity %d", i, len(t.Values), schema.Len())
-			}
-		} else if err := t.Conforms(schema); err != nil {
-			return fmt.Errorf("dsms: tuple %d: %w", i, err)
-		}
-		if t.Canonical(schema) {
-			// Fast path: no coercion needed, adopt the value slice
-			// without cloning.
-			nts[i] = t
-			continue
-		}
-		nt, err := t.Normalize(schema)
-		if err != nil {
-			return fmt.Errorf("dsms: tuple %d: %w", i, err)
-		}
-		nts[i] = nt
+	nts, err := stream.NormalizeBatch(is.schema, ts, prevalidated, owned)
+	if err != nil {
+		return fmt.Errorf("dsms: %w", err)
 	}
-	targets, err := e.seal(streamName, schema, nts)
+	targets, err := is.seal(e.clockFn(), nts)
 	if err != nil {
 		return err
 	}
@@ -540,28 +610,28 @@ func (e *Engine) ingestBatch(streamName string, ts []stream.Tuple, prevalidated 
 }
 
 func (e *Engine) taskAddN(n int) {
-	e.inflightMu.Lock()
-	e.inflight += n
-	e.inflightMu.Unlock()
+	e.inflight.Add(int64(n))
 }
 
 func (e *Engine) taskDoneN(n int) {
-	e.inflightMu.Lock()
-	e.inflight -= n
-	if e.inflight == 0 {
-		e.idle.Broadcast()
+	if n == 0 {
+		return
 	}
-	e.inflightMu.Unlock()
+	if e.inflight.Add(-int64(n)) == 0 {
+		e.idleMu.Lock()
+		e.idle.Broadcast()
+		e.idleMu.Unlock()
+	}
 }
 
 // Flush blocks until every ingested tuple has been fully processed by
 // all query pipelines. It makes tests and benchmarks deterministic.
 func (e *Engine) Flush() {
-	e.inflightMu.Lock()
-	for e.inflight != 0 {
+	e.idleMu.Lock()
+	for e.inflight.Load() != 0 {
 		e.idle.Wait()
 	}
-	e.inflightMu.Unlock()
+	e.idleMu.Unlock()
 }
 
 // Close stops all queries and rejects further use.
@@ -572,11 +642,25 @@ func (e *Engine) Close() {
 		return
 	}
 	e.closed = true
+	e.closedFlag.Store(true)
+	empty := map[string]*inputStream{}
+	e.streamsSnap.Store(&empty)
 	ids := make([]string, 0, len(e.queries))
 	for id := range e.queries {
 		ids = append(ids, id)
 	}
+	streams := make([]*inputStream, 0, len(e.streams))
+	for _, is := range e.streams {
+		streams = append(streams, is)
+	}
 	e.mu.Unlock()
+	// Fail publishers that resolved a stream before the snapshot was
+	// cleared: their in-flight seal must error, not silently drop.
+	for _, is := range streams {
+		is.sealMu.Lock()
+		is.gone = true
+		is.sealMu.Unlock()
+	}
 	for _, id := range ids {
 		_ = e.Withdraw(id)
 	}
@@ -587,11 +671,11 @@ func (e *Engine) Close() {
 // the reconstruction-attack demo and examples; it does not touch the
 // engine registry.
 func RunGraphOnSlice(g *QueryGraph, schema *stream.Schema, in []stream.Tuple) ([]stream.Tuple, *stream.Schema, error) {
-	ops, out, err := buildPipeline(g.Clone(), schema)
+	pipe, out, err := buildPipeline(g.Clone(), schema)
 	if err != nil {
 		return nil, nil, err
 	}
-	var outs []stream.Tuple
+	nts := make([]stream.Tuple, 0, len(in))
 	for i, t := range in {
 		nt, err := t.Normalize(schema)
 		if err != nil {
@@ -600,10 +684,14 @@ func RunGraphOnSlice(g *QueryGraph, schema *stream.Schema, in []stream.Tuple) ([
 		if nt.Seq == 0 {
 			nt.Seq = uint64(i + 1)
 		}
-		res, err := runPipeline(ops, nt)
-		if err != nil {
-			return nil, nil, err
-		}
+		nts = append(nts, nt)
+	}
+	res, err := pipe.processBatch(nts, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	var outs []stream.Tuple
+	if len(res) > 0 {
 		outs = append(outs, res...)
 	}
 	return outs, out, nil

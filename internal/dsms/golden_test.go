@@ -1,0 +1,367 @@
+package dsms
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// refAggregate is a line-for-line copy of the pre-refactor
+// (slice-buffer, recompute-per-close) aggregate operator. It is the
+// golden reference: the incremental ring-buffer implementation must
+// produce bit-identical emissions on any input.
+type refAggregate struct {
+	win    WindowSpec
+	aggs   []AggSpec
+	poss   []int
+	types  []stream.FieldType
+	out    *stream.Schema
+	buf    []stream.Tuple
+	tstart int64
+	skip   int64
+}
+
+func newRefAggregate(b *Box, in *stream.Schema) (*refAggregate, error) {
+	out, err := b.OutputSchema(in)
+	if err != nil {
+		return nil, err
+	}
+	op := &refAggregate{win: b.Window, aggs: b.Aggs, out: out, tstart: -1}
+	for _, a := range b.Aggs {
+		pos, ft, ok := in.Lookup(a.Attr)
+		if !ok {
+			return nil, fmt.Errorf("unknown attribute %q", a.Attr)
+		}
+		op.poss = append(op.poss, pos)
+		op.types = append(op.types, ft)
+	}
+	return op, nil
+}
+
+func (a *refAggregate) process(t stream.Tuple) ([]stream.Tuple, error) {
+	if a.win.Type == WindowTuple {
+		return a.processTupleWindow(t)
+	}
+	return a.processTimeWindow(t)
+}
+
+func (a *refAggregate) processTupleWindow(t stream.Tuple) ([]stream.Tuple, error) {
+	if a.skip > 0 {
+		a.skip--
+		return nil, nil
+	}
+	a.buf = append(a.buf, t)
+	if int64(len(a.buf)) < a.win.Size {
+		return nil, nil
+	}
+	ot, err := a.emit(a.buf[:a.win.Size])
+	if err != nil {
+		return nil, err
+	}
+	if a.win.Step >= int64(len(a.buf)) {
+		a.skip = a.win.Step - int64(len(a.buf))
+		a.buf = a.buf[:0]
+	} else {
+		a.buf = append(a.buf[:0:0], a.buf[a.win.Step:]...)
+	}
+	return []stream.Tuple{ot}, nil
+}
+
+func (a *refAggregate) processTimeWindow(t stream.Tuple) ([]stream.Tuple, error) {
+	ts := t.ArrivalMillis
+	if a.tstart < 0 {
+		a.tstart = ts
+	}
+	var out []stream.Tuple
+	for ts >= a.tstart+a.win.Size {
+		var window []stream.Tuple
+		for _, bt := range a.buf {
+			if bt.ArrivalMillis >= a.tstart && bt.ArrivalMillis < a.tstart+a.win.Size {
+				window = append(window, bt)
+			}
+		}
+		if len(window) > 0 {
+			ot, err := a.emit(window)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ot)
+		}
+		a.tstart += a.win.Step
+		keep := a.buf[:0]
+		for _, bt := range a.buf {
+			if bt.ArrivalMillis >= a.tstart {
+				keep = append(keep, bt)
+			}
+		}
+		a.buf = keep
+	}
+	a.buf = append(a.buf, t)
+	return out, nil
+}
+
+func (a *refAggregate) emit(window []stream.Tuple) (stream.Tuple, error) {
+	vals := make([]stream.Value, len(a.aggs))
+	for i, spec := range a.aggs {
+		v, err := computeAggregate(spec.Func, window, a.poss[i], a.types[i])
+		if err != nil {
+			return stream.Tuple{}, err
+		}
+		want := a.out.Field(i).Type
+		if !v.IsNull() && v.Type() != want {
+			cv, err := v.CoerceTo(want)
+			if err == nil {
+				v = cv
+			}
+		}
+		vals[i] = v
+	}
+	out := stream.NewTuple(vals...)
+	if n := len(window); n > 0 {
+		out.ArrivalMillis = window[n-1].ArrivalMillis
+		out.Seq = window[n-1].Seq
+	}
+	return out, nil
+}
+
+// goldenSchema has one column of every aggregatable flavour.
+func goldenSchema() *stream.Schema {
+	return stream.MustSchema(
+		stream.Field{Name: "i", Type: stream.TypeInt},
+		stream.Field{Name: "d", Type: stream.TypeDouble},
+		stream.Field{Name: "s", Type: stream.TypeString},
+		stream.Field{Name: "t", Type: stream.TypeTimestamp},
+	)
+}
+
+// goldenStream builds a randomized input: values (with nulls sprinkled
+// in), monotone or out-of-order arrivals.
+func goldenStream(rng *rand.Rand, n int, outOfOrder bool) []stream.Tuple {
+	tuples := make([]stream.Tuple, n)
+	ts := int64(1)
+	for i := range tuples {
+		mk := func(v stream.Value) stream.Value {
+			if rng.Intn(10) == 0 {
+				return stream.Null
+			}
+			return v
+		}
+		tuples[i] = stream.NewTuple(
+			mk(stream.IntValue(int64(rng.Intn(2000)-1000))),
+			mk(stream.DoubleValue(rng.NormFloat64()*100)),
+			mk(stream.StringValue(fmt.Sprintf("s%03d", rng.Intn(50)))),
+			mk(stream.TimestampMillis(int64(rng.Intn(100000)))),
+		)
+		step := int64(rng.Intn(40))
+		if outOfOrder && rng.Intn(4) == 0 {
+			step = -step
+		}
+		ts += step
+		if ts < 1 {
+			ts = 1
+		}
+		tuples[i].ArrivalMillis = ts
+		tuples[i].Seq = uint64(i + 1)
+	}
+	return tuples
+}
+
+// valuesIdentical requires bit-level equality, not the numeric
+// cross-type equality of Value.Equal: the refactor must not change the
+// type OR the exact payload of any emission.
+func valuesIdentical(a, b stream.Value) bool { return a == b }
+
+// TestAggregateGoldenRandomized drives the incremental aggregate and
+// the pre-refactor reference over the same randomized streams across
+// window types, sizes, steps (including step ≪ size and hopping
+// step > size) and every aggregate function, requiring identical
+// emissions: same count, same values bit for bit, same provenance.
+func TestAggregateGoldenRandomized(t *testing.T) {
+	specs := []AggSpec{
+		{Attr: "i", Func: AggSum},
+		{Attr: "i", Func: AggMin},
+		{Attr: "d", Func: AggAvg},
+		{Attr: "d", Func: AggSum},
+		{Attr: "d", Func: AggMax},
+		{Attr: "s", Func: AggMax},
+		{Attr: "s", Func: AggMin},
+		{Attr: "t", Func: AggFirstVal},
+		{Attr: "i", Func: AggLastVal},
+		{Attr: "s", Func: AggCount},
+	}
+	windows := []WindowSpec{
+		{Type: WindowTuple, Size: 1, Step: 1},
+		{Type: WindowTuple, Size: 5, Step: 2},
+		{Type: WindowTuple, Size: 64, Step: 1}, // step ≪ size
+		{Type: WindowTuple, Size: 3, Step: 7},  // hopping
+		{Type: WindowTime, Size: 100, Step: 100},
+		{Type: WindowTime, Size: 500, Step: 25}, // step ≪ size
+		{Type: WindowTime, Size: 50, Step: 200}, // hopping
+	}
+	schema := goldenSchema()
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, ooo := range []bool{false, true} {
+			input := goldenStream(rand.New(rand.NewSource(seed)), 600, ooo)
+			for _, win := range windows {
+				name := fmt.Sprintf("seed=%d/ooo=%v/%s", seed, ooo, win)
+				t.Run(name, func(t *testing.T) {
+					box := NewAggregateBox(win, specs...)
+					ref, err := newRefAggregate(box, schema)
+					if err != nil {
+						t.Fatal(err)
+					}
+					op, err := newOperator(box, schema)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var want, got []stream.Tuple
+					for _, tu := range input {
+						w, err := ref.process(tu)
+						if err != nil {
+							t.Fatalf("ref: %v", err)
+						}
+						want = append(want, w...)
+						g, err := processOne(op, tu)
+						if err != nil {
+							t.Fatalf("new: %v", err)
+						}
+						got = append(got, g...)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("emitted %d windows, reference emitted %d", len(got), len(want))
+					}
+					for i := range want {
+						if got[i].Seq != want[i].Seq || got[i].ArrivalMillis != want[i].ArrivalMillis {
+							t.Fatalf("window %d provenance: got (seq=%d,ts=%d) want (seq=%d,ts=%d)",
+								i, got[i].Seq, got[i].ArrivalMillis, want[i].Seq, want[i].ArrivalMillis)
+						}
+						for k := range want[i].Values {
+							if !valuesIdentical(got[i].Values[k], want[i].Values[k]) {
+								t.Fatalf("window %d, agg %s: got %v (%v) want %v (%v)",
+									i, specs[k], got[i].Values[k], got[i].Values[k].Type(),
+									want[i].Values[k], want[i].Values[k].Type())
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestTimeWindowCatchUpGap is the O(n²) regression scenario: a dense
+// burst, then one tuple far in the future that closes thousands of
+// overlapping windows at once (step ≪ size). The old implementation
+// re-filtered the whole buffer once per close; the new one must both
+// finish fast (the empty-window jump) and agree with the reference.
+func TestTimeWindowCatchUpGap(t *testing.T) {
+	schema := goldenSchema()
+	box := NewAggregateBox(
+		WindowSpec{Type: WindowTime, Size: 1000, Step: 2}, // step ≪ size
+		AggSpec{Attr: "i", Func: AggSum},
+		AggSpec{Attr: "d", Func: AggAvg},
+		AggSpec{Attr: "i", Func: AggCount},
+	)
+	ref, err := newRefAggregate(box, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := newOperator(box, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var input []stream.Tuple
+	mk := func(ts int64, v int64) stream.Tuple {
+		tu := stream.NewTuple(
+			stream.IntValue(v), stream.DoubleValue(float64(v)),
+			stream.StringValue("x"), stream.TimestampMillis(ts),
+		)
+		tu.ArrivalMillis = ts
+		tu.Seq = uint64(len(input) + 1)
+		return tu
+	}
+	// Dense burst covering several overlapping windows.
+	for ts := int64(1); ts <= 3000; ts += 3 {
+		input = append(input, mk(ts, ts%97))
+	}
+	// A long gap: the single next arrival closes ~500k window positions.
+	input = append(input, mk(2_000_000, 7))
+	// And a trailing burst to check state survived the jump.
+	for ts := int64(2_000_001); ts <= 2_002_000; ts += 5 {
+		input = append(input, mk(ts, ts%89))
+	}
+	var want, got []stream.Tuple
+	for _, tu := range input {
+		w, err := ref.process(tu)
+		if err != nil {
+			t.Fatalf("ref: %v", err)
+		}
+		want = append(want, w...)
+		g, err := processOne(op, tu)
+		if err != nil {
+			t.Fatalf("new: %v", err)
+		}
+		got = append(got, g...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("emitted %d windows, reference emitted %d", len(got), len(want))
+	}
+	for i := range want {
+		for k := range want[i].Values {
+			if !valuesIdentical(got[i].Values[k], want[i].Values[k]) {
+				t.Fatalf("window %d value %d: got %v want %v", i, k, got[i].Values[k], want[i].Values[k])
+			}
+		}
+	}
+}
+
+// TestTupleWindowHugeIntSums pins the 2^53 degradation path: once a
+// value or running sum leaves float64's exact-integer range the
+// incremental sum flips to rescan-at-emit, so emissions still match
+// the reference's per-window left-to-right scan bit for bit.
+func TestTupleWindowHugeIntSums(t *testing.T) {
+	schema := stream.MustSchema(stream.Field{Name: "i", Type: stream.TypeInt})
+	box := NewAggregateBox(
+		WindowSpec{Type: WindowTuple, Size: 4, Step: 1},
+		AggSpec{Attr: "i", Func: AggSum},
+		AggSpec{Attr: "i", Func: AggAvg},
+	)
+	ref, err := newRefAggregate(box, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := newOperator(box, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []int64{
+		1, 2, 3, 1 << 60, (1 << 60) + 1, 5, -(1 << 61), 9,
+		(1 << 53) - 1, 1, 1, 1, 1 << 53, 7, -(1 << 53), 2,
+	}
+	for i, v := range vals {
+		tu := stream.NewTuple(stream.IntValue(v))
+		tu.Seq = uint64(i + 1)
+		tu.ArrivalMillis = int64(i + 1)
+		w, err := ref.process(tu)
+		if err != nil {
+			t.Fatalf("ref: %v", err)
+		}
+		g, err := processOne(op, tu)
+		if err != nil {
+			t.Fatalf("new: %v", err)
+		}
+		if len(g) != len(w) {
+			t.Fatalf("tuple %d: emitted %d windows, reference %d", i, len(g), len(w))
+		}
+		for j := range w {
+			for k := range w[j].Values {
+				if !valuesIdentical(g[j].Values[k], w[j].Values[k]) {
+					t.Fatalf("tuple %d window %d agg %d: got %v want %v",
+						i, j, k, g[j].Values[k], w[j].Values[k])
+				}
+			}
+		}
+	}
+}

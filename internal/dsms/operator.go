@@ -9,11 +9,17 @@ import (
 
 // operator is a runtime instance of a Box bound to a concrete input
 // schema. Operators are single-goroutine state machines: the engine
-// guarantees process is never called concurrently for one operator.
+// guarantees processBatch is never called concurrently for one
+// operator.
 type operator interface {
-	// process consumes one input tuple and returns zero or more output
-	// tuples.
-	process(t stream.Tuple) ([]stream.Tuple, error)
+	// processBatch consumes a batch of input tuples and returns the
+	// output batch. The returned slice may alias in (filter compacts in
+	// place) or operator-owned scratch storage, and is only valid until
+	// the next processBatch call on the same operator. retain signals
+	// that the outputs escape the pipeline (a subscriber or an offline
+	// caller holds them beyond the batch): operators that hand out
+	// reusable value storage must then allocate fresh storage instead.
+	processBatch(in []stream.Tuple, retain bool) ([]stream.Tuple, error)
 	// outSchema is the operator's output schema.
 	outSchema() *stream.Schema
 }
@@ -26,9 +32,25 @@ func newOperator(b *Box, in *stream.Schema) (operator, error) {
 	}
 	switch b.Kind {
 	case BoxFilter:
-		return &filterOp{cond: b.Condition, schema: in}, nil
+		f := &filterOp{schema: in}
+		if b.Condition != nil {
+			bound, err := expr.Bind(b.Condition, in)
+			if err != nil {
+				return nil, fmt.Errorf("dsms: filter: %w", err)
+			}
+			f.bound = bound
+		}
+		return f, nil
 	case BoxMap:
-		return &mapOp{attrs: b.Attrs, in: in, out: out}, nil
+		poss := make([]int, len(b.Attrs))
+		for i, attr := range b.Attrs {
+			pos, _, ok := in.Lookup(attr)
+			if !ok {
+				return nil, fmt.Errorf("dsms: map references unknown attribute %q", attr)
+			}
+			poss[i] = pos
+		}
+		return &mapOp{poss: poss, out: out}, nil
 	case BoxAggregate:
 		return newAggregateOp(b, in, out)
 	default:
@@ -36,200 +58,157 @@ func newOperator(b *Box, in *stream.Schema) (operator, error) {
 	}
 }
 
+// pipeline is the compiled operator chain for one deployed query plus
+// the reusable batch buffer that lets whole mailbox batches flow
+// through the chain without per-tuple slice allocations.
+type pipeline struct {
+	ops []operator
+	// escapes[i] reports whether op i's output tuples reach the
+	// pipeline consumer without passing a downstream aggregate.
+	// Aggregates copy the attribute values they buffer, so they are a
+	// retention barrier: anything before one may reuse value arenas
+	// freely even when the final outputs are retained.
+	escapes []bool
+	// copyIn is set when the first in-place operator (filter) runs
+	// directly on the incoming batch, which is shared between all
+	// queries on the stream and therefore must not be mutated.
+	copyIn bool
+	buf    []stream.Tuple
+}
+
 // buildPipeline instantiates the whole chain for a graph.
-func buildPipeline(g *QueryGraph, in *stream.Schema) ([]operator, *stream.Schema, error) {
-	ops := make([]operator, 0, len(g.Boxes))
+func buildPipeline(g *QueryGraph, in *stream.Schema) (*pipeline, *stream.Schema, error) {
+	p := &pipeline{
+		ops:     make([]operator, 0, len(g.Boxes)),
+		escapes: make([]bool, len(g.Boxes)),
+	}
 	cur := in
 	for _, b := range g.Boxes {
 		op, err := newOperator(b, cur)
 		if err != nil {
 			return nil, nil, err
 		}
-		ops = append(ops, op)
+		p.ops = append(p.ops, op)
 		cur = op.outSchema()
 	}
-	return ops, cur, nil
+	hasAgg := false
+	for i := len(p.ops) - 1; i >= 0; i-- {
+		p.escapes[i] = !hasAgg
+		if _, ok := p.ops[i].(*aggregateOp); ok {
+			hasAgg = true
+		}
+	}
+	// The shared input batch stays aliased through every leading filter
+	// (a filter's output IS its input, compacted or passed through), so
+	// the batch needs a private copy iff any filter with a real
+	// predicate runs before the first map/aggregate — those write into
+	// operator-owned scratch and end the aliasing.
+	for _, op := range p.ops {
+		f, ok := op.(*filterOp)
+		if !ok {
+			break
+		}
+		if f.bound != nil {
+			p.copyIn = true
+			break
+		}
+	}
+	return p, cur, nil
 }
 
-// runPipeline pushes one tuple through a chain of operators.
-func runPipeline(ops []operator, t stream.Tuple) ([]stream.Tuple, error) {
-	batch := []stream.Tuple{t}
-	for _, op := range ops {
-		var next []stream.Tuple
-		for _, tu := range batch {
-			out, err := op.process(tu)
-			if err != nil {
-				return nil, err
-			}
-			next = append(next, out...)
+// processBatch pushes a whole batch through the chain using the
+// pipeline's reused buffers. The returned slice is valid until the
+// next call; callers that keep tuples longer must pass retain (value
+// storage is then not recycled) and copy the slice header themselves.
+func (p *pipeline) processBatch(batch []stream.Tuple, retain bool) ([]stream.Tuple, error) {
+	cur := batch
+	if p.copyIn {
+		p.buf = append(p.buf[:0], batch...)
+		cur = p.buf
+	}
+	for i, op := range p.ops {
+		out, err := op.processBatch(cur, retain && p.escapes[i])
+		if err != nil {
+			return nil, err
 		}
-		if len(next) == 0 {
+		if len(out) == 0 {
 			return nil, nil
 		}
-		batch = next
+		cur = out
 	}
-	return batch, nil
+	return cur, nil
 }
 
-// filterOp drops tuples that do not satisfy the condition.
+// filterOp drops tuples that do not satisfy the condition, compacting
+// the batch in place: zero allocations on the hot path. The condition
+// is compiled against the input schema at build time (expr.Bind) so
+// evaluation does no per-tuple attribute-name lookups; a nil bound
+// means no condition — the batch passes through untouched.
 type filterOp struct {
-	cond   expr.Node
+	bound  *expr.Bound
 	schema *stream.Schema
 }
 
-func (f *filterOp) process(t stream.Tuple) ([]stream.Tuple, error) {
-	if f.cond == nil {
-		return []stream.Tuple{t}, nil
+func (f *filterOp) processBatch(in []stream.Tuple, _ bool) ([]stream.Tuple, error) {
+	if f.bound == nil {
+		return in, nil
 	}
-	ok, err := expr.Eval(f.cond, f.schema, t)
-	if err != nil {
-		return nil, err
+	out := in[:0]
+	for _, t := range in {
+		ok, err := f.bound.Eval(t)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, t)
+		}
 	}
-	if !ok {
-		return nil, nil
-	}
-	return []stream.Tuple{t}, nil
+	return out, nil
 }
 
 func (f *filterOp) outSchema() *stream.Schema { return f.schema }
 
-// mapOp projects tuples onto a subset of attributes.
+// mapOp projects tuples onto a subset of attributes. Attribute
+// positions are resolved once at build time; per batch the projected
+// value slices are carved out of one contiguous arena, so the steady
+// state allocates nothing.
 type mapOp struct {
-	attrs []string
-	in    *stream.Schema
+	poss  []int
 	out   *stream.Schema
+	hdrs  []stream.Tuple
+	arena []stream.Value
 }
 
-func (m *mapOp) process(t stream.Tuple) ([]stream.Tuple, error) {
-	p, err := t.Project(m.in, m.attrs)
-	if err != nil {
-		return nil, err
+func (m *mapOp) processBatch(in []stream.Tuple, retain bool) ([]stream.Tuple, error) {
+	need := len(in) * len(m.poss)
+	arena := m.arena
+	if retain || cap(arena) < need {
+		// Retained outputs keep pointing into the arena, so hand this
+		// one over and start fresh next call.
+		arena = make([]stream.Value, 0, need)
+	} else {
+		arena = arena[:0]
 	}
-	return []stream.Tuple{p}, nil
+	if cap(m.hdrs) < len(in) {
+		m.hdrs = make([]stream.Tuple, 0, len(in))
+	}
+	out := m.hdrs[:0]
+	for _, t := range in {
+		base := len(arena)
+		for _, p := range m.poss {
+			arena = append(arena, t.Values[p])
+		}
+		out = append(out, stream.Tuple{
+			Values:        arena[base:len(arena):len(arena)],
+			ArrivalMillis: t.ArrivalMillis,
+			Seq:           t.Seq,
+		})
+	}
+	m.hdrs = out
+	if !retain {
+		m.arena = arena
+	}
+	return out, nil
 }
 
 func (m *mapOp) outSchema() *stream.Schema { return m.out }
-
-// aggregateOp maintains the sliding window and emits one output tuple
-// per window close.
-type aggregateOp struct {
-	win    WindowSpec
-	aggs   []AggSpec
-	poss   []int // attribute positions in input schema
-	types  []stream.FieldType
-	in     *stream.Schema
-	out    *stream.Schema
-	buf    []stream.Tuple
-	tstart int64 // start of current time window (millis); -1 = unset
-	skip   int64 // tuples still to discard after a hop (step > size)
-}
-
-func newAggregateOp(b *Box, in, out *stream.Schema) (*aggregateOp, error) {
-	op := &aggregateOp{win: b.Window, aggs: b.Aggs, in: in, out: out, tstart: -1}
-	for _, a := range b.Aggs {
-		pos, ft, ok := in.Lookup(a.Attr)
-		if !ok {
-			return nil, fmt.Errorf("dsms: aggregate references unknown attribute %q", a.Attr)
-		}
-		op.poss = append(op.poss, pos)
-		op.types = append(op.types, ft)
-	}
-	return op, nil
-}
-
-func (a *aggregateOp) outSchema() *stream.Schema { return a.out }
-
-func (a *aggregateOp) process(t stream.Tuple) ([]stream.Tuple, error) {
-	if a.win.Type == WindowTuple {
-		return a.processTupleWindow(t)
-	}
-	return a.processTimeWindow(t)
-}
-
-// processTupleWindow: emit when the buffer holds Size tuples, then
-// slide by Step. When Step exceeds Size (hopping windows) the tuples
-// between consecutive windows are discarded via the skip counter.
-func (a *aggregateOp) processTupleWindow(t stream.Tuple) ([]stream.Tuple, error) {
-	if a.skip > 0 {
-		a.skip--
-		return nil, nil
-	}
-	a.buf = append(a.buf, t)
-	if int64(len(a.buf)) < a.win.Size {
-		return nil, nil
-	}
-	ot, err := a.emit(a.buf[:a.win.Size])
-	if err != nil {
-		return nil, err
-	}
-	if a.win.Step >= int64(len(a.buf)) {
-		a.skip = a.win.Step - int64(len(a.buf))
-		a.buf = a.buf[:0]
-	} else {
-		a.buf = append(a.buf[:0:0], a.buf[a.win.Step:]...)
-	}
-	return []stream.Tuple{ot}, nil
-}
-
-// processTimeWindow: windows cover [tstart, tstart+Size) of arrival
-// time; a window closes when a tuple at or past its end arrives.
-func (a *aggregateOp) processTimeWindow(t stream.Tuple) ([]stream.Tuple, error) {
-	ts := t.ArrivalMillis
-	if a.tstart < 0 {
-		a.tstart = ts
-	}
-	var out []stream.Tuple
-	for ts >= a.tstart+a.win.Size {
-		// Close the current window.
-		var window []stream.Tuple
-		for _, bt := range a.buf {
-			if bt.ArrivalMillis >= a.tstart && bt.ArrivalMillis < a.tstart+a.win.Size {
-				window = append(window, bt)
-			}
-		}
-		if len(window) > 0 {
-			ot, err := a.emit(window)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, ot)
-		}
-		a.tstart += a.win.Step
-		// Evict tuples that can no longer participate in any window.
-		keep := a.buf[:0]
-		for _, bt := range a.buf {
-			if bt.ArrivalMillis >= a.tstart {
-				keep = append(keep, bt)
-			}
-		}
-		a.buf = keep
-	}
-	a.buf = append(a.buf, t)
-	return out, nil
-}
-
-// emit computes one output tuple over the window contents.
-func (a *aggregateOp) emit(window []stream.Tuple) (stream.Tuple, error) {
-	vals := make([]stream.Value, len(a.aggs))
-	for i, spec := range a.aggs {
-		v, err := computeAggregate(spec.Func, window, a.poss[i], a.types[i])
-		if err != nil {
-			return stream.Tuple{}, err
-		}
-		// Coerce to declared output type (e.g. avg of ints -> double).
-		want := a.out.Field(i).Type
-		if !v.IsNull() && v.Type() != want {
-			cv, err := v.CoerceTo(want)
-			if err == nil {
-				v = cv
-			}
-		}
-		vals[i] = v
-	}
-	out := stream.NewTuple(vals...)
-	if n := len(window); n > 0 {
-		out.ArrivalMillis = window[n-1].ArrivalMillis
-		out.Seq = window[n-1].Seq
-	}
-	return out, nil
-}

@@ -11,6 +11,17 @@ func singleAttrSchema() *stream.Schema {
 	return stream.MustSchema(stream.Field{Name: "a", Type: stream.TypeInt})
 }
 
+// processOne feeds a single tuple through an operator, copying the
+// outputs so they survive the operator's buffer reuse (test helper
+// mirroring the old per-tuple process API).
+func processOne(op operator, t stream.Tuple) ([]stream.Tuple, error) {
+	out, err := op.processBatch([]stream.Tuple{t}, true)
+	if err != nil || len(out) == 0 {
+		return nil, err
+	}
+	return append([]stream.Tuple(nil), out...), nil
+}
+
 func weatherSchema() *stream.Schema {
 	return stream.MustSchema(
 		stream.Field{Name: "samplingtime", Type: stream.TypeTimestamp},
@@ -31,7 +42,7 @@ func TestFilterOperator(t *testing.T) {
 	}
 	var kept []int64
 	for _, v := range []int64{9, 3, 6, 5, 13} {
-		out, err := op.process(stream.NewTuple(stream.IntValue(v)))
+		out, err := processOne(op, stream.NewTuple(stream.IntValue(v)))
 		if err != nil {
 			t.Fatalf("process: %v", err)
 		}
@@ -55,7 +66,7 @@ func TestFilterNilConditionPassesAll(t *testing.T) {
 	if err != nil {
 		t.Fatalf("newOperator: %v", err)
 	}
-	out, err := op.process(stream.NewTuple(stream.IntValue(1)))
+	out, err := processOne(op, stream.NewTuple(stream.IntValue(1)))
 	if err != nil || len(out) != 1 {
 		t.Fatalf("nil condition: (%v,%v)", out, err)
 	}
@@ -75,7 +86,7 @@ func TestMapOperator(t *testing.T) {
 		stream.DoubleValue(7.5), stream.DoubleValue(12), stream.IntValue(270),
 		stream.DoubleValue(1013),
 	)
-	out, err := op.process(tu)
+	out, err := processOne(op, tu)
 	if err != nil || len(out) != 1 {
 		t.Fatalf("process: (%v,%v)", out, err)
 	}
@@ -108,7 +119,7 @@ func TestTupleWindowAggregation(t *testing.T) {
 	}
 	var sums []int64
 	for i := int64(0); i < 9; i++ {
-		out, err := op.process(stream.NewTuple(stream.IntValue(i)))
+		out, err := processOne(op, stream.NewTuple(stream.IntValue(i)))
 		if err != nil {
 			t.Fatalf("process: %v", err)
 		}
@@ -158,7 +169,7 @@ func TestTupleWindowPaperExample(t *testing.T) {
 			stream.DoubleValue(float64(10+i)), // windspeed
 			stream.IntValue(180), stream.DoubleValue(1000),
 		)
-		out, err := op.process(tu)
+		out, err := processOne(op, tu)
 		if err != nil {
 			t.Fatalf("process: %v", err)
 		}
@@ -198,7 +209,7 @@ func TestTimeWindowAggregation(t *testing.T) {
 	for _, ts := range []int64{0, 250, 500, 750, 1500} {
 		tu := stream.NewTuple(stream.IntValue(1))
 		tu.ArrivalMillis = ts
-		res, err := op.process(tu)
+		res, err := processOne(op, tu)
 		if err != nil {
 			t.Fatalf("process: %v", err)
 		}
@@ -292,5 +303,49 @@ func TestGraphAccessorsAndClone(t *testing.T) {
 	}
 	if g.String() == "" || g.Boxes[0].String() == "" {
 		t.Error("String renderings")
+	}
+}
+
+// TestLeadingNilFilterDoesNotMutateSharedBatch: the shared dispatch
+// batch stays aliased through a nil-condition filter, so a compacting
+// filter behind one must still operate on a private copy.
+func TestLeadingNilFilterDoesNotMutateSharedBatch(t *testing.T) {
+	s := singleAttrSchema()
+	g := NewQueryGraph("s",
+		NewFilterBox(nil),
+		NewFilterBox(expr.MustParse("a > 5")),
+	)
+	p, _, err := buildPipeline(g, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.copyIn {
+		t.Fatal("a compacting filter behind a nil-condition filter must force a private batch copy")
+	}
+	batch := []stream.Tuple{
+		stream.NewTuple(stream.IntValue(1)),
+		stream.NewTuple(stream.IntValue(10)),
+		stream.NewTuple(stream.IntValue(2)),
+	}
+	out, err := p.processBatch(batch, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Values[0].Int() != 10 {
+		t.Fatalf("filtered out = %v", out)
+	}
+	for i, want := range []int64{1, 10, 2} {
+		if batch[i].Values[0].Int() != want {
+			t.Fatalf("shared batch mutated at %d: %v", i, batch[i])
+		}
+	}
+	// And a pipeline that cannot mutate the batch skips the copy.
+	passthrough := NewQueryGraph("s", NewFilterBox(nil))
+	pp, _, err := buildPipeline(passthrough, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.copyIn {
+		t.Error("nil-condition-only chain must not pay the batch copy")
 	}
 }

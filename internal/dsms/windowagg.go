@@ -1,0 +1,671 @@
+package dsms
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// maxExactFloat is the largest magnitude at which every integer is
+// exactly representable in float64 (2^53): within it, incremental
+// add/subtract of integer-backed values is bit-identical to a fresh
+// left-to-right scan.
+const maxExactFloat = float64(1 << 53)
+
+// exactIntFloat reports whether v is within float64's exact-integer
+// range.
+func exactIntFloat(v float64) bool {
+	return v < maxExactFloat && v > -maxExactFloat
+}
+
+// winRing buffers window contents column-wise in a growable ring:
+// arrival time, sequence number and one value column per aggregate
+// spec. Storing value copies (stream.Value is a small value struct)
+// instead of whole tuples means the aggregate never retains references
+// into upstream batches or map arenas, and sliding evicts from the
+// head in O(1) instead of re-allocating the buffer per slide.
+type winRing struct {
+	arrival []int64
+	seq     []uint64
+	cols    [][]stream.Value
+	head    int
+	n       int
+}
+
+func newWinRing(ncols int) *winRing {
+	return &winRing{cols: make([][]stream.Value, ncols)}
+}
+
+// idx maps a logical position to a physical slot.
+func (r *winRing) idx(i int) int {
+	j := r.head + i
+	if j >= len(r.arrival) {
+		j -= len(r.arrival)
+	}
+	return j
+}
+
+func (r *winRing) grow() {
+	ncap := 2 * len(r.arrival)
+	if ncap == 0 {
+		ncap = 16
+	}
+	arrival := make([]int64, ncap)
+	seq := make([]uint64, ncap)
+	cols := make([][]stream.Value, len(r.cols))
+	for c := range cols {
+		cols[c] = make([]stream.Value, ncap)
+	}
+	for i := 0; i < r.n; i++ {
+		j := r.idx(i)
+		arrival[i] = r.arrival[j]
+		seq[i] = r.seq[j]
+		for c := range cols {
+			cols[c][i] = r.cols[c][j]
+		}
+	}
+	r.arrival, r.seq, r.cols, r.head = arrival, seq, cols, 0
+}
+
+// push appends one entry, copying the tuple's spec attributes.
+func (r *winRing) push(t stream.Tuple, poss []int) {
+	if r.n == len(r.arrival) {
+		r.grow()
+	}
+	j := r.idx(r.n)
+	r.arrival[j] = t.ArrivalMillis
+	r.seq[j] = t.Seq
+	for c, p := range poss {
+		r.cols[c][j] = t.Values[p]
+	}
+	r.n++
+}
+
+// popHead discards the oldest entry.
+func (r *winRing) popHead() {
+	j := r.head
+	for c := range r.cols {
+		r.cols[c][j] = stream.Value{}
+	}
+	r.head++
+	if r.head == len(r.arrival) {
+		r.head = 0
+	}
+	r.n--
+	if r.n == 0 {
+		r.head = 0
+	}
+}
+
+func (r *winRing) reset() {
+	for i := 0; i < r.n; i++ {
+		j := r.idx(i)
+		for c := range r.cols {
+			r.cols[c][j] = stream.Value{}
+		}
+	}
+	r.head, r.n = 0, 0
+}
+
+// mmEntry is one sliding-min/max candidate: the value plus the global
+// insertion position used for head eviction.
+type mmEntry struct {
+	gpos uint64
+	v    stream.Value
+}
+
+// mmDeque is a monotonic deque over non-null column values: for max it
+// is kept non-increasing, for min non-decreasing, always popping
+// strictly-worse tails so the front stays the EARLIEST best value —
+// matching the strict-improvement scan the non-incremental aggregate
+// performed (first of equal extrema wins).
+type mmDeque struct {
+	buf  []mmEntry
+	head int
+	max  bool
+}
+
+func (d *mmDeque) push(gpos uint64, v stream.Value) error {
+	for len(d.buf) > d.head {
+		cmp, err := d.buf[len(d.buf)-1].v.Compare(v)
+		if err != nil {
+			return err
+		}
+		if (d.max && cmp < 0) || (!d.max && cmp > 0) {
+			d.buf = d.buf[:len(d.buf)-1]
+		} else {
+			break
+		}
+	}
+	if d.head > 0 && d.head == len(d.buf) {
+		d.buf = d.buf[:0]
+		d.head = 0
+	}
+	d.buf = append(d.buf, mmEntry{gpos: gpos, v: v})
+	return nil
+}
+
+// evictBelow drops front candidates that slid out of the window.
+func (d *mmDeque) evictBelow(gpos uint64) {
+	for d.head < len(d.buf) && d.buf[d.head].gpos < gpos {
+		d.buf[d.head].v = stream.Value{}
+		d.head++
+	}
+	switch {
+	case d.head == len(d.buf):
+		d.buf = d.buf[:0]
+		d.head = 0
+	case d.head > 64 && d.head > len(d.buf)/2:
+		n := copy(d.buf, d.buf[d.head:])
+		clear(d.buf[n:])
+		d.buf = d.buf[:n]
+		d.head = 0
+	}
+}
+
+func (d *mmDeque) front() (stream.Value, bool) {
+	if d.head == len(d.buf) {
+		return stream.Null, false
+	}
+	return d.buf[d.head].v, true
+}
+
+func (d *mmDeque) reset() {
+	clear(d.buf)
+	d.buf = d.buf[:0]
+	d.head = 0
+}
+
+// windowScan accumulates one fused pass over a window's entries,
+// computing every aggregate spec in a single traversal (the
+// non-incremental implementation walked the window once per spec). One
+// instance per operator, reset per emission.
+type windowScan struct {
+	count   int64
+	first   []stream.Value
+	last    []stream.Value
+	sums    []float64
+	nonnull []int64
+	best    []stream.Value
+}
+
+func newWindowScan(k int) *windowScan {
+	return &windowScan{
+		first:   make([]stream.Value, k),
+		last:    make([]stream.Value, k),
+		sums:    make([]float64, k),
+		nonnull: make([]int64, k),
+		best:    make([]stream.Value, k),
+	}
+}
+
+func (s *windowScan) reset() {
+	s.count = 0
+	clear(s.first)
+	clear(s.last)
+	clear(s.sums)
+	clear(s.nonnull)
+	clear(s.best)
+}
+
+// aggregateOp maintains the sliding window and emits one output tuple
+// per window close.
+//
+// Tuple windows keep running state updated on insert and evict: count
+// and first/last fall out of the ring, min/max come from monotonic
+// deques, and sums over integer-backed columns (int, timestamp, bool —
+// exact in float64) are maintained incrementally. Sums over double
+// columns are recomputed per emission with the same left-to-right scan
+// the non-incremental implementation used, because an incremental
+// add/subtract sum is not bit-identical under floating point — window
+// emissions must match the pre-refactor outputs exactly.
+//
+// Time windows close via one pass over exactly the window's ring range
+// (boundaries advance monotonically across the closes triggered by one
+// arrival) and evict once per arrival by watermark, instead of
+// filtering and compacting the whole buffer inside the per-window
+// loop — the old O(n²) behavior under step ≪ size or arrival gaps.
+type aggregateOp struct {
+	win   WindowSpec
+	aggs  []AggSpec
+	poss  []int // attribute positions in input schema
+	types []stream.FieldType
+	out   *stream.Schema
+
+	ring *winRing
+	scan *windowScan
+	skip int64 // tuples still to discard after a hop (step > size)
+
+	// tuple-window incremental state
+	sums    []float64 // running sum per sum/avg spec over integer-backed columns
+	nonnull []int64   // running non-null count per sum/avg spec
+	// incSum marks specs whose sums are maintained incrementally. It
+	// flips off permanently for a spec the moment a value or running
+	// sum leaves float64's exact-integer range (±2^53): past that,
+	// add/subtract no longer reproduces the per-window scan bit for
+	// bit, so the spec degrades to rescan-at-emit like double columns.
+	incSum []bool
+	deques []*mmDeque
+	nextG  uint64 // global insert counter
+	baseG  uint64 // gpos of ring head
+
+	// time-window state
+	tstart      int64 // start of current time window (millis); -1 = unset
+	sorted      bool  // arrivals seen in nondecreasing order so far
+	lastArrival int64
+
+	outBuf []stream.Tuple // reused emission headers
+}
+
+func newAggregateOp(b *Box, in, out *stream.Schema) (*aggregateOp, error) {
+	op := &aggregateOp{
+		win: b.Window, aggs: b.Aggs, out: out,
+		tstart: -1, sorted: true,
+	}
+	for _, a := range b.Aggs {
+		pos, ft, ok := in.Lookup(a.Attr)
+		if !ok {
+			return nil, fmt.Errorf("dsms: aggregate references unknown attribute %q", a.Attr)
+		}
+		op.poss = append(op.poss, pos)
+		op.types = append(op.types, ft)
+	}
+	k := len(op.poss)
+	op.ring = newWinRing(k)
+	op.scan = newWindowScan(k)
+	op.sums = make([]float64, k)
+	op.nonnull = make([]int64, k)
+	op.incSum = make([]bool, k)
+	op.deques = make([]*mmDeque, k)
+	for i, a := range b.Aggs {
+		switch a.Func {
+		case AggSum, AggAvg:
+			// float64 accumulation over integer-backed values is exact
+			// (within 2^53), so add/subtract reproduces the per-window
+			// scan bit for bit; doubles are rescanned at emit instead.
+			op.incSum[i] = op.types[i] != stream.TypeDouble
+		case AggMax:
+			op.deques[i] = &mmDeque{max: true}
+		case AggMin:
+			op.deques[i] = &mmDeque{}
+		}
+	}
+	return op, nil
+}
+
+func (a *aggregateOp) outSchema() *stream.Schema { return a.out }
+
+func (a *aggregateOp) processBatch(in []stream.Tuple, _ bool) ([]stream.Tuple, error) {
+	out := a.outBuf[:0]
+	var err error
+	if a.win.Type == WindowTuple {
+		for i := range in {
+			if out, err = a.pushTupleWindow(in[i], out); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for i := range in {
+			if out, err = a.pushTimeWindow(in[i], out); err != nil {
+				return nil, err
+			}
+		}
+	}
+	a.outBuf = out
+	return out, nil
+}
+
+// insert appends a tuple's window entry and (for tuple windows)
+// updates the running state.
+func (a *aggregateOp) insert(t stream.Tuple) error {
+	a.ring.push(t, a.poss)
+	g := a.nextG
+	a.nextG++
+	if a.win.Type != WindowTuple {
+		return nil
+	}
+	for k, p := range a.poss {
+		v := t.Values[p]
+		if v.IsNull() {
+			continue
+		}
+		if a.incSum[k] {
+			fv, ok := v.AsFloat()
+			if !ok {
+				return fmt.Errorf("dsms: non-numeric value in %s", a.aggs[k].Func)
+			}
+			a.sums[k] += fv
+			a.nonnull[k]++
+			if !exactIntFloat(fv) || !exactIntFloat(a.sums[k]) {
+				a.incSum[k] = false
+			}
+		}
+		if d := a.deques[k]; d != nil {
+			if err := d.push(g, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// evictN slides a tuple window: the oldest n entries leave the ring
+// and the running state.
+func (a *aggregateOp) evictN(n int) {
+	for i := 0; i < n; i++ {
+		j := a.ring.head
+		for k := range a.poss {
+			if !a.incSum[k] {
+				continue
+			}
+			if v := a.ring.cols[k][j]; !v.IsNull() {
+				fv, _ := v.AsFloat()
+				a.sums[k] -= fv
+				a.nonnull[k]--
+				if !exactIntFloat(a.sums[k]) {
+					a.incSum[k] = false
+				}
+			}
+		}
+		a.ring.popHead()
+		a.baseG++
+	}
+	for _, d := range a.deques {
+		if d != nil {
+			d.evictBelow(a.baseG)
+		}
+	}
+}
+
+// clearWindow resets the ring and all running state (hopping windows).
+func (a *aggregateOp) clearWindow() {
+	a.ring.reset()
+	clear(a.sums)
+	clear(a.nonnull)
+	for _, d := range a.deques {
+		if d != nil {
+			d.reset()
+		}
+	}
+	a.baseG = a.nextG
+}
+
+// pushTupleWindow: emit when the ring holds Size tuples, then slide by
+// Step. When Step exceeds Size (hopping windows) the tuples between
+// consecutive windows are discarded via the skip counter.
+func (a *aggregateOp) pushTupleWindow(t stream.Tuple, out []stream.Tuple) ([]stream.Tuple, error) {
+	if a.skip > 0 {
+		a.skip--
+		return out, nil
+	}
+	if err := a.insert(t); err != nil {
+		return nil, err
+	}
+	if int64(a.ring.n) < a.win.Size {
+		return out, nil
+	}
+	ot, err := a.emitTupleWindow()
+	if err != nil {
+		return nil, err
+	}
+	if a.win.Step >= int64(a.ring.n) {
+		a.skip = a.win.Step - int64(a.ring.n)
+		a.clearWindow()
+	} else {
+		a.evictN(int(a.win.Step))
+	}
+	return append(out, ot), nil
+}
+
+// pushTimeWindow: windows cover [tstart, tstart+Size) of arrival time;
+// a window closes when a tuple at or past its end arrives. All closes
+// triggered by one arrival run first (window boundaries advance
+// monotonically through the ring on the sorted fast path), then dead
+// entries are evicted once by watermark, then the tuple is inserted.
+func (a *aggregateOp) pushTimeWindow(t stream.Tuple, out []stream.Tuple) ([]stream.Tuple, error) {
+	ts := t.ArrivalMillis
+	if a.tstart < 0 {
+		a.tstart = ts
+	}
+	lo := 0
+	closed := false
+	for ts >= a.tstart+a.win.Size {
+		closed = true
+		if a.sorted {
+			for lo < a.ring.n && a.ring.arrival[a.ring.idx(lo)] < a.tstart {
+				lo++
+			}
+			if lo == a.ring.n {
+				// No buffered entry can reach this or any remaining
+				// window: jump tstart past the gap in one step instead
+				// of closing empty windows one by one.
+				r := (ts-a.win.Size-a.tstart)/a.win.Step + 1
+				a.tstart += r * a.win.Step
+				break
+			}
+			hi := lo
+			for hi < a.ring.n && a.ring.arrival[a.ring.idx(hi)] < a.tstart+a.win.Size {
+				hi++
+			}
+			if hi > lo {
+				ot, err := a.emitRange(lo, hi)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, ot)
+			}
+		} else if ot, ok, err := a.emitTimeWindowUnsorted(); err != nil {
+			return nil, err
+		} else if ok {
+			out = append(out, ot)
+		}
+		a.tstart += a.win.Step
+	}
+	if closed {
+		a.evictWatermark()
+	}
+	if a.ring.n > 0 && ts < a.lastArrival {
+		a.sorted = false
+	}
+	a.lastArrival = ts
+	if err := a.insert(t); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// evictWatermark drops every entry that can no longer participate in
+// any window (arrival < tstart) — once per arrival, not per close.
+func (a *aggregateOp) evictWatermark() {
+	if a.sorted {
+		for a.ring.n > 0 && a.ring.arrival[a.ring.head] < a.tstart {
+			a.ring.popHead()
+		}
+		return
+	}
+	// Out-of-order arrivals: dead entries can sit anywhere; compact the
+	// ring preserving insertion order, as the old buffer filter did.
+	keep := 0
+	for i := 0; i < a.ring.n; i++ {
+		j := a.ring.idx(i)
+		if a.ring.arrival[j] < a.tstart {
+			continue
+		}
+		k := a.ring.idx(keep)
+		a.ring.arrival[k] = a.ring.arrival[j]
+		a.ring.seq[k] = a.ring.seq[j]
+		for c := range a.ring.cols {
+			a.ring.cols[c][k] = a.ring.cols[c][j]
+		}
+		keep++
+	}
+	for i := keep; i < a.ring.n; i++ {
+		j := a.ring.idx(i)
+		for c := range a.ring.cols {
+			a.ring.cols[c][j] = stream.Value{}
+		}
+	}
+	a.ring.n = keep
+	if keep == 0 {
+		a.ring.head = 0
+	}
+}
+
+// scanAdd folds ring slot j into the scan state; one traversal
+// computes every spec.
+func (a *aggregateOp) scanAdd(s *windowScan, j int) error {
+	if s.count == 0 {
+		for k := range a.poss {
+			s.first[k] = a.ring.cols[k][j]
+		}
+	}
+	s.count++
+	for k := range a.poss {
+		v := a.ring.cols[k][j]
+		s.last[k] = v
+		if v.IsNull() {
+			continue
+		}
+		switch a.aggs[k].Func {
+		case AggSum, AggAvg:
+			fv, ok := v.AsFloat()
+			if !ok {
+				return fmt.Errorf("dsms: non-numeric value in %s", a.aggs[k].Func)
+			}
+			s.sums[k] += fv
+			s.nonnull[k]++
+		case AggMax, AggMin:
+			if s.best[k].IsNull() {
+				s.best[k] = v
+				continue
+			}
+			cmp, err := v.Compare(s.best[k])
+			if err != nil {
+				return err
+			}
+			if (a.aggs[k].Func == AggMax && cmp > 0) || (a.aggs[k].Func == AggMin && cmp < 0) {
+				s.best[k] = v
+			}
+		}
+	}
+	return nil
+}
+
+// emitTupleWindow emits over the whole ring (which holds exactly the
+// window when a tuple window closes) from the running state; only
+// double-column sums rescan, for bit-exact emissions.
+func (a *aggregateOp) emitTupleWindow() (stream.Tuple, error) {
+	st := a.scan
+	st.reset()
+	st.count = int64(a.ring.n)
+	for k := range a.poss {
+		st.first[k] = a.ring.cols[k][a.ring.idx(0)]
+		st.last[k] = a.ring.cols[k][a.ring.idx(a.ring.n-1)]
+		st.sums[k] = a.sums[k]
+		st.nonnull[k] = a.nonnull[k]
+		if d := a.deques[k]; d != nil {
+			if v, ok := d.front(); ok {
+				st.best[k] = v
+			}
+		}
+		if (a.aggs[k].Func == AggSum || a.aggs[k].Func == AggAvg) && !a.incSum[k] {
+			var sum float64
+			var nn int64
+			for i := 0; i < a.ring.n; i++ {
+				if v := a.ring.cols[k][a.ring.idx(i)]; !v.IsNull() {
+					fv, _ := v.AsFloat()
+					sum += fv
+					nn++
+				}
+			}
+			st.sums[k] = sum
+			st.nonnull[k] = nn
+		}
+	}
+	last := a.ring.idx(a.ring.n - 1)
+	return a.finishEmit(st, a.ring.arrival[last], a.ring.seq[last])
+}
+
+// emitRange emits one output tuple over the ring range [lo, hi) with a
+// fused scan (time windows, sorted fast path).
+func (a *aggregateOp) emitRange(lo, hi int) (stream.Tuple, error) {
+	st := a.scan
+	st.reset()
+	for i := lo; i < hi; i++ {
+		if err := a.scanAdd(st, a.ring.idx(i)); err != nil {
+			return stream.Tuple{}, err
+		}
+	}
+	last := a.ring.idx(hi - 1)
+	return a.finishEmit(st, a.ring.arrival[last], a.ring.seq[last])
+}
+
+// emitTimeWindowUnsorted selects the window by scanning the whole ring
+// in insertion order (the out-of-order fallback, mirroring the old
+// whole-buffer filter) and emits if it is non-empty.
+func (a *aggregateOp) emitTimeWindowUnsorted() (stream.Tuple, bool, error) {
+	end := a.tstart + a.win.Size
+	st := a.scan
+	st.reset()
+	last := -1
+	for i := 0; i < a.ring.n; i++ {
+		j := a.ring.idx(i)
+		if ar := a.ring.arrival[j]; ar >= a.tstart && ar < end {
+			if err := a.scanAdd(st, j); err != nil {
+				return stream.Tuple{}, false, err
+			}
+			last = j
+		}
+	}
+	if st.count == 0 {
+		return stream.Tuple{}, false, nil
+	}
+	ot, err := a.finishEmit(st, a.ring.arrival[last], a.ring.seq[last])
+	return ot, true, err
+}
+
+// finishEmit materializes the output tuple from scan state, applying
+// the same output-type coercion and provenance as the non-incremental
+// emit (arrival/seq of the window's last tuple).
+func (a *aggregateOp) finishEmit(st *windowScan, lastArrival int64, lastSeq uint64) (stream.Tuple, error) {
+	vals := make([]stream.Value, len(a.aggs))
+	for k, spec := range a.aggs {
+		var v stream.Value
+		switch spec.Func {
+		case AggCount:
+			v = stream.IntValue(st.count)
+		case AggFirstVal:
+			v = st.first[k]
+		case AggLastVal:
+			v = st.last[k]
+		case AggAvg:
+			if st.nonnull[k] > 0 {
+				v = stream.DoubleValue(st.sums[k] / float64(st.nonnull[k]))
+			}
+		case AggSum:
+			if st.nonnull[k] > 0 {
+				if a.types[k] == stream.TypeInt {
+					v = stream.IntValue(int64(st.sums[k]))
+				} else {
+					v = stream.DoubleValue(st.sums[k])
+				}
+			}
+		case AggMax, AggMin:
+			v = st.best[k]
+		default:
+			return stream.Tuple{}, fmt.Errorf("dsms: invalid aggregate function")
+		}
+		// Coerce to declared output type (e.g. avg of ints -> double).
+		want := a.out.Field(k).Type
+		if !v.IsNull() && v.Type() != want {
+			if cv, err := v.CoerceTo(want); err == nil {
+				v = cv
+			}
+		}
+		vals[k] = v
+	}
+	out := stream.NewTuple(vals...)
+	out.ArrivalMillis = lastArrival
+	out.Seq = lastSeq
+	return out, nil
+}

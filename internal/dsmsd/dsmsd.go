@@ -369,7 +369,10 @@ func (s *Server) handleIngestBatch(m *protocol.Message, _ *protocol.Conn) (any, 
 	}
 	ts := req.Tuples[:grant]
 	if req.Prevalidated && s.TrustPrevalidated {
-		err = s.Engine.IngestBatchPrevalidated(req.Stream, ts)
+		// The decoded batch is request-scoped, so hand it to the engine
+		// outright: a canonical batch reaches the query mailboxes with
+		// zero copying.
+		err = s.Engine.IngestBatchOwned(req.Stream, ts)
 	} else if grant > 0 || n == 0 {
 		err = s.Engine.IngestBatch(req.Stream, ts)
 	} else {

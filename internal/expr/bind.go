@@ -1,0 +1,134 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// Bound is a predicate compiled against a schema: attribute positions
+// are resolved once at bind time, so per-tuple evaluation does no name
+// lookups and allocates nothing. Semantics are identical to Eval on
+// the same node and schema.
+type Bound struct {
+	root bnode
+}
+
+// Bind compiles a predicate for the given schema. It fails where
+// Validate would fail on attribute references; callers that validated
+// the node already can treat an error as a bug.
+func Bind(n Node, s *stream.Schema) (*Bound, error) {
+	root, err := bind(n, s)
+	if err != nil {
+		return nil, err
+	}
+	return &Bound{root: root}, nil
+}
+
+// Eval evaluates the compiled predicate against a tuple.
+func (b *Bound) Eval(t stream.Tuple) (bool, error) {
+	return b.root.eval(t)
+}
+
+type bnode interface {
+	eval(t stream.Tuple) (bool, error)
+}
+
+func bind(n Node, s *stream.Schema) (bnode, error) {
+	switch x := n.(type) {
+	case *Literal:
+		return bLit(x.Val), nil
+	case *Not:
+		c, err := bind(x.X, s)
+		if err != nil {
+			return nil, err
+		}
+		return &bNot{x: c}, nil
+	case *And:
+		l, err := bind(x.L, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bind(x.R, s)
+		if err != nil {
+			return nil, err
+		}
+		return &bAnd{l: l, r: r}, nil
+	case *Or:
+		l, err := bind(x.L, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bind(x.R, s)
+		if err != nil {
+			return nil, err
+		}
+		return &bOr{l: l, r: r}, nil
+	case *Simple:
+		pos, _, ok := s.Lookup(x.Attr)
+		if !ok {
+			return nil, fmt.Errorf("expr: unknown attribute %q", x.Attr)
+		}
+		return &bSimple{pos: pos, op: x.Op, value: x.Value, src: x}, nil
+	default:
+		return nil, fmt.Errorf("expr: cannot evaluate %T", n)
+	}
+}
+
+type bLit bool
+
+func (b bLit) eval(stream.Tuple) (bool, error) { return bool(b), nil }
+
+type bNot struct{ x bnode }
+
+func (b *bNot) eval(t stream.Tuple) (bool, error) {
+	v, err := b.x.eval(t)
+	return !v, err
+}
+
+type bAnd struct{ l, r bnode }
+
+func (b *bAnd) eval(t stream.Tuple) (bool, error) {
+	l, err := b.l.eval(t)
+	if err != nil || !l {
+		return false, err
+	}
+	return b.r.eval(t)
+}
+
+type bOr struct{ l, r bnode }
+
+func (b *bOr) eval(t stream.Tuple) (bool, error) {
+	l, err := b.l.eval(t)
+	if err != nil || l {
+		return l, err
+	}
+	return b.r.eval(t)
+}
+
+type bSimple struct {
+	pos   int
+	op    Op
+	value stream.Value
+	src   *Simple // for error rendering, matching evalSimple
+}
+
+func (b *bSimple) eval(t stream.Tuple) (bool, error) {
+	if b.pos >= len(t.Values) {
+		return false, fmt.Errorf("stream: tuple too short for field %q", b.src.Attr)
+	}
+	v := t.Values[b.pos]
+	if v.IsNull() {
+		// Nulls never satisfy a comparison (SQL-ish semantics).
+		return false, nil
+	}
+	cmp, err := v.Compare(b.value)
+	if err != nil {
+		return false, fmt.Errorf("expr: %s: %w", b.src, err)
+	}
+	holds, ok := opHolds(b.op, cmp)
+	if !ok {
+		return false, fmt.Errorf("expr: invalid operator in %s", b.src)
+	}
+	return holds, nil
+}

@@ -1,0 +1,111 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func bindSchema() *stream.Schema {
+	return stream.MustSchema(
+		stream.Field{Name: "a", Type: stream.TypeInt},
+		stream.Field{Name: "b", Type: stream.TypeDouble},
+		stream.Field{Name: "s", Type: stream.TypeString},
+	)
+}
+
+// TestBindMatchesEval checks the compiled evaluator against the
+// interpreted one on randomized tuples (nulls included) for a spread
+// of predicate shapes.
+func TestBindMatchesEval(t *testing.T) {
+	s := bindSchema()
+	preds := []string{
+		"a > 5",
+		"a <= 100 AND b > 2.5",
+		"a = 7 OR (b < 0 AND a != 3)",
+		"NOT (a >= 10) AND b = 20",
+		"s = 'hit' OR a < -500",
+		"((a > 20 AND a < 30) OR NOT (a != 40)) AND NOT (a >= 10)",
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, src := range preds {
+		n := MustParse(src)
+		bound, err := Bind(n, s)
+		if err != nil {
+			t.Fatalf("Bind(%q): %v", src, err)
+		}
+		for i := 0; i < 500; i++ {
+			mk := func(v stream.Value) stream.Value {
+				if rng.Intn(8) == 0 {
+					return stream.Null
+				}
+				return v
+			}
+			tu := stream.NewTuple(
+				mk(stream.IntValue(int64(rng.Intn(120)-20))),
+				mk(stream.DoubleValue(float64(rng.Intn(80))/2)),
+				mk(stream.StringValue([]string{"hit", "miss"}[rng.Intn(2)])),
+			)
+			want, werr := Eval(n, s, tu)
+			got, gerr := bound.Eval(tu)
+			if (werr != nil) != (gerr != nil) {
+				t.Fatalf("%q on %v: err mismatch (interpreted %v, bound %v)", src, tu, werr, gerr)
+			}
+			if want != got {
+				t.Fatalf("%q on %v: interpreted %v, bound %v", src, tu, want, got)
+			}
+		}
+	}
+}
+
+// TestBindUnknownAttribute mirrors Validate: binding fails eagerly.
+func TestBindUnknownAttribute(t *testing.T) {
+	if _, err := Bind(MustParse("nosuch > 1"), bindSchema()); err == nil {
+		t.Error("unknown attribute must fail Bind")
+	}
+}
+
+// TestBindZeroAlloc: a compiled predicate evaluates without heap
+// allocations — the property the engine's filter hot path relies on.
+func TestBindZeroAlloc(t *testing.T) {
+	s := bindSchema()
+	bound, err := Bind(MustParse("a > 5 AND b < 100"), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := stream.NewTuple(stream.IntValue(9), stream.DoubleValue(3), stream.StringValue("x"))
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := bound.Eval(tu); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("bound eval allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkBoundEval quantifies compiled vs interpreted evaluation.
+func BenchmarkBoundEval(b *testing.B) {
+	s := bindSchema()
+	n := MustParse("a > 5 AND b < 100")
+	tu := stream.NewTuple(stream.IntValue(9), stream.DoubleValue(3), stream.StringValue("x"))
+	b.Run("interpreted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Eval(n, s, tu); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bound", func(b *testing.B) {
+		bound, err := Bind(n, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := bound.Eval(tu); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -41,6 +41,29 @@ func Eval(n Node, s *stream.Schema, t stream.Tuple) (bool, error) {
 	}
 }
 
+// opHolds reports whether a three-way comparison outcome satisfies op;
+// ok is false for an invalid operator. Shared by the interpreted
+// evaluator (Eval) and the compiled one (Bind) so their comparison
+// semantics cannot drift.
+func opHolds(op Op, cmp int) (holds, ok bool) {
+	switch op {
+	case OpLT:
+		return cmp < 0, true
+	case OpGT:
+		return cmp > 0, true
+	case OpLE:
+		return cmp <= 0, true
+	case OpGE:
+		return cmp >= 0, true
+	case OpEQ:
+		return cmp == 0, true
+	case OpNE:
+		return cmp != 0, true
+	default:
+		return false, false
+	}
+}
+
 func evalSimple(x *Simple, s *stream.Schema, t stream.Tuple) (bool, error) {
 	v, err := t.Get(s, x.Attr)
 	if err != nil {
@@ -54,22 +77,11 @@ func evalSimple(x *Simple, s *stream.Schema, t stream.Tuple) (bool, error) {
 	if err != nil {
 		return false, fmt.Errorf("expr: %s: %w", x, err)
 	}
-	switch x.Op {
-	case OpLT:
-		return cmp < 0, nil
-	case OpGT:
-		return cmp > 0, nil
-	case OpLE:
-		return cmp <= 0, nil
-	case OpGE:
-		return cmp >= 0, nil
-	case OpEQ:
-		return cmp == 0, nil
-	case OpNE:
-		return cmp != 0, nil
-	default:
+	holds, ok := opHolds(x.Op, cmp)
+	if !ok {
 		return false, fmt.Errorf("expr: invalid operator in %s", x)
 	}
+	return holds, nil
 }
 
 // Validate checks that every attribute referenced by the predicate exists

@@ -59,7 +59,10 @@ type ShardBackend interface {
 	// StreamSchema returns a registered stream's schema.
 	StreamSchema(name string) (*stream.Schema, error)
 	// IngestBatchPrevalidated ships a schema-checked batch into the
-	// engine (the shard worker's drain path).
+	// engine (the shard worker's drain path). The backend takes
+	// ownership of the slice and its tuples: callers must not reuse or
+	// mutate the batch after the call, so local engines can feed it
+	// straight to the query mailboxes without copying.
 	IngestBatchPrevalidated(streamName string, ts []stream.Tuple) error
 	// Deploy starts a continuous query.
 	Deploy(req DeployRequest) (BackendDeployment, error)
@@ -107,9 +110,11 @@ func (b *LocalBackend) StreamSchema(name string) (*stream.Schema, error) {
 	return b.eng.StreamSchema(name)
 }
 
-// IngestBatchPrevalidated implements ShardBackend.
+// IngestBatchPrevalidated implements ShardBackend. The batch is owned
+// by the callee, so it flows to the engine's query mailboxes with zero
+// copying via IngestBatchOwned.
 func (b *LocalBackend) IngestBatchPrevalidated(streamName string, ts []stream.Tuple) error {
-	return b.eng.IngestBatchPrevalidated(streamName, ts)
+	return b.eng.IngestBatchOwned(streamName, ts)
 }
 
 // Deploy implements ShardBackend, preferring the compiled graph and

@@ -349,7 +349,8 @@ func (b *RemoteBackend) StreamSchema(name string) (*stream.Schema, error) {
 // IngestBatchPrevalidated implements ShardBackend. At-most-once: a
 // batch whose connection died mid-call is reported as an error (the
 // shard worker counts it) instead of re-sent, which could double-apply
-// it.
+// it. Taking ownership of the batch (per the interface contract) is
+// trivial here: the tuples are serialized onto the wire and dropped.
 func (b *RemoteBackend) IngestBatchPrevalidated(streamName string, ts []stream.Tuple) error {
 	return b.doOnce(func(c *dsmsd.Client) error { return c.IngestBatchPrevalidated(streamName, ts) })
 }

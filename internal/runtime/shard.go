@@ -270,11 +270,12 @@ func (s *shard) popLocked() item {
 }
 
 // run is the shard worker: it drains up to batch items per wake-up and
-// ships contiguous same-stream runs to the engine in one IngestBatch
-// call each, amortizing the engine lock.
+// ships contiguous same-stream runs to the backend in one batch call
+// each, amortizing the engine's per-stream seal. Each run gets a fresh
+// slice because the backend takes ownership (a local engine feeds it
+// straight to the query mailboxes without another copy).
 func (s *shard) run() {
 	scratch := make([]item, 0, s.batch)
-	tuples := make([]stream.Tuple, 0, s.batch)
 	for {
 		s.mu.Lock()
 		for (s.count == 0 || s.paused) && !s.closed {
@@ -303,9 +304,9 @@ func (s *shard) run() {
 			for j < len(scratch) && scratch[j].stream == scratch[i].stream {
 				j++
 			}
-			tuples = tuples[:0]
+			tuples := make([]stream.Tuple, j-i)
 			for k := i; k < j; k++ {
-				tuples = append(tuples, scratch[k].tuple)
+				tuples[k-i] = scratch[k].tuple
 			}
 			// PublishBatch already validated against the stream schema;
 			// skip the engine's conformance walk.

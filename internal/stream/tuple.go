@@ -88,6 +88,58 @@ func (t Tuple) Normalize(s *Schema) (Tuple, error) {
 	return out, nil
 }
 
+// NormalizeBatch validates a batch against a schema as a whole and
+// returns it in canonical form. Validation is atomic: if any tuple
+// fails, no tuple is returned and the error names the failing index.
+// prevalidated skips the per-field conformance walk (arity is still
+// checked, so a schema swapped in since the caller's validation fails
+// the batch instead of corrupting it). owned means the caller hands
+// over the slice and its tuples: when every tuple is already canonical
+// the input slice is returned as-is, with zero copying and zero
+// allocation — the batch-ingest fast path.
+func NormalizeBatch(s *Schema, ts []Tuple, prevalidated, owned bool) ([]Tuple, error) {
+	// Single pass: validate and walk each tuple's fields once. The
+	// output slice is materialized lazily — only when the caller keeps
+	// ownership or a tuple actually needs coercion — so the owned
+	// all-canonical fast path returns the input with zero work beyond
+	// validation. ts itself is never mutated, which keeps validation
+	// atomic: an error mid-batch discards any partial copy.
+	var nts []Tuple
+	if !owned {
+		nts = make([]Tuple, len(ts))
+	}
+	for i, t := range ts {
+		if prevalidated {
+			if len(t.Values) != s.Len() {
+				return nil, fmt.Errorf("tuple %d: arity %d != schema arity %d", i, len(t.Values), s.Len())
+			}
+		} else if err := t.Conforms(s); err != nil {
+			return nil, fmt.Errorf("tuple %d: %w", i, err)
+		}
+		if t.Canonical(s) {
+			if nts != nil {
+				// No coercion needed: adopt the value slice without
+				// cloning.
+				nts[i] = t
+			}
+			continue
+		}
+		if nts == nil {
+			nts = make([]Tuple, len(ts))
+			copy(nts, ts[:i])
+		}
+		nt, err := t.Normalize(s)
+		if err != nil {
+			return nil, fmt.Errorf("tuple %d: %w", i, err)
+		}
+		nts[i] = nt
+	}
+	if nts == nil {
+		return ts, nil
+	}
+	return nts, nil
+}
+
 // Get returns the value of the named field under the given schema.
 func (t Tuple) Get(s *Schema, name string) (Value, error) {
 	i, _, ok := s.Lookup(name)

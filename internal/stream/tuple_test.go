@@ -2,6 +2,7 @@ package stream
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -111,5 +112,64 @@ func TestTupleString(t *testing.T) {
 	tu := NewTuple(IntValue(1), StringValue("a"))
 	if got := tu.String(); got != "<1, a>" {
 		t.Errorf("String = %q", got)
+	}
+}
+
+func TestNormalizeBatch(t *testing.T) {
+	s := MustSchema(
+		Field{Name: "a", Type: TypeDouble},
+		Field{Name: "b", Type: TypeInt},
+	)
+	canonical := []Tuple{
+		NewTuple(DoubleValue(1), IntValue(2)),
+		NewTuple(DoubleValue(3), IntValue(4)),
+	}
+	// Owned + canonical: the exact input slice comes back, zero copying.
+	out, err := NormalizeBatch(s, canonical, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &canonical[0] {
+		t.Error("owned canonical batch should be adopted without copying")
+	}
+	// Not owned: a fresh slice, value slices adopted per tuple.
+	out, err = NormalizeBatch(s, canonical, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] == &canonical[0] {
+		t.Error("un-owned batch must get a fresh header slice")
+	}
+	if &out[0].Values[0] != &canonical[0].Values[0] {
+		t.Error("canonical tuples should adopt value slices")
+	}
+	// Widening int -> double is normalized into a copy.
+	widening := []Tuple{NewTuple(IntValue(7), IntValue(8))}
+	out, err = NormalizeBatch(s, widening, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Values[0].Type() != TypeDouble || out[0].Values[0].Double() != 7 {
+		t.Errorf("widened value = %v", out[0].Values[0])
+	}
+	if widening[0].Values[0].Type() != TypeInt {
+		t.Error("normalization must not mutate the input tuple")
+	}
+	// Atomic validation: one bad tuple fails the whole batch, naming it.
+	bad := []Tuple{
+		NewTuple(DoubleValue(1), IntValue(2)),
+		NewTuple(StringValue("x"), IntValue(2)),
+	}
+	if _, err := NormalizeBatch(s, bad, false, true); err == nil || !strings.Contains(err.Error(), "tuple 1") {
+		t.Errorf("bad batch error = %v", err)
+	}
+	// Prevalidated still rejects wrong arity.
+	short := []Tuple{NewTuple(DoubleValue(1))}
+	if _, err := NormalizeBatch(s, short, true, true); err == nil {
+		t.Error("prevalidated arity mismatch must fail")
+	}
+	// Empty batch is a no-op.
+	if out, err := NormalizeBatch(s, nil, false, false); err != nil || len(out) != 0 {
+		t.Errorf("empty batch: (%v, %v)", out, err)
 	}
 }
