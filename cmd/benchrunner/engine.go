@@ -10,11 +10,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/dsms"
 	"repro/internal/expr"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // engineBenchRow is one (pipeline, batch size) measurement.
@@ -37,6 +39,10 @@ type engineBenchReport struct {
 }
 
 func engineBenchGraph(kind string) *dsms.QueryGraph {
+	// A "+telemetry" suffix selects the same pipeline with the engine's
+	// metrics registry and 1-in-1024 trace sampling enabled, so the
+	// report carries the instrumentation overhead next to its baseline.
+	kind = strings.TrimSuffix(kind, "+telemetry")
 	switch kind {
 	case "filter":
 		return dsms.NewQueryGraph("s", dsms.NewFilterBox(expr.MustParse("a > 500")))
@@ -73,6 +79,9 @@ func runEngineBenchOne(kind string, batch, tuples int) (engineBenchRow, error) {
 	}
 	if _, err := eng.Deploy(engineBenchGraph(kind)); err != nil {
 		return engineBenchRow{}, err
+	}
+	if strings.HasSuffix(kind, "+telemetry") {
+		eng.EnableTelemetry(telemetry.NewRegistry(), 1024)
 	}
 	pool := make([]stream.Tuple, 1024)
 	for i := range pool {
@@ -132,7 +141,7 @@ func runEngine(scale int, outPath string) error {
 		Scale:           scale,
 	}
 	fmt.Printf("%-14s %-8s %-14s %-12s\n", "pipeline", "batch", "tuples/s", "ns/tuple")
-	for _, kind := range []string{"filter", "map", "tuple_window", "time_window"} {
+	for _, kind := range []string{"filter", "filter+telemetry", "map", "tuple_window", "tuple_window+telemetry", "time_window"} {
 		for _, batch := range []int{1, 64, 512} {
 			// One warm-up run at small size to stabilize allocator state.
 			if _, err := runEngineBenchOne(kind, batch, tuples/10); err != nil {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/dsmsd"
 	"repro/internal/netsim"
 	"repro/internal/source"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -28,6 +29,8 @@ func main() {
 	simnet := flag.Bool("simnet", false, "simulate 100 Mbps intranet latency per request")
 	bare := flag.Bool("bare", false, "register no built-in streams (remote shard of an exacmld runtime)")
 	trust := flag.Bool("trust-prevalidated", false, "skip schema re-validation for batches a trusted runtime marked prevalidated")
+	opsBind := flag.String("ops-bind", "", "ops HTTP listener (/metrics, /healthz, /readyz, /statsz, /debug/pprof); empty disables")
+	traceSample := flag.Int("trace-sample", 1024, "trace sampling period in ingested tuples, rounded up to a power of two")
 	flag.Parse()
 
 	engine := dsms.NewEngine(*name)
@@ -51,6 +54,25 @@ func main() {
 	}
 	srv := dsmsd.NewServer(engine, profile)
 	srv.TrustPrevalidated = *trust
+	if *opsBind != "" {
+		reg := telemetry.NewRegistry()
+		srv.EnableTelemetry(reg, *traceSample)
+		ops, err := telemetry.ServeOps(*opsBind, telemetry.OpsOptions{
+			Registry: reg,
+			Statsz: func() any {
+				return map[string]any{
+					"engine":  *name,
+					"streams": engine.Streams(),
+					"queries": engine.QueryCount(),
+				}
+			},
+		})
+		if err != nil {
+			log.Fatalf("ops listener: %v", err)
+		}
+		defer ops.Close()
+		fmt.Printf("dsmsd: ops listener on http://%s\n", ops.Addr())
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)

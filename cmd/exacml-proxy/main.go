@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/proxy"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -18,6 +19,7 @@ func main() {
 	upstream := flag.String("server", "127.0.0.1:7421", "exacmld data server address")
 	cache := flag.Bool("cache", true, "enable the stream-handle cache")
 	simnet := flag.Bool("simnet", false, "simulate 100 Mbps intranet latency per request")
+	opsBind := flag.String("ops-bind", "", "ops HTTP listener (/metrics, /healthz, /readyz, /debug/pprof); empty disables")
 	flag.Parse()
 
 	var profile *netsim.Profile
@@ -30,6 +32,24 @@ func main() {
 	}
 	defer px.Close()
 	px.SetCaching(*cache)
+
+	if *opsBind != "" {
+		reg := telemetry.NewRegistry()
+		px.EnableTelemetry(reg)
+		ops, err := telemetry.ServeOps(*opsBind, telemetry.OpsOptions{
+			Registry: reg,
+			Ready:    px.Ready,
+			Statsz: func() any {
+				hits, misses := px.Stats()
+				return map[string]uint64{"cache_hits": hits, "cache_misses": misses}
+			},
+		})
+		if err != nil {
+			log.Fatalf("ops listener: %v", err)
+		}
+		defer ops.Close()
+		fmt.Printf("exacml-proxy: ops listener on http://%s\n", ops.Addr())
+	}
 
 	bound, err := px.Listen(*addr)
 	if err != nil {

@@ -11,6 +11,13 @@
 //	exacml runtime-stats -addr HOST:PORT
 //	exacml reconfigure  -addr HOST:PORT -stream NAME [-class C] [-rate R] [-burst B]
 //	exacml governor-stats -addr HOST:PORT
+//	exacml watch        [-ops HOST:PORT] [-addr HOST:PORT] [-interval 2s] [-count N]
+//
+// watch refreshes the runtime-stats table every -interval. With -ops it
+// polls the server's ops listener (exacmld -ops-bind) over HTTP
+// /statsz — no RPC connection needed; without -ops it falls back to
+// the runtime-stats RPC on -addr. -count bounds the refreshes (0 =
+// forever).
 //
 // subscribe, publish, runtime-stats and reconfigure need a data server
 // with an embedded ingest runtime (exacmld -embedded); governor-stats
@@ -24,13 +31,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
+	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/client"
+	"repro/internal/metrics"
 	"repro/internal/source"
 	"repro/internal/stream"
 	"repro/internal/xacmlplus"
@@ -50,7 +62,7 @@ func main() {
 	action := fs.String("action", "read", "requested action")
 	query := fs.String("query", "", "user query XML file (request)")
 	handle := fs.String("handle", "", "granted stream handle (subscribe)")
-	count := fs.Int("count", 10, "tuples to print before exiting, 0 = forever (subscribe)")
+	count := fs.Int("count", 10, "tuples to print (subscribe) or refreshes to draw (watch) before exiting, 0 = forever")
 	streamName := fs.String("stream", "weather", "target stream (publish, reconfigure)")
 	gen := fs.String("gen", "weather", "tuple generator: weather|gps (publish)")
 	tuples := fs.Int("tuples", 1000, "tuples to publish (publish)")
@@ -58,13 +70,21 @@ func main() {
 	class := fs.String("class", "", "new priority class besteffort|normal|critical (reconfigure; empty = normal)")
 	rate := fs.Float64("rate", 0, "new quota rate in tuples/s, 0 = unlimited (reconfigure)")
 	burst := fs.Int("burst", 0, "new quota burst, 0 = one second of rate (reconfigure)")
+	ops := fs.String("ops", "", "ops listener address for /statsz polling (watch; empty = runtime-stats RPC on -addr)")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval (watch)")
 	_ = fs.Parse(os.Args[2:])
 
-	cli, err := client.Dial(*addr)
-	if err != nil {
-		log.Fatalf("connect %s: %v", *addr, err)
+	// watch against an ops listener is pure HTTP; don't require the RPC
+	// endpoint to be up for it.
+	var cli *client.Client
+	var err error
+	if cmd != "watch" || *ops == "" {
+		cli, err = client.Dial(*addr)
+		if err != nil {
+			log.Fatalf("connect %s: %v", *addr, err)
+		}
+		defer cli.Close()
 	}
-	defer cli.Close()
 
 	switch cmd {
 	case "load-policy":
@@ -216,9 +236,73 @@ func main() {
 			log.Fatalf("governor-stats: %v", err)
 		}
 		fmt.Print(st)
+	case "watch":
+		if *interval <= 0 {
+			log.Fatal("watch requires -interval > 0")
+		}
+		watch(cli, *ops, *interval, *count)
 	default:
 		usage()
 	}
+}
+
+// watch polls the runtime stats and redraws them in place. source is
+// the ops listener address (HTTP /statsz) or, when empty, the
+// runtime-stats RPC on the already-dialed client. count bounds the
+// refreshes; 0 runs until interrupted. Transient fetch errors are shown
+// and retried on the next tick.
+func watch(cli *client.Client, ops string, interval time.Duration, count int) {
+	fetch := func() (metrics.RuntimeStats, error) {
+		if ops != "" {
+			return fetchStatsz(ops)
+		}
+		return cli.RuntimeStats()
+	}
+	source := "runtime-stats rpc"
+	if ops != "" {
+		source = "ops " + ops
+	}
+	for i := 0; count <= 0 || i < count; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		st, err := fetch()
+		// Clear the screen and home the cursor between refreshes so the
+		// table redraws in place.
+		fmt.Print("\x1b[2J\x1b[H")
+		fmt.Printf("exacml watch (%s, every %v, refresh %d)\n\n", source, interval, i+1)
+		if err != nil {
+			fmt.Printf("fetch failed: %v\n", err)
+			continue
+		}
+		fmt.Print(st)
+	}
+}
+
+// fetchStatsz GETs the ops listener's /statsz and decodes the
+// RuntimeStats snapshot.
+func fetchStatsz(addr string) (metrics.RuntimeStats, error) {
+	var st metrics.RuntimeStats
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.HasSuffix(url, "/statsz") {
+		url = strings.TrimSuffix(url, "/") + "/statsz"
+	}
+	c := http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("decode %s: %w", url, err)
+	}
+	return st, nil
 }
 
 func quotaString(rate float64, burst int) string {
@@ -241,6 +325,7 @@ commands:
   publish       -addr HOST:PORT -stream NAME [-gen weather|gps] [-tuples N] [-batch N]
   runtime-stats -addr HOST:PORT
   reconfigure   -addr HOST:PORT -stream NAME [-class C] [-rate R] [-burst B]
-  governor-stats -addr HOST:PORT`)
+  governor-stats -addr HOST:PORT
+  watch         [-ops HOST:PORT] [-addr HOST:PORT] [-interval 2s] [-count N]`)
 	os.Exit(2)
 }

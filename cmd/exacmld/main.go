@@ -38,6 +38,14 @@
 //
 //	exacmld -embedded -governor -governor-bind "mallory=weather" \
 //	    -governor-threshold 5 -governor-cooldown 1m -policies ./policies
+//
+// -ops-bind starts the ops HTTP listener: /metrics (Prometheus text),
+// /healthz, /readyz (503 until every shard backend is healthy),
+// /statsz (RuntimeStats JSON, embedded mode) and /debug/pprof.
+// -trace-sample tunes how often a published batch is traced through
+// queue/seal/pipeline/push (see docs/OBSERVABILITY.md):
+//
+//	exacmld -embedded -ops-bind 127.0.0.1:9090 -trace-sample 256
 package main
 
 import (
@@ -57,6 +65,7 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/server"
 	"repro/internal/source"
+	"repro/internal/telemetry"
 	"repro/internal/xacml"
 	"repro/internal/xacmlplus"
 )
@@ -83,7 +92,14 @@ func main() {
 	govCooldown := flag.Duration("governor-cooldown", 0, "governor: demotion duration after the last offence (0 = default 1m)")
 	govClass := flag.String("governor-class", "besteffort", "governor: class demoted streams are moved to")
 	govRate := flag.Float64("governor-rate", 0, "governor: quota rate (tuples/s) imposed while demoted (0 = default 100)")
+	opsBind := flag.String("ops-bind", "", "ops HTTP listener (/metrics, /healthz, /readyz, /statsz, /debug/pprof); empty disables")
+	traceSample := flag.Int("trace-sample", 0, "publish-path trace sampling period in tuples, rounded up to a power of two (0 = default 1024)")
 	flag.Parse()
+
+	var reg *telemetry.Registry
+	if *opsBind != "" {
+		reg = telemetry.NewRegistry()
+	}
 
 	var auditLog *audit.Log
 	if *auditPath != "" {
@@ -99,6 +115,8 @@ func main() {
 	var pep *xacmlplus.PEP
 	var pub server.Publisher
 	var governorRef *governor.Governor
+	var opsReady func() error
+	var opsStatsz func() any
 	if *gov && !*embedded {
 		log.Fatal("-governor needs -embedded (it drives the runtime's admission state)")
 	}
@@ -132,13 +150,15 @@ func main() {
 			return []runtime.StreamOption{runtime.WithConfig(cfg)}
 		}
 		copts := core.Options{
-			Shards:     *shards,
-			ShardAddrs: backends,
-			QueueSize:  *queue,
-			Policy:     policy,
-			BlockClass: bc,
-			Failover:   fmode,
-			Audit:      auditLog,
+			Shards:           *shards,
+			ShardAddrs:       backends,
+			QueueSize:        *queue,
+			Policy:           policy,
+			BlockClass:       bc,
+			Failover:         fmode,
+			Audit:            auditLog,
+			Metrics:          reg,
+			TraceSampleEvery: *traceSample,
 		}
 		var bindings map[string][]string
 		if *gov {
@@ -178,6 +198,8 @@ func main() {
 		}
 		pep = fw.PEP
 		pub = fw.Runtime
+		opsReady = fw.Runtime.Health
+		opsStatsz = func() any { return fw.Runtime.Stats() }
 		kinds := make([]string, fw.Runtime.NumShards())
 		for i := range kinds {
 			kinds[i] = fw.Runtime.Backend(i).Kind()
@@ -191,6 +213,12 @@ func main() {
 		}
 		defer engine.Close()
 		pep = xacmlplus.NewPEP(xacml.NewPDP(), engine)
+		if reg != nil {
+			pep.EnableTelemetry(reg)
+			if auditLog != nil {
+				auditLog.EnableTelemetry(reg)
+			}
+		}
 	}
 	pep.DeployOnPR = *deployOnPR
 	if pep.Audit == nil && auditLog != nil {
@@ -231,6 +259,9 @@ func main() {
 	if governorRef != nil {
 		srv.AttachGovernor(governorRef)
 	}
+	if reg != nil {
+		srv.EnableTelemetry(reg)
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
@@ -238,6 +269,19 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("exacmld: data server listening on %s (engine %s, %d policies)\n",
 		bound, engineDesc, pep.PDP.Count())
+
+	if *opsBind != "" {
+		ops, err := telemetry.ServeOps(*opsBind, telemetry.OpsOptions{
+			Registry: reg,
+			Ready:    opsReady,
+			Statsz:   opsStatsz,
+		})
+		if err != nil {
+			log.Fatalf("ops listener: %v", err)
+		}
+		defer ops.Close()
+		fmt.Printf("exacmld: ops listener on http://%s (/metrics /healthz /readyz /statsz /debug/pprof)\n", ops.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -13,8 +13,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Event is one audit record.
@@ -60,6 +63,11 @@ type Log struct {
 	clock   func() int64
 	obs     map[int]func(Event)
 	nextObs int
+
+	// kinds counts appended events per kind and writeErrs the failed
+	// streaming writes, for the telemetry exposition.
+	kinds     map[string]uint64
+	writeErrs uint64
 }
 
 // NewLog creates an audit log. w may be nil for in-memory only.
@@ -87,12 +95,18 @@ func (l *Log) Append(e Event) (Event, error) {
 	e.Hash = hashEvent(e)
 	l.events = append(l.events, e)
 	l.last = e.Hash
+	if l.kinds == nil {
+		l.kinds = map[string]uint64{}
+	}
+	l.kinds[e.Kind]++
 	var werr error
 	if l.w != nil {
 		if data, err := json.Marshal(e); err != nil {
 			werr = err
+			l.writeErrs++
 		} else if _, err := l.w.Write(append(data, '\n')); err != nil {
 			werr = fmt.Errorf("audit: write: %w", err)
+			l.writeErrs++
 		}
 	}
 	obs := make([]func(Event), 0, len(l.obs))
@@ -138,6 +152,57 @@ func hashEvent(e Event) string {
 		e.Seq, e.Time, e.Kind, e.Subject, e.Resource, e.Action,
 		e.PolicyID, e.Decision, e.Verdict, e.Handle, e.Detail, e.Prev)
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// KindCounts returns a copy of the per-kind append counters.
+func (l *Log) KindCounts() map[string]uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]uint64, len(l.kinds))
+	for k, v := range l.kinds {
+		out[k] = v
+	}
+	return out
+}
+
+// WriteErrors reports how many appended events failed to stream to the
+// configured writer (the in-memory chain still holds them).
+func (l *Log) WriteErrors() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.writeErrs
+}
+
+// EnableTelemetry exports the log's counters on reg at scrape time:
+// exacml_audit_events_total{kind}, exacml_audit_write_errors_total and
+// the exacml_audit_chain_length gauge.
+func (l *Log) EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCollector(func(g *telemetry.Gather) {
+		l.mu.Lock()
+		n := len(l.events)
+		we := l.writeErrs
+		kinds := make([]string, 0, len(l.kinds))
+		for k := range l.kinds {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		counts := make([]uint64, len(kinds))
+		for i, k := range kinds {
+			counts[i] = l.kinds[k]
+		}
+		l.mu.Unlock()
+		g.Gauge("exacml_audit_chain_length",
+			"Events on the hash-chained audit log.", float64(n))
+		g.Counter("exacml_audit_write_errors_total",
+			"Audit events that failed to stream to the configured writer.", we)
+		for i, k := range kinds {
+			g.Counter("exacml_audit_events_total",
+				"Audit events appended, by kind.", counts[i], telemetry.L("kind", k))
+		}
+	})
 }
 
 // Len reports the number of recorded events.

@@ -26,6 +26,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/runtime"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/xacml"
 	"repro/internal/xacmlplus"
 )
@@ -70,6 +71,15 @@ type Options struct {
 	// governor cannot feed on decisions nobody records. Bind subjects
 	// to their streams with Framework.Governor.Bind.
 	Governor *governor.Config
+	// Metrics, when non-nil, instruments the whole framework on the
+	// given registry: runtime ingest counters and publish-path traces,
+	// engine shard counters, PEP request-phase histograms, audit and
+	// governor counters. Serve it with telemetry.ServeOps.
+	Metrics *telemetry.Registry
+	// TraceSampleEvery sets the publish-path trace sampling period in
+	// tuples (rounded up to a power of two; default
+	// runtime.DefaultTraceSampleEvery). Only meaningful with Metrics.
+	TraceSampleEvery int
 }
 
 // EngineSurface is the runtime-wide DSMS surface a Framework exposes:
@@ -117,14 +127,23 @@ func New(name string) *Framework { return NewWithOptions(name, Options{}) }
 // shard count: the runtime implements the engine surface the PEP
 // deploys against.
 func NewWithOptions(name string, opts Options) *Framework {
+	// Resolve the audit log before the runtime exists: shard health
+	// transitions are audited by the runtime itself (Kind "health").
+	auditLog := opts.Audit
+	if opts.Governor != nil && auditLog == nil {
+		auditLog = audit.NewLog(nil)
+	}
 	rt := runtime.New(name, runtime.Options{
-		Shards:     opts.Shards,
-		Backends:   opts.ShardAddrs,
-		QueueSize:  opts.QueueSize,
-		BatchSize:  opts.BatchSize,
-		Policy:     opts.Policy,
-		BlockClass: opts.BlockClass,
-		Failover:   opts.Failover,
+		Shards:           opts.Shards,
+		Backends:         opts.ShardAddrs,
+		QueueSize:        opts.QueueSize,
+		BatchSize:        opts.BatchSize,
+		Policy:           opts.Policy,
+		BlockClass:       opts.BlockClass,
+		Failover:         opts.Failover,
+		Metrics:          opts.Metrics,
+		TraceSampleEvery: opts.TraceSampleEvery,
+		Audit:            auditLog,
 	})
 	pdp := xacml.NewPDP()
 	fw := &Framework{
@@ -132,16 +151,22 @@ func NewWithOptions(name string, opts Options) *Framework {
 		Engine:  rt,
 		PDP:     pdp,
 		PEP:     xacmlplus.NewPEP(pdp, rt),
-		Audit:   opts.Audit,
+		Audit:   auditLog,
 	}
 	if opts.Governor != nil {
-		if fw.Audit == nil {
-			fw.Audit = audit.NewLog(nil)
-		}
 		fw.Governor = governor.New(rt, fw.Audit, *opts.Governor)
 	}
 	if fw.Audit != nil {
 		fw.PEP.Audit = fw.Audit
+	}
+	if opts.Metrics != nil {
+		fw.PEP.EnableTelemetry(opts.Metrics)
+		if fw.Audit != nil {
+			fw.Audit.EnableTelemetry(opts.Metrics)
+		}
+		if fw.Governor != nil {
+			fw.Governor.EnableTelemetry(opts.Metrics)
+		}
 	}
 	return fw
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // DefaultSubscriptionBuffer is the per-subscription channel capacity.
@@ -53,6 +54,10 @@ type Engine struct {
 	// publish-path lookup; rebuilt under mu on create/drop/close.
 	streamsSnap atomic.Pointer[map[string]*inputStream]
 	closedFlag  atomic.Bool
+
+	// tel is the metric/trace bundle installed by EnableTelemetry; nil
+	// (the default) keeps the hot path free of telemetry work.
+	tel atomic.Pointer[engineTelemetry]
 
 	// inflight tracks tuples handed to query goroutines but not yet
 	// fully processed, enabling the deterministic Flush used by tests
@@ -165,11 +170,19 @@ type Deployment struct {
 	OutputSchema *stream.Schema
 }
 
+// batchMsg is one mailbox entry: a sealed batch plus, when the batch
+// was sampled by the publish tracer, the span that travels with it (the
+// channel handoff orders the stamps across goroutines).
+type batchMsg struct {
+	ts []stream.Tuple
+	sp *telemetry.Span
+}
+
 type deployedQuery struct {
 	dep   Deployment
 	graph *QueryGraph
 	pipe  *pipeline
-	in    chan []stream.Tuple
+	in    chan batchMsg
 	done  chan struct{}
 	subMu sync.Mutex
 	subs  map[*Subscription]struct{}
@@ -193,13 +206,13 @@ type deployedQuery struct {
 // reporting whether the batch was accepted. The mailbox carries whole
 // batches so a publisher pays one channel operation per batch, not per
 // tuple; the slice must not be mutated after the send.
-func (q *deployedQuery) send(ts []stream.Tuple) bool {
+func (q *deployedQuery) send(m batchMsg) bool {
 	q.sendMu.RLock()
 	defer q.sendMu.RUnlock()
 	if q.closed {
 		return false
 	}
-	q.in <- ts
+	q.in <- m
 	return true
 }
 
@@ -223,25 +236,28 @@ func (s *Subscription) Dropped() uint64 {
 	return s.dropped
 }
 
-// pushBatch delivers a whole output batch under one lock acquisition.
-// Per tuple the drop-when-full semantics are unchanged: a tuple that
-// does not fit in the buffer is counted in Dropped, never blocked on.
-func (s *Subscription) pushBatch(ts []stream.Tuple) {
+// pushBatch delivers a whole output batch under one lock acquisition,
+// reporting how many tuples were shed. Per tuple the drop-when-full
+// semantics are unchanged: a tuple that does not fit in the buffer is
+// counted in Dropped, never blocked on.
+func (s *Subscription) pushBatch(ts []stream.Tuple) (dropped uint64) {
 	if len(ts) == 0 {
-		return
+		return 0
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return
+		return 0
 	}
 	for _, t := range ts {
 		select {
 		case s.c <- t:
 		default:
 			s.dropped++
+			dropped++
 		}
 	}
+	return dropped
 }
 
 func (s *Subscription) close() {
@@ -344,6 +360,9 @@ func (e *Engine) Deploy(g *QueryGraph) (Deployment, error) {
 	if err != nil {
 		return Deployment{}, err
 	}
+	// Deployed pipelines see the engine's live telemetry bundle (window
+	// emission counting); offline pipelines (RunGraphOnSlice) stay dark.
+	pipe.tel = &e.tel
 	e.nextID++
 	id := fmt.Sprintf("q%05d", e.nextID)
 	dep := Deployment{
@@ -356,7 +375,7 @@ func (e *Engine) Deploy(g *QueryGraph) (Deployment, error) {
 		dep:    dep,
 		graph:  gg,
 		pipe:   pipe,
-		in:     make(chan []stream.Tuple, 1024),
+		in:     make(chan batchMsg, 1024),
 		done:   make(chan struct{}),
 		subs:   map[*Subscription]struct{}{},
 		engine: e,
@@ -389,14 +408,29 @@ func (q *deployedQuery) updateSubsSnapLocked() {
 // batch's outputs — after deploy-time validation they are unreachable
 // for conforming tuples.
 func (q *deployedQuery) run() {
-	for batch := range q.in {
+	for m := range q.in {
+		batch, sp := m.ts, m.sp
 		subs := *q.subsSnap.Load()
+		sp.Begin(telemetry.StagePipeline)
 		outs, err := q.pipe.processBatch(batch, len(subs) > 0)
+		sp.End(telemetry.StagePipeline)
 		if err == nil {
+			sp.Begin(telemetry.StagePush)
+			var dropped uint64
 			for _, s := range subs {
-				s.pushBatch(outs)
+				dropped += s.pushBatch(outs)
+			}
+			sp.End(telemetry.StagePush)
+			if tel := q.engine.tel.Load(); tel != nil {
+				if len(outs) > 0 {
+					tel.outputs.Add(uint64(len(outs)))
+				}
+				if dropped > 0 {
+					tel.subDropped.Add(dropped)
+				}
 			}
 		}
+		sp.Finish()
 		q.engine.taskDoneN(len(batch))
 	}
 	close(q.done)
@@ -530,16 +564,22 @@ func (e *Engine) lookupStream(streamName string) (*inputStream, error) {
 func (e *Engine) clockFn() func() int64 { return *e.clock.Load() }
 
 // dispatch hands sealed tuples to the snapshot of deployed queries as
-// one batch per query.
-func (e *Engine) dispatch(targets []*deployedQuery, nts []stream.Tuple) {
+// one batch per query. A sampled span rides with the first query that
+// accepts the batch (that query's goroutine finishes it); if every
+// query refuses — or none is deployed — the span is finished here so it
+// still records its seal stage.
+func (e *Engine) dispatch(targets []*deployedQuery, nts []stream.Tuple, sp *telemetry.Span) {
 	for _, q := range targets {
 		e.taskAddN(len(nts))
-		if !q.send(nts) {
+		if q.send(batchMsg{ts: nts, sp: sp}) {
+			sp = nil
+		} else {
 			// The query was withdrawn between the registry snapshot and
 			// the send; nothing to do.
 			e.taskDoneN(len(nts))
 		}
 	}
+	sp.Finish()
 }
 
 // Ingest appends a tuple to a named input stream, assigning its sequence
@@ -554,7 +594,7 @@ func (e *Engine) dispatch(targets []*deployedQuery, nts []stream.Tuple) {
 func (e *Engine) Ingest(streamName string, t stream.Tuple) error {
 	one := make([]stream.Tuple, 1)
 	one[0] = t
-	return e.ingestBatch(streamName, one, false, true)
+	return e.ingestBatch(streamName, one, false, true, nil, false)
 }
 
 // IngestBatch appends a batch of tuples to a named input stream with a
@@ -566,7 +606,7 @@ func (e *Engine) Ingest(streamName string, t stream.Tuple) error {
 // not mutate a tuple's Values after a successful IngestBatch. (Ingest
 // has the same ownership contract for its single tuple.)
 func (e *Engine) IngestBatch(streamName string, ts []stream.Tuple) error {
-	return e.ingestBatch(streamName, ts, false, false)
+	return e.ingestBatch(streamName, ts, false, false, nil, false)
 }
 
 // IngestBatchPrevalidated is IngestBatch without the per-tuple
@@ -576,7 +616,7 @@ func (e *Engine) IngestBatch(streamName string, ts []stream.Tuple) error {
 // the wrong arity for the current schema fail the batch rather than
 // corrupt it.
 func (e *Engine) IngestBatchPrevalidated(streamName string, ts []stream.Tuple) error {
-	return e.ingestBatch(streamName, ts, true, false)
+	return e.ingestBatch(streamName, ts, true, false, nil, false)
 }
 
 // IngestBatchOwned is IngestBatchPrevalidated for callers that hand
@@ -586,26 +626,65 @@ func (e *Engine) IngestBatchPrevalidated(streamName string, ts []stream.Tuple) e
 // query mailboxes with zero copying and zero allocation. The shard
 // drain loop feeds its batches straight through here.
 func (e *Engine) IngestBatchOwned(streamName string, ts []stream.Tuple) error {
-	return e.ingestBatch(streamName, ts, true, true)
+	return e.ingestBatch(streamName, ts, true, true, nil, false)
 }
 
-func (e *Engine) ingestBatch(streamName string, ts []stream.Tuple, prevalidated, owned bool) error {
+// IngestBatchOwnedTraced is IngestBatchOwned for callers that run their
+// own publish tracer (the sharded runtime): sp, which may be nil for an
+// unsampled batch, continues through the engine's seal / pipeline /
+// push stages, and the engine's own sampling is suppressed so the
+// caller's sampling rate governs. The engine takes ownership of the
+// span (it is finished when the batch completes or errors out).
+func (e *Engine) IngestBatchOwnedTraced(streamName string, ts []stream.Tuple, sp *telemetry.Span) error {
+	return e.ingestBatch(streamName, ts, true, true, sp, true)
+}
+
+func (e *Engine) ingestBatch(streamName string, ts []stream.Tuple, prevalidated, owned bool, sp *telemetry.Span, traced bool) error {
 	if len(ts) == 0 {
+		sp.Finish()
 		return nil
 	}
 	is, err := e.lookupStream(streamName)
 	if err != nil {
+		sp.Finish()
 		return err
 	}
+	if tel := e.tel.Load(); tel != nil {
+		// One atomic add per batch: the offered-tuples counter is also
+		// the sampling clock, so tracing costs no extra atomics until a
+		// batch actually crosses a sampling boundary.
+		n := tel.clock.Add(uint64(len(ts)))
+		if !traced && sp == nil {
+			sp = tel.tracer.SampleCrossing(n-uint64(len(ts)), n)
+		}
+		if err := e.sealAndDispatch(is, ts, prevalidated, owned, sp); err != nil {
+			tel.errors.Add(uint64(len(ts)))
+			return err
+		}
+		return nil
+	}
+	return e.sealAndDispatch(is, ts, prevalidated, owned, sp)
+}
+
+// sealAndDispatch normalizes, seals and dispatches one batch, stamping
+// the seal stage on a sampled span. The span is consumed: handed to a
+// query goroutine on success, finished here on error.
+func (e *Engine) sealAndDispatch(is *inputStream, ts []stream.Tuple, prevalidated, owned bool, sp *telemetry.Span) error {
+	sp.Begin(telemetry.StageSeal)
 	nts, err := stream.NormalizeBatch(is.schema, ts, prevalidated, owned)
 	if err != nil {
+		sp.CloseOpen()
+		sp.Finish()
 		return fmt.Errorf("dsms: %w", err)
 	}
 	targets, err := is.seal(e.clockFn(), nts)
 	if err != nil {
+		sp.CloseOpen()
+		sp.Finish()
 		return err
 	}
-	e.dispatch(targets, nts)
+	sp.End(telemetry.StageSeal)
+	e.dispatch(targets, nts, sp)
 	return nil
 }
 

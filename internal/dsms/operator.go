@@ -2,6 +2,7 @@ package dsms
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/expr"
 	"repro/internal/stream"
@@ -74,6 +75,12 @@ type pipeline struct {
 	// queries on the stream and therefore must not be mutated.
 	copyIn bool
 	buf    []stream.Tuple
+	// isAgg[i] marks op i as a window aggregate, whose emissions feed
+	// the window-emit counter when tel is live. tel points at the owning
+	// engine's telemetry slot (nil for offline pipelines), so enabling
+	// telemetry on a running engine reaches already-deployed queries.
+	isAgg []bool
+	tel   *atomic.Pointer[engineTelemetry]
 }
 
 // buildPipeline instantiates the whole chain for a graph.
@@ -92,10 +99,12 @@ func buildPipeline(g *QueryGraph, in *stream.Schema) (*pipeline, *stream.Schema,
 		cur = op.outSchema()
 	}
 	hasAgg := false
+	p.isAgg = make([]bool, len(p.ops))
 	for i := len(p.ops) - 1; i >= 0; i-- {
 		p.escapes[i] = !hasAgg
 		if _, ok := p.ops[i].(*aggregateOp); ok {
 			hasAgg = true
+			p.isAgg[i] = true
 		}
 	}
 	// The shared input batch stays aliased through every leading filter
@@ -130,6 +139,11 @@ func (p *pipeline) processBatch(batch []stream.Tuple, retain bool) ([]stream.Tup
 		out, err := op.processBatch(cur, retain && p.escapes[i])
 		if err != nil {
 			return nil, err
+		}
+		if p.isAgg[i] && len(out) > 0 && p.tel != nil {
+			if tel := p.tel.Load(); tel != nil {
+				tel.windowEmits.Add(uint64(len(out)))
+			}
 		}
 		if len(out) == 0 {
 			return nil, nil

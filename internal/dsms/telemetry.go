@@ -1,0 +1,56 @@
+package dsms
+
+import (
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// engineTelemetry is the engine's metric bundle, installed atomically by
+// EnableTelemetry so the publish hot path pays a single pointer load to
+// discover whether telemetry is on. The clock counts tuples offered to
+// ingest and doubles as the trace sampling clock (SampleCrossing), so an
+// enabled engine adds exactly one atomic add per ingested batch.
+type engineTelemetry struct {
+	tracer *telemetry.Tracer
+	clock  atomic.Uint64 // tuples offered to ingest (post stream lookup)
+
+	errors      *telemetry.Counter // batches that failed normalize/seal, in tuples
+	outputs     *telemetry.Counter // tuples emitted by query pipelines
+	windowEmits *telemetry.Counter // tuples emitted by window aggregates
+	subDropped  *telemetry.Counter // tuples shed because a subscriber lagged
+}
+
+// EnableTelemetry registers the engine's metric families on reg and
+// starts sampling publish-path traces (seal / pipeline / push stages)
+// every sampleEvery ingested tuples (rounded up to a power of two;
+// values <= 1 trace every batch). Counter families carry an engine
+// label; trace histograms are shared across engines on the same
+// registry, and with the sharded runtime's tracer, so one exposition
+// shows the whole publish path. Safe to call on a live engine; a nil
+// registry is a no-op.
+func (e *Engine) EnableTelemetry(reg *telemetry.Registry, sampleEvery int) {
+	if reg == nil {
+		return
+	}
+	lab := telemetry.L("engine", e.name)
+	tel := &engineTelemetry{
+		tracer: telemetry.NewPublishTracer(reg, sampleEvery),
+		errors: reg.Counter("exacml_engine_ingest_error_tuples_total",
+			"Tuples whose ingest batch failed normalization or sealing.", lab),
+		outputs: reg.Counter("exacml_engine_output_tuples_total",
+			"Tuples emitted by continuous query pipelines.", lab),
+		windowEmits: reg.Counter("exacml_engine_window_emits_total",
+			"Tuples emitted by window aggregates (one per closed window and group).", lab),
+		subDropped: reg.Counter("exacml_engine_subscription_dropped_total",
+			"Output tuples shed because a subscriber lagged behind its buffer.", lab),
+	}
+	// The offered-tuples total is the sampling clock itself, exported at
+	// scrape time so the hot path maintains one counter, not two.
+	reg.RegisterCollector(func(g *telemetry.Gather) {
+		g.Counter("exacml_engine_ingest_tuples_total",
+			"Tuples offered to engine ingest (batches reaching a registered stream).",
+			tel.clock.Load(), lab)
+	})
+	e.tel.Store(tel)
+}

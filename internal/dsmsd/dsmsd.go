@@ -20,6 +20,7 @@ import (
 	"repro/internal/ratelimit"
 	"repro/internal/stream"
 	"repro/internal/streamql"
+	"repro/internal/telemetry"
 )
 
 // Message types of the DSMS service.
@@ -230,6 +231,18 @@ func NewServer(engine *dsms.Engine, profile *netsim.Profile) *Server {
 	s.srv.Handle(MsgReconfigure, s.handleReconfigure)
 	s.srv.Handle(MsgAdmission, s.handleAdmission)
 	return s
+}
+
+// EnableTelemetry instruments the wrapped engine (ingest/output/window
+// counters plus seal/pipeline/push traces sampled every sampleEvery
+// ingested tuples; values <= 1 trace every batch) and hooks per-request
+// RPC metrics into the socket dispatcher. Call before Listen.
+func (s *Server) EnableTelemetry(reg *telemetry.Registry, sampleEvery int) {
+	if reg == nil {
+		return
+	}
+	s.Engine.EnableTelemetry(reg, sampleEvery)
+	s.srv.Observe = telemetry.RPCObserver(reg)
 }
 
 // Listen binds the server; "127.0.0.1:0" picks an ephemeral port.

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/runtime"
+	"repro/internal/telemetry"
 )
 
 // KindGovern is the audit Event.Kind under which the governor records
@@ -491,6 +492,36 @@ func (st Stats) String() string {
 			s.Subject, s.Score, demoted, dur, strings.Join(s.Streams, ","))
 	}
 	return b.String()
+}
+
+// EnableTelemetry exports the governor's lifetime counters and subject
+// gauges on reg at scrape time (no hot-path cost: the exposition reads
+// the same snapshot Stats serves).
+func (g *Governor) EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCollector(func(ga *telemetry.Gather) {
+		st := g.Stats()
+		ga.Counter("exacml_governor_events_total",
+			"Abuse signals the governor has scored from the audit chain.", st.Events)
+		ga.Counter("exacml_governor_demotions_total",
+			"Admission demotions the governor applied.", st.Demotions)
+		ga.Counter("exacml_governor_restores_total",
+			"Admission restores the governor applied after cooldown.", st.Restores)
+		ga.Gauge("exacml_governor_threshold",
+			"Badness score at which a subject's streams are demoted.", st.Threshold)
+		demoted := 0
+		for _, s := range st.Subjects {
+			if s.Demoted {
+				demoted++
+			}
+		}
+		ga.Gauge("exacml_governor_subjects",
+			"Subjects the governor currently tracks.", float64(len(st.Subjects)))
+		ga.Gauge("exacml_governor_demoted_subjects",
+			"Tracked subjects currently demoted.", float64(demoted))
+	})
 }
 
 // Stats snapshots the governor's subjects (scores decayed to now) and

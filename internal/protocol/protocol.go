@@ -14,6 +14,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // ErrClosed is the sentinel wrapped by every client error caused by a
@@ -396,6 +397,15 @@ func CallDecode[T any](c *Client, typ string, payload any) (T, error) {
 	return Decode[T](resp)
 }
 
+// Alive reports whether the connection is still usable (it has not
+// died or been closed). Readiness probes use it to check an upstream
+// without issuing an RPC.
+func (c *Client) Alive() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.closed
+}
+
 // Close tears down the connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
@@ -423,6 +433,13 @@ type Server struct {
 	// Delay, when non-nil, injects simulated network latency per
 	// request/response pair (see internal/netsim).
 	Delay func(requestBytes, responseBytes int)
+
+	// Observe, when non-nil, is called once per dispatched request with
+	// the message type, handler latency and outcome (nil on success;
+	// hijacked connections are not observed). Daemons wire it to
+	// telemetry.RPCObserver for per-type request counters and latency
+	// histograms.
+	Observe func(typ string, d time.Duration, err error)
 }
 
 // ErrHijacked tells the server loop the handler owns the connection now.
@@ -492,6 +509,7 @@ func (s *Server) serveConn(conn *Conn) {
 		s.mu.Lock()
 		h, ok := s.handlers[m.Type]
 		delay := s.Delay
+		obs := s.Observe
 		s.mu.Unlock()
 
 		reqBytes := len(m.Payload)
@@ -499,7 +517,14 @@ func (s *Server) serveConn(conn *Conn) {
 		if !ok {
 			resp = &Message{Type: m.Type + ".err", ID: m.ID, Error: fmt.Sprintf("protocol: unknown message type %q", m.Type)}
 		} else {
+			var started time.Time
+			if obs != nil {
+				started = time.Now()
+			}
 			out, err := s.invoke(h, m, conn)
+			if obs != nil && err != ErrHijacked {
+				obs(m.Type, time.Since(started), err)
+			}
 			switch {
 			case err == ErrHijacked:
 				continue

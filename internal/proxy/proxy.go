@@ -10,12 +10,18 @@ package proxy
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"sync"
 
 	"repro/internal/netsim"
 	"repro/internal/protocol"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
+
+// errUpstreamDown is the /readyz cause when the upstream connection has
+// died.
+var errUpstreamDown = errors.New("proxy: upstream connection down")
 
 // Proxy forwards eXACML+ requests to the upstream data server.
 type Proxy struct {
@@ -70,6 +76,44 @@ func (p *Proxy) Stats() (hits, misses uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.hits, p.misses
+}
+
+// EnableTelemetry exports the proxy's cache counters on reg and hooks
+// per-request RPC metrics (exacml_rpc_requests_total{type,status},
+// exacml_rpc_seconds{type}) into the client-facing server.
+func (p *Proxy) EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	p.srv.Observe = telemetry.RPCObserver(reg)
+	reg.RegisterCollector(func(g *telemetry.Gather) {
+		hits, misses := p.Stats()
+		p.mu.Lock()
+		size := len(p.cache)
+		caching := p.caching
+		p.mu.Unlock()
+		g.Counter("exacml_proxy_cache_hits_total",
+			"Access requests served from the handle cache.", hits)
+		g.Counter("exacml_proxy_cache_misses_total",
+			"Access requests that missed the handle cache.", misses)
+		g.Gauge("exacml_proxy_cache_entries",
+			"Handles currently cached.", float64(size))
+		on := 0.0
+		if caching {
+			on = 1
+		}
+		g.Gauge("exacml_proxy_caching_enabled",
+			"Whether the handle cache is enabled (1) or bypassed (0).", on)
+	})
+}
+
+// Ready reports nil while the upstream connection is alive; the ops
+// listener's /readyz endpoint is wired to it.
+func (p *Proxy) Ready() error {
+	if !p.upstream.Alive() {
+		return errUpstreamDown
+	}
+	return nil
 }
 
 // Listen binds the proxy's client-facing listener.

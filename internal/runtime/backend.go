@@ -7,6 +7,7 @@ import (
 	"repro/internal/dsms"
 	"repro/internal/stream"
 	"repro/internal/streamql"
+	"repro/internal/telemetry"
 )
 
 // BackendDeployment describes one continuous query running on one
@@ -80,6 +81,17 @@ type ShardBackend interface {
 	Close() error
 }
 
+// tracedIngester is the optional ShardBackend surface the shard worker
+// uses to hand a sampled publish-trace span down with its batch, so the
+// span's seal / pipeline / push stages are stamped inside the engine.
+// Backends without it (remote shards, test fakes) get the whole backend
+// call recorded as one StageBackend interval instead; keeping the
+// surface optional means the ShardBackend interface — and every
+// implementation of it — is untouched by tracing.
+type tracedIngester interface {
+	IngestBatchOwnedTraced(streamName string, ts []stream.Tuple, sp *telemetry.Span) error
+}
+
 // LocalBackend adapts an in-process dsms.Engine to the ShardBackend
 // interface with zero behaviour change relative to the pre-interface
 // runtime.
@@ -115,6 +127,13 @@ func (b *LocalBackend) StreamSchema(name string) (*stream.Schema, error) {
 // copying via IngestBatchOwned.
 func (b *LocalBackend) IngestBatchPrevalidated(streamName string, ts []stream.Tuple) error {
 	return b.eng.IngestBatchOwned(streamName, ts)
+}
+
+// IngestBatchOwnedTraced implements tracedIngester: a publish-trace
+// span sampled at PublishBatch time continues through the in-process
+// engine's seal / pipeline / push stages.
+func (b *LocalBackend) IngestBatchOwnedTraced(streamName string, ts []stream.Tuple, sp *telemetry.Span) error {
+	return b.eng.IngestBatchOwnedTraced(streamName, ts, sp)
 }
 
 // Deploy implements ShardBackend, preferring the compiled graph and

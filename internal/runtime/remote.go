@@ -49,6 +49,15 @@ type RemoteOptions struct {
 	// the owning shard so publishes fail fast (or reroute) with correct
 	// accounting.
 	OnDown func(err error)
+	// OnHealthEvent observes connection-health transitions for
+	// telemetry: "dial" (one per connect attempt, err carries the
+	// failure of the previous attempt or nil), "connected" (first
+	// successful dial), "reconnected" (a later redial succeeded), and
+	// "down" (terminal, same instant the OnDown hook is scheduled). The
+	// hook may be called with the backend's internal lock held: it must
+	// be fast and must not call back into the backend. Expensive work
+	// (audit appends) belongs on a fresh goroutine.
+	OnHealthEvent func(event string, err error)
 }
 
 func (o RemoteOptions) withDefaults() RemoteOptions {
@@ -158,8 +167,14 @@ func (b *RemoteBackend) client() (*dsmsd.Client, error) {
 			time.Sleep(backoff)
 			backoff *= 2
 		}
+		b.healthEvent("dial", lastErr)
 		cli, err := dsmsd.DialTimeout(b.addr, b.opts.CallTimeout)
 		if err == nil {
+			if b.dialed {
+				b.healthEvent("reconnected", nil)
+			} else {
+				b.healthEvent("connected", nil)
+			}
 			b.cli = cli
 			b.dialed = true
 			return cli, nil
@@ -181,11 +196,20 @@ func (b *RemoteBackend) dropClient(cli *dsmsd.Client) {
 	_ = cli.Close()
 }
 
+// healthEvent notifies the health observer; safe with b.mu held (the
+// hook contract forbids calling back into the backend).
+func (b *RemoteBackend) healthEvent(event string, err error) {
+	if hook := b.opts.OnHealthEvent; hook != nil {
+		hook(event, err)
+	}
+}
+
 // markDownLocked records the terminal error and schedules the OnDown
 // hook; the caller holds b.mu.
 func (b *RemoteBackend) markDownLocked(err error) {
 	b.downErr = err
 	b.healthy.Store(false)
+	b.healthEvent("down", err)
 	b.downOnce.Do(func() {
 		if hook := b.opts.OnDown; hook != nil {
 			// Invoke outside the lock: the hook typically takes the

@@ -38,14 +38,17 @@ import (
 	"hash/fnv"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/dsms"
 	"repro/internal/metrics"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // Policy selects what happens when a shard's queue is full.
@@ -92,6 +95,11 @@ func ParsePolicy(s string) (Policy, error) {
 const (
 	DefaultQueueSize = 4096
 	DefaultBatchSize = 256
+	// DefaultTraceSampleEvery is the publish-trace sampling period: one
+	// traced batch in 1024, cheap enough to leave on under load while
+	// still filling the stage histograms within seconds at realistic
+	// rates.
+	DefaultTraceSampleEvery = 1024
 )
 
 // BackendSpec selects the backend for one shard slot: the zero value
@@ -195,6 +203,20 @@ type Options struct {
 	// backend is declared down, with the shard index and terminal
 	// error (observability hook; called from a backend goroutine).
 	OnShardDown func(shard int, err error)
+	// Metrics, when non-nil, receives the runtime's metric families
+	// (shard and stream accounting, health events) and enables engine
+	// telemetry on every local shard; the publish-path tracer is built
+	// over it too. Nil (the default) keeps telemetry entirely off the
+	// hot path.
+	Metrics *telemetry.Registry
+	// TraceSampleEvery is the publish-trace sampling period in batches
+	// (rounded up to a power of two; default DefaultTraceSampleEvery).
+	// Ignored without Metrics.
+	TraceSampleEvery int
+	// Audit, when non-nil, receives a Kind "health" event per remote
+	// shard health transition (connected / reconnected / down), feeding
+	// the same hash chain the access decisions land on.
+	Audit *audit.Log
 }
 
 func (o Options) withDefaults() Options {
@@ -212,6 +234,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BatchSize > o.QueueSize {
 		o.BatchSize = o.QueueSize
+	}
+	if o.TraceSampleEvery <= 0 {
+		o.TraceSampleEvery = DefaultTraceSampleEvery
 	}
 	return o
 }
@@ -253,6 +278,11 @@ type Runtime struct {
 	opts   Options
 	shards []*shard
 	start  time.Time
+
+	// reg/tracer are nil unless Options.Metrics was set; every metric
+	// and span method tolerates nil, so the hot path needs no guards.
+	reg    *telemetry.Registry
+	tracer *telemetry.Tracer
 
 	rejected atomic.Uint64
 
@@ -301,6 +331,15 @@ func New(name string, opts Options) *Runtime {
 				userDown(err)
 			}
 		}
+		// Chain the health observer: feed the runtime's telemetry and
+		// audit trail, then the caller's hook.
+		userHealth := ropts.OnHealthEvent
+		ropts.OnHealthEvent = func(event string, err error) {
+			rt.noteHealthEvent(idx, event, err)
+			if userHealth != nil {
+				userHealth(event, err)
+			}
+		}
 		backends[i] = NewRemoteBackend(spec.Addr, ropts)
 	}
 	rt = NewWithBackends(name, opts, backends)
@@ -331,7 +370,120 @@ func NewWithBackends(name string, opts Options, backends []ShardBackend) *Runtim
 	for i, be := range backends {
 		rt.shards[i] = newShard(i, be, opts.QueueSize, opts.BatchSize, opts.Policy, opts.BlockClass)
 	}
+	if opts.Metrics != nil {
+		rt.reg = opts.Metrics
+		rt.tracer = telemetry.NewPublishTracer(rt.reg, opts.TraceSampleEvery)
+		for _, be := range backends {
+			if lb, ok := be.(*LocalBackend); ok {
+				// Local engines record seal/pipeline/push stages and their
+				// own counters on the shared registry; histogram families
+				// are idempotent, so all shards feed the same series.
+				lb.Engine().EnableTelemetry(rt.reg, opts.TraceSampleEvery)
+			}
+		}
+		rt.reg.RegisterCollector(rt.collectStats)
+	}
 	return rt
+}
+
+// collectStats exports the runtime's accounting as Prometheus families
+// at scrape time — zero hot-path cost, and the exported counters are
+// exactly the Stats() ones, so the offered == ingested + dropped +
+// errors invariant carries over to the exposition.
+func (rt *Runtime) collectStats(g *telemetry.Gather) {
+	st := rt.Stats()
+	g.Counter("exacml_publish_rejected_total",
+		"Tuples rejected synchronously for schema violations.", st.Rejected)
+	for _, s := range st.Shards {
+		lab := telemetry.L("shard", strconv.Itoa(s.Shard))
+		g.Counter("exacml_shard_offered_total",
+			"Tuples offered to a shard queue.", s.Offered, lab)
+		g.Counter("exacml_shard_accepted_total",
+			"Tuples accepted into a shard queue.", s.Accepted, lab)
+		g.Counter("exacml_shard_dropped_total",
+			"Tuples shed by backpressure policy or eviction, per shard.", s.Dropped, lab)
+		g.Counter("exacml_shard_ingested_total",
+			"Tuples the shard worker delivered to its backend.", s.Ingested, lab)
+		g.Counter("exacml_shard_errors_total",
+			"Tuples that failed at the shard backend.", s.Errors, lab)
+		g.Gauge("exacml_shard_queue_depth",
+			"Tuples queued or draining on a shard.", float64(s.QueueDepth), lab)
+		g.Gauge("exacml_shard_queue_capacity",
+			"Shard queue capacity.", float64(s.QueueCap), lab)
+		healthy := 0.0
+		if s.Healthy {
+			healthy = 1
+		}
+		g.Gauge("exacml_shard_healthy",
+			"Whether the shard backend is believed reachable (1) or down (0).", healthy, lab)
+	}
+	for _, row := range st.Streams {
+		labs := []telemetry.Label{telemetry.L("stream", row.Stream), telemetry.L("class", row.Class)}
+		g.Counter("exacml_stream_offered_total",
+			"Tuples offered to a stream.", row.Offered, labs...)
+		g.Counter("exacml_stream_shed_total",
+			"Tuples shed by the stream's token-bucket quota.", row.Shed, labs...)
+		g.Counter("exacml_stream_dropped_total",
+			"Tuples dropped for a stream (quota sheds plus policy drops).", row.Dropped, labs...)
+		g.Counter("exacml_stream_ingested_total",
+			"Tuples ingested for a stream.", row.Ingested, labs...)
+		g.Counter("exacml_stream_errors_total",
+			"Tuples errored for a stream.", row.Errors, labs...)
+		g.Counter("exacml_stream_reconfigured_total",
+			"Live admission reconfigurations applied to a stream.", row.Reconfigured, labs...)
+	}
+	for _, c := range st.Classes {
+		lab := telemetry.L("class", c.Class)
+		g.Counter("exacml_class_offered_total",
+			"Tuples offered, by priority class.", c.Offered, lab)
+		g.Counter("exacml_class_dropped_total",
+			"Tuples dropped, by priority class.", c.Dropped, lab)
+		g.Counter("exacml_class_ingested_total",
+			"Tuples ingested, by priority class.", c.Ingested, lab)
+	}
+}
+
+// noteHealthEvent feeds a remote shard's health transition into the
+// metric registry and, for real transitions (not per-attempt dials),
+// the audit chain. Appending from a fresh goroutine is load-bearing:
+// the hook can fire with the backend's mutex held, and an audit
+// observer (the governor) may call back into Reconfigure, which needs
+// that same mutex to forward admission state.
+func (rt *Runtime) noteHealthEvent(shard int, event string, err error) {
+	rt.reg.Counter("exacml_shard_health_events_total",
+		"Remote shard connection-health transitions, by shard and event "+
+			"(dial, connected, reconnected, down).",
+		telemetry.L("shard", strconv.Itoa(shard)), telemetry.L("event", event)).Inc()
+	if event == "dial" || rt.opts.Audit == nil {
+		return
+	}
+	detail := ""
+	if err != nil {
+		detail = err.Error()
+	}
+	go func() {
+		_, _ = rt.opts.Audit.Append(audit.Event{
+			Kind:     "health",
+			Resource: fmt.Sprintf("shard/%d", shard),
+			Action:   event,
+			Detail:   detail,
+		})
+	}()
+}
+
+// Health reports nil when every shard backend is believed reachable,
+// or the first shard's failure; the ops listener's /readyz endpoint is
+// wired to it.
+func (rt *Runtime) Health() error {
+	for i, s := range rt.shards {
+		if err := s.failedErr(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if !s.be.Healthy() {
+			return fmt.Errorf("shard %d (%s): unhealthy", i, s.be.Kind())
+		}
+	}
+	return nil
 }
 
 // NumShards reports the shard count.
@@ -769,8 +921,14 @@ func (rt *Runtime) PublishBatchVerdict(streamName string, ts []stream.Tuple) (Pu
 			return v, nil
 		}
 	}
+	// Sample the publish tracer once per batch (nil tracer or unsampled
+	// batch → nil span, and every stamp below is a no-op). The span's
+	// queue-wait stage opens here and travels with the batch's first
+	// queued tuple to the shard worker.
+	sp := rt.tracer.Sample()
+	sp.Begin(telemetry.StageQueueWait)
 	if r.keyIdx < 0 {
-		n, err := rt.shards[rt.targetShard(r, r.shard)].enqueue(r.name, ad.cfg.Class, r.counters, ts)
+		n, err := rt.shards[rt.targetShard(r, r.shard)].enqueue(r.name, ad.cfg.Class, r.counters, ts, sp)
 		v.Accepted = n
 		return v, err
 	}
@@ -799,12 +957,18 @@ func (rt *Runtime) PublishBatchVerdict(streamName string, ts []stream.Tuple) (Pu
 		if len(bucket) == 0 {
 			continue
 		}
-		n, err := rt.shards[rt.targetShard(r, si)].enqueue(r.name, ad.cfg.Class, r.counters, bucket)
+		// The span rides with the first dispatched bucket; the others go
+		// untraced (per-bucket spans would multiply one sampled publish
+		// into shard-count traces).
+		n, err := rt.shards[rt.targetShard(r, si)].enqueue(r.name, ad.cfg.Class, r.counters, bucket, sp)
+		sp = nil
 		v.Accepted += n
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
+	sp.CloseOpen()
+	sp.Finish()
 	return v, firstErr
 }
 

@@ -5,15 +5,20 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 // item is one queued publish: a tuple bound for a named stream on the
 // shard's engine, tagged with the stream's priority class and counters
-// so drops and ingests can be attributed back to the stream.
+// so drops and ingests can be attributed back to the stream. A sampled
+// publish-trace span rides on the first item of its batch (sp is nil on
+// every other item), crossing from the publisher to the shard worker
+// through the queue's mutex.
 type item struct {
 	stream string
 	class  Class
 	sc     *streamCounters
+	sp     *telemetry.Span
 	tuple  stream.Tuple
 }
 
@@ -73,6 +78,7 @@ func (r *classRing) popNewest() item {
 type shard struct {
 	idx        int
 	be         ShardBackend
+	ti         tracedIngester // be's optional tracing surface, or nil
 	policy     Policy
 	blockClass Class
 	batch      int
@@ -111,6 +117,7 @@ func newShard(idx int, be ShardBackend, queue, batch int, policy Policy, blockCl
 		cap:        queue,
 		done:       make(chan struct{}),
 	}
+	s.ti, _ = be.(tracedIngester)
 	s.notEmpty = sync.NewCond(&s.mu)
 	s.notFull = sync.NewCond(&s.mu)
 	s.idle = sync.NewCond(&s.mu)
@@ -125,11 +132,17 @@ func (s *shard) push(it item) {
 	s.count++
 }
 
-// dropItem accounts one shed tuple against the shard and its stream.
+// dropItem accounts one shed tuple against the shard and its stream. A
+// span riding on an evicted item is closed out here — its batch is not
+// reaching the backend through this tuple.
 func (s *shard) dropItem(it item) {
 	s.dropped++
 	if it.sc != nil {
 		it.sc.dropped.Add(1)
+	}
+	if it.sp != nil {
+		it.sp.CloseOpen()
+		it.sp.Finish()
 	}
 }
 
@@ -158,10 +171,20 @@ func (s *shard) evictLowest(limit Class, newest bool) bool {
 // enqueue applies the backpressure policy to a batch of tuples bound
 // for one stream. It returns how many tuples were accepted into the
 // queue; under the drop policies lower-class queued tuples are evicted
-// before an incoming higher-class tuple is refused.
-func (s *shard) enqueue(streamName string, class Class, sc *streamCounters, ts []stream.Tuple) (int, error) {
+// before an incoming higher-class tuple is refused. A sampled span
+// (Begin(StageQueueWait) already stamped by the publisher) is attached
+// to the first accepted item; when nothing is accepted it is finished
+// here so every sampled batch resolves exactly once.
+func (s *shard) enqueue(streamName string, class Class, sc *streamCounters, ts []stream.Tuple, sp *telemetry.Span) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer func() {
+		if sp != nil {
+			// Never attached: the whole batch was dropped or refused.
+			sp.CloseOpen()
+			sp.Finish()
+		}
+	}()
 	accepted := 0
 	for i, t := range ts {
 		if s.closed {
@@ -210,7 +233,8 @@ func (s *shard) enqueue(streamName string, class Class, sc *streamCounters, ts [
 				}
 			}
 		}
-		s.push(item{stream: streamName, class: class, sc: sc, tuple: t})
+		s.push(item{stream: streamName, class: class, sc: sc, sp: sp, tuple: t})
+		sp = nil
 		s.accepted++
 		accepted++
 		if s.count == 1 {
@@ -305,13 +329,38 @@ func (s *shard) run() {
 				j++
 			}
 			tuples := make([]stream.Tuple, j-i)
+			// One span continues with the run; extra sampled spans that
+			// landed in the same drain (rare at realistic sampling rates)
+			// are closed out with just their queue-wait stage.
+			var sp *telemetry.Span
 			for k := i; k < j; k++ {
 				tuples[k-i] = scratch[k].tuple
+				if sk := scratch[k].sp; sk != nil {
+					if sp == nil {
+						sp = sk
+					} else {
+						sk.End(telemetry.StageQueueWait)
+						sk.Finish()
+					}
+					scratch[k].sp = nil
+				}
 			}
+			sp.End(telemetry.StageQueueWait)
 			// PublishBatch already validated against the stream schema;
 			// skip the engine's conformance walk.
 			run := uint64(j - i)
-			if err := s.be.IngestBatchPrevalidated(scratch[i].stream, tuples); err != nil {
+			var err error
+			if s.ti != nil {
+				// The span's seal/pipeline/push stages are stamped inside
+				// the in-process engine, which takes ownership of it.
+				err = s.ti.IngestBatchOwnedTraced(scratch[i].stream, tuples, sp)
+			} else {
+				sp.Begin(telemetry.StageBackend)
+				err = s.be.IngestBatchPrevalidated(scratch[i].stream, tuples)
+				sp.End(telemetry.StageBackend)
+				sp.Finish()
+			}
+			if err != nil {
 				bad += run
 				if sc := scratch[i].sc; sc != nil {
 					sc.errors.Add(run)

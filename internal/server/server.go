@@ -14,6 +14,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/runtime"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/xacml"
 	"repro/internal/xacmlplus"
 )
@@ -203,6 +204,13 @@ func (s *Server) AttachPublisher(p Publisher) { s.pub = p }
 // AttachGovernor exposes a running accountability governor over
 // MsgGovernorStats; call before Listen.
 func (s *Server) AttachGovernor(g *governor.Governor) { s.gov = g }
+
+// EnableTelemetry hooks per-request RPC metrics
+// (exacml_rpc_requests_total{type,status}, exacml_rpc_seconds{type})
+// into the server's protocol dispatcher.
+func (s *Server) EnableTelemetry(reg *telemetry.Registry) {
+	s.srv.Observe = telemetry.RPCObserver(reg)
+}
 
 // Listen binds the server.
 func (s *Server) Listen(addr string) (string, error) { return s.srv.Listen(addr) }

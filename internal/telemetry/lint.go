@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// LintExposition validates a Prometheus text exposition (version
+// 0.0.4): HELP/TYPE comment structure, metric and label syntax, sample
+// values, and histogram shape (cumulative non-decreasing buckets
+// ending in +Inf, with a matching _count). The ops-endpoint tests use
+// it to assert /metrics output parses, without pulling in a Prometheus
+// dependency.
+func LintExposition(r io.Reader) error {
+	var (
+		nameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+		sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})?\s+(\S+)$`)
+		labelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"$`)
+	)
+	types := map[string]string{} // family -> declared type
+	helped := map[string]bool{}
+	type histState struct {
+		lastCum  map[string]uint64 // base labels -> cumulative count
+		sawInf   map[string]uint64
+		sawCount map[string]uint64
+	}
+	hists := map[string]*histState{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !nameRe.MatchString(name) {
+				return fmt.Errorf("line %d: malformed HELP: %q", lineNo, line)
+			}
+			if helped[name] {
+				return fmt.Errorf("line %d: duplicate HELP for %q", lineNo, name)
+			}
+			helped[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 || !nameRe.MatchString(fields[0]) {
+				return fmt.Errorf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[1])
+			}
+			if _, dup := types[fields[0]]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, fields[0])
+			}
+			types[fields[0]] = fields[1]
+			if fields[1] == "histogram" {
+				hists[fields[0]] = &histState{
+					lastCum: map[string]uint64{}, sawInf: map[string]uint64{}, sawCount: map[string]uint64{},
+				}
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample: %q", lineNo, line)
+		}
+		name, labels, value := m[1], m[3], m[4]
+		if value != "NaN" && value != "+Inf" && value != "-Inf" {
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				return fmt.Errorf("line %d: bad sample value %q", lineNo, value)
+			}
+		}
+		if labels != "" {
+			for _, pair := range splitLabels(labels) {
+				if !labelRe.MatchString(pair) {
+					return fmt.Errorf("line %d: bad label pair %q", lineNo, pair)
+				}
+			}
+		}
+		// Resolve the family: histogram samples use _bucket/_sum/_count
+		// suffixes on the declared family name.
+		family := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name && types[base] == "histogram" {
+				family = base
+				break
+			}
+		}
+		typ, declared := types[family]
+		if !declared {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE", lineNo, name)
+		}
+		if typ == "histogram" {
+			h := hists[family]
+			base, le, isBucket := splitLE(labels)
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if !isBucket {
+					return fmt.Errorf("line %d: histogram bucket without le label: %q", lineNo, line)
+				}
+				cum, err := strconv.ParseUint(value, 10, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: non-integer bucket count %q", lineNo, value)
+				}
+				if cum < h.lastCum[base] {
+					return fmt.Errorf("line %d: histogram %q buckets not cumulative", lineNo, family)
+				}
+				h.lastCum[base] = cum
+				if le == "+Inf" {
+					h.sawInf[base] = cum + 1 // store cum, offset to distinguish "seen 0"
+				}
+			case strings.HasSuffix(name, "_count"):
+				cum, err := strconv.ParseUint(value, 10, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: non-integer histogram count %q", lineNo, value)
+				}
+				h.sawCount[base] = cum + 1
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for fam, h := range hists {
+		for base, inf := range h.sawInf {
+			if inf == 0 {
+				return fmt.Errorf("histogram %q{%s} missing +Inf bucket", fam, base)
+			}
+			if cnt, ok := h.sawCount[base]; ok && cnt != inf {
+				return fmt.Errorf("histogram %q{%s}: _count %d != +Inf bucket %d", fam, base, cnt-1, inf-1)
+			}
+		}
+		for base := range h.sawCount {
+			if h.sawInf[base] == 0 {
+				return fmt.Errorf("histogram %q{%s} has _count but no +Inf bucket", fam, base)
+			}
+		}
+	}
+	return nil
+}
+
+// splitLabels splits a rendered label block on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if depth {
+				i++ // skip escaped char
+			}
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// splitLE removes the le="..." pair from a label block, returning the
+// remaining (base) labels, the le value, and whether le was present.
+func splitLE(labels string) (base, le string, ok bool) {
+	var rest []string
+	for _, pair := range splitLabels(labels) {
+		if v, found := strings.CutPrefix(pair, `le="`); found {
+			le = strings.TrimSuffix(v, `"`)
+			ok = true
+			continue
+		}
+		rest = append(rest, pair)
+	}
+	return strings.Join(rest, ","), le, ok
+}

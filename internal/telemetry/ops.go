@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// OpsOptions configures an ops listener.
+type OpsOptions struct {
+	// Registry is scraped by /metrics (nil renders an empty exposition).
+	Registry *Registry
+	// Ready gates /readyz: nil means always ready; a non-nil error turns
+	// /readyz into a 503 carrying the error text. Daemons fronting shard
+	// backends wire this to "every backend healthy".
+	Ready func() error
+	// Statsz, when non-nil, is serialized to JSON by /statsz (the
+	// RuntimeStats snapshot on exacmld); nil returns 404.
+	Statsz func() any
+}
+
+// OpsServer is the ops HTTP listener: /metrics (Prometheus text),
+// /healthz (process liveness), /readyz (backend readiness), /statsz
+// (JSON stats snapshot) and net/http/pprof under /debug/pprof/.
+type OpsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeOps binds the ops listener on addr (e.g. ":9090" or
+// "127.0.0.1:0") and starts serving in the background.
+func ServeOps(addr string, opts OpsOptions) (*OpsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: ops listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = opts.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if opts.Ready != nil {
+			if err := opts.Ready(); err != nil {
+				http.Error(w, fmt.Sprintf("not ready: %v", err), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, _ *http.Request) {
+		if opts.Statsz == nil {
+			http.NotFound(w, nil)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(opts.Statsz())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &OpsServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr reports the bound address (useful with ":0").
+func (s *OpsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and open connections.
+func (s *OpsServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func opsGet(t *testing.T, addr, path string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+func TestOpsServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("exacml_ops_test_total", "Ops test counter.").Add(5)
+	var notReady atomic.Bool
+	srv, err := ServeOps("127.0.0.1:0", OpsOptions{
+		Registry: reg,
+		Ready: func() error {
+			if notReady.Load() {
+				return errors.New("shard 1 down")
+			}
+			return nil
+		},
+		Statsz: func() any { return map[string]int{"shards": 2} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	addr := srv.Addr()
+
+	code, body, ctype := opsGet(t, addr, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ctype)
+	}
+	if !strings.Contains(body, "exacml_ops_test_total 5") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if err := LintExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics does not lint: %v", err)
+	}
+
+	if code, body, _ := opsGet(t, addr, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	if code, body, _ := opsGet(t, addr, "/readyz"); code != 200 || !strings.Contains(body, "ready") {
+		t.Fatalf("/readyz = %d %q", code, body)
+	}
+	notReady.Store(true)
+	if code, body, _ := opsGet(t, addr, "/readyz"); code != 503 || !strings.Contains(body, "shard 1 down") {
+		t.Fatalf("/readyz after flip = %d %q, want 503 with cause", code, body)
+	}
+
+	code, body, ctype = opsGet(t, addr, "/statsz")
+	if code != 200 || ctype != "application/json" || !strings.Contains(body, `"shards": 2`) {
+		t.Fatalf("/statsz = %d %q %q", code, ctype, body)
+	}
+
+	if code, _, _ := opsGet(t, addr, "/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	if code, _, _ := opsGet(t, addr, "/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+func TestOpsServerNoStatsz(t *testing.T) {
+	srv, err := ServeOps("127.0.0.1:0", OpsOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, _, _ := opsGet(t, srv.Addr(), "/statsz"); code != 404 {
+		t.Fatalf("/statsz without provider = %d, want 404", code)
+	}
+	// Nil registry still renders an empty, lintable exposition.
+	code, body, _ := opsGet(t, srv.Addr(), "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if err := LintExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("empty exposition does not lint: %v", err)
+	}
+}

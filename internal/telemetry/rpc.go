@@ -1,0 +1,47 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// RPCObserver builds a per-request observation hook for
+// protocol.Server.Observe: it maintains
+// exacml_rpc_requests_total{type,status} counters and an
+// exacml_rpc_seconds{type} latency histogram per message type. The
+// per-type metric handles are cached in a sync.Map so the steady state
+// skips the registry mutex.
+func RPCObserver(reg *Registry) func(typ string, d time.Duration, err error) {
+	if reg == nil {
+		return nil
+	}
+	type rpcMetrics struct {
+		ok   *Counter
+		errs *Counter
+		h    *Histogram
+	}
+	var cache sync.Map
+	return func(typ string, d time.Duration, err error) {
+		mi, found := cache.Load(typ)
+		if !found {
+			m := &rpcMetrics{
+				ok: reg.Counter("exacml_rpc_requests_total",
+					"RPC requests handled, by message type and outcome.",
+					L("type", typ), L("status", "ok")),
+				errs: reg.Counter("exacml_rpc_requests_total",
+					"RPC requests handled, by message type and outcome.",
+					L("type", typ), L("status", "error")),
+				h: reg.Histogram("exacml_rpc_seconds",
+					"RPC handler latency, by message type.", nil, L("type", typ)),
+			}
+			mi, _ = cache.LoadOrStore(typ, m)
+		}
+		m := mi.(*rpcMetrics)
+		if err != nil {
+			m.errs.Inc()
+		} else {
+			m.ok.Inc()
+		}
+		m.h.Observe(d)
+	}
+}

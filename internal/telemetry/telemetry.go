@@ -1,0 +1,438 @@
+// Package telemetry is the always-on observability plane of the
+// reproduction: a dependency-free metrics registry (atomic counters,
+// gauges and fixed-bucket histograms, designed so the batch-native
+// ingest hot path pays at most a couple of uncontended atomic adds per
+// batch), a sampled stage-latency tracer for the publish and request
+// paths (trace.go), and an ops HTTP listener exposing the registry in
+// Prometheus text format next to health, readiness, stats and pprof
+// endpoints (ops.go).
+//
+// Metrics register idempotently: asking for the same family name and
+// label set twice returns the same underlying metric, so independent
+// subsystems (the sharded runtime and each local engine shard, say)
+// can share one family without coordination. Values that already exist
+// as counters elsewhere — the runtime's per-shard and per-stream
+// accounting, the governor's demotion totals, the audit chain length —
+// are exported through scrape-time collectors instead of being
+// double-counted on the hot path, which also preserves their internal
+// invariants (offered == ingested + dropped + errors) exactly in the
+// exported families.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one metric dimension (a Prometheus label pair).
+type Label struct{ Key, Value string }
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing metric. The zero value is
+// usable; all methods are nil-safe so call sites need no telemetry
+// guards.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n and returns the new value.
+func (c *Counter) Add(n uint64) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load reads the current value (0 on nil).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. Nil-safe like Counter.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the current value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Load reads the current value (0 on nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefLatencyBuckets are the default histogram bounds, in seconds:
+// wide enough to cover a 1µs operator batch and a multi-second queue
+// wait in one family.
+var DefLatencyBuckets = []float64{
+	1e-6, 5e-6, 25e-6, 100e-6, 500e-6,
+	2.5e-3, 10e-3, 50e-3, 250e-3, 1, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram: one atomic add per
+// observation after a short linear scan over the bounds, no
+// allocation. Bounds are in seconds and must be ascending; a final
+// +Inf bucket is implicit.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
+	sum    atomic.Int64    // total observed nanoseconds
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	s := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+type metricType int
+
+const (
+	counterType metricType = iota
+	gaugeType
+	histogramType
+)
+
+func (t metricType) String() string {
+	switch t {
+	case counterType:
+		return "counter"
+	case gaugeType:
+		return "gauge"
+	case histogramType:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// family is one named metric family with its series keyed by rendered
+// label set.
+type family struct {
+	name   string
+	help   string
+	typ    metricType
+	bounds []float64
+	series map[string]any // labels key -> *Counter | *Gauge | *Histogram
+}
+
+// Registry holds metric families and scrape-time collectors. The zero
+// value is not usable; call NewRegistry. A nil *Registry is accepted
+// everywhere and disables registration (metric constructors return
+// nil, which the nil-safe metric methods turn into no-ops).
+type Registry struct {
+	mu         sync.Mutex
+	families   map[string]*family
+	order      []string
+	collectors []func(*Gather)
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// labelsKey renders a label set into its canonical (sorted, escaped)
+// exposition form, e.g. `shard="0",stream="gps"`. Empty for no labels.
+func labelsKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// getOrCreate returns the family's series for the label set, creating
+// family and series as needed. A name registered under a different
+// metric type panics: that is a programming error worth failing loudly
+// on at startup.
+func (r *Registry) getOrCreate(name, help string, typ metricType, bounds []float64, labels []Label) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, bounds: bounds, series: map[string]any{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)", name, typ, f.typ))
+	}
+	key := labelsKey(labels)
+	if m, ok := f.series[key]; ok {
+		return m
+	}
+	var m any
+	switch typ {
+	case counterType:
+		m = &Counter{}
+	case gaugeType:
+		m = &Gauge{}
+	case histogramType:
+		m = newHistogram(f.bounds)
+	}
+	f.series[key] = m
+	return m
+}
+
+// Counter registers (or finds) a counter series. Returns nil on a nil
+// registry; Counter methods are nil-safe, so the result is always
+// usable.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.getOrCreate(name, help, counterType, nil, labels).(*Counter)
+}
+
+// Gauge registers (or finds) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.getOrCreate(name, help, gaugeType, nil, labels).(*Gauge)
+}
+
+// Histogram registers (or finds) a histogram series. bounds (seconds,
+// ascending) apply to the whole family and are fixed by the first
+// registration; nil selects DefLatencyBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.getOrCreate(name, help, histogramType, bounds, labels).(*Histogram)
+}
+
+// RegisterCollector adds a scrape-time collector: fn runs on every
+// WritePrometheus call and reports point-in-time families through the
+// Gather. Collectors export values that already exist as counters
+// elsewhere (runtime stats, audit chain length) without adding any
+// hot-path cost.
+func (r *Registry) RegisterCollector(fn func(*Gather)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// Gather accumulates collector output for one scrape.
+type Gather struct {
+	fams  map[string]*gatherFam
+	order []string
+}
+
+type gatherFam struct {
+	help string
+	typ  metricType
+	rows []gatherRow
+}
+
+type gatherRow struct {
+	labels string
+	value  string
+}
+
+func (g *Gather) add(name, help string, typ metricType, value string, labels []Label) {
+	f, ok := g.fams[name]
+	if !ok {
+		f = &gatherFam{help: help, typ: typ}
+		g.fams[name] = f
+		g.order = append(g.order, name)
+	}
+	f.rows = append(f.rows, gatherRow{labels: labelsKey(labels), value: value})
+}
+
+// Counter reports one counter sample.
+func (g *Gather) Counter(name, help string, v uint64, labels ...Label) {
+	g.add(name, help, counterType, strconv.FormatUint(v, 10), labels)
+}
+
+// Gauge reports one gauge sample.
+func (g *Gather) Gauge(name, help string, v float64, labels ...Label) {
+	g.add(name, help, gaugeType, formatFloat(v), labels)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered family and every collector's
+// output in the Prometheus text exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	// Snapshot families and series under the lock (getOrCreate mutates
+	// both); the metric values themselves are atomics, safe to read
+	// unlocked during render.
+	r.mu.Lock()
+	snaps := make([]famSnap, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.families[name]
+		s := famSnap{name: f.name, help: f.help, typ: f.typ, rows: make([]seriesRow, 0, len(f.series))}
+		for k, m := range f.series {
+			s.rows = append(s.rows, seriesRow{labels: k, m: m})
+		}
+		snaps = append(snaps, s)
+	}
+	collectors := make([]func(*Gather), len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range snaps {
+		renderFamily(&b, f)
+	}
+	g := &Gather{fams: map[string]*gatherFam{}}
+	for _, fn := range collectors {
+		fn(g)
+	}
+	for _, name := range g.order {
+		f := g.fams[name]
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, f.help, name, f.typ)
+		rows := f.rows
+		sort.Slice(rows, func(i, j int) bool { return rows[i].labels < rows[j].labels })
+		for _, row := range rows {
+			writeSample(&b, name, row.labels, row.value)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSample(b *strings.Builder, name, labels, value string) {
+	b.WriteString(name)
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+// famSnap is a lock-free render snapshot of one family.
+type famSnap struct {
+	name string
+	help string
+	typ  metricType
+	rows []seriesRow
+}
+
+type seriesRow struct {
+	labels string
+	m      any
+}
+
+func renderFamily(b *strings.Builder, f famSnap) {
+	rows := f.rows
+	sort.Slice(rows, func(i, j int) bool { return rows[i].labels < rows[j].labels })
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+	for _, r := range rows {
+		switch m := r.m.(type) {
+		case *Counter:
+			writeSample(b, f.name, r.labels, strconv.FormatUint(m.Load(), 10))
+		case *Gauge:
+			writeSample(b, f.name, r.labels, strconv.FormatInt(m.Load(), 10))
+		case *Histogram:
+			renderHistogram(b, f.name, r.labels, m)
+		}
+	}
+}
+
+func renderHistogram(b *strings.Builder, name, labels string, h *Histogram) {
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		le := formatFloat(bound)
+		ls := `le="` + le + `"`
+		if labels != "" {
+			ls = labels + "," + ls
+		}
+		writeSample(b, name+"_bucket", ls, strconv.FormatUint(cum, 10))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	ls := `le="+Inf"`
+	if labels != "" {
+		ls = labels + "," + ls
+	}
+	writeSample(b, name+"_bucket", ls, strconv.FormatUint(cum, 10))
+	writeSample(b, name+"_sum", labels, formatFloat(time.Duration(h.sum.Load()).Seconds()))
+	writeSample(b, name+"_count", labels, strconv.FormatUint(cum, 10))
+}

@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryRenderAndLint(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("exacml_test_total", "A test counter.", L("shard", "0"))
+	c.Add(7)
+	reg.Counter("exacml_test_total", "A test counter.", L("shard", "1")).Inc()
+	g := reg.Gauge("exacml_depth", "A test gauge.")
+	g.Set(-3)
+	h := reg.Histogram("exacml_lat_seconds", "A test histogram.", nil, L("stage", "seal"))
+	h.Observe(3 * time.Microsecond)
+	h.Observe(20 * time.Millisecond)
+	h.Observe(30 * time.Second) // lands in +Inf
+	reg.RegisterCollector(func(ga *Gather) {
+		ga.Counter("exacml_collected_total", "From a collector.", 42, L("k", "v"))
+		ga.Gauge("exacml_collected_depth", "From a collector.", 1.5)
+	})
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`exacml_test_total{shard="0"} 7`,
+		`exacml_test_total{shard="1"} 1`,
+		`exacml_depth -3`,
+		`exacml_lat_seconds_bucket{stage="seal",le="+Inf"} 3`,
+		`exacml_lat_seconds_count{stage="seal"} 3`,
+		`exacml_collected_total{k="v"} 42`,
+		`exacml_collected_depth 1.5`,
+		"# TYPE exacml_lat_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	if err := LintExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition does not lint: %v\n%s", err, out)
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("exacml_same_total", "h", L("x", "1"))
+	b := reg.Counter("exacml_same_total", "h", L("x", "1"))
+	if a != b {
+		t.Fatal("same name+labels should return the same counter")
+	}
+	other := reg.Counter("exacml_same_total", "h", L("x", "2"))
+	if a == other {
+		t.Fatal("different labels must be distinct series")
+	}
+}
+
+func TestNilRegistryAndMetricsAreSafe(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x_total", "h")
+	c.Add(3)
+	c.Inc()
+	if c.Load() != 0 {
+		t.Fatal("nil counter should read 0")
+	}
+	reg.Gauge("g", "h").Set(4)
+	reg.Histogram("h_seconds", "h", nil).Observe(time.Second)
+	if err := reg.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var tr *Tracer
+	sp := tr.Sample()
+	sp.Begin(0)
+	sp.End(0)
+	sp.Finish()
+}
+
+func TestLintExpositionRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"no_type_metric 1\n",               // sample without TYPE
+		"# TYPE m counter\nm{x=\"1\" 3\n",  // broken labels
+		"# TYPE m counter\nm notanumber\n", // bad value
+		"# TYPE m histogram\nm_bucket{le=\"1\"} 5\nm_bucket{le=\"2\"} 3\nm_bucket{le=\"+Inf\"} 5\n", // non-cumulative
+		"# TYPE m histogram\nm_bucket{le=\"1\"} 5\nm_count 5\n",                                     // no +Inf
+	}
+	for i, s := range bad {
+		if err := LintExposition(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: lint accepted bad exposition:\n%s", i, s)
+		}
+	}
+}
+
+func TestTracerSamplingAndHistograms(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg, "exacml_req", []string{"a", "b"}, 1)
+	sp := tr.Sample()
+	if sp == nil {
+		t.Fatal("sampleEvery=1 must always sample")
+	}
+	sp.Begin(0)
+	time.Sleep(time.Millisecond)
+	sp.End(0)
+	sp.Begin(1)
+	sp.End(1)
+	if sp.Duration(0) < time.Millisecond {
+		t.Fatalf("stage 0 duration %v too small", sp.Duration(0))
+	}
+	sp.Finish()
+	sp.Finish() // double finish is a no-op
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `exacml_req_stage_seconds_count{stage="a"} 1`) {
+		t.Errorf("stage histogram not fed:\n%s", out)
+	}
+	if !strings.Contains(out, "exacml_req_e2e_seconds_count 1") {
+		t.Errorf("e2e histogram not fed:\n%s", out)
+	}
+	if err := LintExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("tracer exposition does not lint: %v", err)
+	}
+}
+
+func TestTracerSampleEveryPowerOfTwo(t *testing.T) {
+	tr := NewTracer(nil, "x", []string{"s"}, 1000)
+	if got := tr.SampleEvery(); got != 1024 {
+		t.Fatalf("sampleEvery rounded to %d, want 1024", got)
+	}
+	n := 0
+	for i := 0; i < 4096; i++ {
+		if sp := tr.Sample(); sp != nil {
+			n++
+			sp.Finish()
+		}
+	}
+	if n != 4 {
+		t.Fatalf("sampled %d of 4096, want 4", n)
+	}
+}
+
+func TestTracerSampleCrossing(t *testing.T) {
+	tr := NewTracer(nil, "x", []string{"s"}, 4)
+	var n, hits uint64
+	for i := 0; i < 100; i++ {
+		before := n
+		n += 3
+		if sp := tr.SampleCrossing(before, n); sp != nil {
+			hits++
+			sp.Finish()
+		}
+	}
+	// 100 batches of 3 tuples cross a multiple of 4 every ~4/3 batches.
+	if hits < 60 || hits > 80 {
+		t.Fatalf("crossing sampled %d times, want ~75", hits)
+	}
+}
+
+func TestNilRegistryTracerStillMeasures(t *testing.T) {
+	tr := NewTracer(nil, "exacml_req", []string{"pdp"}, 1)
+	sp := tr.Sample()
+	sp.Begin(0)
+	time.Sleep(time.Millisecond)
+	sp.End(0)
+	if sp.Duration(0) == 0 {
+		t.Fatal("nil-registry span must still record durations")
+	}
+	sp.Finish()
+}

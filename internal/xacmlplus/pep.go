@@ -3,6 +3,7 @@ package xacmlplus
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/audit"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/stream"
 	"repro/internal/streamql"
+	"repro/internal/telemetry"
 	"repro/internal/xacml"
 )
 
@@ -119,6 +121,48 @@ type PEP struct {
 	// Audit, when non-nil, records every decision into the
 	// accountability log (the §6 future-work mechanism).
 	Audit *audit.Log
+
+	// tr traces each request's pdp/graph/engine phases. It defaults to
+	// a registry-less tracer so Timings are measured even when
+	// telemetry is off; EnableTelemetry swaps in one that also feeds
+	// latency histograms.
+	tr atomic.Pointer[telemetry.Tracer]
+}
+
+// Request-phase stage indices of the PEP tracer; they mirror the
+// Timings fields.
+const (
+	stagePDP = iota
+	stageGraph
+	stageEngine
+)
+
+// requestStages names the PEP tracer's stages, indexed by stagePDP..
+var requestStages = []string{"pdp", "graph", "engine"}
+
+// spans returns the request tracer, lazily installing the
+// registry-less default.
+func (p *PEP) spans() *telemetry.Tracer {
+	if t := p.tr.Load(); t != nil {
+		return t
+	}
+	t := telemetry.NewTracer(nil, "exacml_request", requestStages, 1)
+	if p.tr.CompareAndSwap(nil, t) {
+		return t
+	}
+	return p.tr.Load()
+}
+
+// EnableTelemetry feeds the per-request phase spans into reg as
+// exacml_request_stage_seconds{stage="pdp"|"graph"|"engine"},
+// exacml_request_e2e_seconds and exacml_request_traces_total. Every
+// request is traced (the PEP path is not the tuple hot path), and
+// resp.Timings remains derived from the same span.
+func (p *PEP) EnableTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	p.tr.Store(telemetry.NewTracer(reg, "exacml_request", requestStages, 1))
 }
 
 // auditEvent appends an event if auditing is enabled.
@@ -173,10 +217,25 @@ func (p *PEP) handleRequest(req *xacml.Request, userQuery *UserQuery) (*AccessRe
 	}
 	resp := &AccessResponse{Verdict: expr.VerdictOK}
 
+	// One span per request carries the pdp/graph/engine phase stamps;
+	// the deferred cleanup closes whatever stage an early return left
+	// open and derives resp.Timings from the same measurements the
+	// telemetry histograms consume.
+	sp := p.spans().Sample()
+	defer func() {
+		sp.CloseOpen()
+		resp.Timings = Timings{
+			PDP:        sp.Duration(stagePDP),
+			QueryGraph: sp.Duration(stageGraph),
+			Engine:     sp.Duration(stageEngine),
+		}
+		sp.Finish()
+	}()
+
 	// Step 1-2: PDP evaluation.
-	t0 := time.Now()
+	sp.Begin(stagePDP)
 	result, err := p.PDP.Evaluate(req)
-	resp.Timings.PDP = time.Since(t0)
+	sp.End(stagePDP)
 	if err != nil {
 		return nil, fmt.Errorf("xacmlplus: PDP: %w", err)
 	}
@@ -193,7 +252,7 @@ func (p *PEP) handleRequest(req *xacml.Request, userQuery *UserQuery) (*AccessRe
 	}
 
 	// Step 2 (cont.): obligations -> policy query graph.
-	t1 := time.Now()
+	sp.Begin(stageGraph)
 	policyGraph, err := ObligationsToGraph(streamName, result.Obligations)
 	if err != nil {
 		return nil, err
@@ -203,12 +262,10 @@ func (p *PEP) handleRequest(req *xacml.Request, userQuery *UserQuery) (*AccessRe
 	var userGraph *dsms.QueryGraph
 	if userQuery != nil {
 		if uqs := strings.TrimSpace(userQuery.Stream.Name); uqs != "" && !strings.EqualFold(uqs, streamName) {
-			resp.Timings.QueryGraph = time.Since(t1)
 			return resp, fmt.Errorf("xacmlplus: user query targets stream %q but request asks for %q", uqs, streamName)
 		}
 		userGraph, err = userQuery.ToGraph()
 		if err != nil {
-			resp.Timings.QueryGraph = time.Since(t1)
 			return resp, err
 		}
 		userGraph.Input = streamName
@@ -216,34 +273,28 @@ func (p *PEP) handleRequest(req *xacml.Request, userQuery *UserQuery) (*AccessRe
 
 	check, err := CheckGraphs(policyGraph, userGraph)
 	if err != nil {
-		resp.Timings.QueryGraph = time.Since(t1)
 		return resp, err
 	}
 	resp.Verdict = check.Verdict
 	resp.Warnings = check.Warnings
 	if check.Verdict == expr.VerdictNR || (check.Verdict == expr.VerdictPR && !p.DeployOnPR) {
 		// Step 5 gate: warn the user instead of deploying.
-		resp.Timings.QueryGraph = time.Since(t1)
 		return resp, nil
 	}
 
 	merged, err := MergeGraphs(policyGraph, userGraph)
 	if err != nil {
-		resp.Timings.QueryGraph = time.Since(t1)
 		return resp, err
 	}
 	schema, err := p.Engine.StreamSchema(streamName)
 	if err != nil {
-		resp.Timings.QueryGraph = time.Since(t1)
 		return resp, err
 	}
 	if _, err := merged.Validate(schema); err != nil {
-		resp.Timings.QueryGraph = time.Since(t1)
 		return resp, err
 	}
 	script, err := streamql.GenerateString(merged, schema)
 	if err != nil {
-		resp.Timings.QueryGraph = time.Since(t1)
 		return resp, err
 	}
 	resp.Script = script
@@ -254,7 +305,6 @@ func (p *PEP) handleRequest(req *xacml.Request, userQuery *UserQuery) (*AccessRe
 	// information); a *different* query — the reconstruction-attack
 	// vector — is rejected.
 	if id, handle, existingScript, busy := p.Manager.Grant(user, streamName); busy {
-		resp.Timings.QueryGraph = time.Since(t1)
 		if existingScript == script {
 			resp.QueryID = id
 			resp.Handle = handle
@@ -264,12 +314,12 @@ func (p *PEP) handleRequest(req *xacml.Request, userQuery *UserQuery) (*AccessRe
 		return resp, fmt.Errorf("xacmlplus: user %q already holds query %s on stream %q (single access per stream, §3.4)",
 			user, id, streamName)
 	}
-	resp.Timings.QueryGraph = time.Since(t1)
+	sp.End(stageGraph)
 
 	// Step 5: ship to the DSMS, return the handle.
-	t2 := time.Now()
+	sp.Begin(stageEngine)
 	queryID, handle, err := p.Engine.DeployScript(script)
-	resp.Timings.Engine = time.Since(t2)
+	sp.End(stageEngine)
 	if err != nil {
 		return resp, fmt.Errorf("xacmlplus: engine deploy: %w", err)
 	}
