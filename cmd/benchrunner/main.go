@@ -219,6 +219,17 @@ func runRemote(scale int, simnet bool) error {
 		fmt.Printf("\nremote topology runs at %.0f%% of all-local throughput (simnet=%v)\n",
 			100*mixed.Throughput/local.Throughput, simnet)
 	}
+	// Replicated failover: kill the remote primary mid-run, restart it
+	// later, and report the blast radius (tuples lost to the
+	// down-detection window), the failover latency and whether the
+	// restarted process was re-adopted and re-fed.
+	fo, err := experiments.RunFailoverBlastRadius(experiments.FailoverOptions{
+		Tuples: tuples / 2, Simnet: simnet,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nreplicated failover: %s\n", fo)
 	return nil
 }
 

@@ -28,6 +28,15 @@
 //	exacmld -embedded -shard-addrs "local,127.0.0.1:7420,127.0.0.1:7430" \
 //	    -failover reroute
 //
+// -replication keeps every single-shard stream on N shards (a primary
+// plus N-1 asynchronously fed followers); when the primary's shard
+// dies its queries fail over to the most caught-up follower with their
+// window state intact, and a restarted dsmsd is re-adopted into the
+// topology (see docs/OPERATIONS.md, "Replication & failover"):
+//
+//	exacmld -embedded -shard-addrs "127.0.0.1:7420,127.0.0.1:7430,127.0.0.1:7440" \
+//	    -replication 2
+//
 // -governor starts the accountability governor over the audit log
 // (§6): subjects accumulating denied requests or NR/PR violations have
 // their bound streams demoted (class down, quota tightened) at runtime
@@ -81,6 +90,7 @@ func main() {
 	shards := flag.Int("shards", 4, "embedded mode: engine shard count")
 	shardAddrs := flag.String("shard-addrs", "", `embedded mode: per-shard backend list "local,host:port,..." (overrides -shards)`)
 	failover := flag.String("failover", "fail", "embedded mode: publishes to a downed remote shard fail|reroute")
+	replication := flag.Int("replication", 0, "embedded mode: copies of each single-shard stream (primary + followers); 0/1 disables")
 	queue := flag.Int("queue", 0, "embedded mode: per-shard queue capacity (0 = default)")
 	shed := flag.String("shed", "block", "embedded mode: backpressure policy block|dropnewest|dropoldest")
 	admission := flag.String("admission", "", `embedded mode: per-stream class/quota specs "name=class[:rate[:burst]],..."`)
@@ -156,6 +166,7 @@ func main() {
 			Policy:           policy,
 			BlockClass:       bc,
 			Failover:         fmode,
+			Replication:      *replication,
 			Audit:            auditLog,
 			Metrics:          reg,
 			TraceSampleEvery: *traceSample,

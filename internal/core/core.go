@@ -57,8 +57,19 @@ type Options struct {
 	BlockClass runtime.Class
 	// Failover selects how publishes bound for a downed remote shard
 	// are handled: runtime.FailoverFail (default) or
-	// runtime.FailoverReroute.
+	// runtime.FailoverReroute. Replicated streams ignore it (they fail
+	// over to their own replicas).
 	Failover runtime.FailoverMode
+	// Replication places every single-shard stream on this many shards
+	// (primary + Replication-1 asynchronously fed followers) and fails
+	// queries over to the most caught-up follower when the primary's
+	// shard dies. 0/1 disables replication; values above the shard
+	// count are clamped.
+	Replication int
+	// ReplicationLog bounds the retained per-stream replication log in
+	// tuples (default runtime.DefaultReplicationLog). Only meaningful
+	// with Replication > 1.
+	ReplicationLog int
 	// Audit, when non-nil, records every PDP/PEP decision into the
 	// given accountability log (equivalent to setting PEP.Audit after
 	// construction, but available before the first request).
@@ -141,6 +152,8 @@ func NewWithOptions(name string, opts Options) *Framework {
 		Policy:           opts.Policy,
 		BlockClass:       opts.BlockClass,
 		Failover:         opts.Failover,
+		Replication:      opts.Replication,
+		ReplicationLog:   opts.ReplicationLog,
 		Metrics:          opts.Metrics,
 		TraceSampleEvery: opts.TraceSampleEvery,
 		Audit:            auditLog,

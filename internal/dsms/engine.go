@@ -172,10 +172,14 @@ type Deployment struct {
 
 // batchMsg is one mailbox entry: a sealed batch plus, when the batch
 // was sampled by the publish tracer, the span that travels with it (the
-// channel handoff orders the stamps across goroutines).
+// channel handoff orders the stamps across goroutines). A message with
+// snap set carries no tuples: it is a state export/import control
+// message executed by the query goroutine itself, ordered against
+// batches (see querystate.go).
 type batchMsg struct {
-	ts []stream.Tuple
-	sp *telemetry.Span
+	ts   []stream.Tuple
+	sp   *telemetry.Span
+	snap *stateSnap
 }
 
 type deployedQuery struct {
@@ -409,6 +413,10 @@ func (q *deployedQuery) updateSubsSnapLocked() {
 // for conforming tuples.
 func (q *deployedQuery) run() {
 	for m := range q.in {
+		if m.snap != nil {
+			m.snap.reply <- q.applySnap(m.snap)
+			continue
+		}
 		batch, sp := m.ts, m.sp
 		subs := *q.subsSnap.Load()
 		sp.Begin(telemetry.StagePipeline)

@@ -1,0 +1,319 @@
+package dsms
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// ErrSeqBehind reports a SetStreamSeq that would move a stream's
+// sequence counter backwards. The counter only ever advances; callers
+// importing state into a stream that already progressed past it (a
+// follower that kept replicating while the primary exported) treat
+// this as "nothing to do".
+var ErrSeqBehind = errors.New("sequence counter already ahead")
+
+// QueryState is the serializable execution state of one deployed
+// continuous query: the window contents and incremental accumulators of
+// its aggregate operators, plus the input stream's sequence position at
+// export time. It is what the dsms.migrate verb moves between engines
+// so a query resumed on a replica emits exactly what the original would
+// have — same values, same Seq/ArrivalMillis provenance — instead of
+// restarting from an empty window.
+//
+// Stateless operators (filter, map) carry nothing; an entry exists only
+// per aggregate operator, keyed by its position in the operator chain.
+// Export requires a quiesced query (the engine flushes before
+// snapshotting, and the snapshot itself runs inside the query's own
+// mailbox goroutine, so it can never observe a half-applied batch).
+type QueryState struct {
+	// Query is the source query's id (informational).
+	Query string `json:"query,omitempty"`
+	// Input is the source query's input stream name.
+	Input string `json:"input,omitempty"`
+	// InputSeq is the input stream's sequence counter at export: the
+	// importing engine fast-forwards its own counter to it so emission
+	// provenance continues the source lineage.
+	InputSeq uint64 `json:"input_seq,omitempty"`
+	// Ops holds one entry per stateful operator.
+	Ops []OperatorState `json:"ops,omitempty"`
+}
+
+// OperatorState is the state of one operator, addressed by its index in
+// the compiled operator chain (the chain is a pure function of the
+// query graph, so the index is stable across engines compiling the same
+// script).
+type OperatorState struct {
+	Index     int             `json:"index"`
+	Aggregate *AggregateState `json:"aggregate,omitempty"`
+}
+
+// AggregateState serializes an aggregateOp: the window ring in logical
+// order (head first) plus every accumulator that is not a pure function
+// of the ring. The min/max monotonic deques are deliberately absent —
+// a monotonic deque is a pure function of the window content sequence,
+// so the importer rebuilds them by replaying the ring, which keeps the
+// wire form small and cannot desynchronize. incSum must travel: it
+// flips off permanently once a running sum leaves float64's
+// exact-integer range, and recomputing it from the ring would re-enable
+// incremental summing the source had already abandoned, changing
+// emitted bits.
+type AggregateState struct {
+	Arrival []int64          `json:"arrival"`
+	Seq     []uint64         `json:"seq"`
+	Cols    [][]stream.Value `json:"cols"`
+
+	Sums    []float64 `json:"sums"`
+	Nonnull []int64   `json:"nonnull"`
+	IncSum  []bool    `json:"inc_sum"`
+
+	NextG uint64 `json:"next_g"`
+	BaseG uint64 `json:"base_g"`
+	Skip  int64  `json:"skip"`
+
+	Tstart      int64 `json:"tstart"`
+	Sorted      bool  `json:"sorted"`
+	LastArrival int64 `json:"last_arrival"`
+}
+
+// exportState snapshots the operator. Runs inside the query goroutine.
+func (a *aggregateOp) exportState() *AggregateState {
+	k := len(a.poss)
+	n := a.ring.n
+	st := &AggregateState{
+		Arrival:     make([]int64, n),
+		Seq:         make([]uint64, n),
+		Cols:        make([][]stream.Value, k),
+		Sums:        append([]float64(nil), a.sums...),
+		Nonnull:     append([]int64(nil), a.nonnull...),
+		IncSum:      append([]bool(nil), a.incSum...),
+		NextG:       a.nextG,
+		BaseG:       a.baseG,
+		Skip:        a.skip,
+		Tstart:      a.tstart,
+		Sorted:      a.sorted,
+		LastArrival: a.lastArrival,
+	}
+	for c := range st.Cols {
+		st.Cols[c] = make([]stream.Value, n)
+	}
+	for i := 0; i < n; i++ {
+		j := a.ring.idx(i)
+		st.Arrival[i] = a.ring.arrival[j]
+		st.Seq[i] = a.ring.seq[j]
+		for c := 0; c < k; c++ {
+			st.Cols[c][i] = a.ring.cols[c][j]
+		}
+	}
+	return st
+}
+
+// importState replaces the operator's state wholesale. Runs inside the
+// query goroutine.
+func (a *aggregateOp) importState(st *AggregateState) error {
+	k := len(a.poss)
+	n := len(st.Arrival)
+	if len(st.Seq) != n || len(st.Cols) != k ||
+		len(st.Sums) != k || len(st.Nonnull) != k || len(st.IncSum) != k {
+		return fmt.Errorf("dsms: aggregate state shape mismatch (want %d specs, ring %d)", k, n)
+	}
+	for c := range st.Cols {
+		if len(st.Cols[c]) != n {
+			return fmt.Errorf("dsms: aggregate state column %d has %d entries, ring has %d", c, len(st.Cols[c]), n)
+		}
+	}
+	r := newWinRing(k)
+	for i := 0; i < n; i++ {
+		if r.n == len(r.arrival) {
+			r.grow()
+		}
+		j := r.idx(r.n)
+		r.arrival[j] = st.Arrival[i]
+		r.seq[j] = st.Seq[i]
+		for c := 0; c < k; c++ {
+			r.cols[c][j] = st.Cols[c][i]
+		}
+		r.n++
+	}
+	a.ring = r
+	copy(a.sums, st.Sums)
+	copy(a.nonnull, st.Nonnull)
+	copy(a.incSum, st.IncSum)
+	a.nextG = st.NextG
+	a.baseG = st.BaseG
+	a.skip = st.Skip
+	a.tstart = st.Tstart
+	a.sorted = st.Sorted
+	a.lastArrival = st.LastArrival
+	// Rebuild the min/max deques by replaying the ring in logical order:
+	// a monotonic deque is a pure function of the pushed sequence, so
+	// this reproduces the source's deques exactly. Only tuple windows
+	// maintain them (time windows scan per range).
+	for _, d := range a.deques {
+		if d != nil {
+			d.reset()
+		}
+	}
+	if a.win.Type == WindowTuple {
+		for i := 0; i < n; i++ {
+			g := st.BaseG + uint64(i)
+			for c, d := range a.deques {
+				if d == nil {
+					continue
+				}
+				if v := st.Cols[c][i]; !v.IsNull() {
+					if err := d.push(g, v); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// stateSnap is the control message the export/import paths inject into
+// a query's mailbox: handled by the query goroutine itself, it is
+// ordered against batches, so a snapshot can never observe (or clobber)
+// a half-applied batch.
+type stateSnap struct {
+	install *QueryState // nil: export
+	reply   chan stateSnapResult
+}
+
+type stateSnapResult struct {
+	state *QueryState
+	err   error
+}
+
+// applySnap executes a state snapshot or install against the query's
+// operator chain. Runs inside the query goroutine.
+func (q *deployedQuery) applySnap(s *stateSnap) stateSnapResult {
+	if s.install == nil {
+		st := &QueryState{Query: q.dep.ID, Input: q.dep.Input}
+		for i, op := range q.pipe.ops {
+			if agg, ok := op.(*aggregateOp); ok {
+				st.Ops = append(st.Ops, OperatorState{Index: i, Aggregate: agg.exportState()})
+			}
+		}
+		return stateSnapResult{state: st}
+	}
+	for _, os := range s.install.Ops {
+		if os.Index < 0 || os.Index >= len(q.pipe.ops) {
+			return stateSnapResult{err: fmt.Errorf("dsms: state names operator %d, chain has %d", os.Index, len(q.pipe.ops))}
+		}
+		agg, ok := q.pipe.ops[os.Index].(*aggregateOp)
+		if !ok || os.Aggregate == nil {
+			return stateSnapResult{err: fmt.Errorf("dsms: operator %d is not an aggregate", os.Index)}
+		}
+		if err := agg.importState(os.Aggregate); err != nil {
+			return stateSnapResult{err: err}
+		}
+	}
+	return stateSnapResult{}
+}
+
+// snapshot routes a stateSnap through the query mailbox and waits for
+// the result.
+func (q *deployedQuery) snapshot(s *stateSnap) (stateSnapResult, error) {
+	s.reply = make(chan stateSnapResult, 1)
+	if !q.send(batchMsg{snap: s}) {
+		return stateSnapResult{}, fmt.Errorf("dsms: %w %q", ErrUnknownQuery, q.dep.ID)
+	}
+	return <-s.reply, nil
+}
+
+// lookupQuery resolves an id or handle to the live query.
+func (e *Engine) lookupQuery(idOrHandle string) (*deployedQuery, error) {
+	e.mu.RLock()
+	id := idOrHandle
+	if mapped, ok := e.byURI[idOrHandle]; ok {
+		id = mapped
+	}
+	q, ok := e.queries[id]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("dsms: %w %q", ErrUnknownQuery, idOrHandle)
+	}
+	return q, nil
+}
+
+// ExportQueryState serializes a deployed query's window state for
+// migration to another engine. The engine is flushed first and the
+// snapshot runs inside the query's own goroutine, so the state is
+// consistent with everything ingested before the call; the caller must
+// quiesce publishers for the exported InputSeq to exactly delimit the
+// tuples the state covers.
+func (e *Engine) ExportQueryState(idOrHandle string) (*QueryState, error) {
+	q, err := e.lookupQuery(idOrHandle)
+	if err != nil {
+		return nil, err
+	}
+	e.Flush()
+	res, err := q.snapshot(&stateSnap{})
+	if err != nil {
+		return nil, err
+	}
+	if res.err != nil {
+		return nil, res.err
+	}
+	st := res.state
+	st.InputSeq, _ = e.StreamSeq(q.dep.Input)
+	return st, nil
+}
+
+// ImportQueryState installs a previously exported state into a deployed
+// query (normally one just deployed from the same script), replacing
+// its window contents and accumulators wholesale. The operator chains
+// must have the same shape — guaranteed when both sides compiled the
+// same script. The input stream's sequence counter is NOT touched; use
+// SetStreamSeq when continuing a lineage on a fresh engine.
+func (e *Engine) ImportQueryState(idOrHandle string, st *QueryState) error {
+	if st == nil {
+		return fmt.Errorf("dsms: nil query state")
+	}
+	q, err := e.lookupQuery(idOrHandle)
+	if err != nil {
+		return err
+	}
+	res, err := q.snapshot(&stateSnap{install: st})
+	if err != nil {
+		return err
+	}
+	return res.err
+}
+
+// StreamSeq reports a stream's current sequence counter (the Seq of the
+// last sealed tuple; 0 when nothing was ever ingested).
+func (e *Engine) StreamSeq(name string) (uint64, error) {
+	is, err := e.lookupStream(name)
+	if err != nil {
+		return 0, err
+	}
+	is.sealMu.Lock()
+	seq := is.seq
+	is.sealMu.Unlock()
+	return seq, nil
+}
+
+// SetStreamSeq fast-forwards a stream's sequence counter so tuples
+// sealed from now on continue a migrated lineage. Moving backwards is
+// refused with ErrSeqBehind (wrapped); setting the current value is a
+// no-op.
+func (e *Engine) SetStreamSeq(name string, seq uint64) error {
+	is, err := e.lookupStream(name)
+	if err != nil {
+		return err
+	}
+	is.sealMu.Lock()
+	defer is.sealMu.Unlock()
+	if is.gone {
+		return fmt.Errorf("dsms: %w %q", ErrUnknownStream, name)
+	}
+	if seq < is.seq {
+		return fmt.Errorf("dsms: stream %q: %w (at %d, asked %d)", name, ErrSeqBehind, is.seq, seq)
+	}
+	is.seq = seq
+	return nil
+}

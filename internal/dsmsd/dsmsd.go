@@ -39,6 +39,15 @@ const (
 	MsgTuple        = "dsms.tuple"
 	MsgReconfigure  = "dsms.reconfigure"
 	MsgAdmission    = "dsms.admission"
+	// Replication / failover verbs (replicated shard topology): a
+	// fronting runtime ships a primary stream's accepted tuples to
+	// follower dsmsds with MsgReplicate, reads back the follower's
+	// applied position with MsgReplicaStatus, and moves a continuous
+	// query together with its serialized window state between engines
+	// with MsgMigrate.
+	MsgReplicate     = "dsms.replicate"
+	MsgMigrate       = "dsms.migrate"
+	MsgReplicaStatus = "dsms.replica_status"
 )
 
 // coded maps engine sentinel errors onto structured protocol error
@@ -170,6 +179,60 @@ type AdmissionResp struct {
 	Config *StreamAdmission `json:"config,omitempty"`
 }
 
+// ReplicateReq ships a contiguous run of a replicated stream's tuples
+// to this follower. Base is the absolute replication position of the
+// tuple *before* Tuples[0] (i.e. how many tuples of the stream the
+// shipper believes this follower has already applied), so a retried
+// batch after a lost ack is deduplicated by trimming the
+// already-applied prefix instead of double-ingesting it.
+type ReplicateReq struct {
+	Stream string         `json:"stream"`
+	Base   uint64         `json:"base"`
+	Tuples []stream.Tuple `json:"tuples"`
+}
+
+// ReplicateResp acknowledges the follower's applied replication
+// position after the batch (monotonic; the shipper's lag is its log
+// head minus this).
+type ReplicateResp struct {
+	Acked uint64 `json:"acked"`
+}
+
+// ReplicaStatusReq asks for a stream's applied replication position.
+type ReplicaStatusReq struct {
+	Stream string `json:"stream"`
+}
+
+// ReplicaStatusResp reports it (0 for a stream never replicated to).
+type ReplicaStatusResp struct {
+	Acked uint64 `json:"acked"`
+}
+
+// MigrateReq is the dual-mode query-migration verb. With Export set it
+// serializes the named local query's operator state (window ring,
+// incremental sums, deque positions — see dsms.QueryState) and returns
+// it. With Script set it deploys the script and installs State into the
+// fresh query so emissions continue from the migrated window contents
+// instead of restarting empty; Replace optionally withdraws an existing
+// query (a standby part being promoted) first, and a State.InputSeq > 0
+// fast-forwards the input stream's sequence counter so provenance
+// continues the source lineage.
+type MigrateReq struct {
+	Export  string           `json:"export,omitempty"`
+	Script  string           `json:"script,omitempty"`
+	Replace string           `json:"replace,omitempty"`
+	State   *dsms.QueryState `json:"state,omitempty"`
+}
+
+// MigrateResp carries the exported state (export mode) or the new
+// query's identity (import mode).
+type MigrateResp struct {
+	QueryID      string           `json:"query_id,omitempty"`
+	Handle       string           `json:"handle,omitempty"`
+	OutputSchema *stream.Schema   `json:"output_schema,omitempty"`
+	State        *dsms.QueryState `json:"state,omitempty"`
+}
+
 // SubscribeReq attaches the connection to a query's output; the server
 // pushes MsgTuple frames with the request's ID until the client
 // disconnects.
@@ -199,6 +262,12 @@ type Server struct {
 	// declared over MsgReconfigure (keyed by lowercased stream name).
 	admMu sync.Mutex
 	adm   map[string]*admEntry
+
+	// replMu guards repl, the per-stream applied replication positions
+	// (keyed by lowercased stream name) MsgReplicate batches are
+	// deduplicated against.
+	replMu sync.Mutex
+	repl   map[string]uint64
 }
 
 // admEntry pairs a declared admission configuration with the live
@@ -213,7 +282,7 @@ type admEntry struct {
 // NewServer builds the service around an engine. profile, when non-nil,
 // injects simulated network latency on every request/response pair.
 func NewServer(engine *dsms.Engine, profile *netsim.Profile) *Server {
-	s := &Server{Engine: engine, srv: protocol.NewServer(), adm: map[string]*admEntry{}}
+	s := &Server{Engine: engine, srv: protocol.NewServer(), adm: map[string]*admEntry{}, repl: map[string]uint64{}}
 	if profile != nil {
 		s.srv.Delay = profile.RoundTrip
 	}
@@ -230,6 +299,9 @@ func NewServer(engine *dsms.Engine, profile *netsim.Profile) *Server {
 	s.srv.Handle(MsgSubscribe, s.handleSubscribe)
 	s.srv.Handle(MsgReconfigure, s.handleReconfigure)
 	s.srv.Handle(MsgAdmission, s.handleAdmission)
+	s.srv.Handle(MsgReplicate, s.handleReplicate)
+	s.srv.Handle(MsgMigrate, s.handleMigrate)
+	s.srv.Handle(MsgReplicaStatus, s.handleReplicaStatus)
 	return s
 }
 
@@ -277,10 +349,14 @@ func (s *Server) handleDropStream(m *protocol.Message, _ *protocol.Conn) (any, e
 		return nil, coded(err)
 	}
 	// The stream is gone; a stale admission entry must not meter a
-	// future stream re-created under the same name.
+	// future stream re-created under the same name, and a stale
+	// replication position must not trim batches bound for it.
 	s.admMu.Lock()
 	delete(s.adm, strings.ToLower(req.Name))
 	s.admMu.Unlock()
+	s.replMu.Lock()
+	delete(s.repl, strings.ToLower(req.Name))
+	s.replMu.Unlock()
 	return struct{}{}, nil
 }
 
@@ -436,6 +512,134 @@ func (s *Server) handleAdmission(m *protocol.Message, _ *protocol.Conn) (any, er
 	return AdmissionResp{Config: &cfg}, nil
 }
 
+// handleReplicate applies a shipped run of a replicated stream,
+// trimming any already-applied prefix (a shipper retry after a lost
+// ack) against the stored position. Replicated batches were already
+// validated and metered at the primary's admission layer, so the quota
+// exemption is gated on TrustPrevalidated exactly like ingest_batch;
+// on an untrusted server the batch is metered (and refused whole when
+// over quota — shedding a suffix would break the position contract).
+func (s *Server) handleReplicate(m *protocol.Message, _ *protocol.Conn) (any, error) {
+	req, err := protocol.Decode[ReplicateReq](m)
+	if err != nil {
+		return nil, err
+	}
+	key := strings.ToLower(req.Stream)
+	s.replMu.Lock()
+	applied := s.repl[key]
+	s.replMu.Unlock()
+	if req.Base > applied {
+		// The shipper believes we hold tuples we never saw — this
+		// process restarted (or lost the stream) since the last ship.
+		// Accepting the batch would silently fork the stream's sequence
+		// lineage, so refuse; the shipper resyncs from ReplicaStatus
+		// and re-feeds from our real position.
+		return nil, protocol.WithCode(protocol.CodeReplicaGap,
+			fmt.Errorf("dsmsd: stream %q: replication base %d ahead of applied position %d",
+				req.Stream, req.Base, applied))
+	}
+	ts := req.Tuples
+	if req.Base < applied {
+		skip := applied - req.Base
+		if skip >= uint64(len(ts)) {
+			ts = nil
+		} else {
+			ts = ts[skip:]
+		}
+	}
+	if len(ts) > 0 {
+		if !s.TrustPrevalidated && s.admit(req.Stream, len(ts)) < len(ts) {
+			return nil, protocol.WithCode(protocol.CodeQuotaExceeded,
+				fmt.Errorf("dsmsd: stream %q: replication refused by admission quota", req.Stream))
+		}
+		if s.TrustPrevalidated {
+			err = s.Engine.IngestBatchOwned(req.Stream, ts)
+		} else {
+			err = s.Engine.IngestBatch(req.Stream, ts)
+		}
+		if err != nil {
+			return nil, coded(err)
+		}
+	}
+	end := req.Base + uint64(len(req.Tuples))
+	s.replMu.Lock()
+	if end > s.repl[key] {
+		s.repl[key] = end
+	}
+	acked := s.repl[key]
+	s.replMu.Unlock()
+	return ReplicateResp{Acked: acked}, nil
+}
+
+func (s *Server) handleReplicaStatus(m *protocol.Message, _ *protocol.Conn) (any, error) {
+	req, err := protocol.Decode[ReplicaStatusReq](m)
+	if err != nil {
+		return nil, err
+	}
+	s.replMu.Lock()
+	acked := s.repl[strings.ToLower(req.Stream)]
+	s.replMu.Unlock()
+	return ReplicaStatusResp{Acked: acked}, nil
+}
+
+// handleMigrate serializes a query's window state out (export mode) or
+// deploys a script and installs a previously exported state into it
+// (import mode). See MigrateReq.
+func (s *Server) handleMigrate(m *protocol.Message, _ *protocol.Conn) (any, error) {
+	req, err := protocol.Decode[MigrateReq](m)
+	if err != nil {
+		return nil, err
+	}
+	if req.Export != "" {
+		st, err := s.Engine.ExportQueryState(req.Export)
+		if err != nil {
+			return nil, coded(err)
+		}
+		return MigrateResp{State: st}, nil
+	}
+	if req.Script == "" {
+		return nil, protocol.WithCode(protocol.CodeBadRequest,
+			fmt.Errorf("dsmsd: migrate needs either an export id or a script"))
+	}
+	c, err := streamql.CompileString(req.Script)
+	if err != nil {
+		return nil, err
+	}
+	if c.Schema != nil {
+		actual, err := s.Engine.StreamSchema(c.Input)
+		if err != nil {
+			return nil, coded(err)
+		}
+		if !actual.Equal(c.Schema) {
+			return nil, fmt.Errorf("dsmsd: migrate script schema for %q does not match registered stream", c.Input)
+		}
+	}
+	if req.Replace != "" {
+		// A standby part being promoted in place: its window state is
+		// superseded by the imported one. not_found is fine — the old
+		// part may have died with a previous process.
+		if err := s.Engine.Withdraw(req.Replace); err != nil && !errors.Is(err, dsms.ErrUnknownQuery) {
+			return nil, coded(err)
+		}
+	}
+	if req.State != nil && req.State.InputSeq > 0 {
+		if err := s.Engine.SetStreamSeq(c.Graph.Input, req.State.InputSeq); err != nil && !errors.Is(err, dsms.ErrSeqBehind) {
+			return nil, coded(err)
+		}
+	}
+	dep, err := s.Engine.Deploy(c.Graph)
+	if err != nil {
+		return nil, coded(err)
+	}
+	if req.State != nil {
+		if err := s.Engine.ImportQueryState(dep.ID, req.State); err != nil {
+			_ = s.Engine.Withdraw(dep.ID)
+			return nil, coded(err)
+		}
+	}
+	return MigrateResp{QueryID: dep.ID, Handle: dep.Handle, OutputSchema: dep.OutputSchema}, nil
+}
+
 func (s *Server) handleFlush(_ *protocol.Message, _ *protocol.Conn) (any, error) {
 	s.Engine.Flush()
 	return struct{}{}, nil
@@ -531,6 +735,12 @@ func newClient(rpc *protocol.Client) *Client {
 // Close closes the connection.
 func (c *Client) Close() error { return c.rpc.Close() }
 
+// SetCallTimeout bounds every subsequent RPC on this client via the
+// connection's read/write deadlines (no watchdog goroutine; see
+// protocol.Client.SetCallTimeout). A timed-out call kills the
+// connection with protocol.ErrClosed.
+func (c *Client) SetCallTimeout(d time.Duration) { c.rpc.SetCallTimeout(d) }
+
 // CreateStream registers an input stream on the engine.
 func (c *Client) CreateStream(name string, schema *stream.Schema) error {
 	_, err := c.rpc.Call(MsgCreateStream, CreateStreamReq{Name: name, Schema: schema})
@@ -623,6 +833,52 @@ func (c *Client) Admission(streamName string) (*StreamAdmission, error) {
 func (c *Client) IngestBatchPrevalidated(streamName string, ts []stream.Tuple) error {
 	_, err := c.rpc.Call(MsgIngestBatch, IngestBatchReq{Stream: streamName, Tuples: ts, Prevalidated: true})
 	return err
+}
+
+// Replicate ships a contiguous run of a replicated stream's tuples to
+// this follower, returning the follower's applied position. base is the
+// absolute position of the tuple before ts[0]; a retried batch is
+// deduplicated server-side against it, so retrying after a connection
+// death is safe.
+func (c *Client) Replicate(streamName string, base uint64, ts []stream.Tuple) (uint64, error) {
+	resp, err := protocol.CallDecode[ReplicateResp](c.rpc, MsgReplicate,
+		ReplicateReq{Stream: streamName, Base: base, Tuples: ts})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Acked, nil
+}
+
+// ReplicaStatus reads back a stream's applied replication position.
+func (c *Client) ReplicaStatus(streamName string) (uint64, error) {
+	resp, err := protocol.CallDecode[ReplicaStatusResp](c.rpc, MsgReplicaStatus,
+		ReplicaStatusReq{Stream: streamName})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Acked, nil
+}
+
+// MigrateExport serializes a remote query's operator state (window
+// ring, incremental aggregates) for migration to another engine.
+func (c *Client) MigrateExport(idOrHandle string) (*dsms.QueryState, error) {
+	resp, err := protocol.CallDecode[MigrateResp](c.rpc, MsgMigrate, MigrateReq{Export: idOrHandle})
+	if err != nil {
+		return nil, err
+	}
+	return resp.State, nil
+}
+
+// MigrateImport deploys script on the remote engine and installs a
+// previously exported state into the fresh query, optionally
+// withdrawing replaceID (a standby part being promoted) first.
+func (c *Client) MigrateImport(script, replaceID string, st *dsms.QueryState) (DeployResp, error) {
+	resp, err := protocol.CallDecode[MigrateResp](c.rpc, MsgMigrate,
+		MigrateReq{Script: script, Replace: replaceID, State: st})
+	if err != nil {
+		return DeployResp{}, err
+	}
+	return DeployResp{QueryID: resp.QueryID, Handle: resp.Handle, OutputSchema: resp.OutputSchema}, nil
 }
 
 // Flush blocks until the remote engine's pipelines have quiesced.

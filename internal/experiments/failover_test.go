@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+// TestFailoverBlastRadiusSmoke runs the kill/promote/restart cycle at
+// a small scale: the invariant must hold, the query must fail over,
+// and the restarted process must be re-adopted and re-fed to zero lag.
+func TestFailoverBlastRadiusSmoke(t *testing.T) {
+	res, err := RunFailoverBlastRadius(FailoverOptions{Tuples: 4000, BatchSize: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Stats.Total()
+	if total.Offered == 0 || total.Ingested == 0 {
+		t.Fatalf("no flow: %+v", total)
+	}
+	if res.FailoverLatency == 0 {
+		t.Error("query never failed over to the follower")
+	}
+	if !res.Readopted {
+		t.Error("restarted dsmsd was never re-adopted")
+	}
+	if res.Readopted && res.ResidualLag != 0 {
+		t.Errorf("re-adopted follower still lags by %d after Flush", res.ResidualLag)
+	}
+	t.Logf("failover result: %s", res)
+}

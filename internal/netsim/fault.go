@@ -1,0 +1,120 @@
+package netsim
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Fault injection: a Script fires named events (kill, restart,
+// partition, heal, slow-link) at exact logical times — publish counts,
+// not wall-clock — so a chaos run is reproducible tuple-for-tuple under
+// -race and across machines. The test drives the clock by calling
+// Advance once per published batch; events fire synchronously inside
+// that call, on the driving goroutine, before the next publish is
+// admitted.
+
+// Event is one scheduled fault: at logical time At (the first Advance
+// that reaches it), Do runs once on the advancing goroutine.
+type Event struct {
+	// At is the logical time the event fires at (inclusive).
+	At uint64
+	// Name labels the event in logs and assertions.
+	Name string
+	// Do applies the fault (kill a process, flip a Gate, ...).
+	Do func()
+}
+
+// Script is a deterministic fault schedule over a logical clock.
+// Events fire in (At, insertion) order; concurrent Advance calls are
+// serialized, so each event fires exactly once.
+type Script struct {
+	mu     sync.Mutex
+	events []Event
+	fired  int
+	now    uint64
+}
+
+// NewScript builds a schedule from the given events; they may be
+// passed in any order and are sorted by At (stable, so same-time
+// events keep their insertion order).
+func NewScript(events ...Event) *Script {
+	s := &Script{events: append([]Event(nil), events...)}
+	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].At < s.events[j].At })
+	return s
+}
+
+// Advance moves the logical clock forward by n ticks and fires every
+// event whose At has been reached, in order, synchronously. It returns
+// the names of the events fired by this call (nil when none).
+func (s *Script) Advance(n uint64) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now += n
+	var fired []string
+	for s.fired < len(s.events) && s.events[s.fired].At <= s.now {
+		ev := s.events[s.fired]
+		s.fired++
+		if ev.Do != nil {
+			ev.Do()
+		}
+		fired = append(fired, ev.Name)
+	}
+	return fired
+}
+
+// Now reports the current logical time.
+func (s *Script) Now() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Pending reports how many events have not fired yet.
+func (s *Script) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events) - s.fired
+}
+
+// Done reports whether every event has fired.
+func (s *Script) Done() bool { return s.Pending() == 0 }
+
+// Gate is a switchable link condition a transport consults per
+// message: a Script event flips it to partitioned (messages refused)
+// or swaps in a slower Profile, and a later event heals it. The
+// zero value is a healed, zero-delay link. All methods are safe for
+// concurrent use with each other and with Script events.
+type Gate struct {
+	partitioned atomic.Bool
+	profile     atomic.Pointer[Profile]
+	refused     atomic.Uint64
+}
+
+// Partition cuts the link: Allow reports false until Heal.
+func (g *Gate) Partition() { g.partitioned.Store(true) }
+
+// Heal restores the link.
+func (g *Gate) Heal() { g.partitioned.Store(false) }
+
+// Partitioned reports the current link state.
+func (g *Gate) Partitioned() bool { return g.partitioned.Load() }
+
+// SetProfile swaps the delay profile applied to passing messages
+// (nil = no delay); a Script event uses it to degrade a link mid-run.
+func (g *Gate) SetProfile(p *Profile) { g.profile.Store(p) }
+
+// Allow checks the link for one message of the given size: a
+// partitioned link refuses it (counted), an open link applies the
+// current profile's delay and lets it pass.
+func (g *Gate) Allow(payloadBytes int) bool {
+	if g.partitioned.Load() {
+		g.refused.Add(1)
+		return false
+	}
+	g.profile.Load().Apply(payloadBytes)
+	return true
+}
+
+// Refused counts messages dropped while partitioned.
+func (g *Gate) Refused() uint64 { return g.refused.Load() }

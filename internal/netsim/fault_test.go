@@ -1,0 +1,125 @@
+package netsim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// The schedule must fire each event exactly once, in (At, insertion)
+// order, synchronously inside the Advance call that reaches it — the
+// property the chaos tests' determinism rests on.
+func TestScriptFiresInOrderExactlyOnce(t *testing.T) {
+	var fired []string
+	note := func(name string) func() { return func() { fired = append(fired, name) } }
+	s := NewScript(
+		Event{At: 30, Name: "restart", Do: note("restart")},
+		Event{At: 10, Name: "kill", Do: note("kill")},
+		Event{At: 10, Name: "partition", Do: note("partition")},
+	)
+	if got := s.Advance(5); got != nil {
+		t.Fatalf("Advance(5) fired %v, want none", got)
+	}
+	if got, want := s.Advance(5), []string{"kill", "partition"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Advance to 10 fired %v, want %v", got, want)
+	}
+	if s.Done() {
+		t.Fatal("Done before the last event fired")
+	}
+	if got, want := s.Advance(100), []string{"restart"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Advance to 110 fired %v, want %v", got, want)
+	}
+	if got := s.Advance(100); got != nil {
+		t.Fatalf("events re-fired: %v", got)
+	}
+	if !s.Done() || s.Pending() != 0 {
+		t.Fatalf("Done=%v Pending=%d after all events", s.Done(), s.Pending())
+	}
+	if want := []string{"kill", "partition", "restart"}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fire order %v, want %v", fired, want)
+	}
+}
+
+// Two identical scripts advanced by the same tick sequence must fire
+// identically — the reproducibility contract.
+func TestScriptDeterministic(t *testing.T) {
+	build := func(log *[]string) *Script {
+		return NewScript(
+			Event{At: 7, Name: "a", Do: func() { *log = append(*log, "a") }},
+			Event{At: 13, Name: "b", Do: func() { *log = append(*log, "b") }},
+			Event{At: 13, Name: "c", Do: func() { *log = append(*log, "c") }},
+			Event{At: 40, Name: "d", Do: func() { *log = append(*log, "d") }},
+		)
+	}
+	ticks := []uint64{3, 4, 1, 5, 20, 2, 10}
+	var log1, log2 []string
+	s1, s2 := build(&log1), build(&log2)
+	for _, n := range ticks {
+		s1.Advance(n)
+		s2.Advance(n)
+	}
+	if !reflect.DeepEqual(log1, log2) {
+		t.Fatalf("same schedule, same ticks, different fires: %v vs %v", log1, log2)
+	}
+	if s1.Now() != s2.Now() {
+		t.Fatalf("clocks diverged: %d vs %d", s1.Now(), s2.Now())
+	}
+}
+
+// Concurrent advancing (a publisher per goroutine) must still fire
+// each event exactly once; exercised under -race in CI.
+func TestScriptConcurrentAdvance(t *testing.T) {
+	var fires sync.Map
+	var count int
+	s := NewScript(Event{At: 500, Name: "once", Do: func() { count++ }})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				for _, name := range s.Advance(1) {
+					if _, dup := fires.LoadOrStore(name, true); dup {
+						t.Error("event fired twice")
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if count != 1 {
+		t.Fatalf("event ran %d times, want 1", count)
+	}
+	if s.Now() != 800 {
+		t.Fatalf("clock = %d, want 800", s.Now())
+	}
+}
+
+// A partitioned gate refuses and counts; a healed gate passes and
+// applies the swapped-in profile.
+func TestGatePartitionHealAndProfile(t *testing.T) {
+	var g Gate
+	if g.Partitioned() {
+		t.Fatal("zero-value gate is partitioned")
+	}
+	if !g.Allow(100) {
+		t.Fatal("healed gate refused a message")
+	}
+	g.Partition()
+	for i := 0; i < 3; i++ {
+		if g.Allow(100) {
+			t.Fatal("partitioned gate passed a message")
+		}
+	}
+	if g.Refused() != 3 {
+		t.Fatalf("Refused = %d, want 3", g.Refused())
+	}
+	g.SetProfile(NewProfile("slow", 0, 0, 0, 1))
+	g.Heal()
+	if !g.Allow(100) {
+		t.Fatal("healed gate refused a message")
+	}
+	if g.Refused() != 3 {
+		t.Fatalf("Refused moved to %d after heal", g.Refused())
+	}
+}

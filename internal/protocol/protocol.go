@@ -45,6 +45,10 @@ const (
 	CodeQuotaExceeded = "quota_exceeded"
 	// CodeBadRequest: the request payload failed validation.
 	CodeBadRequest = "bad_request"
+	// CodeReplicaGap: a replication batch's base position is ahead of
+	// the follower's applied position — the follower lost state (e.g. a
+	// restart) and must be re-fed from an earlier position.
+	CodeReplicaGap = "replica_gap"
 )
 
 // CodedError is an error tagged with a structured protocol code. On the
@@ -217,6 +221,16 @@ func (c *Conn) send(m *Message) (reqErr, connErr error) {
 // Recv reads one frame.
 func (c *Conn) Recv() (*Message, error) { return ReadFrame(c.r) }
 
+// SetReadDeadline sets the underlying connection's read deadline; a
+// blocked Recv fails with a timeout error once it passes. The zero time
+// clears it.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.raw.SetReadDeadline(t) }
+
+// SetWriteDeadline sets the underlying connection's write deadline; a
+// Send blocked on a peer that stopped reading fails once it passes. The
+// zero time clears it.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.raw.SetWriteDeadline(t) }
+
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.raw.Close() }
 
@@ -235,11 +249,42 @@ type Client struct {
 	closed bool
 	err    error
 
+	// timeout bounds each outstanding Call via connection deadlines
+	// (SetCallTimeout); zero means calls may wait forever.
+	timeout time.Duration
+
 	// push receives non-response messages (SetPush); onClose is
 	// invoked once when the connection dies (SetOnClose). Both are
 	// guarded by mu because the read loop starts at construction.
 	push    func(*Message)
 	onClose func(error)
+}
+
+// SetCallTimeout bounds every subsequent Call using the connection's
+// read/write deadlines instead of a watchdog goroutine: the read
+// deadline is armed while at least one call is outstanding (and pushed
+// forward by every received frame) and cleared when the last response
+// arrives, so idle connections and push-only subscription connections
+// are never killed by it. When a deadline fires the connection dies
+// with ErrClosed, exactly like any other I/O failure — a timed-out
+// client must be redialed.
+func (c *Client) SetCallTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.timeout = d
+	c.mu.Unlock()
+}
+
+// armDeadlinesLocked sets or clears the read deadline according to the
+// number of outstanding calls. Callers hold c.mu.
+func (c *Client) armDeadlinesLocked() {
+	if c.timeout <= 0 {
+		return
+	}
+	if len(c.wait) > 0 {
+		_ = c.conn.SetReadDeadline(time.Now().Add(c.timeout))
+	} else {
+		_ = c.conn.SetReadDeadline(time.Time{})
+	}
 }
 
 // SetPush installs the handler for non-response messages (e.g.
@@ -300,6 +345,7 @@ func (c *Client) readLoop() {
 		if ok {
 			delete(c.wait, m.ID)
 		}
+		c.armDeadlinesLocked()
 		push := c.push
 		c.mu.Unlock()
 		if ok {
@@ -346,18 +392,24 @@ func (c *Client) Call(typ string, payload any) (*Message, error) {
 	id := c.nextID
 	ch := make(chan *Message, 1)
 	c.wait[id] = ch
+	if c.timeout > 0 {
+		_ = c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	}
+	c.armDeadlinesLocked()
 	c.mu.Unlock()
 
 	req, err := Encode(typ, id, payload)
 	if err != nil {
 		c.mu.Lock()
 		delete(c.wait, id)
+		c.armDeadlinesLocked()
 		c.mu.Unlock()
 		return nil, err
 	}
 	if reqErr, connErr := c.conn.send(req); reqErr != nil || connErr != nil {
 		c.mu.Lock()
 		delete(c.wait, id)
+		c.armDeadlinesLocked()
 		c.mu.Unlock()
 		// Request errors (bad marshal, oversized frame) leave the
 		// connection usable and are returned as-is; only I/O failures

@@ -1,10 +1,13 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/dsms"
+	"repro/internal/protocol"
 	"repro/internal/stream"
 	"repro/internal/streamql"
 	"repro/internal/telemetry"
@@ -92,11 +95,41 @@ type tracedIngester interface {
 	IngestBatchOwnedTraced(streamName string, ts []stream.Tuple, sp *telemetry.Span) error
 }
 
+// replicaTarget is the optional ShardBackend surface a replicated
+// stream's follower exposes: Replicate applies a contiguous run of the
+// primary's accepted tuples (base is the absolute position of the tuple
+// before ts[0]; redeliveries are deduplicated against it so shipping is
+// retry-safe), and ReplicaStatus reads back the applied position for
+// lag accounting. Both ShardBackend implementations provide it; the
+// interface stays optional so test fakes and future backends without
+// replication remain valid shards.
+type replicaTarget interface {
+	Replicate(streamName string, base uint64, ts []stream.Tuple) (uint64, error)
+	ReplicaStatus(streamName string) (uint64, error)
+}
+
+// stateMigrator is the optional ShardBackend surface live query
+// migration uses: ExportQueryState serializes a query's window state
+// (see dsms.QueryState), ImportQuery deploys a script and installs a
+// previously exported state into the fresh query — optionally
+// withdrawing replaceID (a standby part being promoted in place) first
+// — so the migrated query emits exactly what the original would have.
+type stateMigrator interface {
+	ExportQueryState(idOrHandle string) (*dsms.QueryState, error)
+	ImportQuery(req DeployRequest, replaceID string, st *dsms.QueryState) (BackendDeployment, error)
+}
+
 // LocalBackend adapts an in-process dsms.Engine to the ShardBackend
 // interface with zero behaviour change relative to the pre-interface
 // runtime.
 type LocalBackend struct {
 	eng *dsms.Engine
+
+	// replMu guards repl, the per-stream applied replication positions
+	// (same contract as the dsmsd server's): shipped runs are
+	// deduplicated against them so Replicate is retry-safe.
+	replMu sync.Mutex
+	repl   map[string]uint64
 }
 
 // NewLocalBackend wraps an engine.
@@ -160,6 +193,91 @@ func (b *LocalBackend) Deploy(req DeployRequest) (BackendDeployment, error) {
 // Withdraw implements ShardBackend.
 func (b *LocalBackend) Withdraw(idOrHandle string) error { return b.eng.Withdraw(idOrHandle) }
 
+// Replicate implements replicaTarget: a shipped run of a replicated
+// stream is applied to the in-process engine after trimming any
+// already-applied prefix (a shipper retry after an error) against the
+// stored position. The tuples are shipper-owned copies, so the owned
+// ingest path is safe.
+func (b *LocalBackend) Replicate(streamName string, base uint64, ts []stream.Tuple) (uint64, error) {
+	key := strings.ToLower(streamName)
+	b.replMu.Lock()
+	if b.repl == nil {
+		b.repl = map[string]uint64{}
+	}
+	applied := b.repl[key]
+	b.replMu.Unlock()
+	if base > applied {
+		// Same contract as dsmsd's handleReplicate: a base ahead of the
+		// applied position means this backend lost replica state, and
+		// applying the batch would fork the stream's sequence lineage.
+		return applied, protocol.WithCode(protocol.CodeReplicaGap,
+			fmt.Errorf("runtime: stream %q: replication base %d ahead of applied position %d",
+				streamName, base, applied))
+	}
+	fresh := ts
+	if base < applied {
+		skip := applied - base
+		if skip >= uint64(len(ts)) {
+			fresh = nil
+		} else {
+			fresh = ts[skip:]
+		}
+	}
+	if len(fresh) > 0 {
+		if err := b.eng.IngestBatchOwned(streamName, fresh); err != nil {
+			return applied, err
+		}
+	}
+	end := base + uint64(len(ts))
+	b.replMu.Lock()
+	if end > b.repl[key] {
+		b.repl[key] = end
+	}
+	acked := b.repl[key]
+	b.replMu.Unlock()
+	return acked, nil
+}
+
+// ReplicaStatus implements replicaTarget.
+func (b *LocalBackend) ReplicaStatus(streamName string) (uint64, error) {
+	b.replMu.Lock()
+	acked := b.repl[strings.ToLower(streamName)]
+	b.replMu.Unlock()
+	return acked, nil
+}
+
+// ExportQueryState implements stateMigrator.
+func (b *LocalBackend) ExportQueryState(idOrHandle string) (*dsms.QueryState, error) {
+	return b.eng.ExportQueryState(idOrHandle)
+}
+
+// ImportQuery implements stateMigrator: deploy and install state in
+// one step against the in-process engine, mirroring the dsms.migrate
+// verb's import mode.
+func (b *LocalBackend) ImportQuery(req DeployRequest, replaceID string, st *dsms.QueryState) (BackendDeployment, error) {
+	if replaceID != "" {
+		if err := b.eng.Withdraw(replaceID); err != nil && !errors.Is(err, dsms.ErrUnknownQuery) {
+			return BackendDeployment{}, err
+		}
+	}
+	if st != nil && st.InputSeq > 0 && st.Input != "" {
+		if err := b.eng.SetStreamSeq(st.Input, st.InputSeq); err != nil && !errors.Is(err, dsms.ErrSeqBehind) {
+			return BackendDeployment{}, err
+		}
+	}
+	d, err := b.Deploy(req)
+	if err != nil {
+		return BackendDeployment{}, err
+	}
+	if st != nil {
+		if err := b.eng.ImportQueryState(d.ID, st); err != nil {
+			_ = b.eng.Withdraw(d.ID)
+			return BackendDeployment{}, err
+		}
+	}
+	return d, nil
+}
+
 // Subscribe implements ShardBackend.
 func (b *LocalBackend) Subscribe(idOrHandle string) (BackendSubscription, error) {
 	sub, err := b.eng.Subscribe(idOrHandle)
@@ -202,4 +320,8 @@ func (s *localSub) Close() {
 	s.once.Do(func() { s.eng.Unsubscribe(s.key, s.sub) })
 }
 
-var _ ShardBackend = (*LocalBackend)(nil)
+var (
+	_ ShardBackend  = (*LocalBackend)(nil)
+	_ replicaTarget = (*LocalBackend)(nil)
+	_ stateMigrator = (*LocalBackend)(nil)
+)

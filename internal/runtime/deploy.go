@@ -31,6 +31,59 @@ type Deployment struct {
 	shards []int
 }
 
+// Shards returns the shard indices hosting the deployment's parts,
+// parallel to Parts. For a replicated stream's query this is where the
+// active (primary) part currently runs — it changes on failover and
+// MigrateQuery.
+func (d Deployment) Shards() []int { return append([]int(nil), d.shards...) }
+
+// depState is the runtime-side mutable state of one deployment, kept
+// out of the Deployment struct (which is copied by value to callers):
+// the deploy request for failover redeploys, the standby parts kept
+// warm on follower shards of a replicated route, and the live
+// subscriptions to re-attach when a part moves.
+type depState struct {
+	req   DeployRequest
+	input string
+
+	mu      sync.Mutex
+	standby map[int]BackendDeployment
+	subs    map[*Subscription]struct{}
+}
+
+func (ds *depState) addSub(s *Subscription) {
+	ds.mu.Lock()
+	if ds.subs == nil {
+		ds.subs = map[*Subscription]struct{}{}
+	}
+	ds.subs[s] = struct{}{}
+	ds.mu.Unlock()
+}
+
+func (ds *depState) dropSub(s *Subscription) {
+	ds.mu.Lock()
+	delete(ds.subs, s)
+	ds.mu.Unlock()
+}
+
+func (ds *depState) subList() []*Subscription {
+	ds.mu.Lock()
+	out := make([]*Subscription, 0, len(ds.subs))
+	for s := range ds.subs {
+		out = append(out, s)
+	}
+	ds.mu.Unlock()
+	return out
+}
+
+// depStateFor returns the mutable state of a deployment id, or nil.
+func (rt *Runtime) depStateFor(id string) *depState {
+	rt.depMu.Lock()
+	ds := rt.depSt[id]
+	rt.depMu.Unlock()
+	return ds
+}
+
 // Deploy validates a query graph against its input stream and starts
 // its continuous execution on the owning shard (or on every shard, for
 // partitioned streams). Graphs only work on local shards — a remote
@@ -120,6 +173,28 @@ func (rt *Runtime) deploy(input string, req DeployRequest) (Deployment, error) {
 	rt.deps[id] = &dep
 	rt.deps[dep.Handle] = &dep
 	rt.mu.Unlock()
+	ds := &depState{req: req, input: r.name}
+	// Replicated routes keep a standby part warm on every healthy
+	// follower: it consumes the replicated tuple flow, so its window
+	// state tracks the primary's and a promotion needs no state
+	// transfer. Standby deploys are best effort (a graph-only request
+	// cannot cross the wire to a remote follower; a downed follower
+	// re-acquires its standby at re-adoption).
+	if r.keyIdx < 0 && r.repl != nil {
+		ds.standby = map[int]BackendDeployment{}
+		primary := dep.shards[0]
+		for _, fi := range r.replicas {
+			if fi == primary || rt.shards[fi].failedErr() != nil {
+				continue
+			}
+			if sd, err := rt.shards[fi].be.Deploy(req); err == nil {
+				ds.standby[fi] = sd
+			}
+		}
+	}
+	rt.depMu.Lock()
+	rt.depSt[id] = ds
+	rt.depMu.Unlock()
 	return dep, nil
 }
 
@@ -186,6 +261,23 @@ func (rt *Runtime) Withdraw(idOrHandle string) error {
 		}
 		return fmt.Errorf("runtime: unknown query %q", idOrHandle)
 	}
+	rt.depMu.Lock()
+	ds := rt.depSt[d.ID]
+	delete(rt.depSt, d.ID)
+	rt.depMu.Unlock()
+	if ds != nil {
+		ds.mu.Lock()
+		standby := make(map[int]BackendDeployment, len(ds.standby))
+		for si, sd := range ds.standby {
+			standby[si] = sd
+		}
+		ds.mu.Unlock()
+		for si, sd := range standby {
+			if rt.shards[si].failedErr() == nil {
+				_ = rt.shards[si].be.Withdraw(sd.ID)
+			}
+		}
+	}
 	var err error
 	for i, p := range d.Parts {
 		if rt.shards[d.shards[i]].failedErr() != nil {
@@ -206,17 +298,42 @@ func (rt *Runtime) Withdraw(idOrHandle string) error {
 // partitioned streams it merges the per-shard output streams into one
 // channel; per-key ordering is preserved (all tuples of a key flow
 // through one shard), global interleaving across keys is not.
+//
+// For queries on replicated streams the subscription attaches to the
+// primary part AND every standby part up front, merging them through a
+// monotonic sequence watermark: primary and standbys process the same
+// tuple flow and emit identical output sequences, so the watermark
+// delivers each emission exactly once, in order, regardless of which
+// replica it arrived from — and when the primary dies mid-stream, the
+// standby's copies of the in-flight emissions fill the hole instead of
+// the subscription restarting from an empty window. (The watermark
+// assumes an output's Seq strictly advances between emissions, which
+// holds whenever every emission covers at least one new input tuple.)
 type Subscription struct {
 	C <-chan stream.Tuple
 
-	parts  []BackendSubscription
 	merged chan stream.Tuple
 	once   sync.Once
+	detach func(*Subscription)
+
+	mu     sync.Mutex
+	parts  []BackendSubscription
+	active int  // forwarders still running
+	ended  bool // merged closed (all forwarders exited)
+	closed bool // Close called
+
+	// dedup state: sendMu serializes the watermark check with the
+	// delivery, so two replicas' forwarders cannot reorder emissions.
+	dedup   bool
+	sendMu  sync.Mutex
+	lastSeq uint64
 }
 
 // Dropped sums the tuples discarded across the underlying
 // subscriptions because the consumer lagged.
 func (s *Subscription) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var n uint64
 	for _, p := range s.parts {
 		n += p.Dropped()
@@ -224,17 +341,80 @@ func (s *Subscription) Dropped() uint64 {
 	return n
 }
 
+// attach adds one backend subscription as a source and starts its
+// forwarder; it reports false when the subscription cannot accept new
+// sources — already closed, ended, or a plain single-part subscription
+// without a merge channel (those expose the backend channel directly,
+// so a replacement part cannot be spliced in; the consumer sees the
+// close and re-subscribes). The refused backend subscription is closed.
+func (s *Subscription) attach(bs BackendSubscription) bool {
+	s.mu.Lock()
+	if s.merged == nil || s.closed || s.ended {
+		s.mu.Unlock()
+		bs.Close()
+		return false
+	}
+	s.parts = append(s.parts, bs)
+	s.active++
+	s.mu.Unlock()
+	go s.forward(bs)
+	return true
+}
+
+func (s *Subscription) forward(bs BackendSubscription) {
+	for t := range bs.Tuples() {
+		if s.dedup {
+			s.sendMu.Lock()
+			if t.Seq <= s.lastSeq {
+				s.sendMu.Unlock()
+				continue
+			}
+			s.lastSeq = t.Seq
+			s.merged <- t
+			s.sendMu.Unlock()
+		} else {
+			s.merged <- t
+		}
+	}
+	s.mu.Lock()
+	s.active--
+	if s.active == 0 && !s.ended {
+		// Every source died (withdrawn query, dead connections): end the
+		// merged stream so consumers' range loops terminate, matching
+		// the single-part behaviour.
+		s.ended = true
+		close(s.merged)
+	}
+	s.mu.Unlock()
+}
+
 // Close detaches the subscription from every shard; C is closed once
 // all buffered tuples have been forwarded.
 func (s *Subscription) Close() {
 	s.once.Do(func() {
-		for _, p := range s.parts {
+		s.mu.Lock()
+		s.closed = true
+		parts := append([]BackendSubscription(nil), s.parts...)
+		drain := false
+		if s.merged != nil && !s.ended {
+			if s.active == 0 {
+				s.ended = true
+				close(s.merged)
+			} else {
+				drain = true
+			}
+		}
+		s.mu.Unlock()
+		if s.detach != nil {
+			s.detach(s)
+		}
+		for _, p := range parts {
 			p.Close()
 		}
-		if s.merged != nil {
+		if drain {
 			// Unblock forwarders stuck sending into the merged buffer
-			// when the consumer is gone: drain until the fan-in
-			// goroutine closes the channel.
+			// when the consumer is gone: drain until the last forwarder
+			// closes the channel.
 			go func() {
 				for range s.merged {
 				}
@@ -245,6 +425,10 @@ func (s *Subscription) Close() {
 
 // Subscribe attaches a consumer to a query's output by runtime id or
 // handle (handles issued directly by shard backends also resolve).
+// Queries on replicated streams are attached on the primary part and
+// every live standby, merged through the sequence watermark (see
+// Subscription); a later failover needs no re-subscription, because
+// the promoted standby's emissions are already flowing.
 func (rt *Runtime) Subscribe(idOrHandle string) (*Subscription, error) {
 	d, ok := rt.lookupDep(idOrHandle)
 	if !ok {
@@ -255,39 +439,167 @@ func (rt *Runtime) Subscribe(idOrHandle string) (*Subscription, error) {
 		}
 		return nil, fmt.Errorf("runtime: unknown query %q", idOrHandle)
 	}
-	if len(d.Parts) == 1 {
-		sub, err := rt.shards[d.shards[0]].be.Subscribe(d.Parts[0].ID)
-		if err != nil {
-			return nil, err
-		}
-		return &Subscription{C: sub.Tuples(), parts: []BackendSubscription{sub}}, nil
-	}
-	// Attach every shard before starting any forwarder, so a mid-loop
-	// failure can detach cleanly without leaking forwarder goroutines
-	// blocked on the merged channel.
-	out := make(chan stream.Tuple, dsms.DefaultSubscriptionBuffer)
-	sub := &Subscription{C: out, merged: out}
-	for i, p := range d.Parts {
-		bs, err := rt.shards[d.shards[i]].be.Subscribe(p.ID)
-		if err != nil {
-			sub.Close()
-			return nil, err
-		}
-		sub.parts = append(sub.parts, bs)
-	}
-	var wg sync.WaitGroup
-	for _, p := range sub.parts {
-		wg.Add(1)
-		go func(bs BackendSubscription) {
-			defer wg.Done()
-			for t := range bs.Tuples() {
-				out <- t
+	rt.mu.RLock()
+	parts := d.Parts
+	shards := d.shards
+	rt.mu.RUnlock()
+	ds := rt.depStateFor(d.ID)
+	if ds == nil || ds.standby == nil {
+		if len(parts) == 1 {
+			sub, err := rt.shards[shards[0]].be.Subscribe(parts[0].ID)
+			if err != nil {
+				return nil, err
 			}
-		}(p)
+			return &Subscription{C: sub.Tuples(), parts: []BackendSubscription{sub}}, nil
+		}
+		// Partitioned: merge every shard's output, no dedup (each shard
+		// emits its own keys). Registering the subscription lets a
+		// re-adopted shard's redeployed part be spliced back in.
+		out := make(chan stream.Tuple, dsms.DefaultSubscriptionBuffer)
+		sub := &Subscription{C: out, merged: out}
+		if ds != nil {
+			sub.detach = ds.dropSub
+		}
+		for i, p := range parts {
+			bs, err := rt.shards[shards[i]].be.Subscribe(p.ID)
+			if err != nil {
+				sub.Close()
+				return nil, err
+			}
+			sub.attach(bs)
+		}
+		if ds != nil {
+			ds.addSub(sub)
+		}
+		return sub, nil
 	}
-	go func() {
-		wg.Wait()
-		close(out)
-	}()
+	// Replicated: dedup-merge the primary part and every standby.
+	ds.mu.Lock()
+	standby := make(map[int]BackendDeployment, len(ds.standby))
+	for si, sd := range ds.standby {
+		standby[si] = sd
+	}
+	ds.mu.Unlock()
+	out := make(chan stream.Tuple, dsms.DefaultSubscriptionBuffer)
+	sub := &Subscription{C: out, merged: out, dedup: true, detach: ds.dropSub}
+	attached := 0
+	if rt.shards[shards[0]].failedErr() == nil {
+		if bs, err := rt.shards[shards[0]].be.Subscribe(parts[0].ID); err == nil {
+			sub.attach(bs)
+			attached++
+		}
+	}
+	for si, sd := range standby {
+		if rt.shards[si].failedErr() != nil {
+			continue
+		}
+		if bs, err := rt.shards[si].be.Subscribe(sd.ID); err == nil {
+			sub.attach(bs)
+			attached++
+		}
+	}
+	if attached == 0 {
+		sub.Close()
+		return nil, fmt.Errorf("runtime: no live part of query %q to subscribe to", d.ID)
+	}
+	ds.addSub(sub)
 	return sub, nil
+}
+
+// MigrateQuery live-migrates a deployed query to one of its stream's
+// follower replicas while publishers stay connected: the primary's
+// shard drain is briefly paused, replication is flushed so the target
+// holds the identical tuple flow, the query's window state is exported
+// (dsms.QueryState — over the dsms.migrate verb for remote shards) and
+// imported into a fresh deployment on the target replacing its standby
+// part, live subscriptions are re-attached to the migrated part, and
+// the old primary part stays on as the standby for its shard. Emission
+// continuity is guaranteed by the subscription watermark: the migrated
+// part resumes the exact output sequence the standby was producing.
+func (rt *Runtime) MigrateQuery(idOrHandle string, target int) error {
+	if target < 0 || target >= len(rt.shards) {
+		return fmt.Errorf("runtime: shard %d out of range", target)
+	}
+	d, ok := rt.lookupDep(idOrHandle)
+	if !ok {
+		return fmt.Errorf("runtime: unknown query %q", idOrHandle)
+	}
+	ds := rt.depStateFor(d.ID)
+	if ds == nil || ds.standby == nil {
+		return fmt.Errorf("runtime: query %q is not on a replicated stream", d.ID)
+	}
+	r, err := rt.routeFor(ds.input)
+	if err != nil {
+		return err
+	}
+	if !r.hasReplica(target) && target != r.shard {
+		return fmt.Errorf("runtime: shard %d is not a replica of stream %q", target, ds.input)
+	}
+	rt.mu.RLock()
+	parts := d.Parts
+	shards := d.shards
+	rt.mu.RUnlock()
+	src := shards[0]
+	if src == target {
+		return nil
+	}
+	if rt.shards[src].failedErr() != nil || rt.shards[target].failedErr() != nil {
+		return fmt.Errorf("runtime: migration needs both shard %d and shard %d healthy", src, target)
+	}
+	exp, ok := rt.shards[src].be.(stateMigrator)
+	if !ok {
+		return fmt.Errorf("runtime: shard %d backend cannot export query state", src)
+	}
+	imp, ok := rt.shards[target].be.(stateMigrator)
+	if !ok {
+		return fmt.Errorf("runtime: shard %d backend cannot import query state", target)
+	}
+	// Quiesce the flow: pause the primary's drain (publishes keep
+	// queueing), fence its in-flight batch, ship the stable log tail,
+	// and flush both engines, so source and target have processed the
+	// exact same tuple prefix.
+	ps := rt.shards[rt.targetShard(r, r.shard)]
+	ps.pause()
+	defer ps.resume()
+	ps.waitDrained()
+	r.repl.waitIdle(func(i int) bool { return rt.shards[i].failedErr() == nil })
+	_ = rt.shards[src].be.Flush()
+	_ = rt.shards[target].be.Flush()
+
+	st, err := exp.ExportQueryState(parts[0].ID)
+	if err != nil {
+		return fmt.Errorf("runtime: export from shard %d: %w", src, err)
+	}
+	ds.mu.Lock()
+	replaceID := ""
+	if sd, ok := ds.standby[target]; ok {
+		replaceID = sd.ID
+	}
+	ds.mu.Unlock()
+	newPart, err := imp.ImportQuery(ds.req, replaceID, st)
+	if err != nil {
+		return fmt.Errorf("runtime: import on shard %d: %w", target, err)
+	}
+	// Swap roles: the migrated part is the new primary, the old primary
+	// part stays deployed as its shard's standby (its state is current,
+	// and the replicated flow keeps it warm).
+	rt.mu.Lock()
+	d.Parts = []BackendDeployment{newPart}
+	d.shards = []int{target}
+	rt.mu.Unlock()
+	ds.mu.Lock()
+	delete(ds.standby, target)
+	ds.standby[src] = parts[0]
+	ds.mu.Unlock()
+	// Re-attach live subscriptions: the import withdrew the standby
+	// part, closing its channels, so the migrated part must be wired
+	// back in for emissions from the new primary to flow.
+	for _, sub := range ds.subList() {
+		if bs, err := rt.shards[target].be.Subscribe(newPart.ID); err == nil {
+			sub.attach(bs)
+		}
+	}
+	rt.count("exacml_query_migrations_total",
+		"Live query migrations between replica shards.")
+	return nil
 }

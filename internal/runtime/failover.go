@@ -1,0 +1,272 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/dsms"
+	"repro/internal/protocol"
+)
+
+// This file is the self-healing control plane for replicated streams:
+// failoverShard promotes a replicated stream's most caught-up healthy
+// follower when its primary's shard dies, and readoptShard rebuilds a
+// shard's streams, admission state, query parts and replication
+// membership when a restarted dsmsd answers the health probe again.
+// Both run on health-hook goroutines, never on the publish hot path.
+
+// failoverShard reacts to shard i entering fail-fast mode: every
+// replicated stream whose current primary lives on i is promoted to
+// its most caught-up healthy follower, and shipping to i (as a
+// follower of other streams) is suspended until re-adoption.
+func (rt *Runtime) failoverShard(i int) {
+	// Fence: the failed shard's worker may be mid-batch. fail() makes
+	// the rest of its queue error out fast, so this wait is short — and
+	// after it no late successful ingest can append to a replication
+	// log whose tail the promotion below has already flushed.
+	rt.shards[i].waitDrained()
+	rt.mu.RLock()
+	routes := make([]*route, 0, len(rt.routes))
+	for _, r := range rt.routes {
+		if r.repl != nil {
+			routes = append(routes, r)
+		}
+	}
+	rt.mu.RUnlock()
+	for _, r := range routes {
+		r.repl.pauseFollower(i)
+		// fmu serializes promotion: two shards failing concurrently
+		// re-check the current primary under the lock, so the second
+		// failover sees the first one's promotion and either leaves it
+		// alone (new primary healthy) or promotes onward from it.
+		r.fmu.Lock()
+		if rt.shards[r.primaryShard()].failedErr() != nil {
+			rt.promoteRouteLocked(r)
+		}
+		r.fmu.Unlock()
+	}
+}
+
+// promoteRouteLocked promotes the route's most caught-up healthy
+// follower to primary: the remaining log tail is flushed to it
+// synchronously, publishes are re-targeted at it, and each deployed
+// query's warm standby part on that shard becomes the primary part.
+// With no healthy follower left the route keeps failing fast — exact
+// error accounting, bounded blast radius — until a shard re-adopts.
+// Caller holds r.fmu.
+func (rt *Runtime) promoteRouteLocked(r *route) {
+	for _, fi := range r.repl.candidates() {
+		if rt.shards[fi].failedErr() != nil {
+			continue
+		}
+		if err := r.repl.promote(fi); err != nil {
+			continue // try the next-most-caught-up follower
+		}
+		r.failTo.Store(int32(fi))
+		rt.promoteDeps(r, fi)
+		rt.count("exacml_failovers_total",
+			"Replicated-stream primary promotions after shard failure.")
+		return
+	}
+}
+
+// promoteDeps moves every query deployed on the route to the promoted
+// shard fi: the warm standby part (fed by the replicated flow, so its
+// window state tracks the dead primary's) is swapped in as the primary
+// part, or the query is redeployed fresh — restarting with an empty
+// window, the documented degraded mode — when no standby survived.
+// Live subscriptions are (re-)attached either way; their sequence
+// watermark drops anything they already saw.
+func (rt *Runtime) promoteDeps(r *route, fi int) {
+	rt.mu.RLock()
+	deps := make(map[string]*Deployment)
+	for _, d := range rt.deps {
+		if strings.EqualFold(d.Input, r.name) {
+			deps[d.ID] = d
+		}
+	}
+	rt.mu.RUnlock()
+	for _, d := range deps {
+		ds := rt.depStateFor(d.ID)
+		if ds == nil || ds.standby == nil {
+			continue
+		}
+		ds.mu.Lock()
+		part, warm := ds.standby[fi]
+		if warm {
+			delete(ds.standby, fi)
+		}
+		ds.mu.Unlock()
+		if !warm {
+			nd, err := rt.shards[fi].be.Deploy(ds.req)
+			if err != nil {
+				continue
+			}
+			part = nd
+		}
+		rt.mu.Lock()
+		d.Parts = []BackendDeployment{part}
+		d.shards = []int{fi}
+		rt.mu.Unlock()
+		// Re-attach even on the warm path: a standby re-created during a
+		// re-adoption carries a part id no live subscription is attached
+		// to, and a duplicate attachment to one already covered is
+		// harmless (the watermark eats the second copy of each tuple).
+		for _, sub := range ds.subList() {
+			if bs, err := rt.shards[fi].be.Subscribe(part.ID); err == nil {
+				sub.attach(bs)
+			}
+		}
+	}
+}
+
+// adopted reports whether a CreateStream error means the stream is
+// already there: an in-process engine's ErrStreamExists, or the
+// structured already_exists code a dsmsd attaches. (RemoteBackend
+// additionally verifies schema equality before surfacing the code, so
+// a schema-divergent survivor still fails the re-adoption.)
+func adopted(err error) bool {
+	return errors.Is(err, dsms.ErrStreamExists) ||
+		protocol.ErrorCode(err) == protocol.CodeAlreadyExists
+}
+
+// readoptShard rebuilds shard i's state after its backend came back
+// (typically a restarted dsmsd answering the health probe): streams it
+// hosts are re-created — with a surviving equal-schema stream adopted
+// in place — admission state is re-declared, lost query parts are
+// redeployed, replication membership is resumed, and finally the shard
+// leaves fail-fast mode. An error re-marks the backend down, so the
+// next probe tick retries the whole sequence.
+func (rt *Runtime) readoptShard(i int) error {
+	rt.mu.RLock()
+	routes := make([]*route, 0, len(rt.routes))
+	for _, r := range rt.routes {
+		routes = append(routes, r)
+	}
+	deps := make(map[string]*Deployment)
+	for _, d := range rt.deps {
+		deps[d.ID] = d
+	}
+	rt.mu.RUnlock()
+	be := rt.shards[i].be
+
+	// 1. Streams: re-create everything this shard hosts (partitioned
+	// streams live everywhere; single-shard streams if it is the owner,
+	// a replica, or a lazily-created failover target).
+	for _, r := range routes {
+		hosted := r.keyIdx >= 0 || r.shard == i || r.hasReplica(i)
+		if !hosted {
+			r.fmu.Lock()
+			hosted = r.extra[i] && !r.dropped
+			r.fmu.Unlock()
+		}
+		if !hosted {
+			continue
+		}
+		if err := be.CreateStream(r.name, r.schema); err != nil && !adopted(err) {
+			return fmt.Errorf("runtime: readopt shard %d: stream %q: %w", i, r.name, err)
+		}
+		// Best effort: a dsmsd without the admission verb still serves.
+		if fw, ok := be.(admissionForwarder); ok {
+			_ = fw.ForwardAdmission(r.name, r.adm.Load().cfg)
+		}
+	}
+
+	// 2. Query parts: the restarted process lost its deployments.
+	// Partitioned parts are redeployed in place; on replicated routes
+	// the shard gets a fresh standby part (fed by replication from here
+	// on — its window warms up going forward, and a later promotion
+	// re-attaches subscriptions to it).
+	for _, d := range deps {
+		ds := rt.depStateFor(d.ID)
+		if ds == nil {
+			continue
+		}
+		rt.mu.RLock()
+		shards := d.shards
+		rt.mu.RUnlock()
+		if ds.standby != nil {
+			if len(shards) == 1 && shards[0] == i {
+				// The shard being re-adopted still carries the primary
+				// part's bookkeeping: no healthy follower existed to
+				// promote when it died. Redeploy the primary part fresh.
+				nd, err := be.Deploy(ds.req)
+				if err != nil {
+					return fmt.Errorf("runtime: readopt shard %d: query %s: %w", i, d.ID, err)
+				}
+				rt.mu.Lock()
+				d.Parts = []BackendDeployment{nd}
+				d.shards = []int{i}
+				rt.mu.Unlock()
+				for _, sub := range ds.subList() {
+					if bs, err := be.Subscribe(nd.ID); err == nil {
+						sub.attach(bs)
+					}
+				}
+				continue
+			}
+			r, err := rt.routeFor(ds.input)
+			if err != nil || (!r.hasReplica(i) && r.shard != i) {
+				continue
+			}
+			if nd, err := be.Deploy(ds.req); err == nil {
+				ds.mu.Lock()
+				ds.standby[i] = nd
+				ds.mu.Unlock()
+			}
+			continue
+		}
+		for j, si := range shards {
+			if si != i {
+				continue
+			}
+			nd, err := be.Deploy(ds.req)
+			if err != nil {
+				return fmt.Errorf("runtime: readopt shard %d: query %s: %w", i, d.ID, err)
+			}
+			rt.mu.Lock()
+			parts := append([]BackendDeployment(nil), d.Parts...)
+			parts[j] = nd
+			d.Parts = parts
+			rt.mu.Unlock()
+			for _, sub := range ds.subList() {
+				if bs, err := be.Subscribe(nd.ID); err == nil {
+					sub.attach(bs)
+				}
+			}
+		}
+	}
+
+	// 3. Replication membership: resume shipping to this shard where it
+	// follows, and enlist a deposed original owner as a follower of its
+	// own stream (no automatic failback — the promoted primary keeps
+	// serving; MigrateQuery moves queries back deliberately). A rejoined
+	// follower restarts from the oldest retained log position; anything
+	// trimmed before that is its permanent, counted gap.
+	for _, r := range routes {
+		if r.repl == nil {
+			continue
+		}
+		tgt, isTarget := be.(replicaTarget)
+		switch {
+		case r.hasReplica(i):
+			if r.repl.hasFollower(i) {
+				r.repl.rejoin(i)
+			} else if isTarget {
+				r.repl.addFollower(i, tgt, r.repl.basePos())
+			}
+		case r.shard == i && r.failTo.Load() >= 0 && isTarget:
+			if !r.repl.hasFollower(i) {
+				r.repl.addFollower(i, tgt, r.repl.basePos())
+			}
+		}
+	}
+
+	// 4. Leave fail-fast mode last, so publishes only flow once the
+	// shard's streams and queries are back.
+	rt.shards[i].unfail()
+	rt.count("exacml_shard_readoptions_total",
+		"Restarted shard backends re-adopted into the topology.")
+	return nil
+}

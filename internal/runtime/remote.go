@@ -34,29 +34,45 @@ type RemoteOptions struct {
 	// (default 1s; negative disables the probe).
 	HealthInterval time.Duration
 	// CallTimeout bounds each RPC and each TCP connect (default 10s;
-	// negative disables). protocol.Client has no per-call deadline, so
-	// on expiry the connection is torn down — which both unblocks the
-	// in-flight call and routes a hung-but-connected dsmsd into the
-	// same reconnect/down machinery as a closed one.
+	// negative disables). RPCs are bounded with the connection's
+	// read/write deadlines (protocol.Client.SetCallTimeout) — no
+	// watchdog goroutine per call — so on expiry the connection dies
+	// with protocol.ErrClosed, which both unblocks the in-flight call
+	// and routes a hung-but-connected dsmsd into the same
+	// reconnect/down machinery as a closed one.
 	CallTimeout time.Duration
 	// SubBuffer is the per-subscription channel capacity (default
 	// dsms.DefaultSubscriptionBuffer). A full buffer drops tuples,
 	// counted in BackendSubscription.Dropped.
 	SubBuffer int
-	// OnDown is the failover hook: invoked exactly once, with the
-	// terminal error, when the backend exhausts its reconnect budget and
-	// declares the dsmsd process unreachable. The runtime wires this to
-	// the owning shard so publishes fail fast (or reroute) with correct
-	// accounting.
+	// OnDown is the failover hook: invoked once per down transition,
+	// with the error, when the backend exhausts its reconnect budget
+	// and declares the dsmsd process unreachable. The runtime wires
+	// this to the owning shard so publishes fail fast (or reroute) with
+	// correct accounting. A backend that is later re-adopted (see
+	// OnReadopt) re-arms the notification, so a second crash fires
+	// OnDown again.
 	OnDown func(err error)
+	// OnReadopt is the self-healing hook: while down, the background
+	// probe keeps trying to redial, and when a dial succeeds — the
+	// dsmsd was restarted, or a partition healed — the backend clears
+	// its down state and invokes OnReadopt on a fresh goroutine. The
+	// runtime wires this to re-create the shard's streams (idempotent
+	// against surviving dsmsd state via the already_exists adoption in
+	// CreateStream), re-apply admission configs, redeploy lost query
+	// parts and lift the shard's fail-fast mode. Returning an error
+	// re-marks the backend down so the next probe tick retries the
+	// whole re-adoption.
+	OnReadopt func() error
 	// OnHealthEvent observes connection-health transitions for
 	// telemetry: "dial" (one per connect attempt, err carries the
 	// failure of the previous attempt or nil), "connected" (first
-	// successful dial), "reconnected" (a later redial succeeded), and
-	// "down" (terminal, same instant the OnDown hook is scheduled). The
-	// hook may be called with the backend's internal lock held: it must
-	// be fast and must not call back into the backend. Expensive work
-	// (audit appends) belongs on a fresh goroutine.
+	// successful dial), "reconnected" (a later redial succeeded),
+	// "down" (same instant the OnDown hook is scheduled) and
+	// "readopted" (a downed backend came back; OnReadopt is scheduled).
+	// The hook may be called with the backend's internal lock held: it
+	// must be fast and must not call back into the backend. Expensive
+	// work (audit appends) belongs on a fresh goroutine.
 	OnHealthEvent func(event string, err error)
 }
 
@@ -86,9 +102,15 @@ func (o RemoteOptions) withDefaults() RemoteOptions {
 // between publishes. Once the budget is exhausted the backend is
 // declared down — every subsequent operation fails fast with an error
 // wrapping protocol.ErrClosed (client.ErrConnClosed), and the OnDown
-// hook fires exactly once so the owning shard can fail or reroute its
-// streams. Down is terminal: recovering a restarted dsmsd means
-// building a fresh backend.
+// hook fires so the owning shard can fail or reroute its streams.
+//
+// Down is sticky but not terminal: the probe keeps redialing while
+// down, and a successful dial — the dsmsd was restarted, or a
+// partition healed — re-adopts the process: the down state clears,
+// operations flow again and the OnReadopt hook lets the owning runtime
+// restore streams and queries (health event "readopted"). With the
+// probe disabled (HealthInterval < 0) nothing redials, and down is
+// effectively terminal as it was before re-adoption existed.
 type RemoteBackend struct {
 	addr string
 	opts RemoteOptions
@@ -100,7 +122,11 @@ type RemoteBackend struct {
 	closed  bool
 	subs    map[*remoteSub]struct{} // live dedicated subscription connections
 
-	downOnce  sync.Once
+	// downNotified re-arms the OnDown notification across re-adoption
+	// cycles: true from the moment OnDown is scheduled until the next
+	// successful re-adoption. Guarded by mu.
+	downNotified bool
+
 	healthy   atomic.Bool
 	probeStop chan struct{}
 	probeDone chan struct{}
@@ -170,6 +196,9 @@ func (b *RemoteBackend) client() (*dsmsd.Client, error) {
 		b.healthEvent("dial", lastErr)
 		cli, err := dsmsd.DialTimeout(b.addr, b.opts.CallTimeout)
 		if err == nil {
+			if b.opts.CallTimeout > 0 {
+				cli.SetCallTimeout(b.opts.CallTimeout)
+			}
 			if b.dialed {
 				b.healthEvent("reconnected", nil)
 			} else {
@@ -204,51 +233,81 @@ func (b *RemoteBackend) healthEvent(event string, err error) {
 	}
 }
 
-// markDownLocked records the terminal error and schedules the OnDown
-// hook; the caller holds b.mu.
+// markDownLocked records the down error and schedules the OnDown hook
+// (once per down transition); the caller holds b.mu. The probe keeps
+// redialing while down — see tryReadopt.
 func (b *RemoteBackend) markDownLocked(err error) {
 	b.downErr = err
 	b.healthy.Store(false)
 	b.healthEvent("down", err)
-	b.downOnce.Do(func() {
+	if !b.downNotified {
+		b.downNotified = true
 		if hook := b.opts.OnDown; hook != nil {
 			// Invoke outside the lock: the hook typically takes the
 			// owning shard's mutex.
 			go hook(err)
 		}
-	})
+	}
 }
 
-// callBounded runs op against cli under the call timeout. On expiry
-// the connection is closed, which fails the pending call with
-// protocol.ErrClosed (and so also unblocks the op goroutine — no
-// leak); the caller sees a connection-flavoured error and its retry /
-// down machinery takes over.
-func (b *RemoteBackend) callBounded(cli *dsmsd.Client, op func(c *dsmsd.Client) error) error {
-	if b.opts.CallTimeout <= 0 {
-		return op(cli)
+// tryReadopt attempts one redial of a downed backend. On success the
+// down state clears, the health observer sees "readopted" and the
+// OnReadopt hook runs on a fresh goroutine; if the hook reports that
+// restoring runtime state failed, the backend is re-marked down so the
+// next probe tick retries the whole cycle.
+func (b *RemoteBackend) tryReadopt() {
+	cli, err := dsmsd.DialTimeout(b.addr, b.opts.CallTimeout)
+	if err != nil {
+		return
 	}
-	done := make(chan error, 1)
-	go func() { done <- op(cli) }()
-	t := time.NewTimer(b.opts.CallTimeout)
-	defer t.Stop()
-	select {
-	case err := <-done:
-		return err
-	case <-t.C:
-		b.dropClient(cli)
-		<-done
-		// Callers add the shard address; report the bare timeout as a
-		// connection-class failure.
-		return fmt.Errorf("%w: call timed out after %v", protocol.ErrClosed, b.opts.CallTimeout)
+	if b.opts.CallTimeout > 0 {
+		cli.SetCallTimeout(b.opts.CallTimeout)
 	}
+	if err := cli.Ping(); err != nil {
+		_ = cli.Close()
+		return
+	}
+	b.mu.Lock()
+	if b.closed || b.downErr == nil {
+		b.mu.Unlock()
+		_ = cli.Close()
+		return
+	}
+	b.downErr = nil
+	b.downNotified = false
+	if b.cli != nil {
+		_ = b.cli.Close()
+	}
+	b.cli = cli
+	b.dialed = true
+	b.healthy.Store(true)
+	b.healthEvent("readopted", nil)
+	hook := b.opts.OnReadopt
+	b.mu.Unlock()
+	if hook == nil {
+		return
+	}
+	go func() {
+		err := hook()
+		if err == nil {
+			return
+		}
+		b.mu.Lock()
+		if !b.closed && b.downErr == nil {
+			b.markDownLocked(b.connErr("runtime: remote shard %s: re-adoption failed: %w", err))
+		}
+		b.mu.Unlock()
+	}()
 }
 
 // do runs one idempotent RPC against the backend, redialing and
 // re-issuing once if the connection died under it. Only safe for
 // operations whose duplicate execution is harmless (schema lookups,
 // pings, flushes): a connection can die after the server applied the
-// request but before the response arrived.
+// request but before the response arrived. The call timeout rides on
+// the connection's read/write deadlines (set at dial), so a stalled
+// dsmsd fails the call with protocol.ErrClosed without any watchdog
+// goroutine.
 func (b *RemoteBackend) do(op func(c *dsmsd.Client) error) error {
 	var lastErr error
 	for try := 0; try < 2; try++ {
@@ -256,7 +315,7 @@ func (b *RemoteBackend) do(op func(c *dsmsd.Client) error) error {
 		if err != nil {
 			return err
 		}
-		err = b.callBounded(cli, op)
+		err = op(cli)
 		if err == nil || !errors.Is(err, protocol.ErrClosed) {
 			return err
 		}
@@ -278,7 +337,7 @@ func (b *RemoteBackend) doOnce(op func(c *dsmsd.Client) error) error {
 	if err != nil {
 		return err
 	}
-	err = b.callBounded(cli, op)
+	err = op(cli)
 	if err == nil || !errors.Is(err, protocol.ErrClosed) {
 		return err
 	}
@@ -288,6 +347,9 @@ func (b *RemoteBackend) doOnce(op func(c *dsmsd.Client) error) error {
 
 // probe pings the server every HealthInterval so a dead dsmsd is
 // noticed (and the OnDown hook fired) even while no publishes flow.
+// While the backend is down the probe becomes the re-adoption loop:
+// each tick attempts one redial, and a success clears the down state
+// (see tryReadopt).
 func (b *RemoteBackend) probe() {
 	defer close(b.probeDone)
 	t := time.NewTicker(b.opts.HealthInterval)
@@ -302,7 +364,8 @@ func (b *RemoteBackend) probe() {
 			down := b.downErr != nil
 			b.mu.Unlock()
 			if down {
-				return
+				b.tryReadopt()
+				continue
 			}
 			if virgin {
 				// Never successfully dialed: leave the first connection
@@ -400,6 +463,65 @@ func (b *RemoteBackend) Deploy(req DeployRequest) (BackendDeployment, error) {
 // Withdraw implements ShardBackend.
 func (b *RemoteBackend) Withdraw(idOrHandle string) error {
 	return b.doOnce(func(c *dsmsd.Client) error { return c.Withdraw(idOrHandle) })
+}
+
+// Replicate implements replicaTarget: it ships a contiguous run of a
+// replicated stream to the follower dsmsd. Safe to retry (and so
+// routed through do): the server deduplicates against its stored
+// position using base, so a redelivery after a lost ack trims the
+// already-applied prefix instead of double-ingesting.
+func (b *RemoteBackend) Replicate(streamName string, base uint64, ts []stream.Tuple) (uint64, error) {
+	var acked uint64
+	err := b.do(func(c *dsmsd.Client) error {
+		a, err := c.Replicate(streamName, base, ts)
+		acked = a
+		return err
+	})
+	return acked, err
+}
+
+// ReplicaStatus implements replicaTarget.
+func (b *RemoteBackend) ReplicaStatus(streamName string) (uint64, error) {
+	var acked uint64
+	err := b.do(func(c *dsmsd.Client) error {
+		a, err := c.ReplicaStatus(streamName)
+		acked = a
+		return err
+	})
+	return acked, err
+}
+
+// ExportQueryState implements stateMigrator: it serializes a deployed
+// query's window state off the dsmsd for migration (read-only, so
+// retried on connection death).
+func (b *RemoteBackend) ExportQueryState(idOrHandle string) (*dsms.QueryState, error) {
+	var st *dsms.QueryState
+	err := b.do(func(c *dsmsd.Client) error {
+		s, err := c.MigrateExport(idOrHandle)
+		st = s
+		return err
+	})
+	return st, err
+}
+
+// ImportQuery implements stateMigrator: deploy req's script on the
+// dsmsd and install st into the fresh query, optionally withdrawing
+// replaceID (a standby part being promoted in place) first. At most
+// once: a duplicate would orphan a query.
+func (b *RemoteBackend) ImportQuery(req DeployRequest, replaceID string, st *dsms.QueryState) (BackendDeployment, error) {
+	if req.Script == "" {
+		return BackendDeployment{}, fmt.Errorf("runtime: remote shard %s: migrate requires a StreamSQL script", b.addr)
+	}
+	var out BackendDeployment
+	err := b.doOnce(func(c *dsmsd.Client) error {
+		resp, err := c.MigrateImport(req.Script, replaceID, st)
+		if err != nil {
+			return err
+		}
+		out = BackendDeployment{ID: resp.QueryID, Handle: resp.Handle, OutputSchema: resp.OutputSchema}
+		return nil
+	})
+	return out, err
 }
 
 // QueryCount implements ShardBackend (0 when unreachable).
@@ -543,4 +665,8 @@ func (s *remoteSub) Close() {
 	_ = s.rpc.Close()
 }
 
-var _ ShardBackend = (*RemoteBackend)(nil)
+var (
+	_ ShardBackend  = (*RemoteBackend)(nil)
+	_ replicaTarget = (*RemoteBackend)(nil)
+	_ stateMigrator = (*RemoteBackend)(nil)
+)

@@ -197,8 +197,25 @@ type Options struct {
 	// blocks every stream, matching the pre-admission behaviour.
 	BlockClass Class
 	// Failover selects how publishes bound for a downed remote shard
-	// are handled (default FailoverFail).
+	// are handled (default FailoverFail). Replicated streams (see
+	// Replication) ignore this: their failover is promotion of a
+	// follower replica.
 	Failover FailoverMode
+	// Replication is the number of shards each single-shard stream is
+	// materialized on: the owning shard plus Replication-1 follower
+	// shards receiving an asynchronous copy of every ingested tuple
+	// (clamped to the shard count; default 1 = replication off). When
+	// the owner's backend goes down, the most caught-up healthy
+	// follower is promoted: the retained log tail is flushed to it,
+	// publishes are rerouted, and standby query parts deployed on it
+	// take over with warm window state. Partitioned streams are not
+	// replicated (every shard already holds a partition).
+	Replication int
+	// ReplicationLog bounds the retained replication log per stream in
+	// tuples (default DefaultReplicationLog). A follower that falls
+	// further behind than the retained tail skips the gap (counted in
+	// ReplicaLag.Gaps) rather than stalling the primary.
+	ReplicationLog int
 	// OnShardDown, when non-nil, is invoked once per shard whose
 	// backend is declared down, with the shard index and terminal
 	// error (observability hook; called from a backend goroutine).
@@ -238,6 +255,15 @@ func (o Options) withDefaults() Options {
 	if o.TraceSampleEvery <= 0 {
 		o.TraceSampleEvery = DefaultTraceSampleEvery
 	}
+	if o.Replication <= 0 {
+		o.Replication = 1
+	}
+	if o.Replication > o.Shards {
+		o.Replication = o.Shards
+	}
+	if o.ReplicationLog <= 0 {
+		o.ReplicationLog = DefaultReplicationLog
+	}
 	return o
 }
 
@@ -270,6 +296,35 @@ type route struct {
 	fmu     sync.Mutex
 	extra   map[int]bool
 	dropped bool
+
+	// Replication state (nil repl means the stream is not replicated):
+	// replicas are the follower shard indices, repl owns the bounded
+	// tuple log and shippers, and failTo is the promoted primary shard
+	// after a failover (-1 while the original owner serves). fmu also
+	// serializes promotion, so two concurrent shard failures cannot
+	// promote the same route twice.
+	replicas []int
+	repl     *replicator
+	failTo   atomic.Int32
+}
+
+// primaryShard is the shard currently serving the route's ingest: the
+// promoted replica after a failover, the registered owner otherwise.
+func (r *route) primaryShard() int {
+	if ft := r.failTo.Load(); ft >= 0 {
+		return int(ft)
+	}
+	return r.shard
+}
+
+// hasReplica reports whether shard i is one of the route's followers.
+func (r *route) hasReplica(i int) bool {
+	for _, fi := range r.replicas {
+		if fi == i {
+			return true
+		}
+	}
+	return false
 }
 
 // Runtime is the sharded ingest runtime.
@@ -292,6 +347,13 @@ type Runtime struct {
 	deps    map[string]*Deployment // keyed by runtime id and by handle
 	nextDep int
 	closed  bool
+
+	// depMu guards depSt, the per-deployment replication bookkeeping
+	// (standby parts, live subscriptions) keyed by runtime query id.
+	// Separate from mu so failover can walk deployment state while a
+	// reader holds the route lock.
+	depMu sync.Mutex
+	depSt map[string]*depState
 }
 
 // New builds a runtime with opts.Shards engine shards (or one shard
@@ -331,6 +393,20 @@ func New(name string, opts Options) *Runtime {
 				userDown(err)
 			}
 		}
+		// Chain the re-adoption hook: rebuild the shard's streams,
+		// admission state, query parts and replication membership, then
+		// run the caller's hook; an error from either re-marks the
+		// backend down so the next probe tick retries.
+		userReadopt := ropts.OnReadopt
+		ropts.OnReadopt = func() error {
+			if err := rt.readoptShard(idx); err != nil {
+				return err
+			}
+			if userReadopt != nil {
+				return userReadopt()
+			}
+			return nil
+		}
 		// Chain the health observer: feed the runtime's telemetry and
 		// audit trail, then the caller's hook.
 		userHealth := ropts.OnHealthEvent
@@ -366,6 +442,7 @@ func NewWithBackends(name string, opts Options, backends []ShardBackend) *Runtim
 		routes:  map[string]*route{},
 		pending: map[string]bool{},
 		deps:    map[string]*Deployment{},
+		depSt:   map[string]*depState{},
 	}
 	for i, be := range backends {
 		rt.shards[i] = newShard(i, be, opts.QueueSize, opts.BatchSize, opts.Policy, opts.BlockClass)
@@ -441,6 +518,36 @@ func (rt *Runtime) collectStats(g *telemetry.Gather) {
 		g.Counter("exacml_class_ingested_total",
 			"Tuples ingested, by priority class.", c.Ingested, lab)
 	}
+	rt.mu.RLock()
+	var repls []*route
+	for _, r := range rt.routes {
+		if r.repl != nil {
+			repls = append(repls, r)
+		}
+	}
+	rt.mu.RUnlock()
+	for _, r := range repls {
+		for _, l := range r.repl.lag() {
+			labs := []telemetry.Label{
+				telemetry.L("stream", r.name),
+				telemetry.L("shard", strconv.Itoa(l.Shard)),
+			}
+			g.Gauge("exacml_replica_lag",
+				"Accepted tuples a follower replica has not yet acknowledged.",
+				float64(l.Lag), labs...)
+			g.Counter("exacml_replica_gap_total",
+				"Tuples a follower permanently missed because the bounded "+
+					"replication log trimmed past its position.", l.Gaps, labs...)
+			g.Counter("exacml_replica_ship_errors_total",
+				"Failed replication ship attempts.", l.Errors, labs...)
+		}
+	}
+}
+
+// count bumps an event counter on the runtime's registry (no-op when
+// telemetry is off; the nil registry tolerates every call).
+func (rt *Runtime) count(name, help string, labels ...telemetry.Label) {
+	rt.reg.Counter(name, help, labels...).Inc()
 }
 
 // noteHealthEvent feeds a remote shard's health transition into the
@@ -497,8 +604,13 @@ func (rt *Runtime) Backend(i int) ShardBackend { return rt.shards[i].be }
 
 // FailShard puts shard i into fail-fast mode with the given terminal
 // error, as the remote failover hook does; exposed for custom backends
-// wired via NewWithBackends.
-func (rt *Runtime) FailShard(i int, err error) { rt.shards[i].fail(err) }
+// wired via NewWithBackends. Replicated streams whose current primary
+// lives on the failed shard are failed over to their most caught-up
+// healthy follower before FailShard returns.
+func (rt *Runtime) FailShard(i int, err error) {
+	rt.shards[i].fail(err)
+	rt.failoverShard(i)
+}
 
 func hashString(s string) uint32 {
 	h := fnv.New32a()
@@ -602,8 +714,39 @@ func (rt *Runtime) CreateStream(name string, schema *stream.Schema, opts ...Stre
 		name: name, schema: schema, keyIdx: -1, shard: si,
 		counters: &streamCounters{},
 	}
+	r.failTo.Store(-1)
 	r.adm.Store(newAdmissionState(cfg))
+	// Replication: materialize the stream on the next Replication-1
+	// shard slots and start the asynchronous shippers. Followers whose
+	// backend does not implement the replica surface are skipped (the
+	// stream still exists there for a promoted deploy to find).
+	if rt.opts.Replication > 1 {
+		for d := 1; d < rt.opts.Replication; d++ {
+			fi := (si + d) % len(rt.shards)
+			if err := rt.shards[fi].be.CreateStream(name, schema); err != nil {
+				for _, done := range r.replicas {
+					_ = rt.shards[done].be.DropStream(name)
+				}
+				_ = rt.shards[si].be.DropStream(name)
+				rt.abortStream(key)
+				return fmt.Errorf("runtime: replica shard %d: %w", fi, err)
+			}
+			r.replicas = append(r.replicas, fi)
+		}
+		r.repl = newReplicator(name, rt.opts.ReplicationLog)
+		for _, fi := range r.replicas {
+			if tgt, ok := rt.shards[fi].be.(replicaTarget); ok {
+				r.repl.addFollower(fi, tgt, 0)
+			}
+		}
+	}
 	if rt.commitStream(key, r) {
+		if r.repl != nil {
+			r.repl.close()
+		}
+		for _, fi := range r.replicas {
+			_ = rt.shards[fi].be.DropStream(name)
+		}
 		_ = rt.shards[si].be.DropStream(name)
 		return errClosed
 	}
@@ -653,6 +796,7 @@ func (rt *Runtime) CreatePartitionedStream(name string, schema *stream.Schema, k
 		name: name, schema: schema, keyIdx: idx, shard: -1,
 		counters: &streamCounters{},
 	}
+	r.failTo.Store(-1)
 	r.adm.Store(newAdmissionState(cfg))
 	if rt.commitStream(key, r) {
 		for _, s := range rt.shards {
@@ -675,19 +819,36 @@ func (rt *Runtime) DropStream(name string) error {
 		return fmt.Errorf("runtime: unknown stream %q", name)
 	}
 	delete(rt.routes, key)
+	var depIDs []string
 	for id, d := range rt.deps {
 		if strings.EqualFold(d.Input, name) {
+			if id == d.ID {
+				depIDs = append(depIDs, id)
+			}
 			delete(rt.deps, id)
 		}
 	}
 	rt.mu.Unlock()
+	rt.depMu.Lock()
+	for _, id := range depIDs {
+		delete(rt.depSt, id)
+	}
+	rt.depMu.Unlock()
 	// Downed shards are skipped throughout: their streams died with the
 	// process, and a conn error would make an otherwise-complete drop
 	// look failed (mirroring Withdraw).
 	var err error
 	if r.keyIdx < 0 {
+		if r.repl != nil {
+			r.repl.close()
+		}
 		if rt.shards[r.shard].failedErr() == nil {
 			err = rt.shards[r.shard].be.DropStream(r.name)
+		}
+		for _, fi := range r.replicas {
+			if rt.shards[fi].failedErr() == nil {
+				_ = rt.shards[fi].be.DropStream(r.name)
+			}
 		}
 		// Failover reroute may have lazily created the stream on
 		// fallback shards; drop those copies too, and bar in-flight
@@ -921,6 +1082,19 @@ func (rt *Runtime) PublishBatchVerdict(streamName string, ts []stream.Tuple) (Pu
 			return v, nil
 		}
 	}
+	// Replicated streams stamp arrival times at publish admission: the
+	// engine's seal preserves non-zero arrivals, so the primary and
+	// every follower see identical timestamps and their time-window
+	// aggregates stay bit-compatible. (The runtime owns the batch from
+	// here on, same contract as the engine's owned ingest.)
+	if r.repl != nil {
+		now := time.Now().UnixMilli()
+		for i := range ts {
+			if ts[i].ArrivalMillis == 0 {
+				ts[i].ArrivalMillis = now
+			}
+		}
+	}
 	// Sample the publish tracer once per batch (nil tracer or unsampled
 	// batch → nil span, and every stamp below is a no-op). The span's
 	// queue-wait stage opens here and travels with the batch's first
@@ -928,7 +1102,7 @@ func (rt *Runtime) PublishBatchVerdict(streamName string, ts []stream.Tuple) (Pu
 	sp := rt.tracer.Sample()
 	sp.Begin(telemetry.StageQueueWait)
 	if r.keyIdx < 0 {
-		n, err := rt.shards[rt.targetShard(r, r.shard)].enqueue(r.name, ad.cfg.Class, r.counters, ts, sp)
+		n, err := rt.shards[rt.targetShard(r, r.shard)].enqueue(r.name, ad.cfg.Class, r.counters, r.repl, ts, sp)
 		v.Accepted = n
 		return v, err
 	}
@@ -960,7 +1134,7 @@ func (rt *Runtime) PublishBatchVerdict(streamName string, ts []stream.Tuple) (Pu
 		// The span rides with the first dispatched bucket; the others go
 		// untraced (per-bucket spans would multiply one sampled publish
 		// into shard-count traces).
-		n, err := rt.shards[rt.targetShard(r, si)].enqueue(r.name, ad.cfg.Class, r.counters, bucket, sp)
+		n, err := rt.shards[rt.targetShard(r, si)].enqueue(r.name, ad.cfg.Class, r.counters, nil, bucket, sp)
 		sp = nil
 		v.Accepted += n
 		if err != nil && firstErr == nil {
@@ -979,6 +1153,17 @@ func (rt *Runtime) PublishBatchVerdict(streamName string, ts []stream.Tuple) (Pu
 // healthy sibling exists — the original shard is returned and its
 // enqueue fails fast with exact error accounting.
 func (rt *Runtime) targetShard(r *route, si int) int {
+	// Replicated routes ignore the generic failover modes: after a
+	// promotion every publish lands on the promoted replica (even if it
+	// is currently failing — the next promotion will move failTo), and
+	// until the promotion completes publishes fail fast, bounding the
+	// blast radius to exactly the accounted errors.
+	if r.repl != nil && si == r.shard {
+		if ft := r.failTo.Load(); ft >= 0 {
+			return int(ft)
+		}
+		return si
+	}
 	if rt.shards[si].failedErr() == nil {
 		return si
 	}
@@ -1025,11 +1210,43 @@ func (rt *Runtime) ensureStreamOn(r *route, t int) error {
 
 // Flush blocks until every queued tuple has been drained into the
 // engines and every engine pipeline has quiesced, making concurrent
-// publish tests and benchmarks deterministic.
+// publish tests and benchmarks deterministic. For replicated streams
+// it additionally waits until every follower on a healthy shard has
+// acknowledged the full log and the follower backends have quiesced,
+// so a post-Flush inspection sees identical primary and replica state.
 func (rt *Runtime) Flush() {
 	for _, s := range rt.shards {
 		s.flush()
 	}
+	rt.mu.RLock()
+	var repls []*route
+	for _, r := range rt.routes {
+		if r.repl != nil {
+			repls = append(repls, r)
+		}
+	}
+	rt.mu.RUnlock()
+	healthy := func(i int) bool { return rt.shards[i].failedErr() == nil }
+	flushed := map[int]bool{}
+	for _, r := range repls {
+		r.repl.waitIdle(healthy)
+		for _, fi := range r.replicas {
+			if healthy(fi) && !flushed[fi] {
+				flushed[fi] = true
+				_ = rt.shards[fi].be.Flush()
+			}
+		}
+	}
+}
+
+// ReplicaLag reports a replicated stream's follower positions (empty
+// for unknown or unreplicated streams).
+func (rt *Runtime) ReplicaLag(streamName string) []ReplicaLag {
+	r, err := rt.routeFor(streamName)
+	if err != nil || r.repl == nil {
+		return nil
+	}
+	return r.repl.lag()
 }
 
 // PauseDrain stops the shard workers after their current batch;
@@ -1136,7 +1353,19 @@ func (rt *Runtime) Close() {
 		return
 	}
 	rt.closed = true
+	routes := make([]*route, 0, len(rt.routes))
+	for _, r := range rt.routes {
+		routes = append(routes, r)
+	}
 	rt.mu.Unlock()
+	// Stop replication shippers before the backends close underneath
+	// them (a shipper racing a closing backend would just error-retry
+	// until stopped, but stopping first is quieter).
+	for _, r := range routes {
+		if r.repl != nil {
+			r.repl.close()
+		}
+	}
 	for _, s := range rt.shards {
 		s.close()
 	}

@@ -19,7 +19,11 @@ type item struct {
 	class  Class
 	sc     *streamCounters
 	sp     *telemetry.Span
-	tuple  stream.Tuple
+	// rep is the stream's replicator when the stream is replicated:
+	// the drain loop appends successfully ingested runs to its log, so
+	// log order is exactly the engine's ingest order.
+	rep   *replicator
+	tuple stream.Tuple
 }
 
 // classRing is a FIFO ring for one priority class. Rings grow on demand
@@ -175,7 +179,7 @@ func (s *shard) evictLowest(limit Class, newest bool) bool {
 // (Begin(StageQueueWait) already stamped by the publisher) is attached
 // to the first accepted item; when nothing is accepted it is finished
 // here so every sampled batch resolves exactly once.
-func (s *shard) enqueue(streamName string, class Class, sc *streamCounters, ts []stream.Tuple, sp *telemetry.Span) (int, error) {
+func (s *shard) enqueue(streamName string, class Class, sc *streamCounters, rep *replicator, ts []stream.Tuple, sp *telemetry.Span) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer func() {
@@ -233,7 +237,7 @@ func (s *shard) enqueue(streamName string, class Class, sc *streamCounters, ts [
 				}
 			}
 		}
-		s.push(item{stream: streamName, class: class, sc: sc, sp: sp, tuple: t})
+		s.push(item{stream: streamName, class: class, sc: sc, rep: rep, sp: sp, tuple: t})
 		sp = nil
 		s.accepted++
 		accepted++
@@ -274,11 +278,38 @@ func (s *shard) fail(err error) {
 	s.mu.Unlock()
 }
 
+// unfail lifts fail-fast mode after the backend was re-adopted: new
+// publishes reach the backend again, and Block publishers parked on a
+// full queue are woken to re-check.
+func (s *shard) unfail() {
+	s.mu.Lock()
+	if s.failErr != nil && !s.closed {
+		s.failErr = nil
+		s.notFull.Broadcast()
+		s.notEmpty.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
 // failedErr reports the terminal backend error, or nil while healthy.
 func (s *shard) failedErr() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.failErr
+}
+
+// waitDrained blocks until nothing is queued or draining. On a failed
+// shard this terminates quickly: enqueue refuses new work and the dead
+// backend errors each drained batch immediately. Failover uses it to
+// fence the worker's last in-flight batch before promoting a replica,
+// so a late successful ingest cannot extend the replication log after
+// the promotion flush.
+func (s *shard) waitDrained() {
+	s.mu.Lock()
+	for (s.count > 0 || s.draining > 0) && !s.closed && !s.paused {
+		s.idle.Wait()
+	}
+	s.mu.Unlock()
 }
 
 // popLocked removes the next item to drain — FIFO within a class,
@@ -346,6 +377,15 @@ func (s *shard) run() {
 				}
 			}
 			sp.End(telemetry.StageQueueWait)
+			// A replicated run is cloned BEFORE the ingest: the engine
+			// seals the originals in place, and the log needs unsealed
+			// copies carrying only the publisher-stamped arrival times
+			// (the follower's engine assigns its own — identical —
+			// sequence numbers).
+			var repCopy []stream.Tuple
+			if scratch[i].rep != nil {
+				repCopy = cloneTuples(tuples)
+			}
 			// PublishBatch already validated against the stream schema;
 			// skip the engine's conformance walk.
 			run := uint64(j - i)
@@ -369,6 +409,9 @@ func (s *shard) run() {
 				ok += run
 				if sc := scratch[i].sc; sc != nil {
 					sc.ingested.Add(run)
+				}
+				if repCopy != nil {
+					scratch[i].rep.append(repCopy)
 				}
 			}
 			i = j
@@ -402,6 +445,7 @@ func (s *shard) flush() {
 func (s *shard) pause() {
 	s.mu.Lock()
 	s.paused = true
+	s.idle.Broadcast() // release waitDrained: a paused queue won't drain
 	s.mu.Unlock()
 }
 
