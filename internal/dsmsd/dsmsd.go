@@ -184,10 +184,16 @@ type AdmissionResp struct {
 // tuple *before* Tuples[0] (i.e. how many tuples of the stream the
 // shipper believes this follower has already applied), so a retried
 // batch after a lost ack is deduplicated by trimming the
-// already-applied prefix instead of double-ingesting it.
+// already-applied prefix instead of double-ingesting it. Reset declares
+// that the tuples between this follower's applied position and Base
+// were trimmed from the shipper's bounded log and are permanently lost
+// (the shipper counts them as the follower's gap): the server jumps its
+// applied position forward to Base instead of refusing with
+// replica_gap. Reset never moves the position backward.
 type ReplicateReq struct {
 	Stream string         `json:"stream"`
 	Base   uint64         `json:"base"`
+	Reset  bool           `json:"reset,omitempty"`
 	Tuples []stream.Tuple `json:"tuples"`
 }
 
@@ -529,14 +535,21 @@ func (s *Server) handleReplicate(m *protocol.Message, _ *protocol.Conn) (any, er
 	applied := s.repl[key]
 	s.replMu.Unlock()
 	if req.Base > applied {
-		// The shipper believes we hold tuples we never saw — this
-		// process restarted (or lost the stream) since the last ship.
-		// Accepting the batch would silently fork the stream's sequence
-		// lineage, so refuse; the shipper resyncs from ReplicaStatus
-		// and re-feeds from our real position.
-		return nil, protocol.WithCode(protocol.CodeReplicaGap,
-			fmt.Errorf("dsmsd: stream %q: replication base %d ahead of applied position %d",
-				req.Stream, req.Base, applied))
+		if !req.Reset {
+			// The shipper believes we hold tuples we never saw — this
+			// process restarted (or lost the stream) since the last ship.
+			// Accepting the batch would silently fork the stream's
+			// sequence lineage, so refuse; the shipper resyncs from
+			// ReplicaStatus and re-feeds from our real position (with
+			// Reset set when its log has trimmed past us).
+			return nil, protocol.WithCode(protocol.CodeReplicaGap,
+				fmt.Errorf("dsmsd: stream %q: replication base %d ahead of applied position %d",
+					req.Stream, req.Base, applied))
+		}
+		// Declared trim gap: the tuples between applied and Base no
+		// longer exist on the shipper (counted there as our gap), so
+		// jump forward and let the retained tail re-feed us.
+		applied = req.Base
 	}
 	ts := req.Tuples
 	if req.Base < applied {
@@ -839,10 +852,11 @@ func (c *Client) IngestBatchPrevalidated(streamName string, ts []stream.Tuple) e
 // this follower, returning the follower's applied position. base is the
 // absolute position of the tuple before ts[0]; a retried batch is
 // deduplicated server-side against it, so retrying after a connection
-// death is safe.
-func (c *Client) Replicate(streamName string, base uint64, ts []stream.Tuple) (uint64, error) {
+// death is safe. reset declares the tuples before base trimmed and lost
+// (see ReplicateReq.Reset).
+func (c *Client) Replicate(streamName string, base uint64, reset bool, ts []stream.Tuple) (uint64, error) {
 	resp, err := protocol.CallDecode[ReplicateResp](c.rpc, MsgReplicate,
-		ReplicateReq{Stream: streamName, Base: base, Tuples: ts})
+		ReplicateReq{Stream: streamName, Base: base, Reset: reset, Tuples: ts})
 	if err != nil {
 		return 0, err
 	}

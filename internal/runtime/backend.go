@@ -100,11 +100,18 @@ type tracedIngester interface {
 // primary's accepted tuples (base is the absolute position of the tuple
 // before ts[0]; redeliveries are deduplicated against it so shipping is
 // retry-safe), and ReplicaStatus reads back the applied position for
-// lag accounting. Both ShardBackend implementations provide it; the
-// interface stays optional so test fakes and future backends without
-// replication remain valid shards.
+// lag accounting. reset declares that the tuples between the follower's
+// applied position and base were trimmed from the shipper's bounded log
+// and are permanently lost (counted shipper-side as the follower's
+// gap): the receiver jumps its applied position forward to base instead
+// of refusing the batch — without it, a follower that restarted empty
+// after a log trim could never be re-fed (every ship would bounce off
+// the base-ahead-of-applied check forever). reset never moves the
+// applied position backward. Both ShardBackend implementations provide
+// the surface; it stays optional so test fakes and future backends
+// without replication remain valid shards.
 type replicaTarget interface {
-	Replicate(streamName string, base uint64, ts []stream.Tuple) (uint64, error)
+	Replicate(streamName string, base uint64, reset bool, ts []stream.Tuple) (uint64, error)
 	ReplicaStatus(streamName string) (uint64, error)
 }
 
@@ -198,7 +205,7 @@ func (b *LocalBackend) Withdraw(idOrHandle string) error { return b.eng.Withdraw
 // already-applied prefix (a shipper retry after an error) against the
 // stored position. The tuples are shipper-owned copies, so the owned
 // ingest path is safe.
-func (b *LocalBackend) Replicate(streamName string, base uint64, ts []stream.Tuple) (uint64, error) {
+func (b *LocalBackend) Replicate(streamName string, base uint64, reset bool, ts []stream.Tuple) (uint64, error) {
 	key := strings.ToLower(streamName)
 	b.replMu.Lock()
 	if b.repl == nil {
@@ -207,12 +214,19 @@ func (b *LocalBackend) Replicate(streamName string, base uint64, ts []stream.Tup
 	applied := b.repl[key]
 	b.replMu.Unlock()
 	if base > applied {
-		// Same contract as dsmsd's handleReplicate: a base ahead of the
-		// applied position means this backend lost replica state, and
-		// applying the batch would fork the stream's sequence lineage.
-		return applied, protocol.WithCode(protocol.CodeReplicaGap,
-			fmt.Errorf("runtime: stream %q: replication base %d ahead of applied position %d",
-				streamName, base, applied))
+		if !reset {
+			// Same contract as dsmsd's handleReplicate: a base ahead of
+			// the applied position means this backend lost replica state,
+			// and applying the batch would fork the stream's sequence
+			// lineage.
+			return applied, protocol.WithCode(protocol.CodeReplicaGap,
+				fmt.Errorf("runtime: stream %q: replication base %d ahead of applied position %d",
+					streamName, base, applied))
+		}
+		// The shipper declares [applied, base) permanently trimmed from
+		// its log: accept the forward jump (the gap is counted on the
+		// shipper side) so the retained tail can re-feed this follower.
+		applied = base
 	}
 	fresh := ts
 	if base < applied {

@@ -557,11 +557,15 @@ func (rt *Runtime) MigrateQuery(idOrHandle string, target int) error {
 	// Quiesce the flow: pause the primary's drain (publishes keep
 	// queueing), fence its in-flight batch, ship the stable log tail,
 	// and flush both engines, so source and target have processed the
-	// exact same tuple prefix.
+	// exact same tuple prefix. The fence must be waitInflight, not
+	// waitDrained: waitDrained returns immediately on a paused shard,
+	// and an unfenced mid-drain batch could ingest and append to the
+	// replication log after waitIdle sampled its head — exporting state
+	// that covers tuples the target later re-applies.
 	ps := rt.shards[rt.targetShard(r, r.shard)]
 	ps.pause()
 	defer ps.resume()
-	ps.waitDrained()
+	ps.waitInflight()
 	r.repl.waitIdle(func(i int) bool { return rt.shards[i].failedErr() == nil })
 	_ = rt.shards[src].be.Flush()
 	_ = rt.shards[target].be.Flush()

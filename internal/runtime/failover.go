@@ -248,6 +248,15 @@ func (rt *Runtime) readoptShard(i int) error {
 		if r.repl == nil {
 			continue
 		}
+		if r.failTo.Load() == int32(i) {
+			// Shard i is this route's current promoted primary: it died
+			// after promotion with no healthy candidate left and has now
+			// come back. Publishes drain straight into its engine, so
+			// enlisting it as a follower of its own stream would ship
+			// every tuple back to it through the replication log —
+			// double-ingesting the flow and corrupting window state.
+			continue
+		}
 		tgt, isTarget := be.(replicaTarget)
 		switch {
 		case r.hasReplica(i):

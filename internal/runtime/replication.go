@@ -53,9 +53,15 @@ type followerState struct {
 	shipMu sync.Mutex
 
 	// The rest is guarded by replicator.mu.
-	sent   uint64 // absolute position acked by the follower
-	gaps   uint64
-	errs   uint64
+	sent uint64 // absolute position acked by the follower
+	gaps uint64
+	errs uint64
+	// reset is set when tailLocked advanced sent over a trimmed gap:
+	// the next ship must declare the gap to the receiver (Replicate's
+	// reset flag) so it jumps its applied position forward instead of
+	// refusing the base-ahead batch forever. Cleared on a successful
+	// ship.
+	reset  bool
 	paused bool // follower's shard is down; shipping suspended
 	gone   bool // follower removed (promoted, or replicator closed)
 }
@@ -181,6 +187,7 @@ func (r *replicator) tailLocked(f *followerState, max int) ([]stream.Tuple, uint
 	if f.sent < r.base {
 		f.gaps += r.base - f.sent
 		f.sent = r.base
+		f.reset = true // declare the trimmed gap on the next ship
 	}
 	lo := int(f.sent - r.base)
 	hi := lo + max
@@ -212,12 +219,13 @@ func (r *replicator) shipLoop(f *followerState) {
 			return
 		}
 		batch, base := r.tailLocked(f, replShipBatch)
+		reset := f.reset
 		r.mu.Unlock()
 		if len(batch) == 0 {
 			continue
 		}
 		f.shipMu.Lock()
-		acked, err := f.target.Replicate(r.stream, base, batch)
+		acked, err := f.target.Replicate(r.stream, base, reset, batch)
 		var status uint64
 		statusOK := false
 		if err != nil {
@@ -227,7 +235,8 @@ func (r *replicator) shipLoop(f *followerState) {
 			// error. Ask for its authoritative position and resync, so
 			// the next tail re-feeds from where the follower really is
 			// (the retained log replays the missing prefix; anything
-			// trimmed past is counted as a gap by tailLocked).
+			// trimmed past is counted as a gap by tailLocked and
+			// declared to the follower on the next ship).
 			if st, serr := f.target.ReplicaStatus(r.stream); serr == nil {
 				status, statusOK = st, true
 			}
@@ -240,9 +249,14 @@ func (r *replicator) shipLoop(f *followerState) {
 				f.sent = status
 				r.cond.Broadcast()
 			}
-		} else if acked > f.sent {
-			f.sent = acked
-			r.cond.Broadcast()
+		} else {
+			if reset {
+				f.reset = false
+			}
+			if acked > f.sent {
+				f.sent = acked
+				r.cond.Broadcast()
+			}
 		}
 		paused, closed := f.paused, r.closed
 		r.mu.Unlock()
@@ -298,6 +312,7 @@ func (r *replicator) promote(shard int) error {
 	for {
 		r.mu.Lock()
 		batch, base := r.tailLocked(f, replShipBatch)
+		reset := f.reset
 		if len(batch) == 0 {
 			f.gone = true
 			delete(r.followers, shard)
@@ -306,11 +321,14 @@ func (r *replicator) promote(shard int) error {
 			return nil
 		}
 		r.mu.Unlock()
-		acked, err := f.target.Replicate(r.stream, base, batch)
+		acked, err := f.target.Replicate(r.stream, base, reset, batch)
 		if err != nil {
 			return err
 		}
 		r.mu.Lock()
+		if reset {
+			f.reset = false
+		}
 		if acked > f.sent {
 			f.sent = acked
 		}

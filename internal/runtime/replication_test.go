@@ -339,12 +339,12 @@ type flakyReplica struct {
 	calls atomic.Int64
 }
 
-func (f *flakyReplica) Replicate(name string, base uint64, ts []stream.Tuple) (uint64, error) {
+func (f *flakyReplica) Replicate(name string, base uint64, reset bool, ts []stream.Tuple) (uint64, error) {
 	if n := f.calls.Add(1); n%3 == 1 {
 		return 0, fmt.Errorf("injected link error %d", n)
 	}
 	time.Sleep(200 * time.Microsecond)
-	return f.LocalBackend.Replicate(name, base, ts)
+	return f.LocalBackend.Replicate(name, base, reset, ts)
 }
 
 // TestFollowerCatchUpOverFlakyLink: a follower behind a lossy, slow

@@ -612,6 +612,19 @@ func (rt *Runtime) FailShard(i int, err error) {
 	rt.failoverShard(i)
 }
 
+// ReadoptShard re-runs the re-adoption sequence for shard i — streams
+// re-created (surviving copies adopted), query parts redeployed,
+// replication membership resumed, fail-fast mode lifted — as the remote
+// health probe does when a restarted dsmsd answers again. Exposed for
+// custom backends wired via NewWithBackends, whose health tracking
+// lives outside the runtime; pair it with FailShard.
+func (rt *Runtime) ReadoptShard(i int) error {
+	if i < 0 || i >= len(rt.shards) {
+		return fmt.Errorf("runtime: shard %d out of range", i)
+	}
+	return rt.readoptShard(i)
+}
+
 func hashString(s string) uint32 {
 	h := fnv.New32a()
 	_, _ = h.Write([]byte(s))

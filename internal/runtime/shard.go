@@ -312,6 +312,21 @@ func (s *shard) waitDrained() {
 	s.mu.Unlock()
 }
 
+// waitInflight blocks until the worker holds no popped-but-unfinished
+// items. Unlike waitDrained it does not require the queue to be empty
+// and keeps waiting while the shard is paused: MigrateQuery pauses the
+// drain and then needs the worker's current batch fenced — its engine
+// ingest and replication-log append both done — before sampling the
+// replication log position, so the exported query state cannot include
+// tuples the migration target has not applied.
+func (s *shard) waitInflight() {
+	s.mu.Lock()
+	for s.draining > 0 && !s.closed {
+		s.idle.Wait()
+	}
+	s.mu.Unlock()
+}
+
 // popLocked removes the next item to drain — FIFO within a class,
 // highest class first; the caller holds s.mu and has checked count > 0.
 func (s *shard) popLocked() item {
@@ -421,7 +436,9 @@ func (s *shard) run() {
 		s.draining -= n
 		s.ingested += ok
 		s.errors += bad
-		if s.count == 0 && s.draining == 0 {
+		// Also wake when the in-flight batch lands on a paused shard:
+		// waitInflight fences exactly that (queued items may remain).
+		if s.draining == 0 && (s.count == 0 || s.paused) {
 			s.idle.Broadcast()
 		}
 		s.mu.Unlock()
