@@ -64,9 +64,9 @@ func engineBenchGraph(kind string) *dsms.QueryGraph {
 }
 
 // runEngineBenchOne stands up a fresh engine with one deployed query
-// and drives tuples through IngestBatchOwned — the same zero-copy path
-// the shard workers use — in fresh per-batch slices, exactly like the
-// drain loop.
+// and drives tuples through IngestBatchOwned — the same path the shard
+// workers use — reusing one scratch batch slice, exactly like the drain
+// loop (the engine copies into columnar form before returning).
 func runEngineBenchOne(kind string, batch, tuples int) (engineBenchRow, error) {
 	eng := dsms.NewEngine("bench")
 	defer eng.Close()
@@ -92,12 +92,13 @@ func runEngineBenchOne(kind string, batch, tuples int) (engineBenchRow, error) {
 	}
 	start := time.Now()
 	i := 0
+	buf := make([]stream.Tuple, 0, batch)
 	for sent := 0; sent < tuples; sent += batch {
 		n := batch
 		if tuples-sent < n {
 			n = tuples - sent
 		}
-		buf := make([]stream.Tuple, 0, n)
+		buf = buf[:0]
 		for len(buf) < n {
 			t := pool[i%len(pool)]
 			// Monotone logical arrivals (10 ms apart) so the time-window

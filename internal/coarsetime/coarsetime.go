@@ -1,0 +1,48 @@
+// Package coarsetime provides a coarse, cached wall clock for hot
+// paths that stamp arrival times at multi-million-events/s rates: one
+// background ticker refreshes a single atomic, so readers pay an atomic
+// load instead of a time.Now call per event. Resolution is ~1ms — the
+// same granularity the engine's arrival timestamps already have — and
+// the cached value is monotone non-decreasing (a lagging ticker update
+// never moves it backwards).
+package coarsetime
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	once sync.Once
+	now  atomic.Int64
+)
+
+// NowMillis returns the cached wall time in Unix milliseconds. The
+// first call starts the refresher goroutine (a process-wide singleton
+// that runs for the process lifetime).
+func NowMillis() int64 {
+	once.Do(start)
+	return now.Load()
+}
+
+func start() {
+	now.Store(time.Now().UnixMilli())
+	go func() {
+		t := time.NewTicker(time.Millisecond)
+		defer t.Stop()
+		for range t.C {
+			advance(time.Now().UnixMilli())
+		}
+	}()
+}
+
+// advance moves the cached clock forward, never backwards.
+func advance(ms int64) {
+	for {
+		cur := now.Load()
+		if ms <= cur || now.CompareAndSwap(cur, ms) {
+			return
+		}
+	}
+}

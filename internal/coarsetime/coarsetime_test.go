@@ -1,0 +1,40 @@
+package coarsetime
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNowMillisTracksWallClock checks the cached clock stays within the
+// real clock's neighborhood and keeps ticking.
+func TestNowMillisTracksWallClock(t *testing.T) {
+	first := NowMillis()
+	wall := time.Now().UnixMilli()
+	if d := wall - first; d < 0 || d > 100 {
+		t.Fatalf("cached clock %d is %dms away from wall clock %d", first, d, wall)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for NowMillis() == first {
+		if time.Now().After(deadline) {
+			t.Fatal("cached clock never advanced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdvanceMonotone checks a stale refresher update can never move
+// the clock backwards.
+func TestAdvanceMonotone(t *testing.T) {
+	NowMillis() // ensure started
+	cur := now.Load()
+	advance(cur - 50)
+	if got := now.Load(); got < cur {
+		t.Fatalf("clock went backwards: %d < %d", got, cur)
+	}
+	advance(cur + 1000)
+	if got := now.Load(); got < cur+1000 {
+		t.Fatalf("advance did not apply: %d", got)
+	}
+	// Restore forward motion for other tests/readers: the ticker will
+	// catch up once wall time passes the bumped value.
+}

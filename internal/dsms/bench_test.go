@@ -93,6 +93,71 @@ func TestPipelineSteadyStateZeroAllocs(t *testing.T) {
 	}
 }
 
+// benchColBatch transposes tuples into a sealed columnar batch the way
+// the engine's seal path would.
+func benchColBatch(tb testing.TB, tuples []stream.Tuple) *stream.ColBatch {
+	tb.Helper()
+	cb := stream.NewColBatch(benchSchema())
+	if err := cb.LoadTuples(tuples, true); err != nil {
+		tb.Fatal(err)
+	}
+	for i := range tuples {
+		cb.Seq[i] = tuples[i].Seq
+	}
+	return cb
+}
+
+// BenchmarkPipelineBatchColumnar is BenchmarkPipelineBatch on the
+// columnar path: compiled filter kernels narrowing a selection vector,
+// map folded into the static column mapping, no row materialization
+// (needRows=false, as when a query has no subscribers).
+func BenchmarkPipelineBatchColumnar(b *testing.B) {
+	for _, batch := range []int{1, 64, 512} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			p := filterMapPipeline(b)
+			cb := benchColBatch(b, benchTuples(batch))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := p.processCols(cb, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestColPipelineSteadyStateZeroAllocs pins the columnar tentpole
+// guarantee: filter+map over a sealed batch — kernel filter, selection
+// vector, static column remap — allocates nothing in steady state.
+func TestColPipelineSteadyStateZeroAllocs(t *testing.T) {
+	g := NewQueryGraph("s",
+		NewFilterBox(expr.MustParse("a > 500")),
+		NewMapBox("a"),
+	)
+	p, _, err := buildPipeline(g, benchSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.colOK {
+		t.Fatal("filter+map must compile to the columnar program")
+	}
+	cb := benchColBatch(t, benchTuples(512))
+	for i := 0; i < 4; i++ {
+		if _, _, err := p.processCols(cb, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := p.processCols(cb, false); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("columnar filter+map steady state allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
 // BenchmarkWindowSlide measures the sliding-window aggregate with
 // step ≪ size — the case where the old slice-buffer implementation
 // re-allocated size-step tuples per emission (tuple windows) or

@@ -1,0 +1,189 @@
+package dsms
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/stream"
+)
+
+// colGoldenGraphs covers every columnar pipeline shape: pure filters
+// (kernel chain), maps (static column remap), filter-after-map (colIdx
+// indirection), tuple and time windows fed straight from columns
+// (including out-of-order arrivals and double sums), and operators
+// downstream of an aggregate (which run on the row path after window
+// emission).
+func colGoldenGraphs() []struct {
+	name string
+	g    *QueryGraph
+} {
+	return []struct {
+		name string
+		g    *QueryGraph
+	}{
+		{"filter", NewQueryGraph("g",
+			NewFilterBox(expr.MustParse("d > 0 AND i <= 500")))},
+		{"map", NewQueryGraph("g",
+			NewMapBox("d", "s", "i"))},
+		{"filter_map_filter", NewQueryGraph("g",
+			NewFilterBox(expr.MustParse("i > -500")),
+			NewMapBox("s", "t", "d"),
+			NewFilterBox(expr.MustParse("s != 's025'")))},
+		{"or_fallback", NewQueryGraph("g",
+			NewFilterBox(expr.MustParse("d > 50 OR i < -900")))},
+		{"tuple_window", NewQueryGraph("g",
+			NewFilterBox(expr.MustParse("d <= 80")),
+			NewAggregateBox(WindowSpec{Type: WindowTuple, Size: 8, Step: 3},
+				AggSpec{Attr: "i", Func: AggSum},
+				AggSpec{Attr: "d", Func: AggAvg},
+				AggSpec{Attr: "d", Func: AggSum},
+				AggSpec{Attr: "s", Func: AggMax},
+				AggSpec{Attr: "d", Func: AggMin},
+				AggSpec{Attr: "t", Func: AggLastVal},
+				AggSpec{Attr: "i", Func: AggCount}))},
+		{"time_window", NewQueryGraph("g",
+			NewAggregateBox(WindowSpec{Type: WindowTime, Size: 100, Step: 40},
+				AggSpec{Attr: "d", Func: AggSum},
+				AggSpec{Attr: "i", Func: AggMax},
+				AggSpec{Attr: "i", Func: AggMin},
+				AggSpec{Attr: "s", Func: AggFirstVal},
+				AggSpec{Attr: "d", Func: AggAvg}))},
+		{"time_window_hopping", NewQueryGraph("g",
+			NewAggregateBox(WindowSpec{Type: WindowTime, Size: 50, Step: 200},
+				AggSpec{Attr: "i", Func: AggSum},
+				AggSpec{Attr: "s", Func: AggMin}))},
+		{"post_aggregate_ops", NewQueryGraph("g",
+			NewFilterBox(expr.MustParse("i != 13")),
+			NewAggregateBox(WindowSpec{Type: WindowTuple, Size: 5, Step: 5},
+				AggSpec{Attr: "i", Func: AggSum},
+				AggSpec{Attr: "d", Func: AggAvg},
+				AggSpec{Attr: "d", Func: AggMax}),
+			NewFilterBox(expr.MustParse("sumi > -2000")),
+			NewMapBox("avgd", "sumi"))},
+	}
+}
+
+// TestColumnarEngineMatchesRowPipeline is the end-to-end golden test for
+// the columnar hot path: the live engine (seal → columnar filter/map →
+// window ingest from columns → row materialization at the subscription
+// boundary) must emit bit-identical tuples — values, types, Seq and
+// arrival provenance — to the offline row pipeline over the same input,
+// for in-order and out-of-order arrivals, across randomized batch
+// boundaries.
+func TestColumnarEngineMatchesRowPipeline(t *testing.T) {
+	schema := goldenSchema()
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, ooo := range []bool{false, true} {
+			input := goldenStream(rand.New(rand.NewSource(seed)), 600, ooo)
+			for _, tc := range colGoldenGraphs() {
+				t.Run(fmt.Sprintf("seed=%d/ooo=%v/%s", seed, ooo, tc.name), func(t *testing.T) {
+					want, _, err := RunGraphOnSlice(tc.g, schema, input)
+					if err != nil {
+						t.Fatalf("row pipeline: %v", err)
+					}
+
+					e := NewEngine("colgolden")
+					defer e.Close()
+					if err := e.CreateStream("g", schema); err != nil {
+						t.Fatal(err)
+					}
+					dep, err := e.Deploy(tc.g)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sub, err := e.Subscribe(dep.Handle)
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					// Random chunk sizes exercise seal/batch boundaries;
+					// draining between chunks keeps the subscription
+					// buffer from overflowing.
+					rng := rand.New(rand.NewSource(seed * 1000))
+					var got []stream.Tuple
+					drain := func() {
+						for len(sub.C) > 0 {
+							got = append(got, <-sub.C)
+						}
+					}
+					for off := 0; off < len(input); {
+						n := 1 + rng.Intn(97)
+						if off+n > len(input) {
+							n = len(input) - off
+						}
+						if err := e.IngestBatch("g", input[off:off+n]); err != nil {
+							t.Fatalf("IngestBatch: %v", err)
+						}
+						off += n
+						drain()
+					}
+					e.Flush()
+					drain()
+					if d := sub.Dropped(); d != 0 {
+						t.Fatalf("subscription dropped %d tuples", d)
+					}
+
+					if len(got) != len(want) {
+						t.Fatalf("engine emitted %d tuples, row pipeline %d", len(got), len(want))
+					}
+					for i := range want {
+						if got[i].Seq != want[i].Seq || got[i].ArrivalMillis != want[i].ArrivalMillis {
+							t.Fatalf("tuple %d provenance: got (seq=%d,ts=%d) want (seq=%d,ts=%d)",
+								i, got[i].Seq, got[i].ArrivalMillis, want[i].Seq, want[i].ArrivalMillis)
+						}
+						if len(got[i].Values) != len(want[i].Values) {
+							t.Fatalf("tuple %d: %d values, want %d", i, len(got[i].Values), len(want[i].Values))
+						}
+						for k := range want[i].Values {
+							if !valuesIdentical(got[i].Values[k], want[i].Values[k]) {
+								t.Fatalf("tuple %d value %d: got %v (%v) want %v (%v)",
+									i, k, got[i].Values[k], got[i].Values[k].Type(),
+									want[i].Values[k], want[i].Values[k].Type())
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestColumnarEngineErrorTextMatchesRowPath pins ingest-time validation
+// errors of the fused columnar load to the row path's exact text.
+func TestColumnarEngineErrorTextMatchesRowPath(t *testing.T) {
+	schema := goldenSchema()
+	e := NewEngine("colerr")
+	defer e.Close()
+	if err := e.CreateStream("g", schema); err != nil {
+		t.Fatal(err)
+	}
+	good := stream.NewTuple(
+		stream.IntValue(1), stream.DoubleValue(2),
+		stream.StringValue("x"), stream.TimestampMillis(3))
+
+	// Type mismatch in the middle of a batch.
+	bad := stream.NewTuple(
+		stream.IntValue(1), stream.StringValue("not a double"),
+		stream.StringValue("x"), stream.TimestampMillis(3))
+	err := e.IngestBatch("g", []stream.Tuple{good, bad, good})
+	_, wantErr := stream.NormalizeBatch(schema, []stream.Tuple{good, bad, good}, false, false)
+	if err == nil || wantErr == nil {
+		t.Fatalf("want errors from both paths, got engine=%v row=%v", err, wantErr)
+	}
+	if want := "dsms: " + wantErr.Error(); err.Error() != want {
+		t.Fatalf("error text diverged:\n engine: %s\n row:    %s", err, want)
+	}
+
+	// Arity mismatch.
+	short := stream.Tuple{Values: good.Values[:2]}
+	err = e.IngestBatch("g", []stream.Tuple{short})
+	_, wantErr = stream.NormalizeBatch(schema, []stream.Tuple{short}, false, false)
+	if err == nil || wantErr == nil {
+		t.Fatalf("want arity errors from both paths, got engine=%v row=%v", err, wantErr)
+	}
+	if want := "dsms: " + wantErr.Error(); err.Error() != want {
+		t.Fatalf("arity error text diverged:\n engine: %s\n row:    %s", err, want)
+	}
+}

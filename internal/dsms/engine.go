@@ -7,8 +7,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
-	"time"
 
+	"repro/internal/coarsetime"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
 )
@@ -77,7 +77,10 @@ func NewEngine(name string) *Engine {
 		queries: map[string]*deployedQuery{},
 		byURI:   map[string]string{},
 	}
-	defaultClock := func() int64 { return time.Now().UnixMilli() }
+	// The default arrival clock is the coarse cached one: at
+	// multi-million-tuple/s ingest a time.Now per seal shows up, and
+	// arrival stamps only carry millisecond resolution anyway.
+	defaultClock := coarsetime.NowMillis
 	e.clock.Store(&defaultClock)
 	e.updateStreamsSnapLocked()
 	e.idle = sync.NewCond(&e.idleMu)
@@ -114,6 +117,33 @@ type inputStream struct {
 	sealMu sync.Mutex
 	seq    uint64
 	gone   bool // set when the stream is dropped; fails in-flight seals
+
+	// pool recycles the stream's columnar batches: a batch returns here
+	// when the last query releases it, so the steady state allocates no
+	// batch storage. Oversized batches are dropped instead of pooled to
+	// bound the high-water mark (see putBatch).
+	pool sync.Pool
+}
+
+// maxPooledRows caps the row capacity of pooled batches: one huge batch
+// must not pin its vectors for the lifetime of the stream.
+const maxPooledRows = 8192
+
+// getBatch fetches a pooled columnar batch (or makes one) laid out for
+// the stream's schema.
+func (is *inputStream) getBatch() *stream.ColBatch {
+	if cb, ok := is.pool.Get().(*stream.ColBatch); ok {
+		return cb
+	}
+	cb := stream.NewColBatch(is.schema)
+	cb.OnRelease = is.putBatch
+	return cb
+}
+
+func (is *inputStream) putBatch(cb *stream.ColBatch) {
+	if cb.Cap() <= maxPooledRows {
+		is.pool.Put(cb)
+	}
 }
 
 // updateSnapLocked rebuilds the seal-time query snapshot; the caller
@@ -126,13 +156,13 @@ func (is *inputStream) updateSnapLocked() {
 	is.snap.Store(&qs)
 }
 
-// seal assigns sequence numbers and arrival timestamps to normalized
-// tuples and snapshots the queries deployed on the stream, all in one
-// short per-stream critical section. Normalization happens before
-// seal, outside any lock; a concurrent DropStream (or drop-and-
-// recreate) is caught via the gone flag instead of ingesting into a
-// stale stream.
-func (is *inputStream) seal(clock func() int64, nts []stream.Tuple) ([]*deployedQuery, error) {
+// seal assigns sequence numbers and arrival timestamps to a loaded
+// columnar batch and snapshots the queries deployed on the stream, all
+// in one short per-stream critical section. Transposition/validation
+// happens before seal, outside any lock; a concurrent DropStream (or
+// drop-and-recreate) is caught via the gone flag instead of ingesting
+// into a stale stream.
+func (is *inputStream) seal(clock func() int64, cb *stream.ColBatch) ([]*deployedQuery, error) {
 	is.sealMu.Lock()
 	if is.gone {
 		is.sealMu.Unlock()
@@ -140,16 +170,17 @@ func (is *inputStream) seal(clock func() int64, nts []stream.Tuple) ([]*deployed
 	}
 	seq := is.seq
 	now := int64(-1)
-	for i := range nts {
+	arr, sq := cb.Arrival, cb.Seq
+	for i := range sq {
 		seq++
-		nts[i].Seq = seq
-		if nts[i].ArrivalMillis == 0 {
+		sq[i] = seq
+		if arr[i] == 0 {
 			if now < 0 {
 				// One clock read per batch: every unstamped tuple of a
 				// batch arrives at the same engine instant.
 				now = clock()
 			}
-			nts[i].ArrivalMillis = now
+			arr[i] = now
 		}
 	}
 	is.seq = seq
@@ -170,14 +201,15 @@ type Deployment struct {
 	OutputSchema *stream.Schema
 }
 
-// batchMsg is one mailbox entry: a sealed batch plus, when the batch
-// was sampled by the publish tracer, the span that travels with it (the
-// channel handoff orders the stamps across goroutines). A message with
-// snap set carries no tuples: it is a state export/import control
-// message executed by the query goroutine itself, ordered against
-// batches (see querystate.go).
+// batchMsg is one mailbox entry: a sealed columnar batch (shared,
+// reference-counted — the query releases it after its pipeline pass)
+// plus, when the batch was sampled by the publish tracer, the span that
+// travels with it (the channel handoff orders the stamps across
+// goroutines). A message with snap set carries no tuples: it is a state
+// export/import control message executed by the query goroutine itself,
+// ordered against batches (see querystate.go).
 type batchMsg struct {
-	ts   []stream.Tuple
+	cb   *stream.ColBatch
 	sp   *telemetry.Span
 	snap *stateSnap
 }
@@ -209,7 +241,8 @@ type deployedQuery struct {
 // send enqueues a batch of tuples unless the query has been withdrawn,
 // reporting whether the batch was accepted. The mailbox carries whole
 // batches so a publisher pays one channel operation per batch, not per
-// tuple; the slice must not be mutated after the send.
+// tuple; the batch is sealed (immutable) by the time it is sent and is
+// shared between every query on the stream.
 func (q *deployedQuery) send(m batchMsg) bool {
 	q.sendMu.RLock()
 	defer q.sendMu.RUnlock()
@@ -403,24 +436,27 @@ func (q *deployedQuery) updateSubsSnapLocked() {
 	q.subsSnap.Store(&subs)
 }
 
-// run is the query's mailbox loop: whole batches flow through the
-// operator chain (two reused buffers per query, no per-tuple slices)
-// and each output batch is delivered to every subscriber under one
-// lock acquisition. Subscribers come from an atomic snapshot so
-// pipeline execution never touches subMu; a push racing Unsubscribe is
-// discarded by pushBatch's own closed check. Operator errors drop the
-// batch's outputs — after deploy-time validation they are unreachable
-// for conforming tuples.
+// run is the query's mailbox loop: sealed columnar batches flow
+// through the compiled columnar program (selection vectors over shared
+// typed vectors — the batch itself is never mutated) and each output
+// batch is delivered to every subscriber under one lock acquisition.
+// Output rows are only materialized when a subscriber exists; without
+// one the pipeline just counts. Subscribers come from an atomic
+// snapshot so pipeline execution never touches subMu; a push racing
+// Unsubscribe is discarded by pushBatch's own closed check. Operator
+// errors drop the batch's outputs — after deploy-time validation they
+// are unreachable for conforming tuples.
 func (q *deployedQuery) run() {
 	for m := range q.in {
 		if m.snap != nil {
 			m.snap.reply <- q.applySnap(m.snap)
 			continue
 		}
-		batch, sp := m.ts, m.sp
+		cb, sp := m.cb, m.sp
+		n := cb.Len()
 		subs := *q.subsSnap.Load()
 		sp.Begin(telemetry.StagePipeline)
-		outs, err := q.pipe.processBatch(batch, len(subs) > 0)
+		outs, nout, err := q.pipe.processCols(cb, len(subs) > 0)
 		sp.End(telemetry.StagePipeline)
 		if err == nil {
 			sp.Begin(telemetry.StagePush)
@@ -430,16 +466,17 @@ func (q *deployedQuery) run() {
 			}
 			sp.End(telemetry.StagePush)
 			if tel := q.engine.tel.Load(); tel != nil {
-				if len(outs) > 0 {
-					tel.outputs.Add(uint64(len(outs)))
+				if nout > 0 {
+					tel.outputs.Add(uint64(nout))
 				}
 				if dropped > 0 {
 					tel.subDropped.Add(dropped)
 				}
 			}
 		}
+		cb.Release()
 		sp.Finish()
-		q.engine.taskDoneN(len(batch))
+		q.engine.taskDoneN(n)
 	}
 	close(q.done)
 }
@@ -571,20 +608,32 @@ func (e *Engine) lookupStream(streamName string) (*inputStream, error) {
 // clockFn returns the current arrival clock.
 func (e *Engine) clockFn() func() int64 { return *e.clock.Load() }
 
-// dispatch hands sealed tuples to the snapshot of deployed queries as
-// one batch per query. A sampled span rides with the first query that
-// accepts the batch (that query's goroutine finishes it); if every
-// query refuses — or none is deployed — the span is finished here so it
-// still records its seal stage.
-func (e *Engine) dispatch(targets []*deployedQuery, nts []stream.Tuple, sp *telemetry.Span) {
+// dispatch hands one sealed columnar batch to the snapshot of deployed
+// queries. The batch's reference count is armed for all targets before
+// the first send (a fast query may release its reference while later
+// sends are still in flight); refused sends drop their reference here.
+// A sampled span rides with the first query that accepts the batch
+// (that query's goroutine finishes it); if every query refuses — or
+// none is deployed — the span is finished here so it still records its
+// seal stage.
+func (e *Engine) dispatch(targets []*deployedQuery, cb *stream.ColBatch, sp *telemetry.Span) {
+	n := cb.Len()
+	if len(targets) == 0 {
+		cb.SetRefs(1)
+		cb.Release()
+		sp.Finish()
+		return
+	}
+	cb.SetRefs(int32(len(targets)))
 	for _, q := range targets {
-		e.taskAddN(len(nts))
-		if q.send(batchMsg{ts: nts, sp: sp}) {
+		e.taskAddN(n)
+		if q.send(batchMsg{cb: cb, sp: sp}) {
 			sp = nil
 		} else {
 			// The query was withdrawn between the registry snapshot and
 			// the send; nothing to do.
-			e.taskDoneN(len(nts))
+			e.taskDoneN(n)
+			cb.Release()
 		}
 	}
 	sp.Finish()
@@ -596,13 +645,13 @@ func (e *Engine) dispatch(targets []*deployedQuery, nts []stream.Tuple, sp *tele
 // any lock; concurrent publishers to the same stream only serialize on
 // that stream's sequence assignment.
 //
-// Like IngestBatch, the engine takes ownership of the tuple's value
-// slice: callers must not mutate t.Values after a successful Ingest.
-// (Non-canonical tuples are still normalized into a fresh copy.)
+// The tuple's values are copied into a columnar batch during the call;
+// the caller keeps ownership of t.Values and may reuse it after Ingest
+// returns.
 func (e *Engine) Ingest(streamName string, t stream.Tuple) error {
 	one := make([]stream.Tuple, 1)
 	one[0] = t
-	return e.ingestBatch(streamName, one, false, true, nil, false)
+	return e.ingestBatch(streamName, one, false, nil, false)
 }
 
 // IngestBatch appends a batch of tuples to a named input stream with a
@@ -610,11 +659,11 @@ func (e *Engine) Ingest(streamName string, t stream.Tuple) error {
 // The batch is validated as a whole: if any tuple fails normalization,
 // no tuple of the batch is ingested.
 //
-// The engine takes ownership of the tuples' value slices: callers must
-// not mutate a tuple's Values after a successful IngestBatch. (Ingest
-// has the same ownership contract for its single tuple.)
+// The batch is copied into columnar form synchronously during the
+// call: the caller keeps ownership of ts and every tuple's value slice
+// and may reuse them as soon as IngestBatch returns.
 func (e *Engine) IngestBatch(streamName string, ts []stream.Tuple) error {
-	return e.ingestBatch(streamName, ts, false, false, nil, false)
+	return e.ingestBatch(streamName, ts, false, nil, false)
 }
 
 // IngestBatchPrevalidated is IngestBatch without the per-tuple
@@ -624,17 +673,16 @@ func (e *Engine) IngestBatch(streamName string, ts []stream.Tuple) error {
 // the wrong arity for the current schema fail the batch rather than
 // corrupt it.
 func (e *Engine) IngestBatchPrevalidated(streamName string, ts []stream.Tuple) error {
-	return e.ingestBatch(streamName, ts, true, false, nil, false)
+	return e.ingestBatch(streamName, ts, true, nil, false)
 }
 
-// IngestBatchOwned is IngestBatchPrevalidated for callers that hand
-// the batch over entirely: the engine takes ownership of the slice and
-// its tuples (headers included — sequence numbers and arrival times
-// are written in place), so an already-canonical batch flows to the
-// query mailboxes with zero copying and zero allocation. The shard
-// drain loop feeds its batches straight through here.
+// IngestBatchOwned is a legacy alias of IngestBatchPrevalidated: since
+// the engine went columnar, every ingest variant copies the batch into
+// typed vectors during the call and retains nothing, so there is no
+// separate ownership-transfer path anymore. Callers (the shard drain
+// loop) may reuse the slice and its tuples immediately after return.
 func (e *Engine) IngestBatchOwned(streamName string, ts []stream.Tuple) error {
-	return e.ingestBatch(streamName, ts, true, true, nil, false)
+	return e.ingestBatch(streamName, ts, true, nil, false)
 }
 
 // IngestBatchOwnedTraced is IngestBatchOwned for callers that run their
@@ -644,10 +692,10 @@ func (e *Engine) IngestBatchOwned(streamName string, ts []stream.Tuple) error {
 // caller's sampling rate governs. The engine takes ownership of the
 // span (it is finished when the batch completes or errors out).
 func (e *Engine) IngestBatchOwnedTraced(streamName string, ts []stream.Tuple, sp *telemetry.Span) error {
-	return e.ingestBatch(streamName, ts, true, true, sp, true)
+	return e.ingestBatch(streamName, ts, true, sp, true)
 }
 
-func (e *Engine) ingestBatch(streamName string, ts []stream.Tuple, prevalidated, owned bool, sp *telemetry.Span, traced bool) error {
+func (e *Engine) ingestBatch(streamName string, ts []stream.Tuple, prevalidated bool, sp *telemetry.Span, traced bool) error {
 	if len(ts) == 0 {
 		sp.Finish()
 		return nil
@@ -665,34 +713,43 @@ func (e *Engine) ingestBatch(streamName string, ts []stream.Tuple, prevalidated,
 		if !traced && sp == nil {
 			sp = tel.tracer.SampleCrossing(n-uint64(len(ts)), n)
 		}
-		if err := e.sealAndDispatch(is, ts, prevalidated, owned, sp); err != nil {
+		if err := e.sealAndDispatch(is, ts, prevalidated, sp); err != nil {
 			tel.errors.Add(uint64(len(ts)))
 			return err
 		}
 		return nil
 	}
-	return e.sealAndDispatch(is, ts, prevalidated, owned, sp)
+	return e.sealAndDispatch(is, ts, prevalidated, sp)
 }
 
-// sealAndDispatch normalizes, seals and dispatches one batch, stamping
-// the seal stage on a sampled span. The span is consumed: handed to a
-// query goroutine on success, finished here on error.
-func (e *Engine) sealAndDispatch(is *inputStream, ts []stream.Tuple, prevalidated, owned bool, sp *telemetry.Span) error {
+// sealAndDispatch transposes one row batch into a pooled columnar
+// batch (validating and coercing in the same pass), seals it and
+// dispatches it, stamping the seal stage on a sampled span. The input
+// tuples are fully copied into the columnar batch, so the caller gets
+// its slice back regardless of outcome. The span is consumed: handed
+// to a query goroutine on success, finished here on error.
+func (e *Engine) sealAndDispatch(is *inputStream, ts []stream.Tuple, prevalidated bool, sp *telemetry.Span) error {
 	sp.Begin(telemetry.StageSeal)
-	nts, err := stream.NormalizeBatch(is.schema, ts, prevalidated, owned)
-	if err != nil {
+	cb := is.getBatch()
+	if err := cb.LoadTuples(ts, prevalidated); err != nil {
+		// Validation is atomic: the stream's sequence counter was never
+		// touched, and the garbage batch goes straight back to the pool.
+		cb.SetRefs(1)
+		cb.Release()
 		sp.CloseOpen()
 		sp.Finish()
 		return fmt.Errorf("dsms: %w", err)
 	}
-	targets, err := is.seal(e.clockFn(), nts)
+	targets, err := is.seal(e.clockFn(), cb)
 	if err != nil {
+		cb.SetRefs(1)
+		cb.Release()
 		sp.CloseOpen()
 		sp.Finish()
 		return err
 	}
 	sp.End(telemetry.StageSeal)
-	e.dispatch(targets, nts, sp)
+	e.dispatch(targets, cb, sp)
 	return nil
 }
 

@@ -40,6 +40,7 @@ func newOperator(b *Box, in *stream.Schema) (operator, error) {
 				return nil, fmt.Errorf("dsms: filter: %w", err)
 			}
 			f.bound = bound
+			f.cond = b.Condition
 		}
 		return f, nil
 	case BoxMap:
@@ -81,6 +82,40 @@ type pipeline struct {
 	// telemetry on a running engine reaches already-deployed queries.
 	isAgg []bool
 	tel   *atomic.Pointer[engineTelemetry]
+
+	// Columnar program (the live-engine hot path). The chain up to and
+	// including the first aggregate runs directly on the shared sealed
+	// ColBatch: filters narrow a private selection vector with compiled
+	// typed kernels, maps are folded away entirely at build time into
+	// the cumulative column mapping, and the aggregate bulk-ingests ring
+	// entries straight from the columns. Operators after the first
+	// aggregate (rare) run row-wise on its emissions via runOps.
+	colSteps []colStep
+	// outIdx maps final output positions to physical batch columns when
+	// no aggregate terminates the columnar section.
+	outIdx []int
+	// postAggAt is the op index right after the first aggregate; -1
+	// when the chain has none.
+	postAggAt int
+	// colOK gates the columnar path; false falls back to materializing
+	// rows and running the row program (never expected in practice —
+	// every box kind compiles).
+	colOK bool
+
+	sel      []int32        // reused selection vector
+	colHdrs  []stream.Tuple // reused materialized output headers
+	colArena []stream.Value // reused value arena for unretained outputs
+}
+
+// colStep is one step of the columnar program: either a compiled
+// filter (pred != nil) with the column mapping in effect at its point
+// of the chain, or the terminal aggregate with its spec columns.
+type colStep struct {
+	pred   *expr.ColPred
+	colIdx []int
+
+	agg     *aggregateOp
+	aggCols []int
 }
 
 // buildPipeline instantiates the whole chain for a graph.
@@ -111,7 +146,8 @@ func buildPipeline(g *QueryGraph, in *stream.Schema) (*pipeline, *stream.Schema,
 	// (a filter's output IS its input, compacted or passed through), so
 	// the batch needs a private copy iff any filter with a real
 	// predicate runs before the first map/aggregate — those write into
-	// operator-owned scratch and end the aliasing.
+	// operator-owned scratch and end the aliasing. (Row path only; the
+	// columnar path never mutates the shared batch.)
 	for _, op := range p.ops {
 		f, ok := op.(*filterOp)
 		if !ok {
@@ -122,7 +158,57 @@ func buildPipeline(g *QueryGraph, in *stream.Schema) (*pipeline, *stream.Schema,
 			break
 		}
 	}
+	if err := p.buildColProgram(in); err != nil {
+		return nil, nil, err
+	}
 	return p, cur, nil
+}
+
+// buildColProgram compiles the columnar form of the chain. Maps cost
+// nothing at runtime: they only compose the logical→physical column
+// mapping carried into downstream filters and the aggregate.
+func (p *pipeline) buildColProgram(in *stream.Schema) error {
+	cur := make([]int, in.Len())
+	for i := range cur {
+		cur[i] = i
+	}
+	p.postAggAt = -1
+	for i, op := range p.ops {
+		switch o := op.(type) {
+		case *filterOp:
+			if o.bound == nil {
+				continue // no condition: pure passthrough
+			}
+			cp, err := expr.BindCols(o.cond, o.schema)
+			if err != nil {
+				// Bind succeeded at newOperator time, so this is
+				// unreachable; the row fallback keeps the query correct
+				// regardless.
+				return nil
+			}
+			p.colSteps = append(p.colSteps, colStep{pred: cp, colIdx: cur})
+		case *mapOp:
+			nxt := make([]int, len(o.poss))
+			for j, pos := range o.poss {
+				nxt[j] = cur[pos]
+			}
+			cur = nxt
+		case *aggregateOp:
+			ac := make([]int, len(o.poss))
+			for j, pos := range o.poss {
+				ac[j] = cur[pos]
+			}
+			p.colSteps = append(p.colSteps, colStep{agg: o, aggCols: ac})
+			p.postAggAt = i + 1
+			p.colOK = true
+			return nil
+		default:
+			return nil // unknown operator kind: row fallback
+		}
+	}
+	p.outIdx = cur
+	p.colOK = true
+	return nil
 }
 
 // processBatch pushes a whole batch through the chain using the
@@ -135,8 +221,15 @@ func (p *pipeline) processBatch(batch []stream.Tuple, retain bool) ([]stream.Tup
 		p.buf = append(p.buf[:0], batch...)
 		cur = p.buf
 	}
-	for i, op := range p.ops {
-		out, err := op.processBatch(cur, retain && p.escapes[i])
+	return p.runOps(0, cur, retain)
+}
+
+// runOps drives the row-operator chain from op index from. Shared by
+// the row path (from 0) and the columnar path (operators after the
+// first aggregate).
+func (p *pipeline) runOps(from int, cur []stream.Tuple, retain bool) ([]stream.Tuple, error) {
+	for i := from; i < len(p.ops); i++ {
+		out, err := p.ops[i].processBatch(cur, retain && p.escapes[i])
 		if err != nil {
 			return nil, err
 		}
@@ -153,6 +246,104 @@ func (p *pipeline) processBatch(batch []stream.Tuple, retain bool) ([]stream.Tup
 	return cur, nil
 }
 
+// processCols pushes one sealed columnar batch through the compiled
+// columnar program. The batch is shared across queries and never
+// mutated: filters narrow a private selection vector, the mapping of
+// logical to physical columns was composed at build time, and only the
+// terminal boundary materializes rows — and only when needRows is set
+// (a subscriber or post-aggregate operator actually consumes them).
+// The returned count is the number of output tuples regardless of
+// materialization, for the engine's output accounting. Returned rows
+// follow the processBatch validity contract; when needRows is set,
+// value storage is freshly allocated (subscribers retain pushed
+// tuples beyond the batch).
+func (p *pipeline) processCols(cb *stream.ColBatch, needRows bool) ([]stream.Tuple, int, error) {
+	if !p.colOK {
+		outs, err := p.processColsFallback(cb, needRows)
+		return outs, len(outs), err
+	}
+	n := cb.Len()
+	if cap(p.sel) < n {
+		p.sel = make([]int32, n)
+	}
+	sel := p.sel[:n]
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	for si := range p.colSteps {
+		st := &p.colSteps[si]
+		if st.pred != nil {
+			var err error
+			sel, err = st.pred.Filter(cb, st.colIdx, sel)
+			if err != nil {
+				return nil, 0, err
+			}
+			if len(sel) == 0 {
+				return nil, 0, nil
+			}
+			continue
+		}
+		// Terminal aggregate: bulk-ingest the selected rows, then run
+		// whatever follows it row-wise on the emissions.
+		out, err := st.agg.processCols(cb, st.aggCols, sel)
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(out) > 0 && p.tel != nil {
+			if tel := p.tel.Load(); tel != nil {
+				tel.windowEmits.Add(uint64(len(out)))
+			}
+		}
+		if len(out) == 0 {
+			return nil, 0, nil
+		}
+		outs, err := p.runOps(p.postAggAt, out, needRows)
+		return outs, len(outs), err
+	}
+	if !needRows {
+		return nil, len(sel), nil
+	}
+	arena := make([]stream.Value, 0, len(sel)*len(p.outIdx))
+	if cap(p.colHdrs) < len(sel) {
+		p.colHdrs = make([]stream.Tuple, 0, len(sel))
+	}
+	hdrs, _ := cb.MaterializeRows(p.outIdx, sel, p.colHdrs[:0], arena)
+	p.colHdrs = hdrs
+	return hdrs, len(hdrs), nil
+}
+
+// processColsFallback materializes the whole batch and runs the row
+// program — the safety net for chains the columnar compiler does not
+// cover.
+func (p *pipeline) processColsFallback(cb *stream.ColBatch, retain bool) ([]stream.Tuple, error) {
+	n := cb.Len()
+	nc := len(cb.Cols)
+	if cap(p.sel) < n {
+		p.sel = make([]int32, n)
+	}
+	sel := p.sel[:n]
+	idx := make([]int, nc)
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	for i := range idx {
+		idx[i] = i
+	}
+	arena := p.colArena[:0]
+	if retain || cap(arena) < n*nc {
+		arena = make([]stream.Value, 0, n*nc)
+	}
+	if cap(p.colHdrs) < n {
+		p.colHdrs = make([]stream.Tuple, 0, n)
+	}
+	hdrs, arena := cb.MaterializeRows(idx, sel, p.colHdrs[:0], arena)
+	p.colHdrs = hdrs
+	if !retain {
+		p.colArena = arena
+	}
+	return p.processBatch(hdrs, retain)
+}
+
 // filterOp drops tuples that do not satisfy the condition, compacting
 // the batch in place: zero allocations on the hot path. The condition
 // is compiled against the input schema at build time (expr.Bind) so
@@ -160,6 +351,7 @@ func (p *pipeline) processBatch(batch []stream.Tuple, retain bool) ([]stream.Tup
 // means no condition — the batch passes through untouched.
 type filterOp struct {
 	bound  *expr.Bound
+	cond   expr.Node // source AST, recompiled columnar by buildColProgram
 	schema *stream.Schema
 }
 

@@ -81,6 +81,23 @@ func (r *winRing) push(t stream.Tuple, poss []int) {
 	r.n++
 }
 
+// pushCols appends one entry straight from a columnar batch: headers
+// copy from the batch's Seq/Arrival vectors and each spec column reads
+// its typed vector directly — no intermediate tuple is ever built on
+// the columnar ingest path.
+func (r *winRing) pushCols(cb *stream.ColBatch, cols []int, row int) {
+	if r.n == len(r.arrival) {
+		r.grow()
+	}
+	j := r.idx(r.n)
+	r.arrival[j] = cb.Arrival[row]
+	r.seq[j] = cb.Seq[row]
+	for c, p := range cols {
+		r.cols[c][j] = cb.Cols[p].Value(row)
+	}
+	r.n++
+}
+
 // popHead discards the oldest entry.
 func (r *winRing) popHead() {
 	j := r.head
@@ -315,17 +332,63 @@ func (a *aggregateOp) processBatch(in []stream.Tuple, _ bool) ([]stream.Tuple, e
 	return out, nil
 }
 
+// processCols consumes the selected rows of a columnar batch: the same
+// per-arrival window logic as processBatch, but ring entries are
+// copied straight from the typed vectors instead of unboxing tuples.
+func (a *aggregateOp) processCols(cb *stream.ColBatch, cols []int, sel []int32) ([]stream.Tuple, error) {
+	out := a.outBuf[:0]
+	var err error
+	if a.win.Type == WindowTuple {
+		for _, r := range sel {
+			if a.skip > 0 {
+				a.skip--
+				continue
+			}
+			if err = a.insertCols(cb, cols, int(r)); err != nil {
+				return nil, err
+			}
+			if out, err = a.tupleWindowTail(out); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for _, r := range sel {
+			if out, err = a.advanceTimeWindow(cb.Arrival[r], out); err != nil {
+				return nil, err
+			}
+			if err = a.insertCols(cb, cols, int(r)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	a.outBuf = out
+	return out, nil
+}
+
 // insert appends a tuple's window entry and (for tuple windows)
 // updates the running state.
 func (a *aggregateOp) insert(t stream.Tuple) error {
 	a.ring.push(t, a.poss)
+	return a.insertTail()
+}
+
+// insertCols is insert fed straight from a columnar batch row.
+func (a *aggregateOp) insertCols(cb *stream.ColBatch, cols []int, row int) error {
+	a.ring.pushCols(cb, cols, row)
+	return a.insertTail()
+}
+
+// insertTail updates the running state for the entry just pushed onto
+// the ring (the shared second half of insert/insertCols).
+func (a *aggregateOp) insertTail() error {
 	g := a.nextG
 	a.nextG++
 	if a.win.Type != WindowTuple {
 		return nil
 	}
-	for k, p := range a.poss {
-		v := t.Values[p]
+	j := a.ring.idx(a.ring.n - 1)
+	for k := range a.poss {
+		v := a.ring.cols[k][j]
 		if v.IsNull() {
 			continue
 		}
@@ -401,6 +464,12 @@ func (a *aggregateOp) pushTupleWindow(t stream.Tuple, out []stream.Tuple) ([]str
 	if err := a.insert(t); err != nil {
 		return nil, err
 	}
+	return a.tupleWindowTail(out)
+}
+
+// tupleWindowTail emits and slides after an insert (shared by the row
+// and columnar ingest paths).
+func (a *aggregateOp) tupleWindowTail(out []stream.Tuple) ([]stream.Tuple, error) {
 	if int64(a.ring.n) < a.win.Size {
 		return out, nil
 	}
@@ -423,7 +492,17 @@ func (a *aggregateOp) pushTupleWindow(t stream.Tuple, out []stream.Tuple) ([]str
 // monotonically through the ring on the sorted fast path), then dead
 // entries are evicted once by watermark, then the tuple is inserted.
 func (a *aggregateOp) pushTimeWindow(t stream.Tuple, out []stream.Tuple) ([]stream.Tuple, error) {
-	ts := t.ArrivalMillis
+	out, err := a.advanceTimeWindow(t.ArrivalMillis, out)
+	if err != nil {
+		return nil, err
+	}
+	return out, a.insert(t)
+}
+
+// advanceTimeWindow runs every window close and eviction an arrival at
+// ts triggers, up to but not including the insert itself (shared by
+// the row and columnar ingest paths).
+func (a *aggregateOp) advanceTimeWindow(ts int64, out []stream.Tuple) ([]stream.Tuple, error) {
 	if a.tstart < 0 {
 		a.tstart = ts
 	}
@@ -468,9 +547,6 @@ func (a *aggregateOp) pushTimeWindow(t stream.Tuple, out []stream.Tuple) ([]stre
 		a.sorted = false
 	}
 	a.lastArrival = ts
-	if err := a.insert(t); err != nil {
-		return nil, err
-	}
 	return out, nil
 }
 
@@ -586,18 +662,89 @@ func (a *aggregateOp) emitTupleWindow() (stream.Tuple, error) {
 	return a.finishEmit(st, a.ring.arrival[last], a.ring.seq[last])
 }
 
-// emitRange emits one output tuple over the ring range [lo, hi) with a
-// fused scan (time windows, sorted fast path).
+// emitRange emits one output tuple over the ring range [lo, hi) — the
+// time-window sorted fast path. The scan runs one tight loop per spec
+// over that spec's ring column, instead of a per-entry switch across
+// all specs: min/max compare as float64 against a cached best (the
+// exact comparison sequence Value.Compare performs, so first-of-equals
+// and NaN behavior are bit-identical), falling back to Value.Compare
+// only for values float conversion cannot order (strings).
 func (a *aggregateOp) emitRange(lo, hi int) (stream.Tuple, error) {
 	st := a.scan
 	st.reset()
-	for i := lo; i < hi; i++ {
-		if err := a.scanAdd(st, a.ring.idx(i)); err != nil {
-			return stream.Tuple{}, err
+	st.count = int64(hi - lo)
+	ring := a.ring
+	size := len(ring.arrival)
+	jf := ring.idx(lo)
+	jl := ring.idx(hi - 1)
+	for k := range a.poss {
+		col := ring.cols[k]
+		st.first[k] = col[jf]
+		st.last[k] = col[jl]
+		switch a.aggs[k].Func {
+		case AggSum, AggAvg:
+			var sum float64
+			var nn int64
+			for i := lo; i < hi; i++ {
+				j := ring.head + i
+				if j >= size {
+					j -= size
+				}
+				v := col[j]
+				if v.IsNull() {
+					continue
+				}
+				fv, ok := v.AsFloat()
+				if !ok {
+					return stream.Tuple{}, fmt.Errorf("dsms: non-numeric value in %s", a.aggs[k].Func)
+				}
+				sum += fv
+				nn++
+			}
+			st.sums[k] = sum
+			st.nonnull[k] = nn
+		case AggMax, AggMin:
+			isMax := a.aggs[k].Func == AggMax
+			var best stream.Value
+			var bf float64
+			var bok bool
+			for i := lo; i < hi; i++ {
+				j := ring.head + i
+				if j >= size {
+					j -= size
+				}
+				v := col[j]
+				if v.IsNull() {
+					continue
+				}
+				if best.IsNull() {
+					best = v
+					bf, bok = v.AsFloat()
+					continue
+				}
+				if fv, ok := v.AsFloat(); ok && bok {
+					if isMax {
+						if fv > bf {
+							best, bf = v, fv
+						}
+					} else if fv < bf {
+						best, bf = v, fv
+					}
+					continue
+				}
+				cmp, err := v.Compare(best)
+				if err != nil {
+					return stream.Tuple{}, err
+				}
+				if (isMax && cmp > 0) || (!isMax && cmp < 0) {
+					best = v
+					bf, bok = v.AsFloat()
+				}
+			}
+			st.best[k] = best
 		}
 	}
-	last := a.ring.idx(hi - 1)
-	return a.finishEmit(st, a.ring.arrival[last], a.ring.seq[last])
+	return a.finishEmit(st, ring.arrival[jl], ring.seq[jl])
 }
 
 // emitTimeWindowUnsorted selects the window by scanning the whole ring

@@ -1,0 +1,392 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// ColPred is a predicate compiled against a schema for columnar
+// evaluation: the common case — a conjunction of simple comparisons —
+// becomes a chain of monomorphic typed kernels that each narrow a
+// selection vector over one column, with no tagged-union dispatch and
+// no Value.Compare in the inner loop. Predicates that do not flatten
+// (OR, NOT) fall back to a per-row compiled tree over the columns,
+// still without attribute-name lookups.
+//
+// Semantics are identical to Bound.Eval row by row: nulls never satisfy
+// a comparison, type mismatches error with the same message, and
+// numeric comparisons go through the same float64 conversion, so
+// filter decisions are bit-identical (including NaN behavior).
+type ColPred struct {
+	kernels []colKernel
+	// falseAfter marks a constant-FALSE conjunct: every preceding
+	// kernel still runs (a mismatch kernel must surface its error
+	// exactly like the row path's left-to-right evaluation), then the
+	// selection empties.
+	falseAfter bool
+	root       cnode // fallback tree; nil when the kernel chain applies
+}
+
+// BindCols compiles a predicate for columnar batches laid out by the
+// given schema. It fails where Bind would fail.
+func BindCols(n Node, s *stream.Schema) (*ColPred, error) {
+	p := &ColPred{}
+	if flattenAnd(n, s, p) {
+		return p, nil
+	}
+	root, err := bindCol(n, s)
+	if err != nil {
+		return nil, err
+	}
+	return &ColPred{root: root}, nil
+}
+
+// Filter narrows sel to the rows satisfying the predicate, in place.
+// colIdx maps the predicate's logical attribute positions (bind-time
+// schema) to physical columns of cb, so one compiled predicate works at
+// any point of a query chain whose maps only reorder columns.
+func (p *ColPred) Filter(cb *stream.ColBatch, colIdx []int, sel []int32) ([]int32, error) {
+	if p.root != nil {
+		out := sel[:0]
+		for _, r := range sel {
+			ok, err := p.root.eval(cb, colIdx, int(r))
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, r)
+			}
+		}
+		return out, nil
+	}
+	for i := range p.kernels {
+		k := &p.kernels[i]
+		col := &cb.Cols[colIdx[k.pos]]
+		var err error
+		sel, err = k.run(col, sel)
+		if err != nil {
+			return nil, err
+		}
+		if len(sel) == 0 {
+			return sel, nil
+		}
+	}
+	if p.falseAfter {
+		return sel[:0], nil
+	}
+	return sel, nil
+}
+
+// flattenAnd decomposes an AND-chain of simple comparisons and literals
+// into p's kernel list, reporting whether the whole tree flattened.
+func flattenAnd(n Node, s *stream.Schema, p *ColPred) bool {
+	if p.falseAfter {
+		// Clauses to the right of a constant FALSE are unreachable in
+		// the row path's short-circuit evaluation; skip them entirely.
+		return true
+	}
+	switch x := n.(type) {
+	case *And:
+		return flattenAnd(x.L, s, p) && flattenAnd(x.R, s, p)
+	case *Literal:
+		if !x.Val {
+			p.falseAfter = true
+		}
+		return true
+	case *Simple:
+		k, ok := makeKernel(x, s)
+		if !ok {
+			return false
+		}
+		p.kernels = append(p.kernels, k)
+		return true
+	default:
+		return false
+	}
+}
+
+// colKernel is one compiled conjunct: a typed comparison of a column
+// against a constant. keep is the truth table over the three-way
+// comparison outcome (index cmp+1), precomputed from opHolds so kernel
+// and row semantics cannot drift.
+type colKernel struct {
+	pos  int
+	keep [3]bool
+	// kind selects the inner loop. Mismatch kernels reproduce the row
+	// path's comparison error on the first non-null row they see.
+	kind kernelKind
+	litF float64
+	litS string
+	err  error // precomputed for kindErr
+}
+
+type kernelKind int
+
+const (
+	kindFloat kernelKind = iota // numeric/bool column vs numeric/bool literal
+	kindStr                     // string column vs string literal
+	kindErr                     // statically incomparable; errors on first non-null row
+)
+
+// makeKernel compiles one simple comparison. ok is false when the
+// attribute is unknown or the operator invalid (the caller then falls
+// back to bindCol, which renders the same errors as Bind).
+func makeKernel(x *Simple, s *stream.Schema) (colKernel, bool) {
+	pos, ft, found := s.Lookup(x.Attr)
+	if !found {
+		return colKernel{}, false
+	}
+	k := colKernel{pos: pos}
+	for cmp := -1; cmp <= 1; cmp++ {
+		holds, ok := opHolds(x.Op, cmp)
+		if !ok {
+			return colKernel{}, false
+		}
+		k.keep[cmp+1] = holds
+	}
+	lt := x.Value.Type()
+	colStr := ft == stream.TypeString
+	litStr := lt == stream.TypeString
+	switch {
+	case colStr && litStr:
+		k.kind = kindStr
+		k.litS = x.Value.Str()
+	case colStr != litStr:
+		k.kind = kindErr
+		k.err = fmt.Errorf("expr: %s: %w", x,
+			fmt.Errorf("stream: cannot compare %s with %s", ft, lt))
+	default:
+		f, ok := x.Value.AsFloat()
+		if !ok {
+			// Null or otherwise non-numeric literal: the row path
+			// errors on every non-null value it compares.
+			k.kind = kindErr
+			k.err = fmt.Errorf("expr: %s: %w", x,
+				fmt.Errorf("stream: cannot compare %s with %s", ft, lt))
+			break
+		}
+		k.kind = kindFloat
+		k.litF = f
+	}
+	return k, true
+}
+
+// run narrows sel by this kernel over one column. The float compare is
+// the exact sequence Value.Compare performs (a<b, a>b, else equal), so
+// NaN ordering matches the row path bit for bit.
+func (k *colKernel) run(col *stream.Column, sel []int32) ([]int32, error) {
+	switch k.kind {
+	case kindErr:
+		for _, r := range sel {
+			if !col.IsNull(int(r)) {
+				return nil, k.err
+			}
+		}
+		return sel[:0], nil
+	case kindStr:
+		lit := k.litS
+		out := sel[:0]
+		if col.HasNulls {
+			for _, r := range sel {
+				if col.IsNull(int(r)) {
+					continue
+				}
+				v := col.Strs[r]
+				cmp := 0
+				if v < lit {
+					cmp = -1
+				} else if v > lit {
+					cmp = 1
+				}
+				if k.keep[cmp+1] {
+					out = append(out, r)
+				}
+			}
+			return out, nil
+		}
+		for _, r := range sel {
+			v := col.Strs[r]
+			cmp := 0
+			if v < lit {
+				cmp = -1
+			} else if v > lit {
+				cmp = 1
+			}
+			if k.keep[cmp+1] {
+				out = append(out, r)
+			}
+		}
+		return out, nil
+	}
+	lit := k.litF
+	keep := k.keep
+	out := sel[:0]
+	switch {
+	case col.Type == stream.TypeDouble && !col.HasNulls:
+		vs := col.Floats
+		for _, r := range sel {
+			v := vs[r]
+			cmp := 0
+			if v < lit {
+				cmp = -1
+			} else if v > lit {
+				cmp = 1
+			}
+			if keep[cmp+1] {
+				out = append(out, r)
+			}
+		}
+	case col.Type == stream.TypeDouble:
+		vs := col.Floats
+		for _, r := range sel {
+			if col.IsNull(int(r)) {
+				continue
+			}
+			v := vs[r]
+			cmp := 0
+			if v < lit {
+				cmp = -1
+			} else if v > lit {
+				cmp = 1
+			}
+			if keep[cmp+1] {
+				out = append(out, r)
+			}
+		}
+	case !col.HasNulls:
+		vs := col.Ints
+		for _, r := range sel {
+			v := float64(vs[r])
+			cmp := 0
+			if v < lit {
+				cmp = -1
+			} else if v > lit {
+				cmp = 1
+			}
+			if keep[cmp+1] {
+				out = append(out, r)
+			}
+		}
+	default:
+		vs := col.Ints
+		for _, r := range sel {
+			if col.IsNull(int(r)) {
+				continue
+			}
+			v := float64(vs[r])
+			cmp := 0
+			if v < lit {
+				cmp = -1
+			} else if v > lit {
+				cmp = 1
+			}
+			if keep[cmp+1] {
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// cnode is the per-row fallback for predicates that do not flatten:
+// a compiled tree evaluated over columns, mirroring bnode exactly.
+type cnode interface {
+	eval(cb *stream.ColBatch, colIdx []int, row int) (bool, error)
+}
+
+func bindCol(n Node, s *stream.Schema) (cnode, error) {
+	switch x := n.(type) {
+	case *Literal:
+		return cLit(x.Val), nil
+	case *Not:
+		c, err := bindCol(x.X, s)
+		if err != nil {
+			return nil, err
+		}
+		return &cNot{x: c}, nil
+	case *And:
+		l, err := bindCol(x.L, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindCol(x.R, s)
+		if err != nil {
+			return nil, err
+		}
+		return &cAnd{l: l, r: r}, nil
+	case *Or:
+		l, err := bindCol(x.L, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindCol(x.R, s)
+		if err != nil {
+			return nil, err
+		}
+		return &cOr{l: l, r: r}, nil
+	case *Simple:
+		pos, _, ok := s.Lookup(x.Attr)
+		if !ok {
+			return nil, fmt.Errorf("expr: unknown attribute %q", x.Attr)
+		}
+		return &cSimple{pos: pos, op: x.Op, value: x.Value, src: x}, nil
+	default:
+		return nil, fmt.Errorf("expr: cannot evaluate %T", n)
+	}
+}
+
+type cLit bool
+
+func (c cLit) eval(*stream.ColBatch, []int, int) (bool, error) { return bool(c), nil }
+
+type cNot struct{ x cnode }
+
+func (c *cNot) eval(cb *stream.ColBatch, colIdx []int, row int) (bool, error) {
+	v, err := c.x.eval(cb, colIdx, row)
+	return !v, err
+}
+
+type cAnd struct{ l, r cnode }
+
+func (c *cAnd) eval(cb *stream.ColBatch, colIdx []int, row int) (bool, error) {
+	l, err := c.l.eval(cb, colIdx, row)
+	if err != nil || !l {
+		return false, err
+	}
+	return c.r.eval(cb, colIdx, row)
+}
+
+type cOr struct{ l, r cnode }
+
+func (c *cOr) eval(cb *stream.ColBatch, colIdx []int, row int) (bool, error) {
+	l, err := c.l.eval(cb, colIdx, row)
+	if err != nil || l {
+		return l, err
+	}
+	return c.r.eval(cb, colIdx, row)
+}
+
+type cSimple struct {
+	pos   int
+	op    Op
+	value stream.Value
+	src   *Simple
+}
+
+func (c *cSimple) eval(cb *stream.ColBatch, colIdx []int, row int) (bool, error) {
+	col := &cb.Cols[colIdx[c.pos]]
+	if col.IsNull(row) {
+		// Nulls never satisfy a comparison (SQL-ish semantics).
+		return false, nil
+	}
+	cmp, err := col.Value(row).Compare(c.value)
+	if err != nil {
+		return false, fmt.Errorf("expr: %s: %w", c.src, err)
+	}
+	holds, ok := opHolds(c.op, cmp)
+	if !ok {
+		return false, fmt.Errorf("expr: invalid operator in %s", c.src)
+	}
+	return holds, nil
+}

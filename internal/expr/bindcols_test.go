@@ -1,0 +1,256 @@
+package expr
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+var colTestSchema = stream.MustSchema(
+	stream.Field{Name: "a", Type: stream.TypeDouble},
+	stream.Field{Name: "b", Type: stream.TypeInt},
+	stream.Field{Name: "s", Type: stream.TypeString},
+	stream.Field{Name: "c", Type: stream.TypeBool},
+	stream.Field{Name: "t", Type: stream.TypeTimestamp},
+)
+
+// randColExpr grows a random predicate tree over colTestSchema:
+// comparisons against numeric/string literals (sometimes type-mismatched
+// so error paths are covered), glued with AND/OR/NOT and the occasional
+// constant literal.
+func randColExpr(rng *rand.Rand, depth int) Node {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		if rng.Intn(12) == 0 {
+			return &Literal{Val: rng.Intn(2) == 0}
+		}
+		attrs := []string{"a", "b", "s", "c", "t"}
+		ops := []Op{OpLT, OpGT, OpLE, OpGE, OpEQ, OpNE}
+		attr := attrs[rng.Intn(len(attrs))]
+		var lit stream.Value
+		switch rng.Intn(10) {
+		case 0:
+			lit = stream.StringValue("m") // mismatch vs numeric columns
+		case 1:
+			lit = stream.DoubleValue(math.NaN())
+		default:
+			if attr == "s" {
+				lit = stream.StringValue(string(rune('a' + rng.Intn(26))))
+			} else {
+				lit = stream.DoubleValue(float64(rng.Intn(200)) - 100)
+			}
+		}
+		return &Simple{Attr: attr, Op: ops[rng.Intn(len(ops))], Value: lit}
+	}
+	switch rng.Intn(5) {
+	case 0:
+		return &Not{X: randColExpr(rng, depth-1)}
+	case 1:
+		return &Or{L: randColExpr(rng, depth-1), R: randColExpr(rng, depth-1)}
+	default:
+		return &And{L: randColExpr(rng, depth-1), R: randColExpr(rng, depth-1)}
+	}
+}
+
+func randColTuple(rng *rand.Rand) stream.Tuple {
+	var vals [5]stream.Value
+	mk := [5]func() stream.Value{
+		func() stream.Value {
+			if rng.Intn(8) == 0 {
+				return stream.DoubleValue(math.NaN())
+			}
+			return stream.DoubleValue(float64(rng.Intn(200)) - 100)
+		},
+		func() stream.Value { return stream.IntValue(int64(rng.Intn(200)) - 100) },
+		func() stream.Value { return stream.StringValue(string(rune('a' + rng.Intn(26)))) },
+		func() stream.Value { return stream.BoolValue(rng.Intn(2) == 0) },
+		func() stream.Value { return stream.TimestampMillis(int64(rng.Intn(1000))) },
+	}
+	for i := range vals {
+		if rng.Intn(10) == 0 {
+			vals[i] = stream.Value{} // null
+		} else {
+			vals[i] = mk[i]()
+		}
+	}
+	return stream.NewTuple(vals[:]...)
+}
+
+// TestBindColsMatchesBound is the core equivalence property: for random
+// predicates and random batches (nulls, NaN, strings, type mismatches),
+// ColPred.Filter must keep exactly the rows Bound.Eval keeps, and must
+// error with byte-identical text whenever the row path errors on any
+// selected row.
+func TestBindColsMatchesBound(t *testing.T) {
+	identity := []int{0, 1, 2, 3, 4}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for iter := 0; iter < 100; iter++ {
+			n := randColExpr(rng, 3)
+			bound, bErr := Bind(n, colTestSchema)
+			cp, cErr := BindCols(n, colTestSchema)
+			if (bErr == nil) != (cErr == nil) {
+				t.Fatalf("seed %d iter %d: Bind err %v, BindCols err %v for %s", seed, iter, bErr, cErr, n)
+			}
+			if bErr != nil {
+				if bErr.Error() != cErr.Error() {
+					t.Fatalf("seed %d iter %d: bind error text diverged: %q vs %q", seed, iter, bErr, cErr)
+				}
+				continue
+			}
+
+			rows := make([]stream.Tuple, 40)
+			for i := range rows {
+				rows[i] = randColTuple(rng)
+			}
+			cb := stream.NewColBatch(colTestSchema)
+			if err := cb.LoadTuples(rows, false); err != nil {
+				t.Fatalf("seed %d iter %d: load: %v", seed, iter, err)
+			}
+
+			// Row-path ground truth: evaluate in order, stopping at the
+			// first error like the operator does.
+			var wantKeep []int32
+			var wantErr error
+			for i, r := range rows {
+				ok, err := bound.Eval(r)
+				if err != nil {
+					wantErr = err
+					break
+				}
+				if ok {
+					wantKeep = append(wantKeep, int32(i))
+				}
+			}
+
+			sel := make([]int32, len(rows))
+			for i := range sel {
+				sel[i] = int32(i)
+			}
+			got, gotErr := cp.Filter(cb, identity, sel)
+			if wantErr != nil {
+				if gotErr == nil {
+					t.Fatalf("seed %d iter %d: row path errored (%v), columnar did not for %s", seed, iter, wantErr, n)
+				}
+				// The kernel chain reorders conjunct evaluation across
+				// rows, so it may surface the error of a different
+				// conjunct/row than the strict row order — but the text
+				// must match SOME row-path error for this predicate, and
+				// for single-conjunct predicates it must match exactly.
+				if !errTextReachable(bound, rows, gotErr) {
+					t.Fatalf("seed %d iter %d: columnar error %q not producible by row path for %s", seed, iter, gotErr, n)
+				}
+				continue
+			}
+			if gotErr != nil {
+				t.Fatalf("seed %d iter %d: columnar errored (%v), row path did not for %s", seed, iter, gotErr, n)
+			}
+			if len(got) != len(wantKeep) {
+				t.Fatalf("seed %d iter %d: kept %d rows, want %d for %s\n got=%v want=%v",
+					seed, iter, len(got), len(wantKeep), n, got, wantKeep)
+			}
+			for i := range got {
+				if got[i] != wantKeep[i] {
+					t.Fatalf("seed %d iter %d: sel[%d]=%d, want %d for %s", seed, iter, i, got[i], wantKeep[i], n)
+				}
+			}
+		}
+	}
+}
+
+// errTextReachable reports whether err's text matches the error the row
+// path yields on at least one row of the batch.
+func errTextReachable(bound *Bound, rows []stream.Tuple, err error) bool {
+	for _, r := range rows {
+		if _, e := bound.Eval(r); e != nil && e.Error() == err.Error() {
+			return true
+		}
+	}
+	return false
+}
+
+// TestBindColsKernelChain checks that AND-chains of simple comparisons
+// compile to the kernel path (no fallback tree) and OR/NOT trees do not.
+func TestBindColsKernelChain(t *testing.T) {
+	kp, err := BindCols(MustParse("a > 10 AND b < 5 AND s = 'x'"), colTestSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kp.root != nil || len(kp.kernels) != 3 {
+		t.Fatalf("AND chain should compile to 3 kernels, got root=%v kernels=%d", kp.root, len(kp.kernels))
+	}
+	fp, err := BindCols(MustParse("a > 10 OR b < 5"), colTestSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.root == nil || len(fp.kernels) != 0 {
+		t.Fatalf("OR should fall back to the tree, got root=%v kernels=%d", fp.root, len(fp.kernels))
+	}
+}
+
+// TestBindColsMismatchError pins the error text of a statically
+// incomparable kernel to the row path's exact message.
+func TestBindColsMismatchError(t *testing.T) {
+	n := MustParse("a = 'oops'")
+	cp, err := BindCols(n, colTestSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := stream.NewColBatch(colTestSchema)
+	if err := cb.LoadTuples([]stream.Tuple{randColTuple(rand.New(rand.NewSource(1)))}, false); err != nil {
+		t.Fatal(err)
+	}
+	_, gotErr := cp.Filter(cb, []int{0, 1, 2, 3, 4}, []int32{0})
+	if gotErr == nil {
+		t.Fatal("expected a comparison error")
+	}
+	bound, _ := Bind(n, colTestSchema)
+	_, wantErr := bound.Eval(stream.NewTuple(
+		stream.DoubleValue(1), stream.IntValue(1), stream.StringValue("a"),
+		stream.BoolValue(true), stream.TimestampMillis(1)))
+	if wantErr == nil || gotErr.Error() != wantErr.Error() {
+		t.Fatalf("error text diverged:\n col: %v\n row: %v", gotErr, wantErr)
+	}
+	if !strings.Contains(gotErr.Error(), "cannot compare double with string") {
+		t.Fatalf("unexpected error text: %v", gotErr)
+	}
+}
+
+// TestBindColsFalseLiteralShortCircuit checks the falseAfter contract:
+// a constant FALSE empties the selection, conjuncts to its right are
+// never evaluated (so their errors cannot surface), while an erroring
+// conjunct to its LEFT still errors first — exactly the row path's
+// left-to-right short-circuit.
+func TestBindColsFalseLiteralShortCircuit(t *testing.T) {
+	cb := stream.NewColBatch(colTestSchema)
+	if err := cb.LoadTuples([]stream.Tuple{{Values: []stream.Value{
+		stream.DoubleValue(1), stream.IntValue(1), stream.StringValue("a"),
+		stream.BoolValue(true), stream.TimestampMillis(1),
+	}}}, false); err != nil {
+		t.Fatal(err)
+	}
+	identity := []int{0, 1, 2, 3, 4}
+
+	// FALSE before the bad conjunct: the row path never reaches it.
+	n1 := &And{L: &Literal{Val: false}, R: &Simple{Attr: "a", Op: OpEQ, Value: stream.StringValue("x")}}
+	cp1, err := BindCols(n1, colTestSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := cp1.Filter(cb, identity, []int32{0})
+	if err != nil || len(sel) != 0 {
+		t.Fatalf("FALSE AND bad: want empty sel, no error; got sel=%v err=%v", sel, err)
+	}
+
+	// Bad conjunct before FALSE: the row path errors.
+	n2 := &And{L: &Simple{Attr: "a", Op: OpEQ, Value: stream.StringValue("x")}, R: &Literal{Val: false}}
+	cp2, err := BindCols(n2, colTestSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cp2.Filter(cb, identity, []int32{0}); err == nil {
+		t.Fatal("bad AND FALSE: want the comparison error, got none")
+	}
+}

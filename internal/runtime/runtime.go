@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/audit"
+	"repro/internal/coarsetime"
 	"repro/internal/dsms"
 	"repro/internal/metrics"
 	"repro/internal/stream"
@@ -1101,7 +1102,7 @@ func (rt *Runtime) PublishBatchVerdict(streamName string, ts []stream.Tuple) (Pu
 	// aggregates stay bit-compatible. (The runtime owns the batch from
 	// here on, same contract as the engine's owned ingest.)
 	if r.repl != nil {
-		now := time.Now().UnixMilli()
+		now := coarsetime.NowMillis()
 		for i := range ts {
 			if ts[i].ArrivalMillis == 0 {
 				ts[i].ArrivalMillis = now

@@ -341,11 +341,14 @@ func (s *shard) popLocked() item {
 
 // run is the shard worker: it drains up to batch items per wake-up and
 // ships contiguous same-stream runs to the backend in one batch call
-// each, amortizing the engine's per-stream seal. Each run gets a fresh
-// slice because the backend takes ownership (a local engine feeds it
-// straight to the query mailboxes without another copy).
+// each, amortizing the engine's per-stream seal. Runs reuse one
+// scratch tuple buffer across iterations: every backend consumes the
+// batch synchronously during the ingest call (a local engine copies it
+// into a columnar batch, a remote one marshals it onto the wire), so
+// nothing retains the slice once the call returns.
 func (s *shard) run() {
 	scratch := make([]item, 0, s.batch)
+	tuples := make([]stream.Tuple, 0, s.batch)
 	for {
 		s.mu.Lock()
 		for (s.count == 0 || s.paused) && !s.closed {
@@ -374,7 +377,7 @@ func (s *shard) run() {
 			for j < len(scratch) && scratch[j].stream == scratch[i].stream {
 				j++
 			}
-			tuples := make([]stream.Tuple, j-i)
+			tuples = tuples[:j-i]
 			// One span continues with the run; extra sampled spans that
 			// landed in the same drain (rare at realistic sampling rates)
 			// are closed out with just their queue-wait stage.
@@ -392,11 +395,10 @@ func (s *shard) run() {
 				}
 			}
 			sp.End(telemetry.StageQueueWait)
-			// A replicated run is cloned BEFORE the ingest: the engine
-			// seals the originals in place, and the log needs unsealed
-			// copies carrying only the publisher-stamped arrival times
-			// (the follower's engine assigns its own — identical —
-			// sequence numbers).
+			// A replicated run is cloned: the log outlives the reused
+			// scratch buffer and needs unsealed copies carrying only the
+			// publisher-stamped arrival times (the follower's engine
+			// assigns its own — identical — sequence numbers).
 			var repCopy []stream.Tuple
 			if scratch[i].rep != nil {
 				repCopy = cloneTuples(tuples)
