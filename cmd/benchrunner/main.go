@@ -10,6 +10,7 @@
 //	benchrunner -exp sharded             # sharded ingest runtime throughput matrix
 //	benchrunner -exp admission           # priority classes + quotas under overload
 //	benchrunner -exp remote              # mixed local/remote (dsmsd) shard topology
+//	benchrunner -exp partition           # global re-aggregation vs per-shard baseline
 //	benchrunner -exp governor            # audit-fed governor demotes an abusive subject
 //	benchrunner -exp all                 # everything
 //
@@ -170,6 +171,11 @@ func main() {
 			return runRemote(*scale, !*noNet)
 		})
 	}
+	if want("partition") {
+		run("Global re-aggregation: merged partitioned aggregate vs per-shard baseline", func() error {
+			return runPartition(*scale, *engineOut)
+		})
+	}
 	if want("governor") {
 		run("Accountability governor: audit-fed demotion of an abusive subject", func() error {
 			return runGovernor(*scale)
@@ -183,7 +189,7 @@ func main() {
 
 func wantKnown(e string) bool {
 	switch e {
-	case "table3", "fig6a", "fig6b", "fig7a", "fig7b", "policyload", "ablation", "engine", "sharded", "admission", "remote", "governor", "all":
+	case "table3", "fig6a", "fig6b", "fig7a", "fig7b", "policyload", "ablation", "engine", "sharded", "admission", "remote", "partition", "governor", "all":
 		return true
 	}
 	return false

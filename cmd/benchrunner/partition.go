@@ -1,0 +1,88 @@
+// Global re-aggregation experiment: the same windowed aggregate over a
+// partitioned stream (per-shard partials + merge stage, one global
+// answer) and over independent per-shard streams (N local answers),
+// recorded under the "partition" key of BENCH_ENGINE.json next to the
+// engine hot-path series.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+// partitionBenchRow is one (mode, shards) measurement in the report.
+type partitionBenchRow struct {
+	Mode         string  `json:"mode"` // "global" or "per_shard"
+	Shards       int     `json:"shards"`
+	Tuples       int     `json:"tuples"`
+	WindowSize   int64   `json:"window_size"`
+	WindowStep   int64   `json:"window_step"`
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+	IngestMS     float64 `json:"ingest_ms"`
+	DrainMS      float64 `json:"drain_ms"`
+	Emissions    int     `json:"emissions"`
+}
+
+func legRow(mode string, o experiments.PartitionOptions, l experiments.PartitionLeg) partitionBenchRow {
+	return partitionBenchRow{
+		Mode:         mode,
+		Shards:       o.Shards,
+		Tuples:       o.Tuples,
+		WindowSize:   o.WindowSize,
+		WindowStep:   o.WindowStep,
+		TuplesPerSec: l.Throughput,
+		IngestMS:     l.IngestMS,
+		DrainMS:      l.DrainMS,
+		Emissions:    l.Emissions,
+	}
+}
+
+// appendPartitionReport merges the rows into the JSON document at
+// path under the "partition" key, preserving everything else the
+// engine experiment wrote.
+func appendPartitionReport(path string, rows []partitionBenchRow) error {
+	doc := map[string]any{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("parsing existing %s: %w", path, err)
+		}
+	}
+	doc["partition"] = rows
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func runPartition(scale int, outPath string) error {
+	tuples := 200000
+	if scale > 1 {
+		tuples /= scale
+	}
+	var rows []partitionBenchRow
+	for _, shards := range []int{2, 4} {
+		res, err := experiments.RunPartition(experiments.PartitionOptions{
+			Shards: shards,
+			Tuples: tuples,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		rows = append(rows,
+			legRow("global", res.Opts, res.Global),
+			legRow("per_shard", res.Opts, res.PerShard))
+	}
+	if outPath == "" {
+		return nil
+	}
+	if err := appendPartitionReport(outPath, rows); err != nil {
+		return err
+	}
+	fmt.Printf("appended partition series to %s\n", outPath)
+	return nil
+}

@@ -4,14 +4,24 @@
 // later refines its view with a customised query (Fig 4(a)); the
 // framework merges both into one StreamSQL script (Fig 4(b)) and serves
 // the stream.
+//
+// With -fleet the example instead shows the sharded runtime's global
+// re-aggregation: the NEA's whole station fleet publishes into one
+// stream partitioned by station id across several shards, and a single
+// windowed aggregate over it answers fleet-wide — one merged window
+// stream, not one answer per shard.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"repro/internal/core"
+	"repro/internal/dsms"
+	"repro/internal/runtime"
 	"repro/internal/source"
+	"repro/internal/stream"
 	"repro/internal/xacml"
 	"repro/internal/xacmlplus"
 )
@@ -68,7 +78,98 @@ const fig4aUserQuery = `
   </Aggregation>
 </UserQuery>`
 
+// fleetMode: the whole station fleet in one partitioned stream, one
+// global long-term average. Tuples route to shards by station id; the
+// aggregate is deployed once and the runtime plans it as per-shard
+// partials merged back into the emissions a single-shard deployment
+// would produce (docs/ARCHITECTURE.md "Global re-aggregation").
+func fleetMode() {
+	const (
+		shardCount = 4
+		stations   = 12
+		rounds     = 200
+	)
+	rt := runtime.New("nea-fleet", runtime.Options{Shards: shardCount})
+	defer rt.Close()
+
+	schema := stream.MustSchema(
+		stream.Field{Name: "station", Type: stream.TypeString},
+		stream.Field{Name: "samplingtime", Type: stream.TypeTimestamp},
+		stream.Field{Name: "rainrate", Type: stream.TypeDouble},
+		stream.Field{Name: "windspeed", Type: stream.TypeDouble},
+	)
+	if err := rt.CreatePartitionedStream("fleet", schema, "station"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Fleet-wide LTA view: average rain rate and peak wind over sliding
+	// windows of the interleaved fleet flow, stamped with the latest
+	// sampling time.
+	dep, err := rt.Deploy(dsms.NewQueryGraph("fleet",
+		dsms.NewAggregateBox(
+			dsms.WindowSpec{Type: dsms.WindowTuple, Size: 240, Step: 60},
+			dsms.AggSpec{Attr: "rainrate", Func: dsms.AggAvg},
+			dsms.AggSpec{Attr: "windspeed", Func: dsms.AggMax},
+			dsms.AggSpec{Attr: "samplingtime", Func: dsms.AggLastVal})))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sub, err := rt.Subscribe(dep.Handle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== Fleet mode: %d stations -> %d shards, one global aggregate (%d parts) ===\n",
+		stations, shardCount, len(dep.Parts))
+
+	fleet := make([]*source.WeatherStation, stations)
+	for i := range fleet {
+		fleet[i] = source.NewWeatherStation(0, 60000, int64(100+i))
+	}
+	wschema := source.WeatherSchema()
+	var batch []stream.Tuple
+	for round := 0; round < rounds; round++ {
+		for i, st := range fleet {
+			t := st.Next()
+			samp, _ := t.Get(wschema, "samplingtime")
+			rain, _ := t.Get(wschema, "rainrate")
+			wind, _ := t.Get(wschema, "windspeed")
+			batch = append(batch, stream.NewTuple(
+				stream.StringValue(fmt.Sprintf("S%02d", i)), samp, rain, wind))
+		}
+		if len(batch) >= 96 {
+			if _, err := rt.PublishBatch("fleet", batch); err != nil {
+				log.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		if _, err := rt.PublishBatch("fleet", batch); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rt.Flush()
+
+	fmt.Println("fleet-wide windows (avg rainrate, max windspeed):")
+	n := 0
+	for len(sub.C) > 0 {
+		t := <-sub.C
+		if n < 6 {
+			fmt.Printf("  avg rain = %s  peak wind = %s\n", t.Values[0], t.Values[1])
+		}
+		n++
+	}
+	fmt.Printf("  ... %d global windows from %d samples across %d shards\n",
+		n, stations*rounds, shardCount)
+}
+
 func main() {
+	fleet := flag.Bool("fleet", false, "fleet-wide mode: partitioned stream + one global aggregate across shards")
+	flag.Parse()
+	if *fleet {
+		fleetMode()
+		return
+	}
 	fw := core.New("nea-cloud")
 	defer fw.Close()
 	if err := fw.RegisterStream("weather", source.WeatherSchema()); err != nil {

@@ -172,8 +172,19 @@ func (is *inputStream) seal(clock func() int64, cb *stream.ColBatch) ([]*deploye
 	now := int64(-1)
 	arr, sq := cb.Arrival, cb.Seq
 	for i := range sq {
-		seq++
-		sq[i] = seq
+		if sq[i] != 0 {
+			// Pre-stamped sequence (a fronting runtime's global position
+			// on a partitioned stream, or a replicated tuple carrying its
+			// primary's lineage): preserve it, mirroring the arrival-time
+			// rule below, and keep the stream counter monotonic so later
+			// unstamped tuples never reuse a position.
+			if sq[i] > seq {
+				seq = sq[i]
+			}
+		} else {
+			seq++
+			sq[i] = seq
+		}
 		if arr[i] == 0 {
 			if now < 0 {
 				// One clock read per batch: every unstamped tuple of a
@@ -253,32 +264,67 @@ func (q *deployedQuery) send(m batchMsg) bool {
 	return true
 }
 
-// Subscription delivers a query's output tuples. Tuples are dropped
-// (counted in Dropped) if the consumer falls more than the buffer size
-// behind.
+// Subscription delivers a query's output tuples. Ordinary
+// subscriptions drop tuples (counted in Dropped) when the consumer
+// falls more than the buffer size behind. Subscriptions to staged
+// queries are lossless: their output is a partial-aggregate or relay
+// record stream whose consumer (the runtime merge stage) cannot
+// tolerate holes — a lost watermark stalls global finalization
+// forever — so a full buffer blocks the query worker instead,
+// propagating backpressure to the publish path.
 type Subscription struct {
 	C <-chan stream.Tuple
 
 	c       chan stream.Tuple
+	done    chan struct{} // non-nil selects lossless mode
 	mu      sync.Mutex
+	cond    *sync.Cond // signals sending == 0 (lossless close handshake)
+	sending int
 	dropped uint64
 	closed  bool
 }
 
 // Dropped reports how many tuples were discarded because the consumer
-// lagged.
+// lagged. Always zero for lossless subscriptions.
 func (s *Subscription) Dropped() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.dropped
 }
 
-// pushBatch delivers a whole output batch under one lock acquisition,
-// reporting how many tuples were shed. Per tuple the drop-when-full
-// semantics are unchanged: a tuple that does not fit in the buffer is
-// counted in Dropped, never blocked on.
+// pushBatch delivers a whole output batch, reporting how many tuples
+// were shed. Per tuple the drop-when-full semantics are unchanged: a
+// tuple that does not fit in the buffer is counted in Dropped, never
+// blocked on. In lossless mode a full buffer blocks until the consumer
+// drains or the subscription closes, and nothing is ever shed; the
+// blocking send happens outside s.mu so close() can always interrupt
+// it via the done channel.
 func (s *Subscription) pushBatch(ts []stream.Tuple) (dropped uint64) {
 	if len(ts) == 0 {
+		return 0
+	}
+	if s.done != nil {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return 0
+		}
+		s.sending++
+		s.mu.Unlock()
+	send:
+		for i := range ts {
+			select {
+			case s.c <- ts[i]:
+			case <-s.done:
+				break send
+			}
+		}
+		s.mu.Lock()
+		s.sending--
+		if s.sending == 0 {
+			s.cond.Broadcast()
+		}
+		s.mu.Unlock()
 		return 0
 	}
 	s.mu.Lock()
@@ -300,10 +346,19 @@ func (s *Subscription) pushBatch(ts []stream.Tuple) (dropped uint64) {
 func (s *Subscription) close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !s.closed {
-		s.closed = true
-		close(s.c)
+	if s.closed {
+		return
 	}
+	s.closed = true
+	if s.done != nil {
+		// Wake blocked senders and wait for them to leave the channel
+		// before closing it; new pushBatch calls see closed first.
+		close(s.done)
+		for s.sending > 0 {
+			s.cond.Wait()
+		}
+	}
+	close(s.c)
 }
 
 // CreateStream registers a named input stream with its schema.
@@ -555,6 +610,10 @@ func (e *Engine) Subscribe(idOrHandle string) (*Subscription, error) {
 	}
 	c := make(chan stream.Tuple, DefaultSubscriptionBuffer)
 	s := &Subscription{C: c, c: c}
+	if q.graph != nil && q.graph.Stage != nil {
+		s.done = make(chan struct{})
+		s.cond = sync.NewCond(&s.mu)
+	}
 	q.subMu.Lock()
 	if q.subsClosed {
 		// The query was withdrawn between the registry lookup and here.

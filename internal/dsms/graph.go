@@ -149,6 +149,46 @@ func (b *Box) OutputSchema(in *stream.Schema) (*stream.Schema, error) {
 	}
 }
 
+// StageMode selects how a partitioned query part participates in a
+// cross-shard plan (see StageSpec).
+type StageMode string
+
+const (
+	// StagePartial: the terminal aggregate box is executed as a
+	// partial-aggregate operator — per window boundary the part emits one
+	// mergeable partial record per open window instead of a finished
+	// aggregate tuple. Only valid for tuple windows whose aggregate is
+	// fed directly by the input chain without a preceding filter (window
+	// boundaries are ordinals in the aggregate's input sequence, which a
+	// shard can only know when nothing upstream discards tuples).
+	StagePartial StageMode = "partial"
+	// StageRelay: the part runs its (pre-aggregate) box chain and relays
+	// every surviving row, wrapped in a record that carries the row's
+	// global sequence position, plus per-batch watermarks; a central
+	// merge stage reorders the rows by global position and runs the real
+	// aggregate over them.
+	StageRelay StageMode = "relay"
+)
+
+// StageSpec marks a query graph as one shard's part of a cross-shard
+// plan: instead of finished output tuples the pipeline emits stage
+// records (partial aggregates or relayed rows, plus watermarks) for a
+// runtime-side merge stage to re-aggregate. The record layout is
+// derived from the graph (see PartialRecordSchema / RelayRecordSchema),
+// so the spec itself carries only the mode and serializes trivially.
+type StageSpec struct {
+	Mode StageMode `json:"mode"`
+}
+
+// Clone copies the spec.
+func (s *StageSpec) Clone() *StageSpec {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	return &c
+}
+
 // QueryGraph is a continuous query over one input stream: an ordered
 // chain of boxes applied to every arriving tuple (the paper's graphs are
 // linear chains filter→map→aggregate; the type supports any chain).
@@ -157,6 +197,10 @@ type QueryGraph struct {
 	Input string
 	// Boxes are applied in order.
 	Boxes []*Box
+	// Stage, when set, turns this graph into one shard's part of a
+	// cross-shard plan: the pipeline emits stage records (partials or
+	// relayed rows plus watermarks) instead of finished output tuples.
+	Stage *StageSpec
 }
 
 // NewQueryGraph builds a graph over the named input stream.
@@ -169,7 +213,7 @@ func (g *QueryGraph) Clone() *QueryGraph {
 	if g == nil {
 		return nil
 	}
-	c := &QueryGraph{Input: g.Input, Boxes: make([]*Box, len(g.Boxes))}
+	c := &QueryGraph{Input: g.Input, Boxes: make([]*Box, len(g.Boxes)), Stage: g.Stage.Clone()}
 	for i, b := range g.Boxes {
 		c.Boxes[i] = b.Clone()
 	}
@@ -177,20 +221,62 @@ func (g *QueryGraph) Clone() *QueryGraph {
 }
 
 // Validate type-checks the whole chain against the input schema and
-// returns the final output schema.
+// returns the final output schema. For a staged graph that is the stage
+// record schema — what the part actually emits — not the logical
+// aggregate schema the cross-shard plan produces after merging.
 func (g *QueryGraph) Validate(in *stream.Schema) (*stream.Schema, error) {
 	if g.Input == "" {
 		return nil, fmt.Errorf("dsms: query graph has no input stream")
 	}
 	cur := in
+	var aggIn *stream.Schema
 	for i, b := range g.Boxes {
+		if b.Kind == BoxAggregate {
+			aggIn = cur
+		}
 		out, err := b.OutputSchema(cur)
 		if err != nil {
 			return nil, fmt.Errorf("dsms: box %d (%s): %w", i, b.Kind, err)
 		}
 		cur = out
 	}
+	if g.Stage != nil {
+		return g.stageSchema(cur, aggIn)
+	}
 	return cur, nil
+}
+
+// stageSchema computes the record schema a staged part emits, checking
+// the stage mode against the graph shape. cur is the chain's final
+// schema, aggIn the input schema of the aggregate box (nil when the
+// graph has none).
+func (g *QueryGraph) stageSchema(cur, aggIn *stream.Schema) (*stream.Schema, error) {
+	switch g.Stage.Mode {
+	case StagePartial:
+		n := len(g.Boxes)
+		if n == 0 || g.Boxes[n-1].Kind != BoxAggregate {
+			return nil, fmt.Errorf("dsms: partial stage requires a terminal aggregate box")
+		}
+		agg := g.Boxes[n-1]
+		if agg.Window.Type != WindowTuple {
+			return nil, fmt.Errorf("dsms: partial stage requires a tuple window (got %s)", agg.Window.Type)
+		}
+		for _, b := range g.Boxes[:n-1] {
+			if b.Kind == BoxFilter {
+				return nil, fmt.Errorf("dsms: partial stage cannot follow a filter (window ordinals are post-filter); use the relay stage")
+			}
+		}
+		return PartialRecordSchema(agg.Aggs, aggIn)
+	case StageRelay:
+		for _, b := range g.Boxes {
+			if b.Kind == BoxAggregate {
+				return nil, fmt.Errorf("dsms: relay stage graph must not contain an aggregate box (the merge stage runs it)")
+			}
+		}
+		return RelayRecordSchema(cur)
+	default:
+		return nil, fmt.Errorf("dsms: unknown stage mode %q", g.Stage.Mode)
+	}
 }
 
 // Filter returns the first filter box, or nil.

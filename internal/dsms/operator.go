@@ -105,6 +105,13 @@ type pipeline struct {
 	sel      []int32        // reused selection vector
 	colHdrs  []stream.Tuple // reused materialized output headers
 	colArena []stream.Value // reused value arena for unretained outputs
+
+	// stage, when set, runs after the operator chain on every batch
+	// (including batches the chain filtered to nothing) and replaces the
+	// chain's output with stage records. It receives the batch's
+	// pre-chain sequence frontier, so the shard's position watermark
+	// advances even when a filter drops the frontier tuple.
+	stage stageOp
 }
 
 // colStep is one step of the columnar program: either a compiled
@@ -118,20 +125,51 @@ type colStep struct {
 	aggCols []int
 }
 
-// buildPipeline instantiates the whole chain for a graph.
+// buildPipeline instantiates the whole chain for a graph. For a staged
+// graph the chain runs in stage form: a partial stage peels off the
+// terminal aggregate box and runs it as a partial-aggregate stage
+// operator, a relay stage appends a row-relay stage operator, and the
+// pipeline's output schema becomes the stage record schema.
 func buildPipeline(g *QueryGraph, in *stream.Schema) (*pipeline, *stream.Schema, error) {
+	boxes := g.Boxes
+	var partialBox *Box
+	if g.Stage != nil && g.Stage.Mode == StagePartial {
+		n := len(boxes)
+		if n == 0 || boxes[n-1].Kind != BoxAggregate {
+			return nil, nil, fmt.Errorf("dsms: partial stage requires a terminal aggregate box")
+		}
+		partialBox = boxes[n-1]
+		boxes = boxes[:n-1]
+	}
 	p := &pipeline{
-		ops:     make([]operator, 0, len(g.Boxes)),
-		escapes: make([]bool, len(g.Boxes)),
+		ops:     make([]operator, 0, len(boxes)),
+		escapes: make([]bool, len(boxes)),
 	}
 	cur := in
-	for _, b := range g.Boxes {
+	for _, b := range boxes {
 		op, err := newOperator(b, cur)
 		if err != nil {
 			return nil, nil, err
 		}
 		p.ops = append(p.ops, op)
 		cur = op.outSchema()
+	}
+	if g.Stage != nil {
+		var st stageOp
+		var err error
+		switch g.Stage.Mode {
+		case StagePartial:
+			st, err = newPartialAggOp(partialBox, cur)
+		case StageRelay:
+			st, err = newRelayOp(cur)
+		default:
+			err = fmt.Errorf("dsms: unknown stage mode %q", g.Stage.Mode)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		p.stage = st
+		cur = st.outSchema()
 	}
 	hasAgg := false
 	p.isAgg = make([]bool, len(p.ops))
@@ -215,7 +253,29 @@ func (p *pipeline) buildColProgram(in *stream.Schema) error {
 // pipeline's reused buffers. The returned slice is valid until the
 // next call; callers that keep tuples longer must pass retain (value
 // storage is then not recycled) and copy the slice header themselves.
+// Staged pipelines return stage records instead (freshly allocated —
+// they always escape to the merge stage), and run the stage even when
+// the chain output is empty, so watermarks advance past filtered-out
+// batches.
 func (p *pipeline) processBatch(batch []stream.Tuple, retain bool) ([]stream.Tuple, error) {
+	if p.stage == nil {
+		return p.processRows(batch, retain)
+	}
+	var hiG uint64
+	for i := range batch {
+		if batch[i].Seq > hiG {
+			hiG = batch[i].Seq
+		}
+	}
+	rows, err := p.processRows(batch, false)
+	if err != nil {
+		return nil, err
+	}
+	return p.stage.process(rows, hiG)
+}
+
+// processRows is the plain row chain (stage excluded).
+func (p *pipeline) processRows(batch []stream.Tuple, retain bool) ([]stream.Tuple, error) {
 	cur := batch
 	if p.copyIn {
 		p.buf = append(p.buf[:0], batch...)
@@ -256,8 +316,28 @@ func (p *pipeline) runOps(from int, cur []stream.Tuple, retain bool) ([]stream.T
 // materialization, for the engine's output accounting. Returned rows
 // follow the processBatch validity contract; when needRows is set,
 // value storage is freshly allocated (subscribers retain pushed
-// tuples beyond the batch).
+// tuples beyond the batch). Staged pipelines always materialize (the
+// stage consumes rows) and return stage records.
 func (p *pipeline) processCols(cb *stream.ColBatch, needRows bool) ([]stream.Tuple, int, error) {
+	if p.stage == nil {
+		return p.processColsCore(cb, needRows)
+	}
+	var hiG uint64
+	for _, s := range cb.Seq {
+		if s > hiG {
+			hiG = s
+		}
+	}
+	rows, _, err := p.processColsCore(cb, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	out, err := p.stage.process(rows, hiG)
+	return out, len(out), err
+}
+
+// processColsCore is the stage-free columnar program.
+func (p *pipeline) processColsCore(cb *stream.ColBatch, needRows bool) ([]stream.Tuple, int, error) {
 	if !p.colOK {
 		outs, err := p.processColsFallback(cb, needRows)
 		return outs, len(outs), err
@@ -341,7 +421,7 @@ func (p *pipeline) processColsFallback(cb *stream.ColBatch, retain bool) ([]stre
 	if !retain {
 		p.colArena = arena
 	}
-	return p.processBatch(hdrs, retain)
+	return p.processRows(hdrs, retain)
 }
 
 // filterOp drops tuples that do not satisfy the condition, compacting

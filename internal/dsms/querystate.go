@@ -47,6 +47,11 @@ type QueryState struct {
 type OperatorState struct {
 	Index     int             `json:"index"`
 	Aggregate *AggregateState `json:"aggregate,omitempty"`
+	// Stage carries a staged pipeline's stage-operator state (open
+	// window partials, record numbering, watermark frontier). The stage
+	// runs after the operator chain, so its entry uses Index ==
+	// len(chain) — one past the last box operator.
+	Stage *StageState `json:"stage,omitempty"`
 }
 
 // AggregateState serializes an aggregateOp: the window ring in logical
@@ -197,9 +202,21 @@ func (q *deployedQuery) applySnap(s *stateSnap) stateSnapResult {
 				st.Ops = append(st.Ops, OperatorState{Index: i, Aggregate: agg.exportState()})
 			}
 		}
+		if q.pipe.stage != nil {
+			st.Ops = append(st.Ops, OperatorState{Index: len(q.pipe.ops), Stage: q.pipe.stage.exportState()})
+		}
 		return stateSnapResult{state: st}
 	}
 	for _, os := range s.install.Ops {
+		if os.Index == len(q.pipe.ops) && q.pipe.stage != nil {
+			if os.Stage == nil {
+				return stateSnapResult{err: fmt.Errorf("dsms: operator %d is the stage, state carries none", os.Index)}
+			}
+			if err := q.pipe.stage.importState(os.Stage); err != nil {
+				return stateSnapResult{err: err}
+			}
+			continue
+		}
 		if os.Index < 0 || os.Index >= len(q.pipe.ops) {
 			return stateSnapResult{err: fmt.Errorf("dsms: state names operator %d, chain has %d", os.Index, len(q.pipe.ops))}
 		}

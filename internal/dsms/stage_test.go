@@ -1,0 +1,398 @@
+package dsms
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func stageSchema() *stream.Schema {
+	return stream.MustSchema(
+		stream.Field{Name: "key", Type: stream.TypeString},
+		stream.Field{Name: "i", Type: stream.TypeInt},
+		stream.Field{Name: "d", Type: stream.TypeDouble},
+		stream.Field{Name: "s", Type: stream.TypeString},
+	)
+}
+
+// stageRows builds a position-stamped global row sequence (Seq = 1..n).
+// With intDoubles, the double column holds integer values so float sums
+// are exact under any association.
+func stageRows(rng *rand.Rand, n int, intDoubles bool) []stream.Tuple {
+	rows := make([]stream.Tuple, n)
+	for i := range rows {
+		d := float64(rng.Intn(2001) - 1000)
+		if !intDoubles {
+			d = float64(rng.Intn(2001)-1000) / 10 // one decimal: inexact in binary
+		}
+		rows[i] = stream.NewTuple(
+			stream.StringValue(fmt.Sprintf("k%d", rng.Intn(7))),
+			stream.IntValue(int64(rng.Intn(201)-100)),
+			stream.DoubleValue(d),
+			stream.StringValue(fmt.Sprintf("s%03d", rng.Intn(300))),
+		)
+		rows[i].Seq = uint64(i + 1)
+		rows[i].ArrivalMillis = int64(1000 + i*3)
+	}
+	return rows
+}
+
+// runPartialPartition feeds one partition's rows (a position-ordered
+// subsequence of the global sequence) through a partialAggOp in
+// rng-drawn batches and returns the most advanced snapshot per window,
+// exactly as the runtime merge stage retains them.
+func runPartialPartition(t *testing.T, agg *Box, rows []stream.Tuple, rng *rand.Rand) map[int64]*WindowPartial {
+	t.Helper()
+	op, err := newPartialAggOp(agg, stageSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := make(map[int64]*WindowPartial)
+	for off := 0; off < len(rows); {
+		n := 1 + rng.Intn(8)
+		if off+n > len(rows) {
+			n = len(rows) - off
+		}
+		batch := rows[off : off+n]
+		recs, err := op.process(batch, batch[len(batch)-1].Seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			part, _, isWM, err := op.cod.Decode(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if isWM {
+				continue
+			}
+			if prev := wins[part.Win]; prev == nil || part.Count > prev.Count {
+				wins[part.Win] = part
+			}
+		}
+		off += n
+	}
+	return wins
+}
+
+// splitRows deals the global sequence into nparts position-ordered
+// partition subsequences.
+func splitRows(rng *rand.Rand, rows []stream.Tuple, nparts int) [][]stream.Tuple {
+	parts := make([][]stream.Tuple, nparts)
+	for _, r := range rows {
+		p := rng.Intn(nparts)
+		parts[p] = append(parts[p], r)
+	}
+	return parts
+}
+
+func sameEmission(a, b stream.Tuple) bool {
+	return a.Equal(b) && a.Seq == b.Seq && a.ArrivalMillis == b.ArrivalMillis
+}
+
+// TestPartialMergePermutationInvariance: for count, integer-valued
+// sums/avgs, min, max, first and last, the merged global window is
+// independent of the order partials are merged in — ties and
+// provenance resolve by global position, not argument order.
+func TestPartialMergePermutationInvariance(t *testing.T) {
+	agg := NewAggregateBox(WindowSpec{Type: WindowTuple, Size: 9, Step: 4},
+		AggSpec{Attr: "i", Func: AggCount},
+		AggSpec{Attr: "i", Func: AggSum},
+		AggSpec{Attr: "d", Func: AggSum},
+		AggSpec{Attr: "d", Func: AggAvg},
+		AggSpec{Attr: "i", Func: AggMin},
+		AggSpec{Attr: "d", Func: AggMax},
+		AggSpec{Attr: "s", Func: AggMin},
+		AggSpec{Attr: "s", Func: AggFirstVal},
+		AggSpec{Attr: "d", Func: AggLastVal})
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nparts := 2 + rng.Intn(3)
+		rows := stageRows(rng, 150, true)
+		byPart := splitRows(rng, rows, nparts)
+		wins := make([]map[int64]*WindowPartial, nparts)
+		for p := range byPart {
+			wins[p] = runPartialPartition(t, agg, byPart[p], rng)
+		}
+		cod, err := NewPartialCodec(agg.Aggs, stageSchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := int64(0); k*agg.Window.Step+agg.Window.Size <= int64(len(rows)); k++ {
+			parts := make([]*WindowPartial, nparts)
+			for p := range wins {
+				parts[p] = wins[p][k]
+			}
+			base, err := cod.Merge(parts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base == nil {
+				t.Fatalf("seed %d window %d: no partition contributed", seed, k)
+			}
+			want, err := cod.Finish(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 5; trial++ {
+				perm := rng.Perm(nparts)
+				shuffled := make([]*WindowPartial, nparts)
+				for i, p := range perm {
+					shuffled[i] = parts[p]
+				}
+				m, err := cod.Merge(shuffled)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := cod.Finish(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameEmission(got, want) {
+					t.Fatalf("seed %d window %d perm %v: %v != %v", seed, k, perm, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPartialMergeFloatSumOrder pins the float-sum contract: Merge adds
+// per-partition sums left to right in argument order, so merging in
+// partition order is deterministic and reproducible — while a permuted
+// order is allowed to differ in the last bits (which is exactly why the
+// runtime merge stage always merges in partition order).
+func TestPartialMergeFloatSumOrder(t *testing.T) {
+	agg := NewAggregateBox(WindowSpec{Type: WindowTuple, Size: 30, Step: 30},
+		AggSpec{Attr: "d", Func: AggSum})
+	rng := rand.New(rand.NewSource(99))
+	rows := stageRows(rng, 30, false)
+	byPart := splitRows(rng, rows, 3)
+	parts := make([]*WindowPartial, 3)
+	for p := range byPart {
+		parts[p] = runPartialPartition(t, agg, byPart[p], rng)[0]
+		if parts[p] == nil {
+			t.Fatalf("partition %d holds no rows for window 0; reseed", p)
+		}
+	}
+	cod, err := NewPartialCodec(agg.Aggs, stageSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := cod.Merge(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := cod.Merge(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSum := parts[0].Sums[0] + parts[1].Sums[0]
+	wantSum += parts[2].Sums[0]
+	if m1.Sums[0] != wantSum || m2.Sums[0] != wantSum {
+		t.Fatalf("partition-order merge not left-to-right: got %x and %x, want %x",
+			m1.Sums[0], m2.Sums[0], wantSum)
+	}
+	t1, err := cod.Finish(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := cod.Finish(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameEmission(t1, t2) {
+		t.Fatalf("partition-order merge is not reproducible: %v != %v", t1, t2)
+	}
+}
+
+// TestPartialMergeDegenerateCases: an all-nil merge is an
+// unmaterialized window (nil, no error, no emission), nil entries are
+// skipped, and a single contributing partition round-trips through
+// Merge bit-identically — the single-shard degenerate of global
+// re-aggregation.
+func TestPartialMergeDegenerateCases(t *testing.T) {
+	agg := NewAggregateBox(WindowSpec{Type: WindowTuple, Size: 6, Step: 3},
+		AggSpec{Attr: "i", Func: AggSum},
+		AggSpec{Attr: "d", Func: AggAvg},
+		AggSpec{Attr: "s", Func: AggMax},
+		AggSpec{Attr: "key", Func: AggLastVal})
+	cod, err := NewPartialCodec(agg.Aggs, stageSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err := cod.Merge(nil); err != nil || m != nil {
+		t.Fatalf("Merge(nil) = %v, %v; want nil, nil", m, err)
+	}
+	if m, err := cod.Merge([]*WindowPartial{nil, nil, nil}); err != nil || m != nil {
+		t.Fatalf("Merge(all nil) = %v, %v; want nil, nil", m, err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	rows := stageRows(rng, 40, true)
+	wins := runPartialPartition(t, agg, rows, rng)
+	for k := int64(0); k*3+6 <= 40; k++ {
+		p := wins[k]
+		if p == nil {
+			t.Fatalf("window %d missing", k)
+		}
+		want, err := cod.Finish(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := cod.Merge([]*WindowPartial{nil, p, nil})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cod.Finish(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameEmission(got, want) {
+			t.Fatalf("window %d: single-partition merge altered the result: %v != %v", k, got, want)
+		}
+	}
+}
+
+// TestPartialSingleShardMatchesDriver: one partition holding the whole
+// sequence must reproduce the real aggregate operator's emissions
+// (values, Seq, arrival) when its completed-window snapshots are
+// finished directly — the algebra's identity law against the engine's
+// own scan.
+func TestPartialSingleShardMatchesDriver(t *testing.T) {
+	agg := NewAggregateBox(WindowSpec{Type: WindowTuple, Size: 8, Step: 3},
+		AggSpec{Attr: "i", Func: AggCount},
+		AggSpec{Attr: "i", Func: AggSum},
+		AggSpec{Attr: "d", Func: AggAvg},
+		AggSpec{Attr: "i", Func: AggMin},
+		AggSpec{Attr: "d", Func: AggMax},
+		AggSpec{Attr: "s", Func: AggFirstVal},
+		AggSpec{Attr: "s", Func: AggLastVal})
+	rng := rand.New(rand.NewSource(11))
+	rows := stageRows(rng, 120, true)
+
+	drv, err := NewAggDriver(agg, stageSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := drv.Push(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wins := runPartialPartition(t, agg, rows, rng)
+	cod, err := NewPartialCodec(agg.Aggs, stageSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []stream.Tuple
+	for k := int64(0); k*agg.Window.Step+agg.Window.Size <= int64(len(rows)); k++ {
+		m, err := cod.Merge([]*WindowPartial{wins[k]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := cod.Finish(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, out)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("partial path emitted %d windows, driver %d", len(got), len(want))
+	}
+	for i := range want {
+		if !sameEmission(got[i], want[i]) {
+			t.Fatalf("window %d: partial %v != driver %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestStageStateRoundTrip pins the migration/failover contract for
+// stage operators: exporting mid-stream and importing into a fresh
+// operator must continue the record stream exactly where the original
+// would have.
+func TestStageStateRoundTrip(t *testing.T) {
+	agg := NewAggregateBox(WindowSpec{Type: WindowTuple, Size: 10, Step: 4},
+		AggSpec{Attr: "i", Func: AggSum},
+		AggSpec{Attr: "d", Func: AggMax},
+		AggSpec{Attr: "s", Func: AggFirstVal})
+	rng := rand.New(rand.NewSource(23))
+	rows := stageRows(rng, 100, true)
+
+	run := func(op stageOp, batches [][]stream.Tuple) []stream.Tuple {
+		var out []stream.Tuple
+		for _, b := range batches {
+			recs, err := op.process(b, b[len(b)-1].Seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, recs...)
+		}
+		return out
+	}
+	var batches [][]stream.Tuple
+	for off := 0; off < len(rows); off += 10 {
+		batches = append(batches, rows[off:off+10])
+	}
+
+	t.Run("partial", func(t *testing.T) {
+		ref, err := newPartialAggOp(agg, stageSchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := run(ref, batches)
+
+		a, err := newPartialAggOp(agg, stageSchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := run(a, batches[:5])
+		b, err := newPartialAggOp(agg, stageSchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.importState(a.exportState()); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, run(b, batches[5:])...)
+		if len(got) != len(want) {
+			t.Fatalf("round-trip emitted %d records, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if !sameEmission(got[i], want[i]) {
+				t.Fatalf("record %d: %v != %v", i, got[i], want[i])
+			}
+		}
+	})
+
+	t.Run("relay", func(t *testing.T) {
+		ref, err := newRelayOp(stageSchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := run(ref, batches)
+
+		a, err := newRelayOp(stageSchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := run(a, batches[:5])
+		b, err := newRelayOp(stageSchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.importState(a.exportState()); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, run(b, batches[5:])...)
+		if len(got) != len(want) {
+			t.Fatalf("round-trip emitted %d records, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if !sameEmission(got[i], want[i]) {
+				t.Fatalf("record %d: %v != %v", i, got[i], want[i])
+			}
+		}
+	})
+}

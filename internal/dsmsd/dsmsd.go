@@ -88,9 +88,14 @@ type SchemaResp struct {
 	Schema *stream.Schema `json:"schema"`
 }
 
-// DeployReq carries a StreamSQL script.
+// DeployReq carries a StreamSQL script. Stage, when set, deploys the
+// compiled query as one shard's part of a cross-shard re-aggregation
+// plan (see dsms.StageSpec): it is carried beside the script because
+// StreamSQL has no stage syntax — the server applies it to the
+// compiled graph before deploying.
 type DeployReq struct {
-	Script string `json:"script"`
+	Script string          `json:"script"`
+	Stage  *dsms.StageSpec `json:"stage,omitempty"`
 }
 
 // DeployResp returns the continuous query's id and handle, plus the
@@ -228,6 +233,11 @@ type MigrateReq struct {
 	Script  string           `json:"script,omitempty"`
 	Replace string           `json:"replace,omitempty"`
 	State   *dsms.QueryState `json:"state,omitempty"`
+	// Stage re-marks the deployed script as a staged part of a
+	// cross-shard plan, exactly as DeployReq.Stage does; a staged
+	// query's exported state carries its stage operator's windows, so
+	// import must deploy with the same stage or the state won't fit.
+	Stage *dsms.StageSpec `json:"stage,omitempty"`
 }
 
 // MigrateResp carries the exported state (export mode) or the new
@@ -405,6 +415,9 @@ func (s *Server) handleDeploy(m *protocol.Message, _ *protocol.Conn) (any, error
 		if !actual.Equal(c.Schema) {
 			return nil, fmt.Errorf("dsmsd: script schema for %q does not match registered stream", c.Input)
 		}
+	}
+	if req.Stage != nil {
+		c.Graph.Stage = req.Stage.Clone()
 	}
 	dep, err := s.Engine.Deploy(c.Graph)
 	if err != nil {
@@ -640,6 +653,9 @@ func (s *Server) handleMigrate(m *protocol.Message, _ *protocol.Conn) (any, erro
 			return nil, coded(err)
 		}
 	}
+	if req.Stage != nil {
+		c.Graph.Stage = req.Stage.Clone()
+	}
 	dep, err := s.Engine.Deploy(c.Graph)
 	if err != nil {
 		return nil, coded(err)
@@ -791,6 +807,15 @@ func (c *Client) DeployScriptSchema(script string) (DeployResp, error) {
 	return protocol.CallDecode[DeployResp](c.rpc, MsgDeploy, DeployReq{Script: script})
 }
 
+// DeployScriptStaged deploys a script as one shard's staged part of a
+// cross-shard re-aggregation plan: the server applies stage to the
+// compiled graph before deploying, so the query emits stage records
+// (partial aggregates or relayed rows plus watermarks) instead of
+// finished tuples. A nil stage behaves exactly like DeployScriptSchema.
+func (c *Client) DeployScriptStaged(script string, stage *dsms.StageSpec) (DeployResp, error) {
+	return protocol.CallDecode[DeployResp](c.rpc, MsgDeploy, DeployReq{Script: script, Stage: stage})
+}
+
 // Withdraw implements xacmlplus.StreamEngine.
 func (c *Client) Withdraw(idOrHandle string) error {
 	_, err := c.rpc.Call(MsgWithdraw, WithdrawReq{IDOrHandle: idOrHandle})
@@ -885,10 +910,12 @@ func (c *Client) MigrateExport(idOrHandle string) (*dsms.QueryState, error) {
 
 // MigrateImport deploys script on the remote engine and installs a
 // previously exported state into the fresh query, optionally
-// withdrawing replaceID (a standby part being promoted) first.
-func (c *Client) MigrateImport(script, replaceID string, st *dsms.QueryState) (DeployResp, error) {
+// withdrawing replaceID (a standby part being promoted) first. stage,
+// when non-nil, re-marks the deployed query as a staged part (it must
+// match the stage the state was exported under).
+func (c *Client) MigrateImport(script, replaceID string, st *dsms.QueryState, stage *dsms.StageSpec) (DeployResp, error) {
 	resp, err := protocol.CallDecode[MigrateResp](c.rpc, MsgMigrate,
-		MigrateReq{Script: script, Replace: replaceID, State: st})
+		MigrateReq{Script: script, Replace: replaceID, State: st, Stage: stage})
 	if err != nil {
 		return DeployResp{}, err
 	}

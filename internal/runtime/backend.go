@@ -41,9 +41,17 @@ type BackendSubscription interface {
 // StreamSQL source (what crosses the wire to a remote backend). The
 // runtime's script path fills both; the graph-only path leaves Script
 // empty, which remote backends reject.
+//
+// Stage, when set, deploys the query as one shard's part of a
+// cross-shard re-aggregation plan: the pipeline emits stage records
+// (partial aggregates or relayed rows, plus watermarks) for the
+// runtime's merge stage instead of finished output tuples. It is
+// carried outside the script because StreamSQL has no stage syntax —
+// backends apply it to the (compiled) graph before deploying.
 type DeployRequest struct {
 	Graph  *dsms.QueryGraph
 	Script string
+	Stage  *dsms.StageSpec
 }
 
 // ShardBackend is the engine surface one shard slot of the runtime
@@ -189,6 +197,13 @@ func (b *LocalBackend) Deploy(req DeployRequest) (BackendDeployment, error) {
 			return BackendDeployment{}, err
 		}
 		g = c.Graph
+	}
+	if req.Stage != nil && g.Stage == nil {
+		// Clone before marking: the runtime reuses one request across
+		// shard deploys, and mutating the shared graph would leak the
+		// stage into parts that must not have it.
+		g = g.Clone()
+		g.Stage = req.Stage.Clone()
 	}
 	d, err := b.eng.Deploy(g)
 	if err != nil {

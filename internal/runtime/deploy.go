@@ -49,6 +49,32 @@ type depState struct {
 	mu      sync.Mutex
 	standby map[int]BackendDeployment
 	subs    map[*Subscription]struct{}
+	staged  *stagedDep
+}
+
+// stagedDep is the runtime state of a two-stage global aggregate over a
+// partitioned stream: one staged query part per partition (plus warm
+// standby parts on a replicated stream's followers) feeding a merge
+// stage that re-aggregates the per-partition records into the global
+// answer. parts is guarded by depState.mu.
+type stagedDep struct {
+	mode  dsms.StageMode
+	ms    *mergeStage
+	parts []stagedPart
+}
+
+// stagedPart is one partition-stage deployment. primary marks the part
+// whose records currently drive the partition (standbys stay deployed
+// and warm but their record streams are redundant — the merge stage
+// dedups by content); attached marks whether its record stream is wired
+// into the merge stage.
+type stagedPart struct {
+	partition int
+	shard     int
+	req       DeployRequest
+	dep       BackendDeployment
+	primary   bool
+	attached  bool
 }
 
 func (ds *depState) addSub(s *Subscription) {
@@ -105,6 +131,23 @@ func (rt *Runtime) deploy(input string, req DeployRequest) (Deployment, error) {
 	r, err := rt.routeFor(input)
 	if err != nil {
 		return Deployment{}, err
+	}
+	if r.internal {
+		return Deployment{}, fmt.Errorf("runtime: stream %q is an internal partition sub-route; deploy against its parent stream", input)
+	}
+	// A windowed aggregate over a partitioned stream deploys in two
+	// stages: per-partition stage queries plus a runtime merge stage
+	// that re-aggregates their records into one global answer.
+	// Non-aggregate queries keep the plain per-shard deployment (their
+	// merged subscription needs no cross-partition alignment).
+	if r.keyIdx >= 0 && req.Graph != nil && req.Graph.Stage == nil {
+		mode, staged, perr := dsms.PlanStage(req.Graph)
+		if perr != nil {
+			return Deployment{}, perr
+		}
+		if staged {
+			return rt.deployStaged(r, req, mode)
+		}
 	}
 	rt.mu.Lock()
 	if rt.closed {
@@ -198,6 +241,151 @@ func (rt *Runtime) deploy(input string, req DeployRequest) (Deployment, error) {
 	return dep, nil
 }
 
+// deployStaged runs a windowed aggregate over a partitioned stream as
+// a two-stage plan: each partition gets a stage query (the graph with
+// its terminal aggregate folded to window partials, or — when the
+// aggregate cannot be split, e.g. time windows or a preceding filter —
+// a relay of the surviving rows), and a runtime-side merge stage
+// re-aggregates the per-partition record streams into the one global
+// emission sequence a single-shard deployment would produce. On a
+// replicated stream each partition's stage also deploys warm standby
+// parts on the healthy followers, attached to the merge up front:
+// their records are bit-identical to the primary's and dedup by
+// content, so a failover needs no re-subscription and loses nothing.
+func (rt *Runtime) deployStaged(r *route, req DeployRequest, mode dsms.StageMode) (Deployment, error) {
+	g := req.Graph
+	outSchema, err := g.Validate(r.schema)
+	if err != nil {
+		return Deployment{}, err
+	}
+	agg := g.Boxes[len(g.Boxes)-1]
+	aggIn := r.schema
+	for _, b := range g.Boxes[:len(g.Boxes)-1] {
+		if aggIn, err = b.OutputSchema(aggIn); err != nil {
+			return Deployment{}, err
+		}
+	}
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return Deployment{}, errClosed
+	}
+	rt.nextDep++
+	id := fmt.Sprintf("rq%05d", rt.nextDep)
+	rt.mu.Unlock()
+
+	ms, err := newMergeStage(rt, r, mode, agg, aggIn)
+	if err != nil {
+		return Deployment{}, err
+	}
+	spec := &dsms.StageSpec{Mode: mode}
+	var parts []stagedPart
+	undo := func() {
+		ms.close()
+		for _, sp := range parts {
+			if rt.shards[sp.shard].failedErr() == nil {
+				_ = rt.shards[sp.shard].be.Withdraw(sp.dep.ID)
+			}
+		}
+	}
+	for p := range rt.shards {
+		pg := g.Clone()
+		if mode == dsms.StageRelay {
+			pg.Boxes = pg.Boxes[:len(pg.Boxes)-1]
+		}
+		pg.Stage = spec.Clone()
+		if r.subs != nil {
+			pg.Input = r.subs[p].name
+		}
+		// The script form crosses the wire to remote shards; the stage
+		// spec rides beside it (StreamSQL has no stage syntax).
+		script, serr := streamql.GenerateString(pg, r.schema)
+		if serr != nil {
+			script = ""
+		}
+		partReq := DeployRequest{Graph: pg, Script: script, Stage: spec}
+		primary := p
+		var followers []int
+		if r.subs != nil {
+			sub := r.subs[p]
+			primary = sub.primaryShard()
+			for _, fi := range sub.replicas {
+				if fi != primary {
+					followers = append(followers, fi)
+				}
+			}
+		}
+		if ferr := rt.shards[primary].failedErr(); ferr != nil {
+			if r.subs != nil || rt.opts.Failover != FailoverReroute {
+				undo()
+				return Deployment{}, fmt.Errorf("runtime: partition %d: shard %d down: %w", p, primary, ferr)
+			}
+			// Reroute without replication: partition p's tuples already
+			// flow to a survivor's stream and surface in its records, so
+			// there is nothing to deploy (or align) here.
+			continue
+		}
+		d, derr := rt.shards[primary].be.Deploy(partReq)
+		if derr != nil {
+			undo()
+			return Deployment{}, fmt.Errorf("runtime: partition %d (shard %d): %w", p, primary, derr)
+		}
+		parts = append(parts, stagedPart{partition: p, shard: primary, req: partReq, dep: d, primary: true})
+		for _, fi := range followers {
+			if rt.shards[fi].failedErr() != nil {
+				continue
+			}
+			if sd, serr := rt.shards[fi].be.Deploy(partReq); serr == nil {
+				parts = append(parts, stagedPart{partition: p, shard: fi, req: partReq, dep: sd})
+			}
+		}
+	}
+	for i := range parts {
+		sp := &parts[i]
+		bs, serr := rt.shards[sp.shard].be.Subscribe(sp.dep.ID)
+		if serr != nil {
+			if sp.primary {
+				undo()
+				return Deployment{}, fmt.Errorf("runtime: subscribe partition %d (shard %d): %w", sp.partition, sp.shard, serr)
+			}
+			continue
+		}
+		ms.attachSource(sp.partition, bs)
+		sp.attached = true
+	}
+	dep := Deployment{
+		ID:           id,
+		Handle:       fmt.Sprintf("xrt://%s/streams/%s", rt.name, id),
+		Input:        r.name,
+		OutputSchema: outSchema,
+	}
+	for i := range parts {
+		if parts[i].primary {
+			dep.Parts = append(dep.Parts, parts[i].dep)
+			dep.shards = append(dep.shards, parts[i].shard)
+		}
+	}
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		undo()
+		return Deployment{}, errClosed
+	}
+	if cur, ok := rt.routes[strings.ToLower(r.name)]; !ok || cur != r {
+		rt.mu.Unlock()
+		undo()
+		return Deployment{}, fmt.Errorf("runtime: stream %q dropped during deploy", r.name)
+	}
+	rt.deps[id] = &dep
+	rt.deps[dep.Handle] = &dep
+	rt.mu.Unlock()
+	ds := &depState{req: req, input: r.name, staged: &stagedDep{mode: mode, ms: ms, parts: parts}}
+	rt.depMu.Lock()
+	rt.depSt[id] = ds
+	rt.depMu.Unlock()
+	return dep, nil
+}
+
 // DeployScript compiles a StreamSQL script and deploys it, implementing
 // the PEP-facing engine surface. When the script embeds its input
 // declaration, the declared schema is verified against the registered
@@ -233,13 +421,20 @@ func (rt *Runtime) lookupDep(idOrHandle string) (*Deployment, bool) {
 	return d, ok
 }
 
-// Query returns the deployment for a runtime id or handle.
+// Query returns the deployment for a runtime id or handle. The copy
+// is taken under rt.mu: failover promotion rewrites Parts/shards in
+// place, so an unlocked dereference would race with it.
 func (rt *Runtime) Query(idOrHandle string) (Deployment, bool) {
-	d, ok := rt.lookupDep(idOrHandle)
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	d, ok := rt.deps[idOrHandle]
 	if !ok {
 		return Deployment{}, false
 	}
-	return *d, true
+	cp := *d
+	cp.Parts = append([]BackendDeployment(nil), d.Parts...)
+	cp.shards = append([]int(nil), d.shards...)
+	return cp, true
 }
 
 // Withdraw stops a deployed query by runtime id or handle. Handles
@@ -265,6 +460,25 @@ func (rt *Runtime) Withdraw(idOrHandle string) error {
 	ds := rt.depSt[d.ID]
 	delete(rt.depSt, d.ID)
 	rt.depMu.Unlock()
+	if ds != nil && ds.staged != nil {
+		// Staged global aggregate: stop the merge stage (ends every
+		// subscriber), then withdraw all partition parts — primaries and
+		// warm standbys alike.
+		ds.staged.ms.close()
+		ds.mu.Lock()
+		parts := append([]stagedPart(nil), ds.staged.parts...)
+		ds.mu.Unlock()
+		var werr error
+		for _, sp := range parts {
+			if rt.shards[sp.shard].failedErr() != nil {
+				continue
+			}
+			if e := rt.shards[sp.shard].be.Withdraw(sp.dep.ID); e != nil && werr == nil {
+				werr = e
+			}
+		}
+		return werr
+	}
 	if ds != nil {
 		ds.mu.Lock()
 		standby := make(map[int]BackendDeployment, len(ds.standby))
@@ -309,6 +523,18 @@ func (rt *Runtime) Withdraw(idOrHandle string) error {
 // the subscription restarting from an empty window. (The watermark
 // assumes an output's Seq strictly advances between emissions, which
 // holds whenever every emission covers at least one new input tuple.)
+//
+// That assumption does NOT hold for every output: a time-window
+// aggregate stamps each emission with the position of the window's
+// last tuple, and two consecutive windows can share that tuple,
+// repeating the Seq. Global aggregates over partitioned streams
+// therefore bypass the watermark entirely — their merge stage already
+// delivers one exactly-once sequence, and running it through Seq dedup
+// would silently swallow real emissions after a failover. Seq dedup is
+// applied only where strict advance is structural: replica merging of
+// a single-shard query's parts, which emit from one engine lineage.
+// TestSubscriptionWatermarkAssumption pins both halves of this
+// contract.
 type Subscription struct {
 	C <-chan stream.Tuple
 
@@ -444,6 +670,20 @@ func (rt *Runtime) Subscribe(idOrHandle string) (*Subscription, error) {
 	shards := d.shards
 	rt.mu.RUnlock()
 	ds := rt.depStateFor(d.ID)
+	if ds != nil && ds.staged != nil {
+		// Staged global aggregate: the merge stage already produced the
+		// single globally ordered, exactly-once emission sequence, so the
+		// subscription wraps one output channel directly — deliberately
+		// WITHOUT the Seq watermark (see the Subscription doc: a
+		// time-window aggregate's provenance Seq can repeat across
+		// consecutive emissions, and deduping on it would swallow real
+		// windows).
+		mo, err := ds.staged.ms.newOutput()
+		if err != nil {
+			return nil, err
+		}
+		return &Subscription{C: mo.Tuples(), parts: []BackendSubscription{mo}}, nil
+	}
 	if ds == nil || ds.standby == nil {
 		if len(parts) == 1 {
 			sub, err := rt.shards[shards[0]].be.Subscribe(parts[0].ID)
@@ -525,6 +765,14 @@ func (rt *Runtime) MigrateQuery(idOrHandle string, target int) error {
 		return fmt.Errorf("runtime: unknown query %q", idOrHandle)
 	}
 	ds := rt.depStateFor(d.ID)
+	if ds != nil && ds.staged != nil {
+		// A staged global aggregate has one part per partition (plus
+		// standbys) — "migrate the query" is ambiguous, and each part
+		// already fails over with its partition's replication. The
+		// dsms-level stage state is migrate-capable (QueryState carries
+		// it); only the multi-part orchestration is refused.
+		return fmt.Errorf("runtime: query %q is a staged global aggregate; its parts fail over with their partitions and cannot be migrated", d.ID)
+	}
 	if ds == nil || ds.standby == nil {
 		return fmt.Errorf("runtime: query %q is not on a replicated stream", d.ID)
 	}

@@ -65,6 +65,9 @@ func (rt *Runtime) promoteRouteLocked(r *route) {
 		}
 		r.failTo.Store(int32(fi))
 		rt.promoteDeps(r, fi)
+		if r.internal {
+			rt.promoteStagedParts(r, fi)
+		}
 		rt.count("exacml_failovers_total",
 			"Replicated-stream primary promotions after shard failure.")
 		return
@@ -121,6 +124,97 @@ func (rt *Runtime) promoteDeps(r *route, fi int) {
 	}
 }
 
+// promoteStagedParts reacts to a partition sub-route's promotion: for
+// every staged global-aggregate deployment on the parent stream, the
+// partition's part on the promoted shard fi becomes the primary part.
+// In the common case that part is a warm standby deployed and attached
+// at deploy time — its records already flow into the merge stage and
+// dedup by content, so the promotion is pure bookkeeping. A part that
+// exists but is not attached (a standby re-created by re-adoption: its
+// window state has a gap, so its records were deliberately kept out of
+// the merge) or that does not exist at all (the follower was down at
+// deploy time) is attached or redeployed now — the documented degraded
+// mode, mirroring the single-shard "redeploy fresh with an empty
+// window" path: windows already spanning the gap may go unmet until
+// the lateness bound, later windows are exact again.
+func (rt *Runtime) promoteStagedParts(sub *route, fi int) {
+	rt.mu.RLock()
+	deps := make(map[string]*Deployment)
+	for _, d := range rt.deps {
+		deps[d.ID] = d
+	}
+	rt.mu.RUnlock()
+	for _, d := range deps {
+		ds := rt.depStateFor(d.ID)
+		if ds == nil || ds.staged == nil {
+			continue
+		}
+		parent, err := rt.routeFor(ds.input)
+		if err != nil || parent.subs == nil {
+			continue
+		}
+		p := -1
+		for pi, s := range parent.subs {
+			if s == sub {
+				p = pi
+				break
+			}
+		}
+		if p < 0 {
+			continue
+		}
+		ds.mu.Lock()
+		var target *stagedPart
+		var req *DeployRequest
+		for idx := range ds.staged.parts {
+			spp := &ds.staged.parts[idx]
+			if spp.partition != p {
+				continue
+			}
+			req = &spp.req
+			if spp.shard == fi {
+				target = spp
+			}
+		}
+		if target == nil && req != nil {
+			if nd, derr := rt.shards[fi].be.Deploy(*req); derr == nil {
+				ds.staged.parts = append(ds.staged.parts, stagedPart{
+					partition: p, shard: fi, req: *req, dep: nd,
+				})
+				target = &ds.staged.parts[len(ds.staged.parts)-1]
+			}
+		}
+		if target == nil {
+			ds.mu.Unlock()
+			continue
+		}
+		if !target.attached {
+			if bs, serr := rt.shards[fi].be.Subscribe(target.dep.ID); serr == nil {
+				ds.staged.ms.attachSource(p, bs)
+				target.attached = true
+			}
+		}
+		for idx := range ds.staged.parts {
+			spp := &ds.staged.parts[idx]
+			if spp.partition == p {
+				spp.primary = spp.shard == fi
+			}
+		}
+		part, shard := target.dep, target.shard
+		ds.mu.Unlock()
+		rt.mu.Lock()
+		// A replicated staged deploy places one primary part per
+		// partition in partition order, so Parts[p] is this partition's.
+		if p < len(d.Parts) && p < len(d.shards) {
+			parts := append([]BackendDeployment(nil), d.Parts...)
+			shards := append([]int(nil), d.shards...)
+			parts[p], shards[p] = part, shard
+			d.Parts, d.shards = parts, shards
+		}
+		rt.mu.Unlock()
+	}
+}
+
 // adopted reports whether a CreateStream error means the stream is
 // already there: an in-process engine's ErrStreamExists, or the
 // structured already_exists code a dsmsd attaches. (RemoteBackend
@@ -155,6 +249,12 @@ func (rt *Runtime) readoptShard(i int) error {
 	// streams live everywhere; single-shard streams if it is the owner,
 	// a replica, or a lazily-created failover target).
 	for _, r := range routes {
+		if r.subs != nil {
+			// A replicated partitioned parent has no engine stream of its
+			// own; its per-partition sub-routes are in the route list and
+			// re-adopt individually.
+			continue
+		}
 		hosted := r.keyIdx >= 0 || r.shard == i || r.hasReplica(i)
 		if !hosted {
 			r.fmu.Lock()
@@ -186,6 +286,12 @@ func (rt *Runtime) readoptShard(i int) error {
 		rt.mu.RLock()
 		shards := d.shards
 		rt.mu.RUnlock()
+		if ds.staged != nil {
+			if err := rt.readoptStagedParts(i, d, ds); err != nil {
+				return err
+			}
+			continue
+		}
 		if ds.standby != nil {
 			if len(shards) == 1 && shards[0] == i {
 				// The shard being re-adopted still carries the primary
@@ -277,5 +383,94 @@ func (rt *Runtime) readoptShard(i int) error {
 	rt.shards[i].unfail()
 	rt.count("exacml_shard_readoptions_total",
 		"Restarted shard backends re-adopted into the topology.")
+	return nil
+}
+
+// readoptStagedParts rebuilds a staged global-aggregate deployment's
+// parts lost with shard i. A part whose partition shard i still
+// primaries (replication off, or a replicated partition that never
+// promoted away) is redeployed and its record stream re-attached — the
+// documented degraded restart: its windows begin empty, so windows
+// spanning the outage can go unmet until the merge stage's lateness
+// bound, and later windows are exact again. A part that is now a
+// follower's standby is redeployed warm but left DETACHED: replication
+// warms its window going forward, but its state gap means records it
+// would emit for gap-spanning windows are wrong, and the merge stage's
+// first-record-wins dedup could pick them over the primary's. Only a
+// promotion attaches it (accepting the gap as that path's degraded
+// mode). Missing follower standbys are also re-created here.
+func (rt *Runtime) readoptStagedParts(i int, d *Deployment, ds *depState) error {
+	be := rt.shards[i].be
+	parent, err := rt.routeFor(ds.input)
+	if err != nil {
+		return nil // stream dropped under us; Withdraw cleans up
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	for idx := range ds.staged.parts {
+		sp := &ds.staged.parts[idx]
+		if sp.shard != i {
+			continue
+		}
+		primaryNow := true
+		if parent.subs != nil {
+			primaryNow = parent.subs[sp.partition].primaryShard() == i
+		}
+		old := sp.dep
+		nd, derr := be.Deploy(sp.req)
+		if derr != nil {
+			return fmt.Errorf("runtime: readopt shard %d: query %s partition %d: %w", i, d.ID, sp.partition, derr)
+		}
+		sp.dep = nd
+		sp.primary = primaryNow
+		sp.attached = false
+		if !primaryNow {
+			continue
+		}
+		if bs, serr := be.Subscribe(nd.ID); serr == nil {
+			ds.staged.ms.attachSource(sp.partition, bs)
+			sp.attached = true
+		}
+		rt.mu.Lock()
+		for j := range d.Parts {
+			if d.Parts[j].ID == old.ID && j < len(d.shards) && d.shards[j] == i {
+				parts := append([]BackendDeployment(nil), d.Parts...)
+				parts[j] = nd
+				d.Parts = parts
+				break
+			}
+		}
+		rt.mu.Unlock()
+	}
+	// Re-create follower standbys this shard should hold but lost
+	// entirely (it was down when the query deployed).
+	if parent.subs == nil {
+		return nil
+	}
+	for p, sub := range parent.subs {
+		if sub.primaryShard() == i || (!sub.hasReplica(i) && sub.shard != i) {
+			continue
+		}
+		exists := false
+		var req *DeployRequest
+		for idx := range ds.staged.parts {
+			spp := &ds.staged.parts[idx]
+			if spp.partition != p {
+				continue
+			}
+			req = &spp.req
+			if spp.shard == i {
+				exists = true
+			}
+		}
+		if exists || req == nil {
+			continue
+		}
+		if nd, derr := be.Deploy(*req); derr == nil {
+			ds.staged.parts = append(ds.staged.parts, stagedPart{
+				partition: p, shard: i, req: *req, dep: nd,
+			})
+		}
+	}
 	return nil
 }

@@ -450,7 +450,7 @@ func (b *RemoteBackend) Deploy(req DeployRequest) (BackendDeployment, error) {
 	}
 	var out BackendDeployment
 	err := b.doOnce(func(c *dsmsd.Client) error {
-		resp, err := c.DeployScriptSchema(req.Script)
+		resp, err := c.DeployScriptStaged(req.Script, req.Stage)
 		if err != nil {
 			return err
 		}
@@ -514,7 +514,7 @@ func (b *RemoteBackend) ImportQuery(req DeployRequest, replaceID string, st *dsm
 	}
 	var out BackendDeployment
 	err := b.doOnce(func(c *dsmsd.Client) error {
-		resp, err := c.MigrateImport(req.Script, replaceID, st)
+		resp, err := c.MigrateImport(req.Script, replaceID, st, req.Stage)
 		if err != nil {
 			return err
 		}

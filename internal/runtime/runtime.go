@@ -101,6 +101,11 @@ const (
 	// still filling the stage histograms within seconds at realistic
 	// rates.
 	DefaultTraceSampleEvery = 1024
+	// DefaultMergeBuffer is the merge stage's per-partition reorder
+	// bound: how many pending windows (or relayed rows) one partition
+	// may buffer while waiting for a slower partition before the oldest
+	// pending window is force-released without the laggard.
+	DefaultMergeBuffer = 4096
 )
 
 // BackendSpec selects the backend for one shard slot: the zero value
@@ -217,6 +222,19 @@ type Options struct {
 	// further behind than the retained tail skips the gap (counted in
 	// ReplicaLag.Gaps) rather than stalling the primary.
 	ReplicationLog int
+	// MergeBuffer bounds the re-aggregation merge stage's per-partition
+	// reorder buffer (pending windows or relayed rows; default
+	// DefaultMergeBuffer). When shard skew lets one partition run this
+	// far ahead of the slowest, the oldest pending window is
+	// force-released without the laggard's contribution, counted in
+	// exacml_merge_forced_total; bit-exact global answers are only
+	// guaranteed while the bound is never hit.
+	MergeBuffer int
+	// MergeLateness bounds how long the merge stage waits on a lagging
+	// partition before force-releasing the oldest pending window. The
+	// default 0 waits indefinitely — correctness first: a dead shard is
+	// handled by replication failover, not by timing out its windows.
+	MergeLateness time.Duration
 	// OnShardDown, when non-nil, is invoked once per shard whose
 	// backend is declared down, with the shard index and terminal
 	// error (observability hook; called from a backend goroutine).
@@ -265,6 +283,9 @@ func (o Options) withDefaults() Options {
 	if o.ReplicationLog <= 0 {
 		o.ReplicationLog = DefaultReplicationLog
 	}
+	if o.MergeBuffer <= 0 {
+		o.MergeBuffer = DefaultMergeBuffer
+	}
 	return o
 }
 
@@ -307,6 +328,50 @@ type route struct {
 	replicas []int
 	repl     *replicator
 	failTo   atomic.Int32
+
+	// Global sequence stamping (partitioned routes only): stampG is
+	// the number of tuples admitted to the route so far — the global
+	// position g of the most recently stamped tuple — and stampA[p] is
+	// the highest g routed to record source p (the logical partition
+	// for replicated sub-routes, the possibly-rerouted target shard
+	// otherwise). stampMu is held from
+	// stamping through the bucket enqueues of a batch, so every
+	// partition's queue receives its tuples in strictly increasing g
+	// order; the staged shard pipelines and the merge stage both rely
+	// on that ordering. The values themselves are atomics so the merge
+	// stage can snapshot the frontier WITHOUT the lock: a publisher
+	// blocked on a full shard queue holds stampMu, and the merge pump
+	// is part of the very consumer chain that drains that queue —
+	// taking stampMu there would close a deadlock cycle.
+	stampMu sync.Mutex
+	stampG  atomic.Uint64
+	stampA  []atomic.Uint64
+
+	// subs are the per-partition internal sub-routes of a replicated
+	// partitioned stream ("name@p", one per partition, each a
+	// replicated single-shard route sharing the parent's counters);
+	// nil when replication is off. internal marks such a sub-route
+	// itself: hidden from Streams and per-stream Stats, and not a
+	// valid publish or deploy target.
+	subs     []*route
+	internal bool
+}
+
+// stampFrontier snapshots a partitioned route's stamp state for the
+// merge stage's effective-watermark rule: g is the global high position
+// G, a is partition p's assigned high position A_p. It deliberately
+// does NOT take stampMu (see the field comment: the caller sits on the
+// queue-consumer side of a possible publisher block). Lock-free reads
+// are safe because of the read order: G is loaded BEFORE A_p, so the
+// returned a is at least the A_p that was current at position g — at
+// worst newer, which only makes the caller's W_p >= a check harder to
+// pass (conservative). The caller must read its own processed
+// watermark W_p AFTER this snapshot; W_p >= a then proves partition p
+// has no tuple in flight at or below g.
+func (r *route) stampFrontier(p int) (g, a uint64) {
+	g = r.stampG.Load()
+	a = r.stampA[p].Load()
+	return g, a
 }
 
 // primaryShard is the shard currently serving the route's ingest: the
@@ -794,6 +859,16 @@ func (rt *Runtime) CreatePartitionedStream(name string, schema *stream.Schema, k
 	if err := rt.reserveStream(key, name); err != nil {
 		return err
 	}
+	r := &route{
+		name: name, schema: schema, keyIdx: idx, shard: -1,
+		counters: &streamCounters{},
+		stampA:   make([]atomic.Uint64, len(rt.shards)),
+	}
+	r.failTo.Store(-1)
+	r.adm.Store(newAdmissionState(cfg))
+	if rt.opts.Replication > 1 {
+		return rt.createPartitionedReplicated(key, r, cfg)
+	}
 	// The runtime lock is not held across the per-shard RPCs (remote
 	// backends may be slow or redialing); the reservation keeps the
 	// name exclusive meanwhile.
@@ -806,16 +881,95 @@ func (rt *Runtime) CreatePartitionedStream(name string, schema *stream.Schema, k
 			return err
 		}
 	}
-	r := &route{
-		name: name, schema: schema, keyIdx: idx, shard: -1,
-		counters: &streamCounters{},
-	}
-	r.failTo.Store(-1)
-	r.adm.Store(newAdmissionState(cfg))
 	if rt.commitStream(key, r) {
 		for _, s := range rt.shards {
 			_ = s.be.DropStream(name)
 		}
+		return errClosed
+	}
+	rt.forwardAdmission(r, cfg, false)
+	return nil
+}
+
+// subRouteName names partition p's internal sub-route of a replicated
+// partitioned stream.
+func subRouteName(name string, p int) string {
+	return fmt.Sprintf("%s@%d", name, p)
+}
+
+// createPartitionedReplicated finishes registering a partitioned stream
+// under Replication > 1: instead of one engine stream per shard, each
+// partition p becomes an internal replicated sub-route "name@p" — the
+// engine stream lives on shard p plus the next Replication-1 slots,
+// with its own replication log and shippers — so a partition survives
+// its primary shard's death by follower promotion, exactly like a
+// replicated single-shard stream. The sub-routes share the parent's
+// admission counters (publish admission happens once, on the parent)
+// and are hidden from the user-facing stream listing.
+func (rt *Runtime) createPartitionedReplicated(key string, r *route, cfg StreamConfig) error {
+	undo := func(subs []*route) {
+		for _, sub := range subs {
+			if sub.repl != nil {
+				sub.repl.close()
+			}
+			if rt.shards[sub.shard].failedErr() == nil {
+				_ = rt.shards[sub.shard].be.DropStream(sub.name)
+			}
+			for _, fi := range sub.replicas {
+				if rt.shards[fi].failedErr() == nil {
+					_ = rt.shards[fi].be.DropStream(sub.name)
+				}
+			}
+		}
+	}
+	subs := make([]*route, 0, len(rt.shards))
+	for p := range rt.shards {
+		sname := subRouteName(r.name, p)
+		sub := &route{
+			name: sname, schema: r.schema, keyIdx: -1, shard: p,
+			counters: r.counters, internal: true,
+		}
+		sub.failTo.Store(-1)
+		sub.adm.Store(newAdmissionState(cfg))
+		if err := rt.shards[p].be.CreateStream(sname, r.schema); err != nil {
+			undo(subs)
+			rt.abortStream(key)
+			return fmt.Errorf("runtime: partition %d: %w", p, err)
+		}
+		for d := 1; d < rt.opts.Replication; d++ {
+			fi := (p + d) % len(rt.shards)
+			if err := rt.shards[fi].be.CreateStream(sname, r.schema); err != nil {
+				_ = rt.shards[p].be.DropStream(sname)
+				for _, done := range sub.replicas {
+					_ = rt.shards[done].be.DropStream(sname)
+				}
+				undo(subs)
+				rt.abortStream(key)
+				return fmt.Errorf("runtime: partition %d replica shard %d: %w", p, fi, err)
+			}
+			sub.replicas = append(sub.replicas, fi)
+		}
+		sub.repl = newReplicator(sname, rt.opts.ReplicationLog)
+		for _, fi := range sub.replicas {
+			if tgt, ok := rt.shards[fi].be.(replicaTarget); ok {
+				sub.repl.addFollower(fi, tgt, 0)
+			}
+		}
+		subs = append(subs, sub)
+	}
+	r.subs = subs
+	rt.mu.Lock()
+	delete(rt.pending, key)
+	closed := rt.closed
+	if !closed {
+		rt.routes[key] = r
+		for _, sub := range subs {
+			rt.routes[strings.ToLower(sub.name)] = sub
+		}
+	}
+	rt.mu.Unlock()
+	if closed {
+		undo(subs)
 		return errClosed
 	}
 	rt.forwardAdmission(r, cfg, false)
@@ -828,11 +982,14 @@ func (rt *Runtime) DropStream(name string) error {
 	key := strings.ToLower(name)
 	rt.mu.Lock()
 	r, ok := rt.routes[key]
-	if !ok {
+	if !ok || r.internal {
 		rt.mu.Unlock()
 		return fmt.Errorf("runtime: unknown stream %q", name)
 	}
 	delete(rt.routes, key)
+	for _, sub := range r.subs {
+		delete(rt.routes, strings.ToLower(sub.name))
+	}
 	var depIDs []string
 	for id, d := range rt.deps {
 		if strings.EqualFold(d.Input, name) {
@@ -877,6 +1034,26 @@ func (rt *Runtime) DropStream(name string) error {
 		for _, i := range extra {
 			if rt.shards[i].failedErr() == nil {
 				_ = rt.shards[i].be.DropStream(r.name)
+			}
+		}
+		return err
+	}
+	if r.subs != nil {
+		// Replicated partitioned: tear down each partition's sub-route
+		// (replicator, primary copy, follower copies).
+		for _, sub := range r.subs {
+			sub.fmu.Lock()
+			sub.dropped = true
+			sub.fmu.Unlock()
+			if sub.repl != nil {
+				sub.repl.close()
+			}
+			for _, i := range append([]int{sub.shard}, sub.replicas...) {
+				if rt.shards[i].failedErr() == nil {
+					if derr := rt.shards[i].be.DropStream(sub.name); derr != nil && err == nil {
+						err = derr
+					}
+				}
 			}
 		}
 		return err
@@ -988,6 +1165,29 @@ func (rt *Runtime) forwardAdmission(r *route, cfg StreamConfig, must bool) error
 // (the caller needs the swap and the forwarding to be one serialized
 // step).
 func (rt *Runtime) forwardAdmissionLocked(r *route, cfg StreamConfig, must bool) error {
+	// A replicated partitioned route has no engine stream of its own
+	// name: the admission state is declared per sub-route instead, on
+	// each shard hosting that partition's stream.
+	if r.subs != nil {
+		var first error
+		for _, sub := range r.subs {
+			shards := append([]int{sub.shard}, sub.replicas...)
+			for _, i := range shards {
+				s := rt.shards[i]
+				fw, ok := s.be.(admissionForwarder)
+				if !ok || s.failedErr() != nil {
+					continue
+				}
+				if err := fw.ForwardAdmission(sub.name, cfg); err != nil && first == nil {
+					first = fmt.Errorf("runtime: shard %d: forward admission: %w", i, err)
+				}
+			}
+		}
+		if !must {
+			return nil
+		}
+		return first
+	}
 	var shards []int
 	if r.keyIdx < 0 {
 		shards = append(shards, r.shard)
@@ -1029,6 +1229,9 @@ func (rt *Runtime) Streams() []string {
 	defer rt.mu.RUnlock()
 	out := make([]string, 0, len(rt.routes))
 	for _, r := range rt.routes {
+		if r.internal {
+			continue
+		}
 		out = append(out, r.name)
 	}
 	sort.Strings(out)
@@ -1072,6 +1275,9 @@ func (rt *Runtime) PublishBatchVerdict(streamName string, ts []stream.Tuple) (Pu
 	r, err := rt.routeFor(streamName)
 	if err != nil {
 		return PublishVerdict{}, err
+	}
+	if r.internal {
+		return PublishVerdict{}, fmt.Errorf("runtime: stream %q is an internal partition sub-route; publish to its parent stream", streamName)
 	}
 	for i := range ts {
 		if err := ts[i].Conforms(r.schema); err != nil {
@@ -1124,23 +1330,41 @@ func (rt *Runtime) PublishBatchVerdict(streamName string, ts []stream.Tuple) (Pu
 	// order of tuples bound for the same shard. The key is coerced to
 	// its schema type first so widening-equal values (IntValue(5) vs
 	// DoubleValue(5)) hash to the same shard.
+	//
+	// Every admitted tuple is stamped with the next dense global
+	// sequence position g (in admission order) and its arrival time is
+	// fixed here — the engine seal preserves both — so all partitions,
+	// and every replica of a partition, see identical provenance, and
+	// the merge stage can align partial aggregates from different
+	// shards into one global answer. The stamp lock is held from
+	// stamping through the bucket enqueues: each partition's queue must
+	// receive its tuples in strictly increasing g order. That
+	// serializes concurrent publishes to one partitioned route at the
+	// enqueue step (batches still pipeline through the shard workers
+	// concurrently).
 	keyType := r.schema.Field(r.keyIdx).Type
+	var firstErr error
+	r.stampMu.Lock()
+	now := coarsetime.NowMillis()
 	buckets := make([][]stream.Tuple, len(rt.shards))
-	for _, t := range ts {
-		kv := t.Values[r.keyIdx]
+	for i := range ts {
+		if ts[i].ArrivalMillis == 0 {
+			ts[i].ArrivalMillis = now
+		}
+		ts[i].Seq = r.stampG.Add(1)
+		kv := ts[i].Values[r.keyIdx]
 		if !kv.IsNull() && kv.Type() != keyType {
 			if cv, err := kv.CoerceTo(keyType); err == nil {
 				kv = cv
 			}
 		}
 		si := int(hashValue(kv) % uint32(len(rt.shards)))
-		buckets[si] = append(buckets[si], t)
+		buckets[si] = append(buckets[si], ts[i])
 	}
 	// A failed shard refuses its bucket (accounted as errors); the
 	// remaining buckets must still be offered to their shards or the
 	// per-stream accounting would leak the skipped tuples. The first
 	// error is reported after every bucket has been dispatched.
-	var firstErr error
 	for si, bucket := range buckets {
 		if len(bucket) == 0 {
 			continue
@@ -1148,13 +1372,36 @@ func (rt *Runtime) PublishBatchVerdict(streamName string, ts []stream.Tuple) (Pu
 		// The span rides with the first dispatched bucket; the others go
 		// untraced (per-bucket spans would multiply one sampled publish
 		// into shard-count traces).
-		n, err := rt.shards[rt.targetShard(r, si)].enqueue(r.name, ad.cfg.Class, r.counters, nil, bucket, sp)
+		sname, repl, tgt := r.name, (*replicator)(nil), rt.targetShard(r, si)
+		src := si
+		if r.subs != nil {
+			// Replicated partition: the bucket lands on the sub-route's
+			// current primary and feeds its replication log. The record
+			// source stays the logical partition — whichever shard hosts
+			// it after failover serves the same "name@p" stream.
+			sub := r.subs[si]
+			sname, repl, tgt = sub.name, sub.repl, rt.targetShard(sub, sub.shard)
+		} else {
+			// Without replication the record source is the physical
+			// shard: under FailoverReroute a dead shard's bucket flows to
+			// a survivor's stream, and the survivor's watermark is what
+			// covers these positions.
+			src = tgt
+		}
+		// A_src must cover the bucket before its tuples can surface in a
+		// shard watermark; the stamp lock makes the pair (G, A) consistent
+		// for frontier snapshots. A bucket the shard then refuses leaves
+		// its positions permanently unwatermarked — the merge stage stalls
+		// on such holes until its lateness bound (if any) forces release.
+		r.stampA[src].Store(bucket[len(bucket)-1].Seq)
+		n, err := rt.shards[tgt].enqueue(sname, ad.cfg.Class, r.counters, repl, bucket, sp)
 		sp = nil
 		v.Accepted += n
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
+	r.stampMu.Unlock()
 	sp.CloseOpen()
 	sp.Finish()
 	return v, firstErr
@@ -1304,6 +1551,11 @@ func (rt *Runtime) Stats() metrics.RuntimeStats {
 	rt.mu.RLock()
 	routes := make([]*route, 0, len(rt.routes))
 	for _, r := range rt.routes {
+		// Internal sub-routes share their parent's counters; listing
+		// them would multiply the parent's row per partition.
+		if r.internal {
+			continue
+		}
 		routes = append(routes, r)
 	}
 	rt.mu.RUnlock()

@@ -147,9 +147,10 @@ func (cb *ColBatch) Reset(n int) {
 // NormalizeBatch followed by a transpose: validation is atomic (the
 // batch is garbage on error and must not be dispatched), prevalidated
 // skips nothing here beyond what Normalize would re-check, because the
-// per-value type switch is the transpose loop itself. Arrival times are
-// copied (zero means "unstamped", filled at seal); Seq is left for the
-// seal path, which overwrites it unconditionally.
+// per-value type switch is the transpose loop itself. Arrival times and
+// sequence numbers are copied (zero means "unstamped"; the seal path
+// fills both, preserving any non-zero values a fronting runtime already
+// assigned).
 //
 // The input slice and its tuples are not retained: every value is
 // copied into the vectors, so the caller may reuse ts immediately.
@@ -166,6 +167,7 @@ func (cb *ColBatch) LoadTuples(ts []Tuple, prevalidated bool) error {
 			return fmt.Errorf("tuple %d: stream: tuple arity %d != schema arity %d", i, len(t.Values), nf)
 		}
 		cb.Arrival[i] = t.ArrivalMillis
+		cb.Seq[i] = t.Seq
 		for f := 0; f < nf; f++ {
 			v := t.Values[f]
 			c := &cb.Cols[f]
