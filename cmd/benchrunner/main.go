@@ -12,6 +12,7 @@
 //	benchrunner -exp remote              # mixed local/remote (dsmsd) shard topology
 //	benchrunner -exp partition           # global re-aggregation vs per-shard baseline
 //	benchrunner -exp governor            # audit-fed governor demotes an abusive subject
+//	benchrunner -exp recovery            # durable control plane: checkpoint cost + crash-recovery boot
 //	benchrunner -exp all                 # everything
 //
 // -scale N shrinks the workload by N for quick runs. Output is textual:
@@ -35,7 +36,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table3|fig6a|fig6b|fig7a|fig7b|policyload|engine|sharded|admission|remote|governor|all")
+	exp := flag.String("exp", "all", "experiment: table3|fig6a|fig6b|fig7a|fig7b|policyload|engine|sharded|admission|remote|partition|governor|recovery|all")
 	scale := flag.Int("scale", 1, "shrink the Table 3 workload by this factor")
 	points := flag.Int("points", 20, "CDF sample points")
 	noNet := flag.Bool("no-netsim", false, "disable simulated intranet latency")
@@ -181,6 +182,11 @@ func main() {
 			return runGovernor(*scale)
 		})
 	}
+	if want("recovery") {
+		run("Durable control plane: checkpoint cost and crash-recovery boot", func() error {
+			return runRecovery(*scale, *engineOut)
+		})
+	}
 	if *exp != "all" && !wantKnown(*exp) {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -189,7 +195,7 @@ func main() {
 
 func wantKnown(e string) bool {
 	switch e {
-	case "table3", "fig6a", "fig6b", "fig7a", "fig7b", "policyload", "ablation", "engine", "sharded", "admission", "remote", "partition", "governor", "all":
+	case "table3", "fig6a", "fig6b", "fig7a", "fig7b", "policyload", "ablation", "engine", "sharded", "admission", "remote", "partition", "governor", "recovery", "all":
 		return true
 	}
 	return false

@@ -1,0 +1,81 @@
+// Durable control-plane experiment: window-checkpoint cost and
+// crash-recovery boot time across state sizes, recorded under the
+// "recovery" key of BENCH_ENGINE.json next to the engine and partition
+// series.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+// recoveryBenchRow is one state-size measurement in the report.
+type recoveryBenchRow struct {
+	Tuples              int     `json:"tuples"`
+	AuditEvents         int     `json:"audit_events"`
+	CheckpointMS        float64 `json:"checkpoint_ms"`
+	CheckpointBytes     int64   `json:"checkpoint_bytes"`
+	RecoveryBootMS      float64 `json:"recovery_boot_ms"`
+	AuditReplayed       int     `json:"audit_replayed"`
+	CheckpointsRestored int     `json:"checkpoints_restored"`
+}
+
+// appendRecoveryReport merges the rows into the JSON document at path
+// under the "recovery" key, preserving everything the other
+// experiments wrote.
+func appendRecoveryReport(path string, rows []recoveryBenchRow) error {
+	doc := map[string]any{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("parsing existing %s: %w", path, err)
+		}
+	}
+	doc["recovery"] = rows
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func runRecovery(scale int, outPath string) error {
+	sizes := []int{50000, 200000}
+	auditEvents := 2000
+	if scale > 1 {
+		for i := range sizes {
+			sizes[i] /= scale
+		}
+		auditEvents /= scale
+	}
+	var rows []recoveryBenchRow
+	for _, tuples := range sizes {
+		res, err := experiments.RunRecovery(experiments.RecoveryOptions{
+			Tuples:      tuples,
+			AuditEvents: auditEvents,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		rows = append(rows, recoveryBenchRow{
+			Tuples:              res.Opts.Tuples,
+			AuditEvents:         res.Opts.AuditEvents,
+			CheckpointMS:        res.CheckpointMS,
+			CheckpointBytes:     res.CheckpointBytes,
+			RecoveryBootMS:      res.BootMS,
+			AuditReplayed:       res.Stats.AuditReplayed,
+			CheckpointsRestored: res.Stats.CheckpointsRestored,
+		})
+	}
+	if outPath == "" {
+		return nil
+	}
+	if err := appendRecoveryReport(outPath, rows); err != nil {
+		return err
+	}
+	fmt.Printf("appended recovery series to %s\n", outPath)
+	return nil
+}

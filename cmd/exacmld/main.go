@@ -48,16 +48,29 @@
 //	exacmld -embedded -governor -governor-bind "mallory=weather" \
 //	    -governor-threshold 5 -governor-cooldown 1m -policies ./policies
 //
+// -state-dir makes the control plane durable (embedded mode): the
+// audit chain is persisted as hash-verified JSON lines, stream DDL and
+// deployed queries as crash-consistent catalog snapshots, and window
+// state as periodic checkpoints (-checkpoint-interval). On restart the
+// whole control plane — streams, queries, window contents, and the
+// governor's demotions with their cooldown clocks — is replayed from
+// the directory before the server reports ready (see docs/OPERATIONS.md,
+// "Durability & recovery"):
+//
+//	exacmld -embedded -state-dir /var/lib/exacml -checkpoint-interval 5s
+//
 // -ops-bind starts the ops HTTP listener: /metrics (Prometheus text),
-// /healthz, /readyz (503 until every shard backend is healthy),
-// /statsz (RuntimeStats JSON, embedded mode) and /debug/pprof.
-// -trace-sample tunes how often a published batch is traced through
+// /healthz, /readyz (503 until every shard backend is healthy and any
+// durable recovery has completed), /statsz (runtime, query, audit and
+// recovery stats JSON, embedded mode) and /debug/pprof. -trace-sample
+// tunes how often a published batch is traced through
 // queue/seal/pipeline/push (see docs/OBSERVABILITY.md):
 //
 //	exacmld -embedded -ops-bind 127.0.0.1:9090 -trace-sample 256
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -65,11 +78,15 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/dsmsd"
+	"repro/internal/durable"
 	"repro/internal/governor"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/runtime"
 	"repro/internal/server"
@@ -78,6 +95,18 @@ import (
 	"repro/internal/xacml"
 	"repro/internal/xacmlplus"
 )
+
+// statszDoc is the embedded-mode /statsz payload: the runtime stats
+// flattened at the top level (field-compatible with the pre-durability
+// RuntimeStats-only payload, so `exacml watch` and scripts keyed on
+// "shards" keep working) plus the query inventory, audit chain and
+// boot-recovery summaries.
+type statszDoc struct {
+	metrics.RuntimeStats
+	Queries  int                    `json:"queries"`
+	Audit    *audit.Stats           `json:"audit,omitempty"`
+	Recovery *durable.RecoveryStats `json:"recovery,omitempty"`
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7421", "listen address")
@@ -104,11 +133,45 @@ func main() {
 	govRate := flag.Float64("governor-rate", 0, "governor: quota rate (tuples/s) imposed while demoted (0 = default 100)")
 	opsBind := flag.String("ops-bind", "", "ops HTTP listener (/metrics, /healthz, /readyz, /statsz, /debug/pprof); empty disables")
 	traceSample := flag.Int("trace-sample", 0, "publish-path trace sampling period in tuples, rounded up to a power of two (0 = default 1024)")
+	stateDir := flag.String("state-dir", "", "embedded mode: durable control-plane state directory (audit chain, catalog snapshots, window checkpoints); replayed on restart")
+	ckInterval := flag.Duration("checkpoint-interval", 5*time.Second, "state-dir: period of the window checkpointer (0 = only the final checkpoint at shutdown)")
+	mergeBuffer := flag.Int("merge-buffer", 0, "embedded mode: per-partition reorder buffer of the global re-aggregation merge stage (0 = default)")
+	mergeLateness := flag.Duration("merge-lateness", 0, "embedded mode: force-release windows the slowest partition lags behind by this much (0 = wait indefinitely)")
 	flag.Parse()
+
+	if *stateDir != "" && !*embedded {
+		log.Fatal("-state-dir needs -embedded (it persists the embedded runtime's control plane)")
+	}
+	if *stateDir != "" && *auditPath != "" {
+		log.Fatal("-state-dir and -audit are mutually exclusive: the state dir owns the audit chain (at <state-dir>/audit.jsonl)")
+	}
 
 	var reg *telemetry.Registry
 	if *opsBind != "" {
 		reg = telemetry.NewRegistry()
+	}
+
+	// The ops listener starts before the (possibly slow) durable
+	// recovery, behind swappable probes: /readyz serves 503 while the
+	// control plane is still being replayed, flipping to 200 only once
+	// the framework reports ready.
+	var readyFn, statszFn atomic.Value
+	readyFn.Store(func() error { return errors.New("exacmld: booting") })
+	statszFn.Store(func() any { return nil })
+	if *opsBind != "" {
+		opsOpts := telemetry.OpsOptions{
+			Registry: reg,
+			Ready:    func() error { return readyFn.Load().(func() error)() },
+		}
+		if *embedded {
+			opsOpts.Statsz = func() any { return statszFn.Load().(func() any)() }
+		}
+		ops, err := telemetry.ServeOps(*opsBind, opsOpts)
+		if err != nil {
+			log.Fatalf("ops listener: %v", err)
+		}
+		defer ops.Close()
+		fmt.Printf("exacmld: ops listener on http://%s (/metrics /healthz /readyz /statsz /debug/pprof)\n", ops.Addr())
 	}
 
 	var auditLog *audit.Log
@@ -125,8 +188,6 @@ func main() {
 	var pep *xacmlplus.PEP
 	var pub server.Publisher
 	var governorRef *governor.Governor
-	var opsReady func() error
-	var opsStatsz func() any
 	if *gov && !*embedded {
 		log.Fatal("-governor needs -embedded (it drives the runtime's admission state)")
 	}
@@ -160,16 +221,20 @@ func main() {
 			return []runtime.StreamOption{runtime.WithConfig(cfg)}
 		}
 		copts := core.Options{
-			Shards:           *shards,
-			ShardAddrs:       backends,
-			QueueSize:        *queue,
-			Policy:           policy,
-			BlockClass:       bc,
-			Failover:         fmode,
-			Replication:      *replication,
-			Audit:            auditLog,
-			Metrics:          reg,
-			TraceSampleEvery: *traceSample,
+			Shards:             *shards,
+			ShardAddrs:         backends,
+			QueueSize:          *queue,
+			Policy:             policy,
+			BlockClass:         bc,
+			Failover:           fmode,
+			Replication:        *replication,
+			MergeBuffer:        *mergeBuffer,
+			MergeLateness:      *mergeLateness,
+			Audit:              auditLog,
+			Metrics:            reg,
+			TraceSampleEvery:   *traceSample,
+			StateDir:           *stateDir,
+			CheckpointInterval: *ckInterval,
 		}
 		var bindings map[string][]string
 		if *gov {
@@ -181,27 +246,47 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
+			// Bindings ride in the config (not post-construction Bind
+			// calls) so the boot-time audit replay already knows which
+			// streams each recovered demotion applies to.
 			copts.Governor = &governor.Config{
 				Threshold:   *govThreshold,
 				HalfLife:    *govHalfLife,
 				Cooldown:    *govCooldown,
 				DemoteClass: demoteClass,
 				DemoteRate:  *govRate,
+				Bindings:    bindings,
 			}
 		}
-		fw := core.NewWithOptions("cloud", copts)
+		fw, err := core.Boot("cloud", copts)
+		if err != nil {
+			log.Fatalf("boot: %v", err)
+		}
 		defer fw.Close()
 		if fw.Governor != nil {
 			governorRef = fw.Governor
-			for subj, streams := range bindings {
-				fw.Governor.Bind(subj, streams...)
-			}
 			fmt.Printf("exacmld: accountability governor running (%d subject binding(s))\n", len(bindings))
 		}
-		if err := fw.RegisterStream("weather", source.WeatherSchema(), streamOpts("weather")...); err != nil {
+		if *stateDir != "" {
+			st := fw.Durable.Stats()
+			fmt.Printf("exacmld: durable state dir %s (recovered %d audit events, %d streams, %d queries, %d checkpoint parts in %dms)\n",
+				*stateDir, st.AuditReplayed, st.StreamsRestored, st.QueriesRestored, st.CheckpointsRestored, st.DurationMillis)
+		}
+		// The built-in streams may already have been restored from the
+		// state dir — in that case the persisted catalog (schema and
+		// admission config) wins over the flags.
+		restored := func(name string) bool {
+			_, err := fw.Runtime.StreamSchema(name)
+			return err == nil
+		}
+		if restored("weather") {
+			delete(specs, "weather")
+		} else if err := fw.RegisterStream("weather", source.WeatherSchema(), streamOpts("weather")...); err != nil {
 			log.Fatalf("create weather stream: %v", err)
 		}
-		if err := fw.RegisterPartitionedStream("gps", source.GPSSchema(), "deviceid", streamOpts("gps")...); err != nil {
+		if restored("gps") {
+			delete(specs, "gps")
+		} else if err := fw.RegisterPartitionedStream("gps", source.GPSSchema(), "deviceid", streamOpts("gps")...); err != nil {
 			log.Fatalf("create gps stream: %v", err)
 		}
 		for name := range specs {
@@ -209,8 +294,19 @@ func main() {
 		}
 		pep = fw.PEP
 		pub = fw.Runtime
-		opsReady = fw.Runtime.Health
-		opsStatsz = func() any { return fw.Runtime.Stats() }
+		readyFn.Store(fw.Ready)
+		statszFn.Store(func() any {
+			doc := statszDoc{RuntimeStats: fw.Runtime.Stats(), Queries: fw.Engine.QueryCount()}
+			if fw.Audit != nil {
+				st := fw.Audit.Stats()
+				doc.Audit = &st
+			}
+			if fw.Durable != nil {
+				st := fw.Durable.Stats()
+				doc.Recovery = &st
+			}
+			return doc
+		})
 		kinds := make([]string, fw.Runtime.NumShards())
 		for i := range kinds {
 			kinds[i] = fw.Runtime.Backend(i).Kind()
@@ -230,6 +326,7 @@ func main() {
 				auditLog.EnableTelemetry(reg)
 			}
 		}
+		readyFn.Store(func() error { return nil })
 	}
 	pep.DeployOnPR = *deployOnPR
 	if pep.Audit == nil && auditLog != nil {
@@ -280,19 +377,6 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("exacmld: data server listening on %s (engine %s, %d policies)\n",
 		bound, engineDesc, pep.PDP.Count())
-
-	if *opsBind != "" {
-		ops, err := telemetry.ServeOps(*opsBind, telemetry.OpsOptions{
-			Registry: reg,
-			Ready:    opsReady,
-			Statsz:   opsStatsz,
-		})
-		if err != nil {
-			log.Fatalf("ops listener: %v", err)
-		}
-		defer ops.Close()
-		fmt.Printf("exacmld: ops listener on http://%s (/metrics /healthz /readyz /statsz /debug/pprof)\n", ops.Addr())
-	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -13,7 +13,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -28,9 +30,10 @@ type Event struct {
 	Time int64 `json:"time"`
 	// Kind classifies the event: "access", "release", "policy-load",
 	// "policy-remove", "withdraw" (a grant killed by a policy change,
-	// one event per affected subject/stream), or "govern" (an admission
+	// one event per affected subject/stream), "govern" (an admission
 	// demotion/restore the accountability governor applied — see
-	// internal/governor).
+	// internal/governor), or "recover" (a boot-time durable recovery
+	// completed — see internal/durable).
 	Kind string `json:"kind"`
 	// Subject, Resource, Action describe the request.
 	Subject  string `json:"subject,omitempty"`
@@ -73,6 +76,98 @@ type Log struct {
 // NewLog creates an audit log. w may be nil for in-memory only.
 func NewLog(w io.Writer) *Log {
 	return &Log{w: w, clock: func() int64 { return time.Now().UnixMilli() }}
+}
+
+// NewLogWithHistory creates an audit log whose chain continues a
+// previously recorded (and verified) event sequence: Seq numbering and
+// the Prev hash pick up where the history ends, so a restarted node
+// appends to the same chain instead of forking a fresh one. The caller
+// is responsible for having verified the history (LoadFile does); w
+// receives only NEW events — the history is assumed to already be on
+// disk.
+func NewLogWithHistory(w io.Writer, history []Event) *Log {
+	l := NewLog(w)
+	if len(history) == 0 {
+		return l
+	}
+	l.events = append(l.events, history...)
+	l.last = history[len(history)-1].Hash
+	l.kinds = map[string]uint64{}
+	for _, e := range history {
+		l.kinds[e.Kind]++
+	}
+	return l
+}
+
+// LoadFile reads a JSON-lines audit chain back from disk, verifying it
+// as it goes. It returns the longest valid prefix and the number of
+// lines discarded past it: a torn final line (the process died
+// mid-write), trailing garbage, or any record failing the hash-chain
+// check truncates the result at the last good record — a corrupted
+// tail is recovered past, never trusted. A missing file is an empty
+// chain, not an error.
+func LoadFile(path string) (events []Event, discarded int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, err
+	}
+	lines := strings.Split(string(data), "\n")
+	prev := ""
+	for i, line := range lines {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var e Event
+		if uerr := json.Unmarshal([]byte(line), &e); uerr != nil {
+			return events, nonEmpty(lines[i:]), nil
+		}
+		if e.Prev != prev || e.Hash != hashEvent(e) || e.Seq != uint64(len(events))+1 {
+			return events, nonEmpty(lines[i:]), nil
+		}
+		prev = e.Hash
+		events = append(events, e)
+	}
+	return events, 0, nil
+}
+
+// nonEmpty counts the lines carrying content (the discard accounting
+// for LoadFile).
+func nonEmpty(lines []string) int {
+	n := 0
+	for _, l := range lines {
+		if strings.TrimSpace(l) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats is a point-in-time summary of the log for the ops endpoint.
+type Stats struct {
+	// ChainLength is the number of events on the chain.
+	ChainLength int `json:"chain_length"`
+	// WriteErrors counts appended events that failed to stream to the
+	// configured writer (a silently failing audit disk).
+	WriteErrors uint64 `json:"write_errors"`
+	// Kinds is the per-kind append count.
+	Kinds map[string]uint64 `json:"kinds,omitempty"`
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{ChainLength: len(l.events), WriteErrors: l.writeErrs}
+	if len(l.kinds) > 0 {
+		st.Kinds = make(map[string]uint64, len(l.kinds))
+		for k, v := range l.kinds {
+			st.Kinds[k] = v
+		}
+	}
+	return st
 }
 
 // SetClock replaces the timestamp source (tests).

@@ -20,8 +20,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/audit"
+	"repro/internal/durable"
 	"repro/internal/governor"
 	"repro/internal/metrics"
 	"repro/internal/runtime"
@@ -91,6 +93,25 @@ type Options struct {
 	// tuples (rounded up to a power of two; default
 	// runtime.DefaultTraceSampleEvery). Only meaningful with Metrics.
 	TraceSampleEvery int
+	// MergeBuffer bounds the cross-partition merge stage's per-partition
+	// reorder buffer (default runtime.DefaultMergeBuffer); see
+	// runtime.Options.MergeBuffer for the force-release semantics.
+	MergeBuffer int
+	// MergeLateness bounds how long the merge stage waits on a lagging
+	// partition before force-releasing the oldest pending window
+	// (default 0 = wait indefinitely); see runtime.Options.MergeLateness.
+	MergeLateness time.Duration
+	// StateDir, when non-empty, makes the control plane durable (Boot
+	// only): the audit chain is persisted as JSON lines, stream DDL and
+	// deployed queries as crash-consistent catalog snapshots, and window
+	// state as periodic checkpoints, all under this directory — and all
+	// replayed into the framework on the next Boot. Mutually exclusive
+	// with Audit (the durable manager owns the audit log's writer).
+	StateDir string
+	// CheckpointInterval is the period of the durable window
+	// checkpointer (default 0 = only the final checkpoint taken at
+	// Close). Only meaningful with StateDir.
+	CheckpointInterval time.Duration
 }
 
 // EngineSurface is the runtime-wide DSMS surface a Framework exposes:
@@ -128,6 +149,9 @@ type Framework struct {
 	// Governor is the accountability governor (nil unless
 	// Options.Governor enabled it).
 	Governor *governor.Governor
+	// Durable is the state-dir manager (nil unless Boot was called with
+	// Options.StateDir).
+	Durable *durable.Manager
 }
 
 // New creates a framework with a fresh single-shard runtime.
@@ -136,8 +160,42 @@ func New(name string) *Framework { return NewWithOptions(name, Options{}) }
 // NewWithOptions creates a framework whose ingest plane is sharded and
 // policed per opts. The PEP/PDP plane is identical regardless of the
 // shard count: the runtime implements the engine surface the PEP
-// deploys against.
+// deploys against. Options.StateDir is ignored here — use Boot for a
+// durable control plane.
 func NewWithOptions(name string, opts Options) *Framework {
+	return newWithOptions(name, opts, nil)
+}
+
+// Boot is NewWithOptions plus the durable control plane: with
+// Options.StateDir set it opens (and repairs) the state directory,
+// continues the persisted audit chain, replays the catalog (streams,
+// queries) and the window checkpoints into the fresh framework, feeds
+// the audit history through the governor so demotions survive the
+// restart, and starts the periodic checkpointer. Framework.Ready
+// reports nil only once recovery has completed — serve it as the
+// readiness probe. Without StateDir, Boot is NewWithOptions.
+func Boot(name string, opts Options) (*Framework, error) {
+	if opts.StateDir == "" {
+		return NewWithOptions(name, opts), nil
+	}
+	if opts.Audit != nil {
+		return nil, fmt.Errorf("core: Options.Audit and Options.StateDir are mutually exclusive (the state dir owns the audit log)")
+	}
+	dm, err := durable.Open(opts.StateDir, opts.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	opts.Audit = dm.Log()
+	fw := newWithOptions(name, opts, dm.CatalogObserver())
+	fw.Durable = dm
+	if err := dm.Recover(fw.Runtime, fw.Governor, opts.CheckpointInterval); err != nil {
+		fw.Close()
+		return nil, err
+	}
+	return fw, nil
+}
+
+func newWithOptions(name string, opts Options, catalog runtime.CatalogObserver) *Framework {
 	// Resolve the audit log before the runtime exists: shard health
 	// transitions are audited by the runtime itself (Kind "health").
 	auditLog := opts.Audit
@@ -154,9 +212,12 @@ func NewWithOptions(name string, opts Options) *Framework {
 		Failover:         opts.Failover,
 		Replication:      opts.Replication,
 		ReplicationLog:   opts.ReplicationLog,
+		MergeBuffer:      opts.MergeBuffer,
+		MergeLateness:    opts.MergeLateness,
 		Metrics:          opts.Metrics,
 		TraceSampleEvery: opts.TraceSampleEvery,
 		Audit:            auditLog,
+		Catalog:          catalog,
 	})
 	pdp := xacml.NewPDP()
 	fw := &Framework{
@@ -167,7 +228,11 @@ func NewWithOptions(name string, opts Options) *Framework {
 		Audit:   auditLog,
 	}
 	if opts.Governor != nil {
-		fw.Governor = governor.New(rt, fw.Audit, *opts.Governor)
+		// The governor's demotions and cooldown restores go through the
+		// ephemeral reconfigure surface: they are re-derived from the
+		// audit chain on boot, so persisting them in the durable catalog
+		// would bake a temporary demotion into the restored base config.
+		fw.Governor = governor.New(ephemeralAdmission{rt}, fw.Audit, *opts.Governor)
 	}
 	if fw.Audit != nil {
 		fw.PEP.Audit = fw.Audit
@@ -184,11 +249,38 @@ func NewWithOptions(name string, opts Options) *Framework {
 	return fw
 }
 
-// Close stops the governor, then shuts down the runtime, all engine
+// ephemeralAdmission routes the governor's admission swaps around the
+// durable catalog (see newWithOptions).
+type ephemeralAdmission struct{ rt *runtime.Runtime }
+
+func (e ephemeralAdmission) StreamAdmission(name string) (runtime.StreamConfig, error) {
+	return e.rt.StreamAdmission(name)
+}
+
+func (e ephemeralAdmission) Reconfigure(name string, cfg runtime.StreamConfig) (runtime.StreamConfig, error) {
+	return e.rt.ReconfigureEphemeral(name, cfg)
+}
+
+// Ready reports nil once the framework can serve: the runtime's shards
+// are healthy and — for a Boot-ed framework — durable recovery has
+// completed. Serve it as the /readyz probe.
+func (f *Framework) Ready() error {
+	if err := f.Durable.Ready(); err != nil {
+		return err
+	}
+	return f.Runtime.Health()
+}
+
+// Close stops the governor, then the durable manager (final window
+// checkpoint + audit sync — the runtime must still be alive for the
+// checkpoint's quiesce fence), then shuts down the runtime, all engine
 // shards and all continuous queries.
 func (f *Framework) Close() {
 	if f.Governor != nil {
 		f.Governor.Close()
+	}
+	if f.Durable != nil {
+		_ = f.Durable.Close()
 	}
 	f.Runtime.Close()
 }

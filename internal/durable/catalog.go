@@ -1,0 +1,235 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/runtime"
+	"repro/internal/stream"
+)
+
+// catalogPrefix names the catalog snapshot family in the state dir.
+const catalogPrefix = "catalog"
+
+// fieldRecord is one schema field in its persisted form; the type is
+// stored by its StreamSQL name so the file stays readable and stable
+// across enum renumbering.
+type fieldRecord struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// streamRecord is one registered stream: its schema, its partition key
+// (empty for single-shard streams) and the BASE admission
+// configuration — governor demotions are applied through
+// ReconfigureEphemeral and deliberately never land here, so a restart
+// restores the operator-configured state and the governor's replay
+// re-applies any demotion still in force.
+type streamRecord struct {
+	Name     string        `json:"name"`
+	Fields   []fieldRecord `json:"fields"`
+	KeyField string        `json:"key_field,omitempty"`
+	Class    string        `json:"class"`
+	Rate     float64       `json:"rate,omitempty"`
+	Burst    int           `json:"burst,omitempty"`
+}
+
+// queryRecord is one deployed continuous query: the runtime id it must
+// be restored under (checkpoint files are keyed by it), the handle it
+// was serving, and the StreamSQL script it re-deploys from.
+type queryRecord struct {
+	ID     string `json:"id"`
+	Handle string `json:"handle"`
+	Input  string `json:"input"`
+	Script string `json:"script"`
+}
+
+// catalogDoc is the snapshot payload.
+type catalogDoc struct {
+	Streams []streamRecord `json:"streams"`
+	Queries []queryRecord  `json:"queries"`
+}
+
+// catalog implements runtime.CatalogObserver: it mirrors the runtime's
+// committed control-plane state and persists a fresh snapshot
+// generation after every mutation. While muted (the recovery replay)
+// mutations update the mirror without writing — recovery would
+// otherwise rewrite the catalog once per restored object.
+type catalog struct {
+	mu      sync.Mutex
+	dir     string
+	gen     uint64
+	muted   bool
+	streams map[string]streamRecord // keyed by name
+	queries map[string]queryRecord  // keyed by runtime id
+	errs    uint64                  // failed snapshot writes
+}
+
+func newCatalog(dir string) *catalog {
+	return &catalog{
+		dir:     dir,
+		streams: map[string]streamRecord{},
+		queries: map[string]queryRecord{},
+	}
+}
+
+// load seeds the mirror from the newest valid snapshot, reporting how
+// many newer generations were discarded as torn or corrupted.
+func (c *catalog) load() (doc catalogDoc, discarded int, err error) {
+	payload, gen, discarded, err := loadLatestSnapshot(c.dir, catalogPrefix)
+	if err != nil {
+		return catalogDoc{}, discarded, err
+	}
+	if payload == nil {
+		return catalogDoc{}, discarded, nil
+	}
+	if err := json.Unmarshal(payload, &doc); err != nil {
+		return catalogDoc{}, discarded, fmt.Errorf("durable: catalog payload: %w", err)
+	}
+	c.mu.Lock()
+	c.gen = gen
+	for _, s := range doc.Streams {
+		c.streams[s.Name] = s
+	}
+	for _, q := range doc.Queries {
+		c.queries[q.ID] = q
+	}
+	c.mu.Unlock()
+	return doc, discarded, nil
+}
+
+// setMuted toggles the recovery-replay mode.
+func (c *catalog) setMuted(m bool) {
+	c.mu.Lock()
+	c.muted = m
+	c.mu.Unlock()
+}
+
+// persist writes the next snapshot generation; callers hold no lock.
+func (c *catalog) persist() {
+	c.mu.Lock()
+	if c.muted {
+		c.mu.Unlock()
+		return
+	}
+	c.gen++
+	gen := c.gen
+	doc := catalogDoc{
+		Streams: make([]streamRecord, 0, len(c.streams)),
+		Queries: make([]queryRecord, 0, len(c.queries)),
+	}
+	for _, s := range c.streams {
+		doc.Streams = append(doc.Streams, s)
+	}
+	for _, q := range c.queries {
+		doc.Queries = append(doc.Queries, q)
+	}
+	c.mu.Unlock()
+	sort.Slice(doc.Streams, func(i, j int) bool { return doc.Streams[i].Name < doc.Streams[j].Name })
+	sort.Slice(doc.Queries, func(i, j int) bool { return doc.Queries[i].ID < doc.Queries[j].ID })
+	if err := writeSnapshot(c.dir, catalogPrefix, gen, doc); err != nil {
+		c.mu.Lock()
+		c.errs++
+		c.mu.Unlock()
+	}
+}
+
+func (c *catalog) writeErrors() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.errs
+}
+
+// StreamCreated implements runtime.CatalogObserver.
+func (c *catalog) StreamCreated(name string, schema *stream.Schema, keyField string, cfg runtime.StreamConfig) {
+	rec := streamRecord{
+		Name:     name,
+		KeyField: keyField,
+		Class:    cfg.Class.String(),
+		Rate:     cfg.Rate,
+		Burst:    cfg.Burst,
+	}
+	for _, f := range schema.Fields() {
+		rec.Fields = append(rec.Fields, fieldRecord{Name: f.Name, Type: f.Type.String()})
+	}
+	c.mu.Lock()
+	c.streams[name] = rec
+	c.mu.Unlock()
+	c.persist()
+}
+
+// StreamDropped implements runtime.CatalogObserver; the stream's
+// queries were withdrawn by the same drop, so their records go too.
+func (c *catalog) StreamDropped(name string) {
+	c.mu.Lock()
+	delete(c.streams, name)
+	for id, q := range c.queries {
+		if q.Input == name {
+			delete(c.queries, id)
+		}
+	}
+	c.mu.Unlock()
+	c.persist()
+}
+
+// StreamReconfigured implements runtime.CatalogObserver (durable swaps
+// only — ReconfigureEphemeral never reaches here).
+func (c *catalog) StreamReconfigured(name string, cfg runtime.StreamConfig) {
+	c.mu.Lock()
+	if rec, ok := c.streams[name]; ok {
+		rec.Class = cfg.Class.String()
+		rec.Rate = cfg.Rate
+		rec.Burst = cfg.Burst
+		c.streams[name] = rec
+	}
+	c.mu.Unlock()
+	c.persist()
+}
+
+// QueryDeployed implements runtime.CatalogObserver.
+func (c *catalog) QueryDeployed(id, handle, input, script string) {
+	c.mu.Lock()
+	c.queries[id] = queryRecord{ID: id, Handle: handle, Input: input, Script: script}
+	c.mu.Unlock()
+	c.persist()
+}
+
+// QueryWithdrawn implements runtime.CatalogObserver.
+func (c *catalog) QueryWithdrawn(id string) {
+	c.mu.Lock()
+	_, known := c.queries[id]
+	delete(c.queries, id)
+	c.mu.Unlock()
+	if known {
+		c.persist()
+	}
+}
+
+var _ runtime.CatalogObserver = (*catalog)(nil)
+
+// restoreStream re-registers one catalog stream on a fresh runtime.
+func restoreStream(rt *runtime.Runtime, rec streamRecord) error {
+	fields := make([]stream.Field, 0, len(rec.Fields))
+	for _, f := range rec.Fields {
+		ft, err := stream.ParseFieldType(f.Type)
+		if err != nil {
+			return fmt.Errorf("durable: stream %q: %w", rec.Name, err)
+		}
+		fields = append(fields, stream.Field{Name: f.Name, Type: ft})
+	}
+	schema, err := stream.NewSchema(fields...)
+	if err != nil {
+		return fmt.Errorf("durable: stream %q: %w", rec.Name, err)
+	}
+	cls, err := runtime.ParseClass(rec.Class)
+	if err != nil {
+		return fmt.Errorf("durable: stream %q: %w", rec.Name, err)
+	}
+	cfg := runtime.StreamConfig{Class: cls, Rate: rec.Rate, Burst: rec.Burst}
+	if rec.KeyField != "" {
+		return rt.CreatePartitionedStream(rec.Name, schema, rec.KeyField, runtime.WithConfig(cfg))
+	}
+	return rt.CreateStream(rec.Name, schema, runtime.WithConfig(cfg))
+}

@@ -1,0 +1,139 @@
+package durable
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type testPayload struct {
+	N int    `json:"n"`
+	S string `json:"s"`
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for gen := uint64(1); gen <= 4; gen++ {
+		if err := writeSnapshot(dir, "cat", gen, testPayload{N: int(gen), S: "x"}); err != nil {
+			t.Fatalf("writeSnapshot gen %d: %v", gen, err)
+		}
+	}
+	payload, gen, discarded, err := loadLatestSnapshot(dir, "cat")
+	if err != nil || discarded != 0 {
+		t.Fatalf("loadLatestSnapshot: %v (discarded %d)", err, discarded)
+	}
+	if gen != 4 {
+		t.Fatalf("latest gen = %d, want 4", gen)
+	}
+	var got testPayload
+	if err := json.Unmarshal(payload, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 4 {
+		t.Fatalf("payload = %+v, want N=4", got)
+	}
+	// Only the retained window survives a write.
+	if gens := snapshotGens(dir, "cat"); len(gens) != snapshotKeep {
+		t.Fatalf("retained gens = %v, want %d files", gens, snapshotKeep)
+	}
+}
+
+func TestSnapshotFallsBackPastCorruption(t *testing.T) {
+	corruptions := map[string]func(path string){
+		"truncated": func(path string) {
+			data, _ := os.ReadFile(path)
+			if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+				panic(err)
+			}
+		},
+		"garbage": func(path string) {
+			if err := os.WriteFile(path, []byte("not json at all"), 0o644); err != nil {
+				panic(err)
+			}
+		},
+		"bitflip": func(path string) {
+			data, _ := os.ReadFile(path)
+			// Flip a byte inside the payload so the envelope still parses
+			// but the checksum no longer matches.
+			for i := len(data) - 1; i >= 0; i-- {
+				if data[i] >= '0' && data[i] <= '8' {
+					data[i]++
+					break
+				}
+			}
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				panic(err)
+			}
+		},
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := writeSnapshot(dir, "cat", 1, testPayload{N: 1}); err != nil {
+				t.Fatal(err)
+			}
+			if err := writeSnapshot(dir, "cat", 2, testPayload{N: 2}); err != nil {
+				t.Fatal(err)
+			}
+			corrupt(snapshotPath(dir, "cat", 2))
+			payload, gen, discarded, err := loadLatestSnapshot(dir, "cat")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gen != 1 || discarded != 1 {
+				t.Fatalf("gen = %d discarded = %d, want fallback to gen 1 with 1 discarded", gen, discarded)
+			}
+			var got testPayload
+			if err := json.Unmarshal(payload, &got); err != nil {
+				t.Fatal(err)
+			}
+			if got.N != 1 {
+				t.Fatalf("payload = %+v, want the previous generation's", got)
+			}
+		})
+	}
+}
+
+func TestSnapshotMissingFamily(t *testing.T) {
+	payload, gen, discarded, err := loadLatestSnapshot(t.TempDir(), "cat")
+	if payload != nil || gen != 0 || discarded != 0 || err != nil {
+		t.Fatalf("fresh dir = (%v, %d, %d, %v), want empty result", payload, gen, discarded, err)
+	}
+}
+
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.json")
+	if err := writeFileAtomic(path, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFileAtomic(path, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "two" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+}
+
+func TestRemoveSnapshotsAndPrefixes(t *testing.T) {
+	dir := t.TempDir()
+	for _, prefix := range []string{"rq00001", "rq00002"} {
+		if err := writeSnapshot(dir, prefix, 1, testPayload{N: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := snapshotPrefixes(dir)
+	if len(got) != 2 {
+		t.Fatalf("prefixes = %v", got)
+	}
+	removeSnapshots(dir, "rq00001")
+	if got := snapshotPrefixes(dir); len(got) != 1 || got[0] != "rq00002" {
+		t.Fatalf("after remove, prefixes = %v", got)
+	}
+}

@@ -86,6 +86,12 @@ type Config struct {
 	// disables the goroutine; Tick must then be driven by the caller
 	// (tests, experiments).
 	TickInterval time.Duration
+	// Bindings declares subject→stream ownership up front, exactly like
+	// calling Bind for each entry after New. Declaring them in the
+	// config matters for durable boot: Replay re-applies a recovered
+	// demotion only to streams the subject is bound to, so the bindings
+	// must exist before the replay runs.
+	Bindings map[string][]string
 	// Clock overrides the time source (tests).
 	Clock func() time.Time
 }
@@ -185,6 +191,10 @@ func New(ac AdmissionControl, log *audit.Log, cfg Config) *Governor {
 		bindings: map[string][]string{},
 		stop:     make(chan struct{}),
 		stopped:  make(chan struct{}),
+	}
+	for subj, streams := range g.cfg.Bindings {
+		key := strings.ToLower(subj)
+		g.bindings[key] = append(g.bindings[key], streams...)
 	}
 	g.cancel = log.Observe(g.onEvent)
 	if g.cfg.TickInterval > 0 {
@@ -431,6 +441,125 @@ func (g *Governor) Tick() {
 				g.cfg.Cooldown, old.Class, quotaString(old)))
 		}
 	}
+}
+
+// ReplayStats summarizes a boot-time audit replay.
+type ReplayStats struct {
+	// Scored is the number of abuse signals re-scored from the chain.
+	Scored int `json:"scored"`
+	// Redemoted counts demotions still in force at boot that were
+	// re-applied to the live admission state.
+	Redemoted int `json:"redemoted"`
+	// Expired counts demotions whose cooldown lapsed while the node was
+	// down; their streams keep the base configuration the catalog
+	// restored.
+	Expired int `json:"expired"`
+}
+
+// Replay re-derives the governor's state from a recovered audit chain:
+// subject scores (decayed from the persisted event times, NOT from
+// wall-clock-at-boot), active demotions and their cooldown anchors.
+// Demotions whose cooldown is still running are re-applied to the
+// bound streams through Reconfigure — the streams' current admission
+// state (the catalog-restored base configuration) is saved as the
+// restore target, so the eventual cooldown restore lands on the right
+// config — and each re-application is itself recorded as a "govern"
+// event on the chain. Demotions that expired during the downtime are
+// simply not re-applied (the catalog already restored the base
+// config). Replay must run at boot, before live traffic is scored.
+func (g *Governor) Replay(events []audit.Event) ReplayStats {
+	var st ReplayStats
+	g.mu.Lock()
+	for _, e := range events {
+		subject := strings.ToLower(e.Subject)
+		if e.Kind == KindGovern {
+			if subject == "" {
+				continue
+			}
+			s := g.subject(subject)
+			switch e.Action {
+			case "demote":
+				s.demoted = true
+				s.since = time.UnixMilli(e.Time)
+			case "restore":
+				s.demoted = false
+				s.saved = nil
+				s.score = 0
+			}
+			continue
+		}
+		w := g.weight(e)
+		if w == 0 || subject == "" {
+			continue
+		}
+		t := time.UnixMilli(e.Time)
+		s := g.subject(subject)
+		s.decayTo(t, g.cfg.HalfLife)
+		s.score += w
+		s.lastBad = t
+		g.events++
+		st.Scored++
+	}
+	// Settle to now: decay every score to boot time and decide each
+	// in-force demotion's fate from its persisted cooldown anchor.
+	now := g.cfg.Clock()
+	type redemote struct {
+		subject   string
+		s         *subjectState
+		remaining time.Duration
+		acts      []demoteAction
+	}
+	var acts []redemote
+	for subject, s := range g.subjects {
+		s.decayTo(now, g.cfg.HalfLife)
+		if !s.demoted {
+			if s.score < 1e-3 {
+				delete(g.subjects, subject)
+			}
+			continue
+		}
+		if now.Sub(s.lastBad) >= g.cfg.Cooldown {
+			// The cooldown ran out while the node was down: the stream
+			// keeps the base config the catalog restored; nothing to undo.
+			s.demoted = false
+			s.saved = nil
+			s.score = 0
+			st.Expired++
+			continue
+		}
+		rd := redemote{subject: subject, s: s, remaining: g.cfg.Cooldown - now.Sub(s.lastBad)}
+		s.saved = map[string]runtime.StreamConfig{}
+		for _, stream := range g.bindings[subject] {
+			old, err := g.ac.StreamAdmission(stream)
+			if err != nil {
+				rd.acts = append(rd.acts, demoteAction{stream: stream, skipErr: err})
+				continue
+			}
+			s.saved[stream] = old
+			rd.acts = append(rd.acts, demoteAction{stream: stream, old: old, cfg: g.demotedConfig(old)})
+		}
+		acts = append(acts, rd)
+		st.Redemoted++
+	}
+	g.mu.Unlock()
+	for _, rd := range acts {
+		for _, a := range rd.acts {
+			if a.skipErr != nil {
+				g.govern(rd.subject, a.stream, "demote", fmt.Sprintf("recovered: skipped: %v", a.skipErr))
+				continue
+			}
+			if _, err := g.ac.Reconfigure(a.stream, a.cfg); err != nil {
+				g.govern(rd.subject, a.stream, "demote", fmt.Sprintf("recovered: failed: %v", err))
+				continue
+			}
+			g.demotions.Add(1)
+			g.govern(rd.subject, a.stream, "demote", fmt.Sprintf(
+				"recovered: demotion re-applied after restart: class %s -> %s, quota %s -> %s; remaining cooldown %v",
+				a.old.Class, a.cfg.Class, quotaString(a.old), quotaString(a.cfg),
+				rd.remaining.Round(time.Millisecond)))
+		}
+	}
+	return st
 }
 
 // govern appends one governor decision to the audit chain.

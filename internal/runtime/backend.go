@@ -134,6 +134,19 @@ type stateMigrator interface {
 	ImportQuery(req DeployRequest, replaceID string, st *dsms.QueryState) (BackendDeployment, error)
 }
 
+// stateImporter is the optional ShardBackend surface durable window
+// checkpoints use: unlike stateMigrator.ImportQuery (which deploys a
+// fresh query around the state), ImportQueryState installs a recovered
+// state into an ALREADY-deployed part, and SetStreamSeq fast-forwards
+// the input stream's sequence counter to the checkpoint's position.
+// Only in-process backends provide it — a remote part's state lives in
+// its dsmsd process and is not this node's to checkpoint.
+type stateImporter interface {
+	ExportQueryState(idOrHandle string) (*dsms.QueryState, error)
+	ImportQueryState(idOrHandle string, st *dsms.QueryState) error
+	SetStreamSeq(name string, seq uint64) error
+}
+
 // LocalBackend adapts an in-process dsms.Engine to the ShardBackend
 // interface with zero behaviour change relative to the pre-interface
 // runtime.
@@ -307,6 +320,17 @@ func (b *LocalBackend) ImportQuery(req DeployRequest, replaceID string, st *dsms
 	return d, nil
 }
 
+// ImportQueryState implements stateImporter against the in-process
+// engine.
+func (b *LocalBackend) ImportQueryState(idOrHandle string, st *dsms.QueryState) error {
+	return b.eng.ImportQueryState(idOrHandle, st)
+}
+
+// SetStreamSeq implements stateImporter.
+func (b *LocalBackend) SetStreamSeq(name string, seq uint64) error {
+	return b.eng.SetStreamSeq(name, seq)
+}
+
 // Subscribe implements ShardBackend.
 func (b *LocalBackend) Subscribe(idOrHandle string) (BackendSubscription, error) {
 	sub, err := b.eng.Subscribe(idOrHandle)
@@ -353,4 +377,5 @@ var (
 	_ ShardBackend  = (*LocalBackend)(nil)
 	_ replicaTarget = (*LocalBackend)(nil)
 	_ stateMigrator = (*LocalBackend)(nil)
+	_ stateImporter = (*LocalBackend)(nil)
 )

@@ -119,7 +119,7 @@ func (rt *Runtime) Deploy(g *dsms.QueryGraph) (Deployment, error) {
 	if g == nil {
 		return Deployment{}, fmt.Errorf("runtime: nil query graph")
 	}
-	return rt.deploy(g.Input, DeployRequest{Graph: g})
+	return rt.deploy(g.Input, DeployRequest{Graph: g}, "")
 }
 
 // deploy runs a query — carried as a graph, a script, or both — on the
@@ -127,7 +127,12 @@ func (rt *Runtime) Deploy(g *dsms.QueryGraph) (Deployment, error) {
 // backend Deploy calls: a remote shard's deploy is a network RPC
 // (possibly a multi-second redial), and holding rt.mu there would
 // freeze routeFor — and with it every publish on every stream.
-func (rt *Runtime) deploy(input string, req DeployRequest) (Deployment, error) {
+//
+// forceID, when non-empty, pins the runtime id instead of allocating
+// the next one (the durable restore path re-deploys catalog queries
+// under their original ids so checkpoints keyed by id re-attach); the
+// id counter is advanced past it so later deploys cannot collide.
+func (rt *Runtime) deploy(input string, req DeployRequest, forceID string) (Deployment, error) {
 	r, err := rt.routeFor(input)
 	if err != nil {
 		return Deployment{}, err
@@ -146,17 +151,13 @@ func (rt *Runtime) deploy(input string, req DeployRequest) (Deployment, error) {
 			return Deployment{}, perr
 		}
 		if staged {
-			return rt.deployStaged(r, req, mode)
+			return rt.deployStaged(r, req, mode, forceID)
 		}
 	}
-	rt.mu.Lock()
-	if rt.closed {
-		rt.mu.Unlock()
-		return Deployment{}, errClosed
+	id, err := rt.assignDepID(forceID)
+	if err != nil {
+		return Deployment{}, err
 	}
-	rt.nextDep++
-	id := fmt.Sprintf("rq%05d", rt.nextDep)
-	rt.mu.Unlock()
 
 	undo := func(dep *Deployment) {
 		for j, p := range dep.Parts {
@@ -238,7 +239,29 @@ func (rt *Runtime) deploy(input string, req DeployRequest) (Deployment, error) {
 	rt.depMu.Lock()
 	rt.depSt[id] = ds
 	rt.depMu.Unlock()
+	rt.noteQueryDeployed(id, dep.Handle, r.name, req.Script, req.Graph, r.schema)
 	return dep, nil
+}
+
+// assignDepID allocates the next runtime query id, or pins forceID
+// (advancing the counter past it) for the durable restore path.
+func (rt *Runtime) assignDepID(forceID string) (string, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return "", errClosed
+	}
+	if forceID == "" {
+		rt.nextDep++
+		return fmt.Sprintf("rq%05d", rt.nextDep), nil
+	}
+	if _, dup := rt.deps[forceID]; dup {
+		return "", fmt.Errorf("runtime: query %q already deployed", forceID)
+	}
+	if n, ok := parseDepID(forceID); ok && n > rt.nextDep {
+		rt.nextDep = n
+	}
+	return forceID, nil
 }
 
 // deployStaged runs a windowed aggregate over a partitioned stream as
@@ -252,7 +275,7 @@ func (rt *Runtime) deploy(input string, req DeployRequest) (Deployment, error) {
 // parts on the healthy followers, attached to the merge up front:
 // their records are bit-identical to the primary's and dedup by
 // content, so a failover needs no re-subscription and loses nothing.
-func (rt *Runtime) deployStaged(r *route, req DeployRequest, mode dsms.StageMode) (Deployment, error) {
+func (rt *Runtime) deployStaged(r *route, req DeployRequest, mode dsms.StageMode, forceID string) (Deployment, error) {
 	g := req.Graph
 	outSchema, err := g.Validate(r.schema)
 	if err != nil {
@@ -265,14 +288,10 @@ func (rt *Runtime) deployStaged(r *route, req DeployRequest, mode dsms.StageMode
 			return Deployment{}, err
 		}
 	}
-	rt.mu.Lock()
-	if rt.closed {
-		rt.mu.Unlock()
-		return Deployment{}, errClosed
+	id, err := rt.assignDepID(forceID)
+	if err != nil {
+		return Deployment{}, err
 	}
-	rt.nextDep++
-	id := fmt.Sprintf("rq%05d", rt.nextDep)
-	rt.mu.Unlock()
 
 	ms, err := newMergeStage(rt, r, mode, agg, aggIn)
 	if err != nil {
@@ -383,6 +402,7 @@ func (rt *Runtime) deployStaged(r *route, req DeployRequest, mode dsms.StageMode
 	rt.depMu.Lock()
 	rt.depSt[id] = ds
 	rt.depMu.Unlock()
+	rt.noteQueryDeployed(id, dep.Handle, r.name, req.Script, req.Graph, r.schema)
 	return dep, nil
 }
 
@@ -406,7 +426,7 @@ func (rt *Runtime) DeployScript(script string) (string, string, error) {
 			return "", "", fmt.Errorf("runtime: script schema for %q does not match registered stream", c.Input)
 		}
 	}
-	dep, err := rt.deploy(c.Input, DeployRequest{Graph: c.Graph, Script: script})
+	dep, err := rt.deploy(c.Input, DeployRequest{Graph: c.Graph, Script: script}, "")
 	if err != nil {
 		return "", "", err
 	}
@@ -446,8 +466,15 @@ func (rt *Runtime) Withdraw(idOrHandle string) error {
 	if ok {
 		delete(rt.deps, d.ID)
 		delete(rt.deps, d.Handle)
+		if al, aok := rt.aliases[d.ID]; aok {
+			delete(rt.deps, al)
+			delete(rt.aliases, d.ID)
+		}
 	}
 	rt.mu.Unlock()
+	if ok {
+		rt.noteQueryWithdrawn(d.ID)
+	}
 	if !ok {
 		for _, s := range rt.shards {
 			if err := s.be.Withdraw(idOrHandle); err == nil {

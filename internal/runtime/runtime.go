@@ -253,6 +253,11 @@ type Options struct {
 	// shard health transition (connected / reconnected / down), feeding
 	// the same hash chain the access decisions land on.
 	Audit *audit.Log
+	// Catalog, when non-nil, observes every committed control-plane
+	// mutation (stream DDL, durable admission swaps, query deploys and
+	// withdrawals) so a durable store can persist and replay them; see
+	// CatalogObserver.
+	Catalog CatalogObserver
 }
 
 func (o Options) withDefaults() Options {
@@ -411,6 +416,7 @@ type Runtime struct {
 	routes  map[string]*route
 	pending map[string]bool        // stream names being registered (backend RPC in flight)
 	deps    map[string]*Deployment // keyed by runtime id and by handle
+	aliases map[string]string      // restored query id -> pre-restart handle alias in deps
 	nextDep int
 	closed  bool
 
@@ -508,6 +514,7 @@ func NewWithBackends(name string, opts Options, backends []ShardBackend) *Runtim
 		routes:  map[string]*route{},
 		pending: map[string]bool{},
 		deps:    map[string]*Deployment{},
+		aliases: map[string]string{},
 		depSt:   map[string]*depState{},
 	}
 	for i, be := range backends {
@@ -833,6 +840,7 @@ func (rt *Runtime) CreateStream(name string, schema *stream.Schema, opts ...Stre
 	// out-of-process (best effort: a bare dsmsd without the verb still
 	// serves the stream).
 	rt.forwardAdmission(r, cfg, false)
+	rt.noteStreamCreated(name, schema, "", cfg)
 	return nil
 }
 
@@ -867,7 +875,11 @@ func (rt *Runtime) CreatePartitionedStream(name string, schema *stream.Schema, k
 	r.failTo.Store(-1)
 	r.adm.Store(newAdmissionState(cfg))
 	if rt.opts.Replication > 1 {
-		return rt.createPartitionedReplicated(key, r, cfg)
+		if err := rt.createPartitionedReplicated(key, r, cfg); err != nil {
+			return err
+		}
+		rt.noteStreamCreated(name, schema, keyField, cfg)
+		return nil
 	}
 	// The runtime lock is not held across the per-shard RPCs (remote
 	// backends may be slow or redialing); the reservation keeps the
@@ -888,6 +900,7 @@ func (rt *Runtime) CreatePartitionedStream(name string, schema *stream.Schema, k
 		return errClosed
 	}
 	rt.forwardAdmission(r, cfg, false)
+	rt.noteStreamCreated(name, schema, keyField, cfg)
 	return nil
 }
 
@@ -995,6 +1008,7 @@ func (rt *Runtime) DropStream(name string) error {
 		if strings.EqualFold(d.Input, name) {
 			if id == d.ID {
 				depIDs = append(depIDs, id)
+				delete(rt.aliases, id)
 			}
 			delete(rt.deps, id)
 		}
@@ -1005,6 +1019,9 @@ func (rt *Runtime) DropStream(name string) error {
 		delete(rt.depSt, id)
 	}
 	rt.depMu.Unlock()
+	// The control-plane removal is committed at this point regardless of
+	// how the backend drops below fare (mirroring the deps/routes maps).
+	rt.noteStreamDropped(r.name)
 	// Downed shards are skipped throughout: their streams died with the
 	// process, and a conn error would make an otherwise-complete drop
 	// look failed (mirroring Withdraw).
@@ -1122,6 +1139,20 @@ func (rt *Runtime) StreamAdmission(name string) (StreamConfig, error) {
 // local swap always applies, and a forwarding failure is reported so
 // operators learn about the divergence.
 func (rt *Runtime) Reconfigure(name string, cfg StreamConfig) (StreamConfig, error) {
+	return rt.reconfigure(name, cfg, true)
+}
+
+// ReconfigureEphemeral is Reconfigure minus the catalog record: the
+// swap is applied live (and forwarded to remote shards) but NOT
+// persisted as the stream's configured admission state. The governor
+// drives demotions and cooldown restores through it — a demotion is
+// re-derived from the audit chain on boot, so recording it in the
+// catalog would bake it in past its cooldown.
+func (rt *Runtime) ReconfigureEphemeral(name string, cfg StreamConfig) (StreamConfig, error) {
+	return rt.reconfigure(name, cfg, false)
+}
+
+func (rt *Runtime) reconfigure(name string, cfg StreamConfig, durable bool) (StreamConfig, error) {
 	norm, err := normalizeConfig(cfg)
 	if err != nil {
 		return StreamConfig{}, err
@@ -1139,6 +1170,11 @@ func (rt *Runtime) Reconfigure(name string, cfg StreamConfig) (StreamConfig, err
 	r.reconfigures.Add(1)
 	ferr := rt.forwardAdmissionLocked(r, norm, true)
 	r.fmu.Unlock()
+	if durable {
+		// The local swap applied even when forwarding failed, so the
+		// catalog records it either way.
+		rt.noteStreamReconfigured(r.name, norm)
+	}
 	return old.cfg, ferr
 }
 
